@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Ablation A: update-packing sweep.
+ *
+ * The paper's operational conclusion (section V.C): "It is important
+ * to aggregate update messages into large packets to obtain best BGP
+ * processing performance by eliminating per-packet overheads." The
+ * paper only measures the two endpoints (1 and 500 prefixes per
+ * UPDATE); this ablation sweeps the whole range and shows where the
+ * knee sits on each architecture.
+ */
+
+#include <iostream>
+
+#include "core/test_peer.hh"
+#include "router/router_system.hh"
+#include "stats/report.hh"
+#include "workload/update_stream.hh"
+
+#include "bench_util.hh"
+
+using namespace bgpbench;
+
+namespace
+{
+
+/** Phase-1 style run: inject a table with a given packing. */
+double
+startupTps(const router::SystemProfile &profile, size_t prefixes,
+           size_t per_packet)
+{
+    sim::Simulator sim;
+    router::RouterConfig rc;
+    bgp::PeerConfig p1;
+    p1.id = 0;
+    p1.asn = 65001;
+    p1.address = net::Ipv4Address(10, 0, 1, 2);
+    rc.peers = {p1};
+
+    router::RouterSystem router(&sim, profile, rc);
+    core::TestPeer peer(&sim, core::TestPeerConfig{}, &router, 0);
+    router.start();
+    peer.connect();
+
+    auto wait = [&](auto cond) {
+        while (!cond() && sim::toSeconds(sim.now()) < 7200.0)
+            sim.runUntil(sim.now() + sim::nsFromMs(1));
+        return cond();
+    };
+    if (!wait([&]() {
+            return peer.established() && router.controlDrained();
+        })) {
+        return 0.0;
+    }
+
+    workload::RouteSetConfig rsc;
+    rsc.count = prefixes;
+    auto routes = workload::generateRouteSet(rsc);
+    workload::StreamConfig sc;
+    sc.speakerAs = 65001;
+    sc.nextHop = net::Ipv4Address(10, 0, 1, 2);
+    sc.prefixesPerPacket = per_packet;
+
+    double t0 = sim::toSeconds(sim.now());
+    peer.enqueueStream(
+        workload::buildAnnouncementStream(routes, sc));
+    if (!wait([&]() {
+            return peer.sendComplete() && router.controlDrained() &&
+                   router.speaker()
+                           .counters()
+                           .announcementsProcessed >= prefixes;
+        })) {
+        return 0.0;
+    }
+    double elapsed = sim::toSeconds(sim.now()) - t0;
+    return elapsed > 0 ? double(prefixes) / elapsed : 0.0;
+}
+
+} // namespace
+
+int
+main()
+{
+    size_t prefixes = benchutil::prefixCount(2000, 400);
+    const size_t packings[] = {1, 2, 5, 10, 25, 50, 100, 250, 500};
+
+    std::cout << "Ablation A: start-up announcement rate vs prefixes "
+                 "per UPDATE packet (" << prefixes
+              << " prefixes per run)\n\n";
+
+    stats::TextTable table({"prefixes/packet", "PentiumIII tps",
+                            "Xeon tps", "IXP2400 tps", "Cisco tps"});
+    for (size_t per_packet : packings) {
+        std::vector<std::string> row{std::to_string(per_packet)};
+        for (const char *name :
+             {"PentiumIII", "Xeon", "IXP2400", "Cisco"}) {
+            double tps = startupTps(router::profileByName(name),
+                                    prefixes, per_packet);
+            row.push_back(stats::formatDouble(tps, 1));
+            std::cerr << name << " @" << per_packet << "/pkt: " << tps
+                      << " tps\n";
+        }
+        table.addRow(std::move(row));
+    }
+    table.print(std::cout);
+
+    std::cout << "\nShape: throughput rises steeply until the "
+                 "per-packet cost is amortised, then saturates at the "
+                 "per-prefix (decision + FIB) cost. The commercial "
+                 "router gains the most: its per-message slow path is "
+                 "three orders of magnitude above its per-prefix "
+                 "cost.\n";
+    return 0;
+}

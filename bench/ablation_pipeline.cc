@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Ablation B: multi-process pipeline vs monolithic control.
+ *
+ * The paper's design implication (section V.C): "BGP implementations
+ * that use multiple processes perform better on multi-core
+ * platforms." We test it directly: the same Xeon hardware runs the
+ * XORP-style five-process suite and a monolithic single-process
+ * variant with identical total per-operation costs; the uni-core
+ * Pentium III serves as the control where the split should not
+ * matter.
+ */
+
+#include <iostream>
+
+#include "core/benchmark_runner.hh"
+#include "stats/report.hh"
+
+#include "bench_util.hh"
+
+using namespace bgpbench;
+
+namespace
+{
+
+/** Fuse the control plane into one process, costs unchanged. */
+router::SystemProfile
+monolithicVariant(router::SystemProfile profile)
+{
+    profile.name += "-monolithic";
+    profile.monolithicControl = true;
+    // No commercial-style message gate: this is the same software,
+    // just linked into one process.
+    profile.costs.msgGateNs = 0;
+    return profile;
+}
+
+double
+tpsOf(const router::SystemProfile &profile, int scenario,
+      size_t prefixes)
+{
+    core::BenchmarkConfig config;
+    config.prefixCount = prefixes;
+    core::BenchmarkRunner runner(profile, config);
+    auto result = runner.run(core::scenarioByNumber(scenario));
+    return result.timedOut ? 0.0 : result.measuredTps;
+}
+
+} // namespace
+
+int
+main()
+{
+    size_t prefixes = benchutil::prefixCount(3000, 400);
+
+    std::cout << "Ablation B: five-process pipeline vs monolithic "
+                 "control, identical per-operation costs ("
+              << prefixes << " prefixes)\n\n";
+
+    stats::TextTable table({"System", "Scenario", "pipelined tps",
+                            "monolithic tps", "pipeline gain"});
+
+    for (const char *name : {"PentiumIII", "Xeon"}) {
+        auto base = router::profileByName(name);
+        auto mono = monolithicVariant(base);
+        for (int scenario : {1, 2}) {
+            double piped = tpsOf(base, scenario, prefixes);
+            double fused = tpsOf(mono, scenario, prefixes);
+            table.addRow(
+                {name, "Scenario " + std::to_string(scenario),
+                 stats::formatDouble(piped, 1),
+                 stats::formatDouble(fused, 1),
+                 stats::formatDouble(fused > 0 ? piped / fused : 0.0,
+                                     2)});
+            std::cerr << name << " s" << scenario << ": piped "
+                      << piped << " vs mono " << fused << "\n";
+        }
+    }
+    table.print(std::cout);
+
+    std::cout << "\nShape: on the uni-core Pentium III the split is "
+                 "free (gain ~ 1.0x): the stages serialise either "
+                 "way. On the dual-core Xeon only the multi-process "
+                 "build can overlap parse/decision with RIB and FIB "
+                 "work across cores, so fusing the processes forfeits "
+                 "the pipeline speedup (paper section V.C).\n";
+    return 0;
+}

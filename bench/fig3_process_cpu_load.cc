@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Reproduces Figure 3: "Activity of Different BGP Processes During
+ * Scenario 6" — per-process CPU load over time on the Pentium III,
+ * the Xeon, and the IXP2400.
+ *
+ * The paper's observations to look for in the output:
+ *   - on the uni-core Pentium III all XORP processes compete for one
+ *     processor, which is the bottleneck in every phase;
+ *   - on the Xeon the phases complete several times faster;
+ *   - on the IXP2400 everything stretches out by an order of
+ *     magnitude and xorp_rtrmgr consumes a considerable share.
+ */
+
+#include <iostream>
+
+#include "core/benchmark_runner.hh"
+#include "stats/report.hh"
+
+#include "bench_util.hh"
+
+using namespace bgpbench;
+
+int
+main()
+{
+    auto scenario = core::scenarioByNumber(6);
+
+    std::cout << "Figure 3 reproduction: per-process CPU load during "
+              << scenario.name() << "\n(" << scenario.description()
+              << ")\n";
+
+    for (const char *name : {"PentiumIII", "Xeon", "IXP2400"}) {
+        auto profile = router::profileByName(name);
+        // The IXP is an order of magnitude slower; keep its run short
+        // enough to finish while still showing the phase structure.
+        size_t prefixes =
+            profile.architecture ==
+                    router::Architecture::NetworkProcessor
+                ? benchutil::prefixCount(4000, 400)
+                : benchutil::prefixCount(20000, 1000);
+
+        core::BenchmarkConfig config;
+        config.prefixCount = prefixes;
+        core::BenchmarkRunner runner(profile, config);
+        auto result = runner.run(scenario);
+
+        std::cout << "\n=== " << name << " (" << prefixes
+                  << " prefixes) ===\n";
+        if (result.timedOut) {
+            std::cout << "TIMEOUT\n";
+            continue;
+        }
+
+        std::cout << "phase 1 (table injection): "
+                  << stats::formatDouble(result.phase1.durationSec, 1)
+                  << " s   phase 2 (propagation): "
+                  << stats::formatDouble(result.phase2->durationSec, 1)
+                  << " s   phase 3 (incremental): "
+                  << stats::formatDouble(result.phase3->durationSec, 1)
+                  << " s\n";
+        std::cout << "phase-3 rate: "
+                  << stats::formatDouble(result.measuredTps, 1)
+                  << " transactions/s\n\n";
+
+        // The five XORP processes, as in the figure's legend
+        // (interrupts/system omitted: no cross-traffic here).
+        auto all = runner.router().loadTracker().allSeries();
+        std::vector<const stats::TimeSeries *> xorp(
+            all.begin(), all.begin() + 5);
+        std::cout << "CPU load per process (percent of one core, "
+                     "1 s samples):\n";
+        stats::printSeriesTable(std::cout, xorp, 40);
+    }
+    return 0;
+}

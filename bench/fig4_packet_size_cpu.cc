@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Reproduces Figure 4: "CPU Load of Pentium III with Small and Large
+ * Packets" — Scenario 1 versus Scenario 2.
+ *
+ * Expected shape (paper section V.A): with small packets, xorp_bgp,
+ * xorp_fea and xorp_rib compete for the CPU through the whole run;
+ * with large packets xorp_bgp burns through the stream first and the
+ * rib/fea tail follows.
+ */
+
+#include <iostream>
+
+#include "core/benchmark_runner.hh"
+#include "stats/report.hh"
+
+#include "bench_util.hh"
+
+using namespace bgpbench;
+
+int
+main()
+{
+    size_t prefixes = benchutil::prefixCount(3000, 500);
+    auto profile = router::profileByName("PentiumIII");
+
+    std::cout << "Figure 4 reproduction: Pentium III CPU load, "
+                 "Scenario 1 (small packets) vs Scenario 2 (large "
+                 "packets), "
+              << prefixes << " prefixes\n";
+
+    for (int number : {1, 2}) {
+        auto scenario = core::scenarioByNumber(number);
+        core::BenchmarkConfig config;
+        config.prefixCount = prefixes;
+        core::BenchmarkRunner runner(profile, config);
+        auto result = runner.run(scenario);
+
+        std::cout << "\n=== " << scenario.name() << " ("
+                  << (number == 1 ? "small" : "large")
+                  << " packets) ===\n";
+        if (result.timedOut) {
+            std::cout << "TIMEOUT\n";
+            continue;
+        }
+        std::cout << "phase-1 duration: "
+                  << stats::formatDouble(result.phase1.durationSec, 1)
+                  << " s, "
+                  << stats::formatDouble(result.measuredTps, 1)
+                  << " transactions/s\n\n";
+
+        auto all = runner.router().loadTracker().allSeries();
+        std::vector<const stats::TimeSeries *> xorp(
+            all.begin(), all.begin() + 5);
+        stats::printSeriesTable(std::cout, xorp, 30);
+    }
+
+    std::cout << "\nNote how the same route table takes several times "
+                 "longer with one prefix per packet: per-packet "
+                 "overheads dominate (paper section V.C).\n";
+    return 0;
+}

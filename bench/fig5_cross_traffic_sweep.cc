@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Reproduces Figure 5: "BGP Performance for Different Benchmarks and
+ * Cross-Traffic Loads" — transactions per second for every scenario
+ * and system as the offered forwarding load rises from zero to each
+ * system's bus/port limit.
+ *
+ * Expected shapes (paper section V.B):
+ *   - Pentium III and Xeon degrade gradually with cross-traffic;
+ *   - the IXP2400 is flat (separate packet processors);
+ *   - the Cisco is flat on small packets but collapses on large
+ *     packets as the load approaches its 78 Mbps port rate.
+ */
+
+#include <iostream>
+
+#include "core/benchmark_runner.hh"
+#include "core/paper_data.hh"
+#include "stats/report.hh"
+
+#include "bench_util.hh"
+
+using namespace bgpbench;
+
+int
+main()
+{
+    size_t prefixes = benchutil::prefixCount(2000, 300);
+    auto systems = benchutil::selectedSystems();
+    // Fractions of each system's maximum forwardable rate.
+    const double fractions[] = {0.0, 0.25, 0.5, 0.75, 1.0};
+
+    std::cout << "Figure 5 reproduction: BGP transactions/second vs "
+                 "cross-traffic (Mbps), "
+              << prefixes << " prefixes per run\n";
+
+    for (const auto &scenario : core::allScenarios()) {
+        std::cout << "\n--- Benchmark " << scenario.number << ": "
+                  << scenario.description() << " ---\n";
+        stats::TextTable table({"System", "0%", "25%", "50%", "75%",
+                                "100% of bus"});
+
+        for (const auto &profile : systems) {
+            std::vector<std::string> row{profile.name};
+            for (double fraction : fractions) {
+                core::BenchmarkConfig config;
+                config.prefixCount = prefixes;
+                config.crossTrafficMbps =
+                    profile.busLimitMbps * fraction;
+                core::BenchmarkRunner runner(profile, config);
+                auto result = runner.run(scenario);
+                row.push_back(
+                    result.timedOut
+                        ? "TIMEOUT"
+                        : stats::formatDouble(result.measuredTps, 1));
+                std::cerr << profile.name << " b" << scenario.number
+                          << " @" << config.crossTrafficMbps
+                          << "Mbps: " << result.measuredTps
+                          << " tps\n";
+            }
+            table.addRow(std::move(row));
+        }
+        table.print(std::cout);
+    }
+
+    std::cout << "\nBus limits (paper V.B): PentiumIII 315 Mbps (PCI), "
+                 "Xeon 784 Mbps (PCIe), IXP2400 940 Mbps "
+                 "(interconnect), Cisco 78 Mbps (100 Mbps ports).\n";
+    return 0;
+}

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Reproduces Figure 6: "CPU Load on Pentium III during Benchmark 8"
+ * — interrupt/system/user CPU breakdown without and with 300 Mbps of
+ * cross-traffic, plus the forwarding-rate dip while the routing table
+ * is replaced (Figure 6c).
+ *
+ * Expected shapes (paper section V.B): cross-traffic adds 20-30% of
+ * interrupt load, stretching the benchmark; and despite the kernel's
+ * priority, the forwarding rate dips shortly after Phase 3 starts
+ * because FIB writes occupy the kernel.
+ */
+
+#include <iostream>
+
+#include "core/benchmark_runner.hh"
+#include "stats/report.hh"
+
+#include "bench_util.hh"
+
+using namespace bgpbench;
+
+namespace
+{
+
+void
+printBreakdown(core::BenchmarkRunner &runner)
+{
+    auto all = runner.router().loadTracker().allSeries();
+    // Order: 5 control processes, then "interrupts", then "system".
+    const stats::TimeSeries *irq = all[5];
+    const stats::TimeSeries *system = all[6];
+
+    // Aggregate user time across the XORP suite.
+    stats::TimeSeries user(irq->bucketSeconds(), "user");
+    size_t buckets = 0;
+    for (size_t i = 0; i < 5; ++i)
+        buckets = std::max(buckets, all[i]->bucketCount());
+    for (size_t b = 0; b < buckets; ++b) {
+        double sum = 0;
+        for (size_t i = 0; i < 5; ++i)
+            sum += all[i]->bucket(b);
+        user.add(double(b) * irq->bucketSeconds(), sum);
+    }
+
+    std::vector<const stats::TimeSeries *> series{irq, system, &user};
+    stats::printSeriesTable(std::cout, series, 30);
+}
+
+} // namespace
+
+int
+main()
+{
+    size_t prefixes = benchutil::prefixCount(3000, 400);
+    auto profile = router::profileByName("PentiumIII");
+    auto scenario = core::scenarioByNumber(8);
+
+    std::cout << "Figure 6 reproduction: Pentium III during "
+              << scenario.name() << ", " << prefixes << " prefixes\n";
+
+    for (double mbps : {0.0, 300.0}) {
+        core::BenchmarkConfig config;
+        config.prefixCount = prefixes;
+        config.crossTrafficMbps = mbps;
+        core::BenchmarkRunner runner(profile, config);
+        auto result = runner.run(scenario);
+
+        std::cout << "\n=== " << (mbps == 0.0 ? "(a) without"
+                                              : "(b) with 300 Mbps of")
+                  << " cross-traffic ===\n";
+        if (result.timedOut) {
+            std::cout << "TIMEOUT\n";
+            continue;
+        }
+        std::cout << "phase-3 rate: "
+                  << stats::formatDouble(result.measuredTps, 1)
+                  << " transactions/s (paper: 118.7 without, lower "
+                     "with cross-traffic)\n";
+        std::cout << "CPU load breakdown (percent of one core):\n";
+        printBreakdown(runner);
+
+        if (mbps > 0.0) {
+            std::cout << "\n=== (c) forwarding rate with 300 Mbps "
+                         "offered ===\n";
+            const auto &bytes = runner.router().forwardingBytesSeries();
+            stats::TimeSeries mbps_series(bytes.bucketSeconds(),
+                                          "forwarded-Mbps");
+            for (size_t b = 0; b < bytes.bucketCount(); ++b) {
+                mbps_series.add(double(b) * bytes.bucketSeconds(),
+                                bytes.rate(b) * 8.0 / 1e6);
+            }
+            stats::printAsciiChart(std::cout, mbps_series, "Mbps",
+                                   320.0, 30);
+
+            const auto &dp = runner.router().dataPlane();
+            std::cout << "offered " << dp.offeredPackets
+                      << " packets, forwarded " << dp.forwardedPackets
+                      << ", queue drops " << dp.queueDrops
+                      << ", bus drops " << dp.busDrops << "\n";
+            std::cout << "(paper Fig. 6c: the rate dips below the "
+                         "offered 300 Mbps shortly after Phase 3 "
+                         "starts, while FIB writes occupy the "
+                         "kernel)\n";
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * google-benchmark micro-benchmarks of the protocol hot paths the
+ * cost model charges for: message encode/decode, the decision
+ * process, LPM lookup, FIB update, and the Internet checksum.
+ *
+ * These measure the *host* implementation (useful for regression
+ * tracking of this library); the simulated routers charge calibrated
+ * virtual costs instead.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bgp/decision.hh"
+#include "bgp/message.hh"
+#include "bgp/update_builder.hh"
+#include "fib/forwarding_engine.hh"
+#include "net/checksum.hh"
+#include "workload/route_set.hh"
+#include "workload/update_stream.hh"
+
+using namespace bgpbench;
+
+namespace
+{
+
+std::vector<workload::RouteSpec>
+routes(size_t count)
+{
+    workload::RouteSetConfig config;
+    config.count = count;
+    return generateRouteSet(config);
+}
+
+workload::StreamConfig
+streamConfig(size_t per_packet)
+{
+    workload::StreamConfig c;
+    c.speakerAs = 65001;
+    c.nextHop = net::Ipv4Address(10, 0, 1, 2);
+    c.prefixesPerPacket = per_packet;
+    return c;
+}
+
+void
+BM_EncodeUpdate(benchmark::State &state)
+{
+    auto rs = routes(size_t(state.range(0)));
+    bgp::UpdateBuilder builder;
+    bgp::PathAttributes attrs;
+    attrs.asPath = bgp::AsPath::sequence({65001, 100});
+    attrs.nextHop = net::Ipv4Address(10, 0, 1, 2);
+    auto shared = bgp::makeAttributes(std::move(attrs));
+    for (const auto &r : rs)
+        builder.announce(r.prefix, shared);
+    auto updates = builder.build();
+
+    for (auto _ : state) {
+        for (const auto &update : updates)
+            benchmark::DoNotOptimize(bgp::encodeMessage(update));
+    }
+    state.SetItemsProcessed(int64_t(state.iterations()) *
+                            state.range(0));
+}
+BENCHMARK(BM_EncodeUpdate)->Arg(1)->Arg(100)->Arg(500);
+
+void
+BM_DecodeUpdate(benchmark::State &state)
+{
+    auto packets = buildAnnouncementStream(
+        routes(size_t(state.range(0))),
+        streamConfig(size_t(state.range(0))));
+
+    for (auto _ : state) {
+        for (const auto &pkt : packets) {
+            bgp::DecodeError error;
+            benchmark::DoNotOptimize(
+                bgp::decodeMessage(pkt.wire, error));
+        }
+    }
+    state.SetItemsProcessed(int64_t(state.iterations()) *
+                            state.range(0));
+}
+BENCHMARK(BM_DecodeUpdate)->Arg(1)->Arg(100)->Arg(500);
+
+void
+BM_DecisionProcess(benchmark::State &state)
+{
+    std::vector<bgp::Candidate> candidates;
+    for (uint32_t i = 0; i < uint32_t(state.range(0)); ++i) {
+        bgp::PathAttributes attrs;
+        attrs.asPath = bgp::AsPath::sequence(
+            {bgp::AsNumber(100 + i), bgp::AsNumber(200 + i)});
+        attrs.nextHop = net::Ipv4Address(10, 0, 0, uint8_t(i + 1));
+        candidates.push_back(bgp::Candidate{
+            bgp::makeAttributes(std::move(attrs)), i, 10 + i, true});
+    }
+
+    for (auto _ : state)
+        benchmark::DoNotOptimize(bgp::selectBest(candidates));
+    state.SetItemsProcessed(int64_t(state.iterations()));
+}
+BENCHMARK(BM_DecisionProcess)->Arg(2)->Arg(8)->Arg(32);
+
+void
+BM_LpmLookup(benchmark::State &state)
+{
+    auto rs = routes(size_t(state.range(0)));
+    fib::ForwardingTable table;
+    for (const auto &r : rs) {
+        table.install(r.prefix,
+                      fib::FibEntry{net::Ipv4Address(10, 0, 0, 1), 1});
+    }
+    auto pool = workload::destinationPool(rs, 1024, 7);
+
+    size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            table.lookup(pool[i++ & 1023]));
+    }
+    state.SetItemsProcessed(int64_t(state.iterations()));
+}
+BENCHMARK(BM_LpmLookup)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void
+BM_FibInstallRemove(benchmark::State &state)
+{
+    auto rs = routes(size_t(state.range(0)));
+    for (auto _ : state) {
+        fib::ForwardingTable table;
+        for (const auto &r : rs) {
+            table.install(r.prefix,
+                          fib::FibEntry{net::Ipv4Address(1, 1, 1, 1),
+                                        1});
+        }
+        for (const auto &r : rs)
+            table.remove(r.prefix);
+        benchmark::DoNotOptimize(table.size());
+    }
+    state.SetItemsProcessed(int64_t(state.iterations()) *
+                            state.range(0) * 2);
+}
+BENCHMARK(BM_FibInstallRemove)->Arg(1000)->Arg(10000);
+
+void
+BM_ForwardPacket(benchmark::State &state)
+{
+    auto rs = routes(10000);
+    fib::ForwardingTable table;
+    for (const auto &r : rs) {
+        table.install(r.prefix,
+                      fib::FibEntry{net::Ipv4Address(10, 0, 0, 1), 1});
+    }
+    fib::ForwardingEngine engine(&table);
+    auto pool = workload::destinationPool(rs, 256, 3);
+
+    size_t i = 0;
+    for (auto _ : state) {
+        auto pkt = net::makeDataPacket(net::Ipv4Address(9, 9, 9, 9),
+                                       pool[i++ & 255], 1000);
+        benchmark::DoNotOptimize(engine.process(pkt));
+    }
+    state.SetItemsProcessed(int64_t(state.iterations()));
+}
+BENCHMARK(BM_ForwardPacket);
+
+void
+BM_InternetChecksum(benchmark::State &state)
+{
+    std::vector<uint8_t> data(size_t(state.range(0)), 0xa5);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(net::checksum(data));
+    state.SetBytesProcessed(int64_t(state.iterations()) *
+                            state.range(0));
+}
+BENCHMARK(BM_InternetChecksum)->Arg(20)->Arg(1500);
+
+} // namespace
+
+BENCHMARK_MAIN();

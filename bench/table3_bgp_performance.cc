@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Reproduces Table III: "BGP performance without cross-traffic in
+ * transactions per second" — all eight scenarios on all four router
+ * systems, printed side by side with the paper's numbers.
+ */
+
+#include <iostream>
+
+#include "core/benchmark_runner.hh"
+#include "core/paper_data.hh"
+#include "core/scenario.hh"
+#include "stats/report.hh"
+
+#include "bench_util.hh"
+
+using namespace bgpbench;
+
+int
+main()
+{
+    size_t prefixes = benchutil::prefixCount(4000, 500);
+    auto systems = benchutil::selectedSystems();
+
+    std::cout << "Table III reproduction: BGP performance without "
+                 "cross-traffic (transactions/second)\n"
+              << "workload: " << prefixes
+              << " prefixes per run, seed 42\n\n";
+
+    stats::TextTable table({"Scenario", "System", "measured tps",
+                            "paper tps", "ratio"});
+
+    for (const auto &profile : systems) {
+        core::BenchmarkConfig config;
+        config.prefixCount = prefixes;
+
+        core::BenchmarkRunner runner(profile, config);
+        for (const auto &scenario : core::allScenarios()) {
+            auto result = runner.run(scenario);
+
+            int sys = core::paper::systemIndexByName(profile.name);
+            double paper_tps =
+                sys >= 0 ? core::paper::table3Tps[size_t(
+                               scenario.number - 1)][size_t(sys)]
+                         : 0.0;
+            double ratio = paper_tps > 0
+                               ? result.measuredTps / paper_tps
+                               : 0.0;
+
+            table.addRow({scenario.name(), profile.name,
+                          result.timedOut
+                              ? "TIMEOUT"
+                              : stats::formatDouble(
+                                    result.measuredTps, 1),
+                          stats::formatDouble(paper_tps, 1),
+                          stats::formatDouble(ratio, 2)});
+
+            std::cerr << profile.name << " " << scenario.name()
+                      << ": " << result.measuredTps << " tps\n";
+        }
+    }
+
+    std::cout << '\n';
+    table.print(std::cout);
+    std::cout << "\nratio = measured / paper; the reproduction targets "
+                 "the paper's shape (orderings and rough factors), "
+                 "not absolute equality.\n";
+    return 0;
+}

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Architecture comparison: the paper's headline experiment in one
+ * program. Runs a start-up scenario and an incremental-replacement
+ * scenario on all four router architectures and explains what the
+ * differences mean (paper sections IV and V.C).
+ */
+
+#include <iostream>
+
+#include "core/benchmark_runner.hh"
+#include "stats/report.hh"
+
+using namespace bgpbench;
+
+int
+main()
+{
+    const size_t prefixes = 1500;
+    std::cout << "Comparing the four router architectures of Table II "
+                 "(" << prefixes << " prefixes per run)\n\n";
+
+    stats::TextTable table(
+        {"System", "architecture", "S2 startup tps", "S6 no-FIB tps",
+         "S8 replace tps"});
+
+    for (const auto &profile : router::allSystemProfiles()) {
+        core::BenchmarkConfig config;
+        config.prefixCount = prefixes;
+        core::BenchmarkRunner runner(profile, config);
+
+        auto s2 = runner.run(core::scenarioByNumber(2));
+        auto s6 = runner.run(core::scenarioByNumber(6));
+        auto s8 = runner.run(core::scenarioByNumber(8));
+
+        std::string arch;
+        switch (profile.architecture) {
+          case router::Architecture::UniCore:
+            arch = "uni-core workstation";
+            break;
+          case router::Architecture::DualCore:
+            arch = "dual-core + HT";
+            break;
+          case router::Architecture::NetworkProcessor:
+            arch = "network processor";
+            break;
+          case router::Architecture::Commercial:
+            arch = "commercial (black box)";
+            break;
+        }
+
+        table.addRow({profile.name, arch,
+                      stats::formatDouble(s2.measuredTps, 1),
+                      stats::formatDouble(s6.measuredTps, 1),
+                      stats::formatDouble(s8.measuredTps, 1)});
+    }
+
+    table.print(std::cout);
+
+    std::cout <<
+        "\nReading the table (paper section V):\n"
+        "  * Roughly an order of magnitude separates each XORP tier:\n"
+        "    dual-core Xeon > uni-core Pentium III > XScale control\n"
+        "    CPU of the IXP2400.\n"
+        "  * Scenario 6 (announcements that do not change the\n"
+        "    forwarding table) is the fastest column everywhere:\n"
+        "    beyond the decision process, changing the FIB costs\n"
+        "    memory writes and IPC.\n"
+        "  * Scenario 8 (every announcement replaces the best path\n"
+        "    and rewrites the FIB) is the slowest column: packing\n"
+        "    barely helps when per-prefix work dominates.\n"
+        "  * The commercial router is competitive only with large\n"
+        "    packets; its ~10 msg/s small-packet slow path would\n"
+        "    be crippling under real-world unpacked updates.\n";
+    return 0;
+}

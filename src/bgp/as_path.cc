@@ -1,0 +1,164 @@
+#include "bgp/as_path.hh"
+
+#include <algorithm>
+
+namespace bgpbench::bgp
+{
+
+AsPath
+AsPath::sequence(std::initializer_list<AsNumber> asns)
+{
+    return sequence(std::vector<AsNumber>(asns));
+}
+
+AsPath
+AsPath::sequence(std::vector<AsNumber> asns)
+{
+    AsPath path;
+    if (!asns.empty()) {
+        path.segments_.push_back(
+            Segment{SegmentType::AsSequence, std::move(asns)});
+    }
+    return path;
+}
+
+void
+AsPath::addSegment(Segment segment)
+{
+    segments_.push_back(std::move(segment));
+}
+
+void
+AsPath::prepend(AsNumber asn)
+{
+    // RFC 4271 5.1.2: extend a leading AS_SEQUENCE if it has room for
+    // one more AS (segment max is 255 entries), else prepend a new
+    // sequence segment.
+    if (!segments_.empty() &&
+        segments_.front().type == SegmentType::AsSequence &&
+        segments_.front().asns.size() < 255) {
+        auto &front = segments_.front().asns;
+        front.insert(front.begin(), asn);
+    } else {
+        segments_.insert(segments_.begin(),
+                         Segment{SegmentType::AsSequence, {asn}});
+    }
+}
+
+int
+AsPath::pathLength() const
+{
+    int length = 0;
+    for (const auto &seg : segments_) {
+        if (seg.type == SegmentType::AsSequence)
+            length += int(seg.asns.size());
+        else
+            length += 1;
+    }
+    return length;
+}
+
+bool
+AsPath::contains(AsNumber asn) const
+{
+    for (const auto &seg : segments_) {
+        if (std::find(seg.asns.begin(), seg.asns.end(), asn) !=
+            seg.asns.end()) {
+            return true;
+        }
+    }
+    return false;
+}
+
+AsNumber
+AsPath::firstAs() const
+{
+    for (const auto &seg : segments_) {
+        if (!seg.asns.empty())
+            return seg.asns.front();
+    }
+    return 0;
+}
+
+AsNumber
+AsPath::originAs() const
+{
+    for (auto it = segments_.rbegin(); it != segments_.rend(); ++it) {
+        if (!it->asns.empty())
+            return it->asns.back();
+    }
+    return 0;
+}
+
+void
+AsPath::encodeValue(net::ByteWriter &writer) const
+{
+    for (const auto &seg : segments_) {
+        writer.writeU8(uint8_t(seg.type));
+        writer.writeU8(uint8_t(seg.asns.size()));
+        for (AsNumber asn : seg.asns)
+            writer.writeU16(asn);
+    }
+}
+
+size_t
+AsPath::encodedValueSize() const
+{
+    size_t size = 0;
+    for (const auto &seg : segments_)
+        size += 2 + 2 * seg.asns.size();
+    return size;
+}
+
+AsPath
+AsPath::decodeValue(net::ByteReader &reader)
+{
+    AsPath path;
+    while (reader.ok() && reader.remaining() > 0) {
+        Segment seg;
+        uint8_t type = reader.readU8();
+        if (type != uint8_t(SegmentType::AsSet) &&
+            type != uint8_t(SegmentType::AsSequence)) {
+            reader.markError();
+            return path;
+        }
+        seg.type = SegmentType(type);
+
+        uint8_t count = reader.readU8();
+        if (count == 0) {
+            reader.markError();
+            return path;
+        }
+        seg.asns.reserve(count);
+        for (int i = 0; i < count; ++i)
+            seg.asns.push_back(reader.readU16());
+
+        if (!reader.ok())
+            return path;
+        path.segments_.push_back(std::move(seg));
+    }
+    return path;
+}
+
+std::string
+AsPath::toString() const
+{
+    std::string out;
+    for (const auto &seg : segments_) {
+        if (!out.empty())
+            out.push_back(' ');
+        bool set = seg.type == SegmentType::AsSet;
+        if (set)
+            out.push_back('{');
+        for (size_t i = 0; i < seg.asns.size(); ++i) {
+            if (i)
+                out.push_back(set ? ',' : ' ');
+            out += std::to_string(seg.asns[i]);
+        }
+        if (set)
+            out.push_back('}');
+    }
+    return out;
+}
+
+} // namespace bgpbench::bgp

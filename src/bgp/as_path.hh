@@ -1,0 +1,112 @@
+/**
+ * @file
+ * AS_PATH attribute: ordered record of the ASes a route traversed.
+ */
+
+#ifndef BGPBENCH_BGP_AS_PATH_HH
+#define BGPBENCH_BGP_AS_PATH_HH
+
+#include <compare>
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "bgp/types.hh"
+#include "net/byte_io.hh"
+
+namespace bgpbench::bgp
+{
+
+/**
+ * The AS_PATH path attribute (RFC 4271 section 5.1.2).
+ *
+ * An AS path is a sequence of segments; each segment is either an
+ * ordered AS_SEQUENCE or an unordered AS_SET (produced by route
+ * aggregation). Path length for the decision process counts each
+ * sequence member as 1 and each whole set as 1.
+ */
+class AsPath
+{
+  public:
+    /** Segment type codes as they appear on the wire. */
+    enum class SegmentType : uint8_t
+    {
+        AsSet = 1,
+        AsSequence = 2,
+    };
+
+    struct Segment
+    {
+        SegmentType type = SegmentType::AsSequence;
+        std::vector<AsNumber> asns;
+
+        auto operator<=>(const Segment &) const = default;
+    };
+
+    /** The empty path (routes originated locally). */
+    AsPath() = default;
+
+    /** Convenience: a single AS_SEQUENCE segment. */
+    static AsPath sequence(std::initializer_list<AsNumber> asns);
+
+    /** Convenience: a single AS_SEQUENCE segment from a vector. */
+    static AsPath sequence(std::vector<AsNumber> asns);
+
+    const std::vector<Segment> &segments() const { return segments_; }
+
+    /** Append a segment (used by the decoder and aggregation). */
+    void addSegment(Segment segment);
+
+    /**
+     * Prepend @p asn as a speaker does when advertising to an eBGP
+     * peer (RFC 4271 section 5.1.2): extends the leading AS_SEQUENCE
+     * or creates one.
+     */
+    void prepend(AsNumber asn);
+
+    /**
+     * Decision-process path length: sequence members count 1 each,
+     * every AS_SET counts 1 regardless of size.
+     */
+    int pathLength() const;
+
+    /** True if @p asn appears anywhere in the path (loop detection). */
+    bool contains(AsNumber asn) const;
+
+    /** First AS of the path (the neighbouring AS), 0 if empty. */
+    AsNumber firstAs() const;
+
+    /** Last AS of the path (the origin AS), 0 if empty. */
+    AsNumber originAs() const;
+
+    /** True if the path has no segments. */
+    bool empty() const { return segments_.empty(); }
+
+    /**
+     * Encode the attribute *value* (segments only, no attribute
+     * header) to @p writer.
+     */
+    void encodeValue(net::ByteWriter &writer) const;
+
+    /** Size in bytes of the encoded attribute value. */
+    size_t encodedValueSize() const;
+
+    /**
+     * Decode an attribute value. Consumes the entire reader; on
+     * malformed input the reader's error flag is set.
+     */
+    static AsPath decodeValue(net::ByteReader &reader);
+
+    /** Render e.g. "100 200 {300,400}". */
+    std::string toString() const;
+
+    auto operator<=>(const AsPath &) const = default;
+
+  private:
+    std::vector<Segment> segments_;
+};
+
+} // namespace bgpbench::bgp
+
+#endif // BGPBENCH_BGP_AS_PATH_HH

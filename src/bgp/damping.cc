@@ -1,0 +1,131 @@
+#include "bgp/damping.hh"
+
+#include <cmath>
+
+namespace bgpbench::bgp
+{
+
+namespace
+{
+constexpr double nsPerSec = 1e9;
+} // namespace
+
+void
+FlapDamper::decay(History &history, TimeNs now) const
+{
+    if (now <= history.lastUpdate) {
+        return;
+    }
+    double dt = double(now - history.lastUpdate) / nsPerSec;
+    history.penalty *=
+        std::exp2(-dt / config_.halfLifeSec);
+    history.lastUpdate = now;
+    if (history.suppressed &&
+        history.penalty < config_.reuseThreshold) {
+        history.suppressed = false;
+    }
+}
+
+bool
+FlapDamper::addPenalty(PeerId peer, const net::Prefix &prefix,
+                       double penalty, TimeNs now)
+{
+    auto &history = histories_[Key{peer, prefix}];
+    if (history.lastUpdate == 0 && history.penalty == 0.0)
+        history.lastUpdate = now;
+    decay(history, now);
+    history.penalty =
+        std::min(history.penalty + penalty, config_.maxPenalty);
+    if (history.penalty >= config_.suppressThreshold)
+        history.suppressed = true;
+    return history.suppressed;
+}
+
+bool
+FlapDamper::onWithdraw(PeerId peer, const net::Prefix &prefix,
+                       TimeNs now)
+{
+    if (!config_.enabled)
+        return false;
+    return addPenalty(peer, prefix, config_.withdrawPenalty, now);
+}
+
+bool
+FlapDamper::onAnnounce(PeerId peer, const net::Prefix &prefix,
+                       bool attribute_change, TimeNs now)
+{
+    if (!config_.enabled)
+        return false;
+
+    auto it = histories_.find(Key{peer, prefix});
+    bool known_flapper = it != histories_.end();
+
+    if (!known_flapper) {
+        // First sighting: announcements of fresh routes carry no
+        // penalty (RFC 2439 section 4.4.2).
+        return false;
+    }
+
+    double penalty = attribute_change
+                         ? config_.attributeChangePenalty
+                         : config_.reAnnouncePenalty;
+    return addPenalty(peer, prefix, penalty, now);
+}
+
+bool
+FlapDamper::isSuppressed(PeerId peer, const net::Prefix &prefix,
+                         TimeNs now)
+{
+    if (!config_.enabled)
+        return false;
+    auto it = histories_.find(Key{peer, prefix});
+    if (it == histories_.end())
+        return false;
+    decay(it->second, now);
+    return it->second.suppressed;
+}
+
+double
+FlapDamper::penalty(PeerId peer, const net::Prefix &prefix,
+                    TimeNs now)
+{
+    auto it = histories_.find(Key{peer, prefix});
+    if (it == histories_.end())
+        return 0.0;
+    decay(it->second, now);
+    return it->second.penalty;
+}
+
+std::vector<std::pair<PeerId, net::Prefix>>
+FlapDamper::takeReusable(TimeNs now)
+{
+    std::vector<std::pair<PeerId, net::Prefix>> reusable;
+    for (auto it = histories_.begin(); it != histories_.end();) {
+        bool was_suppressed = it->second.suppressed;
+        decay(it->second, now);
+        if (was_suppressed && !it->second.suppressed)
+            reusable.emplace_back(it->first.peer, it->first.prefix);
+
+        // Garbage-collect histories that have decayed to noise.
+        if (!it->second.suppressed &&
+            it->second.penalty < config_.reuseThreshold / 8.0) {
+            it = histories_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+    return reusable;
+}
+
+size_t
+FlapDamper::suppressedCount(TimeNs now)
+{
+    size_t count = 0;
+    for (auto &[key, history] : histories_) {
+        decay(history, now);
+        count += history.suppressed;
+    }
+    return count;
+}
+
+} // namespace bgpbench::bgp

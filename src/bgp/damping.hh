@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Route flap damping (RFC 2439).
+ *
+ * The paper motivates BGP benchmarking with routing instability
+ * (section II, ref. [5]): routers continuously process updates, and
+ * unstable routes multiply that load. Flap damping is the classic
+ * defence: each flap adds a penalty that decays exponentially; a
+ * route whose penalty exceeds the suppress threshold is ignored until
+ * it decays below the reuse threshold.
+ */
+
+#ifndef BGPBENCH_BGP_DAMPING_HH
+#define BGPBENCH_BGP_DAMPING_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "bgp/route.hh"
+#include "net/prefix.hh"
+
+namespace bgpbench::bgp
+{
+
+/** RFC 2439 parameters (defaults follow common vendor practice). */
+struct DampingConfig
+{
+    /** Master switch; damping is off unless enabled. */
+    bool enabled = false;
+    /** Penalty added per withdrawal. */
+    double withdrawPenalty = 1000.0;
+    /** Penalty added per re-announcement of a withdrawn route. */
+    double reAnnouncePenalty = 500.0;
+    /** Penalty added per attribute change. */
+    double attributeChangePenalty = 500.0;
+    /** Penalty above which the route is suppressed. */
+    double suppressThreshold = 2000.0;
+    /** Penalty below which a suppressed route is reused. */
+    double reuseThreshold = 750.0;
+    /** Exponential decay half-life in seconds. */
+    double halfLifeSec = 900.0;
+    /** Penalty ceiling (bounds maximum suppression time). */
+    double maxPenalty = 12000.0;
+};
+
+/**
+ * Per-(peer, prefix) flap history with lazy exponential decay.
+ */
+class FlapDamper
+{
+  public:
+    using TimeNs = uint64_t;
+
+    explicit FlapDamper(DampingConfig config)
+        : config_(config)
+    {}
+
+    const DampingConfig &config() const { return config_; }
+
+    /**
+     * Record a withdrawal flap.
+     * @return True if the route is now suppressed.
+     */
+    bool onWithdraw(PeerId peer, const net::Prefix &prefix,
+                    TimeNs now);
+
+    /**
+     * Record an announcement.
+     *
+     * @param attribute_change True when the announcement changes the
+     *        stored attributes of an existing route (a path flap
+     *        rather than a fresh route).
+     * @return True if the route is (still) suppressed and must not
+     *         enter the decision process.
+     */
+    bool onAnnounce(PeerId peer, const net::Prefix &prefix,
+                    bool attribute_change, TimeNs now);
+
+    /** Current suppression state (decays the penalty first). */
+    bool isSuppressed(PeerId peer, const net::Prefix &prefix,
+                      TimeNs now);
+
+    /** Current decayed penalty (0 when untracked). */
+    double penalty(PeerId peer, const net::Prefix &prefix,
+                   TimeNs now);
+
+    /**
+     * Collect routes whose suppression has lapsed since the last
+     * call; the speaker re-runs the decision process for them. Also
+     * garbage-collects negligible histories.
+     */
+    std::vector<std::pair<PeerId, net::Prefix>>
+    takeReusable(TimeNs now);
+
+    size_t trackedRoutes() const { return histories_.size(); }
+
+    /** Number of currently suppressed routes (after decay). */
+    size_t suppressedCount(TimeNs now);
+
+  private:
+    struct Key
+    {
+        PeerId peer;
+        net::Prefix prefix;
+
+        bool
+        operator==(const Key &other) const
+        {
+            return peer == other.peer && prefix == other.prefix;
+        }
+    };
+
+    struct KeyHash
+    {
+        size_t
+        operator()(const Key &key) const
+        {
+            size_t h = std::hash<net::Prefix>()(key.prefix);
+            return h ^ (size_t(key.peer) * 0x9e3779b97f4a7c15ULL);
+        }
+    };
+
+    struct History
+    {
+        double penalty = 0.0;
+        TimeNs lastUpdate = 0;
+        bool suppressed = false;
+    };
+
+    /** Decay @p history to @p now and update suppression state. */
+    void decay(History &history, TimeNs now) const;
+
+    /** Add a flap penalty and re-evaluate suppression. */
+    bool addPenalty(PeerId peer, const net::Prefix &prefix,
+                    double penalty, TimeNs now);
+
+    DampingConfig config_;
+    std::unordered_map<Key, History, KeyHash> histories_;
+};
+
+} // namespace bgpbench::bgp
+
+#endif // BGPBENCH_BGP_DAMPING_HH

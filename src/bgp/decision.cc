@@ -1,0 +1,90 @@
+#include "bgp/decision.hh"
+
+#include "net/logging.hh"
+
+namespace bgpbench::bgp
+{
+
+int
+compareCandidates(const Candidate &a, const Candidate &b,
+                  const DecisionConfig &config)
+{
+    panicIf(!a.attributes || !b.attributes,
+            "decision process given a candidate without attributes");
+
+    const PathAttributes &pa = *a.attributes;
+    const PathAttributes &pb = *b.attributes;
+
+    // 0. Locally originated routes outrank learned ones (the vendor
+    //    "weight" step that precedes LOCAL_PREF).
+    if (a.locallyOriginated != b.locallyOriginated)
+        return a.locallyOriginated ? -1 : 1;
+
+    // 1. Higher LOCAL_PREF wins.
+    uint32_t lp_a = pa.localPref.value_or(config.defaultLocalPref);
+    uint32_t lp_b = pb.localPref.value_or(config.defaultLocalPref);
+    if (lp_a != lp_b)
+        return lp_a > lp_b ? -1 : 1;
+
+    // 2. Shorter AS_PATH wins.
+    int len_a = pa.asPath.pathLength();
+    int len_b = pb.asPath.pathLength();
+    if (len_a != len_b)
+        return len_a < len_b ? -1 : 1;
+
+    // 3. Lower ORIGIN wins.
+    if (pa.origin != pb.origin)
+        return pa.origin < pb.origin ? -1 : 1;
+
+    // 4. Lower MED wins, when comparable. Absent MED counts as 0
+    //    (the common vendor default).
+    bool med_comparable =
+        config.alwaysCompareMed ||
+        (pa.asPath.firstAs() != 0 &&
+         pa.asPath.firstAs() == pb.asPath.firstAs());
+    if (med_comparable) {
+        uint32_t med_a = pa.med.value_or(0);
+        uint32_t med_b = pb.med.value_or(0);
+        if (med_a != med_b)
+            return med_a < med_b ? -1 : 1;
+    }
+
+    // 5. Prefer eBGP-learned routes over iBGP-learned ones.
+    if (a.externalSession != b.externalSession)
+        return a.externalSession ? -1 : 1;
+
+    // 5b. RFC 4456 section 9: shorter CLUSTER_LIST wins (fewer
+    //     reflection hops).
+    size_t cl_a = pa.clusterList.size();
+    size_t cl_b = pb.clusterList.size();
+    if (cl_a != cl_b)
+        return cl_a < cl_b ? -1 : 1;
+
+    // 6. Lowest BGP identifier, using the ORIGINATOR_ID of reflected
+    //    routes in place of the peer's (RFC 4456 section 9).
+    RouterId id_a = pa.originatorId.value_or(a.peerRouterId);
+    RouterId id_b = pb.originatorId.value_or(b.peerRouterId);
+    if (id_a != id_b)
+        return id_a < id_b ? -1 : 1;
+
+    return 0;
+}
+
+std::optional<size_t>
+selectBest(const std::vector<Candidate> &candidates,
+           const DecisionConfig &config)
+{
+    if (candidates.empty())
+        return std::nullopt;
+
+    size_t best = 0;
+    for (size_t i = 1; i < candidates.size(); ++i) {
+        if (compareCandidates(candidates[i], candidates[best],
+                              config) < 0) {
+            best = i;
+        }
+    }
+    return best;
+}
+
+} // namespace bgpbench::bgp

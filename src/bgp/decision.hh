@@ -1,0 +1,65 @@
+/**
+ * @file
+ * The BGP decision process (RFC 4271 section 9.1).
+ */
+
+#ifndef BGPBENCH_BGP_DECISION_HH
+#define BGPBENCH_BGP_DECISION_HH
+
+#include <optional>
+#include <vector>
+
+#include "bgp/route.hh"
+
+namespace bgpbench::bgp
+{
+
+/** Tuning knobs for route selection. */
+struct DecisionConfig
+{
+    /** LOCAL_PREF assumed when the attribute is absent (eBGP). */
+    uint32_t defaultLocalPref = 100;
+    /**
+     * Compare MED between routes from different neighbour ASes
+     * (vendor "always-compare-med"). When false, MED only breaks ties
+     * between routes whose AS_PATH starts with the same AS, per
+     * RFC 4271 9.1.2.2 c).
+     */
+    bool alwaysCompareMed = false;
+};
+
+/**
+ * Three-way comparison of two candidate routes for the same prefix.
+ *
+ * Implements the de-facto standard selection order the paper relies
+ * on ("most vendors implement the best path selection based on the
+ * length of AS path"):
+ *
+ *   0. locally originated routes first (vendor "weight")
+ *   1. higher LOCAL_PREF (degree of preference)
+ *   2. shorter AS_PATH
+ *   3. lower ORIGIN (IGP < EGP < INCOMPLETE)
+ *   4. lower MED (see DecisionConfig::alwaysCompareMed)
+ *   5. eBGP-learned over iBGP-learned
+ *   6. lower peer BGP identifier
+ *
+ * @return Negative if @p a is preferred, positive if @p b is
+ *         preferred, zero only for indistinguishable candidates.
+ */
+int compareCandidates(const Candidate &a, const Candidate &b,
+                      const DecisionConfig &config = {});
+
+/**
+ * Select the best candidate for a prefix.
+ *
+ * @param candidates All import-accepted routes for the prefix.
+ * @return Index of the best candidate, or std::nullopt if the list is
+ *         empty.
+ */
+std::optional<size_t>
+selectBest(const std::vector<Candidate> &candidates,
+           const DecisionConfig &config = {});
+
+} // namespace bgpbench::bgp
+
+#endif // BGPBENCH_BGP_DECISION_HH

@@ -1,0 +1,369 @@
+#include "bgp/path_attributes.hh"
+
+#include <algorithm>
+
+namespace bgpbench::bgp
+{
+
+namespace
+{
+
+/**
+ * Append one attribute with header. Uses the extended-length flag
+ * automatically when the value exceeds 255 bytes.
+ */
+void
+writeAttribute(net::ByteWriter &writer, uint8_t flags, AttrType type,
+               const std::vector<uint8_t> &value)
+{
+    if (value.size() > 255)
+        flags |= attr_flags::extendedLength;
+    writer.writeU8(flags);
+    writer.writeU8(uint8_t(type));
+    if (flags & attr_flags::extendedLength)
+        writer.writeU16(uint16_t(value.size()));
+    else
+        writer.writeU8(uint8_t(value.size()));
+    writer.writeBytes(value);
+}
+
+constexpr uint8_t wellKnown = attr_flags::transitive;
+constexpr uint8_t optTransitive =
+    attr_flags::optional | attr_flags::transitive;
+constexpr uint8_t optNonTransitive = attr_flags::optional;
+
+} // namespace
+
+void
+PathAttributes::encode(net::ByteWriter &writer) const
+{
+    // ORIGIN
+    writeAttribute(writer, wellKnown, AttrType::Origin,
+                   {uint8_t(origin)});
+
+    // AS_PATH
+    {
+        net::ByteWriter value(asPath.encodedValueSize());
+        asPath.encodeValue(value);
+        writeAttribute(writer, wellKnown, AttrType::AsPath,
+                       value.bytes());
+    }
+
+    // NEXT_HOP
+    {
+        net::ByteWriter value(4);
+        value.writeAddress(nextHop);
+        writeAttribute(writer, wellKnown, AttrType::NextHop,
+                       value.bytes());
+    }
+
+    if (med) {
+        net::ByteWriter value(4);
+        value.writeU32(*med);
+        writeAttribute(writer, optNonTransitive,
+                       AttrType::MultiExitDisc, value.bytes());
+    }
+
+    if (localPref) {
+        net::ByteWriter value(4);
+        value.writeU32(*localPref);
+        writeAttribute(writer, wellKnown, AttrType::LocalPref,
+                       value.bytes());
+    }
+
+    if (atomicAggregate)
+        writeAttribute(writer, wellKnown, AttrType::AtomicAggregate, {});
+
+    if (aggregator) {
+        net::ByteWriter value(6);
+        value.writeU16(aggregator->asn);
+        value.writeAddress(aggregator->address);
+        writeAttribute(writer, optTransitive, AttrType::Aggregator,
+                       value.bytes());
+    }
+
+    if (!communities.empty()) {
+        net::ByteWriter value(4 * communities.size());
+        for (uint32_t community : communities)
+            value.writeU32(community);
+        writeAttribute(writer, optTransitive, AttrType::Community,
+                       value.bytes());
+    }
+
+    if (originatorId) {
+        net::ByteWriter value(4);
+        value.writeU32(*originatorId);
+        writeAttribute(writer, optNonTransitive,
+                       AttrType::OriginatorId, value.bytes());
+    }
+
+    if (!clusterList.empty()) {
+        net::ByteWriter value(4 * clusterList.size());
+        for (uint32_t cluster : clusterList)
+            value.writeU32(cluster);
+        writeAttribute(writer, optNonTransitive,
+                       AttrType::ClusterList, value.bytes());
+    }
+}
+
+size_t
+PathAttributes::encodedSize() const
+{
+    auto attr_size = [](size_t value_size) {
+        return value_size + (value_size > 255 ? 4 : 3);
+    };
+
+    size_t size = attr_size(1);                            // ORIGIN
+    size += attr_size(asPath.encodedValueSize());          // AS_PATH
+    size += attr_size(4);                                  // NEXT_HOP
+    if (med)
+        size += attr_size(4);
+    if (localPref)
+        size += attr_size(4);
+    if (atomicAggregate)
+        size += attr_size(0);
+    if (aggregator)
+        size += attr_size(6);
+    if (!communities.empty())
+        size += attr_size(4 * communities.size());
+    if (originatorId)
+        size += attr_size(4);
+    if (!clusterList.empty())
+        size += attr_size(4 * clusterList.size());
+    return size;
+}
+
+std::optional<PathAttributes>
+PathAttributes::decode(net::ByteReader &reader, DecodeError &error)
+{
+    auto fail = [&error](UpdateSubcode subcode, std::string detail)
+        -> std::optional<PathAttributes> {
+        error.code = ErrorCode::UpdateMessageError;
+        error.subcode = uint8_t(subcode);
+        error.detail = std::move(detail);
+        return std::nullopt;
+    };
+
+    PathAttributes attrs;
+    bool seen_origin = false;
+    bool seen_as_path = false;
+    bool seen_next_hop = false;
+    uint32_t seen_mask = 0;
+
+    while (reader.remaining() > 0) {
+        uint8_t flags = reader.readU8();
+        uint8_t type = reader.readU8();
+        size_t length = (flags & attr_flags::extendedLength)
+                            ? reader.readU16()
+                            : reader.readU8();
+        if (!reader.ok() || reader.remaining() < length) {
+            return fail(UpdateSubcode::AttributeLengthError,
+                        "attribute overruns block");
+        }
+
+        // RFC 4271 6.3: an attribute may appear at most once.
+        if (type < 32) {
+            if (seen_mask & (1u << type)) {
+                return fail(UpdateSubcode::MalformedAttributeList,
+                            "duplicate attribute type " +
+                                std::to_string(type));
+            }
+            seen_mask |= 1u << type;
+        }
+
+        net::ByteReader value = reader.subReader(length);
+
+        auto check_flags = [&](uint8_t expected) {
+            constexpr uint8_t mask =
+                attr_flags::optional | attr_flags::transitive;
+            return (flags & mask) == expected;
+        };
+
+        switch (AttrType(type)) {
+          case AttrType::Origin:
+            if (!check_flags(wellKnown)) {
+                return fail(UpdateSubcode::AttributeFlagsError,
+                            "ORIGIN flags");
+            }
+            if (length != 1) {
+                return fail(UpdateSubcode::AttributeLengthError,
+                            "ORIGIN length");
+            }
+            {
+                uint8_t raw = value.readU8();
+                if (raw > uint8_t(Origin::Incomplete)) {
+                    return fail(UpdateSubcode::InvalidOriginAttribute,
+                                "ORIGIN value " + std::to_string(raw));
+                }
+                attrs.origin = Origin(raw);
+            }
+            seen_origin = true;
+            break;
+
+          case AttrType::AsPath:
+            if (!check_flags(wellKnown)) {
+                return fail(UpdateSubcode::AttributeFlagsError,
+                            "AS_PATH flags");
+            }
+            attrs.asPath = AsPath::decodeValue(value);
+            if (!value.ok()) {
+                return fail(UpdateSubcode::MalformedAsPath,
+                            "AS_PATH segments");
+            }
+            seen_as_path = true;
+            break;
+
+          case AttrType::NextHop:
+            if (!check_flags(wellKnown)) {
+                return fail(UpdateSubcode::AttributeFlagsError,
+                            "NEXT_HOP flags");
+            }
+            if (length != 4) {
+                return fail(UpdateSubcode::AttributeLengthError,
+                            "NEXT_HOP length");
+            }
+            attrs.nextHop = value.readAddress();
+            if (attrs.nextHop.isZero()) {
+                return fail(UpdateSubcode::InvalidNextHopAttribute,
+                            "NEXT_HOP 0.0.0.0");
+            }
+            seen_next_hop = true;
+            break;
+
+          case AttrType::MultiExitDisc:
+            if (!check_flags(optNonTransitive)) {
+                return fail(UpdateSubcode::AttributeFlagsError,
+                            "MED flags");
+            }
+            if (length != 4) {
+                return fail(UpdateSubcode::AttributeLengthError,
+                            "MED length");
+            }
+            attrs.med = value.readU32();
+            break;
+
+          case AttrType::LocalPref:
+            if (!check_flags(wellKnown)) {
+                return fail(UpdateSubcode::AttributeFlagsError,
+                            "LOCAL_PREF flags");
+            }
+            if (length != 4) {
+                return fail(UpdateSubcode::AttributeLengthError,
+                            "LOCAL_PREF length");
+            }
+            attrs.localPref = value.readU32();
+            break;
+
+          case AttrType::AtomicAggregate:
+            if (!check_flags(wellKnown)) {
+                return fail(UpdateSubcode::AttributeFlagsError,
+                            "ATOMIC_AGGREGATE flags");
+            }
+            if (length != 0) {
+                return fail(UpdateSubcode::AttributeLengthError,
+                            "ATOMIC_AGGREGATE length");
+            }
+            attrs.atomicAggregate = true;
+            break;
+
+          case AttrType::Aggregator:
+            if (!check_flags(optTransitive)) {
+                return fail(UpdateSubcode::AttributeFlagsError,
+                            "AGGREGATOR flags");
+            }
+            if (length != 6) {
+                return fail(UpdateSubcode::AttributeLengthError,
+                            "AGGREGATOR length");
+            }
+            attrs.aggregator =
+                Aggregator{value.readU16(), value.readAddress()};
+            break;
+
+          case AttrType::Community:
+            if (!(flags & attr_flags::optional)) {
+                return fail(UpdateSubcode::AttributeFlagsError,
+                            "COMMUNITY flags");
+            }
+            if (length % 4 != 0) {
+                return fail(UpdateSubcode::OptionalAttributeError,
+                            "COMMUNITY length");
+            }
+            for (size_t i = 0; i < length / 4; ++i)
+                attrs.communities.push_back(value.readU32());
+            std::sort(attrs.communities.begin(),
+                      attrs.communities.end());
+            break;
+
+          case AttrType::OriginatorId:
+            if (!check_flags(optNonTransitive)) {
+                return fail(UpdateSubcode::AttributeFlagsError,
+                            "ORIGINATOR_ID flags");
+            }
+            if (length != 4) {
+                return fail(UpdateSubcode::AttributeLengthError,
+                            "ORIGINATOR_ID length");
+            }
+            attrs.originatorId = value.readU32();
+            break;
+
+          case AttrType::ClusterList:
+            if (!check_flags(optNonTransitive)) {
+                return fail(UpdateSubcode::AttributeFlagsError,
+                            "CLUSTER_LIST flags");
+            }
+            if (length % 4 != 0 || length == 0) {
+                return fail(UpdateSubcode::AttributeLengthError,
+                            "CLUSTER_LIST length");
+            }
+            for (size_t i = 0; i < length / 4; ++i)
+                attrs.clusterList.push_back(value.readU32());
+            break;
+
+          default:
+            if (!(flags & attr_flags::optional)) {
+                return fail(
+                    UpdateSubcode::UnrecognizedWellKnownAttribute,
+                    "well-known attribute type " + std::to_string(type));
+            }
+            // Unrecognised optional attributes are skipped; a full
+            // implementation would forward transitive ones with the
+            // partial bit set, which no benchmark scenario exercises.
+            break;
+        }
+
+        if (!reader.ok()) {
+            return fail(UpdateSubcode::AttributeLengthError,
+                        "truncated attribute");
+        }
+    }
+
+    if (!seen_origin || !seen_as_path || !seen_next_hop) {
+        return fail(UpdateSubcode::MissingWellKnownAttribute,
+                    "mandatory attribute missing");
+    }
+
+    return attrs;
+}
+
+std::string
+PathAttributes::toString() const
+{
+    std::string out = "origin=" + bgp::toString(origin) +
+                      " as-path=[" + asPath.toString() + "]" +
+                      " next-hop=" + nextHop.toString();
+    if (localPref)
+        out += " local-pref=" + std::to_string(*localPref);
+    if (med)
+        out += " med=" + std::to_string(*med);
+    if (atomicAggregate)
+        out += " atomic-aggregate";
+    return out;
+}
+
+PathAttributesPtr
+makeAttributes(PathAttributes attrs)
+{
+    return std::make_shared<const PathAttributes>(std::move(attrs));
+}
+
+} // namespace bgpbench::bgp

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * The set of path attributes attached to a BGP route, with wire
+ * encoding and decoding of the UPDATE attribute block.
+ */
+
+#ifndef BGPBENCH_BGP_PATH_ATTRIBUTES_HH
+#define BGPBENCH_BGP_PATH_ATTRIBUTES_HH
+
+#include <compare>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bgp/as_path.hh"
+#include "bgp/types.hh"
+#include "net/byte_io.hh"
+#include "net/ipv4_address.hh"
+
+namespace bgpbench::bgp
+{
+
+/**
+ * Decode failure description, mapping onto the NOTIFICATION that a
+ * conforming speaker would send (RFC 4271 section 6).
+ */
+struct DecodeError
+{
+    ErrorCode code = ErrorCode::None;
+    uint8_t subcode = 0;
+    std::string detail;
+
+    /** True when an error is present. */
+    explicit operator bool() const { return code != ErrorCode::None; }
+};
+
+/** AGGREGATOR attribute value (RFC 4271 section 5.1.7). */
+struct Aggregator
+{
+    AsNumber asn = 0;
+    net::Ipv4Address address;
+
+    auto operator<=>(const Aggregator &) const = default;
+};
+
+/**
+ * Decoded path attributes of one route.
+ *
+ * The well-known mandatory attributes (ORIGIN, AS_PATH, NEXT_HOP) are
+ * plain members; the optional ones are std::optional. Attribute sets
+ * are shared between all prefixes announced in one UPDATE via
+ * PathAttributesPtr, which is what makes large packed UPDATEs cheap to
+ * store — mirroring how real BGP implementations share attribute
+ * blocks.
+ */
+struct PathAttributes
+{
+    Origin origin = Origin::Igp;
+    AsPath asPath;
+    net::Ipv4Address nextHop;
+    std::optional<uint32_t> med;
+    std::optional<uint32_t> localPref;
+    bool atomicAggregate = false;
+    std::optional<Aggregator> aggregator;
+    /** RFC 1997 communities, kept sorted for canonical comparison. */
+    std::vector<uint32_t> communities;
+    /** RFC 4456: router id of the route's original iBGP injector. */
+    std::optional<RouterId> originatorId;
+    /** RFC 4456: cluster ids the route was reflected through. */
+    std::vector<uint32_t> clusterList;
+
+    auto operator<=>(const PathAttributes &) const = default;
+
+    /**
+     * Encode the complete "Path Attributes" block of an UPDATE
+     * (RFC 4271 section 4.3), excluding the leading two-byte total
+     * length which the message encoder owns.
+     */
+    void encode(net::ByteWriter &writer) const;
+
+    /** Size in bytes of the encoded attribute block. */
+    size_t encodedSize() const;
+
+    /**
+     * Decode an attribute block of exactly @p reader's contents.
+     *
+     * Performs the RFC 4271 section 6.3 checks: flag validity, length
+     * validity, mandatory attribute presence, ORIGIN range, NEXT_HOP
+     * syntax, duplicate attribute rejection.
+     *
+     * @param reader Reader spanning the attribute block.
+     * @param error Filled in on failure.
+     * @return The attributes, or std::nullopt with @p error set.
+     */
+    static std::optional<PathAttributes>
+    decode(net::ByteReader &reader, DecodeError &error);
+
+    /** Short human-readable rendering for traces. */
+    std::string toString() const;
+};
+
+/** Routes share immutable attribute blocks. */
+using PathAttributesPtr = std::shared_ptr<const PathAttributes>;
+
+/** Build a shared attribute block. */
+PathAttributesPtr makeAttributes(PathAttributes attrs);
+
+} // namespace bgpbench::bgp
+
+#endif // BGPBENCH_BGP_PATH_ATTRIBUTES_HH

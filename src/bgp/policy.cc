@@ -1,0 +1,104 @@
+#include "bgp/policy.hh"
+
+#include <algorithm>
+
+namespace bgpbench::bgp
+{
+
+bool
+PolicyMatch::matches(const net::Prefix &prefix,
+                     const PathAttributes &attrs) const
+{
+    if (prefixCoveredBy && !prefixCoveredBy->covers(prefix))
+        return false;
+    if (minPrefixLength && prefix.length() < *minPrefixLength)
+        return false;
+    if (maxPrefixLength && prefix.length() > *maxPrefixLength)
+        return false;
+    if (asPathContains && !attrs.asPath.contains(*asPathContains))
+        return false;
+    if (originAs && attrs.asPath.originAs() != *originAs)
+        return false;
+    if (hasCommunity &&
+        !std::binary_search(attrs.communities.begin(),
+                            attrs.communities.end(), *hasCommunity)) {
+        return false;
+    }
+    if (minAsPathLength && attrs.asPath.pathLength() < *minAsPathLength)
+        return false;
+    return true;
+}
+
+PathAttributesPtr
+Policy::apply(const net::Prefix &prefix, const PathAttributesPtr &attrs,
+              AsNumber prepend_as) const
+{
+    if (!attrs)
+        return nullptr;
+
+    for (const auto &rule : rules_) {
+        if (!rule.match.matches(prefix, *attrs))
+            continue;
+
+        const PolicyAction &action = rule.action;
+        if (action.reject)
+            return nullptr;
+
+        bool modifies = action.setLocalPref || action.setMed ||
+                        action.addCommunity || action.removeCommunity ||
+                        (action.prependCount > 0 && prepend_as != 0);
+        if (!modifies)
+            return attrs;
+
+        PathAttributes out = *attrs;
+        if (action.setLocalPref)
+            out.localPref = *action.setLocalPref;
+        if (action.setMed)
+            out.med = *action.setMed;
+        if (action.addCommunity) {
+            auto pos = std::lower_bound(out.communities.begin(),
+                                        out.communities.end(),
+                                        *action.addCommunity);
+            if (pos == out.communities.end() ||
+                *pos != *action.addCommunity) {
+                out.communities.insert(pos, *action.addCommunity);
+            }
+        }
+        if (action.removeCommunity) {
+            auto [first, last] = std::equal_range(
+                out.communities.begin(), out.communities.end(),
+                *action.removeCommunity);
+            out.communities.erase(first, last);
+        }
+        if (prepend_as != 0) {
+            for (int i = 0; i < action.prependCount; ++i)
+                out.asPath.prepend(prepend_as);
+        }
+        return makeAttributes(std::move(out));
+    }
+
+    return attrs;
+}
+
+Policy
+makeRejectPrefixPolicy(const net::Prefix &prefix)
+{
+    PolicyRule rule;
+    rule.name = "reject " + prefix.toString();
+    rule.match.prefixCoveredBy = prefix;
+    rule.action.reject = true;
+    return Policy({std::move(rule)});
+}
+
+Policy
+makeLocalPrefForAsPolicy(AsNumber asn, uint32_t local_pref)
+{
+    PolicyRule rule;
+    rule.name = "local-pref " + std::to_string(local_pref) + " for AS" +
+                std::to_string(asn);
+    rule.match.asPathContains = asn;
+    rule.action.setLocalPref = local_pref;
+    return Policy({std::move(rule)});
+}
+
+} // namespace bgpbench::bgp

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Route-map-style policy engine for import/export filtering.
+ *
+ * BGP route selection "is always policy-based" (paper, section III.A);
+ * this module provides the policy hook: an ordered list of rules, each
+ * with match conditions and either a reject or an accept-with-
+ * modifications action. First matching rule wins; a route matching no
+ * rule is accepted unmodified.
+ */
+
+#ifndef BGPBENCH_BGP_POLICY_HH
+#define BGPBENCH_BGP_POLICY_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bgp/path_attributes.hh"
+#include "net/prefix.hh"
+
+namespace bgpbench::bgp
+{
+
+/** Match conditions; unset fields match anything. */
+struct PolicyMatch
+{
+    /** Matches routes whose prefix is covered by this prefix. */
+    std::optional<net::Prefix> prefixCoveredBy;
+    /** Matches routes whose prefix length is at least this. */
+    std::optional<int> minPrefixLength;
+    /** Matches routes whose prefix length is at most this. */
+    std::optional<int> maxPrefixLength;
+    /** Matches routes whose AS_PATH contains this AS. */
+    std::optional<AsNumber> asPathContains;
+    /** Matches routes originated by this AS. */
+    std::optional<AsNumber> originAs;
+    /** Matches routes carrying this community. */
+    std::optional<uint32_t> hasCommunity;
+    /** Matches routes whose AS_PATH length is at least this. */
+    std::optional<int> minAsPathLength;
+
+    /** True if @p prefix / @p attrs satisfy every set condition. */
+    bool matches(const net::Prefix &prefix,
+                 const PathAttributes &attrs) const;
+};
+
+/** Modifications applied by an accepting rule. */
+struct PolicyAction
+{
+    /** Reject the route outright. */
+    bool reject = false;
+    std::optional<uint32_t> setLocalPref;
+    std::optional<uint32_t> setMed;
+    /** Prepend our own AS this many extra times (export side). */
+    int prependCount = 0;
+    /** Community to add. */
+    std::optional<uint32_t> addCommunity;
+    /** Community to strip. */
+    std::optional<uint32_t> removeCommunity;
+};
+
+/** One ordered rule. */
+struct PolicyRule
+{
+    std::string name;
+    PolicyMatch match;
+    PolicyAction action;
+};
+
+/**
+ * An ordered rule list evaluated first-match.
+ */
+class Policy
+{
+  public:
+    /** The empty policy accepts everything unmodified. */
+    Policy() = default;
+
+    explicit Policy(std::vector<PolicyRule> rules)
+        : rules_(std::move(rules))
+    {}
+
+    /** Append a rule at lowest priority. */
+    void addRule(PolicyRule rule) { rules_.push_back(std::move(rule)); }
+
+    bool empty() const { return rules_.empty(); }
+    size_t size() const { return rules_.size(); }
+
+    /**
+     * Apply the policy to a route.
+     *
+     * @param prefix The route's destination.
+     * @param attrs The route's attributes (shared, not modified).
+     * @param prepend_as AS used for prependCount actions (the local
+     *        AS); pass 0 on import where prepending is meaningless.
+     * @return The (possibly modified, possibly same) attributes, or
+     *         null if the route is rejected.
+     */
+    PathAttributesPtr apply(const net::Prefix &prefix,
+                            const PathAttributesPtr &attrs,
+                            AsNumber prepend_as = 0) const;
+
+  private:
+    std::vector<PolicyRule> rules_;
+};
+
+/** Convenience: a policy that rejects routes covered by @p prefix. */
+Policy makeRejectPrefixPolicy(const net::Prefix &prefix);
+
+/** Convenience: a policy setting LOCAL_PREF for routes from one AS. */
+Policy makeLocalPrefForAsPolicy(AsNumber asn, uint32_t local_pref);
+
+} // namespace bgpbench::bgp
+
+#endif // BGPBENCH_BGP_POLICY_HH

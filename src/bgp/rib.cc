@@ -1,0 +1,122 @@
+#include "bgp/rib.hh"
+
+namespace bgpbench::bgp
+{
+
+namespace
+{
+
+/** Attribute equality through shared pointers (null-safe). */
+bool
+sameAttrs(const PathAttributesPtr &a, const PathAttributesPtr &b)
+{
+    if (a == b)
+        return true;
+    if (!a || !b)
+        return false;
+    return *a == *b;
+}
+
+} // namespace
+
+bool
+AdjRibIn::update(const net::Prefix &prefix, PathAttributesPtr received,
+                 PathAttributesPtr effective)
+{
+    auto [it, inserted] = routes_.try_emplace(prefix);
+    if (!inserted && sameAttrs(it->second.received, received) &&
+        sameAttrs(it->second.effective, effective)) {
+        return false;
+    }
+    it->second.received = std::move(received);
+    it->second.effective = std::move(effective);
+    return true;
+}
+
+bool
+AdjRibIn::withdraw(const net::Prefix &prefix)
+{
+    return routes_.erase(prefix) > 0;
+}
+
+const AdjRibIn::Entry *
+AdjRibIn::find(const net::Prefix &prefix) const
+{
+    auto it = routes_.find(prefix);
+    return it == routes_.end() ? nullptr : &it->second;
+}
+
+void
+AdjRibIn::forEach(const std::function<void(const net::Prefix &,
+                                           const Entry &)> &fn) const
+{
+    for (const auto &[prefix, entry] : routes_)
+        fn(prefix, entry);
+}
+
+bool
+LocRib::select(const net::Prefix &prefix, Candidate best)
+{
+    auto [it, inserted] = routes_.try_emplace(prefix);
+    bool changed =
+        inserted ||
+        !sameAttrs(it->second.best.attributes, best.attributes) ||
+        it->second.best.peer != best.peer;
+    it->second.best = std::move(best);
+    return changed;
+}
+
+bool
+LocRib::remove(const net::Prefix &prefix)
+{
+    return routes_.erase(prefix) > 0;
+}
+
+const LocRib::Entry *
+LocRib::find(const net::Prefix &prefix) const
+{
+    auto it = routes_.find(prefix);
+    return it == routes_.end() ? nullptr : &it->second;
+}
+
+void
+LocRib::forEach(const std::function<void(const net::Prefix &,
+                                         const Entry &)> &fn) const
+{
+    for (const auto &[prefix, entry] : routes_)
+        fn(prefix, entry);
+}
+
+bool
+AdjRibOut::advertise(const net::Prefix &prefix, PathAttributesPtr attrs)
+{
+    auto [it, inserted] = routes_.try_emplace(prefix);
+    if (!inserted && sameAttrs(it->second, attrs))
+        return false;
+    it->second = std::move(attrs);
+    return true;
+}
+
+bool
+AdjRibOut::withdraw(const net::Prefix &prefix)
+{
+    return routes_.erase(prefix) > 0;
+}
+
+const PathAttributesPtr *
+AdjRibOut::find(const net::Prefix &prefix) const
+{
+    auto it = routes_.find(prefix);
+    return it == routes_.end() ? nullptr : &it->second;
+}
+
+void
+AdjRibOut::forEach(
+    const std::function<void(const net::Prefix &,
+                             const PathAttributesPtr &)> &fn) const
+{
+    for (const auto &[prefix, attrs] : routes_)
+        fn(prefix, attrs);
+}
+
+} // namespace bgpbench::bgp

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * The three Routing Information Bases of RFC 4271 section 3.2:
+ * Adj-RIB-In (per peer), Loc-RIB, and Adj-RIB-Out (per peer).
+ */
+
+#ifndef BGPBENCH_BGP_RIB_HH
+#define BGPBENCH_BGP_RIB_HH
+
+#include <cstddef>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+
+#include "bgp/path_attributes.hh"
+#include "bgp/route.hh"
+#include "net/prefix.hh"
+
+namespace bgpbench::bgp
+{
+
+/**
+ * Adj-RIB-In: the unprocessed routes one peer has advertised to us.
+ *
+ * Each entry stores the attributes exactly as received plus the
+ * import-policy result cached at receipt time (null when the policy
+ * rejected the route), which is what the decision process consumes.
+ */
+class AdjRibIn
+{
+  public:
+    struct Entry
+    {
+        /** Attributes as received on the wire. */
+        PathAttributesPtr received;
+        /** After import policy; null if the route was rejected. */
+        PathAttributesPtr effective;
+    };
+
+    /**
+     * Insert or replace the route for @p prefix.
+     * @return True if this changed the stored entry.
+     */
+    bool update(const net::Prefix &prefix, PathAttributesPtr received,
+                PathAttributesPtr effective);
+
+    /**
+     * Remove the route for @p prefix.
+     * @return True if a route was present.
+     */
+    bool withdraw(const net::Prefix &prefix);
+
+    /** The entry for @p prefix, or nullptr. */
+    const Entry *find(const net::Prefix &prefix) const;
+
+    size_t size() const { return routes_.size(); }
+    bool empty() const { return routes_.empty(); }
+    void clear() { routes_.clear(); }
+
+    /** Visit every entry (order unspecified). */
+    void forEach(const std::function<void(const net::Prefix &,
+                                          const Entry &)> &fn) const;
+
+  private:
+    std::unordered_map<net::Prefix, Entry> routes_;
+};
+
+/**
+ * Loc-RIB: the routes selected by the local decision process, one per
+ * prefix, with provenance for tie-break bookkeeping.
+ */
+class LocRib
+{
+  public:
+    struct Entry
+    {
+        Candidate best;
+    };
+
+    /**
+     * Install/replace the best route for @p prefix.
+     * @return True if the selected attributes actually changed.
+     */
+    bool select(const net::Prefix &prefix, Candidate best);
+
+    /**
+     * Remove @p prefix entirely (no candidate remains).
+     * @return True if an entry was removed.
+     */
+    bool remove(const net::Prefix &prefix);
+
+    const Entry *find(const net::Prefix &prefix) const;
+
+    size_t size() const { return routes_.size(); }
+    bool empty() const { return routes_.empty(); }
+    void clear() { routes_.clear(); }
+
+    void forEach(const std::function<void(const net::Prefix &,
+                                          const Entry &)> &fn) const;
+
+  private:
+    std::unordered_map<net::Prefix, Entry> routes_;
+};
+
+/**
+ * Adj-RIB-Out: what we have advertised to one peer. Storing it lets
+ * the speaker suppress no-op announcements and generate correct
+ * withdrawals (RFC 4271 section 9.2).
+ */
+class AdjRibOut
+{
+  public:
+    /**
+     * Record an advertisement.
+     * @return True if this differs from what was previously advertised
+     *         (i.e., an UPDATE must actually be sent).
+     */
+    bool advertise(const net::Prefix &prefix, PathAttributesPtr attrs);
+
+    /**
+     * Record a withdrawal.
+     * @return True if the prefix had been advertised (i.e., a
+     *         withdrawal must actually be sent).
+     */
+    bool withdraw(const net::Prefix &prefix);
+
+    const PathAttributesPtr *find(const net::Prefix &prefix) const;
+
+    size_t size() const { return routes_.size(); }
+    bool empty() const { return routes_.empty(); }
+    void clear() { routes_.clear(); }
+
+    void
+    forEach(const std::function<void(const net::Prefix &,
+                                     const PathAttributesPtr &)> &fn)
+        const;
+
+  private:
+    std::unordered_map<net::Prefix, PathAttributesPtr> routes_;
+};
+
+} // namespace bgpbench::bgp
+
+#endif // BGPBENCH_BGP_RIB_HH

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Route representation shared by the RIBs and the decision process.
+ */
+
+#ifndef BGPBENCH_BGP_ROUTE_HH
+#define BGPBENCH_BGP_ROUTE_HH
+
+#include <cstdint>
+#include <optional>
+
+#include "bgp/path_attributes.hh"
+#include "net/ipv4_address.hh"
+#include "net/prefix.hh"
+
+namespace bgpbench::bgp
+{
+
+/** Identifies one configured peer of a speaker. */
+using PeerId = uint32_t;
+
+/** A route: a destination prefix plus its path attributes. */
+struct Route
+{
+    net::Prefix prefix;
+    PathAttributesPtr attributes;
+};
+
+/**
+ * A candidate in the decision process: attributes plus the facts about
+ * the peer the route was learned from that tie-breaking needs.
+ */
+struct Candidate
+{
+    PathAttributesPtr attributes;
+    PeerId peer = 0;
+    RouterId peerRouterId = 0;
+    /** True if learned over an external (inter-AS) session. */
+    bool externalSession = true;
+    /**
+     * True for routes this speaker originated itself (injected from
+     * configuration or an IGP). Like vendor "weight", these take
+     * precedence over any learned route.
+     */
+    bool locallyOriginated = false;
+};
+
+/**
+ * A forwarding-table change emitted by the speaker: install/replace
+ * when nextHop is set, remove when empty.
+ */
+struct FibUpdate
+{
+    net::Prefix prefix;
+    std::optional<net::Ipv4Address> nextHop;
+
+    bool isWithdraw() const { return !nextHop.has_value(); }
+};
+
+} // namespace bgpbench::bgp
+
+#endif // BGPBENCH_BGP_ROUTE_HH

@@ -1,0 +1,533 @@
+#include "bgp/speaker.hh"
+
+#include <algorithm>
+
+#include "net/logging.hh"
+
+namespace bgpbench::bgp
+{
+
+BgpSpeaker::BgpSpeaker(SpeakerConfig config, SpeakerEvents *events)
+    : config_(std::move(config)), events_(events),
+      damper_(config_.damping)
+{
+    panicIf(events_ == nullptr, "BgpSpeaker requires an event sink");
+    if (config_.localAs == 0)
+        fatal("speaker configured with AS 0");
+    if (config_.routerId == 0)
+        fatal("speaker configured with router-id 0");
+}
+
+void
+BgpSpeaker::addPeer(PeerConfig config)
+{
+    if (config.id == localPeerId)
+        fatal("peer id collides with the local pseudo peer");
+    if (peers_.count(config.id))
+        fatal("duplicate peer id " + std::to_string(config.id));
+    if (config.asn == 0)
+        fatal("peer configured with AS 0");
+
+    SessionConfig session;
+    session.localAs = config_.localAs;
+    session.localId = config_.routerId;
+    session.holdTimeSec = config_.holdTimeSec;
+    session.expectedPeerAs = config.asn;
+
+    auto peer = std::make_unique<Peer>(std::move(config), session,
+                                       config_.packing);
+    peer->externalSession = peer->config.asn != config_.localAs;
+    peers_.emplace(peer->config.id, std::move(peer));
+}
+
+BgpSpeaker::Peer &
+BgpSpeaker::peerRef(PeerId peer)
+{
+    auto it = peers_.find(peer);
+    if (it == peers_.end())
+        fatal("unknown peer id " + std::to_string(peer));
+    return *it->second;
+}
+
+const BgpSpeaker::Peer &
+BgpSpeaker::peerRef(PeerId peer) const
+{
+    auto it = peers_.find(peer);
+    if (it == peers_.end())
+        fatal("unknown peer id " + std::to_string(peer));
+    return *it->second;
+}
+
+std::vector<PeerId>
+BgpSpeaker::peerIds() const
+{
+    std::vector<PeerId> ids;
+    ids.reserve(peers_.size());
+    for (const auto &[id, peer] : peers_)
+        ids.push_back(id);
+    return ids;
+}
+
+SessionState
+BgpSpeaker::sessionState(PeerId peer) const
+{
+    return peerRef(peer).fsm.state();
+}
+
+const AdjRibIn &
+BgpSpeaker::adjRibIn(PeerId peer) const
+{
+    if (peer == localPeerId)
+        return localRoutes_;
+    return peerRef(peer).ribIn;
+}
+
+const AdjRibOut &
+BgpSpeaker::adjRibOut(PeerId peer) const
+{
+    return peerRef(peer).ribOut;
+}
+
+void
+BgpSpeaker::transmit(Peer &peer, const std::vector<Message> &msgs)
+{
+    for (const auto &msg : msgs) {
+        MessageType type = messageType(msg);
+        size_t transactions = 0;
+        if (type == MessageType::Update) {
+            transactions =
+                std::get<UpdateMessage>(msg).transactionCount();
+            ++counters_.updatesSent;
+            counters_.prefixesAdvertised += transactions;
+        } else if (type == MessageType::Notification) {
+            ++counters_.notificationsSent;
+        }
+        events_->onTransmit(peer.config.id, type, encodeMessage(msg),
+                            transactions);
+    }
+}
+
+void
+BgpSpeaker::noteStateChange(Peer &peer, SessionState before,
+                            TimeNs now)
+{
+    SessionState after = peer.fsm.state();
+    if (after == before)
+        return;
+
+    events_->onSessionStateChange(peer.config.id, before, after);
+
+    if (after == SessionState::Established) {
+        advertiseFullTable(peer, now);
+    } else if (before == SessionState::Established) {
+        invalidatePeerRoutes(peer, now);
+    }
+}
+
+void
+BgpSpeaker::startPeer(PeerId peer, TimeNs now)
+{
+    Peer &p = peerRef(peer);
+    SessionState before = p.fsm.state();
+    p.fsm.start(now);
+    noteStateChange(p, before, now);
+}
+
+void
+BgpSpeaker::stopPeer(PeerId peer, TimeNs now)
+{
+    Peer &p = peerRef(peer);
+    SessionState before = p.fsm.state();
+    std::vector<Message> tx;
+    p.fsm.stop(now, tx);
+    transmit(p, tx);
+    noteStateChange(p, before, now);
+}
+
+void
+BgpSpeaker::tcpEstablished(PeerId peer, TimeNs now)
+{
+    Peer &p = peerRef(peer);
+    SessionState before = p.fsm.state();
+    std::vector<Message> tx;
+    p.fsm.tcpEstablished(now, tx);
+    transmit(p, tx);
+    noteStateChange(p, before, now);
+}
+
+void
+BgpSpeaker::tcpClosed(PeerId peer, TimeNs now)
+{
+    Peer &p = peerRef(peer);
+    SessionState before = p.fsm.state();
+    p.fsm.tcpClosed(now);
+    noteStateChange(p, before, now);
+}
+
+void
+BgpSpeaker::receiveBytes(PeerId peer, std::span<const uint8_t> bytes,
+                         TimeNs now)
+{
+    Peer &p = peerRef(peer);
+    p.decoder.feed(bytes);
+
+    DecodeError error;
+    while (true) {
+        auto msg = p.decoder.next(error);
+        if (!msg) {
+            if (error) {
+                // RFC 4271 section 6: answer a malformed message with
+                // the corresponding NOTIFICATION and close.
+                SessionState before = p.fsm.state();
+                std::vector<Message> tx;
+                tx.push_back(NotificationMessage{
+                    error.code, error.subcode, {}});
+                std::vector<Message> more;
+                p.fsm.stop(now, more);
+                transmit(p, tx);
+                noteStateChange(p, before, now);
+            }
+            return;
+        }
+        handleMessage(peer, *msg, now);
+        // The session may have died while handling the message.
+        if (p.fsm.state() == SessionState::Idle && p.decoder.failed())
+            return;
+    }
+}
+
+void
+BgpSpeaker::handleMessage(PeerId peer, const Message &msg, TimeNs now)
+{
+    Peer &p = peerRef(peer);
+    SessionState before = p.fsm.state();
+
+    std::vector<Message> tx;
+    bool alive = p.fsm.handleMessage(msg, now, tx);
+    transmit(p, tx);
+
+    if (alive && p.fsm.established()) {
+        if (messageType(msg) == MessageType::Update) {
+            processUpdate(p, std::get<UpdateMessage>(msg), now);
+        } else if (messageType(msg) == MessageType::RouteRefresh) {
+            // RFC 2918: re-send our entire Adj-RIB-Out to the peer.
+            // Forgetting what was advertised makes every route
+            // "changed" so advertiseFullTable re-emits it all.
+            p.ribOut.clear();
+            advertiseFullTable(p, now);
+        }
+    }
+
+    noteStateChange(p, before, now);
+}
+
+void
+BgpSpeaker::pollTimers(TimeNs now)
+{
+    for (auto &[id, peer] : peers_) {
+        SessionState before = peer->fsm.state();
+        std::vector<Message> tx;
+        peer->fsm.poll(now, tx);
+        transmit(*peer, tx);
+        noteStateChange(*peer, before, now);
+    }
+
+    // Routes whose damping penalty decayed below the reuse threshold
+    // re-enter the decision process (RFC 2439 reuse lists).
+    if (config_.damping.enabled) {
+        UpdateStats stats;
+        for (const auto &[peer, prefix] : damper_.takeReusable(now))
+            runDecision(prefix, stats, now);
+        flushPending(now);
+    }
+}
+
+void
+BgpSpeaker::processUpdate(Peer &from, const UpdateMessage &msg,
+                          TimeNs now)
+{
+    ++counters_.updatesReceived;
+    UpdateStats stats;
+
+    for (const auto &prefix : msg.withdrawnRoutes) {
+        ++counters_.withdrawalsProcessed;
+        ++stats.withdrawnPrefixes;
+        damper_.onWithdraw(from.config.id, prefix, now);
+        if (from.ribIn.withdraw(prefix))
+            runDecision(prefix, stats, now);
+    }
+
+    if (!msg.nlri.empty()) {
+        PathAttributesPtr received = msg.attributes;
+
+        // RFC 4271 9.1.2: routes whose AS_PATH contains our own AS
+        // would loop; RFC 4456 section 8 adds the reflection loop
+        // checks on ORIGINATOR_ID and CLUSTER_LIST.
+        uint32_t cluster_id =
+            config_.clusterId ? config_.clusterId : config_.routerId;
+        bool looped =
+            received &&
+            (received->asPath.contains(config_.localAs) ||
+             (received->originatorId &&
+              *received->originatorId == config_.routerId) ||
+             std::find(received->clusterList.begin(),
+                       received->clusterList.end(),
+                       cluster_id) != received->clusterList.end());
+
+        for (const auto &prefix : msg.nlri) {
+            ++counters_.announcementsProcessed;
+            ++stats.announcedPrefixes;
+            if (looped) {
+                ++stats.rejectedByPolicy;
+                if (from.ribIn.withdraw(prefix))
+                    runDecision(prefix, stats, now);
+                continue;
+            }
+            // Flap damping: a re-announcement or attribute change of
+            // a tracked flapper accrues penalty; suppressed routes
+            // are stored but kept out of the decision process.
+            const auto *previous = from.ribIn.find(prefix);
+            bool attribute_change =
+                previous && previous->received &&
+                !(*previous->received == *received);
+            bool suppressed = damper_.onAnnounce(
+                from.config.id, prefix, attribute_change, now);
+            if (suppressed)
+                ++counters_.announcementsSuppressed;
+
+            PathAttributesPtr effective =
+                from.config.importPolicy.apply(prefix, received);
+            if (!effective)
+                ++stats.rejectedByPolicy;
+            if (from.ribIn.update(prefix, received, effective) ||
+                suppressed) {
+                runDecision(prefix, stats, now);
+            }
+        }
+    }
+
+    flushPending(now);
+    events_->onUpdateProcessed(from.config.id, stats);
+}
+
+void
+BgpSpeaker::runDecision(const net::Prefix &prefix, UpdateStats &stats,
+                        TimeNs now)
+{
+    ++counters_.decisionRuns;
+
+    // Collect candidates: every peer's import-accepted route plus any
+    // locally originated route.
+    std::vector<Candidate> candidates;
+    candidates.reserve(peers_.size() + 1);
+
+    for (auto &[id, peer] : peers_) {
+        if (!peer->fsm.established())
+            continue;
+        const auto *entry = peer->ribIn.find(prefix);
+        if (!entry || !entry->effective)
+            continue;
+        if (damper_.isSuppressed(id, prefix, now))
+            continue;
+        candidates.push_back(Candidate{entry->effective, id,
+                                       peer->fsm.peerRouterId(),
+                                       peer->externalSession});
+    }
+    if (const auto *local = localRoutes_.find(prefix);
+        local && local->effective) {
+        candidates.push_back(Candidate{local->effective, localPeerId,
+                                       config_.routerId, false,
+                                       true});
+    }
+
+    auto best_index = selectBest(candidates, config_.decision);
+
+    if (!best_index) {
+        if (locRib_.remove(prefix)) {
+            ++counters_.locRibChanges;
+            ++counters_.fibChanges;
+            ++stats.locRibChanges;
+            ++stats.fibChanges;
+            events_->onFibUpdate(FibUpdate{prefix, std::nullopt});
+            for (auto &[id, peer] : peers_)
+                updateAdjOut(*peer, prefix, nullptr, stats);
+        }
+        return;
+    }
+
+    const Candidate &best = candidates[*best_index];
+    const auto *previous = locRib_.find(prefix);
+    bool next_hop_changed =
+        !previous || !previous->best.attributes ||
+        previous->best.attributes->nextHop != best.attributes->nextHop;
+
+    if (locRib_.select(prefix, best)) {
+        ++counters_.locRibChanges;
+        ++stats.locRibChanges;
+        // The forwarding table only cares about the next hop; a best-
+        // path change that keeps the next hop (e.g. a MED change on
+        // the same session) does not touch the FIB.
+        if (next_hop_changed) {
+            ++counters_.fibChanges;
+            ++stats.fibChanges;
+            events_->onFibUpdate(
+                FibUpdate{prefix, best.attributes->nextHop});
+        }
+        for (auto &[id, peer] : peers_)
+            updateAdjOut(*peer, prefix, &best, stats);
+    }
+}
+
+void
+BgpSpeaker::updateAdjOut(Peer &peer, const net::Prefix &prefix,
+                         const Candidate *best, UpdateStats &stats)
+{
+    if (!peer.fsm.established())
+        return;
+
+    auto send_withdraw_if_advertised = [&]() {
+        if (peer.ribOut.withdraw(prefix)) {
+            peer.pending.withdraw(prefix);
+            ++stats.advertisedPrefixes;
+        }
+    };
+
+    if (!best) {
+        send_withdraw_if_advertised();
+        return;
+    }
+
+    // Do not advertise a route back to the peer it was learned from.
+    if (best->peer == peer.config.id) {
+        send_withdraw_if_advertised();
+        return;
+    }
+    // iBGP-learned routes are only re-advertised to iBGP peers under
+    // the route-reflection rules of RFC 4456: routes from clients go
+    // to everyone, routes from non-clients go to clients only.
+    bool reflecting = false;
+    if (!best->externalSession && !peer.externalSession &&
+        best->peer != localPeerId) {
+        auto source = peers_.find(best->peer);
+        bool source_client =
+            source != peers_.end() &&
+            source->second->config.routeReflectorClient;
+        bool target_client = peer.config.routeReflectorClient;
+        if (!source_client && !target_client) {
+            send_withdraw_if_advertised();
+            return;
+        }
+        reflecting = true;
+    }
+
+    PathAttributesPtr exported = peer.config.exportPolicy.apply(
+        prefix, best->attributes, config_.localAs);
+    if (!exported) {
+        send_withdraw_if_advertised();
+        return;
+    }
+
+    if (peer.externalSession) {
+        // Sender-side loop avoidance: the peer would discard a path
+        // containing its own AS, so don't send one.
+        if (exported->asPath.contains(peer.config.asn)) {
+            send_withdraw_if_advertised();
+            return;
+        }
+        PathAttributes out = *exported;
+        out.asPath.prepend(config_.localAs);
+        out.nextHop = config_.localAddress;
+        // LOCAL_PREF is never sent on eBGP sessions (RFC 4271 5.1.5),
+        // and the reflection attributes are non-transitive.
+        out.localPref.reset();
+        out.originatorId.reset();
+        out.clusterList.clear();
+        exported = makeAttributes(std::move(out));
+    } else if (reflecting) {
+        // RFC 4456 section 8: stamp the originator and prepend our
+        // cluster id; everything else is reflected unchanged.
+        PathAttributes out = *exported;
+        if (!out.originatorId)
+            out.originatorId = best->peerRouterId;
+        out.clusterList.insert(
+            out.clusterList.begin(),
+            config_.clusterId ? config_.clusterId : config_.routerId);
+        exported = makeAttributes(std::move(out));
+    }
+
+    if (peer.ribOut.advertise(prefix, exported)) {
+        peer.pending.announce(prefix, exported);
+        ++stats.advertisedPrefixes;
+    }
+}
+
+void
+BgpSpeaker::flushPending(TimeNs now)
+{
+    (void)now;
+    for (auto &[id, peer] : peers_) {
+        if (peer->pending.empty())
+            continue;
+        if (!peer->fsm.established())
+            continue;
+        auto updates = peer->pending.build();
+        std::vector<Message> msgs;
+        msgs.reserve(updates.size());
+        for (auto &update : updates)
+            msgs.emplace_back(std::move(update));
+        transmit(*peer, msgs);
+    }
+}
+
+void
+BgpSpeaker::advertiseFullTable(Peer &peer, TimeNs now)
+{
+    UpdateStats stats;
+    locRib_.forEach([&](const net::Prefix &prefix,
+                        const LocRib::Entry &entry) {
+        updateAdjOut(peer, prefix, &entry.best, stats);
+    });
+    flushPending(now);
+}
+
+void
+BgpSpeaker::invalidatePeerRoutes(Peer &peer, TimeNs now)
+{
+    // Collect first: runDecision touches the peer's Adj-RIB-In.
+    std::vector<net::Prefix> prefixes;
+    prefixes.reserve(peer.ribIn.size());
+    peer.ribIn.forEach([&](const net::Prefix &prefix,
+                           const AdjRibIn::Entry &) {
+        prefixes.push_back(prefix);
+    });
+    peer.ribIn.clear();
+    peer.ribOut.clear();
+
+    UpdateStats stats;
+    for (const auto &prefix : prefixes)
+        runDecision(prefix, stats, now);
+    flushPending(now);
+}
+
+void
+BgpSpeaker::originate(const net::Prefix &prefix,
+                      PathAttributesPtr attrs, TimeNs now)
+{
+    if (!attrs)
+        fatal("originate() requires attributes");
+    UpdateStats stats;
+    localRoutes_.update(prefix, attrs, attrs);
+    runDecision(prefix, stats, now);
+    flushPending(now);
+}
+
+void
+BgpSpeaker::withdrawLocal(const net::Prefix &prefix, TimeNs now)
+{
+    UpdateStats stats;
+    if (localRoutes_.withdraw(prefix))
+        runDecision(prefix, stats, now);
+    flushPending(now);
+}
+
+} // namespace bgpbench::bgp

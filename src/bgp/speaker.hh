@@ -1,0 +1,299 @@
+/**
+ * @file
+ * BgpSpeaker: a complete BGP-4 speaker tying together sessions, the
+ * three RIBs, the policy engine, the decision process, and outbound
+ * update packing.
+ *
+ * The speaker is transport-agnostic and clock-explicit: the owner
+ * delivers bytes (or decoded messages) with a timestamp and receives
+ * transmissions, FIB changes, and statistics through the
+ * SpeakerEvents interface. This is what lets the same protocol engine
+ * run (a) standalone in examples and tests, (b) as the zero-cost test
+ * speakers of the benchmark harness, and (c) inside the simulated
+ * router systems where every operation is charged virtual CPU cycles.
+ */
+
+#ifndef BGPBENCH_BGP_SPEAKER_HH
+#define BGPBENCH_BGP_SPEAKER_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "bgp/damping.hh"
+#include "bgp/decision.hh"
+#include "bgp/message.hh"
+#include "bgp/policy.hh"
+#include "bgp/rib.hh"
+#include "bgp/route.hh"
+#include "bgp/session.hh"
+#include "bgp/update_builder.hh"
+#include "net/ipv4_address.hh"
+#include "net/prefix.hh"
+
+namespace bgpbench::bgp
+{
+
+/** Speaker-wide configuration. */
+struct SpeakerConfig
+{
+    AsNumber localAs = 0;
+    RouterId routerId = 0;
+    /** Address installed as NEXT_HOP on eBGP advertisements. */
+    net::Ipv4Address localAddress;
+    uint16_t holdTimeSec = proto::defaultHoldTimeSec;
+    DecisionConfig decision;
+    /** Outbound packing policy (small vs large packets, Table I). */
+    PackingOptions packing;
+    /** Route flap damping (RFC 2439); disabled by default. */
+    DampingConfig damping;
+    /**
+     * Route-reflection cluster id (RFC 4456); 0 means "use the
+     * router id". Only meaningful when peers are marked as clients.
+     */
+    uint32_t clusterId = 0;
+};
+
+/** Per-peer configuration. */
+struct PeerConfig
+{
+    PeerId id = 0;
+    /** Peer AS; a value equal to the local AS makes the session iBGP. */
+    AsNumber asn = 0;
+    net::Ipv4Address address;
+    Policy importPolicy;
+    Policy exportPolicy;
+    /**
+     * True if this iBGP peer is a route-reflection client of ours
+     * (RFC 4456). iBGP-learned routes are reflected to clients, and
+     * client routes are reflected to everyone.
+     */
+    bool routeReflectorClient = false;
+};
+
+/** Counters describing the processing of one inbound UPDATE. */
+struct UpdateStats
+{
+    size_t announcedPrefixes = 0;
+    size_t withdrawnPrefixes = 0;
+    size_t rejectedByPolicy = 0;
+    size_t locRibChanges = 0;
+    size_t fibChanges = 0;
+    size_t advertisedPrefixes = 0;
+};
+
+/** Aggregate lifetime counters of a speaker. */
+struct SpeakerCounters
+{
+    uint64_t updatesReceived = 0;
+    uint64_t announcementsProcessed = 0;
+    uint64_t withdrawalsProcessed = 0;
+    uint64_t decisionRuns = 0;
+    uint64_t locRibChanges = 0;
+    uint64_t fibChanges = 0;
+    uint64_t updatesSent = 0;
+    uint64_t prefixesAdvertised = 0;
+    uint64_t notificationsSent = 0;
+    /** Announcements ignored because the route was damped. */
+    uint64_t announcementsSuppressed = 0;
+
+    /** Total inbound routing transactions (paper's metric unit). */
+    uint64_t
+    transactionsProcessed() const
+    {
+        return announcementsProcessed + withdrawalsProcessed;
+    }
+};
+
+/**
+ * Event sink for everything a speaker does that the outside world can
+ * observe. All callbacks are invoked synchronously from within the
+ * speaker call that triggered them.
+ */
+class SpeakerEvents
+{
+  public:
+    virtual ~SpeakerEvents() = default;
+
+    /**
+     * A message must be transmitted to @p to. One call corresponds to
+     * one TCP segment / "packet" in the paper's terminology.
+     *
+     * @param to Destination peer.
+     * @param type Message type (for accounting without re-decoding).
+     * @param wire Complete framed wire encoding.
+     * @param transactions Routing transactions carried (UPDATE only).
+     */
+    virtual void onTransmit(PeerId to, MessageType type,
+                            std::vector<uint8_t> wire,
+                            size_t transactions) = 0;
+
+    /** The Loc-RIB change requires a forwarding-table change. */
+    virtual void onFibUpdate(const FibUpdate &update) { (void)update; }
+
+    /** A session changed FSM state. */
+    virtual void
+    onSessionStateChange(PeerId peer, SessionState previous,
+                         SessionState current)
+    {
+        (void)peer;
+        (void)previous;
+        (void)current;
+    }
+
+    /** An inbound UPDATE finished processing. */
+    virtual void
+    onUpdateProcessed(PeerId from, const UpdateStats &stats)
+    {
+        (void)from;
+        (void)stats;
+    }
+};
+
+/**
+ * A BGP-4 speaker.
+ *
+ * Typical standalone use:
+ * @code
+ *   BgpSpeaker speaker(config, &events);
+ *   speaker.addPeer(peer_config);
+ *   speaker.startPeer(peer_id, now);
+ *   speaker.tcpEstablished(peer_id, now);   // transport came up
+ *   speaker.receiveBytes(peer_id, bytes, now);
+ * @endcode
+ */
+class BgpSpeaker
+{
+  public:
+    using TimeNs = SessionFsm::TimeNs;
+
+    /**
+     * @param config Speaker configuration.
+     * @param events Event sink; must outlive the speaker.
+     */
+    BgpSpeaker(SpeakerConfig config, SpeakerEvents *events);
+
+    /** Register a peer. Fatal if the id is already in use. */
+    void addPeer(PeerConfig config);
+
+    /** Begin connecting to a peer (operator ManualStart). */
+    void startPeer(PeerId peer, TimeNs now);
+
+    /** Stop a peer session and flush its routes. */
+    void stopPeer(PeerId peer, TimeNs now);
+
+    /** The transport to @p peer came up: the OPEN exchange begins. */
+    void tcpEstablished(PeerId peer, TimeNs now);
+
+    /** The transport to @p peer dropped: routes are invalidated. */
+    void tcpClosed(PeerId peer, TimeNs now);
+
+    /**
+     * Deliver raw bytes from @p peer. Frames, decodes, and processes
+     * every complete message; on a decode error, sends the
+     * corresponding NOTIFICATION and tears the session down.
+     */
+    void receiveBytes(PeerId peer, std::span<const uint8_t> bytes,
+                      TimeNs now);
+
+    /** Deliver one already-decoded message from @p peer. */
+    void handleMessage(PeerId peer, const Message &msg, TimeNs now);
+
+    /** Drive keepalive/hold timers for all sessions. */
+    void pollTimers(TimeNs now);
+
+    /**
+     * Originate a route locally (as if redistributed from an IGP).
+     * Runs the decision process and advertises as appropriate.
+     */
+    void originate(const net::Prefix &prefix, PathAttributesPtr attrs,
+                   TimeNs now);
+
+    /** Withdraw a locally originated route. */
+    void withdrawLocal(const net::Prefix &prefix, TimeNs now);
+
+    /** @name Introspection
+     *  @{
+     */
+    SessionState sessionState(PeerId peer) const;
+    const LocRib &locRib() const { return locRib_; }
+    const AdjRibIn &adjRibIn(PeerId peer) const;
+    const AdjRibOut &adjRibOut(PeerId peer) const;
+    const SpeakerCounters &counters() const { return counters_; }
+    const SpeakerConfig &config() const { return config_; }
+    /** Flap-damping state (live; decays lazily on access). */
+    FlapDamper &damper() { return damper_; }
+    std::vector<PeerId> peerIds() const;
+    /** @} */
+
+    /** Pseudo peer-id used for locally originated routes. */
+    static constexpr PeerId localPeerId = ~PeerId(0);
+
+  private:
+    struct Peer
+    {
+        PeerConfig config;
+        SessionFsm fsm;
+        StreamDecoder decoder;
+        AdjRibIn ribIn;
+        AdjRibOut ribOut;
+        UpdateBuilder pending;
+        bool externalSession = true;
+
+        Peer(PeerConfig cfg, SessionConfig session_cfg,
+             PackingOptions packing)
+            : config(std::move(cfg)), fsm(session_cfg),
+              pending(packing)
+        {}
+    };
+
+    Peer &peerRef(PeerId peer);
+    const Peer &peerRef(PeerId peer) const;
+
+    /** Send @p msgs to @p peer through the event sink. */
+    void transmit(Peer &peer, const std::vector<Message> &msgs);
+
+    /** Process an UPDATE from an established peer. */
+    void processUpdate(Peer &from, const UpdateMessage &msg,
+                       TimeNs now);
+
+    /**
+     * Re-run the decision process for @p prefix and propagate the
+     * outcome (Loc-RIB, FIB, Adj-RIB-Out).
+     */
+    void runDecision(const net::Prefix &prefix, UpdateStats &stats,
+                     TimeNs now);
+
+    /** Update a single peer's Adj-RIB-Out for the new best route. */
+    void updateAdjOut(Peer &peer, const net::Prefix &prefix,
+                      const Candidate *best, UpdateStats &stats);
+
+    /** Flush all pending per-peer builders into UPDATE messages. */
+    void flushPending(TimeNs now);
+
+    /** Full-table advertisement when a session reaches Established. */
+    void advertiseFullTable(Peer &peer, TimeNs now);
+
+    /** Drop all routes learned from @p peer (session loss). */
+    void invalidatePeerRoutes(Peer &peer, TimeNs now);
+
+    /** Track FSM state transitions and fire callbacks. */
+    void noteStateChange(Peer &peer, SessionState before, TimeNs now);
+
+    SpeakerConfig config_;
+    SpeakerEvents *events_;
+    std::map<PeerId, std::unique_ptr<Peer>> peers_;
+    /** Locally originated routes (pseudo Adj-RIB-In). */
+    AdjRibIn localRoutes_;
+    FlapDamper damper_;
+    LocRib locRib_;
+    SpeakerCounters counters_;
+};
+
+} // namespace bgpbench::bgp
+
+#endif // BGPBENCH_BGP_SPEAKER_HH

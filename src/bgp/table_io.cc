@@ -1,0 +1,116 @@
+#include "bgp/table_io.hh"
+
+#include <algorithm>
+
+#include "net/byte_io.hh"
+
+namespace bgpbench::bgp
+{
+
+namespace
+{
+
+constexpr uint32_t dumpMagic = 0x42475042; // "BGPB"
+constexpr uint16_t dumpVersion = 1;
+
+void
+encodeEntry(net::ByteWriter &w, const TableDumpEntry &entry)
+{
+    w.writeAddress(entry.prefix.address());
+    w.writeU8(uint8_t(entry.prefix.length()));
+    w.writeU32(entry.best.peer);
+    w.writeU32(entry.best.peerRouterId);
+    uint8_t flags = 0;
+    flags |= entry.best.externalSession ? 0x1 : 0;
+    flags |= entry.best.locallyOriginated ? 0x2 : 0;
+    w.writeU8(flags);
+
+    net::ByteWriter attrs;
+    entry.best.attributes->encode(attrs);
+    w.writeU16(uint16_t(attrs.size()));
+    w.writeBytes(attrs.bytes());
+}
+
+} // namespace
+
+std::vector<uint8_t>
+dumpTable(const std::vector<TableDumpEntry> &entries)
+{
+    net::ByteWriter w(16 + entries.size() * 48);
+    w.writeU32(dumpMagic);
+    w.writeU16(dumpVersion);
+    w.writeU32(uint32_t(entries.size()));
+    for (const auto &entry : entries)
+        encodeEntry(w, entry);
+    return w.take();
+}
+
+std::vector<uint8_t>
+dumpTable(const LocRib &rib)
+{
+    std::vector<TableDumpEntry> entries;
+    entries.reserve(rib.size());
+    rib.forEach([&](const net::Prefix &prefix,
+                    const LocRib::Entry &entry) {
+        entries.push_back(TableDumpEntry{prefix, entry.best});
+    });
+    std::sort(entries.begin(), entries.end(),
+              [](const TableDumpEntry &a, const TableDumpEntry &b) {
+                  return a.prefix < b.prefix;
+              });
+    return dumpTable(entries);
+}
+
+std::optional<std::vector<TableDumpEntry>>
+parseTableDump(std::span<const uint8_t> blob, DecodeError &error)
+{
+    error = DecodeError{};
+    auto fail = [&error](std::string detail)
+        -> std::optional<std::vector<TableDumpEntry>> {
+        error = DecodeError{ErrorCode::MessageHeaderError, 0,
+                            std::move(detail)};
+        return std::nullopt;
+    };
+
+    net::ByteReader r(blob);
+    if (r.readU32() != dumpMagic || !r.ok())
+        return fail("bad table-dump magic");
+    if (r.readU16() != dumpVersion)
+        return fail("unsupported table-dump version");
+
+    uint32_t count = r.readU32();
+    if (!r.ok())
+        return fail("truncated header");
+
+    std::vector<TableDumpEntry> entries;
+    entries.reserve(count);
+    for (uint32_t i = 0; i < count; ++i) {
+        TableDumpEntry entry;
+        net::Ipv4Address addr = r.readAddress();
+        uint8_t length = r.readU8();
+        if (!r.ok() || length > 32)
+            return fail("bad prefix in entry " + std::to_string(i));
+        entry.prefix = net::Prefix(addr, length);
+        entry.best.peer = r.readU32();
+        entry.best.peerRouterId = r.readU32();
+        uint8_t flags = r.readU8();
+        entry.best.externalSession = flags & 0x1;
+        entry.best.locallyOriginated = flags & 0x2;
+
+        uint16_t attrs_len = r.readU16();
+        if (!r.ok() || r.remaining() < attrs_len)
+            return fail("truncated entry " + std::to_string(i));
+        net::ByteReader attrs_reader = r.subReader(attrs_len);
+        auto attrs = PathAttributes::decode(attrs_reader, error);
+        if (!attrs)
+            return std::nullopt; // error already classified
+        entry.best.attributes = makeAttributes(std::move(*attrs));
+        entries.push_back(std::move(entry));
+    }
+
+    if (!r.atEnd())
+        return fail("trailing bytes after last entry");
+    return entries;
+}
+
+} // namespace bgpbench::bgp

@@ -1,0 +1,60 @@
+#include "bgp/types.hh"
+
+namespace bgpbench::bgp
+{
+
+std::string
+toString(MessageType type)
+{
+    switch (type) {
+      case MessageType::Open:
+        return "OPEN";
+      case MessageType::Update:
+        return "UPDATE";
+      case MessageType::Notification:
+        return "NOTIFICATION";
+      case MessageType::Keepalive:
+        return "KEEPALIVE";
+      case MessageType::RouteRefresh:
+        return "ROUTE-REFRESH";
+    }
+    return "UNKNOWN(" + std::to_string(int(type)) + ")";
+}
+
+std::string
+toString(Origin origin)
+{
+    switch (origin) {
+      case Origin::Igp:
+        return "IGP";
+      case Origin::Egp:
+        return "EGP";
+      case Origin::Incomplete:
+        return "INCOMPLETE";
+    }
+    return "INVALID(" + std::to_string(int(origin)) + ")";
+}
+
+std::string
+toString(ErrorCode code)
+{
+    switch (code) {
+      case ErrorCode::None:
+        return "none";
+      case ErrorCode::MessageHeaderError:
+        return "message-header-error";
+      case ErrorCode::OpenMessageError:
+        return "open-message-error";
+      case ErrorCode::UpdateMessageError:
+        return "update-message-error";
+      case ErrorCode::HoldTimerExpired:
+        return "hold-timer-expired";
+      case ErrorCode::FsmError:
+        return "fsm-error";
+      case ErrorCode::Cease:
+        return "cease";
+    }
+    return "unknown(" + std::to_string(int(code)) + ")";
+}
+
+} // namespace bgpbench::bgp

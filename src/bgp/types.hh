@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Basic BGP-4 protocol types and constants (RFC 4271).
+ */
+
+#ifndef BGPBENCH_BGP_TYPES_HH
+#define BGPBENCH_BGP_TYPES_HH
+
+#include <cstdint>
+#include <string>
+
+#include "net/ipv4_address.hh"
+
+namespace bgpbench::bgp
+{
+
+/** A 2-octet autonomous system number (as deployed in 2007). */
+using AsNumber = uint16_t;
+
+/** BGP identifier: a 4-octet unsigned integer, usually an IPv4. */
+using RouterId = uint32_t;
+
+/** RFC 4271 section 4.1: message type codes. */
+enum class MessageType : uint8_t
+{
+    Open = 1,
+    Update = 2,
+    Notification = 3,
+    Keepalive = 4,
+    /** Route refresh (RFC 2918). */
+    RouteRefresh = 5,
+};
+
+/** RFC 4271 section 4.3 / 5.1.1: ORIGIN attribute values. */
+enum class Origin : uint8_t
+{
+    Igp = 0,
+    Egp = 1,
+    Incomplete = 2,
+};
+
+/** RFC 4271 section 5: path attribute type codes. */
+enum class AttrType : uint8_t
+{
+    Origin = 1,
+    AsPath = 2,
+    NextHop = 3,
+    MultiExitDisc = 4,
+    LocalPref = 5,
+    AtomicAggregate = 6,
+    Aggregator = 7,
+    Community = 8,      // RFC 1997
+    OriginatorId = 9,   // RFC 4456
+    ClusterList = 10,   // RFC 4456
+};
+
+/** Path attribute flag bits (RFC 4271 section 4.3). */
+namespace attr_flags
+{
+constexpr uint8_t optional = 0x80;
+constexpr uint8_t transitive = 0x40;
+constexpr uint8_t partial = 0x20;
+constexpr uint8_t extendedLength = 0x10;
+} // namespace attr_flags
+
+/** RFC 4271 section 4.5 / 6: NOTIFICATION error codes. */
+enum class ErrorCode : uint8_t
+{
+    None = 0,
+    MessageHeaderError = 1,
+    OpenMessageError = 2,
+    UpdateMessageError = 3,
+    HoldTimerExpired = 4,
+    FsmError = 5,
+    Cease = 6,
+};
+
+/** Subcodes for MessageHeaderError (RFC 4271 section 6.1). */
+enum class HeaderSubcode : uint8_t
+{
+    ConnectionNotSynchronized = 1,
+    BadMessageLength = 2,
+    BadMessageType = 3,
+};
+
+/** Subcodes for OpenMessageError (RFC 4271 section 6.2). */
+enum class OpenSubcode : uint8_t
+{
+    UnsupportedVersionNumber = 1,
+    BadPeerAs = 2,
+    BadBgpIdentifier = 3,
+    UnsupportedOptionalParameter = 4,
+    UnacceptableHoldTime = 6,
+};
+
+/** Subcodes for UpdateMessageError (RFC 4271 section 6.3). */
+enum class UpdateSubcode : uint8_t
+{
+    MalformedAttributeList = 1,
+    UnrecognizedWellKnownAttribute = 2,
+    MissingWellKnownAttribute = 3,
+    AttributeFlagsError = 4,
+    AttributeLengthError = 5,
+    InvalidOriginAttribute = 6,
+    InvalidNextHopAttribute = 8,
+    OptionalAttributeError = 9,
+    InvalidNetworkField = 10,
+    MalformedAsPath = 11,
+};
+
+/** Protocol constants from RFC 4271 section 4.1. */
+namespace proto
+{
+constexpr int version = 4;
+constexpr size_t markerBytes = 16;
+constexpr size_t headerBytes = 19;
+constexpr size_t maxMessageBytes = 4096;
+constexpr size_t minMessageBytes = headerBytes;
+/** Default hold time proposed in OPEN (seconds). */
+constexpr uint16_t defaultHoldTimeSec = 180;
+} // namespace proto
+
+/** Human-readable message type name, for traces and tests. */
+std::string toString(MessageType type);
+/** Human-readable origin name. */
+std::string toString(Origin origin);
+/** Human-readable error code name. */
+std::string toString(ErrorCode code);
+
+} // namespace bgpbench::bgp
+
+#endif // BGPBENCH_BGP_TYPES_HH

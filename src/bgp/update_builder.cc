@@ -1,0 +1,139 @@
+#include "bgp/update_builder.hh"
+
+#include <algorithm>
+
+namespace bgpbench::bgp
+{
+
+void
+UpdateBuilder::announce(const net::Prefix &prefix,
+                        PathAttributesPtr attrs)
+{
+    removePending(prefix);
+    withdrawals_.erase(
+        std::remove(withdrawals_.begin(), withdrawals_.end(), prefix),
+        withdrawals_.end());
+    groupFor(attrs).prefixes.push_back(prefix);
+}
+
+void
+UpdateBuilder::withdraw(const net::Prefix &prefix)
+{
+    removePending(prefix);
+    if (std::find(withdrawals_.begin(), withdrawals_.end(), prefix) ==
+        withdrawals_.end()) {
+        withdrawals_.push_back(prefix);
+    }
+}
+
+bool
+UpdateBuilder::empty() const
+{
+    return withdrawals_.empty() && groups_.empty();
+}
+
+size_t
+UpdateBuilder::pendingTransactions() const
+{
+    size_t count = withdrawals_.size();
+    for (const auto &group : groups_)
+        count += group.prefixes.size();
+    return count;
+}
+
+UpdateBuilder::Group &
+UpdateBuilder::groupFor(const PathAttributesPtr &attrs)
+{
+    for (auto &group : groups_) {
+        if (group.attributes == attrs ||
+            (group.attributes && attrs &&
+             *group.attributes == *attrs)) {
+            return group;
+        }
+    }
+    groups_.push_back(Group{attrs, {}});
+    return groups_.back();
+}
+
+bool
+UpdateBuilder::removePending(const net::Prefix &prefix)
+{
+    for (auto &group : groups_) {
+        auto it = std::find(group.prefixes.begin(),
+                            group.prefixes.end(), prefix);
+        if (it != group.prefixes.end()) {
+            group.prefixes.erase(it);
+            return true;
+        }
+    }
+    return false;
+}
+
+std::vector<UpdateMessage>
+UpdateBuilder::build()
+{
+    std::vector<UpdateMessage> messages;
+
+    // Fixed per-message overhead: header (19) + withdrawn-routes
+    // length (2) + attribute-block length (2).
+    constexpr size_t fixed_overhead = proto::headerBytes + 4;
+
+    // Withdrawal-only messages.
+    {
+        size_t budget = proto::maxMessageBytes - fixed_overhead;
+        UpdateMessage msg;
+        size_t used = 0;
+        for (const auto &prefix : withdrawals_) {
+            size_t need = 1 + prefix.wireOctets();
+            bool cap = options_.maxPrefixesPerUpdate > 0 &&
+                       msg.withdrawnRoutes.size() >=
+                           options_.maxPrefixesPerUpdate;
+            if ((used + need > budget || cap) &&
+                !msg.withdrawnRoutes.empty()) {
+                messages.push_back(std::move(msg));
+                msg = UpdateMessage{};
+                used = 0;
+            }
+            msg.withdrawnRoutes.push_back(prefix);
+            used += need;
+        }
+        if (!msg.withdrawnRoutes.empty())
+            messages.push_back(std::move(msg));
+    }
+
+    // Announcement messages, one run per attribute group.
+    for (auto &group : groups_) {
+        if (group.prefixes.empty())
+            continue;
+        size_t attrs_size =
+            group.attributes ? group.attributes->encodedSize() : 0;
+        size_t budget =
+            proto::maxMessageBytes - fixed_overhead - attrs_size;
+
+        UpdateMessage msg;
+        msg.attributes = group.attributes;
+        size_t used = 0;
+        for (const auto &prefix : group.prefixes) {
+            size_t need = 1 + prefix.wireOctets();
+            bool cap = options_.maxPrefixesPerUpdate > 0 &&
+                       msg.nlri.size() >=
+                           options_.maxPrefixesPerUpdate;
+            if ((used + need > budget || cap) && !msg.nlri.empty()) {
+                messages.push_back(std::move(msg));
+                msg = UpdateMessage{};
+                msg.attributes = group.attributes;
+                used = 0;
+            }
+            msg.nlri.push_back(prefix);
+            used += need;
+        }
+        if (!msg.nlri.empty())
+            messages.push_back(std::move(msg));
+    }
+
+    groups_.clear();
+    withdrawals_.clear();
+    return messages;
+}
+
+} // namespace bgpbench::bgp

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Packs pending route changes into a minimal sequence of UPDATE
+ * messages.
+ *
+ * An UPDATE carries one attribute block, so announcements are grouped
+ * by attribute set; each group is chunked to respect the 4096-byte
+ * message limit (RFC 4271 section 4.1) and, optionally, an explicit
+ * prefixes-per-message cap — the knob the benchmark uses to emit
+ * "small" (1 prefix) versus "large" (500 prefixes) packets (Table I).
+ */
+
+#ifndef BGPBENCH_BGP_UPDATE_BUILDER_HH
+#define BGPBENCH_BGP_UPDATE_BUILDER_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "bgp/message.hh"
+#include "bgp/path_attributes.hh"
+#include "net/prefix.hh"
+
+namespace bgpbench::bgp
+{
+
+/** Packing policy for UpdateBuilder. */
+struct PackingOptions
+{
+    /**
+     * Hard cap on prefixes per UPDATE (announcements and withdrawals
+     * counted separately). 0 means "as many as fit in 4096 bytes".
+     */
+    size_t maxPrefixesPerUpdate = 0;
+};
+
+/**
+ * Accumulates announcements and withdrawals, then emits packed
+ * UPDATE messages.
+ *
+ * A later withdraw of a pending announcement (or vice versa)
+ * supersedes it, so one flush never contains contradictory state for
+ * a prefix.
+ */
+class UpdateBuilder
+{
+  public:
+    explicit UpdateBuilder(PackingOptions options = {})
+        : options_(options)
+    {}
+
+    /** Queue an announcement of @p prefix with @p attrs. */
+    void announce(const net::Prefix &prefix, PathAttributesPtr attrs);
+
+    /** Queue a withdrawal of @p prefix. */
+    void withdraw(const net::Prefix &prefix);
+
+    /** True if nothing is queued. */
+    bool empty() const;
+
+    /** Number of queued transactions. */
+    size_t pendingTransactions() const;
+
+    /**
+     * Emit the queued changes as packed UPDATEs and reset the
+     * builder. Withdrawals are emitted first (they free table space
+     * on the receiver), then one run of messages per attribute group.
+     */
+    std::vector<UpdateMessage> build();
+
+  private:
+    struct Group
+    {
+        PathAttributesPtr attributes;
+        std::vector<net::Prefix> prefixes;
+    };
+
+    /** Find or create the group for @p attrs. */
+    Group &groupFor(const PathAttributesPtr &attrs);
+
+    /** Remove @p prefix from any pending group; true if found. */
+    bool removePending(const net::Prefix &prefix);
+
+    PackingOptions options_;
+    std::vector<Group> groups_;
+    std::vector<net::Prefix> withdrawals_;
+};
+
+} // namespace bgpbench::bgp
+
+#endif // BGPBENCH_BGP_UPDATE_BUILDER_HH

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * The BGP benchmark: the paper's three-phase methodology (Figure 1)
+ * driving one router under test through any of the eight scenarios
+ * (Table I), with or without forwarding cross-traffic, reporting the
+ * transactions-per-second metric of section III.C.
+ */
+
+#ifndef BGPBENCH_CORE_BENCHMARK_RUNNER_HH
+#define BGPBENCH_CORE_BENCHMARK_RUNNER_HH
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "core/scenario.hh"
+#include "core/test_peer.hh"
+#include "router/router_system.hh"
+#include "router/system_profiles.hh"
+#include "sim/event_queue.hh"
+#include "workload/cross_traffic.hh"
+#include "workload/route_set.hh"
+
+namespace bgpbench::core
+{
+
+/** Benchmark parameters independent of scenario and platform. */
+struct BenchmarkConfig
+{
+    /** Size of the injected routing table. */
+    size_t prefixCount = 4000;
+    /** Workload generation seed. */
+    uint64_t seed = 42;
+    /** Offered forwarding load during all phases (0 = none). */
+    double crossTrafficMbps = 0.0;
+    /** Cross-traffic frame size. */
+    uint32_t crossPacketBytes = 1000;
+    /** Enable RFC 2439 flap damping on the router under test. */
+    bool dampingEnabled = false;
+    /** Safety cap on simulated time per run. */
+    sim::SimTime simTimeLimit = sim::nsFromSec(36000.0);
+    /** Speaker 1 / Speaker 2 / router-under-test AS numbers. */
+    bgp::AsNumber speaker1As = 65001;
+    bgp::AsNumber speaker2As = 65002;
+    bgp::AsNumber routerAs = 65000;
+};
+
+/** Timing of one benchmark phase. */
+struct PhaseResult
+{
+    double startSec = 0.0;
+    double durationSec = 0.0;
+    size_t transactions = 0;
+
+    double
+    transactionsPerSecond() const
+    {
+        return durationSec > 0 ? double(transactions) / durationSec
+                               : 0.0;
+    }
+};
+
+/** Outcome of one scenario run on one system. */
+struct BenchmarkResult
+{
+    Scenario scenario;
+    std::string systemName;
+    double crossTrafficMbps = 0.0;
+
+    PhaseResult phase1;
+    std::optional<PhaseResult> phase2;
+    std::optional<PhaseResult> phase3;
+
+    /** The paper's metric: TPS of the scenario's measured phase. */
+    double measuredTps = 0.0;
+    bool timedOut = false;
+
+    router::DataPlaneCounters dataPlane;
+    bgp::SpeakerCounters speakerCounters;
+};
+
+/**
+ * Runs benchmark scenarios against a fresh simulated router per run.
+ *
+ * After run() returns, the simulation, router, and test peers remain
+ * alive and inspectable (router(), simulator(), speaker counters,
+ * CPU-load series) until the next run() or destruction — this is how
+ * the figure benches extract their time series.
+ */
+class BenchmarkRunner
+{
+  public:
+    BenchmarkRunner(router::SystemProfile profile,
+                    BenchmarkConfig config);
+    ~BenchmarkRunner();
+
+    /** Execute @p scenario from a cold start; returns the result. */
+    BenchmarkResult run(const Scenario &scenario);
+
+    /** The router of the most recent run (valid after run()). */
+    router::RouterSystem &router();
+    /** The simulator of the most recent run. */
+    sim::Simulator &simulator();
+    /** Speaker 1 of the most recent run. */
+    TestPeer &speaker1();
+    /** Speaker 2 of the most recent run (valid if the scenario used
+     *  one). */
+    TestPeer &speaker2();
+
+    const BenchmarkConfig &config() const { return config_; }
+    const router::SystemProfile &profile() const { return profile_; }
+
+  private:
+    /** Build the simulation world for one run. */
+    void setUp(const Scenario &scenario);
+
+    /**
+     * Advance simulated time until @p done returns true or the time
+     * limit passes.
+     * @return False on timeout.
+     */
+    bool runUntil(const std::function<bool()> &done);
+
+    router::SystemProfile profile_;
+    BenchmarkConfig config_;
+
+    std::vector<workload::RouteSpec> routes_;
+    std::unique_ptr<sim::Simulator> sim_;
+    std::unique_ptr<router::RouterSystem> router_;
+    std::unique_ptr<TestPeer> speaker1_;
+    std::unique_ptr<TestPeer> speaker2_;
+};
+
+} // namespace bgpbench::core
+
+#endif // BGPBENCH_CORE_BENCHMARK_RUNNER_HH

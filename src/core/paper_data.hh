@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Reference numbers from the paper, used by the benchmark harness to
+ * print side-by-side comparisons and by the shape tests in
+ * tests/core to assert that the reproduction preserves the paper's
+ * qualitative results.
+ */
+
+#ifndef BGPBENCH_CORE_PAPER_DATA_HH
+#define BGPBENCH_CORE_PAPER_DATA_HH
+
+#include <array>
+#include <string>
+
+namespace bgpbench::core::paper
+{
+
+/** Column order of Table III. */
+enum SystemIndex
+{
+    PentiumIII = 0,
+    Xeon = 1,
+    Ixp2400 = 2,
+    Cisco = 3,
+};
+
+/** System names in Table III column order. */
+inline constexpr std::array<const char *, 4> systemNames = {
+    "PentiumIII", "Xeon", "IXP2400", "Cisco"};
+
+/**
+ * Table III: BGP performance without cross-traffic in transactions
+ * per second. Indexed [scenario-1][system].
+ */
+inline constexpr std::array<std::array<double, 4>, 8> table3Tps = {{
+    {185.2, 2105.3, 24.1, 10.7},      // Scenario 1
+    {312.5, 2247.2, 36.4, 2492.9},    // Scenario 2
+    {204.1, 2898.6, 26.7, 10.4},      // Scenario 3
+    {344.8, 1941.7, 43.5, 2927.5},    // Scenario 4
+    {1111.1, 3389.8, 85.7, 10.9},     // Scenario 5
+    {3636.4, 10000.0, 230.8, 3332.3}, // Scenario 6
+    {116.6, 784.3, 11.6, 10.7},       // Scenario 7
+    {118.7, 673.4, 14.9, 2445.2},     // Scenario 8
+}};
+
+/**
+ * Section V.B: maximum forwardable data rate per system in Mbps
+ * (PCI bus, PCI Express bus, network interconnect, 100 Mbps ports).
+ */
+inline constexpr std::array<double, 4> maxCrossTrafficMbps = {
+    315.0, 784.0, 940.0, 78.0};
+
+/** Paper value lookup by profile name; -1 when unknown. */
+inline int
+systemIndexByName(const std::string &name)
+{
+    for (size_t i = 0; i < systemNames.size(); ++i) {
+        if (name == systemNames[i])
+            return int(i);
+    }
+    return -1;
+}
+
+} // namespace bgpbench::core::paper
+
+#endif // BGPBENCH_CORE_PAPER_DATA_HH

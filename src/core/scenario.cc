@@ -1,0 +1,65 @@
+#include "core/scenario.hh"
+
+#include "net/logging.hh"
+
+namespace bgpbench::core
+{
+
+std::string
+Scenario::name() const
+{
+    return "Scenario " + std::to_string(number);
+}
+
+std::string
+Scenario::description() const
+{
+    std::string size =
+        packetSize == PacketSize::Small ? "small packets"
+                                        : "large packets";
+    switch (operation) {
+      case BgpOperation::StartupAnnounce:
+        return "start-up: bulk route announcements (" + size + ")";
+      case BgpOperation::EndingWithdraw:
+        return "ending: bulk route withdrawals (" + size + ")";
+      case BgpOperation::IncrementalNoChange:
+        return "incremental: longer-path announcements, no "
+               "forwarding-table change (" + size + ")";
+      case BgpOperation::IncrementalChange:
+        return "incremental: shorter-path announcements replacing "
+               "every best path (" + size + ")";
+    }
+    return "?";
+}
+
+Scenario
+scenarioByNumber(int number)
+{
+    if (number < 1 || number > 8)
+        fatal("scenario number must be in [1, 8]");
+
+    static const BgpOperation ops[4] = {
+        BgpOperation::StartupAnnounce,
+        BgpOperation::EndingWithdraw,
+        BgpOperation::IncrementalNoChange,
+        BgpOperation::IncrementalChange,
+    };
+
+    Scenario s;
+    s.number = number;
+    s.operation = ops[(number - 1) / 2];
+    s.packetSize =
+        (number % 2 == 1) ? PacketSize::Small : PacketSize::Large;
+    return s;
+}
+
+std::vector<Scenario>
+allScenarios()
+{
+    std::vector<Scenario> out;
+    for (int n = 1; n <= 8; ++n)
+        out.push_back(scenarioByNumber(n));
+    return out;
+}
+
+} // namespace bgpbench::core

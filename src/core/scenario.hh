@@ -1,0 +1,94 @@
+/**
+ * @file
+ * The eight benchmark scenarios of the paper's Table I.
+ */
+
+#ifndef BGPBENCH_CORE_SCENARIO_HH
+#define BGPBENCH_CORE_SCENARIO_HH
+
+#include <string>
+#include <vector>
+
+namespace bgpbench::core
+{
+
+/** BGP operation exercised by a scenario (Table I rows). */
+enum class BgpOperation
+{
+    /** Phase-1 bulk announcements into empty RIBs (power-up). */
+    StartupAnnounce,
+    /** Phase-3 withdrawals of every previously announced prefix. */
+    EndingWithdraw,
+    /**
+     * Phase-3 announcements with a longer AS path: the decision
+     * process runs but keeps the old best; no forwarding change.
+     */
+    IncrementalNoChange,
+    /**
+     * Phase-3 announcements with a shorter AS path: every prefix's
+     * best path is replaced and the forwarding table updated.
+     */
+    IncrementalChange,
+};
+
+/** UPDATE packet size class (Table I columns). */
+enum class PacketSize
+{
+    /** One prefix per UPDATE message. */
+    Small,
+    /** 500 prefixes per UPDATE message. */
+    Large,
+};
+
+/** One benchmark scenario. */
+struct Scenario
+{
+    int number = 1;
+    BgpOperation operation = BgpOperation::StartupAnnounce;
+    PacketSize packetSize = PacketSize::Small;
+
+    /** Prefixes per UPDATE for this packet-size class. */
+    size_t
+    prefixesPerPacket() const
+    {
+        return packetSize == PacketSize::Small ? 1 : 500;
+    }
+
+    /** Whether the measured phase changes the forwarding table. */
+    bool
+    changesForwardingTable() const
+    {
+        return operation != BgpOperation::IncrementalNoChange;
+    }
+
+    /** Whether the measured phase is Phase 1 (else Phase 3). */
+    bool
+    measuresPhase1() const
+    {
+        return operation == BgpOperation::StartupAnnounce;
+    }
+
+    /** Whether the scenario runs Phase 2 (Speaker 2 connects). */
+    bool
+    usesSecondSpeaker() const
+    {
+        return operation == BgpOperation::IncrementalNoChange ||
+               operation == BgpOperation::IncrementalChange;
+    }
+
+    /** "Scenario N". */
+    std::string name() const;
+
+    /** One-line description matching the paper's section III.D. */
+    std::string description() const;
+};
+
+/** Scenario by Table I number (1..8); fatal outside the range. */
+Scenario scenarioByNumber(int number);
+
+/** All eight scenarios, in table order. */
+std::vector<Scenario> allScenarios();
+
+} // namespace bgpbench::core
+
+#endif // BGPBENCH_CORE_SCENARIO_HH

@@ -1,0 +1,72 @@
+#include "fib/forwarding_engine.hh"
+
+#include "net/checksum.hh"
+
+namespace bgpbench::fib
+{
+
+std::string
+toString(DropReason reason)
+{
+    switch (reason) {
+      case DropReason::None:
+        return "none";
+      case DropReason::BadChecksum:
+        return "bad-checksum";
+      case DropReason::TtlExpired:
+        return "ttl-expired";
+      case DropReason::NoRoute:
+        return "no-route";
+    }
+    return "?";
+}
+
+ForwardResult
+ForwardingEngine::process(net::DataPacket &packet)
+{
+    ++counters_.received;
+    ForwardResult result;
+
+    // RFC 1812 5.2.2: verify the IP header checksum.
+    if (!packet.checksumValid()) {
+        ++counters_.badChecksum;
+        result.dropReason = DropReason::BadChecksum;
+        return result;
+    }
+
+    // RFC 1812 5.2.3/4.2.2.9: a packet whose TTL would reach zero is
+    // discarded (and ICMP Time Exceeded sent, which we do not model).
+    if (packet.header.ttl <= 1) {
+        ++counters_.ttlExpired;
+        result.dropReason = DropReason::TtlExpired;
+        return result;
+    }
+
+    // RFC 1812 5.2.4: route lookup.
+    const FibEntry *entry = table_->lookup(packet.header.destination,
+                                           &result.lookupNodesVisited);
+    if (!entry) {
+        ++counters_.noRoute;
+        result.dropReason = DropReason::NoRoute;
+        return result;
+    }
+
+    // Decrement TTL and fix the checksum incrementally (RFC 1624).
+    // TTL and protocol share one 16-bit word in the header.
+    uint16_t old_word = (uint16_t(packet.header.ttl) << 8) |
+                        packet.header.protocol;
+    packet.header.ttl -= 1;
+    uint16_t new_word = (uint16_t(packet.header.ttl) << 8) |
+                        packet.header.protocol;
+    packet.header.headerChecksum = net::checksumAdjust(
+        packet.header.headerChecksum, old_word, new_word);
+
+    ++counters_.forwarded;
+    counters_.bytesForwarded += packet.sizeBytes;
+    result.forwarded = true;
+    result.nextHop = entry->nextHop;
+    result.egressInterface = entry->interface;
+    return result;
+}
+
+} // namespace bgpbench::fib

@@ -1,0 +1,42 @@
+#include "fib/forwarding_table.hh"
+
+namespace bgpbench::fib
+{
+
+bool
+ForwardingTable::install(const net::Prefix &prefix, FibEntry entry)
+{
+    bool inserted = trie_.insert(prefix, entry);
+    if (inserted)
+        ++counters_.installs;
+    else
+        ++counters_.replaces;
+    return inserted;
+}
+
+bool
+ForwardingTable::remove(const net::Prefix &prefix)
+{
+    bool removed = trie_.remove(prefix);
+    if (removed)
+        ++counters_.removes;
+    return removed;
+}
+
+const FibEntry *
+ForwardingTable::lookup(net::Ipv4Address addr, int *visited)
+{
+    ++counters_.lookups;
+    const FibEntry *entry = trie_.lookup(addr, visited);
+    if (!entry)
+        ++counters_.lookupMisses;
+    return entry;
+}
+
+const FibEntry *
+ForwardingTable::exact(const net::Prefix &prefix) const
+{
+    return trie_.exact(prefix);
+}
+
+} // namespace bgpbench::fib

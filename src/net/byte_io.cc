@@ -1,0 +1,19 @@
+#include "net/byte_io.hh"
+
+namespace bgpbench::net
+{
+
+std::string
+toHex(std::span<const uint8_t> bytes)
+{
+    static const char digits[] = "0123456789abcdef";
+    std::string out;
+    out.reserve(bytes.size() * 2);
+    for (uint8_t b : bytes) {
+        out.push_back(digits[b >> 4]);
+        out.push_back(digits[b & 0xf]);
+    }
+    return out;
+}
+
+} // namespace bgpbench::net

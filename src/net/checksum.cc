@@ -1,0 +1,33 @@
+#include "net/checksum.hh"
+
+namespace bgpbench::net
+{
+
+uint16_t
+checksum(std::span<const uint8_t> data)
+{
+    uint32_t sum = 0;
+    size_t i = 0;
+    for (; i + 1 < data.size(); i += 2)
+        sum += (uint32_t(data[i]) << 8) | data[i + 1];
+    if (i < data.size())
+        sum += uint32_t(data[i]) << 8;
+
+    while (sum >> 16)
+        sum = (sum & 0xffff) + (sum >> 16);
+
+    return uint16_t(~sum);
+}
+
+uint16_t
+checksumAdjust(uint16_t old_sum, uint16_t old_word, uint16_t new_word)
+{
+    // RFC 1624: HC' = ~(~HC + ~m + m')
+    uint32_t sum = uint32_t(uint16_t(~old_sum)) +
+                   uint32_t(uint16_t(~old_word)) + uint32_t(new_word);
+    while (sum >> 16)
+        sum = (sum & 0xffff) + (sum >> 16);
+    return uint16_t(~sum);
+}
+
+} // namespace bgpbench::net

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Internet checksum (RFC 1071) used by the RFC-1812 forwarding path.
+ */
+
+#ifndef BGPBENCH_NET_CHECKSUM_HH
+#define BGPBENCH_NET_CHECKSUM_HH
+
+#include <cstdint>
+#include <span>
+
+namespace bgpbench::net
+{
+
+/**
+ * Compute the 16-bit one's-complement Internet checksum over @p data.
+ *
+ * A buffer that embeds a correct checksum field sums to 0xffff, i.e.,
+ * checksum() over it returns 0.
+ */
+uint16_t checksum(std::span<const uint8_t> data);
+
+/**
+ * Incrementally update a checksum after a 16-bit field changed
+ * (RFC 1624 eqn. 3). Used for the TTL-decrement fast path so the
+ * forwarding engine does not recompute the full header sum.
+ *
+ * @param old_sum The checksum field as stored in the header.
+ * @param old_word The 16-bit word before modification.
+ * @param new_word The 16-bit word after modification.
+ * @return The new checksum field value.
+ */
+uint16_t checksumAdjust(uint16_t old_sum, uint16_t old_word,
+                        uint16_t new_word);
+
+} // namespace bgpbench::net
+
+#endif // BGPBENCH_NET_CHECKSUM_HH

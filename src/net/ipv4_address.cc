@@ -1,0 +1,70 @@
+#include "net/ipv4_address.hh"
+
+#include <cctype>
+
+#include "net/logging.hh"
+
+namespace bgpbench::net
+{
+
+std::optional<Ipv4Address>
+Ipv4Address::parse(const std::string &text)
+{
+    uint32_t bits = 0;
+    int octets = 0;
+    size_t i = 0;
+
+    while (octets < 4) {
+        if (i >= text.size() || !std::isdigit((unsigned char)text[i]))
+            return std::nullopt;
+
+        uint32_t value = 0;
+        size_t digits = 0;
+        while (i < text.size() &&
+               std::isdigit((unsigned char)text[i])) {
+            value = value * 10 + uint32_t(text[i] - '0');
+            ++digits;
+            if (digits > 3 || value > 255)
+                return std::nullopt;
+            ++i;
+        }
+
+        bits = (bits << 8) | value;
+        ++octets;
+
+        if (octets < 4) {
+            if (i >= text.size() || text[i] != '.')
+                return std::nullopt;
+            ++i;
+        }
+    }
+
+    if (i != text.size())
+        return std::nullopt;
+
+    return Ipv4Address(bits);
+}
+
+Ipv4Address
+Ipv4Address::fromString(const std::string &text)
+{
+    auto addr = parse(text);
+    if (!addr)
+        fatal("malformed IPv4 address: '" + text + "'");
+    return *addr;
+}
+
+std::string
+Ipv4Address::toString() const
+{
+    std::string out;
+    out.reserve(15);
+    for (int i = 0; i < 4; ++i) {
+        if (i)
+            out.push_back('.');
+        out += std::to_string(unsigned(octet(i)));
+    }
+    return out;
+}
+
+} // namespace bgpbench::net

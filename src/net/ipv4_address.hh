@@ -1,0 +1,91 @@
+/**
+ * @file
+ * IPv4 address value type used throughout the BGP benchmark.
+ */
+
+#ifndef BGPBENCH_NET_IPV4_ADDRESS_HH
+#define BGPBENCH_NET_IPV4_ADDRESS_HH
+
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace bgpbench::net
+{
+
+/**
+ * An IPv4 address stored in host byte order.
+ *
+ * The class is a thin, trivially-copyable wrapper around a uint32_t
+ * that provides parsing, formatting, and bit manipulation helpers used
+ * by Prefix and the forwarding code.
+ */
+class Ipv4Address
+{
+  public:
+    /** Construct the all-zero address 0.0.0.0. */
+    constexpr Ipv4Address() : bits_(0) {}
+
+    /** Construct from a host-byte-order 32-bit value. */
+    constexpr explicit Ipv4Address(uint32_t bits) : bits_(bits) {}
+
+    /** Construct from four dotted-quad octets (a.b.c.d). */
+    constexpr Ipv4Address(uint8_t a, uint8_t b, uint8_t c, uint8_t d)
+        : bits_((uint32_t(a) << 24) | (uint32_t(b) << 16) |
+                (uint32_t(c) << 8) | uint32_t(d))
+    {}
+
+    /**
+     * Parse a dotted-quad string.
+     *
+     * @param text Address in "a.b.c.d" form.
+     * @return The parsed address, or std::nullopt on malformed input.
+     */
+    static std::optional<Ipv4Address> parse(const std::string &text);
+
+    /**
+     * Parse a dotted-quad string, throwing FatalError on bad input.
+     * Convenience for literals in tests and examples.
+     */
+    static Ipv4Address fromString(const std::string &text);
+
+    /** The address as a host-byte-order 32-bit value. */
+    constexpr uint32_t toUint32() const { return bits_; }
+
+    /** Format as dotted quad. */
+    std::string toString() const;
+
+    /** Extract octet i (0 = most significant). */
+    constexpr uint8_t
+    octet(int i) const
+    {
+        return uint8_t(bits_ >> (8 * (3 - i)));
+    }
+
+    /** Bit b counted from the most significant bit (b in [0, 31]). */
+    constexpr bool
+    bit(int b) const
+    {
+        return (bits_ >> (31 - b)) & 1;
+    }
+
+    /** True for 0.0.0.0. */
+    constexpr bool isZero() const { return bits_ == 0; }
+
+    constexpr auto operator<=>(const Ipv4Address &) const = default;
+
+  private:
+    uint32_t bits_;
+};
+
+/** Network mask with the top @p len bits set (len in [0, 32]). */
+constexpr uint32_t
+maskForLength(int len)
+{
+    return len == 0 ? 0 : (~uint32_t(0) << (32 - len));
+}
+
+} // namespace bgpbench::net
+
+#endif // BGPBENCH_NET_IPV4_ADDRESS_HH

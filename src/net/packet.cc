@@ -1,0 +1,97 @@
+#include "net/packet.hh"
+
+#include <span>
+
+#include "net/checksum.hh"
+
+namespace bgpbench::net
+{
+
+std::array<uint8_t, Ipv4Header::headerBytes>
+Ipv4Header::encode() const
+{
+    std::array<uint8_t, headerBytes> wire{};
+    wire[0] = 0x45; // version 4, IHL 5
+    wire[1] = 0;    // DSCP/ECN
+    wire[2] = uint8_t(totalLength >> 8);
+    wire[3] = uint8_t(totalLength);
+    // identification / flags / fragment offset left zero
+    wire[8] = ttl;
+    wire[9] = protocol;
+    // checksum at [10..11], computed below
+    uint32_t src = source.toUint32();
+    uint32_t dst = destination.toUint32();
+    wire[12] = uint8_t(src >> 24);
+    wire[13] = uint8_t(src >> 16);
+    wire[14] = uint8_t(src >> 8);
+    wire[15] = uint8_t(src);
+    wire[16] = uint8_t(dst >> 24);
+    wire[17] = uint8_t(dst >> 16);
+    wire[18] = uint8_t(dst >> 8);
+    wire[19] = uint8_t(dst);
+
+    uint16_t sum = checksum(std::span<const uint8_t>(wire));
+    wire[10] = uint8_t(sum >> 8);
+    wire[11] = uint8_t(sum);
+    return wire;
+}
+
+std::optional<Ipv4Header>
+Ipv4Header::decode(std::span<const uint8_t> wire)
+{
+    if (wire.size() < headerBytes)
+        return std::nullopt;
+    if (wire[0] != 0x45)
+        return std::nullopt;
+
+    Ipv4Header hdr;
+    hdr.totalLength = (uint16_t(wire[2]) << 8) | wire[3];
+    hdr.ttl = wire[8];
+    hdr.protocol = wire[9];
+    hdr.headerChecksum = (uint16_t(wire[10]) << 8) | wire[11];
+    hdr.source = Ipv4Address((uint32_t(wire[12]) << 24) |
+                             (uint32_t(wire[13]) << 16) |
+                             (uint32_t(wire[14]) << 8) |
+                             uint32_t(wire[15]));
+    hdr.destination = Ipv4Address((uint32_t(wire[16]) << 24) |
+                                  (uint32_t(wire[17]) << 16) |
+                                  (uint32_t(wire[18]) << 8) |
+                                  uint32_t(wire[19]));
+    return hdr;
+}
+
+bool
+DataPacket::checksumValid() const
+{
+    auto wire = header.encode();
+    // encode() recomputes the sum over current fields; compare it with
+    // the checksum the packet claims to carry.
+    uint16_t fresh = (uint16_t(wire[10]) << 8) | wire[11];
+    return fresh == header.headerChecksum;
+}
+
+void
+DataPacket::refreshChecksum()
+{
+    auto wire = header.encode();
+    header.headerChecksum = (uint16_t(wire[10]) << 8) | wire[11];
+}
+
+DataPacket
+makeDataPacket(Ipv4Address source, Ipv4Address destination,
+               uint32_t size_bytes, uint8_t ttl)
+{
+    DataPacket pkt;
+    pkt.header.source = source;
+    pkt.header.destination = destination;
+    pkt.header.ttl = ttl;
+    if (size_bytes < Ipv4Header::headerBytes)
+        size_bytes = Ipv4Header::headerBytes;
+    pkt.sizeBytes = size_bytes;
+    pkt.header.totalLength =
+        uint16_t(size_bytes > 0xffff ? 0xffff : size_bytes);
+    pkt.refreshChecksum();
+    return pkt;
+}
+
+} // namespace bgpbench::net

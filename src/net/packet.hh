@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Data-plane packet representation for the forwarding experiments.
+ *
+ * Cross-traffic packets carry a real, serialisable IPv4 header so the
+ * RFC-1812 forwarding engine performs genuine header validation,
+ * checksum arithmetic, and TTL handling rather than operating on
+ * abstract tokens.
+ */
+
+#ifndef BGPBENCH_NET_PACKET_HH
+#define BGPBENCH_NET_PACKET_HH
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "net/ipv4_address.hh"
+
+namespace bgpbench::net
+{
+
+/**
+ * A minimal IPv4 header (20 bytes, no options) in decoded form.
+ */
+struct Ipv4Header
+{
+    static constexpr size_t headerBytes = 20;
+
+    uint8_t ttl = 64;
+    uint8_t protocol = 17; // UDP by default
+    uint16_t totalLength = headerBytes;
+    uint16_t headerChecksum = 0;
+    Ipv4Address source;
+    Ipv4Address destination;
+
+    /**
+     * Serialise to the 20-byte wire form with a freshly computed
+     * header checksum.
+     */
+    std::array<uint8_t, headerBytes> encode() const;
+
+    /**
+     * Parse a wire-format header. Returns std::nullopt if the version
+     * or header length fields are not plain IPv4/20-byte. The checksum
+     * is NOT validated here; the forwarding engine does that so it can
+     * account for the work.
+     */
+    static std::optional<Ipv4Header>
+    decode(std::span<const uint8_t> wire);
+};
+
+/**
+ * A data-plane packet: decoded header plus total on-wire size.
+ *
+ * The payload content is irrelevant to forwarding, so only its length
+ * is carried; the header is real and is what the forwarding engine
+ * inspects and rewrites.
+ */
+struct DataPacket
+{
+    Ipv4Header header;
+    /** Total frame size in bytes, including the IPv4 header. */
+    uint32_t sizeBytes = Ipv4Header::headerBytes;
+
+    /** True if the embedded checksum matches the header contents. */
+    bool checksumValid() const;
+
+    /** Recompute and store the header checksum. */
+    void refreshChecksum();
+};
+
+/** Build a well-formed packet of @p size_bytes to @p destination. */
+DataPacket makeDataPacket(Ipv4Address source, Ipv4Address destination,
+                          uint32_t size_bytes, uint8_t ttl = 64);
+
+} // namespace bgpbench::net
+
+#endif // BGPBENCH_NET_PACKET_HH

@@ -1,0 +1,52 @@
+#include "net/prefix.hh"
+
+#include <cctype>
+
+#include "net/logging.hh"
+
+namespace bgpbench::net
+{
+
+std::optional<Prefix>
+Prefix::parse(const std::string &text)
+{
+    auto slash = text.find('/');
+    if (slash == std::string::npos)
+        return std::nullopt;
+
+    auto addr = Ipv4Address::parse(text.substr(0, slash));
+    if (!addr)
+        return std::nullopt;
+
+    std::string len_text = text.substr(slash + 1);
+    if (len_text.empty() || len_text.size() > 2)
+        return std::nullopt;
+
+    int len = 0;
+    for (char c : len_text) {
+        if (!std::isdigit((unsigned char)c))
+            return std::nullopt;
+        len = len * 10 + (c - '0');
+    }
+    if (len > 32)
+        return std::nullopt;
+
+    return Prefix(*addr, len);
+}
+
+Prefix
+Prefix::fromString(const std::string &text)
+{
+    auto prefix = parse(text);
+    if (!prefix)
+        fatal("malformed prefix: '" + text + "'");
+    return *prefix;
+}
+
+std::string
+Prefix::toString() const
+{
+    return addr_.toString() + "/" + std::to_string(int(length_));
+}
+
+} // namespace bgpbench::net

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * CIDR IPv4 prefix (RFC 1519) value type.
+ */
+
+#ifndef BGPBENCH_NET_PREFIX_HH
+#define BGPBENCH_NET_PREFIX_HH
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "net/ipv4_address.hh"
+
+namespace bgpbench::net
+{
+
+/**
+ * A CIDR prefix: an IPv4 network address plus a mask length.
+ *
+ * The network address is always stored in canonical form, i.e., host
+ * bits below the mask are zero. Prefixes are the unit of routing state
+ * in BGP ("NLRI") and the keys of all RIBs and of the FIB.
+ */
+class Prefix
+{
+  public:
+    /** The default prefix 0.0.0.0/0. */
+    constexpr Prefix() : addr_(), length_(0) {}
+
+    /**
+     * Construct from address and mask length; host bits are masked
+     * off so the stored form is canonical.
+     *
+     * @param addr Any address inside the network.
+     * @param length Mask length in [0, 32].
+     */
+    constexpr Prefix(Ipv4Address addr, int length)
+        : addr_(addr.toUint32() & maskForLength(length)),
+          length_(uint8_t(length))
+    {}
+
+    /**
+     * Parse "a.b.c.d/len" notation.
+     * @return The prefix, or std::nullopt on malformed input.
+     */
+    static std::optional<Prefix> parse(const std::string &text);
+
+    /** Parse "a.b.c.d/len", throwing FatalError on bad input. */
+    static Prefix fromString(const std::string &text);
+
+    /** The canonical network address. */
+    constexpr Ipv4Address address() const { return addr_; }
+
+    /** The mask length in bits. */
+    constexpr int length() const { return length_; }
+
+    /** True if @p addr falls inside this prefix. */
+    constexpr bool
+    contains(Ipv4Address addr) const
+    {
+        return (addr.toUint32() & maskForLength(length_)) ==
+               addr_.toUint32();
+    }
+
+    /** True if @p other is equal to or more specific than this. */
+    constexpr bool
+    covers(const Prefix &other) const
+    {
+        return other.length_ >= length_ && contains(other.addr_);
+    }
+
+    /** Format as "a.b.c.d/len". */
+    std::string toString() const;
+
+    /**
+     * Number of NLRI octets needed on the wire for this prefix
+     * (RFC 4271 section 4.3): ceil(length / 8).
+     */
+    constexpr int wireOctets() const { return (length_ + 7) / 8; }
+
+    constexpr auto operator<=>(const Prefix &) const = default;
+
+  private:
+    Ipv4Address addr_;
+    uint8_t length_;
+};
+
+} // namespace bgpbench::net
+
+/** Hash support so prefixes can key unordered containers. */
+template <>
+struct std::hash<bgpbench::net::Prefix>
+{
+    size_t
+    operator()(const bgpbench::net::Prefix &p) const noexcept
+    {
+        uint64_t key =
+            (uint64_t(p.address().toUint32()) << 8) | uint64_t(p.length());
+        // 64-bit mix (splitmix64 finaliser).
+        key ^= key >> 30;
+        key *= 0xbf58476d1ce4e5b9ULL;
+        key ^= key >> 27;
+        key *= 0x94d049bb133111ebULL;
+        key ^= key >> 31;
+        return size_t(key);
+    }
+};
+
+#endif // BGPBENCH_NET_PREFIX_HH

@@ -1,0 +1,213 @@
+#include "router/system_profiles.hh"
+
+#include <algorithm>
+#include <cctype>
+
+#include "net/logging.hh"
+
+namespace bgpbench::router
+{
+
+/*
+ * Calibration notes
+ * -----------------
+ * The cost profiles below are obtained by inverting the additive cost
+ * model against the paper's Table III. For a uni-core system, the
+ * per-prefix service time of a scenario is the sum of the stage costs
+ * it exercises; for a multi-core system the pipeline overlaps and the
+ * bottleneck stage dominates.
+ *
+ * Pentium III (800 MHz), times from Table III:
+ *   S5 (small, decision only):  1/1111.1 = 0.90 ms = parse + announce
+ *   S6 (large, decision only):  1/3636.4 = 0.275 ms = parse/500 + ann.
+ *     => parse ~ 0.63 ms (504k cycles), announce ~ 0.27 ms (219k).
+ *   S1 - S5 = 4.5 ms  = rib + fea + kernel-install + 2 IPC hops
+ *   S2 - S6 = 2.93 ms = rib + fea + kernel-install (IPC amortised)
+ *     => IPC hop ~ 0.79 ms (630k), rib ~ fea ~ 0.75 ms (600k),
+ *        kernel install ~ 1.13 ms (900k).
+ *   S3/S4 imply withdrawals are cheaper in the bgp stage (~0.15 ms)
+ *   and kernel removal cheaper than install (~0.88 ms).
+ *   S7 ~ S8 (8.5 ms) despite packing => replacement work is per-prefix:
+ *   unbatched IPC change notifications, kernel replace ~ 1.75 ms, and
+ *   two advertisements per replacement (announce to Speaker 1 plus
+ *   withdrawal of the previously advertised path to Speaker 2).
+ *
+ * Xeon: same code, ~5% more cycles per op, 3.0 GHz, 2 cores x 2
+ * threads; the pipeline makes the kernel/fea stages the bottleneck.
+ *
+ * IXP2400 XScale: ~5x the cycles per op at 600 MHz (no L2, slow
+ * SDRAM), with the decision process hit hardest (~2x extra), plus a
+ * large xorp_rtrmgr background load (paper Fig. 3c).
+ *
+ * Cisco 3620: modelled as a black box: a ~92.5 ms per-message slow
+ * path (all small-packet scenarios sit at ~10.7 tps regardless of
+ * content) plus small per-prefix table costs that reproduce the
+ * large-packet rows.
+ */
+
+SystemProfile
+pentium3Profile()
+{
+    SystemProfile p;
+    p.name = "PentiumIII";
+    p.architecture = Architecture::UniCore;
+    p.cpu = sim::CpuConfig{1, 1, 800e6, 0.65};
+    p.busLimitMbps = 315.0; // PCI bus limitation (paper V.B)
+
+    CostProfile &c = p.costs;
+    c.msgParse = 480e3;
+    c.msgPerByte = 16;
+    c.announcePrefix = 219e3;
+    c.withdrawPrefix = 120e3;
+    c.advertisePrefix = 1000e3;
+    c.msgSend = 480e3;
+    c.ribChange = 600e3;
+    c.feaChange = 600e3;
+    c.kernelRouteInstall = 900e3;
+    c.kernelRouteRemove = 700e3;
+    c.kernelRouteReplace = 1400e3;
+    c.ipcPerMessage = 630e3;
+    c.ipcBatchMax = 100;
+    c.rtrmgrCyclesPerSecond = 6e6;
+    c.policyCyclesPerSecond = 2e6;
+    c.sessionPollCycles = 20e3;
+    c.irqPerPacket = 5300;
+    c.forwardPerPacket = 3000;
+    c.lookupPerNode = 60;
+    return p;
+}
+
+SystemProfile
+xeonProfile()
+{
+    SystemProfile p;
+    p.name = "Xeon";
+    p.architecture = Architecture::DualCore;
+    p.cpu = sim::CpuConfig{2, 2, 3.0e9, 0.65};
+    p.busLimitMbps = 784.0; // PCI Express limitation (paper V.B)
+
+    CostProfile &c = p.costs;
+    // Same code base as the Pentium III; ~5% more cycles per op at
+    // 3.75x the clock.
+    c.msgParse = 504e3;
+    c.msgPerByte = 17;
+    c.announcePrefix = 230e3;
+    c.withdrawPrefix = 126e3;
+    c.advertisePrefix = 1050e3;
+    c.msgSend = 504e3;
+    c.ribChange = 630e3;
+    c.feaChange = 630e3;
+    c.kernelRouteInstall = 945e3;
+    c.kernelRouteRemove = 735e3;
+    c.kernelRouteReplace = 1470e3;
+    c.ipcPerMessage = 661e3;
+    c.ipcBatchMax = 100;
+    c.rtrmgrCyclesPerSecond = 12e6;
+    c.policyCyclesPerSecond = 3e6;
+    c.sessionPollCycles = 20e3;
+    c.irqPerPacket = 6000;
+    c.forwardPerPacket = 4000;
+    c.lookupPerNode = 30;
+    return p;
+}
+
+SystemProfile
+ixp2400Profile()
+{
+    SystemProfile p;
+    p.name = "IXP2400";
+    p.architecture = Architecture::NetworkProcessor;
+    p.cpu = sim::CpuConfig{1, 1, 600e6, 0.65};
+    p.busLimitMbps = 940.0; // network interconnect (paper V.B)
+    p.separateDataPlane = true;
+
+    CostProfile &c = p.costs;
+    // XScale: ~5x the cycles per operation (no L2 cache, slow
+    // memory); the pointer-chasing decision process suffers ~2x more.
+    c.msgParse = 2400e3;
+    c.msgPerByte = 80;
+    c.announcePrefix = 2190e3;
+    c.withdrawPrefix = 600e3;
+    c.advertisePrefix = 5000e3;
+    c.msgSend = 2400e3;
+    c.ribChange = 3000e3;
+    c.feaChange = 3000e3;
+    c.kernelRouteInstall = 4500e3;
+    c.kernelRouteRemove = 3500e3;
+    c.kernelRouteReplace = 7000e3;
+    c.ipcPerMessage = 3150e3;
+    c.ipcBatchMax = 100;
+    // The router manager is a considerable share of the small XScale
+    // (paper Fig. 3c).
+    c.rtrmgrCyclesPerSecond = 150e6;
+    c.policyCyclesPerSecond = 10e6;
+    c.sessionPollCycles = 100e3;
+    // Forwarding runs entirely on the eight packet processors; these
+    // costs are never charged to the control CPU.
+    c.irqPerPacket = 0;
+    c.forwardPerPacket = 0;
+    c.lookupPerNode = 0;
+    return p;
+}
+
+SystemProfile
+ciscoProfile()
+{
+    SystemProfile p;
+    p.name = "Cisco";
+    p.architecture = Architecture::Commercial;
+    p.cpu = sim::CpuConfig{1, 1, 133e6, 0.65};
+    p.busLimitMbps = 78.0; // 100 Mbps ports (paper V.B)
+    p.monolithicControl = true;
+
+    CostProfile &c = p.costs;
+    // Black-box IOS model: a ~92.5 ms per-message slow path puts all
+    // small-packet scenarios at ~10.7 tps; per-prefix costs are small.
+    c.msgGateNs = 92'500'000;
+    c.msgParse = 40e3;
+    c.msgPerByte = 4;
+    c.announcePrefix = 15.2e3;
+    c.withdrawPrefix = 8.0e3;
+    c.advertisePrefix = 1.5e3;
+    c.msgSend = 10e3;
+    c.ribChange = 0;
+    c.feaChange = 0;
+    c.kernelRouteInstall = 13.4e3;
+    c.kernelRouteRemove = 12.9e3;
+    c.kernelRouteReplace = 13.4e3;
+    c.ipcPerMessage = 0;
+    c.ipcBatchMax = 1000;
+    c.rtrmgrCyclesPerSecond = 0;
+    c.policyCyclesPerSecond = 0;
+    c.sessionPollCycles = 5e3;
+    c.irqPerPacket = 1500;
+    c.forwardPerPacket = 12000;
+    c.lookupPerNode = 0;
+    return p;
+}
+
+std::vector<SystemProfile>
+allSystemProfiles()
+{
+    return {pentium3Profile(), xeonProfile(), ixp2400Profile(),
+            ciscoProfile()};
+}
+
+SystemProfile
+profileByName(const std::string &name)
+{
+    std::string lower;
+    for (char ch : name)
+        lower.push_back(char(std::tolower((unsigned char)ch)));
+
+    for (auto &profile : allSystemProfiles()) {
+        std::string pl;
+        for (char ch : profile.name)
+            pl.push_back(char(std::tolower((unsigned char)ch)));
+        if (pl == lower)
+            return profile;
+    }
+    fatal("unknown system profile: '" + name + "'");
+}
+
+} // namespace bgpbench::router

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * The four router system configurations of the paper's Table II.
+ */
+
+#ifndef BGPBENCH_ROUTER_SYSTEM_PROFILES_HH
+#define BGPBENCH_ROUTER_SYSTEM_PROFILES_HH
+
+#include <string>
+#include <vector>
+
+#include "router/cost_model.hh"
+#include "sim/cpu.hh"
+
+namespace bgpbench::router
+{
+
+/** Architectural class of a system (paper section IV.A). */
+enum class Architecture
+{
+    UniCore,
+    DualCore,
+    NetworkProcessor,
+    Commercial,
+};
+
+/** Complete description of one router platform. */
+struct SystemProfile
+{
+    std::string name;
+    Architecture architecture = Architecture::UniCore;
+    sim::CpuConfig cpu;
+    CostProfile costs;
+    /**
+     * Hard forwarding ceiling in Mbps (paper section V.B: PCI bus,
+     * PCIe bus, network interconnect, or port speed).
+     */
+    double busLimitMbps = 1000.0;
+    /**
+     * True when forwarding runs on dedicated packet processors that
+     * never touch the control CPU (the network processor router).
+     */
+    bool separateDataPlane = false;
+    /**
+     * True when all control processing runs in a single process
+     * (the commercial router's monolithic IOS image) rather than the
+     * five-process XORP suite.
+     */
+    bool monolithicControl = false;
+    /** TCP receive buffer per BGP session, bytes (flow control). */
+    size_t rxBufferBytes = 65536;
+};
+
+/** @name The paper's four systems (Table II)
+ *  @{
+ */
+/** Intel Pentium III 800 MHz, Linux 2.6, XORP 1.3 (uni-core). */
+SystemProfile pentium3Profile();
+/** Dual-core Intel Xeon 3.0 GHz with HT, Linux 2.6, XORP 1.3. */
+SystemProfile xeonProfile();
+/** Intel IXP2400: XScale 600 MHz control CPU, 8 packet processors. */
+SystemProfile ixp2400Profile();
+/** Cisco 3620 running IOS 12.1 (black-box commercial router). */
+SystemProfile ciscoProfile();
+/** @} */
+
+/** All four, in the paper's column order. */
+std::vector<SystemProfile> allSystemProfiles();
+
+/** Look up a profile by (case-insensitive) name; fatal if unknown. */
+SystemProfile profileByName(const std::string &name);
+
+} // namespace bgpbench::router
+
+#endif // BGPBENCH_ROUTER_SYSTEM_PROFILES_HH

@@ -1,0 +1,217 @@
+#include "sim/cpu.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "net/logging.hh"
+
+namespace bgpbench::sim
+{
+
+CpuModel::CpuModel(CpuConfig config)
+    : config_(config)
+{
+    if (config_.cores < 1 || config_.threadsPerCore < 1)
+        fatal("CPU must have at least one core and thread");
+    if (config_.cyclesPerSecond <= 0)
+        fatal("CPU speed must be positive");
+    if (config_.smtEfficiency <= 0 || config_.smtEfficiency > 1.0)
+        fatal("SMT efficiency must be in (0, 1]");
+}
+
+void
+CpuModel::addProcess(SimProcess *process)
+{
+    panicIf(process == nullptr, "null process");
+    if (process->pinnedCpu() >= config_.logicalCpus())
+        fatal("process pinned to nonexistent CPU");
+    processes_.push_back(process);
+    if (process->pinnedCpu() >= 0)
+        placement_[process] = process->pinnedCpu();
+}
+
+int
+CpuModel::cpuOf(const SimProcess *process) const
+{
+    auto it = placement_.find(process);
+    return it == placement_.end() ? -1 : it->second;
+}
+
+bool
+CpuModel::anyRunnable() const
+{
+    return std::any_of(processes_.begin(), processes_.end(),
+                       [](const SimProcess *p) {
+                           return p->runnable();
+                       });
+}
+
+void
+CpuModel::place()
+{
+    int n_cpus = config_.logicalCpus();
+    std::vector<int> load(n_cpus, 0);
+
+    // Count pinned and already-placed runnable processes first.
+    std::vector<SimProcess *> unplaced;
+    for (SimProcess *p : processes_) {
+        if (!p->runnable())
+            continue;
+        auto it = placement_.find(p);
+        if (it != placement_.end())
+            ++load[it->second];
+        else
+            unplaced.push_back(p);
+    }
+
+    // New runnable processes go to the least-loaded logical CPU,
+    // spreading across physical cores before doubling up on SMT
+    // siblings (as the Linux scheduler's domains do).
+    int threads = config_.threadsPerCore;
+    auto core_load = [&](int cpu) {
+        int core = cpu / threads;
+        int sum = 0;
+        for (int t = 0; t < threads; ++t)
+            sum += load[size_t(core * threads + t)];
+        return sum;
+    };
+    for (SimProcess *p : unplaced) {
+        int best = 0;
+        for (int c = 1; c < n_cpus; ++c) {
+            int cl = core_load(c);
+            int bl = core_load(best);
+            if (cl < bl || (cl == bl && load[c] < load[best]))
+                best = c;
+        }
+        placement_[p] = best;
+        ++load[best];
+    }
+
+    // Simple rebalancing: migrate an unpinned process from the most
+    // loaded CPU to the least loaded while the imbalance exceeds one.
+    for (int round = 0; round < n_cpus * 2; ++round) {
+        auto max_it = std::max_element(load.begin(), load.end());
+        auto min_it = std::min_element(load.begin(), load.end());
+        if (*max_it - *min_it <= 1)
+            break;
+        int from = int(max_it - load.begin());
+        int to = int(min_it - load.begin());
+        bool moved = false;
+        for (SimProcess *p : processes_) {
+            if (!p->runnable() || p->pinnedCpu() >= 0)
+                continue;
+            auto it = placement_.find(p);
+            if (it != placement_.end() && it->second == from) {
+                it->second = to;
+                --load[from];
+                ++load[to];
+                moved = true;
+                break;
+            }
+        }
+        if (!moved)
+            break;
+    }
+}
+
+void
+CpuModel::step(SimTime quantum)
+{
+    place();
+
+    int n_cpus = config_.logicalCpus();
+    int threads = config_.threadsPerCore;
+    double quantum_sec = toSeconds(quantum);
+    double core_cycles = config_.cyclesPerSecond * quantum_sec;
+
+    // Group runnable processes per logical CPU.
+    std::vector<std::vector<SimProcess *>> run_queue(n_cpus);
+    for (SimProcess *p : processes_) {
+        if (!p->runnable())
+            continue;
+        run_queue[size_t(placement_.at(p))].push_back(p);
+    }
+
+    // Per-thread capacity depends on whether the SMT sibling is busy.
+    std::vector<double> capacity(n_cpus, 0.0);
+    for (int core = 0; core < config_.cores; ++core) {
+        int busy = 0;
+        for (int t = 0; t < threads; ++t) {
+            if (!run_queue[size_t(core * threads + t)].empty())
+                ++busy;
+        }
+        double factor = busy > 1 ? config_.smtEfficiency : 1.0;
+        for (int t = 0; t < threads; ++t)
+            capacity[size_t(core * threads + t)] =
+                core_cycles * factor;
+    }
+
+    double total_consumed = 0.0;
+    double peak = 0.0;
+
+    for (int cpu = 0; cpu < n_cpus; ++cpu) {
+        auto &queue = run_queue[size_t(cpu)];
+        if (queue.empty())
+            continue;
+
+        // Strict priority: sort by priority class; equal classes
+        // time-share via water-filling.
+        std::stable_sort(queue.begin(), queue.end(),
+                         [](const SimProcess *a, const SimProcess *b) {
+                             return a->schedPriority() <
+                                    b->schedPriority();
+                         });
+
+        double remaining = capacity[size_t(cpu)];
+        size_t i = 0;
+        while (i < queue.size() && remaining >= 1.0) {
+            // The group of equal-priority processes starting at i.
+            size_t j = i;
+            while (j < queue.size() &&
+                   queue[j]->schedPriority() ==
+                       queue[i]->schedPriority()) {
+                ++j;
+            }
+
+            // Water-filling within the group: repeatedly split the
+            // remaining budget equally among still-runnable members.
+            for (int round = 0; round < 8 && remaining >= 1.0;
+                 ++round) {
+                size_t active = 0;
+                for (size_t k = i; k < j; ++k) {
+                    if (queue[k]->runnable())
+                        ++active;
+                }
+                if (active == 0)
+                    break;
+                double share = remaining / double(active);
+                double consumed_this_round = 0.0;
+                for (size_t k = i; k < j; ++k) {
+                    if (!queue[k]->runnable())
+                        continue;
+                    uint64_t granted =
+                        queue[k]->grant(uint64_t(share));
+                    consumed_this_round += double(granted);
+                }
+                remaining -= consumed_this_round;
+                if (consumed_this_round < 1.0)
+                    break;
+            }
+            i = j;
+        }
+
+        double used = capacity[size_t(cpu)] - remaining;
+        total_consumed += used;
+        double util = capacity[size_t(cpu)] > 0
+                          ? used / capacity[size_t(cpu)]
+                          : 0.0;
+        peak = std::max(peak, util);
+    }
+
+    peakUtil_ = peak;
+    totalUtil_ = core_cycles > 0
+                     ? total_consumed / (core_cycles * n_cpus)
+                     : 0.0;
+}
+
+} // namespace bgpbench::sim

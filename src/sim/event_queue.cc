@@ -1,0 +1,66 @@
+#include "sim/event_queue.hh"
+
+#include <memory>
+
+#include "net/logging.hh"
+
+namespace bgpbench::sim
+{
+
+void
+Simulator::schedule(SimTime at, Handler handler)
+{
+    panicIf(at < now_, "event scheduled in the past");
+    queue_.push(Event{at, nextSeq_++, std::move(handler)});
+}
+
+void
+Simulator::scheduleEvery(SimTime period, std::function<bool()> handler)
+{
+    panicIf(period == 0, "periodic event with zero period");
+    // Self-rescheduling wrapper; stops when the handler returns false.
+    auto wrapper = std::make_shared<std::function<void()>>();
+    *wrapper = [this, period, handler = std::move(handler), wrapper]() {
+        if (handler())
+            scheduleIn(period, *wrapper);
+    };
+    scheduleIn(period, *wrapper);
+}
+
+bool
+Simulator::step()
+{
+    if (queue_.empty())
+        return false;
+    // Copy out before pop; the handler may schedule new events.
+    Event event = std::move(const_cast<Event &>(queue_.top()));
+    queue_.pop();
+    now_ = event.time;
+    ++executed_;
+    event.handler();
+    return true;
+}
+
+void
+Simulator::runUntil(SimTime until)
+{
+    while (!queue_.empty() && queue_.top().time <= until)
+        step();
+    if (now_ < until)
+        now_ = until;
+}
+
+void
+Simulator::runUntilIdle()
+{
+    while (step()) {
+    }
+}
+
+SimTime
+Simulator::nextEventTime() const
+{
+    return queue_.empty() ? simTimeNever : queue_.top().time;
+}
+
+} // namespace bgpbench::sim

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Discrete-event simulator core: a time-ordered event queue.
+ */
+
+#ifndef BGPBENCH_SIM_EVENT_QUEUE_HH
+#define BGPBENCH_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/time.hh"
+
+namespace bgpbench::sim
+{
+
+/**
+ * The simulator: an event queue with a virtual clock.
+ *
+ * Events at equal timestamps execute in scheduling order (FIFO),
+ * which makes runs fully deterministic.
+ */
+class Simulator
+{
+  public:
+    using Handler = std::function<void()>;
+
+    /** Current virtual time. */
+    SimTime now() const { return now_; }
+
+    /** Schedule @p handler at absolute time @p at (>= now). */
+    void schedule(SimTime at, Handler handler);
+
+    /** Schedule @p handler @p delay after now. */
+    void
+    scheduleIn(SimTime delay, Handler handler)
+    {
+        schedule(now_ + delay, std::move(handler));
+    }
+
+    /**
+     * Schedule @p handler every @p period, starting one period from
+     * now, until it returns false.
+     */
+    void scheduleEvery(SimTime period, std::function<bool()> handler);
+
+    /** Run all events with time <= @p until; clock ends at @p until. */
+    void runUntil(SimTime until);
+
+    /** Run until the queue is empty. */
+    void runUntilIdle();
+
+    /** Execute exactly the next event; false if the queue is empty. */
+    bool step();
+
+    /** Events waiting. */
+    size_t pendingEvents() const { return queue_.size(); }
+
+    /** Total events executed. */
+    uint64_t eventsExecuted() const { return executed_; }
+
+    /** Time of the earliest pending event, simTimeNever if none. */
+    SimTime nextEventTime() const;
+
+  private:
+    struct Event
+    {
+        SimTime time;
+        uint64_t seq;
+        Handler handler;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Event &a, const Event &b) const
+        {
+            if (a.time != b.time)
+                return a.time > b.time;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, Later> queue_;
+    SimTime now_ = 0;
+    uint64_t nextSeq_ = 0;
+    uint64_t executed_ = 0;
+};
+
+} // namespace bgpbench::sim
+
+#endif // BGPBENCH_SIM_EVENT_QUEUE_HH

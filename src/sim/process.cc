@@ -1,0 +1,35 @@
+#include "sim/process.hh"
+
+namespace bgpbench::sim
+{
+
+uint64_t
+SimProcess::grant(uint64_t budget)
+{
+    uint64_t consumed = 0;
+    while (!jobs_.empty()) {
+        Job &job = jobs_.front();
+        uint64_t available = budget - consumed;
+        if (job.remaining > available) {
+            job.remaining -= available;
+            consumed = budget;
+            break;
+        }
+        consumed += job.remaining;
+        job.remaining = 0;
+        // Move the closure out before popping: apply() may post new
+        // jobs to this very process and invalidate the reference.
+        auto apply = std::move(job.apply);
+        jobs_.pop_front();
+        ++counters_.jobsCompleted;
+        if (apply)
+            apply();
+        if (consumed == budget && !jobs_.empty())
+            break;
+    }
+    counters_.cyclesConsumed += consumed;
+    intervalCycles_ += consumed;
+    return consumed;
+}
+
+} // namespace bgpbench::sim

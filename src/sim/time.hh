@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Virtual time for the discrete-event simulation.
+ */
+
+#ifndef BGPBENCH_SIM_TIME_HH
+#define BGPBENCH_SIM_TIME_HH
+
+#include <cstdint>
+
+namespace bgpbench::sim
+{
+
+/** Simulated time in nanoseconds since simulation start. */
+using SimTime = uint64_t;
+
+/** Sentinel for "never". */
+constexpr SimTime simTimeNever = ~SimTime(0);
+
+constexpr SimTime
+nsFromUs(uint64_t us)
+{
+    return us * 1'000ull;
+}
+
+constexpr SimTime
+nsFromMs(uint64_t ms)
+{
+    return ms * 1'000'000ull;
+}
+
+constexpr SimTime
+nsFromSec(double sec)
+{
+    return SimTime(sec * 1e9);
+}
+
+constexpr double
+toSeconds(SimTime t)
+{
+    return double(t) / 1e9;
+}
+
+} // namespace bgpbench::sim
+
+#endif // BGPBENCH_SIM_TIME_HH

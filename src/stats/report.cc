@@ -1,0 +1,166 @@
+#include "stats/report.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "net/logging.hh"
+
+namespace bgpbench::stats
+{
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header))
+{
+    if (header_.empty())
+        fatal("table needs at least one column");
+}
+
+void
+TextTable::addRow(std::vector<std::string> row)
+{
+    if (row.size() != header_.size())
+        fatal("table row width mismatch");
+    rows_.push_back(std::move(row));
+}
+
+void
+TextTable::print(std::ostream &os) const
+{
+    std::vector<size_t> width(header_.size());
+    for (size_t c = 0; c < header_.size(); ++c)
+        width[c] = header_[c].size();
+    for (const auto &row : rows_) {
+        for (size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+    }
+
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (size_t c = 0; c < row.size(); ++c) {
+            if (c)
+                os << "  ";
+            if (c == 0) {
+                os << row[c]
+                   << std::string(width[c] - row[c].size(), ' ');
+            } else {
+                os << std::string(width[c] - row[c].size(), ' ')
+                   << row[c];
+            }
+        }
+        os << '\n';
+    };
+
+    emit(header_);
+    size_t total = 0;
+    for (size_t c = 0; c < width.size(); ++c)
+        total += width[c] + (c ? 2 : 0);
+    os << std::string(total, '-') << '\n';
+    for (const auto &row : rows_)
+        emit(row);
+}
+
+void
+TextTable::printCsv(std::ostream &os) const
+{
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (size_t c = 0; c < row.size(); ++c) {
+            if (c)
+                os << ',';
+            os << row[c];
+        }
+        os << '\n';
+    };
+    emit(header_);
+    for (const auto &row : rows_)
+        emit(row);
+}
+
+std::string
+formatDouble(double value, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+    return buf;
+}
+
+void
+printAsciiChart(std::ostream &os, const TimeSeries &series,
+                const std::string &unit, double max_value,
+                size_t max_lines)
+{
+    constexpr size_t bar_width = 50;
+    size_t buckets = series.bucketCount();
+    if (buckets == 0) {
+        os << "(empty series)\n";
+        return;
+    }
+
+    if (max_value <= 0)
+        max_value = std::max(series.peak(), 1e-9);
+
+    // Group buckets so at most max_lines lines are printed.
+    size_t group = (buckets + max_lines - 1) / max_lines;
+    if (group == 0)
+        group = 1;
+
+    os << series.name() << " (" << unit << ", peak "
+       << formatDouble(series.peak(), 1) << ")\n";
+    for (size_t start = 0; start < buckets; start += group) {
+        double sum = 0.0;
+        size_t n = 0;
+        for (size_t i = start; i < std::min(start + group, buckets);
+             ++i, ++n) {
+            sum += series.bucket(i);
+        }
+        double value = n ? sum / double(n) : 0.0;
+        size_t bar = size_t(std::min(1.0, value / max_value) *
+                            double(bar_width));
+        double t = double(start) * series.bucketSeconds();
+        os << "  " << formatDouble(t, 0) << "s\t|"
+           << std::string(bar, '#')
+           << std::string(bar_width - bar, ' ') << "| "
+           << formatDouble(value, 1) << '\n';
+    }
+}
+
+void
+printSeriesTable(std::ostream &os,
+                 const std::vector<const TimeSeries *> &series,
+                 size_t max_rows)
+{
+    if (series.empty())
+        return;
+
+    size_t buckets = 0;
+    for (const auto *s : series)
+        buckets = std::max(buckets, s->bucketCount());
+    if (buckets == 0) {
+        os << "(empty series)\n";
+        return;
+    }
+
+    size_t group = (buckets + max_rows - 1) / max_rows;
+    if (group == 0)
+        group = 1;
+
+    os << "time(s)";
+    for (const auto *s : series)
+        os << '\t' << s->name();
+    os << '\n';
+
+    for (size_t start = 0; start < buckets; start += group) {
+        double t = double(start) * series[0]->bucketSeconds();
+        os << formatDouble(t, 0);
+        for (const auto *s : series) {
+            double sum = 0.0;
+            size_t n = 0;
+            for (size_t i = start;
+                 i < std::min(start + group, buckets); ++i, ++n) {
+                sum += s->bucket(i);
+            }
+            os << '\t' << formatDouble(n ? sum / double(n) : 0.0, 1);
+        }
+        os << '\n';
+    }
+}
+
+} // namespace bgpbench::stats

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Text output helpers for the benchmark harness: aligned tables,
+ * CSV emission, and ASCII time-series charts approximating the
+ * paper's figures in terminal output.
+ */
+
+#ifndef BGPBENCH_STATS_REPORT_HH
+#define BGPBENCH_STATS_REPORT_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "stats/time_series.hh"
+
+namespace bgpbench::stats
+{
+
+/**
+ * A simple fixed-width text table: set a header, add rows, print.
+ * Columns are right-aligned except the first.
+ */
+class TextTable
+{
+  public:
+    explicit TextTable(std::vector<std::string> header);
+
+    /** Add a data row; must match the header's column count. */
+    void addRow(std::vector<std::string> row);
+
+    /** Render with aligned columns and a separator under the header. */
+    void print(std::ostream &os) const;
+
+    /** Render as CSV. */
+    void printCsv(std::ostream &os) const;
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format a double with @p decimals digits after the point. */
+std::string formatDouble(double value, int decimals = 1);
+
+/**
+ * Render a bucketed series as a horizontal-bar ASCII chart, one line
+ * per bucket group, scaled to @p max_value (0 = auto).
+ */
+void printAsciiChart(std::ostream &os, const TimeSeries &series,
+                     const std::string &unit, double max_value = 0.0,
+                     size_t max_lines = 40);
+
+/**
+ * Render several aligned series as a column chart sharing a time
+ * axis (one output row per bucket, one column per series) — the
+ * textual analogue of the paper's stacked CPU-load plots.
+ */
+void printSeriesTable(std::ostream &os,
+                      const std::vector<const TimeSeries *> &series,
+                      size_t max_rows = 60);
+
+} // namespace bgpbench::stats
+
+#endif // BGPBENCH_STATS_REPORT_HH

@@ -1,0 +1,57 @@
+#include "stats/summary.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bgpbench::stats
+{
+
+double
+percentile(const std::vector<double> &sorted_samples, double q)
+{
+    if (sorted_samples.empty())
+        return 0.0;
+    if (q <= 0)
+        return sorted_samples.front();
+    if (q >= 1)
+        return sorted_samples.back();
+    double pos = q * double(sorted_samples.size() - 1);
+    size_t lo = size_t(pos);
+    double frac = pos - double(lo);
+    if (lo + 1 >= sorted_samples.size())
+        return sorted_samples.back();
+    return sorted_samples[lo] * (1 - frac) +
+           sorted_samples[lo + 1] * frac;
+}
+
+Summary
+summarize(std::vector<double> samples)
+{
+    Summary s;
+    if (samples.empty())
+        return s;
+
+    std::sort(samples.begin(), samples.end());
+    s.count = samples.size();
+    s.min = samples.front();
+    s.max = samples.back();
+
+    double sum = 0.0;
+    for (double v : samples)
+        sum += v;
+    s.mean = sum / double(samples.size());
+
+    double var = 0.0;
+    for (double v : samples)
+        var += (v - s.mean) * (v - s.mean);
+    s.stddev = samples.size() > 1
+                   ? std::sqrt(var / double(samples.size() - 1))
+                   : 0.0;
+
+    s.p50 = percentile(samples, 0.50);
+    s.p90 = percentile(samples, 0.90);
+    s.p99 = percentile(samples, 0.99);
+    return s;
+}
+
+} // namespace bgpbench::stats

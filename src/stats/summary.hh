@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Summary statistics over a sample set.
+ */
+
+#ifndef BGPBENCH_STATS_SUMMARY_HH
+#define BGPBENCH_STATS_SUMMARY_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace bgpbench::stats
+{
+
+/** Summary of a sample set. */
+struct Summary
+{
+    size_t count = 0;
+    double mean = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    double stddev = 0.0;
+    double p50 = 0.0;
+    double p90 = 0.0;
+    double p99 = 0.0;
+};
+
+/** Compute a Summary over @p samples (empty input yields zeros). */
+Summary summarize(std::vector<double> samples);
+
+/**
+ * Linear-interpolated percentile of sorted @p sorted_samples;
+ * @p q in [0, 1].
+ */
+double percentile(const std::vector<double> &sorted_samples, double q);
+
+} // namespace bgpbench::stats
+
+#endif // BGPBENCH_STATS_SUMMARY_HH

@@ -1,0 +1,52 @@
+#include "stats/time_series.hh"
+
+#include <algorithm>
+
+#include "net/logging.hh"
+
+namespace bgpbench::stats
+{
+
+TimeSeries::TimeSeries(double bucket_seconds, std::string name)
+    : bucketSeconds_(bucket_seconds), name_(std::move(name))
+{
+    if (bucket_seconds <= 0)
+        fatal("time series bucket width must be positive");
+}
+
+void
+TimeSeries::add(double at_seconds, double value)
+{
+    if (at_seconds < 0)
+        at_seconds = 0;
+    size_t index = size_t(at_seconds / bucketSeconds_);
+    if (index >= buckets_.size())
+        buckets_.resize(index + 1, 0.0);
+    buckets_[index] += value;
+}
+
+double
+TimeSeries::bucket(size_t index) const
+{
+    return index < buckets_.size() ? buckets_[index] : 0.0;
+}
+
+double
+TimeSeries::total() const
+{
+    double sum = 0.0;
+    for (double b : buckets_)
+        sum += b;
+    return sum;
+}
+
+double
+TimeSeries::peak() const
+{
+    double best = 0.0;
+    for (double b : buckets_)
+        best = std::max(best, b);
+    return best;
+}
+
+} // namespace bgpbench::stats

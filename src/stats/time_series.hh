@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Fixed-bucket time series for measurement output (CPU load over
+ * time, forwarding rate over time — Figures 3, 4, and 6).
+ */
+
+#ifndef BGPBENCH_STATS_TIME_SERIES_HH
+#define BGPBENCH_STATS_TIME_SERIES_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bgpbench::stats
+{
+
+/**
+ * Accumulating time series: values added at a timestamp land in the
+ * bucket covering it; each bucket holds the sum of its samples.
+ *
+ * Time is in seconds (double) so the stats layer stays independent of
+ * the simulator's clock representation.
+ */
+class TimeSeries
+{
+  public:
+    /**
+     * @param bucket_seconds Width of each bucket.
+     * @param name Series label used in reports.
+     */
+    explicit TimeSeries(double bucket_seconds = 1.0,
+                        std::string name = "");
+
+    const std::string &name() const { return name_; }
+    double bucketSeconds() const { return bucketSeconds_; }
+
+    /** Add @p value at time @p at_seconds. */
+    void add(double at_seconds, double value);
+
+    /** Number of buckets (index of last touched bucket + 1). */
+    size_t bucketCount() const { return buckets_.size(); }
+
+    /** Sum accumulated in bucket @p index (0 if untouched). */
+    double bucket(size_t index) const;
+
+    /** Bucket sum divided by the bucket width (a rate). */
+    double
+    rate(size_t index) const
+    {
+        return bucket(index) / bucketSeconds_;
+    }
+
+    /** Sum over all buckets. */
+    double total() const;
+
+    /** Largest bucket value. */
+    double peak() const;
+
+    const std::vector<double> &buckets() const { return buckets_; }
+
+  private:
+    double bucketSeconds_;
+    std::string name_;
+    std::vector<double> buckets_;
+};
+
+} // namespace bgpbench::stats
+
+#endif // BGPBENCH_STATS_TIME_SERIES_HH

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Cross-traffic (data-plane load) description.
+ *
+ * The paper's second experiment set injects forwarding traffic while
+ * the BGP benchmark runs (section V.B). The router model consumes
+ * this config as a fluid arrival process, materialising a sample of
+ * real packets per quantum for the RFC-1812 engine.
+ */
+
+#ifndef BGPBENCH_WORKLOAD_CROSS_TRAFFIC_HH
+#define BGPBENCH_WORKLOAD_CROSS_TRAFFIC_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "net/ipv4_address.hh"
+
+namespace bgpbench::workload
+{
+
+/** Offered data-plane load. */
+struct CrossTrafficConfig
+{
+    /** Offered rate in megabits per second (0 disables). */
+    double mbps = 0.0;
+    /** Frame size in bytes. */
+    uint32_t packetBytes = 1000;
+    /** Source address stamped on generated packets. */
+    net::Ipv4Address source = net::Ipv4Address(192, 168, 0, 1);
+    /**
+     * Destination addresses to cycle through; empty means the router
+     * model uses its static test route's destination.
+     */
+    std::vector<net::Ipv4Address> destinations;
+
+    /** Offered packets per second. */
+    double
+    packetsPerSecond() const
+    {
+        if (mbps <= 0 || packetBytes == 0)
+            return 0.0;
+        return mbps * 1e6 / (8.0 * double(packetBytes));
+    }
+};
+
+} // namespace bgpbench::workload
+
+#endif // BGPBENCH_WORKLOAD_CROSS_TRAFFIC_HH

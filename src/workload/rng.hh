@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Small deterministic PRNG for workload generation.
+ *
+ * std::mt19937 would work, but its state is large and its distributions
+ * are implementation-defined; benchmarks must produce identical
+ * workloads on every platform, so we use xoshiro256** with an explicit
+ * splitmix64 seeder.
+ */
+
+#ifndef BGPBENCH_WORKLOAD_RNG_HH
+#define BGPBENCH_WORKLOAD_RNG_HH
+
+#include <cstdint>
+
+namespace bgpbench::workload
+{
+
+/** xoshiro256** seeded via splitmix64; fully deterministic. */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed)
+    {
+        uint64_t x = seed;
+        for (auto &word : state_) {
+            // splitmix64 step.
+            x += 0x9e3779b97f4a7c15ULL;
+            uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    /** Next raw 64-bit value. */
+    uint64_t
+    next()
+    {
+        auto rotl = [](uint64_t v, int k) {
+            return (v << k) | (v >> (64 - k));
+        };
+        uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound) (bound > 0). */
+    uint64_t
+    below(uint64_t bound)
+    {
+        // Modulo bias is irrelevant for workload generation.
+        return next() % bound;
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    uint64_t
+    range(uint64_t lo, uint64_t hi)
+    {
+        return lo + below(hi - lo + 1);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return double(next() >> 11) * (1.0 / 9007199254740992.0);
+    }
+
+  private:
+    uint64_t state_[4];
+};
+
+} // namespace bgpbench::workload
+
+#endif // BGPBENCH_WORKLOAD_RNG_HH

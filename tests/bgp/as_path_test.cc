@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Tests for the AS_PATH attribute.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bgp/as_path.hh"
+#include "workload/rng.hh"
+
+using namespace bgpbench;
+using bgp::AsPath;
+
+TEST(AsPath, EmptyPath)
+{
+    AsPath path;
+    EXPECT_TRUE(path.empty());
+    EXPECT_EQ(path.pathLength(), 0);
+    EXPECT_EQ(path.firstAs(), 0);
+    EXPECT_EQ(path.originAs(), 0);
+    EXPECT_EQ(path.toString(), "");
+}
+
+TEST(AsPath, SequenceBasics)
+{
+    AsPath path = AsPath::sequence({100, 200, 300});
+    EXPECT_EQ(path.pathLength(), 3);
+    EXPECT_EQ(path.firstAs(), 100);
+    EXPECT_EQ(path.originAs(), 300);
+    EXPECT_TRUE(path.contains(200));
+    EXPECT_FALSE(path.contains(400));
+    EXPECT_EQ(path.toString(), "100 200 300");
+}
+
+TEST(AsPath, PrependExtendsLeadingSequence)
+{
+    AsPath path = AsPath::sequence({200, 300});
+    path.prepend(100);
+    EXPECT_EQ(path.pathLength(), 3);
+    EXPECT_EQ(path.firstAs(), 100);
+    EXPECT_EQ(path.segments().size(), 1u);
+}
+
+TEST(AsPath, PrependOntoEmptyCreatesSequence)
+{
+    AsPath path;
+    path.prepend(42);
+    EXPECT_EQ(path.pathLength(), 1);
+    EXPECT_EQ(path.firstAs(), 42);
+    EXPECT_EQ(path.originAs(), 42);
+}
+
+TEST(AsPath, PrependBeforeSetCreatesNewSegment)
+{
+    AsPath path;
+    path.addSegment({AsPath::SegmentType::AsSet, {300, 400}});
+    path.prepend(100);
+    ASSERT_EQ(path.segments().size(), 2u);
+    EXPECT_EQ(path.segments()[0].type,
+              AsPath::SegmentType::AsSequence);
+    EXPECT_EQ(path.firstAs(), 100);
+}
+
+TEST(AsPath, PrependSplitsFullSegment)
+{
+    std::vector<bgp::AsNumber> full(255, 7);
+    AsPath path = AsPath::sequence(full);
+    path.prepend(9);
+    ASSERT_EQ(path.segments().size(), 2u);
+    EXPECT_EQ(path.segments()[0].asns.size(), 1u);
+    EXPECT_EQ(path.pathLength(), 256);
+}
+
+TEST(AsPath, SetCountsAsOneHop)
+{
+    AsPath path = AsPath::sequence({100});
+    path.addSegment({AsPath::SegmentType::AsSet, {200, 300, 400}});
+    EXPECT_EQ(path.pathLength(), 2);
+    EXPECT_EQ(path.toString(), "100 {200,300,400}");
+    EXPECT_EQ(path.originAs(), 400);
+}
+
+TEST(AsPath, EncodeDecodeRoundTrip)
+{
+    AsPath path = AsPath::sequence({100, 200});
+    path.addSegment({AsPath::SegmentType::AsSet, {300, 400}});
+
+    net::ByteWriter w;
+    path.encodeValue(w);
+    EXPECT_EQ(w.size(), path.encodedValueSize());
+
+    auto bytes = w.take();
+    net::ByteReader r(bytes);
+    AsPath decoded = AsPath::decodeValue(r);
+    EXPECT_TRUE(r.ok());
+    EXPECT_EQ(decoded, path);
+}
+
+TEST(AsPath, DecodeRejectsBadSegmentType)
+{
+    std::vector<uint8_t> bytes = {9, 1, 0, 100};
+    net::ByteReader r(bytes);
+    AsPath::decodeValue(r);
+    EXPECT_FALSE(r.ok());
+}
+
+TEST(AsPath, DecodeRejectsEmptySegment)
+{
+    std::vector<uint8_t> bytes = {2, 0};
+    net::ByteReader r(bytes);
+    AsPath::decodeValue(r);
+    EXPECT_FALSE(r.ok());
+}
+
+TEST(AsPath, DecodeRejectsTruncatedSegment)
+{
+    std::vector<uint8_t> bytes = {2, 3, 0, 100, 0}; // promises 3 ASes
+    net::ByteReader r(bytes);
+    AsPath::decodeValue(r);
+    EXPECT_FALSE(r.ok());
+}
+
+/** Property: encode/decode is the identity for random valid paths. */
+TEST(AsPathProperty, RandomRoundTrip)
+{
+    workload::Rng rng(17);
+    for (int trial = 0; trial < 300; ++trial) {
+        AsPath path;
+        int segments = int(rng.range(0, 4));
+        for (int s = 0; s < segments; ++s) {
+            AsPath::Segment seg;
+            seg.type = rng.below(2) ? AsPath::SegmentType::AsSequence
+                                    : AsPath::SegmentType::AsSet;
+            int count = int(rng.range(1, 12));
+            for (int i = 0; i < count; ++i)
+                seg.asns.push_back(bgp::AsNumber(rng.range(1, 65535)));
+            path.addSegment(std::move(seg));
+        }
+
+        net::ByteWriter w;
+        path.encodeValue(w);
+        auto bytes = w.take();
+        ASSERT_EQ(bytes.size(), path.encodedValueSize());
+
+        net::ByteReader r(bytes);
+        AsPath decoded = AsPath::decodeValue(r);
+        ASSERT_TRUE(r.ok());
+        EXPECT_EQ(decoded, path);
+        EXPECT_EQ(decoded.pathLength(), path.pathLength());
+    }
+}
+
+/** Property: prepend increases pathLength by exactly one. */
+TEST(AsPathProperty, PrependAddsOneHop)
+{
+    workload::Rng rng(19);
+    AsPath path;
+    for (int i = 0; i < 600; ++i) {
+        int before = path.pathLength();
+        auto asn = bgp::AsNumber(rng.range(1, 65535));
+        path.prepend(asn);
+        EXPECT_EQ(path.pathLength(), before + 1);
+        EXPECT_EQ(path.firstAs(), asn);
+        EXPECT_TRUE(path.contains(asn));
+    }
+}

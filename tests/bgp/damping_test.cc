@@ -1,0 +1,272 @@
+/**
+ * @file
+ * Tests for route flap damping (RFC 2439), standalone and integrated
+ * into the speaker.
+ */
+
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <map>
+
+#include "bgp/damping.hh"
+#include "bgp/speaker.hh"
+
+using namespace bgpbench;
+using namespace bgpbench::bgp;
+
+namespace
+{
+
+constexpr uint64_t sec = 1'000'000'000ull;
+
+DampingConfig
+testConfig()
+{
+    DampingConfig config;
+    config.enabled = true;
+    config.withdrawPenalty = 1000;
+    config.reAnnouncePenalty = 500;
+    config.attributeChangePenalty = 500;
+    config.suppressThreshold = 2000;
+    config.reuseThreshold = 750;
+    config.halfLifeSec = 900;
+    return config;
+}
+
+const net::Prefix p = net::Prefix::fromString("10.1.0.0/16");
+
+} // namespace
+
+TEST(FlapDamper, DisabledDoesNothing)
+{
+    FlapDamper damper(DampingConfig{}); // enabled = false
+    EXPECT_FALSE(damper.onWithdraw(1, p, 0));
+    EXPECT_FALSE(damper.onAnnounce(1, p, true, 0));
+    EXPECT_FALSE(damper.isSuppressed(1, p, 0));
+    EXPECT_EQ(damper.trackedRoutes(), 0u);
+}
+
+TEST(FlapDamper, FreshAnnouncementCarriesNoPenalty)
+{
+    FlapDamper damper(testConfig());
+    EXPECT_FALSE(damper.onAnnounce(1, p, false, 0));
+    EXPECT_EQ(damper.penalty(1, p, 0), 0.0);
+}
+
+TEST(FlapDamper, SingleWithdrawDoesNotSuppress)
+{
+    FlapDamper damper(testConfig());
+    EXPECT_FALSE(damper.onWithdraw(1, p, 0));
+    EXPECT_NEAR(damper.penalty(1, p, 0), 1000.0, 1e-9);
+    EXPECT_FALSE(damper.isSuppressed(1, p, 0));
+}
+
+TEST(FlapDamper, RepeatedFlapsSuppress)
+{
+    FlapDamper damper(testConfig());
+    // withdraw (1000) + re-announce (500) + withdraw (1000) = 2500.
+    EXPECT_FALSE(damper.onWithdraw(1, p, 0));
+    EXPECT_FALSE(damper.onAnnounce(1, p, false, 1 * sec));
+    EXPECT_TRUE(damper.onWithdraw(1, p, 2 * sec));
+    EXPECT_TRUE(damper.isSuppressed(1, p, 2 * sec));
+}
+
+TEST(FlapDamper, PenaltyDecaysWithHalfLife)
+{
+    FlapDamper damper(testConfig());
+    damper.onWithdraw(1, p, 0);
+    EXPECT_NEAR(damper.penalty(1, p, 900 * sec), 500.0, 1.0);
+    EXPECT_NEAR(damper.penalty(1, p, 1800 * sec), 250.0, 1.0);
+}
+
+TEST(FlapDamper, SuppressionLapsesAtReuseThreshold)
+{
+    FlapDamper damper(testConfig());
+    damper.onWithdraw(1, p, 0);
+    damper.onAnnounce(1, p, false, 0);
+    damper.onWithdraw(1, p, 0); // penalty 2500, suppressed
+    ASSERT_TRUE(damper.isSuppressed(1, p, 0));
+
+    // 2500 -> 750 takes halfLife * log2(2500/750) ~ 1563 s.
+    EXPECT_TRUE(damper.isSuppressed(1, p, 1500 * sec));
+    EXPECT_FALSE(damper.isSuppressed(1, p, 1700 * sec));
+}
+
+TEST(FlapDamper, PenaltyCapped)
+{
+    FlapDamper damper(testConfig());
+    for (int i = 0; i < 100; ++i)
+        damper.onWithdraw(1, p, 0);
+    EXPECT_LE(damper.penalty(1, p, 0), testConfig().maxPenalty);
+}
+
+TEST(FlapDamper, PeersTrackedIndependently)
+{
+    FlapDamper damper(testConfig());
+    damper.onWithdraw(1, p, 0);
+    damper.onAnnounce(1, p, false, 0);
+    damper.onWithdraw(1, p, 0);
+    EXPECT_TRUE(damper.isSuppressed(1, p, 0));
+    EXPECT_FALSE(damper.isSuppressed(2, p, 0));
+    EXPECT_EQ(damper.suppressedCount(0), 1u);
+}
+
+TEST(FlapDamper, TakeReusableReportsLapsedRoutes)
+{
+    FlapDamper damper(testConfig());
+    damper.onWithdraw(1, p, 0);
+    damper.onAnnounce(1, p, false, 0);
+    damper.onWithdraw(1, p, 0);
+    ASSERT_TRUE(damper.isSuppressed(1, p, 0));
+
+    EXPECT_TRUE(damper.takeReusable(100 * sec).empty());
+
+    auto reusable = damper.takeReusable(2000 * sec);
+    ASSERT_EQ(reusable.size(), 1u);
+    EXPECT_EQ(reusable[0].first, PeerId(1));
+    EXPECT_EQ(reusable[0].second, p);
+}
+
+TEST(FlapDamper, GarbageCollectsDecayedHistories)
+{
+    FlapDamper damper(testConfig());
+    damper.onWithdraw(1, p, 0);
+    EXPECT_EQ(damper.trackedRoutes(), 1u);
+    // After many half-lives the entry decays to noise and is dropped.
+    damper.takeReusable(20000 * sec);
+    EXPECT_EQ(damper.trackedRoutes(), 0u);
+}
+
+// ---------------------------------------------------------------------
+// Speaker integration: a flapping route gets suppressed and recovers.
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+/** Minimal harness: one speaker fed raw wire messages. */
+class Harness : public SpeakerEvents
+{
+  public:
+    explicit Harness(DampingConfig damping)
+    {
+        SpeakerConfig config;
+        config.localAs = 65000;
+        config.routerId = 1;
+        config.localAddress = net::Ipv4Address(10, 0, 0, 1);
+        // Hold timer disabled: damping-recovery tests jump thousands
+        // of seconds ahead without traffic.
+        config.holdTimeSec = 0;
+        config.damping = damping;
+        speaker = std::make_unique<BgpSpeaker>(config, this);
+
+        PeerConfig peer;
+        peer.id = 0;
+        peer.asn = 65001;
+        speaker->addPeer(peer);
+        speaker->startPeer(0, 0);
+        speaker->tcpEstablished(0, 0);
+
+        OpenMessage open;
+        open.myAs = 65001;
+        open.holdTimeSec = 0;
+        open.bgpIdentifier = 99;
+        speaker->handleMessage(0, open, 0);
+        speaker->handleMessage(0, KeepaliveMessage{}, 0);
+    }
+
+    void
+    onTransmit(PeerId, MessageType, std::vector<uint8_t>,
+               size_t) override
+    {}
+
+    void
+    announce(const net::Prefix &prefix, uint64_t now)
+    {
+        PathAttributes attrs;
+        attrs.asPath = AsPath::sequence({65001});
+        attrs.nextHop = net::Ipv4Address(10, 0, 1, 2);
+        UpdateMessage update;
+        update.attributes = makeAttributes(std::move(attrs));
+        update.nlri = {prefix};
+        speaker->handleMessage(0, update, now);
+    }
+
+    void
+    withdraw(const net::Prefix &prefix, uint64_t now)
+    {
+        UpdateMessage update;
+        update.withdrawnRoutes = {prefix};
+        speaker->handleMessage(0, update, now);
+    }
+
+    std::unique_ptr<BgpSpeaker> speaker;
+};
+
+} // namespace
+
+TEST(SpeakerDamping, FlappingRouteGetsSuppressed)
+{
+    Harness h(testConfig());
+
+    h.announce(p, 0);
+    EXPECT_NE(h.speaker->locRib().find(p), nullptr);
+
+    // Flap: withdraw + announce + withdraw crosses the threshold.
+    h.withdraw(p, 1 * sec);
+    h.announce(p, 2 * sec);
+    h.withdraw(p, 3 * sec);
+    h.announce(p, 4 * sec);
+
+    // The route is announced and stored, but suppressed: not in the
+    // Loc-RIB.
+    EXPECT_NE(h.speaker->adjRibIn(0).find(p), nullptr);
+    EXPECT_EQ(h.speaker->locRib().find(p), nullptr);
+    EXPECT_GT(h.speaker->counters().announcementsSuppressed, 0u);
+}
+
+TEST(SpeakerDamping, SuppressedRouteRecoversViaTimers)
+{
+    Harness h(testConfig());
+    h.announce(p, 0);
+    h.withdraw(p, 1 * sec);
+    h.announce(p, 2 * sec);
+    h.withdraw(p, 3 * sec);
+    h.announce(p, 4 * sec);
+    ASSERT_EQ(h.speaker->locRib().find(p), nullptr);
+
+    // Long quiet period: the penalty decays; the timer poll reuses
+    // the route.
+    h.speaker->pollTimers(4000 * sec);
+    EXPECT_NE(h.speaker->locRib().find(p), nullptr);
+}
+
+TEST(SpeakerDamping, DisabledByDefault)
+{
+    Harness h(DampingConfig{});
+    h.announce(p, 0);
+    for (int i = 0; i < 10; ++i) {
+        h.withdraw(p, uint64_t(2 * i + 1) * sec);
+        h.announce(p, uint64_t(2 * i + 2) * sec);
+    }
+    // Never suppressed without damping.
+    EXPECT_NE(h.speaker->locRib().find(p), nullptr);
+    EXPECT_EQ(h.speaker->counters().announcementsSuppressed, 0u);
+}
+
+TEST(SpeakerDamping, StableRoutesUnaffected)
+{
+    Harness h(testConfig());
+    const auto q = net::Prefix::fromString("10.2.0.0/16");
+    h.announce(p, 0);
+    h.announce(q, 0);
+    // p flaps; q stays stable.
+    h.withdraw(p, 1 * sec);
+    h.announce(p, 2 * sec);
+    h.withdraw(p, 3 * sec);
+    h.announce(p, 4 * sec);
+
+    EXPECT_EQ(h.speaker->locRib().find(p), nullptr);
+    EXPECT_NE(h.speaker->locRib().find(q), nullptr);
+}

@@ -1,0 +1,269 @@
+/**
+ * @file
+ * Tests for the decision process's preference order.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bgp/decision.hh"
+#include "workload/rng.hh"
+
+using namespace bgpbench;
+using namespace bgpbench::bgp;
+
+namespace
+{
+
+Candidate
+candidate(std::vector<AsNumber> path, uint32_t peer = 1,
+          RouterId router_id = 10, bool external = true)
+{
+    PathAttributes attrs;
+    attrs.asPath = AsPath::sequence(std::move(path));
+    attrs.nextHop = net::Ipv4Address(10, 0, 0, uint8_t(peer));
+    return Candidate{makeAttributes(std::move(attrs)), peer,
+                     router_id, external};
+}
+
+Candidate
+withLocalPref(Candidate c, uint32_t lp)
+{
+    PathAttributes attrs = *c.attributes;
+    attrs.localPref = lp;
+    c.attributes = makeAttributes(std::move(attrs));
+    return c;
+}
+
+Candidate
+withMed(Candidate c, uint32_t med)
+{
+    PathAttributes attrs = *c.attributes;
+    attrs.med = med;
+    c.attributes = makeAttributes(std::move(attrs));
+    return c;
+}
+
+Candidate
+withOrigin(Candidate c, Origin origin)
+{
+    PathAttributes attrs = *c.attributes;
+    attrs.origin = origin;
+    c.attributes = makeAttributes(std::move(attrs));
+    return c;
+}
+
+} // namespace
+
+TEST(Decision, HigherLocalPrefWins)
+{
+    auto a = withLocalPref(candidate({100, 200, 300}), 200);
+    auto b = withLocalPref(candidate({100}), 100);
+    // Despite the longer path, higher LOCAL_PREF wins.
+    EXPECT_LT(compareCandidates(a, b), 0);
+    EXPECT_GT(compareCandidates(b, a), 0);
+}
+
+TEST(Decision, AbsentLocalPrefUsesDefault)
+{
+    DecisionConfig config;
+    config.defaultLocalPref = 100;
+    auto a = candidate({100});                       // default 100
+    auto b = withLocalPref(candidate({100, 200}), 150);
+    EXPECT_GT(compareCandidates(a, b, config), 0); // b preferred
+}
+
+TEST(Decision, ShorterAsPathWins)
+{
+    auto a = candidate({100, 200});
+    auto b = candidate({100, 200, 300});
+    EXPECT_LT(compareCandidates(a, b), 0);
+}
+
+TEST(Decision, AsSetCountsAsOneHop)
+{
+    auto a = candidate({100, 200});   // length 2
+    Candidate b = candidate({100});   // 1 + set = 2
+    {
+        PathAttributes attrs = *b.attributes;
+        attrs.asPath.addSegment(
+            {AsPath::SegmentType::AsSet, {300, 400, 500}});
+        b.attributes = makeAttributes(std::move(attrs));
+    }
+    // Equal path length: falls through to later tie-breakers
+    // (equal here except peer id).
+    a.peerRouterId = 1;
+    b.peerRouterId = 2;
+    EXPECT_LT(compareCandidates(a, b), 0);
+}
+
+TEST(Decision, LowerOriginWins)
+{
+    auto a = withOrigin(candidate({100}), Origin::Igp);
+    auto b = withOrigin(candidate({100}, 2, 20), Origin::Incomplete);
+    EXPECT_LT(compareCandidates(a, b), 0);
+}
+
+TEST(Decision, MedComparedForSameNeighborAs)
+{
+    auto a = withMed(candidate({100, 300}), 10);
+    auto b = withMed(candidate({100, 400}, 2, 20), 5);
+    // Same first AS (100): lower MED wins.
+    EXPECT_GT(compareCandidates(a, b), 0);
+}
+
+TEST(Decision, MedIgnoredAcrossNeighborAses)
+{
+    DecisionConfig config;
+    config.alwaysCompareMed = false;
+    auto a = withMed(candidate({100, 300}, 1, 10), 50);
+    auto b = withMed(candidate({200, 300}, 2, 20), 5);
+    // Different first AS: MED skipped; tie broken by router id.
+    EXPECT_LT(compareCandidates(a, b, config), 0);
+}
+
+TEST(Decision, AlwaysCompareMedOverridesNeighborCheck)
+{
+    DecisionConfig config;
+    config.alwaysCompareMed = true;
+    auto a = withMed(candidate({100, 300}, 1, 10), 50);
+    auto b = withMed(candidate({200, 300}, 2, 20), 5);
+    EXPECT_GT(compareCandidates(a, b, config), 0);
+}
+
+TEST(Decision, MissingMedTreatedAsZero)
+{
+    auto a = candidate({100, 300});              // no MED = 0
+    auto b = withMed(candidate({100, 400}, 2, 20), 5);
+    EXPECT_LT(compareCandidates(a, b), 0);
+}
+
+TEST(Decision, EbgpPreferredOverIbgp)
+{
+    auto a = candidate({100}, 1, 10, false); // iBGP
+    auto b = candidate({100}, 2, 20, true);  // eBGP
+    EXPECT_GT(compareCandidates(a, b), 0);
+}
+
+TEST(Decision, LowestRouterIdBreaksFinalTie)
+{
+    auto a = candidate({100}, 1, 42, true);
+    auto b = candidate({100}, 2, 7, true);
+    EXPECT_GT(compareCandidates(a, b), 0);
+}
+
+TEST(Decision, IdenticalCandidatesCompareEqual)
+{
+    auto a = candidate({100}, 1, 10, true);
+    auto b = candidate({100}, 2, 10, true);
+    EXPECT_EQ(compareCandidates(a, b), 0);
+}
+
+TEST(Decision, SelectBestEmptyReturnsNothing)
+{
+    EXPECT_FALSE(selectBest({}).has_value());
+}
+
+TEST(Decision, SelectBestPicksMinimum)
+{
+    std::vector<Candidate> candidates = {
+        candidate({100, 200, 300}, 1, 10),
+        candidate({100}, 2, 20),
+        candidate({100, 200}, 3, 30),
+    };
+    auto best = selectBest(candidates);
+    ASSERT_TRUE(best.has_value());
+    EXPECT_EQ(*best, 1u);
+}
+
+/**
+ * Property: with always-compare-med the comparison is a strict weak
+ * ordering. (The RFC's neighbor-AS-conditional MED rule is famously
+ * NOT transitive — the root of real-world MED oscillation — so the
+ * property only holds in the always-compare configuration.)
+ */
+TEST(DecisionProperty, StrictWeakOrdering)
+{
+    DecisionConfig config;
+    config.alwaysCompareMed = true;
+    workload::Rng rng(23);
+    std::vector<Candidate> pool;
+    for (int i = 0; i < 24; ++i) {
+        std::vector<AsNumber> path;
+        int hops = int(rng.range(1, 4));
+        for (int h = 0; h < hops; ++h)
+            path.push_back(AsNumber(rng.range(100, 110)));
+        Candidate c = candidate(std::move(path),
+                                uint32_t(rng.range(1, 4)),
+                                RouterId(rng.range(1, 4)),
+                                rng.below(2) == 0);
+        if (rng.below(2))
+            c = withLocalPref(c, uint32_t(rng.range(50, 150)));
+        if (rng.below(2))
+            c = withMed(c, uint32_t(rng.range(0, 10)));
+        pool.push_back(std::move(c));
+    }
+
+    for (const auto &a : pool) {
+        EXPECT_EQ(compareCandidates(a, a, config), 0);
+        for (const auto &b : pool) {
+            // Antisymmetry.
+            EXPECT_EQ(compareCandidates(a, b, config) < 0,
+                      compareCandidates(b, a, config) > 0);
+            for (const auto &c : pool) {
+                // Transitivity of strict preference.
+                if (compareCandidates(a, b, config) < 0 &&
+                    compareCandidates(b, c, config) < 0) {
+                    EXPECT_LT(compareCandidates(a, c, config), 0);
+                }
+            }
+        }
+    }
+}
+
+/**
+ * Documenting test: the conditional MED rule (RFC 4271 9.1.2.2 c) is
+ * intransitive. Three routes can form a preference cycle.
+ */
+TEST(Decision, ConditionalMedIsIntransitive)
+{
+    DecisionConfig config;
+    config.alwaysCompareMed = false;
+
+    // a: via AS 100, MED 10, router id 30
+    // b: via AS 100, MED 50, router id 10
+    // c: via AS 200, no MED, router id 20
+    auto a = withMed(candidate({100, 900}, 1, 30), 10);
+    auto b = withMed(candidate({100, 901}, 2, 10), 50);
+    auto c = candidate({200, 902}, 3, 20);
+
+    // a beats b on MED (same neighbor AS).
+    EXPECT_LT(compareCandidates(a, b, config), 0);
+    // b beats c on router id (MED not comparable).
+    EXPECT_LT(compareCandidates(b, c, config), 0);
+    // ...but c beats a on router id: a cycle.
+    EXPECT_LT(compareCandidates(c, a, config), 0);
+}
+
+/** Property: selectBest returns an element no other one beats. */
+TEST(DecisionProperty, SelectBestIsUnbeaten)
+{
+    workload::Rng rng(29);
+    for (int trial = 0; trial < 100; ++trial) {
+        std::vector<Candidate> candidates;
+        int n = int(rng.range(1, 10));
+        for (int i = 0; i < n; ++i) {
+            std::vector<AsNumber> path;
+            int hops = int(rng.range(1, 5));
+            for (int h = 0; h < hops; ++h)
+                path.push_back(AsNumber(rng.range(100, 200)));
+            candidates.push_back(candidate(
+                std::move(path), uint32_t(i + 1),
+                RouterId(rng.range(1, 100)), rng.below(2) == 0));
+        }
+        auto best = selectBest(candidates);
+        ASSERT_TRUE(best.has_value());
+        for (const auto &other : candidates) {
+            EXPECT_LE(compareCandidates(candidates[*best], other), 0);
+        }
+    }
+}

@@ -1,0 +1,266 @@
+/**
+ * @file
+ * Tests for path-attribute block encoding/decoding, including the
+ * RFC 4271 section 6.3 validation rules.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bgp/path_attributes.hh"
+#include "workload/rng.hh"
+
+using namespace bgpbench;
+using bgp::AsPath;
+using bgp::DecodeError;
+using bgp::PathAttributes;
+
+namespace
+{
+
+PathAttributes
+baseAttrs()
+{
+    PathAttributes attrs;
+    attrs.origin = bgp::Origin::Igp;
+    attrs.asPath = AsPath::sequence({100, 200});
+    attrs.nextHop = net::Ipv4Address(10, 0, 0, 1);
+    return attrs;
+}
+
+std::optional<PathAttributes>
+roundTrip(const PathAttributes &attrs, DecodeError &error)
+{
+    net::ByteWriter w;
+    attrs.encode(w);
+    auto bytes = w.take();
+    net::ByteReader r(bytes);
+    return PathAttributes::decode(r, error);
+}
+
+} // namespace
+
+TEST(PathAttributes, MandatoryOnlyRoundTrip)
+{
+    DecodeError error;
+    auto decoded = roundTrip(baseAttrs(), error);
+    ASSERT_TRUE(decoded.has_value()) << error.detail;
+    EXPECT_EQ(*decoded, baseAttrs());
+}
+
+TEST(PathAttributes, AllAttributesRoundTrip)
+{
+    PathAttributes attrs = baseAttrs();
+    attrs.origin = bgp::Origin::Incomplete;
+    attrs.med = 50;
+    attrs.localPref = 200;
+    attrs.atomicAggregate = true;
+    attrs.aggregator =
+        bgp::Aggregator{300, net::Ipv4Address(10, 9, 9, 9)};
+    attrs.communities = {0x00640001, 0x00640002};
+
+    DecodeError error;
+    auto decoded = roundTrip(attrs, error);
+    ASSERT_TRUE(decoded.has_value()) << error.detail;
+    EXPECT_EQ(*decoded, attrs);
+}
+
+TEST(PathAttributes, EncodedSizeMatchesEncoding)
+{
+    PathAttributes attrs = baseAttrs();
+    attrs.med = 1;
+    attrs.communities = {1, 2, 3};
+    net::ByteWriter w;
+    attrs.encode(w);
+    EXPECT_EQ(w.size(), attrs.encodedSize());
+}
+
+TEST(PathAttributes, MissingMandatoryRejected)
+{
+    // Encode only an ORIGIN attribute by hand.
+    net::ByteWriter w;
+    w.writeU8(0x40); // well-known transitive
+    w.writeU8(1);    // ORIGIN
+    w.writeU8(1);
+    w.writeU8(0);
+    auto bytes = w.take();
+    net::ByteReader r(bytes);
+    DecodeError error;
+    EXPECT_FALSE(PathAttributes::decode(r, error).has_value());
+    EXPECT_EQ(error.code, bgp::ErrorCode::UpdateMessageError);
+    EXPECT_EQ(error.subcode,
+              uint8_t(bgp::UpdateSubcode::MissingWellKnownAttribute));
+}
+
+TEST(PathAttributes, BadOriginValueRejected)
+{
+    net::ByteWriter w;
+    w.writeU8(0x40);
+    w.writeU8(1);
+    w.writeU8(1);
+    w.writeU8(9); // invalid origin
+    auto bytes = w.take();
+    net::ByteReader r(bytes);
+    DecodeError error;
+    EXPECT_FALSE(PathAttributes::decode(r, error).has_value());
+    EXPECT_EQ(error.subcode,
+              uint8_t(bgp::UpdateSubcode::InvalidOriginAttribute));
+}
+
+TEST(PathAttributes, DuplicateAttributeRejected)
+{
+    PathAttributes attrs = baseAttrs();
+    net::ByteWriter w;
+    attrs.encode(w);
+    attrs.encode(w); // every attribute now appears twice
+    auto bytes = w.take();
+    net::ByteReader r(bytes);
+    DecodeError error;
+    EXPECT_FALSE(PathAttributes::decode(r, error).has_value());
+    EXPECT_EQ(error.subcode,
+              uint8_t(bgp::UpdateSubcode::MalformedAttributeList));
+}
+
+TEST(PathAttributes, WrongFlagsRejected)
+{
+    net::ByteWriter w;
+    w.writeU8(0x80); // ORIGIN marked optional: wrong
+    w.writeU8(1);
+    w.writeU8(1);
+    w.writeU8(0);
+    auto bytes = w.take();
+    net::ByteReader r(bytes);
+    DecodeError error;
+    EXPECT_FALSE(PathAttributes::decode(r, error).has_value());
+    EXPECT_EQ(error.subcode,
+              uint8_t(bgp::UpdateSubcode::AttributeFlagsError));
+}
+
+TEST(PathAttributes, AttributeOverrunRejected)
+{
+    net::ByteWriter w;
+    w.writeU8(0x40);
+    w.writeU8(1);
+    w.writeU8(200); // claims 200 value bytes, none present
+    auto bytes = w.take();
+    net::ByteReader r(bytes);
+    DecodeError error;
+    EXPECT_FALSE(PathAttributes::decode(r, error).has_value());
+    EXPECT_EQ(error.subcode,
+              uint8_t(bgp::UpdateSubcode::AttributeLengthError));
+}
+
+TEST(PathAttributes, ZeroNextHopRejected)
+{
+    PathAttributes attrs = baseAttrs();
+    attrs.nextHop = net::Ipv4Address();
+    DecodeError error;
+    EXPECT_FALSE(roundTrip(attrs, error).has_value());
+    EXPECT_EQ(error.subcode,
+              uint8_t(bgp::UpdateSubcode::InvalidNextHopAttribute));
+}
+
+TEST(PathAttributes, UnknownOptionalAttributeSkipped)
+{
+    PathAttributes attrs = baseAttrs();
+    net::ByteWriter w;
+    attrs.encode(w);
+    // Append an unknown optional transitive attribute (type 99).
+    w.writeU8(0xc0);
+    w.writeU8(99);
+    w.writeU8(2);
+    w.writeU16(0xbeef);
+
+    auto bytes = w.take();
+    net::ByteReader r(bytes);
+    DecodeError error;
+    auto decoded = PathAttributes::decode(r, error);
+    ASSERT_TRUE(decoded.has_value()) << error.detail;
+    EXPECT_EQ(*decoded, attrs);
+}
+
+TEST(PathAttributes, UnknownWellKnownAttributeRejected)
+{
+    PathAttributes attrs = baseAttrs();
+    net::ByteWriter w;
+    attrs.encode(w);
+    w.writeU8(0x40); // well-known flag, unknown type
+    w.writeU8(99);
+    w.writeU8(0);
+
+    auto bytes = w.take();
+    net::ByteReader r(bytes);
+    DecodeError error;
+    EXPECT_FALSE(PathAttributes::decode(r, error).has_value());
+    EXPECT_EQ(
+        error.subcode,
+        uint8_t(bgp::UpdateSubcode::UnrecognizedWellKnownAttribute));
+}
+
+TEST(PathAttributes, CommunitiesSortedOnDecode)
+{
+    PathAttributes attrs = baseAttrs();
+    attrs.communities = {5, 1, 3}; // encode() writes them as given
+    net::ByteWriter w;
+    attrs.encode(w);
+    auto bytes = w.take();
+    net::ByteReader r(bytes);
+    DecodeError error;
+    auto decoded = PathAttributes::decode(r, error);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(decoded->communities, (std::vector<uint32_t>{1, 3, 5}));
+}
+
+TEST(PathAttributes, LongAsPathUsesExtendedLength)
+{
+    PathAttributes attrs = baseAttrs();
+    std::vector<bgp::AsNumber> long_path;
+    for (int i = 0; i < 200; ++i)
+        long_path.push_back(bgp::AsNumber(1000 + i));
+    attrs.asPath = AsPath::sequence(long_path);
+    ASSERT_GT(attrs.asPath.encodedValueSize(), 255u);
+
+    DecodeError error;
+    auto decoded = roundTrip(attrs, error);
+    ASSERT_TRUE(decoded.has_value()) << error.detail;
+    EXPECT_EQ(decoded->asPath, attrs.asPath);
+}
+
+/** Property: random attribute sets survive the wire unchanged. */
+TEST(PathAttributesProperty, RandomRoundTrip)
+{
+    workload::Rng rng(31);
+    for (int trial = 0; trial < 300; ++trial) {
+        PathAttributes attrs;
+        attrs.origin = bgp::Origin(rng.range(0, 2));
+        std::vector<bgp::AsNumber> path;
+        int hops = int(rng.range(1, 8));
+        for (int i = 0; i < hops; ++i)
+            path.push_back(bgp::AsNumber(rng.range(1, 65535)));
+        attrs.asPath = AsPath::sequence(path);
+        attrs.nextHop =
+            net::Ipv4Address(uint32_t(rng.range(1, 0xfffffffe)));
+        if (rng.below(2))
+            attrs.med = uint32_t(rng.next());
+        if (rng.below(2))
+            attrs.localPref = uint32_t(rng.next());
+        attrs.atomicAggregate = rng.below(2);
+        if (rng.below(3) == 0) {
+            attrs.aggregator = bgp::Aggregator{
+                bgp::AsNumber(rng.range(1, 65535)),
+                net::Ipv4Address(uint32_t(rng.next()))};
+        }
+        int communities = int(rng.range(0, 5));
+        for (int i = 0; i < communities; ++i)
+            attrs.communities.push_back(uint32_t(rng.next()));
+        std::sort(attrs.communities.begin(), attrs.communities.end());
+        attrs.communities.erase(std::unique(attrs.communities.begin(),
+                                            attrs.communities.end()),
+                                attrs.communities.end());
+
+        DecodeError error;
+        auto decoded = roundTrip(attrs, error);
+        ASSERT_TRUE(decoded.has_value())
+            << "trial " << trial << ": " << error.detail;
+        EXPECT_EQ(*decoded, attrs) << "trial " << trial;
+    }
+}

@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Tests for the route-map-style policy engine.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bgp/policy.hh"
+
+using namespace bgpbench;
+using namespace bgpbench::bgp;
+
+namespace
+{
+
+PathAttributesPtr
+attrs(std::vector<AsNumber> path, std::vector<uint32_t> communities = {})
+{
+    PathAttributes a;
+    a.asPath = AsPath::sequence(std::move(path));
+    a.nextHop = net::Ipv4Address(10, 0, 0, 1);
+    std::sort(communities.begin(), communities.end());
+    a.communities = std::move(communities);
+    return makeAttributes(std::move(a));
+}
+
+const net::Prefix p24 = net::Prefix::fromString("10.1.2.0/24");
+const net::Prefix p16 = net::Prefix::fromString("10.1.0.0/16");
+
+} // namespace
+
+TEST(Policy, EmptyPolicyAcceptsUnmodified)
+{
+    Policy policy;
+    auto in = attrs({100});
+    auto out = policy.apply(p24, in);
+    EXPECT_EQ(out, in); // same pointer: no copy taken
+}
+
+TEST(Policy, RejectRule)
+{
+    Policy policy = makeRejectPrefixPolicy(p16);
+    EXPECT_EQ(policy.apply(p24, attrs({100})), nullptr);
+    EXPECT_NE(policy.apply(net::Prefix::fromString("11.0.0.0/16"),
+                           attrs({100})),
+              nullptr);
+}
+
+TEST(Policy, FirstMatchWins)
+{
+    PolicyRule accept;
+    accept.match.prefixCoveredBy = p16;
+    accept.action.setLocalPref = 300;
+
+    PolicyRule reject;
+    reject.match.prefixCoveredBy = p16;
+    reject.action.reject = true;
+
+    Policy policy({accept, reject});
+    auto out = policy.apply(p24, attrs({100}));
+    ASSERT_NE(out, nullptr);
+    EXPECT_EQ(out->localPref, 300u);
+}
+
+TEST(Policy, NoMatchFallsThroughToAccept)
+{
+    PolicyRule reject;
+    reject.match.prefixCoveredBy =
+        net::Prefix::fromString("192.168.0.0/16");
+    reject.action.reject = true;
+
+    Policy policy({reject});
+    auto in = attrs({100});
+    EXPECT_EQ(policy.apply(p24, in), in);
+}
+
+TEST(Policy, MatchAsPathContains)
+{
+    PolicyRule rule;
+    rule.match.asPathContains = 666;
+    rule.action.reject = true;
+    Policy policy({rule});
+
+    EXPECT_EQ(policy.apply(p24, attrs({100, 666, 200})), nullptr);
+    EXPECT_NE(policy.apply(p24, attrs({100, 200})), nullptr);
+}
+
+TEST(Policy, MatchOriginAs)
+{
+    PolicyRule rule;
+    rule.match.originAs = 300;
+    rule.action.setMed = 99;
+    Policy policy({rule});
+
+    auto hit = policy.apply(p24, attrs({100, 300}));
+    ASSERT_NE(hit, nullptr);
+    EXPECT_EQ(hit->med, 99u);
+
+    auto in = attrs({300, 100}); // origin is 100, not 300
+    EXPECT_EQ(policy.apply(p24, in), in);
+}
+
+TEST(Policy, MatchPrefixLengthBounds)
+{
+    PolicyRule rule;
+    rule.match.minPrefixLength = 25; // reject long prefixes
+    rule.action.reject = true;
+    Policy policy({rule});
+
+    EXPECT_EQ(policy.apply(net::Prefix::fromString("10.0.0.0/28"),
+                           attrs({1})),
+              nullptr);
+    EXPECT_NE(policy.apply(p24, attrs({1})), nullptr);
+}
+
+TEST(Policy, MatchCommunity)
+{
+    PolicyRule rule;
+    rule.match.hasCommunity = 0x00010002;
+    rule.action.setLocalPref = 50;
+    Policy policy({rule});
+
+    auto hit = policy.apply(p24, attrs({1}, {0x00010002}));
+    ASSERT_NE(hit, nullptr);
+    EXPECT_EQ(hit->localPref, 50u);
+
+    auto in = attrs({1}, {0x00010003});
+    EXPECT_EQ(policy.apply(p24, in), in);
+}
+
+TEST(Policy, MatchMinAsPathLength)
+{
+    PolicyRule rule;
+    rule.match.minAsPathLength = 3;
+    rule.action.reject = true;
+    Policy policy({rule});
+
+    EXPECT_EQ(policy.apply(p24, attrs({1, 2, 3})), nullptr);
+    EXPECT_NE(policy.apply(p24, attrs({1, 2})), nullptr);
+}
+
+TEST(Policy, SetActionsProduceNewAttributes)
+{
+    PolicyRule rule;
+    rule.action.setLocalPref = 250;
+    rule.action.setMed = 7;
+    rule.action.addCommunity = 0xdead;
+    Policy policy({rule});
+
+    auto in = attrs({100});
+    auto out = policy.apply(p24, in);
+    ASSERT_NE(out, nullptr);
+    EXPECT_NE(out, in); // modified: distinct block
+    EXPECT_EQ(out->localPref, 250u);
+    EXPECT_EQ(out->med, 7u);
+    EXPECT_EQ(out->communities, std::vector<uint32_t>{0xdead});
+    // Original untouched.
+    EXPECT_FALSE(in->localPref.has_value());
+}
+
+TEST(Policy, AddCommunityIsIdempotent)
+{
+    PolicyRule rule;
+    rule.action.addCommunity = 5;
+    Policy policy({rule});
+    auto out = policy.apply(p24, attrs({1}, {5, 9}));
+    ASSERT_NE(out, nullptr);
+    EXPECT_EQ(out->communities, (std::vector<uint32_t>{5, 9}));
+}
+
+TEST(Policy, RemoveCommunity)
+{
+    PolicyRule rule;
+    rule.action.removeCommunity = 5;
+    Policy policy({rule});
+    auto out = policy.apply(p24, attrs({1}, {3, 5, 9}));
+    ASSERT_NE(out, nullptr);
+    EXPECT_EQ(out->communities, (std::vector<uint32_t>{3, 9}));
+}
+
+TEST(Policy, PrependOnExport)
+{
+    PolicyRule rule;
+    rule.action.prependCount = 3;
+    Policy policy({rule});
+
+    auto out = policy.apply(p24, attrs({100}), 65000);
+    ASSERT_NE(out, nullptr);
+    EXPECT_EQ(out->asPath.pathLength(), 4);
+    EXPECT_EQ(out->asPath.firstAs(), 65000);
+}
+
+TEST(Policy, PrependIgnoredOnImport)
+{
+    PolicyRule rule;
+    rule.action.prependCount = 3;
+    Policy policy({rule});
+
+    // prepend_as 0 = import side: prepending is meaningless and the
+    // attributes pass through unmodified (same pointer).
+    auto in = attrs({100});
+    EXPECT_EQ(policy.apply(p24, in, 0), in);
+}
+
+TEST(Policy, LocalPrefForAsHelper)
+{
+    Policy policy = makeLocalPrefForAsPolicy(300, 500);
+    auto hit = policy.apply(p24, attrs({100, 300}));
+    ASSERT_NE(hit, nullptr);
+    EXPECT_EQ(hit->localPref, 500u);
+}
+
+TEST(Policy, NullAttributesPassThrough)
+{
+    Policy policy;
+    EXPECT_EQ(policy.apply(p24, nullptr), nullptr);
+}

@@ -1,0 +1,346 @@
+/**
+ * @file
+ * Tests for iBGP route reflection (RFC 4456): attribute codec,
+ * reflection rules, loop prevention, and decision tie-breakers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <map>
+
+#include "bgp/decision.hh"
+#include "bgp/speaker.hh"
+#include "net/logging.hh"
+
+using namespace bgpbench;
+using namespace bgpbench::bgp;
+
+namespace
+{
+
+net::Prefix
+prefix(uint32_t i)
+{
+    return net::Prefix(
+        net::Ipv4Address(10, uint8_t(i >> 8), uint8_t(i), 0), 24);
+}
+
+PathAttributesPtr
+attrs(std::vector<AsNumber> path = {})
+{
+    PathAttributes a;
+    a.asPath = AsPath::sequence(std::move(path));
+    a.nextHop = net::Ipv4Address(10, 0, 0, 9);
+    return makeAttributes(std::move(a));
+}
+
+/**
+ * iBGP cluster harness: speakers of one AS wired through a queued
+ * transport, with per-link client flags.
+ */
+class Cluster
+{
+  public:
+    struct Node;
+
+    struct Events : public SpeakerEvents
+    {
+        Cluster *cluster = nullptr;
+        size_t self = 0;
+
+        void
+        onTransmit(PeerId to, MessageType, std::vector<uint8_t> wire,
+                   size_t) override
+        {
+            cluster->queue_.push_back({self, to, std::move(wire)});
+        }
+    };
+
+    struct Node
+    {
+        Events events;
+        std::unique_ptr<BgpSpeaker> speaker;
+        std::map<PeerId, std::pair<size_t, PeerId>> wiring;
+    };
+
+    size_t
+    addSpeaker(AsNumber asn, RouterId id, uint32_t cluster_id = 0)
+    {
+        auto node = std::make_unique<Node>();
+        node->events.cluster = this;
+        node->events.self = nodes_.size();
+        SpeakerConfig config;
+        config.localAs = asn;
+        config.routerId = id;
+        config.localAddress = net::Ipv4Address(
+            10, 255, 0, uint8_t(nodes_.size() + 1));
+        config.clusterId = cluster_id;
+        node->speaker =
+            std::make_unique<BgpSpeaker>(config, &node->events);
+        nodes_.push_back(std::move(node));
+        return nodes_.size() - 1;
+    }
+
+    /** Wire a<->b; @p b_is_client marks b as a's reflection client. */
+    void
+    connect(size_t a, PeerId pa, size_t b, PeerId pb,
+            bool b_is_client_of_a = false)
+    {
+        PeerConfig ca;
+        ca.id = pa;
+        ca.asn = nodes_[b]->speaker->config().localAs;
+        ca.routeReflectorClient = b_is_client_of_a;
+        nodes_[a]->speaker->addPeer(ca);
+
+        PeerConfig cb;
+        cb.id = pb;
+        cb.asn = nodes_[a]->speaker->config().localAs;
+        nodes_[b]->speaker->addPeer(cb);
+
+        nodes_[a]->wiring[pa] = {b, pb};
+        nodes_[b]->wiring[pb] = {a, pa};
+
+        nodes_[a]->speaker->startPeer(pa, 0);
+        nodes_[b]->speaker->startPeer(pb, 0);
+        nodes_[a]->speaker->tcpEstablished(pa, 0);
+        nodes_[b]->speaker->tcpEstablished(pb, 0);
+        pump();
+    }
+
+    void
+    pump()
+    {
+        while (!queue_.empty()) {
+            auto seg = std::move(queue_.front());
+            queue_.pop_front();
+            auto [to, to_peer] =
+                nodes_[seg.from]->wiring.at(seg.via);
+            nodes_[to]->speaker->receiveBytes(to_peer, seg.wire, 0);
+        }
+    }
+
+    BgpSpeaker &at(size_t i) { return *nodes_[i]->speaker; }
+
+  private:
+    struct Segment
+    {
+        size_t from;
+        PeerId via;
+        std::vector<uint8_t> wire;
+    };
+    std::vector<std::unique_ptr<Node>> nodes_;
+    std::deque<Segment> queue_;
+};
+
+} // namespace
+
+TEST(RouteReflection, AttributesRoundTripOnWire)
+{
+    PathAttributes a;
+    a.asPath = AsPath::sequence({100});
+    a.nextHop = net::Ipv4Address(1, 2, 3, 4);
+    a.originatorId = 0x0a0b0c0d;
+    a.clusterList = {1, 2, 3};
+
+    net::ByteWriter w;
+    a.encode(w);
+    EXPECT_EQ(w.size(), a.encodedSize());
+    auto bytes = w.take();
+    net::ByteReader r(bytes);
+    DecodeError error;
+    auto decoded = PathAttributes::decode(r, error);
+    ASSERT_TRUE(decoded.has_value()) << error.detail;
+    EXPECT_EQ(decoded->originatorId, a.originatorId);
+    EXPECT_EQ(decoded->clusterList, a.clusterList);
+}
+
+TEST(RouteReflection, ClientRouteReflectedToAll)
+{
+    // rr has clients c1, c2 and a plain iBGP peer p.
+    Cluster cluster;
+    size_t rr = cluster.addSpeaker(65000, 1);
+    size_t c1 = cluster.addSpeaker(65000, 2);
+    size_t c2 = cluster.addSpeaker(65000, 3);
+    size_t p = cluster.addSpeaker(65000, 4);
+    cluster.connect(rr, 0, c1, 0, true);
+    cluster.connect(rr, 1, c2, 0, true);
+    cluster.connect(rr, 2, p, 0, false);
+
+    cluster.at(c1).originate(prefix(1), attrs(), 0);
+    cluster.pump();
+
+    // A client's route reaches the other client AND the non-client.
+    EXPECT_NE(cluster.at(rr).locRib().find(prefix(1)), nullptr);
+    EXPECT_NE(cluster.at(c2).locRib().find(prefix(1)), nullptr);
+    EXPECT_NE(cluster.at(p).locRib().find(prefix(1)), nullptr);
+
+    // The reflected route carries ORIGINATOR_ID = c1's router id and
+    // one cluster hop.
+    const auto *entry = cluster.at(c2).locRib().find(prefix(1));
+    ASSERT_NE(entry, nullptr);
+    ASSERT_TRUE(entry->best.attributes->originatorId.has_value());
+    EXPECT_EQ(*entry->best.attributes->originatorId, 2u);
+    EXPECT_EQ(entry->best.attributes->clusterList,
+              std::vector<uint32_t>{1});
+    // Next hop is NOT rewritten on reflection.
+    EXPECT_EQ(entry->best.attributes->nextHop,
+              net::Ipv4Address(10, 0, 0, 9));
+}
+
+TEST(RouteReflection, NonClientRouteReflectedOnlyToClients)
+{
+    Cluster cluster;
+    size_t rr = cluster.addSpeaker(65000, 1);
+    size_t c1 = cluster.addSpeaker(65000, 2);
+    size_t p1 = cluster.addSpeaker(65000, 3);
+    size_t p2 = cluster.addSpeaker(65000, 4);
+    cluster.connect(rr, 0, c1, 0, true);
+    cluster.connect(rr, 1, p1, 0, false);
+    cluster.connect(rr, 2, p2, 0, false);
+
+    cluster.at(p1).originate(prefix(2), attrs(), 0);
+    cluster.pump();
+
+    // Reflected to the client, but not to the other non-client
+    // (classic iBGP full-mesh rule still applies there).
+    EXPECT_NE(cluster.at(c1).locRib().find(prefix(2)), nullptr);
+    EXPECT_EQ(cluster.at(p2).locRib().find(prefix(2)), nullptr);
+}
+
+TEST(RouteReflection, WithoutClientsNoIbgpReflection)
+{
+    Cluster cluster;
+    size_t rr = cluster.addSpeaker(65000, 1);
+    size_t p1 = cluster.addSpeaker(65000, 2);
+    size_t p2 = cluster.addSpeaker(65000, 3);
+    cluster.connect(rr, 0, p1, 0, false);
+    cluster.connect(rr, 1, p2, 0, false);
+
+    cluster.at(p1).originate(prefix(3), attrs(), 0);
+    cluster.pump();
+    EXPECT_NE(cluster.at(rr).locRib().find(prefix(3)), nullptr);
+    EXPECT_EQ(cluster.at(p2).locRib().find(prefix(3)), nullptr);
+}
+
+TEST(RouteReflection, ChainedReflectorsAccumulateClusterList)
+{
+    // c -> rr1 -> rr2 (rr1 is rr2's client; c is rr1's client).
+    Cluster cluster;
+    size_t rr2 = cluster.addSpeaker(65000, 1, 100);
+    size_t rr1 = cluster.addSpeaker(65000, 2, 200);
+    size_t c = cluster.addSpeaker(65000, 3);
+    size_t leaf = cluster.addSpeaker(65000, 4);
+    cluster.connect(rr1, 0, c, 0, true);
+    cluster.connect(rr2, 0, rr1, 1, true);
+    cluster.connect(rr2, 1, leaf, 0, true);
+
+    cluster.at(c).originate(prefix(4), attrs(), 0);
+    cluster.pump();
+
+    const auto *entry = cluster.at(leaf).locRib().find(prefix(4));
+    ASSERT_NE(entry, nullptr);
+    EXPECT_EQ(entry->best.attributes->clusterList,
+              (std::vector<uint32_t>{100, 200}));
+    EXPECT_EQ(entry->best.attributes->originatorId, RouterId(3));
+}
+
+TEST(RouteReflection, ClusterLoopDropped)
+{
+    // Two reflectors in the SAME cluster id, clients of each other:
+    // a reflected route must not ping-pong.
+    Cluster cluster;
+    size_t a = cluster.addSpeaker(65000, 1, 777);
+    size_t b = cluster.addSpeaker(65000, 2, 777);
+    size_t c = cluster.addSpeaker(65000, 3);
+    cluster.connect(a, 0, b, 0, true);
+    cluster.connect(a, 1, c, 0, true);
+
+    cluster.at(c).originate(prefix(5), attrs(), 0);
+    cluster.pump(); // must terminate: loop prevention stops ping-pong
+
+    // a reflects c's route toward b with CLUSTER_LIST [777], but b
+    // shares cluster id 777 and must drop it (RFC 4456 section 8:
+    // redundant reflectors of one cluster rely on clients peering
+    // with both, never on reflecting to each other).
+    EXPECT_EQ(cluster.at(b).locRib().find(prefix(5)), nullptr);
+    // a's own best stays the direct (unreflected) route from c.
+    const auto *entry = cluster.at(a).locRib().find(prefix(5));
+    ASSERT_NE(entry, nullptr);
+    EXPECT_TRUE(entry->best.attributes->clusterList.empty());
+}
+
+TEST(RouteReflection, OriginatorLoopDropped)
+{
+    // The originator must ignore its own route coming back.
+    Cluster cluster;
+    size_t rr = cluster.addSpeaker(65000, 1);
+    size_t c1 = cluster.addSpeaker(65000, 2);
+    size_t c2 = cluster.addSpeaker(65000, 3);
+    cluster.connect(rr, 0, c1, 0, true);
+    cluster.connect(rr, 1, c2, 0, true);
+    // c2 is also c1's client (redundant triangle).
+    cluster.connect(c1, 1, c2, 1, true);
+
+    cluster.at(c1).originate(prefix(6), attrs(), 0);
+    cluster.pump();
+
+    // c1's Loc-RIB still holds its own (local) route, not a
+    // reflected copy of itself.
+    const auto *entry = cluster.at(c1).locRib().find(prefix(6));
+    ASSERT_NE(entry, nullptr);
+    EXPECT_EQ(entry->best.peer, BgpSpeaker::localPeerId);
+}
+
+TEST(RouteReflection, EbgpExportStripsReflectionAttributes)
+{
+    Cluster cluster;
+    size_t rr = cluster.addSpeaker(65000, 1);
+    size_t c1 = cluster.addSpeaker(65000, 2);
+    size_t ext = cluster.addSpeaker(65099, 3); // eBGP neighbour of rr
+    cluster.connect(rr, 0, c1, 0, true);
+    cluster.connect(rr, 1, ext, 0);
+
+    cluster.at(c1).originate(prefix(7), attrs(), 0);
+    cluster.pump();
+
+    const auto *entry = cluster.at(ext).locRib().find(prefix(7));
+    ASSERT_NE(entry, nullptr);
+    // Non-transitive reflection attributes never cross an AS border.
+    EXPECT_FALSE(entry->best.attributes->originatorId.has_value());
+    EXPECT_TRUE(entry->best.attributes->clusterList.empty());
+    EXPECT_EQ(entry->best.attributes->asPath.toString(), "65000");
+}
+
+TEST(RouteReflectionDecision, ShorterClusterListWins)
+{
+    auto make = [](size_t hops, PeerId peer, RouterId id) {
+        PathAttributes a;
+        a.asPath = AsPath::sequence({100});
+        a.nextHop = net::Ipv4Address(10, 0, 0, 9);
+        for (size_t i = 0; i < hops; ++i)
+            a.clusterList.push_back(uint32_t(50 + i));
+        return Candidate{makeAttributes(std::move(a)), peer, id,
+                         false};
+    };
+    auto one_hop = make(1, 1, 99);
+    auto two_hops = make(2, 2, 5); // better router id, longer list
+    EXPECT_LT(compareCandidates(one_hop, two_hops), 0);
+}
+
+TEST(RouteReflectionDecision, OriginatorIdReplacesRouterId)
+{
+    auto make = [](std::optional<RouterId> orig, RouterId peer_id,
+                   PeerId peer) {
+        PathAttributes a;
+        a.asPath = AsPath::sequence({100});
+        a.nextHop = net::Ipv4Address(10, 0, 0, 9);
+        a.originatorId = orig;
+        return Candidate{makeAttributes(std::move(a)), peer, peer_id,
+                         false};
+    };
+    // a comes via a peer with high id but low ORIGINATOR_ID.
+    auto a = make(RouterId(3), 90, 1);
+    auto b = make(std::nullopt, 10, 2);
+    EXPECT_LT(compareCandidates(a, b), 0);
+}

@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Tests for ROUTE-REFRESH (RFC 2918): codec, FSM, and the speaker's
+ * full-table re-advertisement.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bgp/message.hh"
+#include "bgp/session.hh"
+#include "bgp/speaker.hh"
+
+#include <deque>
+
+using namespace bgpbench;
+using namespace bgpbench::bgp;
+
+TEST(RouteRefresh, CodecRoundTrip)
+{
+    RouteRefreshMessage refresh;
+    refresh.afi = 1;
+    refresh.safi = 1;
+    auto wire = encodeMessage(refresh);
+    EXPECT_EQ(wire.size(), proto::headerBytes + 4);
+
+    DecodeError error;
+    auto msg = decodeMessage(wire, error);
+    ASSERT_TRUE(msg.has_value()) << error.detail;
+    ASSERT_EQ(messageType(*msg), MessageType::RouteRefresh);
+    const auto &decoded = std::get<RouteRefreshMessage>(*msg);
+    EXPECT_EQ(decoded.afi, 1);
+    EXPECT_EQ(decoded.safi, 1);
+}
+
+TEST(RouteRefresh, BadLengthRejected)
+{
+    auto wire = encodeMessage(RouteRefreshMessage{});
+    wire.push_back(0);
+    wire[17] = uint8_t(wire.size());
+    DecodeError error;
+    EXPECT_FALSE(decodeMessage(wire, error).has_value());
+    EXPECT_EQ(error.subcode,
+              uint8_t(HeaderSubcode::BadMessageLength));
+}
+
+TEST(RouteRefresh, FsmRequiresEstablished)
+{
+    SessionConfig config;
+    config.localAs = 65000;
+    config.localId = 1;
+    SessionFsm fsm(config);
+    std::vector<Message> tx;
+    fsm.start(0);
+    fsm.tcpEstablished(0, tx);
+    tx.clear();
+
+    EXPECT_FALSE(fsm.handleMessage(RouteRefreshMessage{}, 0, tx));
+    EXPECT_EQ(fsm.state(), SessionState::Idle);
+    ASSERT_EQ(tx.size(), 1u);
+    EXPECT_EQ(std::get<NotificationMessage>(tx[0]).errorCode,
+              ErrorCode::FsmError);
+}
+
+TEST(RouteRefresh, RefreshesHoldTimer)
+{
+    SessionConfig config;
+    config.localAs = 65000;
+    config.localId = 1;
+    config.holdTimeSec = 30;
+    SessionFsm fsm(config);
+    std::vector<Message> tx;
+    fsm.start(0);
+    fsm.tcpEstablished(0, tx);
+    OpenMessage open;
+    open.myAs = 0;
+    open.myAs = 65001;
+    open.holdTimeSec = 30;
+    open.bgpIdentifier = 9;
+    fsm.handleMessage(open, 0, tx);
+    fsm.handleMessage(KeepaliveMessage{}, 0, tx);
+    ASSERT_TRUE(fsm.established());
+
+    constexpr uint64_t sec = 1'000'000'000ull;
+    fsm.handleMessage(RouteRefreshMessage{}, 25 * sec, tx);
+    tx.clear();
+    // Without the refresh the hold timer (30 s) would have fired.
+    EXPECT_TRUE(fsm.poll(40 * sec, tx));
+    EXPECT_TRUE(fsm.established());
+}
+
+namespace
+{
+
+/** Two speakers wired through a queued transport; counts what b
+ *  receives. */
+struct RefreshWorld : public SpeakerEvents
+{
+    std::unique_ptr<BgpSpeaker> a;
+    std::unique_ptr<BgpSpeaker> b;
+    BgpSpeaker *sender = nullptr;
+    size_t bUpdates = 0;
+    size_t bPrefixes = 0;
+    std::deque<std::pair<BgpSpeaker *, std::vector<uint8_t>>> queue;
+
+    RefreshWorld()
+    {
+        SpeakerConfig ca;
+        ca.localAs = 65001;
+        ca.routerId = 1;
+        ca.localAddress = net::Ipv4Address(10, 0, 0, 1);
+        a = std::make_unique<BgpSpeaker>(ca, this);
+
+        SpeakerConfig cb;
+        cb.localAs = 65002;
+        cb.routerId = 2;
+        cb.localAddress = net::Ipv4Address(10, 0, 0, 2);
+        b = std::make_unique<BgpSpeaker>(cb, this);
+
+        PeerConfig pa;
+        pa.id = 0;
+        pa.asn = 65002;
+        a->addPeer(pa);
+        PeerConfig pb;
+        pb.id = 0;
+        pb.asn = 65001;
+        b->addPeer(pb);
+
+        // Queue both OPENs before delivering anything, so each side
+        // is in OpenSent when the peer's OPEN arrives.
+        sender = a.get();
+        a->startPeer(0, 0);
+        a->tcpEstablished(0, 0);
+        sender = b.get();
+        b->startPeer(0, 0);
+        b->tcpEstablished(0, 0);
+        sender = nullptr;
+        pump();
+    }
+
+    void
+    onTransmit(PeerId, MessageType type, std::vector<uint8_t> wire,
+               size_t transactions) override
+    {
+        BgpSpeaker *to = sender == a.get() ? b.get() : a.get();
+        if (to == b.get() && type == MessageType::Update) {
+            ++bUpdates;
+            bPrefixes += transactions;
+        }
+        queue.emplace_back(to, std::move(wire));
+    }
+
+    void
+    pump()
+    {
+        while (!queue.empty()) {
+            auto [to, wire] = std::move(queue.front());
+            queue.pop_front();
+            BgpSpeaker *prev = sender;
+            sender = to;
+            to->receiveBytes(0, wire, 0);
+            sender = prev;
+        }
+    }
+
+    /** Run @p fn attributed to @p speaker, then deliver everything. */
+    void
+    act(BgpSpeaker &speaker, const std::function<void()> &fn)
+    {
+        BgpSpeaker *prev = sender;
+        sender = &speaker;
+        fn();
+        sender = prev;
+        pump();
+    }
+};
+
+} // namespace
+
+TEST(RouteRefresh, SpeakerResendsFullTable)
+{
+    RefreshWorld world;
+    ASSERT_EQ(world.a->sessionState(0), SessionState::Established);
+
+    // a originates 20 routes; b hears them once.
+    world.act(*world.a, [&]() {
+        for (uint32_t i = 0; i < 20; ++i) {
+            PathAttributes attrs;
+            attrs.nextHop = net::Ipv4Address(10, 0, 0, 1);
+            world.a->originate(
+                net::Prefix(net::Ipv4Address(10, uint8_t(i), 0, 0),
+                            16),
+                makeAttributes(std::move(attrs)), 0);
+        }
+    });
+    ASSERT_EQ(world.b->locRib().size(), 20u);
+    size_t prefixes_before = world.bPrefixes;
+
+    // b asks for a refresh: a re-sends all 20 routes.
+    world.act(*world.a, [&]() {
+        world.a->receiveBytes(
+            0, encodeMessage(RouteRefreshMessage{}), 0);
+    });
+
+    EXPECT_EQ(world.bPrefixes, prefixes_before + 20);
+    // b's table is unchanged (idempotent re-advertisement).
+    EXPECT_EQ(world.b->locRib().size(), 20u);
+}

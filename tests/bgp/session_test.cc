@@ -1,0 +1,268 @@
+/**
+ * @file
+ * Tests for the per-peer session FSM (RFC 4271 section 8).
+ */
+
+#include <gtest/gtest.h>
+
+#include "bgp/session.hh"
+
+using namespace bgpbench;
+using namespace bgpbench::bgp;
+
+namespace
+{
+
+constexpr uint64_t sec = 1'000'000'000ull;
+
+SessionConfig
+config(uint16_t hold = 180)
+{
+    SessionConfig c;
+    c.localAs = 65000;
+    c.localId = 1;
+    c.holdTimeSec = hold;
+    c.expectedPeerAs = 65001;
+    return c;
+}
+
+OpenMessage
+peerOpen(uint16_t hold = 180, AsNumber asn = 65001)
+{
+    OpenMessage open;
+    open.myAs = asn;
+    open.holdTimeSec = hold;
+    open.bgpIdentifier = 99;
+    return open;
+}
+
+/** Drive a session to Established; returns messages we sent. */
+std::vector<Message>
+establish(SessionFsm &fsm, uint64_t now = 0)
+{
+    std::vector<Message> tx;
+    fsm.start(now);
+    fsm.tcpEstablished(now, tx);
+    fsm.handleMessage(peerOpen(), now, tx);
+    fsm.handleMessage(KeepaliveMessage{}, now, tx);
+    return tx;
+}
+
+} // namespace
+
+TEST(SessionFsm, HappyPathReachesEstablished)
+{
+    SessionFsm fsm(config());
+    EXPECT_EQ(fsm.state(), SessionState::Idle);
+
+    std::vector<Message> tx;
+    fsm.start(0);
+    EXPECT_EQ(fsm.state(), SessionState::Connect);
+
+    fsm.tcpEstablished(0, tx);
+    EXPECT_EQ(fsm.state(), SessionState::OpenSent);
+    ASSERT_EQ(tx.size(), 1u);
+    EXPECT_EQ(messageType(tx[0]), MessageType::Open);
+
+    tx.clear();
+    EXPECT_TRUE(fsm.handleMessage(peerOpen(), 0, tx));
+    EXPECT_EQ(fsm.state(), SessionState::OpenConfirm);
+    ASSERT_EQ(tx.size(), 1u);
+    EXPECT_EQ(messageType(tx[0]), MessageType::Keepalive);
+
+    tx.clear();
+    EXPECT_TRUE(fsm.handleMessage(KeepaliveMessage{}, 0, tx));
+    EXPECT_TRUE(fsm.established());
+    EXPECT_EQ(fsm.peerAs(), 65001);
+    EXPECT_EQ(fsm.peerRouterId(), 99u);
+}
+
+TEST(SessionFsm, NegotiatesMinimumHoldTime)
+{
+    SessionFsm fsm(config(180));
+    std::vector<Message> tx;
+    fsm.start(0);
+    fsm.tcpEstablished(0, tx);
+    fsm.handleMessage(peerOpen(30), 0, tx);
+    EXPECT_EQ(fsm.negotiatedHoldTimeSec(), 30);
+}
+
+TEST(SessionFsm, RejectsWrongPeerAs)
+{
+    SessionFsm fsm(config());
+    std::vector<Message> tx;
+    fsm.start(0);
+    fsm.tcpEstablished(0, tx);
+    tx.clear();
+
+    EXPECT_FALSE(fsm.handleMessage(peerOpen(180, 64999), 0, tx));
+    EXPECT_EQ(fsm.state(), SessionState::Idle);
+    ASSERT_EQ(tx.size(), 1u);
+    const auto &notif = std::get<NotificationMessage>(tx[0]);
+    EXPECT_EQ(notif.errorCode, ErrorCode::OpenMessageError);
+    EXPECT_EQ(notif.errorSubcode, uint8_t(OpenSubcode::BadPeerAs));
+}
+
+TEST(SessionFsm, UpdateBeforeEstablishedIsFsmError)
+{
+    SessionFsm fsm(config());
+    std::vector<Message> tx;
+    fsm.start(0);
+    fsm.tcpEstablished(0, tx);
+    tx.clear();
+
+    EXPECT_FALSE(fsm.handleMessage(UpdateMessage{}, 0, tx));
+    EXPECT_EQ(fsm.state(), SessionState::Idle);
+    ASSERT_EQ(tx.size(), 1u);
+    EXPECT_EQ(std::get<NotificationMessage>(tx[0]).errorCode,
+              ErrorCode::FsmError);
+}
+
+TEST(SessionFsm, KeepaliveRefreshesHoldTimer)
+{
+    SessionFsm fsm(config(30));
+    establish(fsm, 0);
+
+    std::vector<Message> tx;
+    // At t=29s the hold timer (30s) has not expired.
+    EXPECT_TRUE(fsm.poll(29 * sec, tx));
+    EXPECT_TRUE(fsm.established());
+
+    // A keepalive at 29s pushes the deadline to 59s.
+    fsm.handleMessage(KeepaliveMessage{}, 29 * sec, tx);
+    tx.clear();
+    EXPECT_TRUE(fsm.poll(58 * sec, tx));
+    EXPECT_TRUE(fsm.established());
+}
+
+TEST(SessionFsm, HoldTimerExpiryTearsDown)
+{
+    SessionFsm fsm(config(30));
+    establish(fsm, 0);
+
+    std::vector<Message> tx;
+    EXPECT_FALSE(fsm.poll(31 * sec, tx));
+    EXPECT_EQ(fsm.state(), SessionState::Idle);
+    ASSERT_FALSE(tx.empty());
+    EXPECT_EQ(std::get<NotificationMessage>(tx.back()).errorCode,
+              ErrorCode::HoldTimerExpired);
+}
+
+TEST(SessionFsm, EmitsKeepalivesAtOneThirdHold)
+{
+    SessionFsm fsm(config(30));
+    establish(fsm, 0);
+
+    std::vector<Message> tx;
+    EXPECT_TRUE(fsm.poll(9 * sec, tx));
+    EXPECT_TRUE(tx.empty()); // 10s not reached
+
+    EXPECT_TRUE(fsm.poll(10 * sec, tx));
+    ASSERT_EQ(tx.size(), 1u);
+    EXPECT_EQ(messageType(tx[0]), MessageType::Keepalive);
+
+    tx.clear();
+    EXPECT_TRUE(fsm.poll(20 * sec, tx));
+    ASSERT_EQ(tx.size(), 1u); // next at 10+10
+}
+
+TEST(SessionFsm, ZeroHoldTimeDisablesTimers)
+{
+    SessionFsm fsm(config(0));
+    std::vector<Message> tx;
+    fsm.start(0);
+    fsm.tcpEstablished(0, tx);
+    fsm.handleMessage(peerOpen(0), 0, tx);
+    fsm.handleMessage(KeepaliveMessage{}, 0, tx);
+    ASSERT_TRUE(fsm.established());
+    EXPECT_EQ(fsm.negotiatedHoldTimeSec(), 0);
+
+    tx.clear();
+    EXPECT_TRUE(fsm.poll(100000 * sec, tx));
+    EXPECT_TRUE(tx.empty());
+    EXPECT_TRUE(fsm.established());
+    EXPECT_EQ(fsm.nextTimerDeadline(), ~uint64_t(0));
+}
+
+TEST(SessionFsm, NotificationClosesSilently)
+{
+    SessionFsm fsm(config());
+    establish(fsm, 0);
+
+    std::vector<Message> tx;
+    EXPECT_FALSE(fsm.handleMessage(
+        NotificationMessage{ErrorCode::Cease, 0, {}}, 0, tx));
+    EXPECT_EQ(fsm.state(), SessionState::Idle);
+    // We must not answer a NOTIFICATION with a NOTIFICATION.
+    EXPECT_TRUE(tx.empty());
+}
+
+TEST(SessionFsm, StopSendsCeaseWhenUp)
+{
+    SessionFsm fsm(config());
+    establish(fsm, 0);
+
+    std::vector<Message> tx;
+    fsm.stop(0, tx);
+    EXPECT_EQ(fsm.state(), SessionState::Idle);
+    ASSERT_EQ(tx.size(), 1u);
+    EXPECT_EQ(std::get<NotificationMessage>(tx[0]).errorCode,
+              ErrorCode::Cease);
+}
+
+TEST(SessionFsm, StopFromIdleSendsNothing)
+{
+    SessionFsm fsm(config());
+    std::vector<Message> tx;
+    fsm.stop(0, tx);
+    EXPECT_TRUE(tx.empty());
+}
+
+TEST(SessionFsm, TcpClosedFromOpenSentGoesActive)
+{
+    SessionFsm fsm(config());
+    std::vector<Message> tx;
+    fsm.start(0);
+    fsm.tcpEstablished(0, tx);
+    fsm.tcpClosed(0);
+    EXPECT_EQ(fsm.state(), SessionState::Active);
+
+    // A reconnect from Active works.
+    tx.clear();
+    fsm.tcpEstablished(0, tx);
+    EXPECT_EQ(fsm.state(), SessionState::OpenSent);
+    EXPECT_EQ(tx.size(), 1u);
+}
+
+TEST(SessionFsm, TcpClosedFromEstablishedGoesIdle)
+{
+    SessionFsm fsm(config());
+    establish(fsm, 0);
+    fsm.tcpClosed(0);
+    EXPECT_EQ(fsm.state(), SessionState::Idle);
+}
+
+TEST(SessionFsm, SecondOpenIsFsmError)
+{
+    SessionFsm fsm(config());
+    establish(fsm, 0);
+    std::vector<Message> tx;
+    EXPECT_FALSE(fsm.handleMessage(peerOpen(), 0, tx));
+    EXPECT_EQ(fsm.state(), SessionState::Idle);
+}
+
+TEST(SessionFsm, TransitionCountTracksChanges)
+{
+    SessionFsm fsm(config());
+    EXPECT_EQ(fsm.transitionCount(), 0u);
+    establish(fsm, 0);
+    // Idle->Connect->OpenSent->OpenConfirm->Established = 4.
+    EXPECT_EQ(fsm.transitionCount(), 4u);
+}
+
+TEST(SessionFsm, StateNames)
+{
+    EXPECT_EQ(toString(SessionState::Idle), "Idle");
+    EXPECT_EQ(toString(SessionState::Established), "Established");
+    EXPECT_EQ(toString(SessionState::OpenConfirm), "OpenConfirm");
+}

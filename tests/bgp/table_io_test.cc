@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Tests for the table-dump snapshot format.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bgp/table_io.hh"
+#include "workload/route_set.hh"
+
+using namespace bgpbench;
+using namespace bgpbench::bgp;
+
+namespace
+{
+
+TableDumpEntry
+entry(const char *prefix, uint16_t origin_as, PeerId peer = 1,
+      bool external = true, bool local = false)
+{
+    TableDumpEntry e;
+    e.prefix = net::Prefix::fromString(prefix);
+    PathAttributes attrs;
+    attrs.asPath = AsPath::sequence({origin_as});
+    attrs.nextHop = net::Ipv4Address(10, 0, 0, uint8_t(peer));
+    e.best = Candidate{makeAttributes(std::move(attrs)), peer,
+                       peer * 10, external, local};
+    return e;
+}
+
+} // namespace
+
+TEST(TableIo, EmptyTableRoundTrip)
+{
+    LocRib rib;
+    auto blob = dumpTable(rib);
+    DecodeError error;
+    auto parsed = parseTableDump(blob, error);
+    ASSERT_TRUE(parsed.has_value()) << error.detail;
+    EXPECT_TRUE(parsed->empty());
+}
+
+TEST(TableIo, EntriesRoundTripExactly)
+{
+    std::vector<TableDumpEntry> entries = {
+        entry("10.0.0.0/8", 100, 1, true, false),
+        entry("10.1.0.0/16", 200, 2, false, false),
+        entry("192.168.1.0/24", 300, 3, true, true),
+    };
+    auto blob = dumpTable(entries);
+
+    DecodeError error;
+    auto parsed = parseTableDump(blob, error);
+    ASSERT_TRUE(parsed.has_value()) << error.detail;
+    ASSERT_EQ(parsed->size(), entries.size());
+    for (size_t i = 0; i < entries.size(); ++i) {
+        EXPECT_EQ((*parsed)[i].prefix, entries[i].prefix);
+        EXPECT_EQ((*parsed)[i].best.peer, entries[i].best.peer);
+        EXPECT_EQ((*parsed)[i].best.peerRouterId,
+                  entries[i].best.peerRouterId);
+        EXPECT_EQ((*parsed)[i].best.externalSession,
+                  entries[i].best.externalSession);
+        EXPECT_EQ((*parsed)[i].best.locallyOriginated,
+                  entries[i].best.locallyOriginated);
+        EXPECT_EQ(*(*parsed)[i].best.attributes,
+                  *entries[i].best.attributes);
+    }
+}
+
+TEST(TableIo, LocRibDumpIsCanonicallyOrdered)
+{
+    LocRib rib;
+    auto a = entry("10.2.0.0/16", 100);
+    auto b = entry("10.1.0.0/16", 200);
+    auto c = entry("10.1.0.0/24", 300);
+    rib.select(a.prefix, a.best);
+    rib.select(b.prefix, b.best);
+    rib.select(c.prefix, c.best);
+
+    auto blob1 = dumpTable(rib);
+
+    // Same content inserted in a different order: identical bytes.
+    LocRib rib2;
+    rib2.select(c.prefix, c.best);
+    rib2.select(a.prefix, a.best);
+    rib2.select(b.prefix, b.best);
+    EXPECT_EQ(blob1, dumpTable(rib2));
+
+    DecodeError error;
+    auto parsed = parseTableDump(blob1, error);
+    ASSERT_TRUE(parsed.has_value());
+    ASSERT_EQ(parsed->size(), 3u);
+    EXPECT_LT((*parsed)[0].prefix, (*parsed)[1].prefix);
+    EXPECT_LT((*parsed)[1].prefix, (*parsed)[2].prefix);
+}
+
+TEST(TableIo, LargeGeneratedTableRoundTrip)
+{
+    workload::RouteSetConfig config;
+    config.count = 2000;
+    auto routes = workload::generateRouteSet(config);
+
+    LocRib rib;
+    for (const auto &route : routes) {
+        PathAttributes attrs;
+        std::vector<AsNumber> path = {65001};
+        path.insert(path.end(), route.basePath.begin(),
+                    route.basePath.end());
+        attrs.asPath = AsPath::sequence(std::move(path));
+        attrs.nextHop = net::Ipv4Address(10, 0, 1, 2);
+        rib.select(route.prefix,
+                   Candidate{makeAttributes(std::move(attrs)), 0, 10,
+                             true, false});
+    }
+
+    auto blob = dumpTable(rib);
+    DecodeError error;
+    auto parsed = parseTableDump(blob, error);
+    ASSERT_TRUE(parsed.has_value()) << error.detail;
+    EXPECT_EQ(parsed->size(), 2000u);
+}
+
+TEST(TableIo, RejectsBadMagic)
+{
+    auto blob = dumpTable(std::vector<TableDumpEntry>{});
+    blob[0] ^= 0xff;
+    DecodeError error;
+    EXPECT_FALSE(parseTableDump(blob, error).has_value());
+    EXPECT_TRUE(bool(error));
+}
+
+TEST(TableIo, RejectsWrongVersion)
+{
+    auto blob = dumpTable(std::vector<TableDumpEntry>{});
+    blob[5] = 99;
+    DecodeError error;
+    EXPECT_FALSE(parseTableDump(blob, error).has_value());
+    EXPECT_NE(error.detail.find("version"), std::string::npos);
+}
+
+TEST(TableIo, RejectsTruncation)
+{
+    auto blob =
+        dumpTable(std::vector<TableDumpEntry>{entry("10.0.0.0/8",
+                                                    100)});
+    for (size_t len = 0; len < blob.size(); ++len) {
+        DecodeError error;
+        std::span<const uint8_t> cut(blob.data(), len);
+        EXPECT_FALSE(parseTableDump(cut, error).has_value())
+            << "accepted truncation at " << len;
+    }
+}
+
+TEST(TableIo, RejectsTrailingBytes)
+{
+    auto blob = dumpTable(std::vector<TableDumpEntry>{});
+    blob.push_back(0);
+    DecodeError error;
+    EXPECT_FALSE(parseTableDump(blob, error).has_value());
+    EXPECT_NE(error.detail.find("trailing"), std::string::npos);
+}
+
+TEST(TableIo, RejectsBadPrefixLength)
+{
+    auto blob =
+        dumpTable(std::vector<TableDumpEntry>{entry("10.0.0.0/8",
+                                                    100)});
+    // Prefix length byte sits after magic(4)+version(2)+count(4)+
+    // address(4).
+    blob[14] = 60;
+    DecodeError error;
+    EXPECT_FALSE(parseTableDump(blob, error).has_value());
+}

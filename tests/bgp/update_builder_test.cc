@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Tests for outbound UPDATE packing.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "bgp/update_builder.hh"
+#include "workload/rng.hh"
+
+using namespace bgpbench;
+using namespace bgpbench::bgp;
+
+namespace
+{
+
+PathAttributesPtr
+attrs(uint16_t origin_as)
+{
+    PathAttributes a;
+    a.asPath = AsPath::sequence({origin_as});
+    a.nextHop = net::Ipv4Address(10, 0, 0, 1);
+    return makeAttributes(std::move(a));
+}
+
+net::Prefix
+prefix(uint32_t i)
+{
+    return net::Prefix(net::Ipv4Address(10, uint8_t(i >> 8),
+                                        uint8_t(i), 0),
+                       24);
+}
+
+} // namespace
+
+TEST(UpdateBuilder, EmptyBuildsNothing)
+{
+    UpdateBuilder builder;
+    EXPECT_TRUE(builder.empty());
+    EXPECT_TRUE(builder.build().empty());
+}
+
+TEST(UpdateBuilder, GroupsByAttributeValue)
+{
+    UpdateBuilder builder;
+    auto a = attrs(100);
+    builder.announce(prefix(1), a);
+    builder.announce(prefix(2), attrs(100)); // equal value, new ptr
+    builder.announce(prefix(3), attrs(200));
+
+    auto updates = builder.build();
+    ASSERT_EQ(updates.size(), 2u);
+    EXPECT_EQ(updates[0].nlri.size(), 2u);
+    EXPECT_EQ(updates[1].nlri.size(), 1u);
+    EXPECT_TRUE(builder.empty());
+}
+
+TEST(UpdateBuilder, WithdrawalsEmittedFirst)
+{
+    UpdateBuilder builder;
+    builder.announce(prefix(1), attrs(100));
+    builder.withdraw(prefix(2));
+
+    auto updates = builder.build();
+    ASSERT_EQ(updates.size(), 2u);
+    EXPECT_EQ(updates[0].withdrawnRoutes.size(), 1u);
+    EXPECT_TRUE(updates[0].nlri.empty());
+    EXPECT_EQ(updates[1].nlri.size(), 1u);
+}
+
+TEST(UpdateBuilder, WithdrawSupersedesPendingAnnounce)
+{
+    UpdateBuilder builder;
+    builder.announce(prefix(1), attrs(100));
+    builder.withdraw(prefix(1));
+
+    auto updates = builder.build();
+    ASSERT_EQ(updates.size(), 1u);
+    EXPECT_EQ(updates[0].withdrawnRoutes,
+              std::vector<net::Prefix>{prefix(1)});
+    EXPECT_TRUE(updates[0].nlri.empty());
+}
+
+TEST(UpdateBuilder, AnnounceSupersedesPendingWithdraw)
+{
+    UpdateBuilder builder;
+    builder.withdraw(prefix(1));
+    builder.announce(prefix(1), attrs(100));
+
+    auto updates = builder.build();
+    ASSERT_EQ(updates.size(), 1u);
+    EXPECT_TRUE(updates[0].withdrawnRoutes.empty());
+    EXPECT_EQ(updates[0].nlri, std::vector<net::Prefix>{prefix(1)});
+}
+
+TEST(UpdateBuilder, ReannounceReplacesAttributes)
+{
+    UpdateBuilder builder;
+    builder.announce(prefix(1), attrs(100));
+    builder.announce(prefix(1), attrs(200));
+
+    auto updates = builder.build();
+    ASSERT_EQ(updates.size(), 1u);
+    EXPECT_EQ(updates[0].attributes->asPath.originAs(), 200);
+}
+
+TEST(UpdateBuilder, PendingTransactionCount)
+{
+    UpdateBuilder builder;
+    builder.announce(prefix(1), attrs(100));
+    builder.announce(prefix(2), attrs(100));
+    builder.withdraw(prefix(3));
+    EXPECT_EQ(builder.pendingTransactions(), 3u);
+}
+
+TEST(UpdateBuilder, MaxPrefixCapSplitsMessages)
+{
+    PackingOptions options;
+    options.maxPrefixesPerUpdate = 10;
+    UpdateBuilder builder(options);
+    auto a = attrs(100);
+    for (uint32_t i = 0; i < 25; ++i)
+        builder.announce(prefix(i), a);
+
+    auto updates = builder.build();
+    ASSERT_EQ(updates.size(), 3u);
+    EXPECT_EQ(updates[0].nlri.size(), 10u);
+    EXPECT_EQ(updates[1].nlri.size(), 10u);
+    EXPECT_EQ(updates[2].nlri.size(), 5u);
+}
+
+TEST(UpdateBuilder, CapOfOneMakesSmallPackets)
+{
+    PackingOptions options;
+    options.maxPrefixesPerUpdate = 1;
+    UpdateBuilder builder(options);
+    auto a = attrs(100);
+    for (uint32_t i = 0; i < 5; ++i)
+        builder.announce(prefix(i), a);
+    builder.withdraw(prefix(100));
+    builder.withdraw(prefix(101));
+
+    auto updates = builder.build();
+    ASSERT_EQ(updates.size(), 7u);
+    for (const auto &update : updates)
+        EXPECT_EQ(update.transactionCount(), 1u);
+}
+
+TEST(UpdateBuilder, EveryMessageFitsWireLimit)
+{
+    UpdateBuilder builder;
+    auto a = attrs(100);
+    for (uint32_t i = 0; i < 3000; ++i)
+        builder.announce(prefix(i), a);
+
+    auto updates = builder.build();
+    ASSERT_GT(updates.size(), 1u);
+    size_t total = 0;
+    for (const auto &update : updates) {
+        EXPECT_LE(encodedSize(update), proto::maxMessageBytes);
+        total += update.nlri.size();
+    }
+    EXPECT_EQ(total, 3000u);
+}
+
+TEST(UpdateBuilder, WithdrawalsRespectWireLimit)
+{
+    UpdateBuilder builder;
+    for (uint32_t i = 0; i < 3000; ++i)
+        builder.withdraw(prefix(i));
+
+    auto updates = builder.build();
+    size_t total = 0;
+    for (const auto &update : updates) {
+        EXPECT_LE(encodedSize(update), proto::maxMessageBytes);
+        total += update.withdrawnRoutes.size();
+    }
+    EXPECT_EQ(total, 3000u);
+}
+
+/** Property: build() conserves the exact set of pending changes. */
+TEST(UpdateBuilderProperty, BuildConservesChanges)
+{
+    workload::Rng rng(37);
+    for (int trial = 0; trial < 60; ++trial) {
+        PackingOptions options;
+        options.maxPrefixesPerUpdate = rng.range(0, 20);
+        UpdateBuilder builder(options);
+
+        std::map<net::Prefix, int> expected; // 1 announce, -1 withdraw
+        int n = int(rng.range(1, 200));
+        for (int i = 0; i < n; ++i) {
+            auto p = prefix(uint32_t(rng.range(0, 60)));
+            if (rng.below(3) == 0) {
+                builder.withdraw(p);
+                expected[p] = -1;
+            } else {
+                builder.announce(p, attrs(uint16_t(rng.range(1, 4))));
+                expected[p] = 1;
+            }
+        }
+
+        std::map<net::Prefix, int> got;
+        for (const auto &update : builder.build()) {
+            for (const auto &p : update.withdrawnRoutes) {
+                EXPECT_EQ(got.count(p), 0u);
+                got[p] = -1;
+            }
+            for (const auto &p : update.nlri) {
+                EXPECT_EQ(got.count(p), 0u);
+                got[p] = 1;
+            }
+        }
+        EXPECT_EQ(got, expected) << "trial " << trial;
+    }
+}

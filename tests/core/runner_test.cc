@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Tests for the three-phase benchmark runner.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/benchmark_runner.hh"
+#include "net/logging.hh"
+
+using namespace bgpbench;
+using namespace bgpbench::core;
+
+namespace
+{
+
+BenchmarkConfig
+smallConfig(size_t prefixes = 300)
+{
+    BenchmarkConfig config;
+    config.prefixCount = prefixes;
+    config.simTimeLimit = sim::nsFromSec(600.0);
+    return config;
+}
+
+} // namespace
+
+TEST(BenchmarkRunner, RejectsEmptyWorkload)
+{
+    BenchmarkConfig config;
+    config.prefixCount = 0;
+    EXPECT_THROW(
+        BenchmarkRunner(router::xeonProfile(), config), FatalError);
+}
+
+TEST(BenchmarkRunner, AccessorsRequireARun)
+{
+    BenchmarkRunner runner(router::xeonProfile(), smallConfig());
+    EXPECT_THROW(runner.router(), PanicError);
+    EXPECT_THROW(runner.simulator(), PanicError);
+}
+
+TEST(BenchmarkRunner, Scenario1MeasuresPhase1)
+{
+    BenchmarkRunner runner(router::xeonProfile(), smallConfig());
+    auto result = runner.run(scenarioByNumber(1));
+
+    EXPECT_FALSE(result.timedOut);
+    EXPECT_EQ(result.systemName, "Xeon");
+    EXPECT_EQ(result.phase1.transactions, 300u);
+    EXPECT_FALSE(result.phase2.has_value());
+    EXPECT_FALSE(result.phase3.has_value());
+    EXPECT_GT(result.measuredTps, 0.0);
+    EXPECT_DOUBLE_EQ(result.measuredTps,
+                     result.phase1.transactionsPerSecond());
+
+    // The router ended with the full table installed.
+    EXPECT_EQ(runner.router().fib().size(), 300u);
+    EXPECT_EQ(result.speakerCounters.announcementsProcessed, 300u);
+}
+
+TEST(BenchmarkRunner, Scenario3WithdrawsEverything)
+{
+    BenchmarkRunner runner(router::xeonProfile(), smallConfig());
+    auto result = runner.run(scenarioByNumber(3));
+
+    ASSERT_FALSE(result.timedOut);
+    ASSERT_TRUE(result.phase3.has_value());
+    EXPECT_FALSE(result.phase2.has_value()); // paper: Phase 2 omitted
+    EXPECT_EQ(result.phase3->transactions, 300u);
+    EXPECT_EQ(result.speakerCounters.withdrawalsProcessed, 300u);
+    EXPECT_EQ(runner.router().fib().size(), 0u);
+    EXPECT_EQ(runner.router().speaker().locRib().size(), 0u);
+}
+
+TEST(BenchmarkRunner, Scenario5LeavesForwardingTableAlone)
+{
+    BenchmarkRunner runner(router::xeonProfile(), smallConfig());
+    auto result = runner.run(scenarioByNumber(5));
+
+    ASSERT_FALSE(result.timedOut);
+    ASSERT_TRUE(result.phase2.has_value());
+    ASSERT_TRUE(result.phase3.has_value());
+
+    // Phase 3 processed all announcements but changed nothing:
+    // fib changes equal the phase-1 installs only.
+    EXPECT_EQ(result.speakerCounters.announcementsProcessed, 600u);
+    EXPECT_EQ(result.speakerCounters.fibChanges, 300u);
+    EXPECT_EQ(runner.router().controlPlane().fibChangesApplied, 300u);
+
+    // Speaker 1's routes are still the best (shorter path).
+    const auto &loc_rib = runner.router().speaker().locRib();
+    EXPECT_EQ(loc_rib.size(), 300u);
+    size_t from_peer0 = 0;
+    loc_rib.forEach([&](const net::Prefix &,
+                        const bgp::LocRib::Entry &entry) {
+        from_peer0 += entry.best.peer == 0;
+    });
+    EXPECT_EQ(from_peer0, 300u);
+}
+
+TEST(BenchmarkRunner, Scenario7ReplacesEveryBestPath)
+{
+    BenchmarkRunner runner(router::xeonProfile(), smallConfig());
+    auto result = runner.run(scenarioByNumber(7));
+
+    ASSERT_FALSE(result.timedOut);
+    // Phase 1 installs + phase 3 replaces: 2N FIB changes.
+    EXPECT_EQ(result.speakerCounters.fibChanges, 600u);
+
+    // Every best route now comes from Speaker 2 with next hop
+    // 10.0.2.2.
+    const auto &loc_rib = runner.router().speaker().locRib();
+    size_t from_peer1 = 0;
+    loc_rib.forEach([&](const net::Prefix &,
+                        const bgp::LocRib::Entry &entry) {
+        from_peer1 += entry.best.peer == 1;
+    });
+    EXPECT_EQ(from_peer1, 300u);
+
+    // Speaker 1 was told about the new (shorter) paths in Phase 3.
+    EXPECT_GT(runner.speaker1().counters().announcementsReceived, 0u);
+}
+
+TEST(BenchmarkRunner, Phase2DeliversTableToSpeaker2)
+{
+    BenchmarkRunner runner(router::xeonProfile(), smallConfig());
+    auto result = runner.run(scenarioByNumber(6));
+    ASSERT_FALSE(result.timedOut);
+    ASSERT_TRUE(result.phase2.has_value());
+    EXPECT_EQ(result.phase2->transactions, 300u);
+    EXPECT_EQ(runner.speaker2().counters().announcementsReceived,
+              300u);
+}
+
+TEST(BenchmarkRunner, LargePacketsFasterThanSmall)
+{
+    BenchmarkRunner runner(router::pentium3Profile(), smallConfig());
+    auto small = runner.run(scenarioByNumber(1));
+    auto large = runner.run(scenarioByNumber(2));
+    ASSERT_FALSE(small.timedOut);
+    ASSERT_FALSE(large.timedOut);
+    EXPECT_GT(large.measuredTps, small.measuredTps * 1.3);
+}
+
+TEST(BenchmarkRunner, RunsAreReproducible)
+{
+    BenchmarkRunner runner(router::xeonProfile(), smallConfig());
+    auto a = runner.run(scenarioByNumber(2));
+    auto b = runner.run(scenarioByNumber(2));
+    EXPECT_DOUBLE_EQ(a.measuredTps, b.measuredTps);
+    EXPECT_DOUBLE_EQ(a.phase1.durationSec, b.phase1.durationSec);
+}
+
+TEST(BenchmarkRunner, CrossTrafficIsForwardedDuringRun)
+{
+    BenchmarkConfig config = smallConfig();
+    config.crossTrafficMbps = 100.0;
+    BenchmarkRunner runner(router::pentium3Profile(), config);
+    auto result = runner.run(scenarioByNumber(2));
+    ASSERT_FALSE(result.timedOut);
+    EXPECT_GT(result.dataPlane.forwardedPackets, 1000u);
+    EXPECT_EQ(result.dataPlane.busDrops, 0u);
+}
+
+TEST(BenchmarkRunner, TimeoutReported)
+{
+    BenchmarkConfig config = smallConfig(2000);
+    config.simTimeLimit = sim::nsFromSec(1.0); // far too short
+    BenchmarkRunner runner(router::ixp2400Profile(), config);
+    auto result = runner.run(scenarioByNumber(1));
+    EXPECT_TRUE(result.timedOut);
+}

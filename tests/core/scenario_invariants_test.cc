@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Parameterised invariants over all eight benchmark scenarios: for
+ * every scenario the run must complete and leave the router in the
+ * exact protocol state Table I implies.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/benchmark_runner.hh"
+
+using namespace bgpbench;
+using namespace bgpbench::core;
+
+namespace
+{
+constexpr size_t kPrefixes = 250;
+} // namespace
+
+class ScenarioInvariants : public ::testing::TestWithParam<int>
+{
+  protected:
+    BenchmarkResult
+    run()
+    {
+        BenchmarkConfig config;
+        config.prefixCount = kPrefixes;
+        config.simTimeLimit = sim::nsFromSec(600.0);
+        runner_ = std::make_unique<BenchmarkRunner>(
+            router::xeonProfile(), config);
+        return runner_->run(scenarioByNumber(GetParam()));
+    }
+
+    std::unique_ptr<BenchmarkRunner> runner_;
+};
+
+TEST_P(ScenarioInvariants, CompletesWithPositiveRate)
+{
+    auto result = run();
+    ASSERT_FALSE(result.timedOut);
+    EXPECT_GT(result.measuredTps, 0.0);
+    EXPECT_GT(result.phase1.durationSec, 0.0);
+}
+
+TEST_P(ScenarioInvariants, PhasesMatchTableI)
+{
+    auto scenario = scenarioByNumber(GetParam());
+    auto result = run();
+    ASSERT_FALSE(result.timedOut);
+
+    EXPECT_EQ(result.phase2.has_value(),
+              scenario.usesSecondSpeaker());
+    EXPECT_EQ(result.phase3.has_value(),
+              !scenario.measuresPhase1());
+    if (scenario.measuresPhase1()) {
+        EXPECT_DOUBLE_EQ(result.measuredTps,
+                         result.phase1.transactionsPerSecond());
+    } else {
+        EXPECT_DOUBLE_EQ(result.measuredTps,
+                         result.phase3->transactionsPerSecond());
+    }
+}
+
+TEST_P(ScenarioInvariants, TransactionCountsExact)
+{
+    auto scenario = scenarioByNumber(GetParam());
+    auto result = run();
+    ASSERT_FALSE(result.timedOut);
+
+    const auto &counters = result.speakerCounters;
+    switch (scenario.operation) {
+      case BgpOperation::StartupAnnounce:
+        EXPECT_EQ(counters.announcementsProcessed, kPrefixes);
+        EXPECT_EQ(counters.withdrawalsProcessed, 0u);
+        break;
+      case BgpOperation::EndingWithdraw:
+        EXPECT_EQ(counters.announcementsProcessed, kPrefixes);
+        EXPECT_EQ(counters.withdrawalsProcessed, kPrefixes);
+        break;
+      case BgpOperation::IncrementalNoChange:
+      case BgpOperation::IncrementalChange:
+        EXPECT_EQ(counters.announcementsProcessed, 2 * kPrefixes);
+        EXPECT_EQ(counters.withdrawalsProcessed, 0u);
+        break;
+    }
+}
+
+TEST_P(ScenarioInvariants, FinalTablesMatchTableI)
+{
+    auto scenario = scenarioByNumber(GetParam());
+    auto result = run();
+    ASSERT_FALSE(result.timedOut);
+
+    auto &router = runner_->router();
+    size_t expected =
+        scenario.operation == BgpOperation::EndingWithdraw
+            ? 0
+            : kPrefixes;
+    EXPECT_EQ(router.speaker().locRib().size(), expected);
+    EXPECT_EQ(router.fib().size(), expected);
+
+    // FIB write counts per Table I's "Forwarding Table Changes" row.
+    size_t expected_writes = 0;
+    switch (scenario.operation) {
+      case BgpOperation::StartupAnnounce:
+        expected_writes = kPrefixes; // installs
+        break;
+      case BgpOperation::EndingWithdraw:
+        expected_writes = 2 * kPrefixes; // installs + removals
+        break;
+      case BgpOperation::IncrementalNoChange:
+        expected_writes = kPrefixes; // phase-1 installs only
+        break;
+      case BgpOperation::IncrementalChange:
+        expected_writes = 2 * kPrefixes; // installs + replacements
+        break;
+    }
+    EXPECT_EQ(router.controlPlane().fibChangesApplied,
+              expected_writes);
+}
+
+TEST_P(ScenarioInvariants, ControlPlaneFullyDrained)
+{
+    auto result = run();
+    ASSERT_FALSE(result.timedOut);
+    EXPECT_TRUE(runner_->router().controlDrained());
+    // No session died along the way.
+    EXPECT_EQ(result.speakerCounters.notificationsSent, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllScenarios, ScenarioInvariants,
+                         ::testing::Range(1, 9),
+                         [](const auto &info) {
+                             return "Scenario" +
+                                    std::to_string(info.param);
+                         });

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Tests for the Table I scenario definitions.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/scenario.hh"
+#include "net/logging.hh"
+
+using namespace bgpbench;
+using namespace bgpbench::core;
+
+TEST(Scenario, TableIMapping)
+{
+    // Table I: scenarios 1/2 start-up announce, 3/4 ending withdraw,
+    // 5/6 incremental no-change, 7/8 incremental change; odd = small.
+    auto s1 = scenarioByNumber(1);
+    EXPECT_EQ(s1.operation, BgpOperation::StartupAnnounce);
+    EXPECT_EQ(s1.packetSize, PacketSize::Small);
+
+    auto s2 = scenarioByNumber(2);
+    EXPECT_EQ(s2.operation, BgpOperation::StartupAnnounce);
+    EXPECT_EQ(s2.packetSize, PacketSize::Large);
+
+    auto s3 = scenarioByNumber(3);
+    EXPECT_EQ(s3.operation, BgpOperation::EndingWithdraw);
+    EXPECT_EQ(s3.packetSize, PacketSize::Small);
+
+    auto s6 = scenarioByNumber(6);
+    EXPECT_EQ(s6.operation, BgpOperation::IncrementalNoChange);
+    EXPECT_EQ(s6.packetSize, PacketSize::Large);
+
+    auto s7 = scenarioByNumber(7);
+    EXPECT_EQ(s7.operation, BgpOperation::IncrementalChange);
+    EXPECT_EQ(s7.packetSize, PacketSize::Small);
+}
+
+TEST(Scenario, PacketSizes)
+{
+    EXPECT_EQ(scenarioByNumber(1).prefixesPerPacket(), 1u);
+    EXPECT_EQ(scenarioByNumber(2).prefixesPerPacket(), 500u);
+}
+
+TEST(Scenario, ForwardingTableChanges)
+{
+    // Table I row "Forwarding Table Changes": yes, yes, no, yes.
+    EXPECT_TRUE(scenarioByNumber(1).changesForwardingTable());
+    EXPECT_TRUE(scenarioByNumber(3).changesForwardingTable());
+    EXPECT_FALSE(scenarioByNumber(5).changesForwardingTable());
+    EXPECT_FALSE(scenarioByNumber(6).changesForwardingTable());
+    EXPECT_TRUE(scenarioByNumber(8).changesForwardingTable());
+}
+
+TEST(Scenario, MeasuredPhases)
+{
+    EXPECT_TRUE(scenarioByNumber(1).measuresPhase1());
+    EXPECT_TRUE(scenarioByNumber(2).measuresPhase1());
+    for (int n = 3; n <= 8; ++n)
+        EXPECT_FALSE(scenarioByNumber(n).measuresPhase1()) << n;
+}
+
+TEST(Scenario, SecondSpeakerUsage)
+{
+    EXPECT_FALSE(scenarioByNumber(1).usesSecondSpeaker());
+    EXPECT_FALSE(scenarioByNumber(3).usesSecondSpeaker());
+    EXPECT_TRUE(scenarioByNumber(5).usesSecondSpeaker());
+    EXPECT_TRUE(scenarioByNumber(8).usesSecondSpeaker());
+}
+
+TEST(Scenario, AllScenariosOrdered)
+{
+    auto all = allScenarios();
+    ASSERT_EQ(all.size(), 8u);
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(all[size_t(i)].number, i + 1);
+}
+
+TEST(Scenario, NamesAndDescriptions)
+{
+    EXPECT_EQ(scenarioByNumber(4).name(), "Scenario 4");
+    for (int n = 1; n <= 8; ++n)
+        EXPECT_FALSE(scenarioByNumber(n).description().empty());
+}
+
+TEST(Scenario, RejectsOutOfRange)
+{
+    EXPECT_THROW(scenarioByNumber(0), FatalError);
+    EXPECT_THROW(scenarioByNumber(9), FatalError);
+    EXPECT_THROW(scenarioByNumber(-3), FatalError);
+}

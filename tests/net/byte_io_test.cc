@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Unit and property tests for the big-endian serialisation layer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "net/byte_io.hh"
+#include "workload/rng.hh"
+
+using namespace bgpbench;
+using net::ByteReader;
+using net::ByteWriter;
+
+TEST(ByteWriter, WritesBigEndian)
+{
+    ByteWriter w;
+    w.writeU8(0x01);
+    w.writeU16(0x0203);
+    w.writeU32(0x04050607);
+    ASSERT_EQ(w.size(), 7u);
+    const auto &b = w.bytes();
+    EXPECT_EQ(b[0], 0x01);
+    EXPECT_EQ(b[1], 0x02);
+    EXPECT_EQ(b[2], 0x03);
+    EXPECT_EQ(b[3], 0x04);
+    EXPECT_EQ(b[4], 0x05);
+    EXPECT_EQ(b[5], 0x06);
+    EXPECT_EQ(b[6], 0x07);
+}
+
+TEST(ByteWriter, PatchU16)
+{
+    ByteWriter w;
+    w.writeU16(0);
+    w.writeU8(0xaa);
+    w.patchU16(0, 0xbeef);
+    EXPECT_EQ(w.bytes()[0], 0xbe);
+    EXPECT_EQ(w.bytes()[1], 0xef);
+    EXPECT_EQ(w.bytes()[2], 0xaa);
+}
+
+TEST(ByteWriter, FillAndBytes)
+{
+    ByteWriter w;
+    w.writeFill(16, 0xff);
+    EXPECT_EQ(w.size(), 16u);
+    for (uint8_t b : w.bytes())
+        EXPECT_EQ(b, 0xff);
+}
+
+TEST(ByteReader, ReadsWhatWriterWrote)
+{
+    ByteWriter w;
+    w.writeU32(0xdeadbeef);
+    w.writeU16(0x1234);
+    w.writeU8(0x56);
+    w.writeAddress(net::Ipv4Address(10, 1, 2, 3));
+
+    auto bytes = w.take();
+    ByteReader r(bytes);
+    EXPECT_EQ(r.readU32(), 0xdeadbeefu);
+    EXPECT_EQ(r.readU16(), 0x1234);
+    EXPECT_EQ(r.readU8(), 0x56);
+    EXPECT_EQ(r.readAddress(), net::Ipv4Address(10, 1, 2, 3));
+    EXPECT_TRUE(r.ok());
+    EXPECT_TRUE(r.atEnd());
+}
+
+TEST(ByteReader, OverrunSetsStickyError)
+{
+    std::vector<uint8_t> bytes = {1, 2};
+    ByteReader r(bytes);
+    EXPECT_EQ(r.readU32(), 0u);
+    EXPECT_FALSE(r.ok());
+    // Sticky: further reads stay zero, no crash.
+    EXPECT_EQ(r.readU8(), 0u);
+    EXPECT_EQ(r.remaining(), 0u);
+    EXPECT_FALSE(r.atEnd());
+}
+
+TEST(ByteReader, ReadBytesExactBoundary)
+{
+    std::vector<uint8_t> bytes = {1, 2, 3, 4};
+    ByteReader r(bytes);
+    auto first = r.readBytes(4);
+    ASSERT_EQ(first.size(), 4u);
+    EXPECT_TRUE(r.ok());
+    EXPECT_TRUE(r.atEnd());
+    auto extra = r.readBytes(1);
+    EXPECT_TRUE(extra.empty());
+    EXPECT_FALSE(r.ok());
+}
+
+TEST(ByteReader, SubReaderScopesLength)
+{
+    std::vector<uint8_t> bytes = {0xaa, 0xbb, 0xcc, 0xdd};
+    ByteReader r(bytes);
+    ByteReader sub = r.subReader(2);
+    EXPECT_EQ(sub.readU8(), 0xaa);
+    EXPECT_EQ(sub.readU8(), 0xbb);
+    EXPECT_TRUE(sub.atEnd());
+    // Parent cursor advanced past the sub-range.
+    EXPECT_EQ(r.readU8(), 0xcc);
+}
+
+TEST(ByteReader, SubReaderBeyondEndFails)
+{
+    std::vector<uint8_t> bytes = {1};
+    ByteReader r(bytes);
+    ByteReader sub = r.subReader(5);
+    EXPECT_FALSE(r.ok());
+    EXPECT_FALSE(sub.ok());
+}
+
+TEST(ByteReader, SkipAdvances)
+{
+    std::vector<uint8_t> bytes = {1, 2, 3};
+    ByteReader r(bytes);
+    r.skip(2);
+    EXPECT_EQ(r.readU8(), 3);
+    EXPECT_TRUE(r.atEnd());
+}
+
+TEST(ByteIo, ToHex)
+{
+    std::vector<uint8_t> bytes = {0x00, 0x0f, 0xa5, 0xff};
+    EXPECT_EQ(net::toHex(bytes), "000fa5ff");
+    EXPECT_EQ(net::toHex({}), "");
+}
+
+/** Property: any sequence of typed writes reads back identically. */
+TEST(ByteIoProperty, RandomRoundTrip)
+{
+    workload::Rng rng(21);
+    for (int trial = 0; trial < 200; ++trial) {
+        ByteWriter w;
+        std::vector<int> kinds;
+        std::vector<uint64_t> values;
+        int fields = int(rng.range(1, 30));
+        for (int i = 0; i < fields; ++i) {
+            int kind = int(rng.range(0, 2));
+            uint64_t v = rng.next();
+            kinds.push_back(kind);
+            switch (kind) {
+              case 0:
+                values.push_back(uint8_t(v));
+                w.writeU8(uint8_t(v));
+                break;
+              case 1:
+                values.push_back(uint16_t(v));
+                w.writeU16(uint16_t(v));
+                break;
+              default:
+                values.push_back(uint32_t(v));
+                w.writeU32(uint32_t(v));
+                break;
+            }
+        }
+
+        auto bytes = w.take();
+        ByteReader r(bytes);
+        for (int i = 0; i < fields; ++i) {
+            switch (kinds[size_t(i)]) {
+              case 0:
+                EXPECT_EQ(r.readU8(), values[size_t(i)]);
+                break;
+              case 1:
+                EXPECT_EQ(r.readU16(), values[size_t(i)]);
+                break;
+              default:
+                EXPECT_EQ(r.readU32(), values[size_t(i)]);
+                break;
+            }
+        }
+        EXPECT_TRUE(r.atEnd());
+    }
+}

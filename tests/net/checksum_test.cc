@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Tests for the Internet checksum (RFC 1071 / RFC 1624).
+ */
+
+#include <gtest/gtest.h>
+
+#include "net/checksum.hh"
+#include "workload/rng.hh"
+
+using namespace bgpbench;
+
+TEST(Checksum, EmptyBufferIsAllOnes)
+{
+    EXPECT_EQ(net::checksum({}), 0xffff);
+}
+
+TEST(Checksum, KnownVector)
+{
+    // Classic example from RFC 1071 section 3: words 0x0001, 0xf203,
+    // 0xf4f5, 0xf6f7 sum to 0xddf2 before complement.
+    std::vector<uint8_t> data = {0x00, 0x01, 0xf2, 0x03,
+                                 0xf4, 0xf5, 0xf6, 0xf7};
+    EXPECT_EQ(net::checksum(data), uint16_t(~0xddf2u));
+}
+
+TEST(Checksum, OddLengthPadsWithZero)
+{
+    std::vector<uint8_t> even = {0x12, 0x34, 0x56, 0x00};
+    std::vector<uint8_t> odd = {0x12, 0x34, 0x56};
+    EXPECT_EQ(net::checksum(even), net::checksum(odd));
+}
+
+TEST(Checksum, BufferWithEmbeddedChecksumVerifiesToZero)
+{
+    workload::Rng rng(3);
+    for (int trial = 0; trial < 100; ++trial) {
+        std::vector<uint8_t> data(20);
+        for (auto &b : data)
+            b = uint8_t(rng.next());
+        // Clear a 16-bit checksum field at offset 10, compute, embed.
+        data[10] = data[11] = 0;
+        uint16_t sum = net::checksum(data);
+        data[10] = uint8_t(sum >> 8);
+        data[11] = uint8_t(sum);
+        EXPECT_EQ(net::checksum(data), 0);
+    }
+}
+
+TEST(Checksum, IncrementalUpdateMatchesRecomputation)
+{
+    workload::Rng rng(5);
+    for (int trial = 0; trial < 200; ++trial) {
+        std::vector<uint8_t> data(20);
+        for (auto &b : data)
+            b = uint8_t(rng.next());
+        data[10] = data[11] = 0;
+        uint16_t sum = net::checksum(data);
+        data[10] = uint8_t(sum >> 8);
+        data[11] = uint8_t(sum);
+
+        // Modify the 16-bit word at offset 8 (TTL+protocol in an IP
+        // header) and update incrementally.
+        uint16_t old_word = uint16_t((data[8] << 8) | data[9]);
+        uint16_t new_word = uint16_t(rng.next());
+        data[8] = uint8_t(new_word >> 8);
+        data[9] = uint8_t(new_word);
+
+        uint16_t incremental =
+            net::checksumAdjust(sum, old_word, new_word);
+
+        data[10] = data[11] = 0;
+        uint16_t recomputed = net::checksum(data);
+
+        EXPECT_EQ(incremental, recomputed)
+            << "trial " << trial << " old=" << old_word
+            << " new=" << new_word;
+    }
+}
+
+TEST(Checksum, AdjustIsInvolution)
+{
+    // Changing a word and changing it back restores the checksum.
+    uint16_t sum = 0x1a2b;
+    uint16_t adjusted = net::checksumAdjust(sum, 0x4001, 0x3f01);
+    uint16_t restored = net::checksumAdjust(adjusted, 0x3f01, 0x4001);
+    EXPECT_EQ(restored, sum);
+}

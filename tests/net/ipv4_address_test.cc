@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Unit tests for net::Ipv4Address.
+ */
+
+#include <gtest/gtest.h>
+
+#include "net/ipv4_address.hh"
+#include "net/logging.hh"
+
+using namespace bgpbench;
+using net::Ipv4Address;
+
+TEST(Ipv4Address, DefaultIsZero)
+{
+    Ipv4Address addr;
+    EXPECT_EQ(addr.toUint32(), 0u);
+    EXPECT_TRUE(addr.isZero());
+    EXPECT_EQ(addr.toString(), "0.0.0.0");
+}
+
+TEST(Ipv4Address, OctetConstruction)
+{
+    Ipv4Address addr(192, 168, 1, 2);
+    EXPECT_EQ(addr.toUint32(), 0xc0a80102u);
+    EXPECT_EQ(addr.octet(0), 192);
+    EXPECT_EQ(addr.octet(1), 168);
+    EXPECT_EQ(addr.octet(2), 1);
+    EXPECT_EQ(addr.octet(3), 2);
+}
+
+TEST(Ipv4Address, RoundTripThroughString)
+{
+    const char *cases[] = {"0.0.0.0", "1.2.3.4", "10.0.0.1",
+                           "172.16.254.3", "192.168.100.200",
+                           "255.255.255.255"};
+    for (const char *text : cases) {
+        auto addr = Ipv4Address::parse(text);
+        ASSERT_TRUE(addr.has_value()) << text;
+        EXPECT_EQ(addr->toString(), text);
+    }
+}
+
+TEST(Ipv4Address, ParseRejectsMalformed)
+{
+    const char *cases[] = {"",        "1.2.3",       "1.2.3.4.5",
+                           "256.1.1.1", "1.2.3.256", "a.b.c.d",
+                           "1..2.3",  "1.2.3.4 ",    " 1.2.3.4",
+                           "1.2.3.-4", "01.2.3.4.5", "1,2,3,4",
+                           "1.2.3.4/24", "1.2.3.0444"};
+    for (const char *text : cases)
+        EXPECT_FALSE(Ipv4Address::parse(text).has_value()) << text;
+}
+
+TEST(Ipv4Address, ParseAcceptsLeadingZeroDigits)
+{
+    // "010" is three digits with value 10; accepted like inet_pton
+    // would for zero-padded decimal.
+    auto addr = Ipv4Address::parse("010.001.000.009");
+    ASSERT_TRUE(addr.has_value());
+    EXPECT_EQ(*addr, Ipv4Address(10, 1, 0, 9));
+}
+
+TEST(Ipv4Address, FromStringThrowsOnBadInput)
+{
+    EXPECT_THROW(Ipv4Address::fromString("999.0.0.1"), FatalError);
+    EXPECT_EQ(Ipv4Address::fromString("8.8.8.8"),
+              Ipv4Address(8, 8, 8, 8));
+}
+
+TEST(Ipv4Address, BitAccessMsbFirst)
+{
+    Ipv4Address addr(0x80000001u);
+    EXPECT_TRUE(addr.bit(0));
+    for (int b = 1; b < 31; ++b)
+        EXPECT_FALSE(addr.bit(b)) << b;
+    EXPECT_TRUE(addr.bit(31));
+}
+
+TEST(Ipv4Address, Ordering)
+{
+    EXPECT_LT(Ipv4Address(1, 0, 0, 0), Ipv4Address(2, 0, 0, 0));
+    EXPECT_LT(Ipv4Address(10, 0, 0, 1), Ipv4Address(10, 0, 0, 2));
+    EXPECT_EQ(Ipv4Address(10, 0, 0, 1), Ipv4Address(0x0a000001u));
+}
+
+TEST(Ipv4Address, MaskForLength)
+{
+    EXPECT_EQ(net::maskForLength(0), 0u);
+    EXPECT_EQ(net::maskForLength(8), 0xff000000u);
+    EXPECT_EQ(net::maskForLength(24), 0xffffff00u);
+    EXPECT_EQ(net::maskForLength(32), 0xffffffffu);
+    EXPECT_EQ(net::maskForLength(1), 0x80000000u);
+    EXPECT_EQ(net::maskForLength(31), 0xfffffffeu);
+}

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Tests for the IPv4 header codec and DataPacket helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "net/checksum.hh"
+#include "net/packet.hh"
+
+using namespace bgpbench;
+using net::DataPacket;
+using net::Ipv4Address;
+using net::Ipv4Header;
+
+TEST(Ipv4Header, EncodeDecodeRoundTrip)
+{
+    Ipv4Header hdr;
+    hdr.ttl = 17;
+    hdr.protocol = 6;
+    hdr.totalLength = 1500;
+    hdr.source = Ipv4Address(10, 0, 0, 1);
+    hdr.destination = Ipv4Address(192, 168, 10, 20);
+
+    auto wire = hdr.encode();
+    auto decoded = Ipv4Header::decode(wire);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(decoded->ttl, 17);
+    EXPECT_EQ(decoded->protocol, 6);
+    EXPECT_EQ(decoded->totalLength, 1500);
+    EXPECT_EQ(decoded->source, hdr.source);
+    EXPECT_EQ(decoded->destination, hdr.destination);
+}
+
+TEST(Ipv4Header, EncodedChecksumVerifies)
+{
+    Ipv4Header hdr;
+    hdr.source = Ipv4Address(1, 2, 3, 4);
+    hdr.destination = Ipv4Address(5, 6, 7, 8);
+    auto wire = hdr.encode();
+    EXPECT_EQ(net::checksum(std::span<const uint8_t>(wire)), 0);
+}
+
+TEST(Ipv4Header, DecodeRejectsShortBuffer)
+{
+    std::vector<uint8_t> wire(10, 0);
+    EXPECT_FALSE(Ipv4Header::decode(wire).has_value());
+}
+
+TEST(Ipv4Header, DecodeRejectsWrongVersion)
+{
+    Ipv4Header hdr;
+    auto wire = hdr.encode();
+    std::vector<uint8_t> bytes(wire.begin(), wire.end());
+    bytes[0] = 0x65; // IPv6 version nibble
+    EXPECT_FALSE(Ipv4Header::decode(bytes).has_value());
+    bytes[0] = 0x46; // IPv4 but IHL 6 (options): unsupported
+    EXPECT_FALSE(Ipv4Header::decode(bytes).has_value());
+}
+
+TEST(DataPacket, MakeDataPacketIsValid)
+{
+    DataPacket pkt = net::makeDataPacket(Ipv4Address(10, 0, 0, 1),
+                                         Ipv4Address(10, 0, 0, 2),
+                                         1000);
+    EXPECT_EQ(pkt.sizeBytes, 1000u);
+    EXPECT_EQ(pkt.header.ttl, 64);
+    EXPECT_TRUE(pkt.checksumValid());
+}
+
+TEST(DataPacket, ChecksumInvalidAfterMutation)
+{
+    DataPacket pkt = net::makeDataPacket(Ipv4Address(10, 0, 0, 1),
+                                         Ipv4Address(10, 0, 0, 2),
+                                         100);
+    pkt.header.ttl -= 1;
+    EXPECT_FALSE(pkt.checksumValid());
+    pkt.refreshChecksum();
+    EXPECT_TRUE(pkt.checksumValid());
+}
+
+TEST(DataPacket, MinimumSizeIsHeader)
+{
+    DataPacket pkt = net::makeDataPacket(Ipv4Address(1, 1, 1, 1),
+                                         Ipv4Address(2, 2, 2, 2), 4);
+    EXPECT_EQ(pkt.sizeBytes, Ipv4Header::headerBytes);
+}
+
+TEST(DataPacket, LargePacketLengthFieldSaturates)
+{
+    DataPacket pkt = net::makeDataPacket(Ipv4Address(1, 1, 1, 1),
+                                         Ipv4Address(2, 2, 2, 2),
+                                         100000);
+    EXPECT_EQ(pkt.sizeBytes, 100000u);
+    EXPECT_EQ(pkt.header.totalLength, 0xffff);
+    EXPECT_TRUE(pkt.checksumValid());
+}

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Unit and property tests for net::Prefix.
+ */
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "net/logging.hh"
+#include "net/prefix.hh"
+#include "workload/rng.hh"
+
+using namespace bgpbench;
+using net::Ipv4Address;
+using net::Prefix;
+
+TEST(Prefix, DefaultIsDefaultRoute)
+{
+    Prefix p;
+    EXPECT_EQ(p.length(), 0);
+    EXPECT_TRUE(p.address().isZero());
+    EXPECT_EQ(p.toString(), "0.0.0.0/0");
+    EXPECT_TRUE(p.contains(Ipv4Address(1, 2, 3, 4)));
+}
+
+TEST(Prefix, CanonicalisesHostBits)
+{
+    Prefix p(Ipv4Address(10, 1, 2, 3), 24);
+    EXPECT_EQ(p.address(), Ipv4Address(10, 1, 2, 0));
+    EXPECT_EQ(p.toString(), "10.1.2.0/24");
+
+    Prefix host(Ipv4Address(10, 1, 2, 3), 32);
+    EXPECT_EQ(host.address(), Ipv4Address(10, 1, 2, 3));
+}
+
+TEST(Prefix, EqualityAfterCanonicalisation)
+{
+    EXPECT_EQ(Prefix(Ipv4Address(10, 1, 2, 3), 24),
+              Prefix(Ipv4Address(10, 1, 2, 200), 24));
+    EXPECT_NE(Prefix(Ipv4Address(10, 1, 2, 0), 24),
+              Prefix(Ipv4Address(10, 1, 2, 0), 25));
+}
+
+TEST(Prefix, Contains)
+{
+    Prefix p = Prefix::fromString("192.168.0.0/16");
+    EXPECT_TRUE(p.contains(Ipv4Address(192, 168, 0, 1)));
+    EXPECT_TRUE(p.contains(Ipv4Address(192, 168, 255, 255)));
+    EXPECT_FALSE(p.contains(Ipv4Address(192, 169, 0, 0)));
+    EXPECT_FALSE(p.contains(Ipv4Address(10, 0, 0, 1)));
+}
+
+TEST(Prefix, Covers)
+{
+    Prefix wide = Prefix::fromString("10.0.0.0/8");
+    Prefix narrow = Prefix::fromString("10.1.0.0/16");
+    EXPECT_TRUE(wide.covers(narrow));
+    EXPECT_FALSE(narrow.covers(wide));
+    EXPECT_TRUE(wide.covers(wide));
+    EXPECT_FALSE(wide.covers(Prefix::fromString("11.0.0.0/16")));
+}
+
+TEST(Prefix, ParseRoundTrip)
+{
+    const char *cases[] = {"0.0.0.0/0", "10.0.0.0/8", "10.1.2.0/24",
+                           "192.168.1.128/25", "1.2.3.4/32"};
+    for (const char *text : cases) {
+        auto p = Prefix::parse(text);
+        ASSERT_TRUE(p.has_value()) << text;
+        EXPECT_EQ(p->toString(), text);
+    }
+}
+
+TEST(Prefix, ParseRejectsMalformed)
+{
+    const char *cases[] = {"",          "10.0.0.0",   "10.0.0.0/",
+                           "10.0.0.0/33", "10.0.0.0/-1", "/24",
+                           "10.0.0/24", "10.0.0.0/2 4", "10.0.0.0/s"};
+    for (const char *text : cases)
+        EXPECT_FALSE(Prefix::parse(text).has_value()) << text;
+}
+
+TEST(Prefix, FromStringThrows)
+{
+    EXPECT_THROW(Prefix::fromString("bogus"), FatalError);
+}
+
+TEST(Prefix, WireOctets)
+{
+    EXPECT_EQ(Prefix::fromString("0.0.0.0/0").wireOctets(), 0);
+    EXPECT_EQ(Prefix::fromString("10.0.0.0/7").wireOctets(), 1);
+    EXPECT_EQ(Prefix::fromString("10.0.0.0/8").wireOctets(), 1);
+    EXPECT_EQ(Prefix::fromString("10.0.0.0/9").wireOctets(), 2);
+    EXPECT_EQ(Prefix::fromString("10.1.0.0/16").wireOctets(), 2);
+    EXPECT_EQ(Prefix::fromString("10.1.2.0/24").wireOctets(), 3);
+    EXPECT_EQ(Prefix::fromString("10.1.2.3/32").wireOctets(), 4);
+}
+
+TEST(Prefix, HashDistinguishesLengths)
+{
+    std::unordered_set<Prefix> set;
+    set.insert(Prefix::fromString("10.0.0.0/8"));
+    set.insert(Prefix::fromString("10.0.0.0/16"));
+    set.insert(Prefix::fromString("10.0.0.0/24"));
+    EXPECT_EQ(set.size(), 3u);
+    EXPECT_TRUE(set.count(Prefix::fromString("10.0.0.0/16")));
+}
+
+/** Property: an address is contained iff masking it yields the net. */
+TEST(PrefixProperty, ContainsMatchesMaskArithmetic)
+{
+    workload::Rng rng(7);
+    for (int i = 0; i < 2000; ++i) {
+        int len = int(rng.range(0, 32));
+        Ipv4Address net(uint32_t(rng.next()));
+        Ipv4Address probe(uint32_t(rng.next()));
+        Prefix p(net, len);
+        bool expected = (probe.toUint32() & net::maskForLength(len)) ==
+                        p.address().toUint32();
+        EXPECT_EQ(p.contains(probe), expected)
+            << p.toString() << " vs " << probe.toString();
+    }
+}
+
+/** Property: covers() is reflexive and antisymmetric w.r.t. length. */
+TEST(PrefixProperty, CoversIsPartialOrder)
+{
+    workload::Rng rng(11);
+    for (int i = 0; i < 1000; ++i) {
+        Prefix a(Ipv4Address(uint32_t(rng.next())),
+                 int(rng.range(0, 32)));
+        Prefix b(Ipv4Address(uint32_t(rng.next())),
+                 int(rng.range(0, 32)));
+        EXPECT_TRUE(a.covers(a));
+        if (a.covers(b) && b.covers(a)) {
+            EXPECT_EQ(a, b);
+        }
+        // Transitivity through a third prefix derived from b.
+        Prefix c(b.address(), std::min(32, b.length() + 4));
+        if (a.covers(b)) {
+            EXPECT_TRUE(a.covers(c));
+        }
+    }
+}

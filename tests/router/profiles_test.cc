@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Sanity tests over the four calibrated system profiles (Table II).
+ */
+
+#include <gtest/gtest.h>
+
+#include "net/logging.hh"
+#include "router/system_profiles.hh"
+
+using namespace bgpbench;
+using namespace bgpbench::router;
+
+TEST(SystemProfiles, FourSystemsInPaperOrder)
+{
+    auto profiles = allSystemProfiles();
+    ASSERT_EQ(profiles.size(), 4u);
+    EXPECT_EQ(profiles[0].name, "PentiumIII");
+    EXPECT_EQ(profiles[1].name, "Xeon");
+    EXPECT_EQ(profiles[2].name, "IXP2400");
+    EXPECT_EQ(profiles[3].name, "Cisco");
+}
+
+TEST(SystemProfiles, LookupByNameIsCaseInsensitive)
+{
+    EXPECT_EQ(profileByName("xeon").name, "Xeon");
+    EXPECT_EQ(profileByName("CISCO").name, "Cisco");
+    EXPECT_EQ(profileByName("ixp2400").name, "IXP2400");
+    EXPECT_THROW(profileByName("quantum9000"), FatalError);
+}
+
+TEST(SystemProfiles, ArchitectureClasses)
+{
+    EXPECT_EQ(pentium3Profile().architecture, Architecture::UniCore);
+    EXPECT_EQ(xeonProfile().architecture, Architecture::DualCore);
+    EXPECT_EQ(ixp2400Profile().architecture,
+              Architecture::NetworkProcessor);
+    EXPECT_EQ(ciscoProfile().architecture, Architecture::Commercial);
+}
+
+TEST(SystemProfiles, CoreCounts)
+{
+    EXPECT_EQ(pentium3Profile().cpu.logicalCpus(), 1);
+    EXPECT_EQ(xeonProfile().cpu.logicalCpus(), 4); // 2 cores x 2 HT
+    EXPECT_EQ(ixp2400Profile().cpu.logicalCpus(), 1);
+    EXPECT_EQ(ciscoProfile().cpu.logicalCpus(), 1);
+}
+
+TEST(SystemProfiles, BusLimitsMatchPaperSectionVB)
+{
+    EXPECT_DOUBLE_EQ(pentium3Profile().busLimitMbps, 315.0);
+    EXPECT_DOUBLE_EQ(xeonProfile().busLimitMbps, 784.0);
+    EXPECT_DOUBLE_EQ(ixp2400Profile().busLimitMbps, 940.0);
+    EXPECT_DOUBLE_EQ(ciscoProfile().busLimitMbps, 78.0);
+}
+
+TEST(SystemProfiles, OnlyNetworkProcessorSeparatesDataPlane)
+{
+    EXPECT_FALSE(pentium3Profile().separateDataPlane);
+    EXPECT_FALSE(xeonProfile().separateDataPlane);
+    EXPECT_TRUE(ixp2400Profile().separateDataPlane);
+    EXPECT_FALSE(ciscoProfile().separateDataPlane);
+}
+
+TEST(SystemProfiles, OnlyCommercialIsMonolithic)
+{
+    EXPECT_FALSE(pentium3Profile().monolithicControl);
+    EXPECT_FALSE(xeonProfile().monolithicControl);
+    EXPECT_FALSE(ixp2400Profile().monolithicControl);
+    EXPECT_TRUE(ciscoProfile().monolithicControl);
+}
+
+TEST(SystemProfiles, OnlyCommercialHasMessageGate)
+{
+    EXPECT_EQ(pentium3Profile().costs.msgGateNs, 0u);
+    EXPECT_EQ(xeonProfile().costs.msgGateNs, 0u);
+    EXPECT_EQ(ixp2400Profile().costs.msgGateNs, 0u);
+    EXPECT_GT(ciscoProfile().costs.msgGateNs, 0u);
+}
+
+TEST(SystemProfiles, XeonIsFastestXorpSystem)
+{
+    // Effective per-prefix decision time = cycles / clock.
+    auto time_of = [](const SystemProfile &p) {
+        return p.costs.announcePrefix / p.cpu.cyclesPerSecond;
+    };
+    EXPECT_LT(time_of(xeonProfile()), time_of(pentium3Profile()));
+    EXPECT_LT(time_of(pentium3Profile()), time_of(ixp2400Profile()));
+}
+
+TEST(SystemProfiles, CostsArePositiveWhereRequired)
+{
+    for (const auto &p : allSystemProfiles()) {
+        EXPECT_GT(p.costs.msgParse, 0) << p.name;
+        EXPECT_GT(p.costs.announcePrefix, 0) << p.name;
+        EXPECT_GT(p.costs.withdrawPrefix, 0) << p.name;
+        EXPECT_GT(p.costs.kernelRouteInstall, 0) << p.name;
+        EXPECT_GE(p.costs.kernelRouteReplace,
+                  p.costs.kernelRouteInstall) << p.name;
+        EXPECT_GT(p.costs.ipcBatchMax, 0u) << p.name;
+        EXPECT_GT(p.rxBufferBytes, 4096u) << p.name;
+    }
+}
+
+TEST(SystemProfiles, NetworkProcessorChargesNoForwardingCycles)
+{
+    auto p = ixp2400Profile();
+    EXPECT_EQ(p.costs.irqPerPacket, 0);
+    EXPECT_EQ(p.costs.forwardPerPacket, 0);
+}

@@ -1,0 +1,261 @@
+/**
+ * @file
+ * Tests for the quantum-stepped CPU model: priorities, multi-core
+ * pipelining, SMT, and pinning.
+ */
+
+#include <gtest/gtest.h>
+
+#include "net/logging.hh"
+#include "sim/cpu.hh"
+
+using namespace bgpbench;
+using sim::CpuConfig;
+using sim::CpuModel;
+using sim::SimProcess;
+
+namespace
+{
+
+constexpr sim::SimTime quantum = sim::nsFromMs(1);
+
+/** 1 GHz single core: 1e6 cycles per 1 ms quantum. */
+CpuConfig
+oneCore()
+{
+    return CpuConfig{1, 1, 1e9, 0.65};
+}
+
+SimProcess
+user(const std::string &name)
+{
+    return SimProcess(SimProcess::Config{name, sim::priority::user,
+                                         -1});
+}
+
+} // namespace
+
+TEST(CpuModel, RejectsBadConfig)
+{
+    EXPECT_THROW(CpuModel(CpuConfig{0, 1, 1e9, 0.65}), FatalError);
+    EXPECT_THROW(CpuModel(CpuConfig{1, 1, -1, 0.65}), FatalError);
+    EXPECT_THROW(CpuModel(CpuConfig{1, 1, 1e9, 0.0}), FatalError);
+    EXPECT_THROW(CpuModel(CpuConfig{1, 1, 1e9, 1.5}), FatalError);
+}
+
+TEST(CpuModel, RejectsBadPin)
+{
+    CpuModel cpu(oneCore());
+    SimProcess bad(SimProcess::Config{"p", 10, 4});
+    EXPECT_THROW(cpu.addProcess(&bad), FatalError);
+}
+
+TEST(CpuModel, SingleProcessGetsFullQuantum)
+{
+    CpuModel cpu(oneCore());
+    auto p = user("p");
+    cpu.addProcess(&p);
+    p.post(10'000'000); // 10 ms of work
+
+    cpu.step(quantum);
+    EXPECT_EQ(p.counters().cyclesConsumed, 1'000'000u);
+    EXPECT_DOUBLE_EQ(cpu.lastQuantumPeakUtilisation(), 1.0);
+}
+
+TEST(CpuModel, EqualPrioritySharesFairly)
+{
+    CpuModel cpu(oneCore());
+    auto a = user("a");
+    auto b = user("b");
+    cpu.addProcess(&a);
+    cpu.addProcess(&b);
+    a.post(10'000'000);
+    b.post(10'000'000);
+
+    for (int i = 0; i < 10; ++i)
+        cpu.step(quantum);
+
+    double total = double(a.counters().cyclesConsumed +
+                          b.counters().cyclesConsumed);
+    EXPECT_NEAR(total, 10e6, 1e3);
+    EXPECT_NEAR(double(a.counters().cyclesConsumed), 5e6, 5e4);
+}
+
+TEST(CpuModel, HigherPriorityPreempts)
+{
+    CpuModel cpu(oneCore());
+    SimProcess irq(SimProcess::Config{"irq", sim::priority::interrupt,
+                                      0});
+    auto p = user("user");
+    cpu.addProcess(&irq);
+    cpu.addProcess(&p);
+
+    irq.post(600'000);
+    p.post(10'000'000);
+    cpu.step(quantum);
+
+    // IRQ work done first; the user space got only the rest.
+    EXPECT_EQ(irq.counters().cyclesConsumed, 600'000u);
+    EXPECT_EQ(p.counters().cyclesConsumed, 400'000u);
+}
+
+TEST(CpuModel, WorkConservingWhenHighPriorityIdle)
+{
+    CpuModel cpu(oneCore());
+    SimProcess irq(SimProcess::Config{"irq", sim::priority::interrupt,
+                                      0});
+    auto p = user("user");
+    cpu.addProcess(&irq);
+    cpu.addProcess(&p);
+    p.post(10'000'000);
+
+    cpu.step(quantum);
+    EXPECT_EQ(p.counters().cyclesConsumed, 1'000'000u);
+}
+
+TEST(CpuModel, TwoCoresRunTwoProcessesConcurrently)
+{
+    CpuModel cpu(CpuConfig{2, 1, 1e9, 0.65});
+    auto a = user("a");
+    auto b = user("b");
+    cpu.addProcess(&a);
+    cpu.addProcess(&b);
+    a.post(10'000'000);
+    b.post(10'000'000);
+
+    cpu.step(quantum);
+    // Full quantum each: the pipeline effect the paper's dual-core
+    // system exploits.
+    EXPECT_EQ(a.counters().cyclesConsumed, 1'000'000u);
+    EXPECT_EQ(b.counters().cyclesConsumed, 1'000'000u);
+    EXPECT_NEAR(cpu.lastQuantumTotalUtilisation(), 1.0, 1e-9);
+}
+
+TEST(CpuModel, SmtSiblingsShareCoreAtReducedEfficiency)
+{
+    // One core, two hardware threads at 0.65 efficiency: two busy
+    // processes together get 1.3 cores worth.
+    CpuModel cpu(CpuConfig{1, 2, 1e9, 0.65});
+    auto a = user("a");
+    auto b = user("b");
+    cpu.addProcess(&a);
+    cpu.addProcess(&b);
+    a.post(10'000'000);
+    b.post(10'000'000);
+
+    cpu.step(quantum);
+    uint64_t total = a.counters().cyclesConsumed +
+                     b.counters().cyclesConsumed;
+    EXPECT_NEAR(double(total), 1.3e6, 1e3);
+}
+
+TEST(CpuModel, SmtSingleThreadRunsFullSpeed)
+{
+    CpuModel cpu(CpuConfig{1, 2, 1e9, 0.65});
+    auto a = user("a");
+    cpu.addProcess(&a);
+    a.post(10'000'000);
+    cpu.step(quantum);
+    EXPECT_EQ(a.counters().cyclesConsumed, 1'000'000u);
+}
+
+TEST(CpuModel, ProcessesSpreadAcrossCoresBeforeSmt)
+{
+    // 2 cores x 2 threads: two heavy processes must land on
+    // different physical cores, not SMT siblings.
+    CpuModel cpu(CpuConfig{2, 2, 1e9, 0.65});
+    auto a = user("a");
+    auto b = user("b");
+    cpu.addProcess(&a);
+    cpu.addProcess(&b);
+    a.post(10'000'000);
+    b.post(10'000'000);
+
+    cpu.step(quantum);
+    int core_a = cpu.cpuOf(&a) / 2;
+    int core_b = cpu.cpuOf(&b) / 2;
+    EXPECT_NE(core_a, core_b);
+    EXPECT_EQ(a.counters().cyclesConsumed, 1'000'000u);
+    EXPECT_EQ(b.counters().cyclesConsumed, 1'000'000u);
+}
+
+TEST(CpuModel, PinnedProcessStaysPut)
+{
+    CpuModel cpu(CpuConfig{2, 1, 1e9, 0.65});
+    SimProcess pinned(SimProcess::Config{"kernel",
+                                         sim::priority::kernel, 0});
+    cpu.addProcess(&pinned);
+    pinned.post(10'000'000);
+    for (int i = 0; i < 5; ++i)
+        cpu.step(quantum);
+    EXPECT_EQ(cpu.cpuOf(&pinned), 0);
+}
+
+TEST(CpuModel, PinnedInterferenceIsPerCore)
+{
+    // Kernel work pinned to CPU 0 must slow only the process that
+    // shares CPU 0, not one on CPU 1.
+    CpuModel cpu(CpuConfig{2, 1, 1e9, 0.65});
+    SimProcess irq(SimProcess::Config{"irq", sim::priority::interrupt,
+                                      0});
+    auto a = user("a");
+    auto b = user("b");
+    cpu.addProcess(&irq);
+    cpu.addProcess(&a);
+    cpu.addProcess(&b);
+
+    a.post(100'000'000);
+    b.post(100'000'000);
+    // Heavy recurring interrupt load.
+    for (int i = 0; i < 10; ++i) {
+        irq.post(500'000);
+        cpu.step(quantum);
+    }
+
+    uint64_t fast = std::max(a.counters().cyclesConsumed,
+                             b.counters().cyclesConsumed);
+    uint64_t slow = std::min(a.counters().cyclesConsumed,
+                             b.counters().cyclesConsumed);
+    EXPECT_EQ(fast, 10'000'000u);  // undisturbed core
+    EXPECT_NEAR(double(slow), 5e6, 1e5); // shares with interrupts
+}
+
+TEST(CpuModel, RebalanceSpreadsLateArrivals)
+{
+    CpuModel cpu(CpuConfig{2, 1, 1e9, 0.65});
+    auto a = user("a");
+    auto b = user("b");
+    auto c = user("c");
+    cpu.addProcess(&a);
+    cpu.addProcess(&b);
+    cpu.addProcess(&c);
+
+    // a and b run first and land on both cores.
+    a.post(10'000'000);
+    b.post(10'000'000);
+    cpu.step(quantum);
+    // c arrives: it must share one core; total throughput stays 2.
+    c.post(10'000'000);
+    cpu.step(quantum);
+    EXPECT_NEAR(cpu.lastQuantumTotalUtilisation(), 1.0, 1e-9);
+}
+
+TEST(CpuModel, IdleCpuReportsZeroUtilisation)
+{
+    CpuModel cpu(oneCore());
+    auto p = user("p");
+    cpu.addProcess(&p);
+    cpu.step(quantum);
+    EXPECT_DOUBLE_EQ(cpu.lastQuantumPeakUtilisation(), 0.0);
+    EXPECT_FALSE(cpu.anyRunnable());
+}
+
+TEST(CpuModel, PartialDemandPartialUtilisation)
+{
+    CpuModel cpu(oneCore());
+    auto p = user("p");
+    cpu.addProcess(&p);
+    p.post(250'000); // quarter of a quantum
+    cpu.step(quantum);
+    EXPECT_NEAR(cpu.lastQuantumPeakUtilisation(), 0.25, 0.01);
+}

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Tests for the discrete-event simulator core.
+ */
+
+#include <gtest/gtest.h>
+
+#include "net/logging.hh"
+#include "sim/event_queue.hh"
+
+using namespace bgpbench;
+using sim::SimTime;
+using sim::Simulator;
+
+TEST(Simulator, StartsAtZero)
+{
+    Simulator sim;
+    EXPECT_EQ(sim.now(), 0u);
+    EXPECT_EQ(sim.pendingEvents(), 0u);
+    EXPECT_FALSE(sim.step());
+}
+
+TEST(Simulator, EventsRunInTimeOrder)
+{
+    Simulator sim;
+    std::vector<int> order;
+    sim.schedule(30, [&]() { order.push_back(3); });
+    sim.schedule(10, [&]() { order.push_back(1); });
+    sim.schedule(20, [&]() { order.push_back(2); });
+    sim.runUntilIdle();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(sim.now(), 30u);
+    EXPECT_EQ(sim.eventsExecuted(), 3u);
+}
+
+TEST(Simulator, EqualTimestampsRunFifo)
+{
+    Simulator sim;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i)
+        sim.schedule(5, [&order, i]() { order.push_back(i); });
+    sim.runUntilIdle();
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(order[size_t(i)], i);
+}
+
+TEST(Simulator, SchedulingInThePastPanics)
+{
+    Simulator sim;
+    sim.schedule(10, []() {});
+    sim.runUntilIdle();
+    EXPECT_THROW(sim.schedule(5, []() {}), PanicError);
+}
+
+TEST(Simulator, HandlersMayScheduleMoreEvents)
+{
+    Simulator sim;
+    int count = 0;
+    std::function<void()> chain = [&]() {
+        ++count;
+        if (count < 5)
+            sim.scheduleIn(10, chain);
+    };
+    sim.scheduleIn(10, chain);
+    sim.runUntilIdle();
+    EXPECT_EQ(count, 5);
+    EXPECT_EQ(sim.now(), 50u);
+}
+
+TEST(Simulator, RunUntilStopsAtBoundary)
+{
+    Simulator sim;
+    int fired = 0;
+    sim.schedule(10, [&]() { ++fired; });
+    sim.schedule(20, [&]() { ++fired; });
+    sim.schedule(30, [&]() { ++fired; });
+
+    sim.runUntil(20);
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(sim.now(), 20u);
+    EXPECT_EQ(sim.nextEventTime(), 30u);
+
+    // Advancing with no events in range moves the clock only.
+    sim.runUntil(25);
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(sim.now(), 25u);
+}
+
+TEST(Simulator, ScheduleEveryRepeatsUntilFalse)
+{
+    Simulator sim;
+    int ticks = 0;
+    sim.scheduleEvery(100, [&]() {
+        ++ticks;
+        return ticks < 4;
+    });
+    sim.runUntilIdle();
+    EXPECT_EQ(ticks, 4);
+    EXPECT_EQ(sim.now(), 400u);
+}
+
+TEST(Simulator, ScheduleEveryZeroPeriodPanics)
+{
+    Simulator sim;
+    EXPECT_THROW(sim.scheduleEvery(0, []() { return false; }),
+                 PanicError);
+}
+
+TEST(Simulator, NextEventTimeWhenEmpty)
+{
+    Simulator sim;
+    EXPECT_EQ(sim.nextEventTime(), sim::simTimeNever);
+}
+
+TEST(Simulator, StepExecutesExactlyOne)
+{
+    Simulator sim;
+    int fired = 0;
+    sim.schedule(1, [&]() { ++fired; });
+    sim.schedule(2, [&]() { ++fired; });
+    EXPECT_TRUE(sim.step());
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(sim.now(), 1u);
+    EXPECT_TRUE(sim.step());
+    EXPECT_FALSE(sim.step());
+}
+
+TEST(SimTime, Conversions)
+{
+    EXPECT_EQ(sim::nsFromUs(3), 3000u);
+    EXPECT_EQ(sim::nsFromMs(2), 2'000'000u);
+    EXPECT_EQ(sim::nsFromSec(1.5), 1'500'000'000u);
+    EXPECT_DOUBLE_EQ(sim::toSeconds(2'500'000'000ull), 2.5);
+}

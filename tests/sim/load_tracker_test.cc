@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Tests for the CPU-load tracker.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/load_tracker.hh"
+
+using namespace bgpbench;
+using sim::CpuLoadTracker;
+using sim::SimProcess;
+
+TEST(CpuLoadTracker, ConvertsCyclesToPercent)
+{
+    // 1 GHz core, 1 s interval: 5e8 consumed cycles = 50%.
+    CpuLoadTracker tracker(1e9, 1.0);
+    SimProcess p(SimProcess::Config{"p", 10, -1});
+    tracker.track(&p);
+
+    p.post(500'000'000);
+    p.grant(500'000'000);
+    tracker.sample(sim::nsFromSec(1.0));
+
+    ASSERT_EQ(tracker.series(0).bucketCount(), 1u);
+    EXPECT_NEAR(tracker.series(0).bucket(0), 50.0, 0.01);
+}
+
+TEST(CpuLoadTracker, SamplesAttributeToPrecedingInterval)
+{
+    CpuLoadTracker tracker(1e9, 1.0);
+    SimProcess p(SimProcess::Config{"p", 10, -1});
+    tracker.track(&p);
+
+    // Nothing in second 0; full load in second 1.
+    tracker.sample(sim::nsFromSec(1.0));
+    p.post(1'000'000'000);
+    p.grant(1'000'000'000);
+    tracker.sample(sim::nsFromSec(2.0));
+
+    EXPECT_NEAR(tracker.series(0).bucket(0), 0.0, 1e-9);
+    EXPECT_NEAR(tracker.series(0).bucket(1), 100.0, 0.01);
+}
+
+TEST(CpuLoadTracker, TracksMultipleProcessesIndependently)
+{
+    CpuLoadTracker tracker(1e9, 1.0);
+    SimProcess a(SimProcess::Config{"a", 10, -1});
+    SimProcess b(SimProcess::Config{"b", 10, -1});
+    tracker.track(&a);
+    tracker.track(&b);
+
+    a.post(200'000'000);
+    a.grant(200'000'000);
+    b.post(700'000'000);
+    b.grant(700'000'000);
+    tracker.sample(sim::nsFromSec(1.0));
+
+    EXPECT_NEAR(tracker.series(0).bucket(0), 20.0, 0.01);
+    EXPECT_NEAR(tracker.series(1).bucket(0), 70.0, 0.01);
+    EXPECT_EQ(tracker.trackedCount(), 2u);
+}
+
+TEST(CpuLoadTracker, SeriesNamedAfterProcesses)
+{
+    CpuLoadTracker tracker(1e9, 1.0);
+    SimProcess p(SimProcess::Config{"xorp_bgp", 10, -1});
+    tracker.track(&p);
+    EXPECT_EQ(tracker.series(0).name(), "xorp_bgp");
+    auto all = tracker.allSeries();
+    ASSERT_EQ(all.size(), 1u);
+    EXPECT_EQ(all[0]->name(), "xorp_bgp");
+}
+
+TEST(CpuLoadTracker, SamplingResetsIntervalCounter)
+{
+    CpuLoadTracker tracker(1e9, 1.0);
+    SimProcess p(SimProcess::Config{"p", 10, -1});
+    tracker.track(&p);
+
+    p.post(400'000'000);
+    p.grant(400'000'000);
+    tracker.sample(sim::nsFromSec(1.0));
+    // No further work: next sample must read zero.
+    tracker.sample(sim::nsFromSec(2.0));
+    EXPECT_NEAR(tracker.series(0).bucket(1), 0.0, 1e-9);
+}

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Tests for SimProcess job accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/process.hh"
+
+using namespace bgpbench;
+using sim::SimProcess;
+
+namespace
+{
+
+SimProcess
+proc(int priority = sim::priority::user)
+{
+    return SimProcess(SimProcess::Config{"test", priority, -1});
+}
+
+} // namespace
+
+TEST(SimProcess, StartsIdle)
+{
+    auto p = proc();
+    EXPECT_FALSE(p.runnable());
+    EXPECT_EQ(p.backlogCycles(), 0u);
+    EXPECT_EQ(p.grant(1000), 0u);
+}
+
+TEST(SimProcess, JobCompletesWhenPaid)
+{
+    auto p = proc();
+    bool applied = false;
+    p.post(100, [&]() { applied = true; });
+    EXPECT_TRUE(p.runnable());
+    EXPECT_EQ(p.backlogCycles(), 100u);
+
+    EXPECT_EQ(p.grant(40), 40u);
+    EXPECT_FALSE(applied);
+    EXPECT_EQ(p.backlogCycles(), 60u);
+
+    EXPECT_EQ(p.grant(60), 60u);
+    EXPECT_TRUE(applied);
+    EXPECT_FALSE(p.runnable());
+    EXPECT_EQ(p.counters().jobsCompleted, 1u);
+    EXPECT_EQ(p.counters().cyclesConsumed, 100u);
+}
+
+TEST(SimProcess, FifoOrderPreserved)
+{
+    auto p = proc();
+    std::vector<int> order;
+    p.post(10, [&]() { order.push_back(1); });
+    p.post(10, [&]() { order.push_back(2); });
+    p.post(10, [&]() { order.push_back(3); });
+    p.grant(1000);
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(SimProcess, GrantReturnsOnlyConsumed)
+{
+    auto p = proc();
+    p.post(30);
+    EXPECT_EQ(p.grant(100), 30u);
+    EXPECT_EQ(p.grant(100), 0u);
+}
+
+TEST(SimProcess, ZeroCostJobRunsImmediately)
+{
+    auto p = proc();
+    int runs = 0;
+    p.post(0, [&]() { ++runs; });
+    EXPECT_TRUE(p.runnable());
+    EXPECT_EQ(p.grant(0), 0u);
+    EXPECT_EQ(runs, 1);
+    EXPECT_FALSE(p.runnable());
+}
+
+TEST(SimProcess, ApplyMayPostToSelf)
+{
+    auto p = proc();
+    int stage = 0;
+    p.post(10, [&]() {
+        stage = 1;
+        p.post(10, [&]() { stage = 2; });
+    });
+    p.grant(10);
+    EXPECT_EQ(stage, 1);
+    EXPECT_TRUE(p.runnable());
+    p.grant(10);
+    EXPECT_EQ(stage, 2);
+}
+
+TEST(SimProcess, BudgetBoundaryStopsBetweenJobs)
+{
+    auto p = proc();
+    int applied = 0;
+    p.post(50, [&]() { ++applied; });
+    p.post(50, [&]() { ++applied; });
+    // Exactly the first job's cost: second must not start.
+    EXPECT_EQ(p.grant(50), 50u);
+    EXPECT_EQ(applied, 1);
+    EXPECT_EQ(p.backlogCycles(), 50u);
+}
+
+TEST(SimProcess, IntervalCyclesResetOnTake)
+{
+    auto p = proc();
+    p.post(100);
+    p.grant(60);
+    EXPECT_EQ(p.takeIntervalCycles(), 60u);
+    EXPECT_EQ(p.takeIntervalCycles(), 0u);
+    p.grant(40);
+    EXPECT_EQ(p.takeIntervalCycles(), 40u);
+    EXPECT_EQ(p.counters().cyclesConsumed, 100u);
+}
+
+TEST(SimProcess, ClearBacklogDropsJobsWithoutRunning)
+{
+    auto p = proc();
+    int applied = 0;
+    p.post(10, [&]() { ++applied; });
+    p.post(10, [&]() { ++applied; });
+    p.clearBacklog();
+    EXPECT_FALSE(p.runnable());
+    p.grant(1000);
+    EXPECT_EQ(applied, 0);
+}
+
+TEST(SimProcess, ConfigAccessors)
+{
+    SimProcess p(SimProcess::Config{"xorp_bgp",
+                                    sim::priority::kernel, 2});
+    EXPECT_EQ(p.name(), "xorp_bgp");
+    EXPECT_EQ(p.schedPriority(), sim::priority::kernel);
+    EXPECT_EQ(p.pinnedCpu(), 2);
+}

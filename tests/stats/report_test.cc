@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Tests for text table / chart rendering.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "net/logging.hh"
+#include "stats/report.hh"
+
+using namespace bgpbench;
+using stats::TextTable;
+using stats::TimeSeries;
+
+TEST(TextTable, RejectsEmptyHeader)
+{
+    EXPECT_THROW(TextTable({}), FatalError);
+}
+
+TEST(TextTable, RejectsWidthMismatch)
+{
+    TextTable table({"a", "b"});
+    EXPECT_THROW(table.addRow({"only-one"}), FatalError);
+}
+
+TEST(TextTable, AlignsColumns)
+{
+    TextTable table({"name", "value"});
+    table.addRow({"x", "1"});
+    table.addRow({"longer-name", "23456"});
+
+    std::ostringstream os;
+    table.print(os);
+    std::string out = os.str();
+
+    // Header, separator, two rows.
+    EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+    // Value column is right-aligned: "23456" ends both data lines.
+    EXPECT_NE(out.find("longer-name"), std::string::npos);
+    EXPECT_NE(out.find("23456"), std::string::npos);
+}
+
+TEST(TextTable, CsvOutput)
+{
+    TextTable table({"a", "b"});
+    table.addRow({"1", "2"});
+    std::ostringstream os;
+    table.printCsv(os);
+    EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(FormatDouble, Decimals)
+{
+    EXPECT_EQ(stats::formatDouble(3.14159, 2), "3.14");
+    EXPECT_EQ(stats::formatDouble(3.0, 0), "3");
+    EXPECT_EQ(stats::formatDouble(-1.55, 1), "-1.6");
+}
+
+TEST(AsciiChart, EmptySeries)
+{
+    TimeSeries series(1.0, "empty");
+    std::ostringstream os;
+    stats::printAsciiChart(os, series, "%");
+    EXPECT_NE(os.str().find("empty series"), std::string::npos);
+}
+
+TEST(AsciiChart, RendersBars)
+{
+    TimeSeries series(1.0, "cpu");
+    series.add(0.5, 100.0);
+    series.add(1.5, 50.0);
+
+    std::ostringstream os;
+    stats::printAsciiChart(os, series, "%", 100.0);
+    std::string out = os.str();
+    EXPECT_NE(out.find("cpu"), std::string::npos);
+    EXPECT_NE(out.find('#'), std::string::npos);
+    // Full bucket renders more hashes than half bucket.
+    size_t line1 = out.find("0s");
+    size_t line2 = out.find("1s");
+    ASSERT_NE(line1, std::string::npos);
+    ASSERT_NE(line2, std::string::npos);
+}
+
+TEST(AsciiChart, GroupsLongSeries)
+{
+    TimeSeries series(1.0, "long");
+    for (int i = 0; i < 500; ++i)
+        series.add(double(i) + 0.5, 1.0);
+
+    std::ostringstream os;
+    stats::printAsciiChart(os, series, "x", 0.0, 20);
+    std::string out = os.str();
+    // Grouping caps the line count near the requested maximum.
+    EXPECT_LE(std::count(out.begin(), out.end(), '\n'), 25);
+}
+
+TEST(SeriesTable, AlignedColumns)
+{
+    TimeSeries a(1.0, "a");
+    TimeSeries b(1.0, "b");
+    a.add(0.5, 1.0);
+    b.add(0.5, 2.0);
+    b.add(1.5, 3.0);
+
+    std::ostringstream os;
+    stats::printSeriesTable(os, {&a, &b});
+    std::string out = os.str();
+    EXPECT_NE(out.find("time(s)\ta\tb"), std::string::npos);
+    // Second row covers bucket 1 where a is zero.
+    EXPECT_NE(out.find("1\t0.0\t3.0"), std::string::npos);
+}
+
+TEST(SeriesTable, EmptyInput)
+{
+    std::ostringstream os;
+    stats::printSeriesTable(os, {});
+    EXPECT_TRUE(os.str().empty());
+}

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Tests for summary statistics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "stats/summary.hh"
+
+using namespace bgpbench;
+using stats::percentile;
+using stats::summarize;
+
+TEST(Summary, EmptyInputYieldsZeros)
+{
+    auto s = summarize({});
+    EXPECT_EQ(s.count, 0u);
+    EXPECT_EQ(s.mean, 0.0);
+    EXPECT_EQ(s.max, 0.0);
+}
+
+TEST(Summary, SingleSample)
+{
+    auto s = summarize({42.0});
+    EXPECT_EQ(s.count, 1u);
+    EXPECT_DOUBLE_EQ(s.mean, 42.0);
+    EXPECT_DOUBLE_EQ(s.min, 42.0);
+    EXPECT_DOUBLE_EQ(s.max, 42.0);
+    EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+    EXPECT_DOUBLE_EQ(s.p50, 42.0);
+}
+
+TEST(Summary, KnownValues)
+{
+    auto s = summarize({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0});
+    EXPECT_EQ(s.count, 8u);
+    EXPECT_DOUBLE_EQ(s.mean, 5.0);
+    EXPECT_DOUBLE_EQ(s.min, 2.0);
+    EXPECT_DOUBLE_EQ(s.max, 9.0);
+    // Sample stddev with n-1: sqrt(32/7).
+    EXPECT_NEAR(s.stddev, 2.13809, 1e-4);
+    EXPECT_DOUBLE_EQ(s.p50, 4.5);
+}
+
+TEST(Summary, UnsortedInputHandled)
+{
+    auto s = summarize({9.0, 1.0, 5.0});
+    EXPECT_DOUBLE_EQ(s.min, 1.0);
+    EXPECT_DOUBLE_EQ(s.max, 9.0);
+    EXPECT_DOUBLE_EQ(s.p50, 5.0);
+}
+
+TEST(Percentile, Interpolates)
+{
+    std::vector<double> sorted = {10.0, 20.0, 30.0, 40.0};
+    EXPECT_DOUBLE_EQ(percentile(sorted, 0.0), 10.0);
+    EXPECT_DOUBLE_EQ(percentile(sorted, 1.0), 40.0);
+    EXPECT_DOUBLE_EQ(percentile(sorted, 0.5), 25.0);
+    EXPECT_NEAR(percentile(sorted, 1.0 / 3.0), 20.0, 1e-9);
+}
+
+TEST(Percentile, EmptyReturnsZero)
+{
+    EXPECT_DOUBLE_EQ(percentile({}, 0.5), 0.0);
+}
+
+TEST(Percentile, ClampsOutOfRange)
+{
+    std::vector<double> sorted = {1.0, 2.0};
+    EXPECT_DOUBLE_EQ(percentile(sorted, -0.5), 1.0);
+    EXPECT_DOUBLE_EQ(percentile(sorted, 1.5), 2.0);
+}

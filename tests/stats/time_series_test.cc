@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Tests for the bucketed time series.
+ */
+
+#include <gtest/gtest.h>
+
+#include "net/logging.hh"
+#include "stats/time_series.hh"
+
+using namespace bgpbench;
+using stats::TimeSeries;
+
+TEST(TimeSeries, StartsEmpty)
+{
+    TimeSeries series(1.0, "s");
+    EXPECT_EQ(series.bucketCount(), 0u);
+    EXPECT_EQ(series.total(), 0.0);
+    EXPECT_EQ(series.peak(), 0.0);
+    EXPECT_EQ(series.bucket(5), 0.0);
+    EXPECT_EQ(series.name(), "s");
+}
+
+TEST(TimeSeries, RejectsNonPositiveBucket)
+{
+    EXPECT_THROW(TimeSeries(0.0), FatalError);
+    EXPECT_THROW(TimeSeries(-1.0), FatalError);
+}
+
+TEST(TimeSeries, AccumulatesIntoCorrectBucket)
+{
+    TimeSeries series(1.0);
+    series.add(0.2, 5);
+    series.add(0.9, 3);
+    series.add(2.5, 7);
+
+    EXPECT_EQ(series.bucketCount(), 3u);
+    EXPECT_DOUBLE_EQ(series.bucket(0), 8.0);
+    EXPECT_DOUBLE_EQ(series.bucket(1), 0.0);
+    EXPECT_DOUBLE_EQ(series.bucket(2), 7.0);
+    EXPECT_DOUBLE_EQ(series.total(), 15.0);
+    EXPECT_DOUBLE_EQ(series.peak(), 8.0);
+}
+
+TEST(TimeSeries, BoundaryLandsInUpperBucket)
+{
+    TimeSeries series(1.0);
+    series.add(1.0, 2);
+    EXPECT_DOUBLE_EQ(series.bucket(0), 0.0);
+    EXPECT_DOUBLE_EQ(series.bucket(1), 2.0);
+}
+
+TEST(TimeSeries, SubSecondBuckets)
+{
+    TimeSeries series(0.1);
+    series.add(0.05, 1);
+    series.add(0.15, 1);
+    series.add(0.19, 1);
+    EXPECT_DOUBLE_EQ(series.bucket(0), 1.0);
+    EXPECT_DOUBLE_EQ(series.bucket(1), 2.0);
+}
+
+TEST(TimeSeries, RateDividesByWidth)
+{
+    TimeSeries series(2.0);
+    series.add(1.0, 10.0);
+    EXPECT_DOUBLE_EQ(series.rate(0), 5.0);
+}
+
+TEST(TimeSeries, NegativeTimesClampToZero)
+{
+    TimeSeries series(1.0);
+    series.add(-5.0, 3.0);
+    EXPECT_DOUBLE_EQ(series.bucket(0), 3.0);
+}

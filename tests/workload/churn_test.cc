@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Tests for the churn workload generator.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "bgp/message.hh"
+#include "net/logging.hh"
+#include "workload/churn.hh"
+
+using namespace bgpbench;
+using namespace bgpbench::workload;
+
+namespace
+{
+
+std::vector<RouteSpec>
+routes(size_t count)
+{
+    RouteSetConfig config;
+    config.count = count;
+    config.seed = 4;
+    return generateRouteSet(config);
+}
+
+ChurnConfig
+churnConfig(size_t events, size_t per_packet = 1)
+{
+    ChurnConfig config;
+    config.stream.speakerAs = 65001;
+    config.stream.nextHop = net::Ipv4Address(10, 0, 1, 2);
+    config.stream.prefixesPerPacket = per_packet;
+    config.events = events;
+    return config;
+}
+
+/** Replay a stream and track per-prefix announced/withdrawn state. */
+struct Replay
+{
+    std::map<net::Prefix, int> state; // +1 announced, -1 withdrawn
+    size_t announces = 0;
+    size_t withdraws = 0;
+    size_t transactions = 0;
+
+    void
+    feed(const std::vector<StreamPacket> &packets)
+    {
+        for (const auto &pkt : packets) {
+            bgp::DecodeError error;
+            auto msg = bgp::decodeMessage(pkt.wire, error);
+            ASSERT_TRUE(msg.has_value()) << error.detail;
+            const auto &update = std::get<bgp::UpdateMessage>(*msg);
+            for (const auto &p : update.withdrawnRoutes) {
+                state[p] = -1;
+                ++withdraws;
+            }
+            for (const auto &p : update.nlri) {
+                state[p] = 1;
+                ++announces;
+            }
+            transactions += pkt.transactions;
+        }
+    }
+};
+
+} // namespace
+
+TEST(Churn, EmitsRequestedEventCount)
+{
+    auto rs = routes(100);
+    auto packets = buildChurnStream(rs, churnConfig(500));
+    Replay replay;
+    replay.feed(packets);
+    // At least the requested events; possibly a convergence tail.
+    EXPECT_GE(replay.transactions, 500u);
+    EXPECT_LE(replay.transactions, 560u);
+    EXPECT_GT(replay.withdraws, 50u);
+    EXPECT_GT(replay.announces, replay.withdraws);
+}
+
+TEST(Churn, ConvergesBackToAnnounced)
+{
+    auto rs = routes(100);
+    auto packets = buildChurnStream(rs, churnConfig(1000));
+    Replay replay;
+    replay.feed(packets);
+    for (const auto &[prefix, s] : replay.state)
+        EXPECT_EQ(s, 1) << prefix.toString() << " left withdrawn";
+}
+
+TEST(Churn, OnlyFlappingSubsetTouched)
+{
+    auto rs = routes(200);
+    auto config = churnConfig(800);
+    config.flappingFraction = 0.1; // 20 prefixes
+    auto packets = buildChurnStream(rs, config);
+    Replay replay;
+    replay.feed(packets);
+    EXPECT_LE(replay.state.size(), 20u);
+    EXPECT_GE(replay.state.size(), 10u);
+}
+
+TEST(Churn, DeterministicInSeed)
+{
+    auto rs = routes(50);
+    auto a = buildChurnStream(rs, churnConfig(300));
+    auto b = buildChurnStream(rs, churnConfig(300));
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i)
+        EXPECT_EQ(a[i].wire, b[i].wire);
+
+    auto config = churnConfig(300);
+    config.seed = 123;
+    auto c = buildChurnStream(rs, config);
+    bool differs = c.size() != a.size();
+    for (size_t i = 0; !differs && i < a.size(); ++i)
+        differs = a[i].wire != c[i].wire;
+    EXPECT_TRUE(differs);
+}
+
+TEST(Churn, ReAnnouncementsChangeAttributes)
+{
+    // With a single flapper, successive announcements must alternate
+    // path lengths (attribute flaps, not duplicates).
+    auto rs = routes(10);
+    auto config = churnConfig(200);
+    config.flappingFraction = 0.05; // exactly 1 flapper
+    config.withdrawFraction = 0.5;
+    auto packets = buildChurnStream(rs, config);
+
+    std::vector<int> path_lengths;
+    for (const auto &pkt : packets) {
+        bgp::DecodeError error;
+        auto msg = bgp::decodeMessage(pkt.wire, error);
+        const auto &update = std::get<bgp::UpdateMessage>(*msg);
+        if (update.attributes) {
+            path_lengths.push_back(
+                update.attributes->asPath.pathLength());
+        }
+    }
+    ASSERT_GT(path_lengths.size(), 4u);
+    bool saw_change = false;
+    for (size_t i = 1; i < path_lengths.size(); ++i)
+        saw_change = saw_change || path_lengths[i] != path_lengths[0];
+    EXPECT_TRUE(saw_change);
+}
+
+TEST(Churn, LargePacketPackingRespected)
+{
+    auto rs = routes(500);
+    auto config = churnConfig(3000, 100);
+    config.flappingFraction = 0.5;
+    auto packets = buildChurnStream(rs, config);
+    size_t max_txn = 0;
+    for (const auto &pkt : packets) {
+        EXPECT_LE(pkt.wire.size(), bgp::proto::maxMessageBytes);
+        max_txn = std::max(max_txn, pkt.transactions);
+    }
+    EXPECT_LE(max_txn, 100u);
+    EXPECT_GT(max_txn, 10u); // packing actually happens
+}
+
+TEST(Churn, RejectsBadConfig)
+{
+    auto rs = routes(10);
+    EXPECT_THROW(buildChurnStream({}, churnConfig(10)), FatalError);
+    auto config = churnConfig(10);
+    config.stream.speakerAs = 0;
+    EXPECT_THROW(buildChurnStream(rs, config), FatalError);
+    config = churnConfig(10);
+    config.withdrawFraction = 1.5;
+    EXPECT_THROW(buildChurnStream(rs, config), FatalError);
+}

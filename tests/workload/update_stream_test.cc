@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Tests for update-stream construction (Table I packet-size classes).
+ */
+
+#include <gtest/gtest.h>
+
+#include "bgp/message.hh"
+#include "net/logging.hh"
+#include "workload/update_stream.hh"
+
+using namespace bgpbench;
+using namespace bgpbench::workload;
+
+namespace
+{
+
+std::vector<RouteSpec>
+routes(size_t count)
+{
+    RouteSetConfig config;
+    config.count = count;
+    config.seed = 3;
+    return generateRouteSet(config);
+}
+
+StreamConfig
+smallConfig()
+{
+    StreamConfig c;
+    c.speakerAs = 65001;
+    c.nextHop = net::Ipv4Address(10, 0, 1, 2);
+    c.prefixesPerPacket = 1;
+    return c;
+}
+
+bgp::UpdateMessage
+decodeUpdate(const StreamPacket &pkt)
+{
+    bgp::DecodeError error;
+    auto msg = bgp::decodeMessage(pkt.wire, error);
+    EXPECT_TRUE(msg.has_value()) << error.detail;
+    return std::get<bgp::UpdateMessage>(*msg);
+}
+
+} // namespace
+
+TEST(UpdateStream, SmallPacketsOnePrefixEach)
+{
+    auto rs = routes(50);
+    auto packets = buildAnnouncementStream(rs, smallConfig());
+    ASSERT_EQ(packets.size(), 50u);
+    EXPECT_EQ(streamTransactions(packets), 50u);
+
+    for (size_t i = 0; i < packets.size(); ++i) {
+        auto update = decodeUpdate(packets[i]);
+        ASSERT_EQ(update.nlri.size(), 1u);
+        EXPECT_EQ(update.nlri[0], rs[i].prefix);
+        ASSERT_TRUE(update.attributes);
+        EXPECT_EQ(update.attributes->asPath.firstAs(), 65001);
+        EXPECT_EQ(update.attributes->nextHop,
+                  net::Ipv4Address(10, 0, 1, 2));
+    }
+}
+
+TEST(UpdateStream, LargePacketsCarry500Prefixes)
+{
+    auto rs = routes(1200);
+    StreamConfig config = smallConfig();
+    config.prefixesPerPacket = 500;
+    auto packets = buildAnnouncementStream(rs, config);
+
+    ASSERT_EQ(packets.size(), 3u);
+    EXPECT_EQ(packets[0].transactions, 500u);
+    EXPECT_EQ(packets[1].transactions, 500u);
+    EXPECT_EQ(packets[2].transactions, 200u);
+    EXPECT_EQ(streamTransactions(packets), 1200u);
+
+    // Every packet decodes and respects the 4096-byte limit.
+    for (const auto &pkt : packets) {
+        EXPECT_LE(pkt.wire.size(), bgp::proto::maxMessageBytes);
+        auto update = decodeUpdate(pkt);
+        EXPECT_EQ(update.nlri.size(), pkt.transactions);
+    }
+}
+
+TEST(UpdateStream, PacketGroupSharesAttributes)
+{
+    auto rs = routes(600);
+    StreamConfig config = smallConfig();
+    config.prefixesPerPacket = 500;
+    auto packets = buildAnnouncementStream(rs, config);
+    auto update = decodeUpdate(packets[0]);
+    // One attribute block for the whole 500-prefix group is exactly
+    // what makes "large packets" cheap per prefix.
+    ASSERT_TRUE(update.attributes);
+    EXPECT_EQ(update.attributes->asPath.firstAs(), 65001);
+}
+
+TEST(UpdateStream, ExtraPrependsLengthenEveryPath)
+{
+    auto rs = routes(20);
+    StreamConfig base = smallConfig();
+    StreamConfig longer = base;
+    longer.extraPrepends = 2;
+
+    auto base_packets = buildAnnouncementStream(rs, base);
+    auto long_packets = buildAnnouncementStream(rs, longer);
+
+    for (size_t i = 0; i < rs.size(); ++i) {
+        auto a = decodeUpdate(base_packets[i]);
+        auto b = decodeUpdate(long_packets[i]);
+        EXPECT_EQ(b.attributes->asPath.pathLength(),
+                  a.attributes->asPath.pathLength() + 2);
+        // Same origin AS: still "the same route", just longer.
+        EXPECT_EQ(b.attributes->asPath.originAs(),
+                  a.attributes->asPath.originAs());
+    }
+}
+
+TEST(UpdateStream, WithdrawalStreamSmall)
+{
+    auto rs = routes(30);
+    auto packets = buildWithdrawalStream(rs, smallConfig());
+    ASSERT_EQ(packets.size(), 30u);
+    for (size_t i = 0; i < packets.size(); ++i) {
+        auto update = decodeUpdate(packets[i]);
+        ASSERT_EQ(update.withdrawnRoutes.size(), 1u);
+        EXPECT_EQ(update.withdrawnRoutes[0], rs[i].prefix);
+        EXPECT_TRUE(update.nlri.empty());
+        EXPECT_FALSE(update.attributes);
+    }
+}
+
+TEST(UpdateStream, WithdrawalStreamLarge)
+{
+    auto rs = routes(1000);
+    StreamConfig config = smallConfig();
+    config.prefixesPerPacket = 500;
+    auto packets = buildWithdrawalStream(rs, config);
+    ASSERT_EQ(packets.size(), 2u);
+    EXPECT_EQ(streamTransactions(packets), 1000u);
+}
+
+TEST(UpdateStream, StreamBytesMatchesWireSizes)
+{
+    auto rs = routes(10);
+    auto packets = buildAnnouncementStream(rs, smallConfig());
+    size_t expected = 0;
+    for (const auto &pkt : packets)
+        expected += pkt.wire.size();
+    EXPECT_EQ(streamBytes(packets), expected);
+}
+
+TEST(UpdateStream, LargePacketsAreSmallerOnWirePerPrefix)
+{
+    auto rs = routes(500);
+    auto small = buildAnnouncementStream(rs, smallConfig());
+    StreamConfig large_cfg = smallConfig();
+    large_cfg.prefixesPerPacket = 500;
+    auto large = buildAnnouncementStream(rs, large_cfg);
+
+    // Packing amortises header + attributes: at least 5x fewer bytes
+    // per prefix.
+    EXPECT_GT(streamBytes(small), 5 * streamBytes(large));
+}
+
+TEST(UpdateStream, RejectsBadConfig)
+{
+    auto rs = routes(5);
+    StreamConfig config = smallConfig();
+    config.speakerAs = 0;
+    EXPECT_THROW(buildAnnouncementStream(rs, config), FatalError);
+    config = smallConfig();
+    config.prefixesPerPacket = 0;
+    EXPECT_THROW(buildAnnouncementStream(rs, config), FatalError);
+    EXPECT_THROW(buildWithdrawalStream(rs, config), FatalError);
+}
+
+TEST(UpdateStream, EmptyRouteSetMakesNoPackets)
+{
+    EXPECT_TRUE(buildAnnouncementStream({}, smallConfig()).empty());
+    EXPECT_TRUE(buildWithdrawalStream({}, smallConfig()).empty());
+}

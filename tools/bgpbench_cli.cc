@@ -1,0 +1,307 @@
+/**
+ * @file
+ * bgpbench — command-line front end to the benchmark library.
+ *
+ *   bgpbench list
+ *       Show the available router systems and benchmark scenarios.
+ *
+ *   bgpbench run --system Xeon --scenario 2 [options]
+ *       Run one scenario on one system and print the result.
+ *
+ *   bgpbench sweep --system PentiumIII --scenario 1 [options]
+ *       Sweep cross-traffic from 0 to the system's bus limit.
+ *
+ *   bgpbench table3 [options]
+ *       All eight scenarios on all four systems (Table III).
+ *
+ * Common options:
+ *   --prefixes N        routing-table size per run (default 2000)
+ *   --seed N            workload seed (default 42)
+ *   --cross-mbps X      offered forwarding load (run only)
+ *   --steps N           sweep points including 0 (sweep only, df. 5)
+ *   --damping           enable RFC 2439 flap damping on the router
+ *   --csv               machine-readable CSV instead of tables
+ */
+
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "core/benchmark_runner.hh"
+#include "core/paper_data.hh"
+#include "net/logging.hh"
+#include "stats/report.hh"
+
+using namespace bgpbench;
+
+namespace
+{
+
+struct CliOptions
+{
+    std::string command;
+    std::string system = "Xeon";
+    int scenario = 1;
+    size_t prefixes = 2000;
+    uint64_t seed = 42;
+    double crossMbps = 0.0;
+    int steps = 5;
+    bool damping = false;
+    bool csv = false;
+};
+
+[[noreturn]] void
+usage(int code)
+{
+    std::cerr <<
+        "usage: bgpbench <command> [options]\n"
+        "\n"
+        "commands:\n"
+        "  list                     systems and scenarios\n"
+        "  run                      one scenario on one system\n"
+        "  sweep                    cross-traffic sweep\n"
+        "  table3                   full Table III reproduction\n"
+        "\n"
+        "options:\n"
+        "  --system NAME            PentiumIII | Xeon | IXP2400 | "
+        "Cisco\n"
+        "  --scenario N             1..8 (see 'bgpbench list')\n"
+        "  --prefixes N             routing-table size (default "
+        "2000)\n"
+        "  --seed N                 workload seed (default 42)\n"
+        "  --cross-mbps X           forwarding load during the run\n"
+        "  --steps N                sweep points (default 5)\n"
+        "  --damping                enable RFC 2439 flap damping\n"
+        "  --csv                    CSV output\n";
+    std::exit(code);
+}
+
+CliOptions
+parseArgs(int argc, char **argv)
+{
+    if (argc < 2)
+        usage(2);
+
+    CliOptions options;
+    options.command = argv[1];
+
+    for (int i = 2; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto value = [&]() -> std::string {
+            if (i + 1 >= argc) {
+                std::cerr << "missing value for " << arg << "\n";
+                usage(2);
+            }
+            return argv[++i];
+        };
+
+        if (arg == "--system") {
+            options.system = value();
+        } else if (arg == "--scenario") {
+            options.scenario = std::atoi(value().c_str());
+        } else if (arg == "--prefixes") {
+            options.prefixes =
+                size_t(std::strtoull(value().c_str(), nullptr, 10));
+        } else if (arg == "--seed") {
+            options.seed =
+                std::strtoull(value().c_str(), nullptr, 10);
+        } else if (arg == "--cross-mbps") {
+            options.crossMbps = std::atof(value().c_str());
+        } else if (arg == "--steps") {
+            options.steps = std::atoi(value().c_str());
+        } else if (arg == "--damping") {
+            options.damping = true;
+        } else if (arg == "--csv") {
+            options.csv = true;
+        } else if (arg == "--help" || arg == "-h") {
+            usage(0);
+        } else {
+            std::cerr << "unknown option: " << arg << "\n";
+            usage(2);
+        }
+    }
+    return options;
+}
+
+core::BenchmarkConfig
+benchConfig(const CliOptions &options)
+{
+    core::BenchmarkConfig config;
+    config.prefixCount = options.prefixes;
+    config.seed = options.seed;
+    config.crossTrafficMbps = options.crossMbps;
+    config.dampingEnabled = options.damping;
+    return config;
+}
+
+core::BenchmarkResult
+runOnce(const CliOptions &options, const router::SystemProfile &sys,
+        int scenario_number, double cross_mbps)
+{
+    CliOptions local = options;
+    local.crossMbps = cross_mbps;
+    core::BenchmarkConfig config = benchConfig(local);
+    core::BenchmarkRunner runner(sys, config);
+    return runner.run(core::scenarioByNumber(scenario_number));
+}
+
+int
+cmdList()
+{
+    std::cout << "systems (paper Table II):\n";
+    for (const auto &profile : router::allSystemProfiles()) {
+        std::cout << "  " << profile.name << "  ("
+                  << profile.cpu.cores << " core(s) x "
+                  << profile.cpu.threadsPerCore << " thread(s), "
+                  << stats::formatDouble(
+                         profile.cpu.cyclesPerSecond / 1e6, 0)
+                  << " MHz, forwarding limit "
+                  << stats::formatDouble(profile.busLimitMbps, 0)
+                  << " Mbps)\n";
+    }
+    std::cout << "\nscenarios (paper Table I):\n";
+    for (const auto &scenario : core::allScenarios()) {
+        std::cout << "  " << scenario.number << ": "
+                  << scenario.description() << "\n";
+    }
+    return 0;
+}
+
+int
+cmdRun(const CliOptions &options)
+{
+    auto profile = router::profileByName(options.system);
+    auto scenario = core::scenarioByNumber(options.scenario);
+    auto result =
+        runOnce(options, profile, options.scenario, options.crossMbps);
+
+    if (result.timedOut) {
+        std::cerr << "run exceeded the simulated-time limit\n";
+        return 1;
+    }
+
+    if (options.csv) {
+        std::cout << "system,scenario,prefixes,cross_mbps,tps,"
+                     "phase1_s,phase2_s,phase3_s,fwd_pkts,drops\n";
+        std::cout << profile.name << ',' << scenario.number << ','
+                  << options.prefixes << ',' << options.crossMbps
+                  << ',' << result.measuredTps << ','
+                  << result.phase1.durationSec << ','
+                  << (result.phase2 ? result.phase2->durationSec : 0.0)
+                  << ','
+                  << (result.phase3 ? result.phase3->durationSec : 0.0)
+                  << ',' << result.dataPlane.forwardedPackets << ','
+                  << result.dataPlane.queueDrops +
+                         result.dataPlane.busDrops
+                  << "\n";
+        return 0;
+    }
+
+    std::cout << scenario.name() << " on " << profile.name << ": "
+              << stats::formatDouble(result.measuredTps, 1)
+              << " transactions/s";
+    int paper_idx = core::paper::systemIndexByName(profile.name);
+    if (paper_idx >= 0 && options.crossMbps == 0.0) {
+        std::cout << "  (paper: "
+                  << core::paper::table3Tps[size_t(
+                         scenario.number - 1)][size_t(paper_idx)]
+                  << ")";
+    }
+    std::cout << "\n";
+    return 0;
+}
+
+int
+cmdSweep(const CliOptions &options)
+{
+    auto profile = router::profileByName(options.system);
+    int steps = std::max(2, options.steps);
+
+    if (options.csv)
+        std::cout << "system,scenario,cross_mbps,tps\n";
+
+    stats::TextTable table({"cross-traffic (Mbps)", "tps"});
+    for (int step = 0; step < steps; ++step) {
+        double mbps = profile.busLimitMbps * double(step) /
+                      double(steps - 1);
+        auto result =
+            runOnce(options, profile, options.scenario, mbps);
+        if (options.csv) {
+            std::cout << profile.name << ',' << options.scenario
+                      << ',' << mbps << ',' << result.measuredTps
+                      << "\n";
+        } else {
+            table.addRow({stats::formatDouble(mbps, 0),
+                          result.timedOut
+                              ? "TIMEOUT"
+                              : stats::formatDouble(
+                                    result.measuredTps, 1)});
+        }
+    }
+    if (!options.csv) {
+        std::cout << "Scenario " << options.scenario << " on "
+                  << profile.name << ", " << options.prefixes
+                  << " prefixes:\n";
+        table.print(std::cout);
+    }
+    return 0;
+}
+
+int
+cmdTable3(const CliOptions &options)
+{
+    if (options.csv)
+        std::cout << "system,scenario,tps,paper_tps\n";
+    stats::TextTable table(
+        {"Scenario", "System", "tps", "paper tps"});
+
+    for (const auto &profile : router::allSystemProfiles()) {
+        for (const auto &scenario : core::allScenarios()) {
+            auto result = runOnce(options, profile, scenario.number,
+                                  0.0);
+            int idx = core::paper::systemIndexByName(profile.name);
+            double paper =
+                idx >= 0 ? core::paper::table3Tps[size_t(
+                               scenario.number - 1)][size_t(idx)]
+                         : 0.0;
+            if (options.csv) {
+                std::cout << profile.name << ',' << scenario.number
+                          << ',' << result.measuredTps << ',' << paper
+                          << "\n";
+            } else {
+                table.addRow(
+                    {scenario.name(), profile.name,
+                     stats::formatDouble(result.measuredTps, 1),
+                     stats::formatDouble(paper, 1)});
+            }
+        }
+    }
+    if (!options.csv)
+        table.print(std::cout);
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        CliOptions options = parseArgs(argc, argv);
+        if (options.command == "list")
+            return cmdList();
+        if (options.command == "run")
+            return cmdRun(options);
+        if (options.command == "sweep")
+            return cmdSweep(options);
+        if (options.command == "table3")
+            return cmdTable3(options);
+        std::cerr << "unknown command: " << options.command << "\n";
+        usage(2);
+    } catch (const FatalError &error) {
+        std::cerr << "error: " << error.what() << "\n";
+        return 1;
+    }
+}
