@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/churn_sustained.dir/churn_sustained.cc.o"
+  "CMakeFiles/churn_sustained.dir/churn_sustained.cc.o.d"
+  "churn_sustained"
+  "churn_sustained.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/churn_sustained.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

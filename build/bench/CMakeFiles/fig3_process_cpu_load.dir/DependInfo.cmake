@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig3_process_cpu_load.cc" "bench/CMakeFiles/fig3_process_cpu_load.dir/fig3_process_cpu_load.cc.o" "gcc" "bench/CMakeFiles/fig3_process_cpu_load.dir/fig3_process_cpu_load.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/bgpbench_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/router/CMakeFiles/bgpbench_router.dir/DependInfo.cmake"
+  "/root/repo/build/src/fib/CMakeFiles/bgpbench_fib.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bgpbench_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/bgpbench_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/bgp/CMakeFiles/bgpbench_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/bgpbench_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/bgpbench_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

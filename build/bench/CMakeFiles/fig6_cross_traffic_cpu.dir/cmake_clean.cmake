@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_cross_traffic_cpu.dir/fig6_cross_traffic_cpu.cc.o"
+  "CMakeFiles/fig6_cross_traffic_cpu.dir/fig6_cross_traffic_cpu.cc.o.d"
+  "fig6_cross_traffic_cpu"
+  "fig6_cross_traffic_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_cross_traffic_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_bgp_performance.dir/table3_bgp_performance.cc.o"
+  "CMakeFiles/table3_bgp_performance.dir/table3_bgp_performance.cc.o.d"
+  "table3_bgp_performance"
+  "table3_bgp_performance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_bgp_performance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgp_network.dir/bgp_network.cpp.o"
+  "CMakeFiles/bgp_network.dir/bgp_network.cpp.o.d"
+  "bgp_network"
+  "bgp_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgp_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

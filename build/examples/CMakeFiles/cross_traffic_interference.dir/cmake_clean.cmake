@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cross_traffic_interference.dir/cross_traffic_interference.cpp.o"
+  "CMakeFiles/cross_traffic_interference.dir/cross_traffic_interference.cpp.o.d"
+  "cross_traffic_interference"
+  "cross_traffic_interference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cross_traffic_interference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

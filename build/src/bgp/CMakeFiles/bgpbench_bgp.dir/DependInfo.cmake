@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bgp/as_path.cc" "src/bgp/CMakeFiles/bgpbench_bgp.dir/as_path.cc.o" "gcc" "src/bgp/CMakeFiles/bgpbench_bgp.dir/as_path.cc.o.d"
+  "/root/repo/src/bgp/damping.cc" "src/bgp/CMakeFiles/bgpbench_bgp.dir/damping.cc.o" "gcc" "src/bgp/CMakeFiles/bgpbench_bgp.dir/damping.cc.o.d"
+  "/root/repo/src/bgp/decision.cc" "src/bgp/CMakeFiles/bgpbench_bgp.dir/decision.cc.o" "gcc" "src/bgp/CMakeFiles/bgpbench_bgp.dir/decision.cc.o.d"
+  "/root/repo/src/bgp/message.cc" "src/bgp/CMakeFiles/bgpbench_bgp.dir/message.cc.o" "gcc" "src/bgp/CMakeFiles/bgpbench_bgp.dir/message.cc.o.d"
+  "/root/repo/src/bgp/path_attributes.cc" "src/bgp/CMakeFiles/bgpbench_bgp.dir/path_attributes.cc.o" "gcc" "src/bgp/CMakeFiles/bgpbench_bgp.dir/path_attributes.cc.o.d"
+  "/root/repo/src/bgp/policy.cc" "src/bgp/CMakeFiles/bgpbench_bgp.dir/policy.cc.o" "gcc" "src/bgp/CMakeFiles/bgpbench_bgp.dir/policy.cc.o.d"
+  "/root/repo/src/bgp/rib.cc" "src/bgp/CMakeFiles/bgpbench_bgp.dir/rib.cc.o" "gcc" "src/bgp/CMakeFiles/bgpbench_bgp.dir/rib.cc.o.d"
+  "/root/repo/src/bgp/session.cc" "src/bgp/CMakeFiles/bgpbench_bgp.dir/session.cc.o" "gcc" "src/bgp/CMakeFiles/bgpbench_bgp.dir/session.cc.o.d"
+  "/root/repo/src/bgp/speaker.cc" "src/bgp/CMakeFiles/bgpbench_bgp.dir/speaker.cc.o" "gcc" "src/bgp/CMakeFiles/bgpbench_bgp.dir/speaker.cc.o.d"
+  "/root/repo/src/bgp/table_io.cc" "src/bgp/CMakeFiles/bgpbench_bgp.dir/table_io.cc.o" "gcc" "src/bgp/CMakeFiles/bgpbench_bgp.dir/table_io.cc.o.d"
+  "/root/repo/src/bgp/types.cc" "src/bgp/CMakeFiles/bgpbench_bgp.dir/types.cc.o" "gcc" "src/bgp/CMakeFiles/bgpbench_bgp.dir/types.cc.o.d"
+  "/root/repo/src/bgp/update_builder.cc" "src/bgp/CMakeFiles/bgpbench_bgp.dir/update_builder.cc.o" "gcc" "src/bgp/CMakeFiles/bgpbench_bgp.dir/update_builder.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/bgpbench_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgpbench_bgp.dir/as_path.cc.o"
+  "CMakeFiles/bgpbench_bgp.dir/as_path.cc.o.d"
+  "CMakeFiles/bgpbench_bgp.dir/damping.cc.o"
+  "CMakeFiles/bgpbench_bgp.dir/damping.cc.o.d"
+  "CMakeFiles/bgpbench_bgp.dir/decision.cc.o"
+  "CMakeFiles/bgpbench_bgp.dir/decision.cc.o.d"
+  "CMakeFiles/bgpbench_bgp.dir/message.cc.o"
+  "CMakeFiles/bgpbench_bgp.dir/message.cc.o.d"
+  "CMakeFiles/bgpbench_bgp.dir/path_attributes.cc.o"
+  "CMakeFiles/bgpbench_bgp.dir/path_attributes.cc.o.d"
+  "CMakeFiles/bgpbench_bgp.dir/policy.cc.o"
+  "CMakeFiles/bgpbench_bgp.dir/policy.cc.o.d"
+  "CMakeFiles/bgpbench_bgp.dir/rib.cc.o"
+  "CMakeFiles/bgpbench_bgp.dir/rib.cc.o.d"
+  "CMakeFiles/bgpbench_bgp.dir/session.cc.o"
+  "CMakeFiles/bgpbench_bgp.dir/session.cc.o.d"
+  "CMakeFiles/bgpbench_bgp.dir/speaker.cc.o"
+  "CMakeFiles/bgpbench_bgp.dir/speaker.cc.o.d"
+  "CMakeFiles/bgpbench_bgp.dir/table_io.cc.o"
+  "CMakeFiles/bgpbench_bgp.dir/table_io.cc.o.d"
+  "CMakeFiles/bgpbench_bgp.dir/types.cc.o"
+  "CMakeFiles/bgpbench_bgp.dir/types.cc.o.d"
+  "CMakeFiles/bgpbench_bgp.dir/update_builder.cc.o"
+  "CMakeFiles/bgpbench_bgp.dir/update_builder.cc.o.d"
+  "libbgpbench_bgp.a"
+  "libbgpbench_bgp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgpbench_bgp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

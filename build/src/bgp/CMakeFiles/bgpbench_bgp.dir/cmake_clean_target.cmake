@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbgpbench_bgp.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgpbench_core.dir/benchmark_runner.cc.o"
+  "CMakeFiles/bgpbench_core.dir/benchmark_runner.cc.o.d"
+  "CMakeFiles/bgpbench_core.dir/scenario.cc.o"
+  "CMakeFiles/bgpbench_core.dir/scenario.cc.o.d"
+  "CMakeFiles/bgpbench_core.dir/test_peer.cc.o"
+  "CMakeFiles/bgpbench_core.dir/test_peer.cc.o.d"
+  "libbgpbench_core.a"
+  "libbgpbench_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgpbench_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgpbench_fib.dir/forwarding_engine.cc.o"
+  "CMakeFiles/bgpbench_fib.dir/forwarding_engine.cc.o.d"
+  "CMakeFiles/bgpbench_fib.dir/forwarding_table.cc.o"
+  "CMakeFiles/bgpbench_fib.dir/forwarding_table.cc.o.d"
+  "libbgpbench_fib.a"
+  "libbgpbench_fib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgpbench_fib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/byte_io.cc" "src/net/CMakeFiles/bgpbench_net.dir/byte_io.cc.o" "gcc" "src/net/CMakeFiles/bgpbench_net.dir/byte_io.cc.o.d"
+  "/root/repo/src/net/checksum.cc" "src/net/CMakeFiles/bgpbench_net.dir/checksum.cc.o" "gcc" "src/net/CMakeFiles/bgpbench_net.dir/checksum.cc.o.d"
+  "/root/repo/src/net/ipv4_address.cc" "src/net/CMakeFiles/bgpbench_net.dir/ipv4_address.cc.o" "gcc" "src/net/CMakeFiles/bgpbench_net.dir/ipv4_address.cc.o.d"
+  "/root/repo/src/net/packet.cc" "src/net/CMakeFiles/bgpbench_net.dir/packet.cc.o" "gcc" "src/net/CMakeFiles/bgpbench_net.dir/packet.cc.o.d"
+  "/root/repo/src/net/prefix.cc" "src/net/CMakeFiles/bgpbench_net.dir/prefix.cc.o" "gcc" "src/net/CMakeFiles/bgpbench_net.dir/prefix.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgpbench_net.dir/byte_io.cc.o"
+  "CMakeFiles/bgpbench_net.dir/byte_io.cc.o.d"
+  "CMakeFiles/bgpbench_net.dir/checksum.cc.o"
+  "CMakeFiles/bgpbench_net.dir/checksum.cc.o.d"
+  "CMakeFiles/bgpbench_net.dir/ipv4_address.cc.o"
+  "CMakeFiles/bgpbench_net.dir/ipv4_address.cc.o.d"
+  "CMakeFiles/bgpbench_net.dir/packet.cc.o"
+  "CMakeFiles/bgpbench_net.dir/packet.cc.o.d"
+  "CMakeFiles/bgpbench_net.dir/prefix.cc.o"
+  "CMakeFiles/bgpbench_net.dir/prefix.cc.o.d"
+  "libbgpbench_net.a"
+  "libbgpbench_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgpbench_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

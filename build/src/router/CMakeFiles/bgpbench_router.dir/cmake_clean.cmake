@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgpbench_router.dir/router_system.cc.o"
+  "CMakeFiles/bgpbench_router.dir/router_system.cc.o.d"
+  "CMakeFiles/bgpbench_router.dir/system_profiles.cc.o"
+  "CMakeFiles/bgpbench_router.dir/system_profiles.cc.o.d"
+  "libbgpbench_router.a"
+  "libbgpbench_router.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgpbench_router.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

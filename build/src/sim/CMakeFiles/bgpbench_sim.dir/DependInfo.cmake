@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cpu.cc" "src/sim/CMakeFiles/bgpbench_sim.dir/cpu.cc.o" "gcc" "src/sim/CMakeFiles/bgpbench_sim.dir/cpu.cc.o.d"
+  "/root/repo/src/sim/event_queue.cc" "src/sim/CMakeFiles/bgpbench_sim.dir/event_queue.cc.o" "gcc" "src/sim/CMakeFiles/bgpbench_sim.dir/event_queue.cc.o.d"
+  "/root/repo/src/sim/process.cc" "src/sim/CMakeFiles/bgpbench_sim.dir/process.cc.o" "gcc" "src/sim/CMakeFiles/bgpbench_sim.dir/process.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stats/CMakeFiles/bgpbench_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/bgpbench_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

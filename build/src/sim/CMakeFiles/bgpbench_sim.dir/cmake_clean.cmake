@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgpbench_sim.dir/cpu.cc.o"
+  "CMakeFiles/bgpbench_sim.dir/cpu.cc.o.d"
+  "CMakeFiles/bgpbench_sim.dir/event_queue.cc.o"
+  "CMakeFiles/bgpbench_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/bgpbench_sim.dir/process.cc.o"
+  "CMakeFiles/bgpbench_sim.dir/process.cc.o.d"
+  "libbgpbench_sim.a"
+  "libbgpbench_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgpbench_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

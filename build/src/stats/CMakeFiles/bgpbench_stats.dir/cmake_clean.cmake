@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgpbench_stats.dir/report.cc.o"
+  "CMakeFiles/bgpbench_stats.dir/report.cc.o.d"
+  "CMakeFiles/bgpbench_stats.dir/summary.cc.o"
+  "CMakeFiles/bgpbench_stats.dir/summary.cc.o.d"
+  "CMakeFiles/bgpbench_stats.dir/time_series.cc.o"
+  "CMakeFiles/bgpbench_stats.dir/time_series.cc.o.d"
+  "libbgpbench_stats.a"
+  "libbgpbench_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgpbench_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

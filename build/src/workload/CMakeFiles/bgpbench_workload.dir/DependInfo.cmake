@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/churn.cc" "src/workload/CMakeFiles/bgpbench_workload.dir/churn.cc.o" "gcc" "src/workload/CMakeFiles/bgpbench_workload.dir/churn.cc.o.d"
+  "/root/repo/src/workload/route_set.cc" "src/workload/CMakeFiles/bgpbench_workload.dir/route_set.cc.o" "gcc" "src/workload/CMakeFiles/bgpbench_workload.dir/route_set.cc.o.d"
+  "/root/repo/src/workload/update_stream.cc" "src/workload/CMakeFiles/bgpbench_workload.dir/update_stream.cc.o" "gcc" "src/workload/CMakeFiles/bgpbench_workload.dir/update_stream.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bgp/CMakeFiles/bgpbench_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/bgpbench_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

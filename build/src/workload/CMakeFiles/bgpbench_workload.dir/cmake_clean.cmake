@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgpbench_workload.dir/churn.cc.o"
+  "CMakeFiles/bgpbench_workload.dir/churn.cc.o.d"
+  "CMakeFiles/bgpbench_workload.dir/route_set.cc.o"
+  "CMakeFiles/bgpbench_workload.dir/route_set.cc.o.d"
+  "CMakeFiles/bgpbench_workload.dir/update_stream.cc.o"
+  "CMakeFiles/bgpbench_workload.dir/update_stream.cc.o.d"
+  "libbgpbench_workload.a"
+  "libbgpbench_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgpbench_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

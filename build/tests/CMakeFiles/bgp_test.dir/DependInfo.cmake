@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/bgp/as_path_test.cc" "tests/CMakeFiles/bgp_test.dir/bgp/as_path_test.cc.o" "gcc" "tests/CMakeFiles/bgp_test.dir/bgp/as_path_test.cc.o.d"
+  "/root/repo/tests/bgp/convergence_test.cc" "tests/CMakeFiles/bgp_test.dir/bgp/convergence_test.cc.o" "gcc" "tests/CMakeFiles/bgp_test.dir/bgp/convergence_test.cc.o.d"
+  "/root/repo/tests/bgp/damping_test.cc" "tests/CMakeFiles/bgp_test.dir/bgp/damping_test.cc.o" "gcc" "tests/CMakeFiles/bgp_test.dir/bgp/damping_test.cc.o.d"
+  "/root/repo/tests/bgp/decision_test.cc" "tests/CMakeFiles/bgp_test.dir/bgp/decision_test.cc.o" "gcc" "tests/CMakeFiles/bgp_test.dir/bgp/decision_test.cc.o.d"
+  "/root/repo/tests/bgp/fuzz_test.cc" "tests/CMakeFiles/bgp_test.dir/bgp/fuzz_test.cc.o" "gcc" "tests/CMakeFiles/bgp_test.dir/bgp/fuzz_test.cc.o.d"
+  "/root/repo/tests/bgp/message_test.cc" "tests/CMakeFiles/bgp_test.dir/bgp/message_test.cc.o" "gcc" "tests/CMakeFiles/bgp_test.dir/bgp/message_test.cc.o.d"
+  "/root/repo/tests/bgp/path_attributes_test.cc" "tests/CMakeFiles/bgp_test.dir/bgp/path_attributes_test.cc.o" "gcc" "tests/CMakeFiles/bgp_test.dir/bgp/path_attributes_test.cc.o.d"
+  "/root/repo/tests/bgp/policy_test.cc" "tests/CMakeFiles/bgp_test.dir/bgp/policy_test.cc.o" "gcc" "tests/CMakeFiles/bgp_test.dir/bgp/policy_test.cc.o.d"
+  "/root/repo/tests/bgp/rib_test.cc" "tests/CMakeFiles/bgp_test.dir/bgp/rib_test.cc.o" "gcc" "tests/CMakeFiles/bgp_test.dir/bgp/rib_test.cc.o.d"
+  "/root/repo/tests/bgp/route_reflection_test.cc" "tests/CMakeFiles/bgp_test.dir/bgp/route_reflection_test.cc.o" "gcc" "tests/CMakeFiles/bgp_test.dir/bgp/route_reflection_test.cc.o.d"
+  "/root/repo/tests/bgp/route_refresh_test.cc" "tests/CMakeFiles/bgp_test.dir/bgp/route_refresh_test.cc.o" "gcc" "tests/CMakeFiles/bgp_test.dir/bgp/route_refresh_test.cc.o.d"
+  "/root/repo/tests/bgp/session_test.cc" "tests/CMakeFiles/bgp_test.dir/bgp/session_test.cc.o" "gcc" "tests/CMakeFiles/bgp_test.dir/bgp/session_test.cc.o.d"
+  "/root/repo/tests/bgp/speaker_test.cc" "tests/CMakeFiles/bgp_test.dir/bgp/speaker_test.cc.o" "gcc" "tests/CMakeFiles/bgp_test.dir/bgp/speaker_test.cc.o.d"
+  "/root/repo/tests/bgp/table_io_test.cc" "tests/CMakeFiles/bgp_test.dir/bgp/table_io_test.cc.o" "gcc" "tests/CMakeFiles/bgp_test.dir/bgp/table_io_test.cc.o.d"
+  "/root/repo/tests/bgp/update_builder_test.cc" "tests/CMakeFiles/bgp_test.dir/bgp/update_builder_test.cc.o" "gcc" "tests/CMakeFiles/bgp_test.dir/bgp/update_builder_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/bgpbench_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/router/CMakeFiles/bgpbench_router.dir/DependInfo.cmake"
+  "/root/repo/build/src/fib/CMakeFiles/bgpbench_fib.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bgpbench_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/bgpbench_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/bgp/CMakeFiles/bgpbench_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/bgpbench_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/bgpbench_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

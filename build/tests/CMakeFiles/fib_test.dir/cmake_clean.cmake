@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fib_test.dir/fib/forwarding_test.cc.o"
+  "CMakeFiles/fib_test.dir/fib/forwarding_test.cc.o.d"
+  "CMakeFiles/fib_test.dir/fib/lpm_trie_test.cc.o"
+  "CMakeFiles/fib_test.dir/fib/lpm_trie_test.cc.o.d"
+  "fib_test"
+  "fib_test.pdb"
+  "fib_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fib_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

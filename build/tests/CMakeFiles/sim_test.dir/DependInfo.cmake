@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/cpu_test.cc" "tests/CMakeFiles/sim_test.dir/sim/cpu_test.cc.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim/cpu_test.cc.o.d"
+  "/root/repo/tests/sim/event_queue_test.cc" "tests/CMakeFiles/sim_test.dir/sim/event_queue_test.cc.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim/event_queue_test.cc.o.d"
+  "/root/repo/tests/sim/load_tracker_test.cc" "tests/CMakeFiles/sim_test.dir/sim/load_tracker_test.cc.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim/load_tracker_test.cc.o.d"
+  "/root/repo/tests/sim/process_test.cc" "tests/CMakeFiles/sim_test.dir/sim/process_test.cc.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim/process_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/bgpbench_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/router/CMakeFiles/bgpbench_router.dir/DependInfo.cmake"
+  "/root/repo/build/src/fib/CMakeFiles/bgpbench_fib.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bgpbench_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/bgpbench_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/bgp/CMakeFiles/bgpbench_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/bgpbench_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/bgpbench_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgpbench_cli.dir/bgpbench_cli.cc.o"
+  "CMakeFiles/bgpbench_cli.dir/bgpbench_cli.cc.o.d"
+  "bgpbench"
+  "bgpbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgpbench_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
