@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Extension benchmark: network-wide convergence.
+ *
+ * The paper measures one router between two test speakers; this bench
+ * instantiates N full speakers in AS-level topologies and measures
+ * what the per-router processing speed buys operationally: how fast
+ * the *network* converges after announcements, a link failure, and a
+ * router reboot. Every run is fully deterministic — the same seed
+ * produces a byte-identical BENCH_topo_convergence.json — so the
+ * trajectory of convergence times can be tracked for regressions.
+ *
+ * Overrides: BGPBENCH_FAST=1 shrinks the topologies;
+ * BGPBENCH_NODES=<n> sets the router count directly.
+ */
+
+#include <fstream>
+#include <iostream>
+#include <vector>
+
+#include "stats/json.hh"
+#include "topo/scenarios.hh"
+
+#include "bench_util.hh"
+
+using namespace bgpbench;
+
+int
+main()
+{
+    size_t nodes = benchutil::envSize(
+        "BGPBENCH_NODES", benchutil::fastMode() ? 10 : 24);
+    const uint64_t seed = 42;
+    const size_t attach = 2;
+
+    std::cout << "Network-wide convergence (" << nodes
+              << " routers per topology, seed " << seed << ")\n";
+
+    topo::ScenarioOptions opts;
+    std::vector<topo::ConvergenceReport> runs;
+
+    runs.push_back(topo::runAnnounceScenario(
+        topo::Topology::line(nodes), "line", opts));
+    runs.push_back(topo::runAnnounceScenario(
+        topo::Topology::ring(nodes), "ring", opts));
+    runs.push_back(topo::runAnnounceScenario(
+        topo::Topology::star(nodes), "star", opts));
+    runs.push_back(topo::runAnnounceScenario(
+        topo::Topology::barabasiAlbert(nodes, attach, seed), "random",
+        opts));
+
+    // Fault scenarios on the shapes where they are most interesting:
+    // a ring re-routes around a failed link; the random graph loses
+    // its oldest (highest-degree) router for 50 ms.
+    runs.push_back(topo::runLinkFailureScenario(
+        topo::Topology::ring(nodes), "ring", 0, opts));
+    runs.push_back(topo::runRouterRebootScenario(
+        topo::Topology::barabasiAlbert(nodes, attach, seed), "random",
+        0, sim::nsFromMs(50), opts));
+
+    for (const topo::ConvergenceReport &run : runs) {
+        std::cout << "\n";
+        run.printText(std::cout);
+    }
+
+    std::ofstream json("BENCH_topo_convergence.json");
+    stats::JsonWriter writer(json);
+    writer.beginObject();
+    writer.field("benchmark", "topo_convergence");
+    writer.field("nodes", uint64_t(nodes));
+    writer.field("seed", seed);
+    writer.key("runs");
+    writer.beginArray();
+    for (const topo::ConvergenceReport &run : runs)
+        run.writeJson(writer);
+    writer.endArray();
+    writer.endObject();
+    json << "\n";
+    std::cout << "\nwrote BENCH_topo_convergence.json\n";
+
+    bool all_converged = true;
+    for (const topo::ConvergenceReport &run : runs)
+        all_converged = all_converged && run.converged;
+    if (!all_converged) {
+        std::cerr << "error: a scenario failed to converge\n";
+        return 1;
+    }
+    return 0;
+}

@@ -1,244 +1,81 @@
 /**
  * @file
- * Using the BGP library standalone — no simulator, no benchmark.
+ * A multi-router network on the topo subsystem.
  *
- * Builds a four-AS topology with real wire-format message exchange
- * and routing policy:
+ * Builds the four-AS policy demonstration topology — a customer
+ * dual-homed to two ISPs that both feed a backbone:
  *
- *     AS 100 (customer) --- AS 200 (ISP A) --- AS 400 (backbone)
- *                       \-- AS 300 (ISP B) --/
+ *     AS 100 (customer) --- AS 200 (isp-a) --- AS 400 (backbone)
+ *                       \-- AS 300 (isp-b) --/
  *
- * AS 100 dual-homes to two ISPs and prefers ISP A via LOCAL_PREF;
- * ISP B path-prepends on export to make itself less attractive; and
- * the backbone filters a martian prefix.
+ * The customer prefers isp-a via LOCAL_PREF; isp-b path-prepends on
+ * export toward the backbone; the backbone filters martian prefixes
+ * from both ISPs. Unlike the benchmark harness, everything here runs
+ * at network realism: real wire-format messages, link latency and
+ * serialisation, and per-router processing costs, all on the
+ * deterministic simulator. The same scenario is asserted in
+ * tests/topo/network_example_test.cc.
  */
 
-#include <deque>
 #include <iostream>
-#include <map>
-#include <memory>
 
-#include "bgp/speaker.hh"
 #include "stats/report.hh"
+#include "topo/scenarios.hh"
 
 using namespace bgpbench;
-using namespace bgpbench::bgp;
-
-namespace
-{
-
-/**
- * Minimal in-memory "TCP": queues segments between speakers and
- * delivers them until quiet.
- */
-class Network : public SpeakerEvents
-{
-  public:
-    struct Endpoint
-    {
-        BgpSpeaker *speaker;
-        PeerId peer;
-    };
-
-    BgpSpeaker &
-    addSpeaker(const std::string &name, AsNumber asn, RouterId id,
-               net::Ipv4Address address)
-    {
-        SpeakerConfig config;
-        config.localAs = asn;
-        config.routerId = id;
-        config.localAddress = address;
-        auto speaker = std::make_unique<BgpSpeaker>(config, this);
-        names_[speaker.get()] = name;
-        speakers_.push_back(std::move(speaker));
-        return *speakers_.back();
-    }
-
-    /** Wire two speakers together and run the OPEN handshake. */
-    void
-    link(BgpSpeaker &a, PeerId pa, BgpSpeaker &b, PeerId pb,
-         Policy a_import = {}, Policy a_export = {},
-         Policy b_import = {}, Policy b_export = {})
-    {
-        PeerConfig ca;
-        ca.id = pa;
-        ca.asn = b.config().localAs;
-        ca.importPolicy = std::move(a_import);
-        ca.exportPolicy = std::move(a_export);
-        a.addPeer(ca);
-
-        PeerConfig cb;
-        cb.id = pb;
-        cb.asn = a.config().localAs;
-        cb.importPolicy = std::move(b_import);
-        cb.exportPolicy = std::move(b_export);
-        b.addPeer(cb);
-
-        wires_[{&a, pa}] = {&b, pb};
-        wires_[{&b, pb}] = {&a, pa};
-
-        sender_ = &a;
-        a.startPeer(pa, 0);
-        a.tcpEstablished(pa, 0);
-        sender_ = &b;
-        b.startPeer(pb, 0);
-        b.tcpEstablished(pb, 0);
-        sender_ = nullptr;
-        pump();
-    }
-
-    void
-    onTransmit(PeerId to, MessageType, std::vector<uint8_t> wire,
-               size_t) override
-    {
-        queue_.push_back({{sender_, to}, std::move(wire)});
-    }
-
-    /** Deliver queued segments until the network converges. */
-    void
-    pump()
-    {
-        while (!queue_.empty()) {
-            auto [from, wire] = std::move(queue_.front());
-            queue_.pop_front();
-            Endpoint to = wires_.at({from.speaker, from.peer});
-            BgpSpeaker *prev = sender_;
-            sender_ = to.speaker;
-            to.speaker->receiveBytes(to.peer, wire, 0);
-            sender_ = prev;
-        }
-    }
-
-    /**
-     * Speakers report transmissions through the shared event sink;
-     * track whose call stack we are in so segments are attributed to
-     * the right sender.
-     */
-    void
-    act(BgpSpeaker &speaker, const std::function<void()> &fn)
-    {
-        BgpSpeaker *prev = sender_;
-        sender_ = &speaker;
-        fn();
-        sender_ = prev;
-        pump();
-    }
-
-    void
-    printLocRib(const BgpSpeaker &speaker) const
-    {
-        std::cout << "\nLoc-RIB of " << names_.at(&speaker) << " (AS"
-                  << speaker.config().localAs << "):\n";
-        stats::TextTable table({"prefix", "AS path", "next hop"});
-        std::vector<std::pair<net::Prefix, const LocRib::Entry *>>
-            rows;
-        speaker.locRib().forEach(
-            [&](const net::Prefix &p, const LocRib::Entry &e) {
-                rows.emplace_back(p, &e);
-            });
-        std::sort(rows.begin(), rows.end(),
-                  [](const auto &a, const auto &b) {
-                      return a.first < b.first;
-                  });
-        for (const auto &[prefix, entry] : rows) {
-            table.addRow({prefix.toString(),
-                          entry->best.attributes->asPath.toString(),
-                          entry->best.attributes->nextHop.toString()});
-        }
-        table.print(std::cout);
-    }
-
-  private:
-    std::vector<std::unique_ptr<BgpSpeaker>> speakers_;
-    std::map<const BgpSpeaker *, std::string> names_;
-    std::map<std::pair<BgpSpeaker *, PeerId>, Endpoint> wires_;
-    std::deque<std::pair<Endpoint, std::vector<uint8_t>>> queue_;
-    BgpSpeaker *sender_ = nullptr;
-};
-
-PathAttributesPtr
-originAttrs(net::Ipv4Address next_hop)
-{
-    PathAttributes attrs;
-    attrs.nextHop = next_hop;
-    return makeAttributes(std::move(attrs));
-}
-
-} // namespace
 
 int
 main()
 {
-    Network net;
+    topo::demo::FourAsNetwork net = topo::demo::fourAsPolicyTopology();
+    topo::TopologySim sim(net.topology);
+    const sim::SimTime limit = sim::nsFromSec(60.0);
 
-    auto &customer = net.addSpeaker("customer", 100, 0x01010101,
-                                    net::Ipv4Address(192, 0, 2, 1));
-    auto &isp_a = net.addSpeaker("isp-a", 200, 0x02020202,
-                                 net::Ipv4Address(192, 0, 2, 2));
-    auto &isp_b = net.addSpeaker("isp-b", 300, 0x03030303,
-                                 net::Ipv4Address(192, 0, 2, 3));
-    auto &backbone = net.addSpeaker("backbone", 400, 0x04040404,
-                                    net::Ipv4Address(192, 0, 2, 4));
-
-    // Customer prefers ISP A: import LOCAL_PREF 200 on that session.
-    Policy prefer_a = makeLocalPrefForAsPolicy(200, 200);
-
-    // ISP B advertises itself with a prepended path (traffic
-    // engineering: make the backup path longer).
-    PolicyRule prepend_rule;
-    prepend_rule.name = "prepend-2x";
-    prepend_rule.action.prependCount = 2;
-    Policy prepend({prepend_rule});
-
-    // The backbone filters a martian (test) prefix.
-    Policy filter_martians = makeRejectPrefixPolicy(
-        net::Prefix::fromString("192.0.2.0/24"));
-
-    net.link(customer, 0, isp_a, 0, prefer_a);
-    net.link(customer, 1, isp_b, 0);
-    net.link(isp_a, 1, backbone, 0);
-    net.link(isp_b, 1, backbone, 1, {}, prepend, filter_martians);
-
+    // Sessions come up at t = 0; run the OPEN exchanges to quiet.
+    sim.runToConvergence(limit);
     std::cout << "Topology up: customer(AS100) dual-homed to "
                  "isp-a(AS200) and isp-b(AS300), both feeding "
                  "backbone(AS400).\n";
 
-    // The backbone originates two real prefixes and one martian.
-    net.act(backbone, [&]() {
-        backbone.originate(net::Prefix::fromString("203.0.113.0/24"),
-                           originAttrs(net::Ipv4Address(192, 0, 2,
-                                                        4)),
-                           0);
-        backbone.originate(net::Prefix::fromString("198.51.100.0/24"),
-                           originAttrs(net::Ipv4Address(192, 0, 2,
-                                                        4)),
-                           0);
-    });
-    // The customer originates its own prefix; it must reach the
-    // backbone through both ISPs, shortest path winning there.
-    net.act(customer, [&]() {
-        customer.originate(net::Prefix::fromString("192.0.2.0/24"),
-                           originAttrs(net::Ipv4Address(192, 0, 2,
-                                                        1)),
-                           0);
-    });
+    // Originate the demo routes and converge.
+    sim.tracker().markPhaseStart(sim.simulator().now());
+    topo::demo::originateDemoRoutes(sim, net, sim.simulator().now());
+    sim.runToConvergence(limit);
+    std::cout << "Announcements converged in "
+              << stats::formatDouble(
+                     sim.tracker().convergenceTimeSec() * 1e3, 3)
+              << " ms of simulated time.\n";
 
-    net.printLocRib(customer);
+    topo::printLocRib(std::cout, sim.speaker(net.customer),
+                      "customer");
     std::cout << "(both backbone prefixes via isp-a: the import "
-                 "policy sets LOCAL_PREF 200 on that session)\n";
+                 "policy sets LOCAL_PREF 200 on that session; the "
+                 "martian arrives from isp-b directly)\n";
 
-    net.printLocRib(backbone);
-    std::cout << "(the customer prefix is filtered by the martian "
-                 "policy on the isp-b session and arrives via isp-a; "
-                 "isp-b's prepending would have made that path longer "
-                 "anyway)\n";
+    topo::printLocRib(std::cout, sim.speaker(net.backbone),
+                      "backbone");
+    std::cout << "(the customer prefix arrives via isp-a — isp-b's "
+                 "prepending made its path longer — and isp-b's "
+                 "martian is filtered on both sessions)\n";
 
-    // Link failure: the customer's session to ISP A drops.
-    std::cout << "\n*** session customer <-> isp-a fails ***\n";
-    net.act(customer, [&]() { customer.tcpClosed(0, 0); });
-    net.act(isp_a, [&]() { isp_a.tcpClosed(0, 0); });
+    // Link failure: the customer's link to isp-a drops, in-flight
+    // data is lost, and everything fails over to isp-b.
+    std::cout << "\n*** link customer <-> isp-a fails ***\n";
+    sim.tracker().markPhaseStart(sim.simulator().now());
+    sim.scheduleLinkDown(net.customerIspALink, sim.simulator().now());
+    sim.runToConvergence(limit);
+    std::cout << "Re-converged in "
+              << stats::formatDouble(
+                     sim.tracker().convergenceTimeSec() * 1e3, 3)
+              << " ms of simulated time.\n";
 
-    net.printLocRib(customer);
+    topo::printLocRib(std::cout, sim.speaker(net.customer),
+                      "customer");
     std::cout << "(everything fails over to isp-b's longer paths)\n";
+
+    topo::printLocRib(std::cout, sim.speaker(net.backbone),
+                      "backbone");
+    std::cout << "(the customer prefix now carries isp-b's prepended "
+                 "path)\n";
     return 0;
 }

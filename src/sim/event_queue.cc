@@ -19,12 +19,22 @@ Simulator::scheduleEvery(SimTime period, std::function<bool()> handler)
 {
     panicIf(period == 0, "periodic event with zero period");
     // Self-rescheduling wrapper; stops when the handler returns false.
+    // The wrapper captures itself weakly — the pending event holds the
+    // only owning reference — so the closure is freed as soon as the
+    // handler stops rescheduling.
+    // Drift-free: the wrapper runs with now_ equal to its own firing
+    // time (step() sets the clock before invoking the handler), so
+    // scheduleIn(period, ...) anchors the next firing at exactly
+    // k * period regardless of what else the handler schedules.
     auto wrapper = std::make_shared<std::function<void()>>();
-    *wrapper = [this, period, handler = std::move(handler), wrapper]() {
-        if (handler())
-            scheduleIn(period, *wrapper);
+    std::weak_ptr<std::function<void()>> weak = wrapper;
+    *wrapper = [this, period, handler = std::move(handler), weak]() {
+        if (!handler())
+            return;
+        if (auto self = weak.lock())
+            scheduleIn(period, [self]() { (*self)(); });
     };
-    scheduleIn(period, *wrapper);
+    scheduleIn(period, [wrapper]() { (*wrapper)(); });
 }
 
 bool

@@ -1,0 +1,184 @@
+#include "stats/json.hh"
+
+#include <cmath>
+#include <cstdio>
+
+#include "net/logging.hh"
+
+namespace bgpbench::stats
+{
+
+std::string
+JsonWriter::quote(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size() + 2);
+    out.push_back('"');
+    for (char c : text) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (uint8_t(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out.push_back(c);
+            }
+        }
+    }
+    out.push_back('"');
+    return out;
+}
+
+std::string
+JsonWriter::formatNumber(double number)
+{
+    if (!std::isfinite(number))
+        return "null";
+    // Integral values print without a fraction so counters read
+    // naturally; everything else uses a fixed %.6g conversion, which
+    // is deterministic for identical inputs.
+    if (number == std::floor(number) && std::fabs(number) < 1e15) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.0f", number);
+        return buf;
+    }
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.6g", number);
+    return buf;
+}
+
+void
+JsonWriter::indent()
+{
+    os_ << '\n';
+    for (size_t i = 0; i < scopes_.size(); ++i)
+        os_ << "  ";
+}
+
+void
+JsonWriter::prepareValue()
+{
+    if (scopes_.empty())
+        return;
+    if (scopes_.back() == Scope::Object) {
+        panicIf(!keyPending_, "JSON value in object without key");
+        keyPending_ = false;
+        return;
+    }
+    if (populated_.back())
+        os_ << ',';
+    populated_.back() = true;
+    indent();
+}
+
+void
+JsonWriter::key(const std::string &name)
+{
+    panicIf(scopes_.empty() || scopes_.back() != Scope::Object,
+            "JSON key outside object");
+    panicIf(keyPending_, "two JSON keys in a row");
+    if (populated_.back())
+        os_ << ',';
+    populated_.back() = true;
+    indent();
+    os_ << quote(name) << ": ";
+    keyPending_ = true;
+}
+
+void
+JsonWriter::beginObject()
+{
+    prepareValue();
+    os_ << '{';
+    scopes_.push_back(Scope::Object);
+    populated_.push_back(false);
+}
+
+void
+JsonWriter::endObject()
+{
+    panicIf(scopes_.empty() || scopes_.back() != Scope::Object,
+            "unbalanced JSON endObject");
+    panicIf(keyPending_, "JSON object closed with dangling key");
+    bool had_members = populated_.back();
+    scopes_.pop_back();
+    populated_.pop_back();
+    if (had_members)
+        indent();
+    os_ << '}';
+}
+
+void
+JsonWriter::beginArray()
+{
+    prepareValue();
+    os_ << '[';
+    scopes_.push_back(Scope::Array);
+    populated_.push_back(false);
+}
+
+void
+JsonWriter::endArray()
+{
+    panicIf(scopes_.empty() || scopes_.back() != Scope::Array,
+            "unbalanced JSON endArray");
+    bool had_members = populated_.back();
+    scopes_.pop_back();
+    populated_.pop_back();
+    if (had_members)
+        indent();
+    os_ << ']';
+}
+
+void
+JsonWriter::value(const std::string &text)
+{
+    prepareValue();
+    os_ << quote(text);
+}
+
+void
+JsonWriter::value(double number)
+{
+    prepareValue();
+    os_ << formatNumber(number);
+}
+
+void
+JsonWriter::value(uint64_t number)
+{
+    prepareValue();
+    os_ << number;
+}
+
+void
+JsonWriter::value(int64_t number)
+{
+    prepareValue();
+    os_ << number;
+}
+
+void
+JsonWriter::value(bool flag)
+{
+    prepareValue();
+    os_ << (flag ? "true" : "false");
+}
+
+} // namespace bgpbench::stats

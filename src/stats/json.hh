@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Minimal deterministic JSON emission for machine-readable benchmark
+ * reports (the BENCH_*.json trajectory files).
+ *
+ * The writer produces byte-identical output for identical inputs:
+ * keys are emitted in call order, doubles are formatted with a fixed
+ * printf conversion, and no locale-dependent formatting is used. That
+ * determinism is what lets report files be diffed across runs to
+ * detect regressions.
+ */
+
+#ifndef BGPBENCH_STATS_JSON_HH
+#define BGPBENCH_STATS_JSON_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace bgpbench::stats
+{
+
+/**
+ * Streaming JSON writer with comma/indentation bookkeeping.
+ *
+ * Usage:
+ * @code
+ *   JsonWriter json(os);
+ *   json.beginObject();
+ *   json.field("name", "ring");
+ *   json.key("routers");
+ *   json.beginArray();
+ *   ...
+ *   json.endArray();
+ *   json.endObject();
+ * @endcode
+ *
+ * Misuse (e.g., a value with no pending key inside an object) panics;
+ * the writer is for trusted report code, not arbitrary data.
+ */
+class JsonWriter
+{
+  public:
+    explicit JsonWriter(std::ostream &os) : os_(os) {}
+
+    /** @name Structure
+     *  @{
+     */
+    void beginObject();
+    void endObject();
+    void beginArray();
+    void endArray();
+    /** @} */
+
+    /** Emit an object member key; the next value() belongs to it. */
+    void key(const std::string &name);
+
+    /** @name Values
+     *  @{
+     */
+    void value(const std::string &text);
+    void value(const char *text) { value(std::string(text)); }
+    void value(double number);
+    void value(uint64_t number);
+    void value(int64_t number);
+    void value(int number) { value(int64_t(number)); }
+    void value(unsigned number) { value(uint64_t(number)); }
+    void value(bool flag);
+    /** @} */
+
+    /** @name key() + value() in one call
+     *  @{
+     */
+    template <typename T>
+    void
+    field(const std::string &name, const T &v)
+    {
+        key(name);
+        value(v);
+    }
+    /** @} */
+
+    /** Escape @p text per RFC 8259 and wrap it in quotes. */
+    static std::string quote(const std::string &text);
+
+    /** Fixed, locale-independent rendering of a double. */
+    static std::string formatNumber(double number);
+
+  private:
+    enum class Scope : uint8_t
+    {
+        Object,
+        Array,
+    };
+
+    /** Comma/newline bookkeeping before a new element. */
+    void prepareValue();
+    void indent();
+
+    std::ostream &os_;
+    std::vector<Scope> scopes_;
+    /** True once the current scope has at least one element. */
+    std::vector<bool> populated_;
+    bool keyPending_ = false;
+};
+
+} // namespace bgpbench::stats
+
+#endif // BGPBENCH_STATS_JSON_HH

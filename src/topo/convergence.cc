@@ -1,0 +1,199 @@
+#include "topo/convergence.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "stats/json.hh"
+#include "stats/report.hh"
+
+namespace bgpbench::topo
+{
+
+void
+ConvergenceTracker::markPhaseStart(sim::SimTime now)
+{
+    phaseStart_ = now;
+    lastActivity_ = now;
+}
+
+void
+ConvergenceTracker::onUpdateDelivered(size_t node,
+                                      const bgp::UpdateMessage &msg,
+                                      sim::SimTime now)
+{
+    ++updatesDelivered_;
+    transactionsDelivered_ += msg.transactionCount();
+    lastActivity_ = std::max(lastActivity_, now);
+    if (!msg.attributes)
+        return;
+    std::string path = msg.attributes->asPath.toString();
+    for (const net::Prefix &prefix : msg.nlri)
+        explored_[{node, prefix}].insert(path);
+}
+
+void
+ConvergenceTracker::onUpdateProcessed(size_t node,
+                                      const bgp::UpdateStats &stats,
+                                      sim::SimTime now)
+{
+    (void)node;
+    locRibChanges_ += stats.locRibChanges;
+    if (stats.locRibChanges > 0)
+        lastActivity_ = std::max(lastActivity_, now);
+}
+
+void
+ConvergenceTracker::onSessionChange(size_t node, sim::SimTime now)
+{
+    (void)node;
+    lastActivity_ = std::max(lastActivity_, now);
+}
+
+double
+ConvergenceTracker::convergenceTimeSec() const
+{
+    if (lastActivity_ <= phaseStart_)
+        return 0.0;
+    return sim::toSeconds(lastActivity_ - phaseStart_);
+}
+
+size_t
+ConvergenceTracker::distinctPathsExplored(
+    size_t node, const net::Prefix &prefix) const
+{
+    auto it = explored_.find({node, prefix});
+    return it == explored_.end() ? 0 : it->second.size();
+}
+
+size_t
+ConvergenceTracker::maxPathsExplored() const
+{
+    size_t max = 0;
+    for (const auto &[key, paths] : explored_)
+        max = std::max(max, paths.size());
+    return max;
+}
+
+double
+ConvergenceTracker::meanPathsExplored() const
+{
+    if (explored_.empty())
+        return 0.0;
+    size_t total = 0;
+    for (const auto &[key, paths] : explored_)
+        total += paths.size();
+    return double(total) / double(explored_.size());
+}
+
+std::string
+ConvergenceReport::toJson() const
+{
+    std::ostringstream os;
+    stats::JsonWriter json(os);
+    writeJson(json);
+    return os.str();
+}
+
+void
+ConvergenceReport::writeJson(stats::JsonWriter &json) const
+{
+    json.beginObject();
+    json.field("benchmark", "topo_convergence");
+    json.field("scenario", scenario);
+    json.field("shape", shape);
+    json.field("nodes", nodes);
+    json.field("links", links);
+    json.field("converged", converged);
+    json.field("convergence_time_s", convergenceTimeSec);
+    json.field("total_updates", totalUpdates);
+    json.field("total_transactions", totalTransactions);
+    json.field("dropped_segments", droppedSegments);
+    json.field("path_exploration_max", pathExplorationMax);
+    json.field("path_exploration_mean", pathExplorationMean);
+    json.key("routers");
+    json.beginArray();
+    for (const RouterReport &router : routers) {
+        json.beginObject();
+        json.field("name", router.name);
+        json.field("updates_received", router.updatesReceived);
+        json.field("updates_sent", router.updatesSent);
+        json.field("transactions", router.transactions);
+        json.field("tps", router.tps);
+        json.endObject();
+    }
+    json.endArray();
+    json.endObject();
+}
+
+void
+ConvergenceReport::printText(std::ostream &os) const
+{
+    os << scenario << " on " << shape << " (" << nodes << " routers, "
+       << links << " links): "
+       << (converged ? "converged" : "DID NOT CONVERGE") << " in "
+       << stats::formatDouble(convergenceTimeSec * 1e3, 3) << " ms, "
+       << totalUpdates << " UPDATEs / " << totalTransactions
+       << " transactions exchanged";
+    if (droppedSegments > 0)
+        os << ", " << droppedSegments << " segments lost";
+    os << "\n  path exploration: max " << pathExplorationMax
+       << ", mean " << stats::formatDouble(pathExplorationMean, 2)
+       << " distinct AS paths per (router, prefix)\n";
+
+    stats::TextTable table(
+        {"router", "updates rx", "updates tx", "transactions",
+         "tps"});
+    for (const RouterReport &router : routers) {
+        table.addRow({router.name,
+                      std::to_string(router.updatesReceived),
+                      std::to_string(router.updatesSent),
+                      std::to_string(router.transactions),
+                      stats::formatDouble(router.tps, 1)});
+    }
+    table.print(os);
+}
+
+void
+ConvergenceReport::printCsv(std::ostream &os, bool header) const
+{
+    if (header) {
+        os << "scenario,shape,nodes,links,converged,"
+              "convergence_time_s,total_updates,total_transactions,"
+              "router,router_transactions,router_tps\n";
+    }
+    for (const RouterReport &router : routers) {
+        os << scenario << ',' << shape << ',' << nodes << ',' << links
+           << ',' << (converged ? 1 : 0) << ','
+           << stats::formatDouble(convergenceTimeSec, 6) << ','
+           << totalUpdates << ',' << totalTransactions << ','
+           << router.name << ',' << router.transactions << ','
+           << stats::formatDouble(router.tps, 1) << "\n";
+    }
+}
+
+void
+printLocRib(std::ostream &os, const bgp::BgpSpeaker &speaker,
+            const std::string &label)
+{
+    os << "\nLoc-RIB of " << label << " (AS"
+       << speaker.config().localAs << "):\n";
+    stats::TextTable table({"prefix", "AS path", "next hop"});
+    std::vector<std::pair<net::Prefix, const bgp::LocRib::Entry *>>
+        rows;
+    speaker.locRib().forEach(
+        [&](const net::Prefix &p, const bgp::LocRib::Entry &e) {
+            rows.emplace_back(p, &e);
+        });
+    std::sort(rows.begin(), rows.end(),
+              [](const auto &a, const auto &b) {
+                  return a.first < b.first;
+              });
+    for (const auto &[prefix, entry] : rows) {
+        table.addRow({prefix.toString(),
+                      entry->best.attributes->asPath.toString(),
+                      entry->best.attributes->nextHop.toString()});
+    }
+    table.print(os);
+}
+
+} // namespace bgpbench::topo

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Network-wide convergence detection and reporting.
+ *
+ * Convergence of the simulated network is detected operationally:
+ * the speakers are driven purely by message deliveries, so once the
+ * event queue is quiescent no further routing state can change — the
+ * network has converged. The tracker additionally records when the
+ * last Loc-RIB-affecting event happened, which is the convergence
+ * *instant* (the queue drains somewhat later, as in-flight messages
+ * that change nothing are absorbed), and supports a semantic check
+ * that every router reaches every originated prefix.
+ *
+ * Metrics follow the path-vector stability literature (Papadimitriou
+ * & Cabellos, arXiv:1204.5642): convergence time, total UPDATE
+ * messages and routing transactions exchanged, per-router
+ * transactions/sec (the paper's single-router metric, now measured
+ * per node of a network), and path exploration — how many distinct
+ * AS paths a router was offered per prefix before the network
+ * settled.
+ */
+
+#ifndef BGPBENCH_TOPO_CONVERGENCE_HH
+#define BGPBENCH_TOPO_CONVERGENCE_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bgp/message.hh"
+#include "bgp/speaker.hh"
+#include "net/prefix.hh"
+#include "sim/time.hh"
+
+namespace bgpbench::stats
+{
+class JsonWriter;
+}
+
+namespace bgpbench::topo
+{
+
+/**
+ * Observes message deliveries and speaker events across all routers
+ * of a TopologySim run and accumulates convergence metrics.
+ *
+ * The phase clock supports multi-stage scenarios: markPhaseStart()
+ * before injecting a fault restarts the convergence stopwatch, so the
+ * reported time covers only re-convergence after the fault.
+ */
+class ConvergenceTracker
+{
+  public:
+    /** Restart the convergence stopwatch (e.g. at fault injection). */
+    void markPhaseStart(sim::SimTime now);
+
+    /** An UPDATE finished its simulated delivery to @p node. */
+    void onUpdateDelivered(size_t node, const bgp::UpdateMessage &msg,
+                           sim::SimTime now);
+
+    /** A speaker finished processing an inbound UPDATE. */
+    void onUpdateProcessed(size_t node, const bgp::UpdateStats &stats,
+                           sim::SimTime now);
+
+    /** A session FSM changed state on @p node. */
+    void onSessionChange(size_t node, sim::SimTime now);
+
+    /** A segment was lost to a down link or a stale link epoch. */
+    void onSegmentDropped() { ++droppedSegments_; }
+
+    /** @name Accumulated metrics
+     *  @{
+     */
+    sim::SimTime phaseStart() const { return phaseStart_; }
+    /** Time of the last routing-state-affecting event. */
+    sim::SimTime lastActivity() const { return lastActivity_; }
+    /** lastActivity - phaseStart, in seconds (0 if nothing happened). */
+    double convergenceTimeSec() const;
+    uint64_t updatesDelivered() const { return updatesDelivered_; }
+    uint64_t transactionsDelivered() const
+    {
+        return transactionsDelivered_;
+    }
+    uint64_t locRibChanges() const { return locRibChanges_; }
+    uint64_t droppedSegments() const { return droppedSegments_; }
+    /** Distinct AS paths announced to @p node for @p prefix. */
+    size_t distinctPathsExplored(size_t node,
+                                 const net::Prefix &prefix) const;
+    /** Largest exploration count over all (node, prefix) pairs. */
+    size_t maxPathsExplored() const;
+    /** Mean exploration count over all (node, prefix) pairs. */
+    double meanPathsExplored() const;
+    /** @} */
+
+  private:
+    sim::SimTime phaseStart_ = 0;
+    sim::SimTime lastActivity_ = 0;
+    uint64_t updatesDelivered_ = 0;
+    uint64_t transactionsDelivered_ = 0;
+    uint64_t locRibChanges_ = 0;
+    uint64_t droppedSegments_ = 0;
+    /** (node, prefix) -> distinct AS-path renderings offered. */
+    std::map<std::pair<size_t, net::Prefix>, std::set<std::string>>
+        explored_;
+};
+
+/** Per-router slice of a convergence report. */
+struct RouterReport
+{
+    std::string name;
+    uint64_t updatesReceived = 0;
+    uint64_t updatesSent = 0;
+    /** Inbound routing transactions processed (paper's metric unit). */
+    uint64_t transactions = 0;
+    /** transactions / convergence time of the measured phase. */
+    double tps = 0.0;
+};
+
+/**
+ * The result of running one topology scenario to convergence — the
+ * network-scale analogue of the paper's per-scenario TPS number.
+ */
+struct ConvergenceReport
+{
+    std::string scenario;
+    std::string shape;
+    size_t nodes = 0;
+    size_t links = 0;
+    bool converged = false;
+    double convergenceTimeSec = 0.0;
+    uint64_t totalUpdates = 0;
+    uint64_t totalTransactions = 0;
+    uint64_t droppedSegments = 0;
+    size_t pathExplorationMax = 0;
+    double pathExplorationMean = 0.0;
+    std::vector<RouterReport> routers;
+
+    /**
+     * Deterministic JSON rendering (same report => byte-identical
+     * text) in the BENCH_*.json format of the benchmark trajectory.
+     */
+    std::string toJson() const;
+
+    /** Emit the report as one object into an ongoing JSON document. */
+    void writeJson(stats::JsonWriter &json) const;
+
+    /** Human-readable summary table. */
+    void printText(std::ostream &os) const;
+
+    /** One CSV row per router, with a header when @p header is set. */
+    void printCsv(std::ostream &os, bool header) const;
+};
+
+/** Print a speaker's Loc-RIB as an aligned table (for examples). */
+void printLocRib(std::ostream &os, const bgp::BgpSpeaker &speaker,
+                 const std::string &label);
+
+} // namespace bgpbench::topo
+
+#endif // BGPBENCH_TOPO_CONVERGENCE_HH

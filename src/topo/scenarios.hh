@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Canned topology scenarios shared by the convergence benchmark, the
+ * CLI's topo subcommand, the network example, and the tests.
+ *
+ * Each runner scripts one fault pattern against a topology and
+ * returns its ConvergenceReport. The measured phase always starts
+ * *after* an initial convergence (sessions up, steady state), so
+ * announce scenarios report pure route-propagation time and fault
+ * scenarios report pure re-convergence time.
+ */
+
+#ifndef BGPBENCH_TOPO_SCENARIOS_HH
+#define BGPBENCH_TOPO_SCENARIOS_HH
+
+#include <string>
+
+#include "topo/topology_sim.hh"
+
+namespace bgpbench::topo
+{
+
+/** Shared knobs of the scenario runners. */
+struct ScenarioOptions
+{
+    /** Prefixes originated by every node. */
+    size_t prefixesPerNode = 1;
+    /** Virtual-time budget; a run past this reports non-convergence. */
+    sim::SimTime limitNs = sim::nsFromSec(600.0);
+    TopologySimConfig simConfig;
+};
+
+/**
+ * The deterministic prefix originated by @p node as its @p index-th
+ * route: (100 + index).(node / 256).(node % 256).0/24. Valid for
+ * index < 156 and node < 65536.
+ */
+net::Prefix scenarioPrefix(size_t node, size_t index);
+
+/**
+ * Bring all sessions up, then originate every node's prefixes and
+ * measure the time until the network is quiet.
+ */
+ConvergenceReport runAnnounceScenario(Topology topology,
+                                      const std::string &shape,
+                                      const ScenarioOptions &opts = {});
+
+/**
+ * Converge fully, then fail @p link and measure re-convergence
+ * (withdrawals, path exploration, new best paths).
+ */
+ConvergenceReport runLinkFailureScenario(Topology topology,
+                                         const std::string &shape,
+                                         size_t link,
+                                         const ScenarioOptions &opts =
+                                             {});
+
+/**
+ * Converge fully, then restart @p node: its sessions drop, stay down
+ * for @p downtime, and re-establish with full-table exchanges.
+ */
+ConvergenceReport runRouterRebootScenario(Topology topology,
+                                          const std::string &shape,
+                                          size_t node,
+                                          sim::SimTime downtime,
+                                          const ScenarioOptions &opts =
+                                              {});
+
+namespace demo
+{
+
+/**
+ * The four-AS policy demonstration network of the bgp_network
+ * example: a customer dual-homed to two ISPs that both reach a
+ * backbone.
+ *
+ *     customer (AS100) ---- isp-a (AS200) ---- backbone (AS400)
+ *            \---- isp-b (AS300) ----/
+ *
+ * Policies: the customer prefers isp-a via LOCAL_PREF 200; isp-b
+ * prepends twice toward the backbone (making itself a path of last
+ * resort); the backbone filters martian prefixes from both ISPs.
+ * The backbone originates two service prefixes, the customer its own
+ * block, and isp-b a martian that the filter must stop.
+ */
+struct FourAsNetwork
+{
+    Topology topology;
+    size_t customer = 0;
+    size_t ispA = 1;
+    size_t ispB = 2;
+    size_t backbone = 3;
+    /** The customer/isp-a link whose failure forces the backup path. */
+    size_t customerIspALink = 0;
+    net::Prefix customerPrefix;
+    net::Prefix backbonePrefix;
+    net::Prefix backboneSecondaryPrefix;
+    net::Prefix martianPrefix;
+};
+
+FourAsNetwork fourAsPolicyTopology();
+
+/** Originate the demo's prefixes on @p sim at time @p at. */
+void originateDemoRoutes(TopologySim &sim, const FourAsNetwork &net,
+                         sim::SimTime at);
+
+} // namespace demo
+
+} // namespace bgpbench::topo
+
+#endif // BGPBENCH_TOPO_SCENARIOS_HH

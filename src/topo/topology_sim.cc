@@ -1,0 +1,415 @@
+#include "topo/topology_sim.hh"
+
+#include <algorithm>
+#include <queue>
+
+#include "net/logging.hh"
+
+namespace bgpbench::topo
+{
+
+/** SpeakerEvents adapter attributing callbacks to one node. */
+struct TopologySim::NodeEvents : public bgp::SpeakerEvents
+{
+    TopologySim *sim = nullptr;
+    size_t node = 0;
+
+    void
+    onTransmit(bgp::PeerId to, bgp::MessageType type,
+               std::vector<uint8_t> wire, size_t transactions) override
+    {
+        sim->transmitFrom(node, to, type, std::move(wire),
+                          transactions);
+    }
+
+    void
+    onUpdateProcessed(bgp::PeerId from,
+                      const bgp::UpdateStats &stats) override
+    {
+        (void)from;
+        sim->tracker_.onUpdateProcessed(node, stats,
+                                        sim->sim_.now());
+    }
+
+    void
+    onSessionStateChange(bgp::PeerId peer, bgp::SessionState previous,
+                         bgp::SessionState current) override
+    {
+        (void)peer;
+        (void)previous;
+        (void)current;
+        sim->tracker_.onSessionChange(node, sim->sim_.now());
+    }
+};
+
+TopologySim::TopologySim(Topology topology, TopologySimConfig config)
+    : topo_(std::move(topology)), config_(config)
+{
+    if (topo_.nodeCount() == 0)
+        fatal("topology simulation needs at least one node");
+
+    links_.resize(topo_.linkCount());
+    cpuFreeAt_.assign(topo_.nodeCount(), 0);
+
+    for (size_t i = 0; i < topo_.nodeCount(); ++i) {
+        const NodeConfig &node = topo_.node(i);
+        auto events = std::make_unique<NodeEvents>();
+        events->sim = this;
+        events->node = i;
+
+        bgp::SpeakerConfig speaker_config;
+        speaker_config.localAs = node.asn;
+        speaker_config.routerId = node.routerId;
+        speaker_config.localAddress = node.address;
+        auto speaker = std::make_unique<bgp::BgpSpeaker>(
+            speaker_config, events.get());
+
+        events_.push_back(std::move(events));
+        speakers_.push_back(std::move(speaker));
+    }
+
+    for (size_t l = 0; l < topo_.linkCount(); ++l) {
+        const Link &link = topo_.link(l);
+        auto add_peer = [&](const LinkEnd &self,
+                            const LinkEnd &other) {
+            bgp::PeerConfig peer;
+            peer.id = bgp::PeerId(l);
+            peer.asn = topo_.node(other.node).asn;
+            peer.address = topo_.node(other.node).address;
+            peer.importPolicy = self.importPolicy;
+            peer.exportPolicy = self.exportPolicy;
+            speakers_[self.node]->addPeer(std::move(peer));
+        };
+        add_peer(link.a, link.b);
+        add_peer(link.b, link.a);
+    }
+
+    if (config_.establishAtStart) {
+        for (size_t l = 0; l < topo_.linkCount(); ++l)
+            sim_.schedule(0, [this, l]() { establishLink(l); });
+    }
+}
+
+TopologySim::~TopologySim() = default;
+
+bgp::BgpSpeaker &
+TopologySim::speaker(size_t node)
+{
+    if (node >= speakers_.size())
+        fatal("unknown node index " + std::to_string(node));
+    return *speakers_[node];
+}
+
+const bgp::BgpSpeaker &
+TopologySim::speaker(size_t node) const
+{
+    if (node >= speakers_.size())
+        fatal("unknown node index " + std::to_string(node));
+    return *speakers_[node];
+}
+
+bool
+TopologySim::linkUp(size_t link) const
+{
+    if (link >= links_.size())
+        fatal("unknown link index " + std::to_string(link));
+    return links_[link].up;
+}
+
+void
+TopologySim::establishLink(size_t l)
+{
+    if (!links_[l].up)
+        return;
+    const Link &link = topo_.link(l);
+    sim::SimTime now = sim_.now();
+    for (size_t node : {link.a.node, link.b.node}) {
+        speakers_[node]->startPeer(bgp::PeerId(l), now);
+        speakers_[node]->tcpEstablished(bgp::PeerId(l), now);
+    }
+}
+
+void
+TopologySim::closeLink(size_t l)
+{
+    ++links_[l].epoch;
+    const Link &link = topo_.link(l);
+    sim::SimTime now = sim_.now();
+    for (size_t node : {link.a.node, link.b.node})
+        speakers_[node]->tcpClosed(bgp::PeerId(l), now);
+}
+
+void
+TopologySim::transmitFrom(size_t node, bgp::PeerId peer,
+                          bgp::MessageType type,
+                          std::vector<uint8_t> wire,
+                          size_t transactions)
+{
+    size_t l = peer;
+    if (l >= links_.size())
+        panic("transmit on unknown link");
+    LinkState &state = links_[l];
+    if (!state.up) {
+        tracker_.onSegmentDropped();
+        return;
+    }
+
+    const Link &link = topo_.link(l);
+    size_t dir = node == link.a.node ? 0 : 1;
+    size_t dst = dir == 0 ? link.b.node : link.a.node;
+
+    // Serialise onto the link, then propagate. The per-direction
+    // cursor keeps deliveries FIFO (TCP ordering) and models the
+    // link as busy while a segment is on the wire.
+    sim::SimTime ser_ns = 0;
+    if (link.bandwidthMbps > 0) {
+        ser_ns = sim::SimTime(double(wire.size()) * 8.0 * 1000.0 /
+                              link.bandwidthMbps);
+    }
+    sim::SimTime start = std::max(sim_.now(), state.busyUntil[dir]);
+    state.busyUntil[dir] = start + ser_ns;
+    sim::SimTime arrival = start + ser_ns + link.latencyNs;
+
+    uint64_t epoch = state.epoch;
+    sim_.schedule(arrival, [this, l, epoch, dst,
+                            wire = std::move(wire), type,
+                            transactions]() mutable {
+        arrive(l, epoch, dst, std::move(wire), type, transactions);
+    });
+}
+
+void
+TopologySim::arrive(size_t l, uint64_t epoch, size_t dst,
+                    std::vector<uint8_t> wire, bgp::MessageType type,
+                    size_t transactions)
+{
+    LinkState &state = links_[l];
+    if (!state.up || state.epoch != epoch) {
+        tracker_.onSegmentDropped();
+        return;
+    }
+
+    // Charge the receiving router's cost model: parse cycles plus
+    // the per-prefix decision work the UPDATE will trigger, at this
+    // node's clock rate, serialised on its single control CPU. The
+    // announce cost approximates both announce and withdraw work.
+    sim::SimTime cost_ns = 0;
+    if (config_.chargeProcessingCost) {
+        const router::SystemProfile &profile = topo_.node(dst).profile;
+        double cycles = profile.costs.msgParse +
+                        profile.costs.msgPerByte * double(wire.size());
+        if (type == bgp::MessageType::Update) {
+            cycles += profile.costs.announcePrefix *
+                      double(transactions);
+        }
+        cost_ns = sim::SimTime(cycles /
+                               profile.cpu.cyclesPerSecond * 1e9) +
+                  profile.costs.msgGateNs;
+    }
+    sim::SimTime begin = std::max(sim_.now(), cpuFreeAt_[dst]);
+    sim::SimTime done = begin + cost_ns;
+    cpuFreeAt_[dst] = done;
+
+    sim_.schedule(done, [this, l, epoch, dst,
+                         wire = std::move(wire), type]() {
+        deliver(l, epoch, dst, wire, type);
+    });
+}
+
+void
+TopologySim::deliver(size_t l, uint64_t epoch, size_t dst,
+                     const std::vector<uint8_t> &wire,
+                     bgp::MessageType type)
+{
+    LinkState &state = links_[l];
+    if (!state.up || state.epoch != epoch) {
+        tracker_.onSegmentDropped();
+        return;
+    }
+
+    if (type == bgp::MessageType::Update) {
+        // Decode once more for the tracker's path-exploration
+        // accounting; this is host work, not simulated cycles.
+        bgp::DecodeError error;
+        auto msg = bgp::decodeMessage(wire, error);
+        if (msg && messageType(*msg) == bgp::MessageType::Update) {
+            tracker_.onUpdateDelivered(
+                dst, std::get<bgp::UpdateMessage>(*msg), sim_.now());
+        }
+    }
+
+    speakers_[dst]->receiveBytes(bgp::PeerId(l), wire, sim_.now());
+}
+
+void
+TopologySim::originate(size_t node, const net::Prefix &prefix,
+                       sim::SimTime at)
+{
+    if (node >= speakers_.size())
+        fatal("unknown node index " + std::to_string(node));
+    originated_.emplace_back(node, prefix);
+    net::Ipv4Address next_hop = topo_.node(node).address;
+    sim_.schedule(at, [this, node, prefix, next_hop]() {
+        bgp::PathAttributes attrs;
+        attrs.nextHop = next_hop;
+        speakers_[node]->originate(prefix,
+                                  bgp::makeAttributes(std::move(attrs)),
+                                  sim_.now());
+    });
+}
+
+void
+TopologySim::withdrawLocal(size_t node, const net::Prefix &prefix,
+                           sim::SimTime at)
+{
+    if (node >= speakers_.size())
+        fatal("unknown node index " + std::to_string(node));
+    sim_.schedule(at, [this, node, prefix]() {
+        speakers_[node]->withdrawLocal(prefix, sim_.now());
+        auto it = std::find(originated_.begin(), originated_.end(),
+                            std::make_pair(node, prefix));
+        if (it != originated_.end())
+            originated_.erase(it);
+    });
+}
+
+void
+TopologySim::scheduleLinkDown(size_t link, sim::SimTime at)
+{
+    if (link >= links_.size())
+        fatal("unknown link index " + std::to_string(link));
+    sim_.schedule(at, [this, link]() {
+        if (!links_[link].up)
+            return;
+        links_[link].up = false;
+        closeLink(link);
+    });
+}
+
+void
+TopologySim::scheduleLinkUp(size_t link, sim::SimTime at)
+{
+    if (link >= links_.size())
+        fatal("unknown link index " + std::to_string(link));
+    sim_.schedule(at, [this, link]() {
+        if (links_[link].up)
+            return;
+        links_[link].up = true;
+        links_[link].busyUntil[0] = sim_.now();
+        links_[link].busyUntil[1] = sim_.now();
+        establishLink(link);
+    });
+}
+
+void
+TopologySim::scheduleSessionReset(size_t link, sim::SimTime at)
+{
+    if (link >= links_.size())
+        fatal("unknown link index " + std::to_string(link));
+    sim_.schedule(at, [this, link]() {
+        if (!links_[link].up)
+            return;
+        closeLink(link);
+        sim_.scheduleIn(config_.reconnectDelayNs, [this, link]() {
+            establishLink(link);
+        });
+    });
+}
+
+void
+TopologySim::scheduleRouterRestart(size_t node, sim::SimTime at,
+                                   sim::SimTime downtime)
+{
+    if (node >= speakers_.size())
+        fatal("unknown node index " + std::to_string(node));
+    sim_.schedule(at, [this, node, downtime]() {
+        for (const Topology::Adjacent &adj : topo_.neighborsOf(node)) {
+            if (links_[adj.link].up)
+                closeLink(adj.link);
+        }
+        cpuFreeAt_[node] = sim_.now() + downtime;
+        sim_.scheduleIn(downtime, [this, node]() {
+            for (const Topology::Adjacent &adj :
+                 topo_.neighborsOf(node)) {
+                if (links_[adj.link].up)
+                    establishLink(adj.link);
+            }
+        });
+    });
+}
+
+bool
+TopologySim::runToConvergence(sim::SimTime limit)
+{
+    while (true) {
+        sim::SimTime next = sim_.nextEventTime();
+        if (next == sim::simTimeNever)
+            return true;
+        if (next > limit)
+            return false;
+        sim_.step();
+    }
+}
+
+bool
+TopologySim::locRibsConsistent() const
+{
+    for (const auto &[origin, prefix] : originated_) {
+        // BFS over up links from the origin; every reached router
+        // must hold the prefix.
+        std::vector<bool> seen(topo_.nodeCount(), false);
+        std::queue<size_t> frontier;
+        seen[origin] = true;
+        frontier.push(origin);
+        while (!frontier.empty()) {
+            size_t at = frontier.front();
+            frontier.pop();
+            if (!speakers_[at]->locRib().find(prefix))
+                return false;
+            for (const Topology::Adjacent &adj :
+                 topo_.neighborsOf(at)) {
+                if (links_[adj.link].up && !seen[adj.node]) {
+                    seen[adj.node] = true;
+                    frontier.push(adj.node);
+                }
+            }
+        }
+    }
+    return true;
+}
+
+ConvergenceReport
+TopologySim::report(const std::string &scenario,
+                    const std::string &shape) const
+{
+    ConvergenceReport out;
+    out.scenario = scenario;
+    out.shape = shape;
+    out.nodes = topo_.nodeCount();
+    out.links = topo_.linkCount();
+    out.converged = sim_.pendingEvents() == 0;
+    out.convergenceTimeSec = tracker_.convergenceTimeSec();
+    out.totalUpdates = tracker_.updatesDelivered();
+    out.totalTransactions = tracker_.transactionsDelivered();
+    out.droppedSegments = tracker_.droppedSegments();
+    out.pathExplorationMax = tracker_.maxPathsExplored();
+    out.pathExplorationMean = tracker_.meanPathsExplored();
+
+    for (size_t i = 0; i < topo_.nodeCount(); ++i) {
+        const bgp::SpeakerCounters &counters =
+            speakers_[i]->counters();
+        RouterReport router;
+        router.name = topo_.node(i).name;
+        router.updatesReceived = counters.updatesReceived;
+        router.updatesSent = counters.updatesSent;
+        router.transactions = counters.transactionsProcessed();
+        router.tps = out.convergenceTimeSec > 0
+                         ? double(router.transactions) /
+                               out.convergenceTimeSec
+                         : 0.0;
+        out.routers.push_back(std::move(router));
+    }
+    return out;
+}
+
+} // namespace bgpbench::topo

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * TopologySim: N full BgpSpeaker instances wired into a Topology on
+ * top of the deterministic discrete-event simulator.
+ *
+ * Each node owns a real BgpSpeaker; its SpeakerEvents::onTransmit is
+ * bridged into simulated link delivery: a transmitted segment is
+ * serialised onto the link (bytes / bandwidth), propagates for the
+ * link latency, and is then charged against the receiving router's
+ * SystemProfile cost model (message parse + per-byte + per-prefix
+ * decision cycles at that node's clock rate, plus the commercial
+ * router's per-message gate) before receiveBytes() runs. Per-link
+ * FIFO ordering models TCP; a per-node "CPU busy until" scalar
+ * serialises control-plane processing the way a single control CPU
+ * would.
+ *
+ * Faults are scheduled into the same event queue: link down/up,
+ * session reset, and whole-router restart. A link carries an epoch
+ * counter; segments in flight across a down or reset are dropped,
+ * exactly as a TCP connection teardown loses unacknowledged data.
+ *
+ * The run is fully deterministic: equal topologies, schedules, and
+ * seeds produce byte-identical convergence reports.
+ */
+
+#ifndef BGPBENCH_TOPO_TOPOLOGY_SIM_HH
+#define BGPBENCH_TOPO_TOPOLOGY_SIM_HH
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "bgp/speaker.hh"
+#include "sim/event_queue.hh"
+#include "topo/convergence.hh"
+#include "topo/topology.hh"
+
+namespace bgpbench::topo
+{
+
+/** Runtime knobs of a topology simulation. */
+struct TopologySimConfig
+{
+    /** Bring every link's session up at t = 0. */
+    bool establishAtStart = true;
+    /** Delay before a reset or re-enabled session reconnects. */
+    sim::SimTime reconnectDelayNs = sim::nsFromMs(10);
+    /**
+     * Charge the per-node SystemProfile costs for inbound message
+     * processing. Disable for pure protocol-behaviour tests where
+     * virtual CPU time is irrelevant.
+     */
+    bool chargeProcessingCost = true;
+};
+
+/**
+ * Owns the simulator, the speakers, and the link plumbing for one
+ * topology, and scripts scenarios against them.
+ *
+ * Peer-id convention: on every node, the peer id of a session equals
+ * the global index of the link carrying it. Link indexes are unique
+ * per topology and each link touches a node at most once, so the ids
+ * never collide.
+ */
+class TopologySim
+{
+  public:
+    explicit TopologySim(Topology topology,
+                         TopologySimConfig config = {});
+    ~TopologySim();
+
+    TopologySim(const TopologySim &) = delete;
+    TopologySim &operator=(const TopologySim &) = delete;
+
+    const Topology &topology() const { return topo_; }
+    sim::Simulator &simulator() { return sim_; }
+    const sim::Simulator &simulator() const { return sim_; }
+    bgp::BgpSpeaker &speaker(size_t node);
+    const bgp::BgpSpeaker &speaker(size_t node) const;
+    ConvergenceTracker &tracker() { return tracker_; }
+    const ConvergenceTracker &tracker() const { return tracker_; }
+
+    /** @name Scenario scripting
+     *  All schedule work at absolute simulated time @p at (>= now).
+     *  @{
+     */
+    /** Originate @p prefix at @p node (NEXT_HOP = node address). */
+    void originate(size_t node, const net::Prefix &prefix,
+                   sim::SimTime at);
+    /** Withdraw a locally originated prefix. */
+    void withdrawLocal(size_t node, const net::Prefix &prefix,
+                       sim::SimTime at);
+    /** Take a link down: sessions drop, in-flight segments are lost. */
+    void scheduleLinkDown(size_t link, sim::SimTime at);
+    /** Bring a downed link back; sessions re-establish. */
+    void scheduleLinkUp(size_t link, sim::SimTime at);
+    /** Reset the session on @p link; reconnects after the delay. */
+    void scheduleSessionReset(size_t link, sim::SimTime at);
+    /**
+     * Restart a router: every incident session drops at @p at and
+     * re-establishes at @p at + @p downtime. Locally originated
+     * routes survive (they are configuration); learned routes are
+     * re-learned from the full-table exchange on reconnect.
+     */
+    void scheduleRouterRestart(size_t node, sim::SimTime at,
+                               sim::SimTime downtime);
+    /** @} */
+
+    /**
+     * Run until the event queue is quiescent (converged) or the
+     * clock would pass @p limit.
+     *
+     * @return True if the network converged within the limit.
+     */
+    bool runToConvergence(sim::SimTime limit);
+
+    /**
+     * Semantic convergence check: every originated prefix is present
+     * in the Loc-RIB of every router reachable from its origin over
+     * currently-up links.
+     */
+    bool locRibsConsistent() const;
+
+    bool linkUp(size_t link) const;
+
+    /** Locally originated (node, prefix) pairs, in origination order. */
+    const std::vector<std::pair<size_t, net::Prefix>> &
+    originated() const
+    {
+        return originated_;
+    }
+
+    /** Build the convergence report for the current tracker phase. */
+    ConvergenceReport report(const std::string &scenario,
+                             const std::string &shape) const;
+
+  private:
+    struct NodeEvents;
+
+    struct LinkState
+    {
+        bool up = true;
+        /** Bumped on down/reset; stale segments are dropped. */
+        uint64_t epoch = 0;
+        /** Per-direction serialisation cursor (a->b, b->a). */
+        sim::SimTime busyUntil[2] = {0, 0};
+    };
+
+    /** Start both ends of @p link connecting (OPEN exchange). */
+    void establishLink(size_t link);
+    /** Drop both ends' sessions and invalidate in-flight segments. */
+    void closeLink(size_t link);
+    /** SpeakerEvents::onTransmit bridge. */
+    void transmitFrom(size_t node, bgp::PeerId peer,
+                      bgp::MessageType type,
+                      std::vector<uint8_t> wire, size_t transactions);
+    /** Segment reached the far end; queue CPU processing. */
+    void arrive(size_t link, uint64_t epoch, size_t dst,
+                std::vector<uint8_t> wire, bgp::MessageType type,
+                size_t transactions);
+    /** CPU processing done; deliver to the speaker. */
+    void deliver(size_t link, uint64_t epoch, size_t dst,
+                 const std::vector<uint8_t> &wire,
+                 bgp::MessageType type);
+
+    Topology topo_;
+    TopologySimConfig config_;
+    sim::Simulator sim_;
+    std::vector<std::unique_ptr<NodeEvents>> events_;
+    std::vector<std::unique_ptr<bgp::BgpSpeaker>> speakers_;
+    std::vector<LinkState> links_;
+    /** Control CPU availability per node (single control thread). */
+    std::vector<sim::SimTime> cpuFreeAt_;
+    std::vector<std::pair<size_t, net::Prefix>> originated_;
+    ConvergenceTracker tracker_;
+};
+
+} // namespace bgpbench::topo
+
+#endif // BGPBENCH_TOPO_TOPOLOGY_SIM_HH

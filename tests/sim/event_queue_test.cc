@@ -99,6 +99,27 @@ TEST(Simulator, ScheduleEveryRepeatsUntilFalse)
     EXPECT_EQ(sim.now(), 400u);
 }
 
+TEST(Simulator, ScheduleEveryStaysOnPeriodGrid)
+{
+    // Regression test for periodic-timer drift: every firing must
+    // land on an exact multiple of the period, even when the handler
+    // schedules other work between firings. A drifting
+    // implementation (anchoring on anything but the firing time)
+    // would accumulate offset over many periods.
+    Simulator sim;
+    std::vector<SimTime> firings;
+    int count = 0;
+    sim.scheduleEvery(7, [&]() {
+        firings.push_back(sim.now());
+        sim.scheduleIn(3, []() {});
+        return ++count < 1000;
+    });
+    sim.runUntilIdle();
+    ASSERT_EQ(firings.size(), 1000u);
+    for (size_t i = 0; i < firings.size(); ++i)
+        EXPECT_EQ(firings[i], 7u * (i + 1));
+}
+
 TEST(Simulator, ScheduleEveryZeroPeriodPanics)
 {
     Simulator sim;

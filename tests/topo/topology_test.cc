@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Tests for the topology graph model and its generators.
+ */
+
+#include <gtest/gtest.h>
+
+#include "net/logging.hh"
+#include "topo/topology.hh"
+
+using namespace bgpbench;
+using topo::GenOptions;
+using topo::Topology;
+
+TEST(Topology, LineShape)
+{
+    Topology topo = Topology::line(4);
+    EXPECT_EQ(topo.nodeCount(), 4u);
+    EXPECT_EQ(topo.linkCount(), 3u);
+    EXPECT_TRUE(topo.connected());
+    EXPECT_EQ(topo.neighborsOf(0).size(), 1u);
+    EXPECT_EQ(topo.neighborsOf(1).size(), 2u);
+    // One AS per node by default, so every link is eBGP.
+    for (size_t l = 0; l < topo.linkCount(); ++l)
+        EXPECT_FALSE(topo.isIbgp(l));
+}
+
+TEST(Topology, RingShape)
+{
+    Topology topo = Topology::ring(5);
+    EXPECT_EQ(topo.nodeCount(), 5u);
+    EXPECT_EQ(topo.linkCount(), 5u);
+    EXPECT_TRUE(topo.connected());
+    for (size_t i = 0; i < 5; ++i)
+        EXPECT_EQ(topo.neighborsOf(i).size(), 2u);
+}
+
+TEST(Topology, StarShape)
+{
+    Topology topo = Topology::star(6);
+    EXPECT_EQ(topo.linkCount(), 5u);
+    EXPECT_EQ(topo.neighborsOf(0).size(), 5u);
+    for (size_t i = 1; i < 6; ++i)
+        EXPECT_EQ(topo.neighborsOf(i).size(), 1u);
+}
+
+TEST(Topology, FullMeshShape)
+{
+    Topology topo = Topology::fullMesh(5);
+    EXPECT_EQ(topo.linkCount(), 10u);
+    EXPECT_TRUE(topo.connected());
+    for (size_t i = 0; i < 5; ++i)
+        EXPECT_EQ(topo.neighborsOf(i).size(), 4u);
+}
+
+TEST(Topology, DefaultNodeNumbering)
+{
+    GenOptions opts;
+    opts.firstAs = 500;
+    Topology topo = Topology::line(3, opts);
+    EXPECT_EQ(topo.node(0).asn, 500);
+    EXPECT_EQ(topo.node(2).asn, 502);
+    EXPECT_EQ(topo.node(1).name, "r1");
+    EXPECT_EQ(topo.node(1).routerId, 2u);
+    EXPECT_NE(topo.node(0).address, topo.node(1).address);
+}
+
+TEST(Topology, IbgpDerivedFromAsNumbers)
+{
+    Topology topo = Topology::line(3);
+    topo.node(1).asn = topo.node(0).asn;
+    EXPECT_TRUE(topo.isIbgp(0));
+    EXPECT_FALSE(topo.isIbgp(1));
+}
+
+TEST(Topology, BarabasiAlbertProperties)
+{
+    Topology topo = Topology::barabasiAlbert(30, 2, 7);
+    EXPECT_EQ(topo.nodeCount(), 30u);
+    // A 3-node seed line plus 2 links per further node.
+    EXPECT_EQ(topo.linkCount(), 2u + 27u * 2u);
+    EXPECT_TRUE(topo.connected());
+    for (size_t i = 0; i < 30; ++i)
+        EXPECT_GE(topo.neighborsOf(i).size(), 1u);
+}
+
+TEST(Topology, BarabasiAlbertDeterministicPerSeed)
+{
+    Topology a = Topology::barabasiAlbert(25, 2, 7);
+    Topology b = Topology::barabasiAlbert(25, 2, 7);
+    ASSERT_EQ(a.linkCount(), b.linkCount());
+    for (size_t l = 0; l < a.linkCount(); ++l) {
+        EXPECT_EQ(a.link(l).a.node, b.link(l).a.node);
+        EXPECT_EQ(a.link(l).b.node, b.link(l).b.node);
+    }
+
+    Topology c = Topology::barabasiAlbert(25, 2, 8);
+    bool differs = false;
+    for (size_t l = 0; l < a.linkCount(); ++l) {
+        differs = differs || a.link(l).a.node != c.link(l).a.node ||
+                  a.link(l).b.node != c.link(l).b.node;
+    }
+    EXPECT_TRUE(differs);
+}
+
+TEST(Topology, ValidationRejectsBadInput)
+{
+    Topology topo = Topology::line(3);
+    EXPECT_THROW(topo.addLink(0, 0, 0, 0.0), FatalError);
+    EXPECT_THROW(topo.addLink(0, 9, 0, 0.0), FatalError);
+    EXPECT_THROW(topo.node(9), FatalError);
+    EXPECT_THROW(topo.link(9), FatalError);
+
+    topo::NodeConfig bad;
+    bad.routerId = 1;
+    EXPECT_THROW(topo.addNode(bad), FatalError); // AS 0
+
+    EXPECT_THROW(Topology::line(1), FatalError);
+    EXPECT_THROW(Topology::ring(2), FatalError);
+    EXPECT_THROW(Topology::barabasiAlbert(2, 2, 1), FatalError);
+    EXPECT_THROW(Topology::barabasiAlbert(9, 0, 1), FatalError);
+}

@@ -14,6 +14,10 @@
  *   bgpbench table3 [options]
  *       All eight scenarios on all four systems (Table III).
  *
+ *   bgpbench topo --shape ring --nodes 12 [--fault link] [options]
+ *       Wire N full speakers into a topology and measure
+ *       network-wide convergence (optionally after a fault).
+ *
  * Common options:
  *   --prefixes N        routing-table size per run (default 2000)
  *   --seed N            workload seed (default 42)
@@ -33,6 +37,7 @@
 #include "core/paper_data.hh"
 #include "net/logging.hh"
 #include "stats/report.hh"
+#include "topo/scenarios.hh"
 
 using namespace bgpbench;
 
@@ -50,6 +55,15 @@ struct CliOptions
     int steps = 5;
     bool damping = false;
     bool csv = false;
+    bool json = false;
+    /** topo command. */
+    std::string shape = "ring";
+    size_t nodes = 12;
+    std::string fault = "none";
+    size_t faultLink = 0;
+    size_t faultNode = 0;
+    uint64_t downtimeMs = 50;
+    size_t prefixesPerNode = 1;
 };
 
 [[noreturn]] void
@@ -63,6 +77,7 @@ usage(int code)
         "  run                      one scenario on one system\n"
         "  sweep                    cross-traffic sweep\n"
         "  table3                   full Table III reproduction\n"
+        "  topo                     network-wide convergence\n"
         "\n"
         "options:\n"
         "  --system NAME            PentiumIII | Xeon | IXP2400 | "
@@ -74,7 +89,20 @@ usage(int code)
         "  --cross-mbps X           forwarding load during the run\n"
         "  --steps N                sweep points (default 5)\n"
         "  --damping                enable RFC 2439 flap damping\n"
-        "  --csv                    CSV output\n";
+        "  --csv                    CSV output\n"
+        "\n"
+        "topo options:\n"
+        "  --shape NAME             line | ring | star | mesh | "
+        "random\n"
+        "  --nodes N                router count (default 12)\n"
+        "  --fault KIND             none | link | reboot\n"
+        "  --link N                 link index to fail (default 0)\n"
+        "  --node N                 router index to reboot "
+        "(default 0)\n"
+        "  --downtime-ms N          reboot downtime (default 50)\n"
+        "  --prefixes-per-node N    originated per router "
+        "(default 1)\n"
+        "  --json                   JSON report output\n";
     std::exit(code);
 }
 
@@ -115,6 +143,27 @@ parseArgs(int argc, char **argv)
             options.damping = true;
         } else if (arg == "--csv") {
             options.csv = true;
+        } else if (arg == "--json") {
+            options.json = true;
+        } else if (arg == "--shape") {
+            options.shape = value();
+        } else if (arg == "--nodes") {
+            options.nodes =
+                size_t(std::strtoull(value().c_str(), nullptr, 10));
+        } else if (arg == "--fault") {
+            options.fault = value();
+        } else if (arg == "--link") {
+            options.faultLink =
+                size_t(std::strtoull(value().c_str(), nullptr, 10));
+        } else if (arg == "--node") {
+            options.faultNode =
+                size_t(std::strtoull(value().c_str(), nullptr, 10));
+        } else if (arg == "--downtime-ms") {
+            options.downtimeMs =
+                std::strtoull(value().c_str(), nullptr, 10);
+        } else if (arg == "--prefixes-per-node") {
+            options.prefixesPerNode =
+                size_t(std::strtoull(value().c_str(), nullptr, 10));
         } else if (arg == "--help" || arg == "-h") {
             usage(0);
         } else {
@@ -283,6 +332,57 @@ cmdTable3(const CliOptions &options)
     return 0;
 }
 
+topo::Topology
+topoByShape(const CliOptions &options)
+{
+    if (options.shape == "line")
+        return topo::Topology::line(options.nodes);
+    if (options.shape == "ring")
+        return topo::Topology::ring(options.nodes);
+    if (options.shape == "star")
+        return topo::Topology::star(options.nodes);
+    if (options.shape == "mesh")
+        return topo::Topology::fullMesh(options.nodes);
+    if (options.shape == "random") {
+        return topo::Topology::barabasiAlbert(options.nodes, 2,
+                                              options.seed);
+    }
+    std::cerr << "unknown shape: " << options.shape << "\n";
+    usage(2);
+}
+
+int
+cmdTopo(const CliOptions &options)
+{
+    topo::ScenarioOptions sopts;
+    sopts.prefixesPerNode = options.prefixesPerNode;
+
+    topo::ConvergenceReport report;
+    if (options.fault == "none") {
+        report = topo::runAnnounceScenario(topoByShape(options),
+                                           options.shape, sopts);
+    } else if (options.fault == "link") {
+        report = topo::runLinkFailureScenario(
+            topoByShape(options), options.shape, options.faultLink,
+            sopts);
+    } else if (options.fault == "reboot") {
+        report = topo::runRouterRebootScenario(
+            topoByShape(options), options.shape, options.faultNode,
+            sim::nsFromMs(options.downtimeMs), sopts);
+    } else {
+        std::cerr << "unknown fault: " << options.fault << "\n";
+        usage(2);
+    }
+
+    if (options.json)
+        std::cout << report.toJson() << "\n";
+    else if (options.csv)
+        report.printCsv(std::cout, true);
+    else
+        report.printText(std::cout);
+    return report.converged ? 0 : 1;
+}
+
 } // namespace
 
 int
@@ -298,6 +398,8 @@ main(int argc, char **argv)
             return cmdSweep(options);
         if (options.command == "table3")
             return cmdTable3(options);
+        if (options.command == "topo")
+            return cmdTopo(options);
         std::cerr << "unknown command: " << options.command << "\n";
         usage(2);
     } catch (const FatalError &error) {
