@@ -11,6 +11,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bgp/attr_intern.hh"
 #include "bgp/decision.hh"
 #include "bgp/message.hh"
 #include "bgp/update_builder.hh"
@@ -163,6 +164,91 @@ BM_ForwardPacket(benchmark::State &state)
     state.SetItemsProcessed(int64_t(state.iterations()));
 }
 BENCHMARK(BM_ForwardPacket);
+
+bgp::PathAttributes
+richAttributes()
+{
+    bgp::PathAttributes attrs;
+    attrs.asPath =
+        bgp::AsPath::sequence({65001, 100, 200, 300, 400, 500});
+    attrs.nextHop = net::Ipv4Address(10, 0, 1, 2);
+    attrs.med = 50;
+    attrs.communities = {0x00640001, 0x00640002, 0x00c80001};
+    return attrs;
+}
+
+/** makeAttributes() with interning off (arg 0) versus on (arg 1). */
+void
+BM_AttributeIntern(benchmark::State &state)
+{
+    auto &interner = bgp::AttributeInterner::global();
+    bool was_enabled = interner.enabled();
+    interner.setEnabled(state.range(0) != 0);
+    // Keep one canonical instance alive so the enabled path measures
+    // the steady-state hit, not repeated insert/expire churn.
+    auto canonical = bgp::makeAttributes(richAttributes());
+
+    for (auto _ : state)
+        benchmark::DoNotOptimize(bgp::makeAttributes(richAttributes()));
+    state.SetItemsProcessed(int64_t(state.iterations()));
+
+    interner.setEnabled(was_enabled);
+    benchmark::DoNotOptimize(canonical);
+}
+BENCHMARK(BM_AttributeIntern)->Arg(0)->Arg(1);
+
+/**
+ * sameAttributeValue() on two equal sets: deep comparison of distinct
+ * instances (arg 0) versus the interned pointer fast path (arg 1).
+ */
+void
+BM_AttributeEquality(benchmark::State &state)
+{
+    auto &interner = bgp::AttributeInterner::global();
+    bool was_enabled = interner.enabled();
+    interner.setEnabled(state.range(0) != 0);
+    auto a = bgp::makeAttributes(richAttributes());
+    auto b = bgp::makeAttributes(richAttributes());
+
+    for (auto _ : state)
+        benchmark::DoNotOptimize(bgp::sameAttributeValue(a, b));
+    state.SetItemsProcessed(int64_t(state.iterations()));
+
+    interner.setEnabled(was_enabled);
+}
+BENCHMARK(BM_AttributeEquality)->Arg(0)->Arg(1);
+
+/**
+ * UpdateBuilder grouping: announce 500 prefixes cycling through 8
+ * attribute sets, then build. Interning off (arg 0) exercises the
+ * hash-plus-deep-equality group lookup; on (arg 1) the pointer path.
+ */
+void
+BM_UpdateBuilderGroup(benchmark::State &state)
+{
+    auto &interner = bgp::AttributeInterner::global();
+    bool was_enabled = interner.enabled();
+    interner.setEnabled(state.range(0) != 0);
+
+    auto rs = routes(500);
+    std::vector<bgp::PathAttributesPtr> sets;
+    for (uint32_t i = 0; i < 8; ++i) {
+        bgp::PathAttributes attrs = richAttributes();
+        attrs.med = 100 + i;
+        sets.push_back(bgp::makeAttributes(std::move(attrs)));
+    }
+
+    for (auto _ : state) {
+        bgp::UpdateBuilder builder;
+        for (size_t i = 0; i < rs.size(); ++i)
+            builder.announce(rs[i].prefix, sets[i % sets.size()]);
+        benchmark::DoNotOptimize(builder.build());
+    }
+    state.SetItemsProcessed(int64_t(state.iterations()) * 500);
+
+    interner.setEnabled(was_enabled);
+}
+BENCHMARK(BM_UpdateBuilderGroup)->Arg(0)->Arg(1);
 
 void
 BM_InternetChecksum(benchmark::State &state)

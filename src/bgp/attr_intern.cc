@@ -1,0 +1,160 @@
+#include "bgp/attr_intern.hh"
+
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+namespace bgpbench::bgp
+{
+
+namespace
+{
+
+bool
+internDisabledByEnv()
+{
+    const char *value = std::getenv("BGPBENCH_NO_INTERN");
+    return value && std::strcmp(value, "1") == 0;
+}
+
+} // namespace
+
+size_t
+attributesHeapBytes(const PathAttributes &attrs)
+{
+    size_t bytes = sizeof(PathAttributes);
+    bytes += attrs.asPath.segments().capacity() *
+             sizeof(AsPath::Segment);
+    for (const auto &segment : attrs.asPath.segments())
+        bytes += segment.asns.capacity() * sizeof(AsNumber);
+    bytes += attrs.communities.capacity() * sizeof(uint32_t);
+    bytes += attrs.clusterList.capacity() * sizeof(uint32_t);
+    return bytes;
+}
+
+AttributeInterner::AttributeInterner()
+    : enabled_(!internDisabledByEnv())
+{}
+
+AttributeInterner &
+AttributeInterner::global()
+{
+    static AttributeInterner interner;
+    return interner;
+}
+
+PathAttributesPtr
+AttributeInterner::intern(PathAttributes attrs)
+{
+    if (!enabled_) {
+        return std::make_shared<const PathAttributes>(
+            std::move(attrs));
+    }
+
+    ++lookups_;
+    uint64_t hash = attrs.hash();
+    auto &bucket = table_[hash];
+    for (auto it = bucket.begin(); it != bucket.end();) {
+        if (auto canonical = it->lock()) {
+            if (*canonical == attrs) {
+                ++hits_;
+                bytesDeduplicated_ += attributesHeapBytes(attrs);
+                return canonical;
+            }
+            ++it;
+        } else {
+            // Lazy reclamation of slots whose set died.
+            it = bucket.erase(it);
+            --tracked_;
+        }
+    }
+
+    ++misses_;
+    auto canonical =
+        std::make_shared<PathAttributes>(std::move(attrs));
+    canonical->interned_ = true;
+    bucket.emplace_back(canonical);
+    ++tracked_;
+    maybeSweep();
+    return canonical;
+}
+
+size_t
+AttributeInterner::sweepExpired()
+{
+    size_t reclaimed = 0;
+    for (auto it = table_.begin(); it != table_.end();) {
+        auto &bucket = it->second;
+        for (auto slot = bucket.begin(); slot != bucket.end();) {
+            if (slot->expired()) {
+                slot = bucket.erase(slot);
+                ++reclaimed;
+            } else {
+                ++slot;
+            }
+        }
+        if (bucket.empty())
+            it = table_.erase(it);
+        else
+            ++it;
+    }
+    tracked_ -= reclaimed;
+    ++sweeps_;
+    return reclaimed;
+}
+
+void
+AttributeInterner::maybeSweep()
+{
+    if (tracked_ < sweepThreshold_)
+        return;
+    sweepExpired();
+    // Re-arm so the next sweep happens once the table doubles again;
+    // total sweep work stays linear in the number of insertions.
+    sweepThreshold_ = std::max<size_t>(1024, tracked_ * 2);
+}
+
+void
+AttributeInterner::clear()
+{
+    for (auto &[hash, bucket] : table_) {
+        for (auto &slot : bucket) {
+            if (auto canonical = slot.lock())
+                canonical->interned_ = false;
+        }
+    }
+    table_.clear();
+    tracked_ = 0;
+    sweepThreshold_ = 1024;
+}
+
+AttributeInterner::Stats
+AttributeInterner::stats() const
+{
+    Stats s;
+    s.lookups = lookups_;
+    s.hits = hits_;
+    s.misses = misses_;
+    s.sweeps = sweeps_;
+    s.bytesDeduplicated = bytesDeduplicated_;
+    s.trackedSets = tracked_;
+    for (const auto &[hash, bucket] : table_) {
+        for (const auto &slot : bucket) {
+            if (!slot.expired())
+                ++s.liveSets;
+        }
+    }
+    return s;
+}
+
+void
+AttributeInterner::resetStats()
+{
+    lookups_ = 0;
+    hits_ = 0;
+    misses_ = 0;
+    sweeps_ = 0;
+    bytesDeduplicated_ = 0;
+}
+
+} // namespace bgpbench::bgp

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Hash-consing of path attribute sets.
+ *
+ * Millions of prefixes share a few thousand distinct attribute sets
+ * (the insight production stacks exploit: Quagga's attr_intern, BIRD's
+ * rta cache). The AttributeInterner canonicalises every PathAttributes
+ * built through makeAttributes() to a single shared instance keyed by
+ * its content hash, so attribute equality anywhere downstream — the
+ * three RIBs, outbound update grouping, export memoisation — becomes a
+ * pointer comparison instead of a deep structural compare.
+ *
+ * The interner holds only weak references: an attribute set whose last
+ * route dies is freed normally and its table slot is reclaimed lazily
+ * (on bucket collisions) and in bulk by amortised sweeps, so session
+ * resets cannot grow the table without bound.
+ *
+ * The process-global interner matches the single-threaded discrete-
+ * event design of the rest of the library; no locking is performed.
+ * The BGPBENCH_NO_INTERN=1 environment variable (or setEnabled(false))
+ * disables canonicalisation for ablation runs; all consumers fall back
+ * to hash-guarded deep comparison and remain correct.
+ */
+
+#ifndef BGPBENCH_BGP_ATTR_INTERN_HH
+#define BGPBENCH_BGP_ATTR_INTERN_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "bgp/path_attributes.hh"
+
+namespace bgpbench::bgp
+{
+
+/**
+ * Weak-reference hash-consing table for PathAttributes.
+ *
+ * All attribute construction funnels through makeAttributes(), which
+ * consults the global() instance; separate instances exist only for
+ * tests.
+ */
+class AttributeInterner
+{
+  public:
+    /** Lifetime counters plus a table snapshot. */
+    struct Stats
+    {
+        /** intern() calls while enabled. */
+        uint64_t lookups = 0;
+        /** Lookups that returned an existing canonical instance. */
+        uint64_t hits = 0;
+        /** Lookups that created a new canonical instance. */
+        uint64_t misses = 0;
+        /** Bulk sweeps of expired table slots. */
+        uint64_t sweeps = 0;
+        /**
+         * Approximate heap bytes the hits avoided allocating (the
+         * duplicate PathAttributes block plus its vector payloads).
+         */
+        uint64_t bytesDeduplicated = 0;
+        /** Canonical sets currently alive (referenced by a route). */
+        size_t liveSets = 0;
+        /** Table slots, including not-yet-swept expired ones. */
+        size_t trackedSets = 0;
+
+        double
+        hitRatio() const
+        {
+            return lookups ? double(hits) / double(lookups) : 0.0;
+        }
+    };
+
+    AttributeInterner();
+
+    /**
+     * Canonicalise @p attrs: return the shared instance equal to it,
+     * creating one if none is alive. When disabled, simply wraps
+     * @p attrs in a fresh (non-canonical) shared instance.
+     */
+    PathAttributesPtr intern(PathAttributes attrs);
+
+    bool enabled() const { return enabled_; }
+
+    /**
+     * Enable/disable canonicalisation. Existing canonical instances
+     * stay valid (and marked interned) either way; consumers only
+     * lose the guarantee that *new* equal sets share a pointer.
+     */
+    void setEnabled(bool enabled) { enabled_ = enabled; }
+
+    /**
+     * Drop expired table slots.
+     * @return Number of slots reclaimed.
+     */
+    size_t sweepExpired();
+
+    /**
+     * Forget every tracked set. Surviving instances are unmarked as
+     * interned first so stale pointer-identity shortcuts cannot
+     * misfire against sets interned later. Test/ablation use only.
+     */
+    void clear();
+
+    /** Counters plus a fresh live/tracked census of the table. */
+    Stats stats() const;
+
+    /** Zero the lifetime counters (table contents are kept). */
+    void resetStats();
+
+    /** The process-wide interner used by makeAttributes(). */
+    static AttributeInterner &global();
+
+  private:
+    void maybeSweep();
+
+    /** Content hash -> weak refs to canonical instances. */
+    std::unordered_map<uint64_t,
+                       std::vector<std::weak_ptr<const PathAttributes>>>
+        table_;
+    /** Total table slots, kept incrementally. */
+    size_t tracked_ = 0;
+    /** Sweep when tracked_ reaches this; doubles with live size. */
+    size_t sweepThreshold_ = 1024;
+    bool enabled_ = true;
+
+    uint64_t lookups_ = 0;
+    uint64_t hits_ = 0;
+    uint64_t misses_ = 0;
+    uint64_t sweeps_ = 0;
+    uint64_t bytesDeduplicated_ = 0;
+};
+
+/** Approximate heap footprint of one attribute set (for dedup stats). */
+size_t attributesHeapBytes(const PathAttributes &attrs);
+
+} // namespace bgpbench::bgp
+
+#endif // BGPBENCH_BGP_ATTR_INTERN_HH

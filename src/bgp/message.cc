@@ -71,6 +71,11 @@ std::vector<net::Prefix>
 decodeNlri(net::ByteReader &reader)
 {
     std::vector<net::Prefix> prefixes;
+    // Each encoded prefix is >= 2 octets (length byte + at least one
+    // address octet) except the rare default route, so this bound is
+    // tight for real tables and avoids the doubling reallocations a
+    // 500-prefix NLRI run would otherwise trigger.
+    prefixes.reserve(reader.remaining() / 2 + 1);
     while (reader.ok() && reader.remaining() > 0) {
         uint8_t length = reader.readU8();
         if (length > 32) {

@@ -2,8 +2,74 @@
 
 #include <algorithm>
 
+#include "bgp/attr_intern.hh"
+
 namespace bgpbench::bgp
 {
+
+bool
+PathAttributes::operator==(const PathAttributes &other) const
+{
+    if (cachedHash_ != 0 && other.cachedHash_ != 0 &&
+        cachedHash_ != other.cachedHash_) {
+        return false;
+    }
+    return origin == other.origin && nextHop == other.nextHop &&
+           med == other.med && localPref == other.localPref &&
+           atomicAggregate == other.atomicAggregate &&
+           aggregator == other.aggregator &&
+           originatorId == other.originatorId &&
+           asPath == other.asPath &&
+           communities == other.communities &&
+           clusterList == other.clusterList;
+}
+
+uint64_t
+PathAttributes::hash() const
+{
+    if (cachedHash_ != 0)
+        return cachedHash_;
+
+    // FNV-1a over every field, with explicit presence markers so an
+    // absent optional cannot collide with a present zero.
+    uint64_t h = 14695981039346656037ull;
+    auto mix = [&h](uint64_t v) {
+        h ^= v;
+        h *= 1099511628211ull;
+    };
+
+    mix(uint64_t(origin));
+    for (const auto &segment : asPath.segments()) {
+        mix(uint64_t(segment.type));
+        mix(segment.asns.size());
+        for (AsNumber asn : segment.asns)
+            mix(asn);
+    }
+    mix(nextHop.toUint32());
+    mix(med.has_value());
+    mix(med.value_or(0));
+    mix(localPref.has_value());
+    mix(localPref.value_or(0));
+    mix(atomicAggregate);
+    mix(aggregator.has_value());
+    if (aggregator) {
+        mix(aggregator->asn);
+        mix(aggregator->address.toUint32());
+    }
+    mix(communities.size());
+    for (uint32_t community : communities)
+        mix(community);
+    mix(originatorId.has_value());
+    mix(originatorId.value_or(0));
+    mix(clusterList.size());
+    for (uint32_t cluster : clusterList)
+        mix(cluster);
+
+    if (h == 0)
+        h = 0x9e3779b97f4a7c15ull;
+    cachedHash_ = h;
+    return h;
+}
 
 namespace
 {
@@ -288,6 +354,8 @@ PathAttributes::decode(net::ByteReader &reader, DecodeError &error)
                 return fail(UpdateSubcode::OptionalAttributeError,
                             "COMMUNITY length");
             }
+            attrs.communities.reserve(attrs.communities.size() +
+                                      length / 4);
             for (size_t i = 0; i < length / 4; ++i)
                 attrs.communities.push_back(value.readU32());
             std::sort(attrs.communities.begin(),
@@ -315,6 +383,8 @@ PathAttributes::decode(net::ByteReader &reader, DecodeError &error)
                 return fail(UpdateSubcode::AttributeLengthError,
                             "CLUSTER_LIST length");
             }
+            attrs.clusterList.reserve(attrs.clusterList.size() +
+                                      length / 4);
             for (size_t i = 0; i < length / 4; ++i)
                 attrs.clusterList.push_back(value.readU32());
             break;
@@ -363,7 +433,7 @@ PathAttributes::toString() const
 PathAttributesPtr
 makeAttributes(PathAttributes attrs)
 {
-    return std::make_shared<const PathAttributes>(std::move(attrs));
+    return AttributeInterner::global().intern(std::move(attrs));
 }
 
 } // namespace bgpbench::bgp

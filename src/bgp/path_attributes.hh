@@ -71,7 +71,25 @@ struct PathAttributes
     /** RFC 4456: cluster ids the route was reflected through. */
     std::vector<uint32_t> clusterList;
 
-    auto operator<=>(const PathAttributes &) const = default;
+    /**
+     * Deep structural equality over the attribute fields only (the
+     * hash cache and interning mark are excluded). Cached hashes are
+     * used as a cheap reject before the field-by-field compare.
+     */
+    bool operator==(const PathAttributes &other) const;
+
+    /**
+     * Content hash over every attribute field, computed once and
+     * cached (the struct is immutable once shared). Never zero.
+     */
+    uint64_t hash() const;
+
+    /**
+     * True if this instance is the canonical copy held by an
+     * AttributeInterner: two distinct interned instances are
+     * guaranteed to differ in value.
+     */
+    bool interned() const { return interned_; }
 
     /**
      * Encode the complete "Path Attributes" block of an UPDATE
@@ -99,13 +117,49 @@ struct PathAttributes
 
     /** Short human-readable rendering for traces. */
     std::string toString() const;
+
+  private:
+    friend class AttributeInterner;
+
+    /** Lazily computed content hash; 0 = not yet computed. */
+    mutable uint64_t cachedHash_ = 0;
+    /** Set by AttributeInterner on the canonical instance. */
+    mutable bool interned_ = false;
 };
 
 /** Routes share immutable attribute blocks. */
 using PathAttributesPtr = std::shared_ptr<const PathAttributes>;
 
-/** Build a shared attribute block. */
+/**
+ * Build a shared attribute block. Routed through the global
+ * AttributeInterner so equal-valued sets share one canonical
+ * instance (unless interning is disabled for ablation).
+ */
 PathAttributesPtr makeAttributes(PathAttributes attrs);
+
+/**
+ * Null-safe attribute equality through shared pointers — the hot
+ * comparison of the whole update pipeline (RIB change detection,
+ * outbound grouping). Pointer identity decides in O(1) for interned
+ * sets in both directions: equal pointers are equal values, and two
+ * *distinct* interned pointers are guaranteed unequal. The deep
+ * compare only runs for non-canonical instances, behind a cached-hash
+ * reject.
+ */
+inline bool
+sameAttributeValue(const PathAttributesPtr &a,
+                   const PathAttributesPtr &b)
+{
+    if (a == b)
+        return true;
+    if (!a || !b)
+        return false;
+    if (a->interned() && b->interned())
+        return false;
+    if (a->hash() != b->hash())
+        return false;
+    return *a == *b;
+}
 
 } // namespace bgpbench::bgp
 

@@ -3,29 +3,14 @@
 namespace bgpbench::bgp
 {
 
-namespace
-{
-
-/** Attribute equality through shared pointers (null-safe). */
-bool
-sameAttrs(const PathAttributesPtr &a, const PathAttributesPtr &b)
-{
-    if (a == b)
-        return true;
-    if (!a || !b)
-        return false;
-    return *a == *b;
-}
-
-} // namespace
-
 bool
 AdjRibIn::update(const net::Prefix &prefix, PathAttributesPtr received,
                  PathAttributesPtr effective)
 {
     auto [it, inserted] = routes_.try_emplace(prefix);
-    if (!inserted && sameAttrs(it->second.received, received) &&
-        sameAttrs(it->second.effective, effective)) {
+    if (!inserted &&
+        sameAttributeValue(it->second.received, received) &&
+        sameAttributeValue(it->second.effective, effective)) {
         return false;
     }
     it->second.received = std::move(received);
@@ -46,21 +31,14 @@ AdjRibIn::find(const net::Prefix &prefix) const
     return it == routes_.end() ? nullptr : &it->second;
 }
 
-void
-AdjRibIn::forEach(const std::function<void(const net::Prefix &,
-                                           const Entry &)> &fn) const
-{
-    for (const auto &[prefix, entry] : routes_)
-        fn(prefix, entry);
-}
-
 bool
 LocRib::select(const net::Prefix &prefix, Candidate best)
 {
     auto [it, inserted] = routes_.try_emplace(prefix);
     bool changed =
         inserted ||
-        !sameAttrs(it->second.best.attributes, best.attributes) ||
+        !sameAttributeValue(it->second.best.attributes,
+                            best.attributes) ||
         it->second.best.peer != best.peer;
     it->second.best = std::move(best);
     return changed;
@@ -79,19 +57,11 @@ LocRib::find(const net::Prefix &prefix) const
     return it == routes_.end() ? nullptr : &it->second;
 }
 
-void
-LocRib::forEach(const std::function<void(const net::Prefix &,
-                                         const Entry &)> &fn) const
-{
-    for (const auto &[prefix, entry] : routes_)
-        fn(prefix, entry);
-}
-
 bool
 AdjRibOut::advertise(const net::Prefix &prefix, PathAttributesPtr attrs)
 {
     auto [it, inserted] = routes_.try_emplace(prefix);
-    if (!inserted && sameAttrs(it->second, attrs))
+    if (!inserted && sameAttributeValue(it->second, attrs))
         return false;
     it->second = std::move(attrs);
     return true;
@@ -108,15 +78,6 @@ AdjRibOut::find(const net::Prefix &prefix) const
 {
     auto it = routes_.find(prefix);
     return it == routes_.end() ? nullptr : &it->second;
-}
-
-void
-AdjRibOut::forEach(
-    const std::function<void(const net::Prefix &,
-                             const PathAttributesPtr &)> &fn) const
-{
-    for (const auto &[prefix, attrs] : routes_)
-        fn(prefix, attrs);
 }
 
 } // namespace bgpbench::bgp

@@ -8,7 +8,6 @@
 #define BGPBENCH_BGP_RIB_HH
 
 #include <cstddef>
-#include <functional>
 #include <optional>
 #include <unordered_map>
 
@@ -57,9 +56,19 @@ class AdjRibIn
     bool empty() const { return routes_.empty(); }
     void clear() { routes_.clear(); }
 
-    /** Visit every entry (order unspecified). */
-    void forEach(const std::function<void(const net::Prefix &,
-                                          const Entry &)> &fn) const;
+    /**
+     * Visit every entry (order unspecified). Templated so full-table
+     * walks (advertiseFullTable, session invalidation) inline the
+     * visitor instead of paying a std::function indirect call per
+     * entry.
+     */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        for (const auto &[prefix, entry] : routes_)
+            fn(prefix, entry);
+    }
 
   private:
     std::unordered_map<net::Prefix, Entry> routes_;
@@ -95,8 +104,14 @@ class LocRib
     bool empty() const { return routes_.empty(); }
     void clear() { routes_.clear(); }
 
-    void forEach(const std::function<void(const net::Prefix &,
-                                          const Entry &)> &fn) const;
+    /** Visit every entry (order unspecified; inlined visitor). */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        for (const auto &[prefix, entry] : routes_)
+            fn(prefix, entry);
+    }
 
   private:
     std::unordered_map<net::Prefix, Entry> routes_;
@@ -130,10 +145,14 @@ class AdjRibOut
     bool empty() const { return routes_.empty(); }
     void clear() { routes_.clear(); }
 
+    /** Visit every entry (order unspecified; inlined visitor). */
+    template <typename Fn>
     void
-    forEach(const std::function<void(const net::Prefix &,
-                                     const PathAttributesPtr &)> &fn)
-        const;
+    forEach(Fn &&fn) const
+    {
+        for (const auto &[prefix, attrs] : routes_)
+            fn(prefix, attrs);
+    }
 
   private:
     std::unordered_map<net::Prefix, PathAttributesPtr> routes_;

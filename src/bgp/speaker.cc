@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "bgp/attr_intern.hh"
 #include "net/logging.hh"
 
 namespace bgpbench::bgp
@@ -118,10 +119,33 @@ BgpSpeaker::noteStateChange(Peer &peer, SessionState before,
     events_->onSessionStateChange(peer.config.id, before, after);
 
     if (after == SessionState::Established) {
+        markEstablished(peer);
         advertiseFullTable(peer, now);
     } else if (before == SessionState::Established) {
+        unmarkEstablished(peer);
         invalidatePeerRoutes(peer, now);
     }
+}
+
+void
+BgpSpeaker::markEstablished(Peer &peer)
+{
+    auto less = [](const Peer *a, const Peer *b) {
+        return a->config.id < b->config.id;
+    };
+    auto pos = std::lower_bound(establishedPeers_.begin(),
+                                establishedPeers_.end(), &peer, less);
+    if (pos == establishedPeers_.end() || *pos != &peer)
+        establishedPeers_.insert(pos, &peer);
+}
+
+void
+BgpSpeaker::unmarkEstablished(Peer &peer)
+{
+    auto pos = std::find(establishedPeers_.begin(),
+                         establishedPeers_.end(), &peer);
+    if (pos != establishedPeers_.end())
+        establishedPeers_.erase(pos);
 }
 
 void
@@ -289,7 +313,7 @@ BgpSpeaker::processUpdate(Peer &from, const UpdateMessage &msg,
             const auto *previous = from.ribIn.find(prefix);
             bool attribute_change =
                 previous && previous->received &&
-                !(*previous->received == *received);
+                !sameAttributeValue(previous->received, received);
             bool suppressed = damper_.onAnnounce(
                 from.config.id, prefix, attribute_change, now);
             if (suppressed)
@@ -316,20 +340,19 @@ BgpSpeaker::runDecision(const net::Prefix &prefix, UpdateStats &stats,
 {
     ++counters_.decisionRuns;
 
-    // Collect candidates: every peer's import-accepted route plus any
-    // locally originated route.
+    // Collect candidates: every established peer's import-accepted
+    // route plus any locally originated route.
     std::vector<Candidate> candidates;
-    candidates.reserve(peers_.size() + 1);
+    candidates.reserve(establishedPeers_.size() + 1);
 
-    for (auto &[id, peer] : peers_) {
-        if (!peer->fsm.established())
-            continue;
+    for (Peer *peer : establishedPeers_) {
         const auto *entry = peer->ribIn.find(prefix);
         if (!entry || !entry->effective)
             continue;
-        if (damper_.isSuppressed(id, prefix, now))
+        if (damper_.isSuppressed(peer->config.id, prefix, now))
             continue;
-        candidates.push_back(Candidate{entry->effective, id,
+        candidates.push_back(Candidate{entry->effective,
+                                       peer->config.id,
                                        peer->fsm.peerRouterId(),
                                        peer->externalSession});
     }
@@ -349,7 +372,7 @@ BgpSpeaker::runDecision(const net::Prefix &prefix, UpdateStats &stats,
             ++stats.locRibChanges;
             ++stats.fibChanges;
             events_->onFibUpdate(FibUpdate{prefix, std::nullopt});
-            for (auto &[id, peer] : peers_)
+            for (Peer *peer : establishedPeers_)
                 updateAdjOut(*peer, prefix, nullptr, stats);
         }
         return;
@@ -373,7 +396,7 @@ BgpSpeaker::runDecision(const net::Prefix &prefix, UpdateStats &stats,
             events_->onFibUpdate(
                 FibUpdate{prefix, best.attributes->nextHop});
         }
-        for (auto &[id, peer] : peers_)
+        for (Peer *peer : establishedPeers_)
             updateAdjOut(*peer, prefix, &best, stats);
     }
 }
@@ -420,6 +443,34 @@ BgpSpeaker::updateAdjOut(Peer &peer, const net::Prefix &prefix,
         reflecting = true;
     }
 
+    // eBGP with an empty export policy is the hot path of every
+    // benchmark scenario, and the export transform is a pure function
+    // of the (interned) input attributes: memoise it per peer so a
+    // full-table advertisement performs one transform per distinct
+    // attribute set instead of one per prefix. The memo is keyed on
+    // pointer identity, which only stays hot across messages and
+    // decision runs when the interner canonicalises attributes, so it
+    // is part of the interning feature and disabled with it.
+    if (peer.externalSession && peer.config.exportPolicy.empty() &&
+        AttributeInterner::global().enabled()) {
+        if (peer.exportMemo.size() >= exportMemoCap)
+            peer.exportMemo.clear();
+        auto [memo, missed] =
+            peer.exportMemo.try_emplace(best->attributes);
+        if (missed)
+            memo->second = ebgpExport(peer, best->attributes);
+        if (!memo->second) {
+            // Sender-side loop avoidance suppressed the route.
+            send_withdraw_if_advertised();
+            return;
+        }
+        if (peer.ribOut.advertise(prefix, memo->second)) {
+            peer.pending.announce(prefix, memo->second);
+            ++stats.advertisedPrefixes;
+        }
+        return;
+    }
+
     PathAttributesPtr exported = peer.config.exportPolicy.apply(
         prefix, best->attributes, config_.localAs);
     if (!exported) {
@@ -428,21 +479,13 @@ BgpSpeaker::updateAdjOut(Peer &peer, const net::Prefix &prefix,
     }
 
     if (peer.externalSession) {
-        // Sender-side loop avoidance: the peer would discard a path
-        // containing its own AS, so don't send one.
-        if (exported->asPath.contains(peer.config.asn)) {
+        exported = ebgpExport(peer, exported);
+        if (!exported) {
+            // Sender-side loop avoidance: the peer would discard a
+            // path containing its own AS, so don't send one.
             send_withdraw_if_advertised();
             return;
         }
-        PathAttributes out = *exported;
-        out.asPath.prepend(config_.localAs);
-        out.nextHop = config_.localAddress;
-        // LOCAL_PREF is never sent on eBGP sessions (RFC 4271 5.1.5),
-        // and the reflection attributes are non-transitive.
-        out.localPref.reset();
-        out.originatorId.reset();
-        out.clusterList.clear();
-        exported = makeAttributes(std::move(out));
     } else if (reflecting) {
         // RFC 4456 section 8: stamp the originator and prepend our
         // cluster id; everything else is reflected unchanged.
@@ -459,6 +502,25 @@ BgpSpeaker::updateAdjOut(Peer &peer, const net::Prefix &prefix,
         peer.pending.announce(prefix, exported);
         ++stats.advertisedPrefixes;
     }
+}
+
+PathAttributesPtr
+BgpSpeaker::ebgpExport(const Peer &peer,
+                       const PathAttributesPtr &attrs) const
+{
+    // Sender-side loop avoidance: the peer would discard a path
+    // containing its own AS (RFC 4271 9.1.2).
+    if (attrs->asPath.contains(peer.config.asn))
+        return nullptr;
+    PathAttributes out = *attrs;
+    out.asPath.prepend(config_.localAs);
+    out.nextHop = config_.localAddress;
+    // LOCAL_PREF is never sent on eBGP sessions (RFC 4271 5.1.5),
+    // and the reflection attributes are non-transitive.
+    out.localPref.reset();
+    out.originatorId.reset();
+    out.clusterList.clear();
+    return makeAttributes(std::move(out));
 }
 
 void
@@ -502,6 +564,7 @@ BgpSpeaker::invalidatePeerRoutes(Peer &peer, TimeNs now)
     });
     peer.ribIn.clear();
     peer.ribOut.clear();
+    peer.exportMemo.clear();
 
     UpdateStats stats;
     for (const auto &prefix : prefixes)

@@ -22,6 +22,7 @@
 #include <optional>
 #include <span>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "bgp/damping.hh"
@@ -243,6 +244,18 @@ class BgpSpeaker
         AdjRibOut ribOut;
         UpdateBuilder pending;
         bool externalSession = true;
+        /**
+         * eBGP export transform memo, used when the export policy is
+         * empty: interned best-path attributes -> the transformed
+         * (prepended, next-hop-rewritten) attributes, or null when
+         * sender-side loop avoidance suppresses the route. Keyed by
+         * the owning shared pointer, so a dead attribute set can
+         * never alias a recycled address. The transform is a pure
+         * function of the input attributes, so memoisation cannot
+         * change behaviour. Cleared on session loss.
+         */
+        std::unordered_map<PathAttributesPtr, PathAttributesPtr>
+            exportMemo;
 
         Peer(PeerConfig cfg, SessionConfig session_cfg,
              PackingOptions packing)
@@ -250,6 +263,9 @@ class BgpSpeaker
               pending(packing)
         {}
     };
+
+    /** exportMemo is flushed wholesale when it reaches this size. */
+    static constexpr size_t exportMemoCap = 8192;
 
     Peer &peerRef(PeerId peer);
     const Peer &peerRef(PeerId peer) const;
@@ -284,9 +300,24 @@ class BgpSpeaker
     /** Track FSM state transitions and fire callbacks. */
     void noteStateChange(Peer &peer, SessionState before, TimeNs now);
 
+    /** Keep establishedPeers_ in sync with one peer's FSM state. */
+    void markEstablished(Peer &peer);
+    void unmarkEstablished(Peer &peer);
+
+    /** Compute the eBGP export of @p attrs for @p peer (memo miss). */
+    PathAttributesPtr ebgpExport(const Peer &peer,
+                                 const PathAttributesPtr &attrs) const;
+
     SpeakerConfig config_;
     SpeakerEvents *events_;
     std::map<PeerId, std::unique_ptr<Peer>> peers_;
+    /**
+     * Peers currently in Established state, sorted by peer id (the
+     * iteration order of peers_). The per-prefix decision sweep and
+     * the Adj-RIB-Out fan-out walk this instead of the full peer map,
+     * so idle/configured-but-down peers cost nothing per prefix.
+     */
+    std::vector<Peer *> establishedPeers_;
     /** Locally originated routes (pseudo Adj-RIB-In). */
     AdjRibIn localRoutes_;
     FlapDamper damper_;

@@ -10,88 +10,99 @@ UpdateBuilder::announce(const net::Prefix &prefix,
                         PathAttributesPtr attrs)
 {
     removePending(prefix);
-    withdrawals_.erase(
-        std::remove(withdrawals_.begin(), withdrawals_.end(), prefix),
-        withdrawals_.end());
-    groupFor(attrs).prefixes.push_back(prefix);
+    size_t g = groupIndexFor(attrs);
+    Group &group = groups_[g];
+    group.prefixes.push_back(prefix);
+    group.alive.push_back(1);
+    pending_.emplace(
+        prefix,
+        Location{uint32_t(g), uint32_t(group.prefixes.size() - 1)});
 }
 
 void
 UpdateBuilder::withdraw(const net::Prefix &prefix)
 {
-    removePending(prefix);
-    if (std::find(withdrawals_.begin(), withdrawals_.end(), prefix) ==
-        withdrawals_.end()) {
-        withdrawals_.push_back(prefix);
+    auto it = pending_.find(prefix);
+    if (it != pending_.end()) {
+        if (it->second.group == kWithdrawal)
+            return; // already pending as a withdrawal
+        Group &group = groups_[it->second.group];
+        group.alive[it->second.slot] = 0;
+        ++group.deadCount;
+        it->second =
+            Location{kWithdrawal, uint32_t(withdrawals_.size())};
+    } else {
+        pending_.emplace(
+            prefix,
+            Location{kWithdrawal, uint32_t(withdrawals_.size())});
     }
-}
-
-bool
-UpdateBuilder::empty() const
-{
-    return withdrawals_.empty() && groups_.empty();
+    withdrawals_.push_back(prefix);
+    withdrawalsAlive_.push_back(1);
 }
 
 size_t
-UpdateBuilder::pendingTransactions() const
+UpdateBuilder::groupIndexFor(const PathAttributesPtr &attrs)
 {
-    size_t count = withdrawals_.size();
-    for (const auto &group : groups_)
-        count += group.prefixes.size();
-    return count;
-}
-
-UpdateBuilder::Group &
-UpdateBuilder::groupFor(const PathAttributesPtr &attrs)
-{
-    for (auto &group : groups_) {
-        if (group.attributes == attrs ||
-            (group.attributes && attrs &&
-             *group.attributes == *attrs)) {
-            return group;
-        }
+    auto [it, inserted] = groupIndex_.try_emplace(attrs);
+    if (inserted) {
+        it->second = groups_.size();
+        groups_.push_back(Group{attrs, {}, {}, 0});
     }
-    groups_.push_back(Group{attrs, {}});
-    return groups_.back();
+    return it->second;
 }
 
-bool
+void
 UpdateBuilder::removePending(const net::Prefix &prefix)
 {
-    for (auto &group : groups_) {
-        auto it = std::find(group.prefixes.begin(),
-                            group.prefixes.end(), prefix);
-        if (it != group.prefixes.end()) {
-            group.prefixes.erase(it);
-            return true;
-        }
+    auto it = pending_.find(prefix);
+    if (it == pending_.end())
+        return;
+    if (it->second.group == kWithdrawal) {
+        withdrawalsAlive_[it->second.slot] = 0;
+        ++deadWithdrawals_;
+    } else {
+        Group &group = groups_[it->second.group];
+        group.alive[it->second.slot] = 0;
+        ++group.deadCount;
     }
-    return false;
+    pending_.erase(it);
 }
 
 std::vector<UpdateMessage>
 UpdateBuilder::build()
 {
     std::vector<UpdateMessage> messages;
+    messages.reserve(groups_.size() + 1);
 
     // Fixed per-message overhead: header (19) + withdrawn-routes
     // length (2) + attribute-block length (2).
     constexpr size_t fixed_overhead = proto::headerBytes + 4;
 
+    size_t cap = options_.maxPrefixesPerUpdate;
+    auto chunk_reserve = [cap](size_t live) {
+        return cap > 0 ? std::min(cap, live) : live;
+    };
+
     // Withdrawal-only messages.
-    {
+    if (deadWithdrawals_ < withdrawals_.size()) {
+        size_t live = withdrawals_.size() - deadWithdrawals_;
         size_t budget = proto::maxMessageBytes - fixed_overhead;
         UpdateMessage msg;
+        msg.withdrawnRoutes.reserve(chunk_reserve(live));
         size_t used = 0;
-        for (const auto &prefix : withdrawals_) {
+        for (size_t i = 0; i < withdrawals_.size(); ++i) {
+            if (!withdrawalsAlive_[i])
+                continue;
+            const net::Prefix &prefix = withdrawals_[i];
             size_t need = 1 + prefix.wireOctets();
-            bool cap = options_.maxPrefixesPerUpdate > 0 &&
-                       msg.withdrawnRoutes.size() >=
-                           options_.maxPrefixesPerUpdate;
-            if ((used + need > budget || cap) &&
+            bool at_cap =
+                cap > 0 && msg.withdrawnRoutes.size() >= cap;
+            if ((used + need > budget || at_cap) &&
                 !msg.withdrawnRoutes.empty()) {
+                live -= msg.withdrawnRoutes.size();
                 messages.push_back(std::move(msg));
                 msg = UpdateMessage{};
+                msg.withdrawnRoutes.reserve(chunk_reserve(live));
                 used = 0;
             }
             msg.withdrawnRoutes.push_back(prefix);
@@ -101,9 +112,11 @@ UpdateBuilder::build()
             messages.push_back(std::move(msg));
     }
 
-    // Announcement messages, one run per attribute group.
-    for (auto &group : groups_) {
-        if (group.prefixes.empty())
+    // Announcement messages, one run per attribute group in creation
+    // order.
+    for (Group &group : groups_) {
+        size_t live = group.prefixes.size() - group.deadCount;
+        if (live == 0)
             continue;
         size_t attrs_size =
             group.attributes ? group.attributes->encodedSize() : 0;
@@ -112,16 +125,21 @@ UpdateBuilder::build()
 
         UpdateMessage msg;
         msg.attributes = group.attributes;
+        msg.nlri.reserve(chunk_reserve(live));
         size_t used = 0;
-        for (const auto &prefix : group.prefixes) {
+        for (size_t i = 0; i < group.prefixes.size(); ++i) {
+            if (!group.alive[i])
+                continue;
+            const net::Prefix &prefix = group.prefixes[i];
             size_t need = 1 + prefix.wireOctets();
-            bool cap = options_.maxPrefixesPerUpdate > 0 &&
-                       msg.nlri.size() >=
-                           options_.maxPrefixesPerUpdate;
-            if ((used + need > budget || cap) && !msg.nlri.empty()) {
+            bool at_cap = cap > 0 && msg.nlri.size() >= cap;
+            if ((used + need > budget || at_cap) &&
+                !msg.nlri.empty()) {
+                live -= msg.nlri.size();
                 messages.push_back(std::move(msg));
                 msg = UpdateMessage{};
                 msg.attributes = group.attributes;
+                msg.nlri.reserve(chunk_reserve(live));
                 used = 0;
             }
             msg.nlri.push_back(prefix);
@@ -132,7 +150,11 @@ UpdateBuilder::build()
     }
 
     groups_.clear();
+    groupIndex_.clear();
     withdrawals_.clear();
+    withdrawalsAlive_.clear();
+    deadWithdrawals_ = 0;
+    pending_.clear();
     return messages;
 }
 

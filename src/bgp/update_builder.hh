@@ -8,12 +8,21 @@
  * message limit (RFC 4271 section 4.1) and, optionally, an explicit
  * prefixes-per-message cap — the knob the benchmark uses to emit
  * "small" (1 prefix) versus "large" (500 prefixes) packets (Table I).
+ *
+ * Grouping is indexed: attribute sets resolve to their group through a
+ * hash map (pointer identity for interned sets, content hash plus deep
+ * equality otherwise), and every pending prefix records its location
+ * so superseding a pending change is O(1). The full-table
+ * advertisement path of the paper's scenarios used to scan
+ * O(groups × prefixes); both scans are gone.
  */
 
 #ifndef BGPBENCH_BGP_UPDATE_BUILDER_HH
 #define BGPBENCH_BGP_UPDATE_BUILDER_HH
 
 #include <cstddef>
+#include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "bgp/message.hh"
@@ -55,34 +64,85 @@ class UpdateBuilder
     void withdraw(const net::Prefix &prefix);
 
     /** True if nothing is queued. */
-    bool empty() const;
+    bool empty() const { return pending_.empty(); }
 
     /** Number of queued transactions. */
-    size_t pendingTransactions() const;
+    size_t pendingTransactions() const { return pending_.size(); }
 
     /**
      * Emit the queued changes as packed UPDATEs and reset the
      * builder. Withdrawals are emitted first (they free table space
-     * on the receiver), then one run of messages per attribute group.
+     * on the receiver), then one run of messages per attribute group
+     * in group-creation order; within a group, prefixes keep
+     * announcement order.
      */
     std::vector<UpdateMessage> build();
 
   private:
+    /**
+     * One attribute group. Superseded prefixes are tombstoned (their
+     * alive flag cleared) rather than erased, preserving both O(1)
+     * supersession and the emission order of the surviving prefixes.
+     */
     struct Group
     {
         PathAttributesPtr attributes;
         std::vector<net::Prefix> prefixes;
+        /** Parallel to prefixes; 0 = superseded, skip at build(). */
+        std::vector<uint8_t> alive;
+        size_t deadCount = 0;
     };
 
-    /** Find or create the group for @p attrs. */
-    Group &groupFor(const PathAttributesPtr &attrs);
+    /** Where a pending prefix currently lives. */
+    struct Location
+    {
+        /** Group index, or kWithdrawal. */
+        uint32_t group = 0;
+        /** Slot within the group's (or withdrawal) vector. */
+        uint32_t slot = 0;
+    };
 
-    /** Remove @p prefix from any pending group; true if found. */
-    bool removePending(const net::Prefix &prefix);
+    static constexpr uint32_t kWithdrawal = ~uint32_t(0);
+
+    /** Group lookup: content hash (cached per attribute set). */
+    struct AttrsHash
+    {
+        size_t
+        operator()(const PathAttributesPtr &attrs) const
+        {
+            return attrs ? size_t(attrs->hash()) : 0;
+        }
+    };
+
+    /** Group lookup: value equality with the pointer fast path. */
+    struct AttrsEqual
+    {
+        bool
+        operator()(const PathAttributesPtr &a,
+                   const PathAttributesPtr &b) const
+        {
+            return sameAttributeValue(a, b);
+        }
+    };
+
+    /** Find or create the group for @p attrs; returns its index. */
+    size_t groupIndexFor(const PathAttributesPtr &attrs);
+
+    /** Tombstone @p prefix's pending slot, if any, and forget it. */
+    void removePending(const net::Prefix &prefix);
 
     PackingOptions options_;
     std::vector<Group> groups_;
+    /** Attribute set -> index into groups_. */
+    std::unordered_map<PathAttributesPtr, size_t, AttrsHash,
+                       AttrsEqual>
+        groupIndex_;
     std::vector<net::Prefix> withdrawals_;
+    /** Parallel to withdrawals_; 0 = superseded. */
+    std::vector<uint8_t> withdrawalsAlive_;
+    size_t deadWithdrawals_ = 0;
+    /** Every live pending prefix and where it sits. */
+    std::unordered_map<net::Prefix, Location> pending_;
 };
 
 } // namespace bgpbench::bgp

@@ -163,4 +163,20 @@ printSeriesTable(std::ostream &os,
     }
 }
 
+void
+printDedupReport(std::ostream &os, const std::string &title,
+                 const DedupReport &report)
+{
+    TextTable table({title, "value"});
+    table.addRow({"lookups", std::to_string(report.lookups)});
+    table.addRow({"hits", std::to_string(report.hits)});
+    table.addRow({"misses", std::to_string(report.misses)});
+    table.addRow(
+        {"hit ratio", formatDouble(report.hitRatio() * 100.0, 1) + "%"});
+    table.addRow({"live sets", std::to_string(report.liveSets)});
+    table.addRow({"bytes deduplicated",
+                  std::to_string(report.bytesDeduplicated)});
+    table.print(os);
+}
+
 } // namespace bgpbench::stats

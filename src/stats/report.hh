@@ -8,6 +8,7 @@
 #ifndef BGPBENCH_STATS_REPORT_HH
 #define BGPBENCH_STATS_REPORT_HH
 
+#include <cstdint>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -59,6 +60,30 @@ void printAsciiChart(std::ostream &os, const TimeSeries &series,
 void printSeriesTable(std::ostream &os,
                       const std::vector<const TimeSeries *> &series,
                       size_t max_rows = 60);
+
+/**
+ * Deduplication counters of a hash-consing layer (the attribute
+ * interner), reduced to plain numbers so this library stays free of
+ * protocol dependencies.
+ */
+struct DedupReport
+{
+    uint64_t lookups = 0;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t liveSets = 0;
+    uint64_t bytesDeduplicated = 0;
+
+    double
+    hitRatio() const
+    {
+        return lookups ? double(hits) / double(lookups) : 0.0;
+    }
+};
+
+/** Print @p report as an aligned table titled @p title. */
+void printDedupReport(std::ostream &os, const std::string &title,
+                      const DedupReport &report);
 
 } // namespace bgpbench::stats
 

@@ -180,6 +180,102 @@ TEST(UpdateBuilder, WithdrawalsRespectWireLimit)
     EXPECT_EQ(total, 3000u);
 }
 
+TEST(UpdateBuilder, DuplicateWithdrawCollapses)
+{
+    UpdateBuilder builder;
+    builder.withdraw(prefix(1));
+    builder.withdraw(prefix(1));
+    builder.withdraw(prefix(1));
+    EXPECT_EQ(builder.pendingTransactions(), 1u);
+
+    auto updates = builder.build();
+    ASSERT_EQ(updates.size(), 1u);
+    EXPECT_EQ(updates[0].withdrawnRoutes,
+              std::vector<net::Prefix>{prefix(1)});
+}
+
+/**
+ * Packing regression: groups are emitted in creation order and each
+ * group's prefixes keep announcement order, even after supersessions
+ * tombstone slots in the middle of a run.
+ */
+TEST(UpdateBuilder, EmissionOrderSurvivesSupersession)
+{
+    UpdateBuilder builder;
+    auto a = attrs(100);
+    auto b = attrs(200);
+    builder.announce(prefix(1), a);
+    builder.announce(prefix(2), b);
+    builder.announce(prefix(3), a);
+    builder.announce(prefix(4), a);
+    builder.withdraw(prefix(3));     // tombstones a's middle slot
+    builder.announce(prefix(2), b);  // re-announce: b keeps one slot
+
+    auto updates = builder.build();
+    ASSERT_EQ(updates.size(), 3u);
+    // Withdrawals first, then group a (created first), then group b.
+    EXPECT_EQ(updates[0].withdrawnRoutes,
+              std::vector<net::Prefix>{prefix(3)});
+    EXPECT_EQ(updates[1].nlri,
+              (std::vector<net::Prefix>{prefix(1), prefix(4)}));
+    EXPECT_EQ(updates[1].attributes->asPath.originAs(), 100);
+    EXPECT_EQ(updates[2].nlri, std::vector<net::Prefix>{prefix(2)});
+    EXPECT_EQ(updates[2].attributes->asPath.originAs(), 200);
+}
+
+/**
+ * Packing regression: a prefix moved between attribute groups lands
+ * in (only) the last group, at the position of its final announce.
+ */
+TEST(UpdateBuilder, RegroupedPrefixCountsOnce)
+{
+    UpdateBuilder builder;
+    builder.announce(prefix(1), attrs(100));
+    builder.announce(prefix(2), attrs(100));
+    builder.announce(prefix(1), attrs(200));
+
+    auto updates = builder.build();
+    ASSERT_EQ(updates.size(), 2u);
+    EXPECT_EQ(updates[0].nlri, std::vector<net::Prefix>{prefix(2)});
+    EXPECT_EQ(updates[1].nlri, std::vector<net::Prefix>{prefix(1)});
+    EXPECT_EQ(updates[1].attributes->asPath.originAs(), 200);
+}
+
+/** Packing regression: the cap chunks a group into exact runs. */
+TEST(UpdateBuilder, CapChunksKeepOrderWithinGroup)
+{
+    PackingOptions options;
+    options.maxPrefixesPerUpdate = 2;
+    UpdateBuilder builder(options);
+    auto a = attrs(100);
+    for (uint32_t i = 0; i < 5; ++i)
+        builder.announce(prefix(i), a);
+
+    auto updates = builder.build();
+    ASSERT_EQ(updates.size(), 3u);
+    EXPECT_EQ(updates[0].nlri,
+              (std::vector<net::Prefix>{prefix(0), prefix(1)}));
+    EXPECT_EQ(updates[1].nlri,
+              (std::vector<net::Prefix>{prefix(2), prefix(3)}));
+    EXPECT_EQ(updates[2].nlri, std::vector<net::Prefix>{prefix(4)});
+}
+
+/** A large group count exercises the group index, not a linear scan. */
+TEST(UpdateBuilder, ManyDistinctGroupsRoundTrip)
+{
+    UpdateBuilder builder;
+    for (uint32_t i = 0; i < 300; ++i)
+        builder.announce(prefix(i), attrs(uint16_t(1 + i)));
+
+    auto updates = builder.build();
+    ASSERT_EQ(updates.size(), 300u);
+    for (uint32_t i = 0; i < 300; ++i) {
+        EXPECT_EQ(updates[i].nlri, std::vector<net::Prefix>{prefix(i)});
+        EXPECT_EQ(updates[i].attributes->asPath.originAs(),
+                  uint16_t(1 + i));
+    }
+}
+
 /** Property: build() conserves the exact set of pending changes. */
 TEST(UpdateBuilderProperty, BuildConservesChanges)
 {

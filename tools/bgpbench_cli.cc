@@ -33,6 +33,7 @@
 #include <map>
 #include <string>
 
+#include "bgp/attr_intern.hh"
 #include "core/benchmark_runner.hh"
 #include "core/paper_data.hh"
 #include "net/logging.hh"
@@ -56,6 +57,7 @@ struct CliOptions
     bool damping = false;
     bool csv = false;
     bool json = false;
+    bool internStats = false;
     /** topo command. */
     std::string shape = "ring";
     size_t nodes = 12;
@@ -90,6 +92,8 @@ usage(int code)
         "  --steps N                sweep points (default 5)\n"
         "  --damping                enable RFC 2439 flap damping\n"
         "  --csv                    CSV output\n"
+        "  --intern-stats           print attribute-interner counters "
+        "to stderr\n"
         "\n"
         "topo options:\n"
         "  --shape NAME             line | ring | star | mesh | "
@@ -145,6 +149,8 @@ parseArgs(int argc, char **argv)
             options.csv = true;
         } else if (arg == "--json") {
             options.json = true;
+        } else if (arg == "--intern-stats") {
+            options.internStats = true;
         } else if (arg == "--shape") {
             options.shape = value();
         } else if (arg == "--nodes") {
@@ -383,6 +389,20 @@ cmdTopo(const CliOptions &options)
     return report.converged ? 0 : 1;
 }
 
+/** Dump the global attribute-interner counters to stderr. */
+void
+printInternStats()
+{
+    auto s = bgp::AttributeInterner::global().stats();
+    stats::DedupReport report;
+    report.lookups = s.lookups;
+    report.hits = s.hits;
+    report.misses = s.misses;
+    report.liveSets = s.liveSets;
+    report.bytesDeduplicated = s.bytesDeduplicated;
+    stats::printDedupReport(std::cerr, "attribute interner", report);
+}
+
 } // namespace
 
 int
@@ -390,18 +410,25 @@ main(int argc, char **argv)
 {
     try {
         CliOptions options = parseArgs(argc, argv);
+        int rc = 2;
         if (options.command == "list")
-            return cmdList();
-        if (options.command == "run")
-            return cmdRun(options);
-        if (options.command == "sweep")
-            return cmdSweep(options);
-        if (options.command == "table3")
-            return cmdTable3(options);
-        if (options.command == "topo")
-            return cmdTopo(options);
-        std::cerr << "unknown command: " << options.command << "\n";
-        usage(2);
+            rc = cmdList();
+        else if (options.command == "run")
+            rc = cmdRun(options);
+        else if (options.command == "sweep")
+            rc = cmdSweep(options);
+        else if (options.command == "table3")
+            rc = cmdTable3(options);
+        else if (options.command == "topo")
+            rc = cmdTopo(options);
+        else {
+            std::cerr << "unknown command: " << options.command
+                      << "\n";
+            usage(2);
+        }
+        if (options.internStats)
+            printInternStats();
+        return rc;
     } catch (const FatalError &error) {
         std::cerr << "error: " << error.what() << "\n";
         return 1;
