@@ -17,6 +17,14 @@ internDisabledByEnv()
     return value && std::strcmp(value, "1") == 0;
 }
 
+/** Never-zero owner ids; 0 means "not interned" on PathAttributes. */
+uint64_t
+nextInternerId()
+{
+    static uint64_t next = 0;
+    return ++next;
+}
+
 } // namespace
 
 size_t
@@ -33,7 +41,7 @@ attributesHeapBytes(const PathAttributes &attrs)
 }
 
 AttributeInterner::AttributeInterner()
-    : enabled_(!internDisabledByEnv())
+    : id_(nextInternerId()), enabled_(!internDisabledByEnv())
 {}
 
 AttributeInterner &
@@ -72,7 +80,11 @@ AttributeInterner::intern(PathAttributes attrs)
     ++misses_;
     auto canonical =
         std::make_shared<PathAttributes>(std::move(attrs));
-    canonical->interned_ = true;
+    // Moving never propagates intern state (a moved-to object is not
+    // the table-held canonical until we say so): re-stamp the hash we
+    // already computed and mark this instance as ours.
+    canonical->intern_.hash = hash;
+    canonical->intern_.owner = id_;
     bucket.emplace_back(canonical);
     ++tracked_;
     maybeSweep();
@@ -119,8 +131,10 @@ AttributeInterner::clear()
 {
     for (auto &[hash, bucket] : table_) {
         for (auto &slot : bucket) {
+            // Unmark survivors; their cached hash stays valid (the
+            // value is unchanged), only the canonical claim is gone.
             if (auto canonical = slot.lock())
-                canonical->interned_ = false;
+                canonical->intern_.owner = 0;
         }
     }
     table_.clear();

@@ -123,6 +123,13 @@ class AttributeInterner
         table_;
     /** Total table slots, kept incrementally. */
     size_t tracked_ = 0;
+    /**
+     * Unique, never-zero id stamped on this interner's canonicals.
+     * sameAttributeValue() only trusts the distinct-canonicals-are-
+     * unequal invariant when both owners match, so canonicals from
+     * separate interner instances (tests) compare by value.
+     */
+    uint64_t id_ = 0;
     /** Sweep when tracked_ reaches this; doubles with live size. */
     size_t sweepThreshold_ = 1024;
     bool enabled_ = true;

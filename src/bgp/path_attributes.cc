@@ -10,8 +10,8 @@ namespace bgpbench::bgp
 bool
 PathAttributes::operator==(const PathAttributes &other) const
 {
-    if (cachedHash_ != 0 && other.cachedHash_ != 0 &&
-        cachedHash_ != other.cachedHash_) {
+    if (intern_.hash != 0 && other.intern_.hash != 0 &&
+        intern_.hash != other.intern_.hash) {
         return false;
     }
     return origin == other.origin && nextHop == other.nextHop &&
@@ -27,8 +27,8 @@ PathAttributes::operator==(const PathAttributes &other) const
 uint64_t
 PathAttributes::hash() const
 {
-    if (cachedHash_ != 0)
-        return cachedHash_;
+    if (intern_.hash != 0)
+        return intern_.hash;
 
     // FNV-1a over every field, with explicit presence markers so an
     // absent optional cannot collide with a present zero.
@@ -67,7 +67,7 @@ PathAttributes::hash() const
 
     if (h == 0)
         h = 0x9e3779b97f4a7c15ull;
-    cachedHash_ = h;
+    intern_.hash = h;
     return h;
 }
 

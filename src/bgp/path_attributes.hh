@@ -86,10 +86,18 @@ struct PathAttributes
 
     /**
      * True if this instance is the canonical copy held by an
-     * AttributeInterner: two distinct interned instances are
-     * guaranteed to differ in value.
+     * AttributeInterner: two distinct interned instances *of the same
+     * interner* are guaranteed to differ in value.
      */
-    bool interned() const { return interned_; }
+    bool interned() const { return intern_.owner != 0; }
+
+    /**
+     * Id of the AttributeInterner whose canonical instance this is,
+     * or 0 when not interned. Distinct canonicals are only guaranteed
+     * value-unequal when their owners match: separate interner
+     * instances (tests) can each canonicalise the same value.
+     */
+    uint64_t internOwner() const { return intern_.owner; }
 
     /**
      * Encode the complete "Path Attributes" block of an UPDATE
@@ -121,10 +129,47 @@ struct PathAttributes
   private:
     friend class AttributeInterner;
 
-    /** Lazily computed content hash; 0 = not yet computed. */
-    mutable uint64_t cachedHash_ = 0;
-    /** Set by AttributeInterner on the canonical instance. */
-    mutable bool interned_ = false;
+    /**
+     * Interner bookkeeping carried by each instance: the lazily
+     * computed content hash (0 = not yet computed) and the id of the
+     * AttributeInterner whose canonical instance this is (0 = not
+     * interned). Deliberately does NOT propagate on copy or move:
+     * callers copy an attribute set precisely in order to mutate the
+     * copy, so the destination must start cold — a stale hash or
+     * canonical mark on a mutated copy would file it under the wrong
+     * interner bucket and make every pointer-identity and cached-hash
+     * fast path downstream report equal values as unequal.
+     */
+    struct InternState
+    {
+        uint64_t hash = 0;
+        uint64_t owner = 0;
+
+        InternState() = default;
+        InternState(const InternState &) noexcept {}
+        InternState(InternState &&other) noexcept { other.reset(); }
+        InternState &
+        operator=(const InternState &) noexcept
+        {
+            reset();
+            return *this;
+        }
+        InternState &
+        operator=(InternState &&other) noexcept
+        {
+            reset();
+            other.reset();
+            return *this;
+        }
+        void
+        reset() noexcept
+        {
+            hash = 0;
+            owner = 0;
+        }
+    };
+
+    mutable InternState intern_;
 };
 
 /** Routes share immutable attribute blocks. */
@@ -142,9 +187,10 @@ PathAttributesPtr makeAttributes(PathAttributes attrs);
  * comparison of the whole update pipeline (RIB change detection,
  * outbound grouping). Pointer identity decides in O(1) for interned
  * sets in both directions: equal pointers are equal values, and two
- * *distinct* interned pointers are guaranteed unequal. The deep
- * compare only runs for non-canonical instances, behind a cached-hash
- * reject.
+ * *distinct* canonicals of the *same* interner are guaranteed
+ * unequal. Canonicals of different interner instances (tests spin up
+ * their own) carry no such guarantee, so they fall through to the
+ * cached-hash reject and deep compare like non-canonical instances.
  */
 inline bool
 sameAttributeValue(const PathAttributesPtr &a,
@@ -154,7 +200,7 @@ sameAttributeValue(const PathAttributesPtr &a,
         return true;
     if (!a || !b)
         return false;
-    if (a->interned() && b->interned())
+    if (a->interned() && a->internOwner() == b->internOwner())
         return false;
     if (a->hash() != b->hash())
         return false;

@@ -454,7 +454,7 @@ BgpSpeaker::updateAdjOut(Peer &peer, const net::Prefix &prefix,
     if (peer.externalSession && peer.config.exportPolicy.empty() &&
         AttributeInterner::global().enabled()) {
         if (peer.exportMemo.size() >= exportMemoCap)
-            peer.exportMemo.clear();
+            trimExportMemo(peer);
         auto [memo, missed] =
             peer.exportMemo.try_emplace(best->attributes);
         if (missed)
@@ -502,6 +502,29 @@ BgpSpeaker::updateAdjOut(Peer &peer, const net::Prefix &prefix,
         peer.pending.announce(prefix, exported);
         ++stats.advertisedPrefixes;
     }
+}
+
+void
+BgpSpeaker::trimExportMemo(Peer &peer)
+{
+    // First reclaim entries whose input attribute set died everywhere
+    // else — the memo's own key holds the sole remaining strong
+    // reference. After table churn (withdraw waves, session resets)
+    // this frees the garbage while every hot entry survives.
+    for (auto it = peer.exportMemo.begin();
+         it != peer.exportMemo.end();) {
+        if (it->first.use_count() == 1)
+            it = peer.exportMemo.erase(it);
+        else
+            ++it;
+    }
+    // Then shed arbitrary entries down to half the cap. Unlike the
+    // wholesale flush this replaces, a workload with more distinct
+    // attribute sets than the cap keeps half the memo hot instead of
+    // rebuilding from empty, and the next trim is at least cap/2
+    // insertions away, keeping the per-announce cost amortised O(1).
+    while (peer.exportMemo.size() > exportMemoCap / 2)
+        peer.exportMemo.erase(peer.exportMemo.begin());
 }
 
 PathAttributesPtr

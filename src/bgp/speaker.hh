@@ -264,8 +264,17 @@ class BgpSpeaker
         {}
     };
 
-    /** exportMemo is flushed wholesale when it reaches this size. */
+    /** exportMemo is trimmed (see trimExportMemo) at this size. */
     static constexpr size_t exportMemoCap = 8192;
+
+    /**
+     * Bounded eviction for Peer::exportMemo once it reaches
+     * exportMemoCap: drop entries whose input attribute set is dead
+     * everywhere else first, then shed arbitrary entries down to half
+     * the cap so hot entries are not flushed wholesale and at least
+     * cap/2 insertions pass before the next trim (amortised O(1)).
+     */
+    static void trimExportMemo(Peer &peer);
 
     Peer &peerRef(PeerId peer);
     const Peer &peerRef(PeerId peer) const;

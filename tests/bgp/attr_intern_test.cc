@@ -196,6 +196,96 @@ TEST(AttrIntern, ClearUnmarksSurvivorsSoFastPathCannotMisfire)
     EXPECT_TRUE(sameAttributeValue(a, b));
 }
 
+TEST(AttrIntern, CopiesStartColdSoMutatedCopiesReinternCorrectly)
+{
+    AttributeInterner interner;
+    // The BGPBENCH_NO_INTERN env var only sets the default; these
+    // tests pin the mode they exercise.
+    interner.setEnabled(true);
+    auto a = interner.intern(sample());
+    ASSERT_NE(a->hash(), 0u);
+
+    // Copying a canonical (the reflection / eBGP-export / policy
+    // copy-and-mutate pattern) must not drag along the cached hash or
+    // the canonical mark: the copy is about to become a different
+    // value.
+    PathAttributes mutated = *a;
+    EXPECT_FALSE(mutated.interned());
+    mutated.med = 9999;
+    EXPECT_NE(mutated.hash(), a->hash());
+
+    auto b = interner.intern(std::move(mutated));
+    EXPECT_NE(a.get(), b.get());
+    EXPECT_FALSE(sameAttributeValue(a, b));
+    // The mutated value landed in its own bucket: re-interning it
+    // finds the canonical again.
+    PathAttributes again = *a;
+    again.med = 9999;
+    EXPECT_EQ(interner.intern(std::move(again)).get(), b.get());
+
+    // An *unchanged* copy still deduplicates back to the canonical.
+    PathAttributes unchanged = *a;
+    EXPECT_EQ(interner.intern(std::move(unchanged)).get(), a.get());
+
+    // And assignment resets the destination's state just like
+    // construction does.
+    PathAttributes assigned;
+    assigned = *a;
+    EXPECT_FALSE(assigned.interned());
+    assigned.localPref = 77;
+    EXPECT_FALSE(sameAttributeValue(
+        a, std::make_shared<const PathAttributes>(assigned)));
+}
+
+TEST(AttrIntern, CrossInternerCanonicalsCompareByValue)
+{
+    AttributeInterner one;
+    AttributeInterner two;
+    // The BGPBENCH_NO_INTERN env var only sets the default; these
+    // tests pin the mode they exercise.
+    one.setEnabled(true);
+    two.setEnabled(true);
+
+    // Equal values canonicalised by *different* interner instances
+    // are distinct pointers, both marked interned — the same-owner
+    // guard must keep them comparing equal by value.
+    auto a = one.intern(sample());
+    auto b = two.intern(sample());
+    ASSERT_NE(a.get(), b.get());
+    ASSERT_TRUE(a->interned());
+    ASSERT_TRUE(b->interned());
+    EXPECT_NE(a->internOwner(), b->internOwner());
+    EXPECT_TRUE(sameAttributeValue(a, b));
+
+    // Distinct values stay unequal in every combination.
+    auto c = two.intern(sample(51));
+    EXPECT_FALSE(sameAttributeValue(a, c));
+    EXPECT_FALSE(sameAttributeValue(b, c));
+}
+
+TEST(AttrIntern, DisableToggleKeepsMarkedVsUnmarkedEquality)
+{
+    AttributeInterner interner;
+    // The BGPBENCH_NO_INTERN env var only sets the default; these
+    // tests pin the mode they exercise.
+    interner.setEnabled(true);
+    auto marked = interner.intern(sample());
+    ASSERT_TRUE(marked->interned());
+
+    // After disabling, new equal-valued sets come out unmarked; the
+    // marked-vs-unmarked comparison must fall through to the deep
+    // compare and report equality.
+    interner.setEnabled(false);
+    auto unmarked = interner.intern(sample());
+    ASSERT_FALSE(unmarked->interned());
+    EXPECT_NE(marked.get(), unmarked.get());
+    EXPECT_TRUE(sameAttributeValue(marked, unmarked));
+
+    // Re-enabling reuses the still-live canonical.
+    interner.setEnabled(true);
+    EXPECT_EQ(interner.intern(sample()).get(), marked.get());
+}
+
 TEST(AttrIntern, HashIsCachedAndNonZero)
 {
     auto a = std::make_shared<const PathAttributes>(sample());
