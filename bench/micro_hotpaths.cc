@@ -17,6 +17,7 @@
 #include "bgp/update_builder.hh"
 #include "fib/forwarding_engine.hh"
 #include "net/checksum.hh"
+#include "sim/event_queue.hh"
 #include "workload/route_set.hh"
 #include "workload/update_stream.hh"
 
@@ -249,6 +250,48 @@ BM_UpdateBuilderGroup(benchmark::State &state)
     interner.setEnabled(was_enabled);
 }
 BENCHMARK(BM_UpdateBuilderGroup)->Arg(0)->Arg(1);
+
+/**
+ * Event-queue schedule + pop round trip: N one-shot events pushed
+ * and drained. This is the per-event floor every simulated message
+ * (transmit, arrive, deliver) pays three times.
+ */
+void
+BM_SimulatorSchedulePop(benchmark::State &state)
+{
+    for (auto _ : state) {
+        sim::Simulator simulator;
+        for (int64_t i = 0; i < state.range(0); ++i)
+            simulator.schedule(sim::SimTime(i), []() {});
+        simulator.runUntilIdle();
+        benchmark::DoNotOptimize(simulator.eventsExecuted());
+    }
+    state.SetItemsProcessed(int64_t(state.iterations()) *
+                            state.range(0));
+}
+BENCHMARK(BM_SimulatorSchedulePop)->Arg(1000)->Arg(10000);
+
+/**
+ * One periodic task firing N times. The recurring closure is stored
+ * once and re-armed in place, so a firing costs a heap-free re-push —
+ * this guards against regressing to re-wrapping the std::function
+ * every recurrence.
+ */
+void
+BM_SimulatorScheduleEvery(benchmark::State &state)
+{
+    for (auto _ : state) {
+        sim::Simulator simulator;
+        int64_t remaining = state.range(0);
+        simulator.scheduleEvery(
+            7, [&remaining]() { return --remaining > 0; });
+        simulator.runUntilIdle();
+        benchmark::DoNotOptimize(simulator.eventsExecuted());
+    }
+    state.SetItemsProcessed(int64_t(state.iterations()) *
+                            state.range(0));
+}
+BENCHMARK(BM_SimulatorScheduleEvery)->Arg(1000)->Arg(100000);
 
 void
 BM_InternetChecksum(benchmark::State &state)

@@ -7,36 +7,112 @@
  * what the per-router processing speed buys operationally: how fast
  * the *network* converges after announcements, a link failure, and a
  * router reboot. Every run is fully deterministic — the same seed
- * produces a byte-identical BENCH_topo_convergence.json — so the
+ * produces byte-identical run reports at ANY worker count, so the
  * trajectory of convergence times can be tracked for regressions.
  *
  * Overrides: BGPBENCH_FAST=1 shrinks the topologies;
- * BGPBENCH_NODES=<n> sets the router count directly.
+ * BGPBENCH_NODES=<n> sets the router count directly;
+ * BGPBENCH_JOBS=<n> / --jobs <n> sets the worker threads (0 = auto).
+ *
+ * --sweep (or BGPBENCH_SWEEP=1) additionally runs the announce
+ * scenario on a 64-node full mesh at jobs = 1, 2, 4, 8, printing the
+ * wall-clock speedup table and asserting that every report is
+ * byte-identical to the sequential one.
  */
 
+#include <algorithm>
+#include <chrono>
+#include <cstring>
 #include <fstream>
 #include <iostream>
+#include <thread>
 #include <vector>
 
 #include "stats/json.hh"
+#include "topo/partition.hh"
 #include "topo/scenarios.hh"
 
 #include "bench_util.hh"
 
 using namespace bgpbench;
 
+namespace
+{
+
+double
+wallMs(std::chrono::steady_clock::time_point begin)
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - begin)
+        .count();
+}
+
+struct SweepPoint
+{
+    size_t jobs;
+    double wallMs;
+    bool identical;
+};
+
+/**
+ * The thread-sweep: one announce scenario on a full mesh (the
+ * hardest shape for the partitioner — every cut is wide) at
+ * escalating worker counts, against the jobs = 1 report bytes.
+ */
+std::vector<SweepPoint>
+runSweep(size_t mesh_nodes)
+{
+    std::vector<SweepPoint> points;
+    std::string baseline;
+    for (size_t jobs : {size_t(1), size_t(2), size_t(4), size_t(8)}) {
+        topo::ScenarioOptions opts;
+        opts.simConfig.jobs = jobs;
+        auto begin = std::chrono::steady_clock::now();
+        topo::ConvergenceReport report = topo::runAnnounceScenario(
+            topo::Topology::fullMesh(mesh_nodes), "mesh", opts);
+        SweepPoint point;
+        point.jobs = jobs;
+        point.wallMs = wallMs(begin);
+        std::string json = report.toJson();
+        if (jobs == 1)
+            baseline = json;
+        point.identical = json == baseline;
+        points.push_back(point);
+    }
+    return points;
+}
+
+} // namespace
+
 int
-main()
+main(int argc, char **argv)
 {
     size_t nodes = benchutil::envSize(
         "BGPBENCH_NODES", benchutil::fastMode() ? 10 : 24);
+    size_t jobs = benchutil::envSize("BGPBENCH_JOBS", 1);
+    bool sweep = std::getenv("BGPBENCH_SWEEP") &&
+                 std::strcmp(std::getenv("BGPBENCH_SWEEP"), "1") == 0;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--jobs" && i + 1 < argc) {
+            jobs = size_t(std::strtoull(argv[++i], nullptr, 10));
+        } else if (arg == "--sweep") {
+            sweep = true;
+        } else {
+            std::cerr << "usage: topo_convergence [--jobs N] "
+                         "[--sweep]\n";
+            return 2;
+        }
+    }
     const uint64_t seed = 42;
     const size_t attach = 2;
 
     std::cout << "Network-wide convergence (" << nodes
-              << " routers per topology, seed " << seed << ")\n";
+              << " routers per topology, seed " << seed << ", jobs "
+              << jobs << ")\n";
 
     topo::ScenarioOptions opts;
+    opts.simConfig.jobs = jobs;
     std::vector<topo::ConvergenceReport> runs;
 
     runs.push_back(topo::runAnnounceScenario(
@@ -63,17 +139,63 @@ main()
         run.printText(std::cout);
     }
 
+    std::vector<SweepPoint> sweep_points;
+    if (sweep) {
+        size_t mesh_nodes = benchutil::fastMode() ? 16 : 64;
+        std::cout << "\nThread sweep: announce on a " << mesh_nodes
+                  << "-node full mesh\n";
+        sweep_points = runSweep(mesh_nodes);
+        std::cout << "jobs  wall ms   speedup  report\n";
+        for (const SweepPoint &point : sweep_points) {
+            std::cout << point.jobs << "     "
+                      << stats::formatDouble(point.wallMs, 1) << "   "
+                      << stats::formatDouble(
+                             sweep_points[0].wallMs / point.wallMs, 2)
+                      << "x    "
+                      << (point.identical ? "identical"
+                                          : "DIVERGED")
+                      << "\n";
+        }
+    }
+
+    // The partition the parallel engine would use for the random
+    // shape at the selected worker count — recorded so a trajectory
+    // point documents its own execution layout.
+    size_t resolved = jobs;
+    if (resolved == 0) {
+        resolved =
+            std::max<size_t>(1, std::thread::hardware_concurrency());
+    }
+    topo::Partition partition = topo::partitionTopology(
+        topo::Topology::barabasiAlbert(nodes, attach, seed), resolved);
+
     std::ofstream json("BENCH_topo_convergence.json");
     stats::JsonWriter writer(json);
     writer.beginObject();
     writer.field("benchmark", "topo_convergence");
     writer.field("nodes", uint64_t(nodes));
     writer.field("seed", seed);
+    writer.field("jobs", uint64_t(resolved));
+    writer.field("shards", uint64_t(partition.shardCount));
+    writer.field("cut_links", uint64_t(partition.cutLinks));
+    writer.field("edge_cut_ratio", partition.edgeCutRatio);
     writer.key("runs");
     writer.beginArray();
     for (const topo::ConvergenceReport &run : runs)
         run.writeJson(writer);
     writer.endArray();
+    if (sweep) {
+        writer.key("sweep");
+        writer.beginArray();
+        for (const SweepPoint &point : sweep_points) {
+            writer.beginObject();
+            writer.field("jobs", uint64_t(point.jobs));
+            writer.field("wall_ms", point.wallMs);
+            writer.field("report_identical", point.identical);
+            writer.endObject();
+        }
+        writer.endArray();
+    }
     writer.endObject();
     json << "\n";
     std::cout << "\nwrote BENCH_topo_convergence.json\n";
@@ -84,6 +206,13 @@ main()
     if (!all_converged) {
         std::cerr << "error: a scenario failed to converge\n";
         return 1;
+    }
+    for (const SweepPoint &point : sweep_points) {
+        if (!point.identical) {
+            std::cerr << "error: parallel report diverged at jobs "
+                      << point.jobs << "\n";
+            return 1;
+        }
     }
     return 0;
 }

@@ -1,5 +1,6 @@
 #include "bgp/attr_intern.hh"
 
+#include <atomic>
 #include <cstdlib>
 #include <cstring>
 #include <utility>
@@ -21,7 +22,9 @@ internDisabledByEnv()
 uint64_t
 nextInternerId()
 {
-    static uint64_t next = 0;
+    // Atomic: interners are constructed lazily on several threads
+    // (one per parallel-simulation worker).
+    static std::atomic<uint64_t> next{0};
     return ++next;
 }
 
@@ -47,7 +50,14 @@ AttributeInterner::AttributeInterner()
 AttributeInterner &
 AttributeInterner::global()
 {
-    static AttributeInterner interner;
+    // One interner per thread: the parallel topology engine runs one
+    // speaker shard per worker, and a shared table would need a lock
+    // on the hottest allocation path. Canonical sets from different
+    // threads carry different owner ids, so sameAttributeValue()
+    // falls back to hash-guarded deep comparison across shards —
+    // slower, but correct, and cross-shard attribute comparisons are
+    // rare (RIB contents stay shard-local).
+    static thread_local AttributeInterner interner;
     return interner;
 }
 

@@ -15,8 +15,11 @@
  * (on bucket collisions) and in bulk by amortised sweeps, so session
  * resets cannot grow the table without bound.
  *
- * The process-global interner matches the single-threaded discrete-
- * event design of the rest of the library; no locking is performed.
+ * The default interner is per-thread (one per parallel-simulation
+ * worker), so no locking is performed anywhere on the intern path.
+ * Canonicals carry their owner's id; comparisons across interners
+ * (threads, or separate test instances) fall back to hash-guarded
+ * deep comparison and remain correct.
  * The BGPBENCH_NO_INTERN=1 environment variable (or setEnabled(false))
  * disables canonicalisation for ablation runs; all consumers fall back
  * to hash-guarded deep comparison and remain correct.
@@ -111,7 +114,11 @@ class AttributeInterner
     /** Zero the lifetime counters (table contents are kept). */
     void resetStats();
 
-    /** The process-wide interner used by makeAttributes(). */
+    /**
+     * The calling thread's interner, used by makeAttributes().
+     * Thread-local so parallel simulation shards never contend;
+     * single-threaded programs see exactly one instance.
+     */
     static AttributeInterner &global();
 
   private:

@@ -8,33 +8,47 @@ namespace bgpbench::sim
 {
 
 void
-Simulator::schedule(SimTime at, Handler handler)
+Simulator::schedule(SimTime at, uint64_t key, Handler handler)
 {
     panicIf(at < now_, "event scheduled in the past");
-    queue_.push(Event{at, nextSeq_++, std::move(handler)});
+    queue_.push(Event{at, key, nextSeq_++, std::move(handler), {}});
 }
 
 void
 Simulator::scheduleEvery(SimTime period, std::function<bool()> handler)
 {
     panicIf(period == 0, "periodic event with zero period");
-    // Self-rescheduling wrapper; stops when the handler returns false.
-    // The wrapper captures itself weakly — the pending event holds the
-    // only owning reference — so the closure is freed as soon as the
-    // handler stops rescheduling.
-    // Drift-free: the wrapper runs with now_ equal to its own firing
-    // time (step() sets the clock before invoking the handler), so
-    // scheduleIn(period, ...) anchors the next firing at exactly
-    // k * period regardless of what else the handler schedules.
-    auto wrapper = std::make_shared<std::function<void()>>();
-    std::weak_ptr<std::function<void()>> weak = wrapper;
-    *wrapper = [this, period, handler = std::move(handler), weak]() {
-        if (!handler())
-            return;
-        if (auto self = weak.lock())
-            scheduleIn(period, [self]() { (*self)(); });
-    };
-    scheduleIn(period, [wrapper]() { (*wrapper)(); });
+    // The task lives in one heap block whose only owner is the
+    // pending event; re-arming moves that shared_ptr into the next
+    // event instead of wrapping the handler in a fresh std::function
+    // every recurrence (runFront re-pushes the same block).
+    // Drift-free: runFront sets the clock to the firing time before
+    // invoking the handler, so anchoring the next firing at
+    // now_ + period lands every recurrence on an exact period
+    // multiple regardless of what else the handler schedules.
+    auto task = std::make_shared<PeriodicTask>(
+        PeriodicTask{period, std::move(handler)});
+    queue_.push(
+        Event{now_ + period, 0, nextSeq_++, {}, std::move(task)});
+}
+
+void
+Simulator::runFront()
+{
+    // Copy out before pop; the handler may schedule new events.
+    Event event = std::move(const_cast<Event &>(queue_.top()));
+    queue_.pop();
+    now_ = event.time;
+    ++executed_;
+    if (event.periodic) {
+        if (event.periodic->handler()) {
+            event.time = now_ + event.periodic->period;
+            event.seq = nextSeq_++;
+            queue_.push(std::move(event));
+        }
+        return;
+    }
+    event.handler();
 }
 
 bool
@@ -42,12 +56,7 @@ Simulator::step()
 {
     if (queue_.empty())
         return false;
-    // Copy out before pop; the handler may schedule new events.
-    Event event = std::move(const_cast<Event &>(queue_.top()));
-    queue_.pop();
-    now_ = event.time;
-    ++executed_;
-    event.handler();
+    runFront();
     return true;
 }
 
@@ -55,9 +64,20 @@ void
 Simulator::runUntil(SimTime until)
 {
     while (!queue_.empty() && queue_.top().time <= until)
-        step();
+        runFront();
     if (now_ < until)
         now_ = until;
+}
+
+size_t
+Simulator::runBefore(SimTime end)
+{
+    size_t ran = 0;
+    while (!queue_.empty() && queue_.top().time < end) {
+        runFront();
+        ++ran;
+    }
+    return ran;
 }
 
 void

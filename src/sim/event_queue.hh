@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <queue>
 #include <vector>
 
@@ -19,8 +20,18 @@ namespace bgpbench::sim
 /**
  * The simulator: an event queue with a virtual clock.
  *
- * Events at equal timestamps execute in scheduling order (FIFO),
- * which makes runs fully deterministic.
+ * Events are ordered by (time, key, sequence). The key is an
+ * explicit tie-break rank for events at equal timestamps; events
+ * scheduled without one get key 0 and therefore execute in
+ * scheduling order (FIFO), which makes plain runs fully
+ * deterministic.
+ *
+ * Keyed scheduling exists for the sharded topology engine: when the
+ * same logical event set is split across several queues, a
+ * scheduling-order tie-break would depend on which shard scheduled
+ * an event first. A content-derived key (e.g. source node and
+ * per-source message sequence) restores a total order that every
+ * shard layout resolves identically.
  */
 class Simulator
 {
@@ -30,24 +41,47 @@ class Simulator
     /** Current virtual time. */
     SimTime now() const { return now_; }
 
-    /** Schedule @p handler at absolute time @p at (>= now). */
-    void schedule(SimTime at, Handler handler);
+    /** Schedule @p handler at absolute time @p at (>= now), key 0. */
+    void
+    schedule(SimTime at, Handler handler)
+    {
+        schedule(at, 0, std::move(handler));
+    }
+
+    /**
+     * Schedule @p handler at @p at with an explicit tie-break
+     * @p key: events at equal times run in ascending key order,
+     * equal (time, key) pairs in scheduling order.
+     */
+    void schedule(SimTime at, uint64_t key, Handler handler);
 
     /** Schedule @p handler @p delay after now. */
     void
     scheduleIn(SimTime delay, Handler handler)
     {
-        schedule(now_ + delay, std::move(handler));
+        schedule(now_ + delay, 0, std::move(handler));
     }
 
     /**
      * Schedule @p handler every @p period, starting one period from
-     * now, until it returns false.
+     * now, until it returns false. The recurring closure is stored
+     * once and re-armed in place — recurrences allocate nothing.
      */
     void scheduleEvery(SimTime period, std::function<bool()> handler);
 
     /** Run all events with time <= @p until; clock ends at @p until. */
     void runUntil(SimTime until);
+
+    /**
+     * Run all events with time strictly below @p end; the clock stays
+     * at the last executed event (it does NOT advance to @p end).
+     * This is the conservative-window primitive of the parallel
+     * topology engine: a shard drains one lookahead window and leaves
+     * boundary events for the next one.
+     *
+     * @return Number of events executed.
+     */
+    size_t runBefore(SimTime end);
 
     /** Run until the queue is empty. */
     void runUntilIdle();
@@ -65,11 +99,25 @@ class Simulator
     SimTime nextEventTime() const;
 
   private:
+    /**
+     * A self-rescheduling periodic closure. The pending event holds
+     * the only owning reference while armed, so the task is freed as
+     * soon as its handler stops the recurrence.
+     */
+    struct PeriodicTask
+    {
+        SimTime period;
+        std::function<bool()> handler;
+    };
+
     struct Event
     {
         SimTime time;
+        uint64_t key;
         uint64_t seq;
         Handler handler;
+        /** Set instead of handler for scheduleEvery recurrences. */
+        std::shared_ptr<PeriodicTask> periodic;
     };
 
     struct Later
@@ -79,9 +127,14 @@ class Simulator
         {
             if (a.time != b.time)
                 return a.time > b.time;
+            if (a.key != b.key)
+                return a.key > b.key;
             return a.seq > b.seq;
         }
     };
+
+    /** Pop the front event and run it with the clock at its time. */
+    void runFront();
 
     std::priority_queue<Event, std::vector<Event>, Later> queue_;
     SimTime now_ = 0;

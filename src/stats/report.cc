@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "net/logging.hh"
+#include "stats/json.hh"
 
 namespace bgpbench::stats
 {
@@ -177,6 +178,82 @@ printDedupReport(std::ostream &os, const std::string &title,
     table.addRow({"bytes deduplicated",
                   std::to_string(report.bytesDeduplicated)});
     table.print(os);
+}
+
+double
+ParallelReport::eventImbalance() const
+{
+    if (perShard.empty())
+        return 0.0;
+    uint64_t total = 0;
+    uint64_t busiest = 0;
+    for (const ShardUtilization &shard : perShard) {
+        total += shard.events;
+        busiest = std::max(busiest, shard.events);
+    }
+    if (total == 0)
+        return 0.0;
+    double ideal = double(total) / double(perShard.size());
+    return double(busiest) / ideal - 1.0;
+}
+
+void
+writeParallelReport(JsonWriter &json, const ParallelReport &report)
+{
+    json.key("parallel");
+    json.beginObject();
+    json.field("jobs", report.jobs);
+    json.field("shards", report.shards);
+    json.field("cut_links", report.cutLinks);
+    json.field("edge_cut_ratio", report.edgeCutRatio);
+    json.field("node_skew", report.nodeSkew);
+    json.field("lookahead_ns", report.lookaheadNs);
+    json.field("windows", report.windows);
+    json.field("event_imbalance", report.eventImbalance());
+    json.key("shard_utilization");
+    json.beginArray();
+    for (const ShardUtilization &shard : report.perShard) {
+        json.beginObject();
+        json.field("nodes", shard.nodes);
+        json.field("events", shard.events);
+        json.field("busy_host_ns", shard.busyHostNs);
+        json.endObject();
+    }
+    json.endArray();
+    json.endObject();
+}
+
+void
+printParallelReport(std::ostream &os, const ParallelReport &report)
+{
+    os << "parallel: " << report.jobs << " job(s), " << report.shards
+       << " shard(s), " << report.cutLinks << " cut link(s) ("
+       << formatDouble(report.edgeCutRatio * 100.0, 1)
+       << "% of links), lookahead "
+       << formatDouble(double(report.lookaheadNs) / 1e6, 3) << " ms, "
+       << report.windows << " window(s), event imbalance "
+       << formatDouble(report.eventImbalance() * 100.0, 1) << "%\n";
+    TextTable table({"shard", "nodes", "events", "busy host ms"});
+    for (size_t s = 0; s < report.perShard.size(); ++s) {
+        const ShardUtilization &shard = report.perShard[s];
+        table.addRow(
+            {std::to_string(s), std::to_string(shard.nodes),
+             std::to_string(shard.events),
+             formatDouble(double(shard.busyHostNs) / 1e6, 2)});
+    }
+    table.print(os);
+}
+
+void
+printImbalanceWarning(std::ostream &os, uint64_t shards,
+                      double node_skew)
+{
+    os << "warning: partitioner produced an imbalanced cut: largest "
+          "of "
+       << shards << " shards holds "
+       << formatDouble(node_skew * 100.0, 1)
+       << "% more nodes than its fair share; parallel speedup will "
+          "degrade\n";
 }
 
 } // namespace bgpbench::stats

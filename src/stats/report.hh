@@ -85,6 +85,62 @@ struct DedupReport
 void printDedupReport(std::ostream &os, const std::string &title,
                       const DedupReport &report);
 
+class JsonWriter;
+
+/**
+ * Execution counters of one worker shard of a parallel run, reduced
+ * to plain numbers so this library stays free of simulation
+ * dependencies.
+ */
+struct ShardUtilization
+{
+    /** Routers owned by the shard. */
+    uint64_t nodes = 0;
+    /** Events the shard's queue executed. */
+    uint64_t events = 0;
+    /** Host nanoseconds the worker spent executing events. */
+    uint64_t busyHostNs = 0;
+};
+
+/** Shard layout and per-shard utilization of one parallel run. */
+struct ParallelReport
+{
+    /** Worker threads requested (1 = sequential path). */
+    uint64_t jobs = 1;
+    uint64_t shards = 1;
+    uint64_t cutLinks = 0;
+    double edgeCutRatio = 0.0;
+    /** Largest shard over the ideal node share, minus one. */
+    double nodeSkew = 0.0;
+    /** Conservative lookahead window, ns (0 = sequential). */
+    uint64_t lookaheadNs = 0;
+    /** Synchronization windows executed. */
+    uint64_t windows = 0;
+    std::vector<ShardUtilization> perShard;
+
+    /**
+     * Imbalance of executed events across shards: the busiest
+     * shard's share over the ideal 1/shards share, minus one.
+     */
+    double eventImbalance() const;
+};
+
+/** Emit @p report as one "parallel" object field of @p json. */
+void writeParallelReport(JsonWriter &json,
+                         const ParallelReport &report);
+
+/** Print @p report as an aligned table. */
+void printParallelReport(std::ostream &os,
+                         const ParallelReport &report);
+
+/**
+ * Warn that a partitioner produced shards with badly uneven node
+ * counts (the parallel engine degrades instead of failing; this
+ * makes the degradation visible rather than silent).
+ */
+void printImbalanceWarning(std::ostream &os, uint64_t shards,
+                           double node_skew);
+
 } // namespace bgpbench::stats
 
 #endif // BGPBENCH_STATS_REPORT_HH

@@ -49,6 +49,20 @@ ConvergenceTracker::onSessionChange(size_t node, sim::SimTime now)
     lastActivity_ = std::max(lastActivity_, now);
 }
 
+void
+ConvergenceTracker::absorb(ConvergenceTracker &shard)
+{
+    updatesDelivered_ += shard.updatesDelivered_;
+    transactionsDelivered_ += shard.transactionsDelivered_;
+    locRibChanges_ += shard.locRibChanges_;
+    droppedSegments_ += shard.droppedSegments_;
+    lastActivity_ = std::max(lastActivity_, shard.lastActivity_);
+    for (auto &[key, paths] : shard.explored_) {
+        explored_[key].merge(paths);
+    }
+    shard = ConvergenceTracker();
+}
+
 double
 ConvergenceTracker::convergenceTimeSec() const
 {

@@ -72,6 +72,16 @@ class ConvergenceTracker
     /** A segment was lost to a down link or a stale link epoch. */
     void onSegmentDropped() { ++droppedSegments_; }
 
+    /**
+     * Fold @p shard's accumulated metrics into this tracker and
+     * reset @p shard to empty. Every merged quantity is
+     * order-independent (sums, maxima, set unions), so absorbing the
+     * per-shard trackers of a parallel run in any shard order yields
+     * the same totals as sequential accumulation — the property the
+     * byte-identical-reports guarantee rests on.
+     */
+    void absorb(ConvergenceTracker &shard);
+
     /** @name Accumulated metrics
      *  @{
      */

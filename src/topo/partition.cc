@@ -1,0 +1,82 @@
+#include "topo/partition.hh"
+
+#include <algorithm>
+#include <queue>
+
+#include "net/logging.hh"
+
+namespace bgpbench::topo
+{
+
+Partition
+partitionTopology(const Topology &topo, size_t shards)
+{
+    if (shards == 0)
+        fatal("cannot partition a topology into zero shards");
+    size_t nodes = topo.nodeCount();
+    shards = std::min(shards, nodes);
+
+    Partition out;
+    out.shardCount = shards;
+    out.shardOf.assign(nodes, 0);
+    out.shardNodes.assign(shards, 0);
+
+    // Fair node quotas: the first (nodes % shards) shards take one
+    // extra node, so counts never differ by more than one.
+    size_t next_seed = 0;
+    std::vector<bool> assigned(nodes, false);
+    for (size_t s = 0; s < shards; ++s) {
+        size_t quota = nodes / shards + (s < nodes % shards ? 1 : 0);
+        std::queue<size_t> frontier;
+        size_t taken = 0;
+        while (taken < quota) {
+            if (frontier.empty()) {
+                // Fresh seed: the lowest unassigned node. Needed for
+                // the first node of the shard and whenever the
+                // unassigned remainder is disconnected.
+                while (assigned[next_seed])
+                    ++next_seed;
+                assigned[next_seed] = true;
+                frontier.push(next_seed);
+                out.shardOf[next_seed] = uint32_t(s);
+                ++taken;
+                continue;
+            }
+            size_t at = frontier.front();
+            frontier.pop();
+            for (const Topology::Adjacent &adj :
+                 topo.neighborsOf(at)) {
+                if (taken >= quota)
+                    break;
+                if (assigned[adj.node])
+                    continue;
+                assigned[adj.node] = true;
+                out.shardOf[adj.node] = uint32_t(s);
+                frontier.push(adj.node);
+                ++taken;
+            }
+        }
+        out.shardNodes[s] = quota;
+    }
+
+    for (size_t l = 0; l < topo.linkCount(); ++l) {
+        const Link &link = topo.link(l);
+        if (!out.crossShard(link))
+            continue;
+        ++out.cutLinks;
+        out.minCutLatencyNs =
+            std::min(out.minCutLatencyNs, link.latencyNs);
+    }
+    if (topo.linkCount() > 0) {
+        out.edgeCutRatio =
+            double(out.cutLinks) / double(topo.linkCount());
+    }
+
+    size_t largest =
+        *std::max_element(out.shardNodes.begin(), out.shardNodes.end());
+    double ideal = double(nodes) / double(shards);
+    out.nodeSkew = double(largest) / ideal - 1.0;
+    return out;
+}
+
+} // namespace bgpbench::topo

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Topology sharding for the parallel simulation engine.
+ *
+ * The partitioner splits a topology's routers into a requested number
+ * of shards so that one worker thread can own each shard's event
+ * queue. Two goals pull against each other: shards should hold equal
+ * node counts (thread load balance) and as few links as possible
+ * should cross shards (every cut link forces cross-shard message
+ * exchange and bounds the conservative lookahead window).
+ *
+ * The algorithm is greedy BFS growth: each shard starts from the
+ * lowest-numbered unassigned node and absorbs unassigned neighbours
+ * breadth-first until its node quota is met, restarting from the next
+ * unassigned seed if the frontier empties (disconnected remainder).
+ * On lines, rings, and stars this recovers the contiguous minimum-cut
+ * split; on meshy graphs no small cut exists and the quota keeps the
+ * threads busy evenly. The result is a pure function of the topology
+ * and the shard count — determinism of parallel runs starts here.
+ */
+
+#ifndef BGPBENCH_TOPO_PARTITION_HH
+#define BGPBENCH_TOPO_PARTITION_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "topo/topology.hh"
+
+namespace bgpbench::topo
+{
+
+/** A node-to-shard assignment plus its quality measures. */
+struct Partition
+{
+    /** shardOf[node] = owning shard index. */
+    std::vector<uint32_t> shardOf;
+    size_t shardCount = 0;
+    /** Nodes per shard. */
+    std::vector<size_t> shardNodes;
+    /** Links whose endpoints live in different shards. */
+    size_t cutLinks = 0;
+    /** cutLinks / linkCount (0 when the topology has no links). */
+    double edgeCutRatio = 0.0;
+    /**
+     * Node-count imbalance: largest shard relative to the ideal
+     * nodeCount / shardCount, minus one. 0 means perfectly balanced;
+     * 0.25 means the biggest shard is 25% over its fair share.
+     */
+    double nodeSkew = 0.0;
+    /**
+     * Smallest latency over cut links — the conservative lookahead
+     * window of the parallel engine. simTimeNever when nothing is
+     * cut (single shard).
+     */
+    sim::SimTime minCutLatencyNs = sim::simTimeNever;
+
+    bool crossShard(const Link &link) const
+    {
+        return shardOf[link.a.node] != shardOf[link.b.node];
+    }
+};
+
+/**
+ * Partition @p topo into @p shards shards (clamped to the node
+ * count; 0 is fatal). Deterministic for equal inputs.
+ */
+Partition partitionTopology(const Topology &topo, size_t shards);
+
+} // namespace bgpbench::topo
+
+#endif // BGPBENCH_TOPO_PARTITION_HH

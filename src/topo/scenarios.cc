@@ -23,7 +23,7 @@ namespace
 void
 originateAll(TopologySim &sim, const ScenarioOptions &opts)
 {
-    sim::SimTime now = sim.simulator().now();
+    sim::SimTime now = sim.now();
     for (size_t node = 0; node < sim.topology().nodeCount(); ++node) {
         for (size_t j = 0; j < opts.prefixesPerNode; ++j)
             sim.originate(node, scenarioPrefix(node, j), now);
@@ -35,7 +35,7 @@ bool
 settle(TopologySim &sim, const ScenarioOptions &opts)
 {
     bool converged = sim.runToConvergence(opts.limitNs);
-    sim.tracker().markPhaseStart(sim.simulator().now());
+    sim.tracker().markPhaseStart(sim.now());
     return converged;
 }
 
@@ -69,7 +69,7 @@ runLinkFailureScenario(Topology topology, const std::string &shape,
     bool converged = sim.runToConvergence(opts.limitNs);
     originateAll(sim, opts);
     converged = converged && settle(sim, opts);
-    sim.scheduleLinkDown(link, sim.simulator().now());
+    sim.scheduleLinkDown(link, sim.now());
     converged = converged && sim.runToConvergence(opts.limitNs);
     return finish(sim, converged, "link-failure", shape);
 }
@@ -83,7 +83,7 @@ runRouterRebootScenario(Topology topology, const std::string &shape,
     bool converged = sim.runToConvergence(opts.limitNs);
     originateAll(sim, opts);
     converged = converged && settle(sim, opts);
-    sim.scheduleRouterRestart(node, sim.simulator().now(), downtime);
+    sim.scheduleRouterRestart(node, sim.now(), downtime);
     converged = converged && sim.runToConvergence(opts.limitNs);
     return finish(sim, converged, "router-reboot", shape);
 }

@@ -1,17 +1,37 @@
 #include "topo/topology_sim.hh"
 
 #include <algorithm>
+#include <atomic>
+#include <barrier>
+#include <chrono>
+#include <iostream>
 #include <queue>
+#include <thread>
 
 #include "net/logging.hh"
 
 namespace bgpbench::topo
 {
 
+namespace
+{
+
+uint64_t
+hostNanosSince(std::chrono::steady_clock::time_point begin)
+{
+    return uint64_t(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - begin)
+                        .count());
+}
+
+} // namespace
+
 /** SpeakerEvents adapter attributing callbacks to one node. */
 struct TopologySim::NodeEvents : public bgp::SpeakerEvents
 {
     TopologySim *sim = nullptr;
+    /** The shard owning the node; all callbacks run on its worker. */
+    Shard *shard = nullptr;
     size_t node = 0;
 
     void
@@ -27,8 +47,8 @@ struct TopologySim::NodeEvents : public bgp::SpeakerEvents
                       const bgp::UpdateStats &stats) override
     {
         (void)from;
-        sim->tracker_.onUpdateProcessed(node, stats,
-                                        sim->sim_.now());
+        shard->tracker.onUpdateProcessed(node, stats,
+                                         shard->sim.now());
     }
 
     void
@@ -38,7 +58,7 @@ struct TopologySim::NodeEvents : public bgp::SpeakerEvents
         (void)peer;
         (void)previous;
         (void)current;
-        sim->tracker_.onSessionChange(node, sim->sim_.now());
+        shard->tracker.onSessionChange(node, shard->sim.now());
     }
 };
 
@@ -48,13 +68,43 @@ TopologySim::TopologySim(Topology topology, TopologySimConfig config)
     if (topo_.nodeCount() == 0)
         fatal("topology simulation needs at least one node");
 
-    links_.resize(topo_.linkCount());
+    size_t jobs = config_.jobs;
+    if (jobs == 0)
+        jobs = std::max<size_t>(1, std::thread::hardware_concurrency());
+    partition_ = partitionTopology(topo_, jobs);
+    if (partition_.shardCount > 1 && partition_.cutLinks > 0 &&
+        partition_.minCutLatencyNs == 0) {
+        // A zero-latency cut link leaves no conservative lookahead at
+        // all: every window would be empty. Degrade loudly, not
+        // silently wrong.
+        std::cerr << "warning: a cross-shard link has zero latency, "
+                     "leaving no conservative lookahead; running "
+                     "sequentially\n";
+        partition_ = partitionTopology(topo_, 1);
+    }
+    if (partition_.nodeSkew > 0.25) {
+        stats::printImbalanceWarning(std::cerr, partition_.shardCount,
+                                     partition_.nodeSkew);
+    }
+    lookaheadNs_ = partition_.minCutLatencyNs;
+
+    shards_.reserve(partition_.shardCount);
+    for (size_t s = 0; s < partition_.shardCount; ++s) {
+        auto shard = std::make_unique<Shard>();
+        shard->index = s;
+        shard->links.resize(topo_.linkCount());
+        shard->outbox.resize(partition_.shardCount);
+        shards_.push_back(std::move(shard));
+    }
+
     cpuFreeAt_.assign(topo_.nodeCount(), 0);
+    messageSeq_.assign(topo_.nodeCount(), 0);
 
     for (size_t i = 0; i < topo_.nodeCount(); ++i) {
         const NodeConfig &node = topo_.node(i);
         auto events = std::make_unique<NodeEvents>();
         events->sim = this;
+        events->shard = shards_[shardOfNode(i)].get();
         events->node = i;
 
         bgp::SpeakerConfig speaker_config;
@@ -85,12 +135,33 @@ TopologySim::TopologySim(Topology topology, TopologySimConfig config)
     }
 
     if (config_.establishAtStart) {
-        for (size_t l = 0; l < topo_.linkCount(); ++l)
-            sim_.schedule(0, [this, l]() { establishLink(l); });
+        for (size_t l = 0; l < topo_.linkCount(); ++l) {
+            scheduleMirrored(l, 0, [this, l](Shard &shard) {
+                establishLocal(shard, l);
+            });
+        }
     }
 }
 
 TopologySim::~TopologySim() = default;
+
+sim::SimTime
+TopologySim::now() const
+{
+    sim::SimTime latest = 0;
+    for (const auto &shard : shards_)
+        latest = std::max(latest, shard->sim.now());
+    return latest;
+}
+
+size_t
+TopologySim::pendingEvents() const
+{
+    size_t pending = 0;
+    for (const auto &shard : shards_)
+        pending += shard->sim.pendingEvents();
+    return pending;
+}
 
 bgp::BgpSpeaker &
 TopologySim::speaker(size_t node)
@@ -111,32 +182,85 @@ TopologySim::speaker(size_t node) const
 bool
 TopologySim::linkUp(size_t link) const
 {
-    if (link >= links_.size())
+    if (link >= topo_.linkCount())
         fatal("unknown link index " + std::to_string(link));
-    return links_[link].up;
+    // Either owning replica works: fault mirroring keeps them equal
+    // at every simulated instant.
+    size_t owner = partition_.shardOf[topo_.link(link).a.node];
+    return shards_[owner]->links[link].up;
 }
 
 void
-TopologySim::establishLink(size_t l)
+TopologySim::ownerShards(size_t link, size_t out[2],
+                         size_t &count) const
 {
-    if (!links_[l].up)
+    const Link &l = topo_.link(link);
+    out[0] = partition_.shardOf[l.a.node];
+    count = 1;
+    size_t other = partition_.shardOf[l.b.node];
+    if (other != out[0])
+        out[count++] = other;
+}
+
+bool
+TopologySim::shardOwnsLink(const Shard &shard, size_t link) const
+{
+    const Link &l = topo_.link(link);
+    return partition_.shardOf[l.a.node] == shard.index ||
+           partition_.shardOf[l.b.node] == shard.index;
+}
+
+template <typename Fn>
+void
+TopologySim::scheduleMirrored(size_t link, sim::SimTime at,
+                              Fn &&handler)
+{
+    size_t owners[2];
+    size_t count = 0;
+    ownerShards(link, owners, count);
+    for (size_t i = 0; i < count; ++i) {
+        Shard *shard = shards_[owners[i]].get();
+        shard->sim.schedule(at,
+                            [handler, shard]() { handler(*shard); });
+    }
+}
+
+uint64_t
+TopologySim::nextMessageKey(size_t node)
+{
+    // (source node + 1) in the high bits, the per-source transmit
+    // sequence in the low 44: never zero (zero is the rank of
+    // scenario/fault events), strictly increasing per source, and
+    // independent of which shard layout scheduled the transmit.
+    return (uint64_t(node) + 1) << 44 | ++messageSeq_[node];
+}
+
+void
+TopologySim::establishLocal(Shard &shard, size_t l)
+{
+    if (!shard.links[l].up)
         return;
     const Link &link = topo_.link(l);
-    sim::SimTime now = sim_.now();
+    sim::SimTime now = shard.sim.now();
     for (size_t node : {link.a.node, link.b.node}) {
+        if (shardOfNode(node) != shard.index)
+            continue;
         speakers_[node]->startPeer(bgp::PeerId(l), now);
         speakers_[node]->tcpEstablished(bgp::PeerId(l), now);
     }
 }
 
 void
-TopologySim::closeLink(size_t l)
+TopologySim::closeLocal(Shard &shard, size_t l)
 {
-    ++links_[l].epoch;
+    ++shard.links[l].epoch;
     const Link &link = topo_.link(l);
-    sim::SimTime now = sim_.now();
-    for (size_t node : {link.a.node, link.b.node})
+    sim::SimTime now = shard.sim.now();
+    for (size_t node : {link.a.node, link.b.node}) {
+        if (shardOfNode(node) != shard.index)
+            continue;
         speakers_[node]->tcpClosed(bgp::PeerId(l), now);
+    }
 }
 
 void
@@ -146,11 +270,12 @@ TopologySim::transmitFrom(size_t node, bgp::PeerId peer,
                           size_t transactions)
 {
     size_t l = peer;
-    if (l >= links_.size())
+    if (l >= topo_.linkCount())
         panic("transmit on unknown link");
-    LinkState &state = links_[l];
+    Shard &shard = shardFor(node);
+    LinkState &state = shard.links[l];
     if (!state.up) {
-        tracker_.onSegmentDropped();
+        shard.tracker.onSegmentDropped();
         return;
     }
 
@@ -160,32 +285,60 @@ TopologySim::transmitFrom(size_t node, bgp::PeerId peer,
 
     // Serialise onto the link, then propagate. The per-direction
     // cursor keeps deliveries FIFO (TCP ordering) and models the
-    // link as busy while a segment is on the wire.
+    // link as busy while a segment is on the wire. Only the source
+    // node's shard ever reads or writes its direction's cursor.
     sim::SimTime ser_ns = 0;
     if (link.bandwidthMbps > 0) {
         ser_ns = sim::SimTime(double(wire.size()) * 8.0 * 1000.0 /
                               link.bandwidthMbps);
     }
-    sim::SimTime start = std::max(sim_.now(), state.busyUntil[dir]);
+    sim::SimTime start = std::max(shard.sim.now(), state.busyUntil[dir]);
     state.busyUntil[dir] = start + ser_ns;
-    sim::SimTime arrival = start + ser_ns + link.latencyNs;
 
-    uint64_t epoch = state.epoch;
-    sim_.schedule(arrival, [this, l, epoch, dst,
-                            wire = std::move(wire), type,
-                            transactions]() mutable {
-        arrive(l, epoch, dst, std::move(wire), type, transactions);
-    });
+    CrossMessage msg;
+    msg.time = start + ser_ns + link.latencyNs;
+    msg.key = nextMessageKey(node);
+    msg.link = uint32_t(l);
+    msg.epoch = state.epoch;
+    msg.dst = uint32_t(dst);
+    msg.type = type;
+    msg.transactions = uint32_t(transactions);
+    msg.wire = std::move(wire);
+
+    size_t dst_shard = shardOfNode(dst);
+    if (dst_shard == shard.index) {
+        scheduleArrival(shard, std::move(msg));
+    } else {
+        // Cross-shard: into the mailbox, delivered at the next window
+        // barrier. Window safety: msg.time >= now + link latency
+        // >= window start + lookahead >= window end.
+        shard.outbox[dst_shard].messages.push_back(std::move(msg));
+    }
 }
 
 void
-TopologySim::arrive(size_t l, uint64_t epoch, size_t dst,
+TopologySim::scheduleArrival(Shard &shard, CrossMessage msg)
+{
+    shard.sim.schedule(
+        msg.time, msg.key,
+        [this, l = size_t(msg.link), epoch = msg.epoch, key = msg.key,
+         dst = size_t(msg.dst), type = msg.type,
+         transactions = size_t(msg.transactions),
+         wire = std::move(msg.wire)]() mutable {
+            arrive(l, epoch, key, dst, std::move(wire), type,
+                   transactions);
+        });
+}
+
+void
+TopologySim::arrive(size_t l, uint64_t epoch, uint64_t key, size_t dst,
                     std::vector<uint8_t> wire, bgp::MessageType type,
                     size_t transactions)
 {
-    LinkState &state = links_[l];
+    Shard &shard = shardFor(dst);
+    LinkState &state = shard.links[l];
     if (!state.up || state.epoch != epoch) {
-        tracker_.onSegmentDropped();
+        shard.tracker.onSegmentDropped();
         return;
     }
 
@@ -206,14 +359,18 @@ TopologySim::arrive(size_t l, uint64_t epoch, size_t dst,
                                profile.cpu.cyclesPerSecond * 1e9) +
                   profile.costs.msgGateNs;
     }
-    sim::SimTime begin = std::max(sim_.now(), cpuFreeAt_[dst]);
+    sim::SimTime begin = std::max(shard.sim.now(), cpuFreeAt_[dst]);
     sim::SimTime done = begin + cost_ns;
     cpuFreeAt_[dst] = done;
 
-    sim_.schedule(done, [this, l, epoch, dst,
-                         wire = std::move(wire), type]() {
-        deliver(l, epoch, dst, wire, type);
-    });
+    // The delivery keeps the message's ordering key, so deliveries
+    // collapsing onto the same CPU-done instant still run in source
+    // order on every shard layout.
+    shard.sim.schedule(done, key,
+                       [this, l, epoch, dst, wire = std::move(wire),
+                        type]() {
+                           deliver(l, epoch, dst, wire, type);
+                       });
 }
 
 void
@@ -221,9 +378,10 @@ TopologySim::deliver(size_t l, uint64_t epoch, size_t dst,
                      const std::vector<uint8_t> &wire,
                      bgp::MessageType type)
 {
-    LinkState &state = links_[l];
+    Shard &shard = shardFor(dst);
+    LinkState &state = shard.links[l];
     if (!state.up || state.epoch != epoch) {
-        tracker_.onSegmentDropped();
+        shard.tracker.onSegmentDropped();
         return;
     }
 
@@ -233,12 +391,14 @@ TopologySim::deliver(size_t l, uint64_t epoch, size_t dst,
         bgp::DecodeError error;
         auto msg = bgp::decodeMessage(wire, error);
         if (msg && messageType(*msg) == bgp::MessageType::Update) {
-            tracker_.onUpdateDelivered(
-                dst, std::get<bgp::UpdateMessage>(*msg), sim_.now());
+            shard.tracker.onUpdateDelivered(
+                dst, std::get<bgp::UpdateMessage>(*msg),
+                shard.sim.now());
         }
     }
 
-    speakers_[dst]->receiveBytes(bgp::PeerId(l), wire, sim_.now());
+    speakers_[dst]->receiveBytes(bgp::PeerId(l), wire,
+                                 shard.sim.now());
 }
 
 void
@@ -249,12 +409,13 @@ TopologySim::originate(size_t node, const net::Prefix &prefix,
         fatal("unknown node index " + std::to_string(node));
     originated_.emplace_back(node, prefix);
     net::Ipv4Address next_hop = topo_.node(node).address;
-    sim_.schedule(at, [this, node, prefix, next_hop]() {
+    Shard *shard = &shardFor(node);
+    shard->sim.schedule(at, [this, shard, node, prefix, next_hop]() {
         bgp::PathAttributes attrs;
         attrs.nextHop = next_hop;
-        speakers_[node]->originate(prefix,
-                                  bgp::makeAttributes(std::move(attrs)),
-                                  sim_.now());
+        speakers_[node]->originate(
+            prefix, bgp::makeAttributes(std::move(attrs)),
+            shard->sim.now());
     });
 }
 
@@ -264,55 +425,61 @@ TopologySim::withdrawLocal(size_t node, const net::Prefix &prefix,
 {
     if (node >= speakers_.size())
         fatal("unknown node index " + std::to_string(node));
-    sim_.schedule(at, [this, node, prefix]() {
-        speakers_[node]->withdrawLocal(prefix, sim_.now());
-        auto it = std::find(originated_.begin(), originated_.end(),
-                            std::make_pair(node, prefix));
-        if (it != originated_.end())
-            originated_.erase(it);
+    // The origination list is bookkeeping for locRibsConsistent(),
+    // which only runs between runs; updating it at scheduling time
+    // (like originate() does) keeps run-time handlers free of state
+    // shared across shards.
+    auto it = std::find(originated_.begin(), originated_.end(),
+                        std::make_pair(node, prefix));
+    if (it != originated_.end())
+        originated_.erase(it);
+    Shard *shard = &shardFor(node);
+    shard->sim.schedule(at, [this, shard, node, prefix]() {
+        speakers_[node]->withdrawLocal(prefix, shard->sim.now());
     });
 }
 
 void
 TopologySim::scheduleLinkDown(size_t link, sim::SimTime at)
 {
-    if (link >= links_.size())
+    if (link >= topo_.linkCount())
         fatal("unknown link index " + std::to_string(link));
-    sim_.schedule(at, [this, link]() {
-        if (!links_[link].up)
+    scheduleMirrored(link, at, [this, link](Shard &shard) {
+        if (!shard.links[link].up)
             return;
-        links_[link].up = false;
-        closeLink(link);
+        shard.links[link].up = false;
+        closeLocal(shard, link);
     });
 }
 
 void
 TopologySim::scheduleLinkUp(size_t link, sim::SimTime at)
 {
-    if (link >= links_.size())
+    if (link >= topo_.linkCount())
         fatal("unknown link index " + std::to_string(link));
-    sim_.schedule(at, [this, link]() {
-        if (links_[link].up)
+    scheduleMirrored(link, at, [this, link](Shard &shard) {
+        if (shard.links[link].up)
             return;
-        links_[link].up = true;
-        links_[link].busyUntil[0] = sim_.now();
-        links_[link].busyUntil[1] = sim_.now();
-        establishLink(link);
+        shard.links[link].up = true;
+        shard.links[link].busyUntil[0] = shard.sim.now();
+        shard.links[link].busyUntil[1] = shard.sim.now();
+        establishLocal(shard, link);
     });
 }
 
 void
 TopologySim::scheduleSessionReset(size_t link, sim::SimTime at)
 {
-    if (link >= links_.size())
+    if (link >= topo_.linkCount())
         fatal("unknown link index " + std::to_string(link));
-    sim_.schedule(at, [this, link]() {
-        if (!links_[link].up)
+    scheduleMirrored(link, at, [this, link](Shard &shard) {
+        if (!shard.links[link].up)
             return;
-        closeLink(link);
-        sim_.scheduleIn(config_.reconnectDelayNs, [this, link]() {
-            establishLink(link);
-        });
+        closeLocal(shard, link);
+        shard.sim.scheduleIn(config_.reconnectDelayNs,
+                             [this, link, sh = &shard]() {
+                                 establishLocal(*sh, link);
+                             });
     });
 }
 
@@ -322,33 +489,194 @@ TopologySim::scheduleRouterRestart(size_t node, sim::SimTime at,
 {
     if (node >= speakers_.size())
         fatal("unknown node index " + std::to_string(node));
-    sim_.schedule(at, [this, node, downtime]() {
-        for (const Topology::Adjacent &adj : topo_.neighborsOf(node)) {
-            if (links_[adj.link].up)
-                closeLink(adj.link);
+
+    // Every shard owning an incident link sees the restart (the
+    // neighbours' sessions drop too); each applies only its local
+    // half at the same simulated instants.
+    std::vector<size_t> affected{shardOfNode(node)};
+    for (const Topology::Adjacent &adj : topo_.neighborsOf(node)) {
+        size_t other = shardOfNode(adj.node);
+        if (std::find(affected.begin(), affected.end(), other) ==
+            affected.end()) {
+            affected.push_back(other);
         }
-        cpuFreeAt_[node] = sim_.now() + downtime;
-        sim_.scheduleIn(downtime, [this, node]() {
+    }
+    std::sort(affected.begin(), affected.end());
+
+    for (size_t s : affected) {
+        Shard *shard = shards_[s].get();
+        shard->sim.schedule(at, [this, shard, node, downtime]() {
             for (const Topology::Adjacent &adj :
                  topo_.neighborsOf(node)) {
-                if (links_[adj.link].up)
-                    establishLink(adj.link);
+                if (!shardOwnsLink(*shard, adj.link))
+                    continue;
+                if (shard->links[adj.link].up)
+                    closeLocal(*shard, adj.link);
+            }
+            if (shardOfNode(node) == shard->index)
+                cpuFreeAt_[node] = shard->sim.now() + downtime;
+            shard->sim.scheduleIn(downtime, [this, shard, node]() {
+                for (const Topology::Adjacent &adj :
+                     topo_.neighborsOf(node)) {
+                    if (!shardOwnsLink(*shard, adj.link))
+                        continue;
+                    if (shard->links[adj.link].up)
+                        establishLocal(*shard, adj.link);
+                }
+            });
+        });
+    }
+}
+
+bool
+TopologySim::runSequential(sim::SimTime limit)
+{
+    Shard &shard = *shards_[0];
+    auto begin = std::chrono::steady_clock::now();
+    bool converged;
+    while (true) {
+        sim::SimTime next = shard.sim.nextEventTime();
+        if (next == sim::simTimeNever) {
+            converged = true;
+            break;
+        }
+        if (next > limit) {
+            converged = false;
+            break;
+        }
+        shard.sim.step();
+    }
+    shard.hostBusyNs += hostNanosSince(begin);
+    return converged;
+}
+
+void
+TopologySim::exchangeAndOpenWindow(sim::SimTime limit)
+{
+    // Drain every mailbox. Per destination, messages from all source
+    // shards are merged and sorted by (time, key) before scheduling,
+    // so the destination queue's contents never depend on the order
+    // the sources were visited in.
+    for (size_t d = 0; d < shards_.size(); ++d) {
+        inboxScratch_.clear();
+        for (auto &src : shards_) {
+            auto &box = src->outbox[d].messages;
+            for (CrossMessage &msg : box)
+                inboxScratch_.push_back(std::move(msg));
+            box.clear();
+        }
+        if (inboxScratch_.empty())
+            continue;
+        std::sort(inboxScratch_.begin(), inboxScratch_.end(),
+                  [](const CrossMessage &a, const CrossMessage &b) {
+                      if (a.time != b.time)
+                          return a.time < b.time;
+                      return a.key < b.key;
+                  });
+        for (CrossMessage &msg : inboxScratch_)
+            scheduleArrival(*shards_[d], std::move(msg));
+        inboxScratch_.clear();
+    }
+
+    sim::SimTime next = sim::simTimeNever;
+    for (const auto &shard : shards_)
+        next = std::min(next, shard->sim.nextEventTime());
+    if (next == sim::simTimeNever) {
+        runDone_ = true;
+        runConverged_ = true;
+        return;
+    }
+    if (next > limit) {
+        runDone_ = true;
+        runConverged_ = false;
+        return;
+    }
+
+    // Open [next, next + lookahead): no message transmitted inside
+    // the window can arrive before its end, so the shards may drain
+    // it independently. Clamp so nothing past the limit executes.
+    sim::SimTime end;
+    if (lookaheadNs_ == sim::simTimeNever ||
+        next > sim::simTimeNever - lookaheadNs_) {
+        end = sim::simTimeNever;
+    } else {
+        end = next + lookaheadNs_;
+    }
+    if (limit != sim::simTimeNever)
+        end = std::min(end, limit + 1);
+    windowEnd_ = end;
+    ++windows_;
+}
+
+bool
+TopologySim::runParallel(sim::SimTime limit)
+{
+    runDone_ = false;
+    runConverged_ = false;
+    exchangeAndOpenWindow(limit);
+    if (runDone_)
+        return runConverged_;
+
+    std::atomic<bool> failed{false};
+    auto completion = [this, limit, &failed]() noexcept {
+        if (failed.load(std::memory_order_relaxed)) {
+            runDone_ = true;
+            runConverged_ = false;
+            return;
+        }
+        exchangeAndOpenWindow(limit);
+    };
+    // The barrier is the only inter-shard synchronisation: its phase
+    // completion publishes the drained mailboxes and the next
+    // windowEnd_/runDone_ values to every worker.
+    std::barrier barrier(std::ptrdiff_t(shards_.size()),
+                         std::move(completion));
+
+    std::vector<std::thread> workers;
+    workers.reserve(shards_.size());
+    for (auto &entry : shards_) {
+        Shard *shard = entry.get();
+        workers.emplace_back([this, shard, &barrier, &failed]() {
+            while (!runDone_) {
+                auto begin = std::chrono::steady_clock::now();
+                try {
+                    shard->sim.runBefore(windowEnd_);
+                } catch (...) {
+                    shard->error = std::current_exception();
+                    failed.store(true, std::memory_order_relaxed);
+                }
+                shard->hostBusyNs += hostNanosSince(begin);
+                barrier.arrive_and_wait();
             }
         });
-    });
+    }
+    for (std::thread &worker : workers)
+        worker.join();
+
+    for (auto &entry : shards_) {
+        if (entry->error) {
+            std::exception_ptr error = entry->error;
+            entry->error = nullptr;
+            std::rethrow_exception(error);
+        }
+    }
+    return runConverged_;
+}
+
+void
+TopologySim::absorbShardTrackers()
+{
+    for (auto &shard : shards_)
+        tracker_.absorb(shard->tracker);
 }
 
 bool
 TopologySim::runToConvergence(sim::SimTime limit)
 {
-    while (true) {
-        sim::SimTime next = sim_.nextEventTime();
-        if (next == sim::simTimeNever)
-            return true;
-        if (next > limit)
-            return false;
-        sim_.step();
-    }
+    bool converged = shards_.size() == 1 ? runSequential(limit)
+                                         : runParallel(limit);
+    absorbShardTrackers();
+    return converged;
 }
 
 bool
@@ -368,7 +696,7 @@ TopologySim::locRibsConsistent() const
                 return false;
             for (const Topology::Adjacent &adj :
                  topo_.neighborsOf(at)) {
-                if (links_[adj.link].up && !seen[adj.node]) {
+                if (linkUp(adj.link) && !seen[adj.node]) {
                     seen[adj.node] = true;
                     frontier.push(adj.node);
                 }
@@ -387,7 +715,7 @@ TopologySim::report(const std::string &scenario,
     out.shape = shape;
     out.nodes = topo_.nodeCount();
     out.links = topo_.linkCount();
-    out.converged = sim_.pendingEvents() == 0;
+    out.converged = pendingEvents() == 0;
     out.convergenceTimeSec = tracker_.convergenceTimeSec();
     out.totalUpdates = tracker_.updatesDelivered();
     out.totalTransactions = tracker_.transactionsDelivered();
@@ -408,6 +736,30 @@ TopologySim::report(const std::string &scenario,
                                out.convergenceTimeSec
                          : 0.0;
         out.routers.push_back(std::move(router));
+    }
+    return out;
+}
+
+stats::ParallelReport
+TopologySim::parallelReport() const
+{
+    stats::ParallelReport out;
+    out.jobs = shards_.size();
+    out.shards = partition_.shardCount;
+    out.cutLinks = partition_.cutLinks;
+    out.edgeCutRatio = partition_.edgeCutRatio;
+    out.nodeSkew = partition_.nodeSkew;
+    out.lookaheadNs =
+        (shards_.size() > 1 && lookaheadNs_ != sim::simTimeNever)
+            ? lookaheadNs_
+            : 0;
+    out.windows = windows_;
+    for (const auto &shard : shards_) {
+        stats::ShardUtilization util;
+        util.nodes = partition_.shardNodes[shard->index];
+        util.events = shard->sim.eventsExecuted();
+        util.busyHostNs = shard->hostBusyNs;
+        out.perShard.push_back(util);
     }
     return out;
 }

@@ -1,7 +1,8 @@
 /**
  * @file
  * TopologySim: N full BgpSpeaker instances wired into a Topology on
- * top of the deterministic discrete-event simulator.
+ * top of the deterministic discrete-event simulator, with an optional
+ * parallel sharded execution mode.
  *
  * Each node owns a real BgpSpeaker; its SpeakerEvents::onTransmit is
  * bridged into simulated link delivery: a transmitted segment is
@@ -19,8 +20,38 @@
  * counter; segments in flight across a down or reset are dropped,
  * exactly as a TCP connection teardown loses unacknowledged data.
  *
- * The run is fully deterministic: equal topologies, schedules, and
- * seeds produce byte-identical convergence reports.
+ * ## Parallel execution (config.jobs)
+ *
+ * With jobs > 1 the topology's routers are partitioned into shards
+ * (greedy BFS, see partition.hh) and one worker thread runs each
+ * shard's own event queue. Shards advance in conservative lookahead
+ * windows: every shard drains the events below the window end, the
+ * window being bounded by the smallest cross-shard link latency, so
+ * no message sent inside a window can be due before the window ends.
+ * At the window barrier the shards' outbound mailboxes are exchanged
+ * and the next window is derived from the globally earliest pending
+ * event. Mailboxes are single-producer/single-consumer: the owning
+ * worker appends during its window, the barrier's completion step
+ * drains them — the barrier itself is the only synchronisation.
+ *
+ * Determinism is the cardinal constraint: for a fixed topology and
+ * schedule, runs at ANY shard count produce reports byte-identical
+ * to the sequential engine (jobs = 1). Three mechanisms enforce it:
+ *
+ *  1. Total message order. Every message event (arrival, delivery)
+ *     carries the explicit queue ordering key
+ *     (source node id, per-source transmit sequence), so ties at
+ *     equal simulated times resolve identically no matter which
+ *     shard scheduled the event or when it crossed a mailbox —
+ *     never by thread arrival order.
+ *  2. Mirrored fault events. Link state (up flag, epoch) is
+ *     replicated per shard; a fault on a cross-shard link is
+ *     scheduled into every owning shard, each applying the local
+ *     half at the same simulated time, so both replicas evolve in
+ *     lock-step without runtime cross-shard communication.
+ *  3. Order-independent metrics. Per-shard ConvergenceTrackers are
+ *     folded into the main tracker with sums / maxima / set unions
+ *     only.
  */
 
 #ifndef BGPBENCH_TOPO_TOPOLOGY_SIM_HH
@@ -32,7 +63,9 @@
 
 #include "bgp/speaker.hh"
 #include "sim/event_queue.hh"
+#include "stats/report.hh"
 #include "topo/convergence.hh"
+#include "topo/partition.hh"
 #include "topo/topology.hh"
 
 namespace bgpbench::topo
@@ -51,11 +84,17 @@ struct TopologySimConfig
      * virtual CPU time is irrelevant.
      */
     bool chargeProcessingCost = true;
+    /**
+     * Worker threads: 1 (default) runs the sequential engine, N > 1
+     * runs N shards on N threads, 0 resolves to the hardware
+     * concurrency. Reports are byte-identical for every value.
+     */
+    size_t jobs = 1;
 };
 
 /**
- * Owns the simulator, the speakers, and the link plumbing for one
- * topology, and scripts scenarios against them.
+ * Owns the simulator shards, the speakers, and the link plumbing for
+ * one topology, and scripts scenarios against them.
  *
  * Peer-id convention: on every node, the peer id of a session equals
  * the global index of the link carrying it. Link indexes are unique
@@ -73,8 +112,21 @@ class TopologySim
     TopologySim &operator=(const TopologySim &) = delete;
 
     const Topology &topology() const { return topo_; }
-    sim::Simulator &simulator() { return sim_; }
-    const sim::Simulator &simulator() const { return sim_; }
+    /**
+     * Shard 0's simulator. With jobs = 1 this is THE simulator;
+     * parallel runs keep one per shard, so cross-run code should use
+     * now() / pendingEvents() instead.
+     */
+    sim::Simulator &simulator() { return shards_[0]->sim; }
+    const sim::Simulator &simulator() const { return shards_[0]->sim; }
+    /** Latest simulated time reached by any shard. */
+    sim::SimTime now() const;
+    /** Events waiting across all shards. */
+    size_t pendingEvents() const;
+    /** Worker threads / shards the engine resolved to. */
+    size_t jobs() const { return shards_.size(); }
+    /** The node partition driving the sharded execution. */
+    const Partition &partition() const { return partition_; }
     bgp::BgpSpeaker &speaker(size_t node);
     const bgp::BgpSpeaker &speaker(size_t node) const;
     ConvergenceTracker &tracker() { return tracker_; }
@@ -107,7 +159,7 @@ class TopologySim
     /** @} */
 
     /**
-     * Run until the event queue is quiescent (converged) or the
+     * Run until the event queues are quiescent (converged) or the
      * clock would pass @p limit.
      *
      * @return True if the network converged within the limit.
@@ -134,6 +186,13 @@ class TopologySim
     ConvergenceReport report(const std::string &scenario,
                              const std::string &shape) const;
 
+    /**
+     * Shard layout and utilization counters of the runs so far.
+     * Jobs-dependent by nature, hence NOT part of the convergence
+     * report (whose bytes must not depend on the jobs knob).
+     */
+    stats::ParallelReport parallelReport() const;
+
   private:
     struct NodeEvents;
 
@@ -146,16 +205,90 @@ class TopologySim
         sim::SimTime busyUntil[2] = {0, 0};
     };
 
-    /** Start both ends of @p link connecting (OPEN exchange). */
-    void establishLink(size_t link);
-    /** Drop both ends' sessions and invalidate in-flight segments. */
-    void closeLink(size_t link);
-    /** SpeakerEvents::onTransmit bridge. */
+    /**
+     * An inter-shard message: a segment transmitted by a node of one
+     * shard toward a node of another, carrying everything the
+     * destination needs to schedule the arrival locally.
+     */
+    struct CrossMessage
+    {
+        /** Simulated arrival time at the destination node. */
+        sim::SimTime time;
+        /** (source node, per-source sequence) total-order key. */
+        uint64_t key;
+        uint32_t link;
+        /** Source-side link epoch at transmit time. */
+        uint64_t epoch;
+        uint32_t dst;
+        bgp::MessageType type;
+        uint32_t transactions;
+        std::vector<uint8_t> wire;
+    };
+
+    /**
+     * Single-producer/single-consumer mailbox for one (source shard,
+     * destination shard) pair. The source worker appends during its
+     * window; the window barrier's completion step drains it. The
+     * barrier provides the happens-before edges, so the box itself
+     * needs no locks or atomics.
+     */
+    struct Mailbox
+    {
+        std::vector<CrossMessage> messages;
+    };
+
+    /**
+     * One worker's slice of the simulation: its own event queue,
+     * metric tracker, link-state replica, and outbound mailboxes.
+     */
+    struct Shard
+    {
+        size_t index = 0;
+        sim::Simulator sim;
+        ConvergenceTracker tracker;
+        /**
+         * Link-state replica. Authoritative only for links with an
+         * endpoint in this shard; fault events are mirrored into
+         * every owning shard so replicas agree at every simulated
+         * instant.
+         */
+        std::vector<LinkState> links;
+        /** Outbox toward every shard (self entry unused). */
+        std::vector<Mailbox> outbox;
+        /** Host nanoseconds spent executing events. */
+        uint64_t hostBusyNs = 0;
+        /** First exception thrown inside a window, if any. */
+        std::exception_ptr error;
+    };
+
+    size_t shardOfNode(size_t node) const
+    {
+        return partition_.shardOf[node];
+    }
+    Shard &shardFor(size_t node) { return *shards_[shardOfNode(node)]; }
+    /** Owning shards of @p link (one entry when both ends share it). */
+    void ownerShards(size_t link, size_t out[2], size_t &count) const;
+    /** Whether @p shard owns an endpoint of @p link. */
+    bool shardOwnsLink(const Shard &shard, size_t link) const;
+    /** Schedule @p handler into every owning shard of @p link. */
+    template <typename Fn>
+    void scheduleMirrored(size_t link, sim::SimTime at, Fn &&handler);
+
+    /** Next (src node, sequence) message-ordering key for @p node. */
+    uint64_t nextMessageKey(size_t node);
+
+    /** Bring the shard-local ends of @p link up (OPEN exchange). */
+    void establishLocal(Shard &shard, size_t link);
+    /** Drop the shard-local ends and invalidate in-flight segments. */
+    void closeLocal(Shard &shard, size_t link);
+    /** SpeakerEvents::onTransmit bridge; runs in the node's shard. */
     void transmitFrom(size_t node, bgp::PeerId peer,
                       bgp::MessageType type,
                       std::vector<uint8_t> wire, size_t transactions);
+    /** Schedule a (possibly mailbox-delivered) arrival in @p shard. */
+    void scheduleArrival(Shard &shard, CrossMessage msg);
     /** Segment reached the far end; queue CPU processing. */
-    void arrive(size_t link, uint64_t epoch, size_t dst,
+    void arrive(size_t link, uint64_t epoch, uint64_t key, size_t dst,
                 std::vector<uint8_t> wire, bgp::MessageType type,
                 size_t transactions);
     /** CPU processing done; deliver to the speaker. */
@@ -163,16 +296,39 @@ class TopologySim
                  const std::vector<uint8_t> &wire,
                  bgp::MessageType type);
 
+    /** Sequential engine: drain shard 0 up to @p limit. */
+    bool runSequential(sim::SimTime limit);
+    /** Parallel engine: windowed barrier stepping on worker threads. */
+    bool runParallel(sim::SimTime limit);
+    /** Drain all mailboxes and pick the next window (barrier step). */
+    void exchangeAndOpenWindow(sim::SimTime limit);
+    /** Fold the per-shard trackers into tracker_ (post-run). */
+    void absorbShardTrackers();
+
     Topology topo_;
     TopologySimConfig config_;
-    sim::Simulator sim_;
+    Partition partition_;
+    /**
+     * Conservative window span: the smallest cross-shard link
+     * latency. simTimeNever when nothing is cut (single shard).
+     */
+    sim::SimTime lookaheadNs_ = sim::simTimeNever;
+    std::vector<std::unique_ptr<Shard>> shards_;
     std::vector<std::unique_ptr<NodeEvents>> events_;
     std::vector<std::unique_ptr<bgp::BgpSpeaker>> speakers_;
-    std::vector<LinkState> links_;
     /** Control CPU availability per node (single control thread). */
     std::vector<sim::SimTime> cpuFreeAt_;
+    /** Per-node transmit sequence feeding nextMessageKey(). */
+    std::vector<uint64_t> messageSeq_;
     std::vector<std::pair<size_t, net::Prefix>> originated_;
     ConvergenceTracker tracker_;
+    /** Barrier/window state of the run in progress. */
+    sim::SimTime windowEnd_ = 0;
+    bool runDone_ = false;
+    bool runConverged_ = false;
+    uint64_t windows_ = 0;
+    /** Scratch for sorting one destination's inbound mail. */
+    std::vector<CrossMessage> inboxScratch_;
 };
 
 } // namespace bgpbench::topo

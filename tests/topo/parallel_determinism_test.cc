@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Determinism regression suite for the parallel topology engine: for
+ * a fixed topology and scenario, runs at jobs = 1, 2, 4, 8 (and auto)
+ * must produce byte-identical JSON, CSV, and text reports — including
+ * scenarios that inject faults while convergence traffic is still in
+ * flight, which in a parallel run lands mid-lookahead-window.
+ */
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "topo/scenarios.hh"
+#include "topo/topology.hh"
+#include "topo/topology_sim.hh"
+
+using namespace bgpbench;
+
+namespace
+{
+
+const std::vector<size_t> kJobCounts = {1, 2, 4, 8};
+
+/** All three renderings of a report, concatenated. */
+std::string
+allRenderings(const topo::ConvergenceReport &report)
+{
+    std::ostringstream os;
+    os << report.toJson() << '\n';
+    report.printCsv(os, true);
+    report.printText(os);
+    return os.str();
+}
+
+topo::ScenarioOptions
+optionsWithJobs(size_t jobs)
+{
+    topo::ScenarioOptions opts;
+    opts.simConfig.jobs = jobs;
+    return opts;
+}
+
+/**
+ * Run @p scenario once per job count and expect every rendering to
+ * match the sequential baseline byte for byte.
+ */
+template <typename Fn>
+void
+expectIdenticalAcrossJobs(const char *label, Fn &&scenario)
+{
+    std::string baseline = allRenderings(scenario(size_t(1)));
+    EXPECT_FALSE(baseline.empty());
+    for (size_t jobs : kJobCounts) {
+        SCOPED_TRACE(std::string(label) + " jobs=" +
+                     std::to_string(jobs));
+        EXPECT_EQ(allRenderings(scenario(jobs)), baseline);
+    }
+}
+
+} // namespace
+
+TEST(ParallelDeterminism, AnnounceOnMesh)
+{
+    expectIdenticalAcrossJobs("mesh announce", [](size_t jobs) {
+        return topo::runAnnounceScenario(topo::Topology::fullMesh(12),
+                                         "mesh", optionsWithJobs(jobs));
+    });
+}
+
+TEST(ParallelDeterminism, AnnounceOnRandomGraph)
+{
+    expectIdenticalAcrossJobs("ba announce", [](size_t jobs) {
+        return topo::runAnnounceScenario(
+            topo::Topology::barabasiAlbert(24, 2, 42), "random",
+            optionsWithJobs(jobs));
+    });
+}
+
+TEST(ParallelDeterminism, LinkFailureOnRing)
+{
+    expectIdenticalAcrossJobs("ring link failure", [](size_t jobs) {
+        return topo::runLinkFailureScenario(topo::Topology::ring(16),
+                                            "ring", 3,
+                                            optionsWithJobs(jobs));
+    });
+}
+
+TEST(ParallelDeterminism, RouterRebootOnRandomGraph)
+{
+    expectIdenticalAcrossJobs("ba reboot", [](size_t jobs) {
+        return topo::runRouterRebootScenario(
+            topo::Topology::barabasiAlbert(24, 2, 7), "random", 0,
+            sim::nsFromMs(50), optionsWithJobs(jobs));
+    });
+}
+
+TEST(ParallelDeterminism, FaultsInjectedMidConvergence)
+{
+    // Faults landing while announcement traffic is still in flight:
+    // a link flap and a session reset are scheduled a few hundred
+    // microseconds into convergence, far below the time the network
+    // needs to settle, so parallel runs hit them mid-window.
+    expectIdenticalAcrossJobs("mid-flight faults", [](size_t jobs) {
+        topo::TopologySimConfig config;
+        config.jobs = jobs;
+        topo::TopologySim sim(topo::Topology::barabasiAlbert(20, 2, 5),
+                              config);
+        for (size_t node = 0; node < 20; ++node)
+            sim.originate(node, topo::scenarioPrefix(node, 0), 0);
+        sim.scheduleLinkDown(2, sim::nsFromUs(300));
+        sim.scheduleSessionReset(5, sim::nsFromUs(450));
+        sim.scheduleLinkUp(2, sim::nsFromMs(2));
+        sim.scheduleRouterRestart(1, sim::nsFromMs(3),
+                                  sim::nsFromMs(10));
+        bool converged = sim.runToConvergence(sim::nsFromSec(600.0));
+        EXPECT_TRUE(converged);
+        topo::ConvergenceReport report =
+            sim.report("mid-flight", "random");
+        report.converged = converged && sim.locRibsConsistent();
+        return report;
+    });
+}
+
+TEST(ParallelDeterminism, WithdrawMidConvergence)
+{
+    expectIdenticalAcrossJobs("withdraw", [](size_t jobs) {
+        topo::TopologySimConfig config;
+        config.jobs = jobs;
+        topo::TopologySim sim(topo::Topology::ring(12), config);
+        for (size_t node = 0; node < 12; ++node)
+            sim.originate(node, topo::scenarioPrefix(node, 0), 0);
+        sim.withdrawLocal(4, topo::scenarioPrefix(4, 0),
+                          sim::nsFromUs(500));
+        bool converged = sim.runToConvergence(sim::nsFromSec(600.0));
+        EXPECT_TRUE(converged);
+        topo::ConvergenceReport report = sim.report("withdraw", "ring");
+        report.converged = converged && sim.locRibsConsistent();
+        return report;
+    });
+}
+
+TEST(ParallelDeterminism, AutoJobsMatchesSequential)
+{
+    auto run = [](size_t jobs) {
+        return topo::runAnnounceScenario(topo::Topology::ring(12),
+                                         "ring", optionsWithJobs(jobs))
+            .toJson();
+    };
+    // jobs = 0 resolves to the hardware concurrency, whatever that
+    // is on the host; the report must still match.
+    EXPECT_EQ(run(0), run(1));
+}
+
+TEST(ParallelDeterminism, EngineResolvesRequestedShards)
+{
+    topo::TopologySimConfig config;
+    config.jobs = 4;
+    topo::TopologySim sim(topo::Topology::ring(16), config);
+    EXPECT_EQ(sim.jobs(), 4u);
+    EXPECT_EQ(sim.partition().shardCount, 4u);
+
+    for (size_t node = 0; node < 16; ++node)
+        sim.originate(node, topo::scenarioPrefix(node, 0), 0);
+    ASSERT_TRUE(sim.runToConvergence(sim::nsFromSec(600.0)));
+
+    stats::ParallelReport report = sim.parallelReport();
+    EXPECT_EQ(report.jobs, 4u);
+    EXPECT_EQ(report.shards, 4u);
+    EXPECT_GT(report.windows, 0u);
+    EXPECT_GT(report.lookaheadNs, 0u);
+    ASSERT_EQ(report.perShard.size(), 4u);
+    uint64_t events = 0;
+    for (const stats::ShardUtilization &shard : report.perShard) {
+        EXPECT_EQ(shard.nodes, 4u);
+        events += shard.events;
+    }
+    EXPECT_GT(events, 0u);
+}
+
+TEST(ParallelDeterminism, ShardCountClampsToNodes)
+{
+    topo::TopologySimConfig config;
+    config.jobs = 64;
+    topo::TopologySim sim(topo::Topology::line(3), config);
+    EXPECT_EQ(sim.jobs(), 3u);
+    for (size_t node = 0; node < 3; ++node)
+        sim.originate(node, topo::scenarioPrefix(node, 0), 0);
+    EXPECT_TRUE(sim.runToConvergence(sim::nsFromSec(600.0)));
+    EXPECT_TRUE(sim.locRibsConsistent());
+}
+
+TEST(ParallelDeterminism, ZeroLatencyCutFallsBackToSequential)
+{
+    // Zero-latency links leave no conservative lookahead; the engine
+    // must degrade to one shard instead of deadlocking on empty
+    // windows.
+    topo::Topology topo;
+    for (size_t i = 0; i < 4; ++i)
+        topo.addNode(topo::Topology::defaultNode(i, {}));
+    for (size_t i = 0; i + 1 < 4; ++i)
+        topo.addLink(i, i + 1, 0, 100.0);
+
+    topo::TopologySimConfig config;
+    config.jobs = 2;
+    topo::TopologySim sim(std::move(topo), config);
+    EXPECT_EQ(sim.jobs(), 1u);
+    for (size_t node = 0; node < 4; ++node)
+        sim.originate(node, topo::scenarioPrefix(node, 0), 0);
+    EXPECT_TRUE(sim.runToConvergence(sim::nsFromSec(600.0)));
+    EXPECT_TRUE(sim.locRibsConsistent());
+}

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Tests for the topology partitioner feeding the parallel engine:
+ * full coverage, fair balance, cut statistics, determinism, and the
+ * imbalance warning.
+ */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "net/logging.hh"
+#include "stats/report.hh"
+#include "topo/partition.hh"
+#include "topo/topology.hh"
+
+using namespace bgpbench;
+using topo::Partition;
+using topo::partitionTopology;
+using topo::Topology;
+
+namespace
+{
+
+/** Every node assigned exactly once, counts consistent. */
+void
+expectCovers(const Partition &part, const Topology &topo)
+{
+    ASSERT_EQ(part.shardOf.size(), topo.nodeCount());
+    ASSERT_EQ(part.shardNodes.size(), part.shardCount);
+    std::vector<size_t> counted(part.shardCount, 0);
+    for (uint32_t shard : part.shardOf) {
+        ASSERT_LT(shard, part.shardCount);
+        ++counted[shard];
+    }
+    for (size_t s = 0; s < part.shardCount; ++s)
+        EXPECT_EQ(counted[s], part.shardNodes[s]);
+}
+
+} // namespace
+
+TEST(Partition, CoversEveryShapeAndCount)
+{
+    std::vector<Topology> shapes;
+    shapes.push_back(Topology::line(9));
+    shapes.push_back(Topology::ring(12));
+    shapes.push_back(Topology::star(7));
+    shapes.push_back(Topology::fullMesh(8));
+    shapes.push_back(Topology::barabasiAlbert(20, 2, 3));
+    for (const Topology &topo : shapes) {
+        for (size_t shards : {1, 2, 3, 4, 8}) {
+            Partition part = partitionTopology(topo, shards);
+            expectCovers(part, topo);
+        }
+    }
+}
+
+TEST(Partition, FairQuotasNeverDifferByMoreThanOne)
+{
+    Partition part = partitionTopology(Topology::ring(10), 4);
+    ASSERT_EQ(part.shardCount, 4u);
+    std::vector<size_t> sizes = part.shardNodes;
+    std::sort(sizes.begin(), sizes.end());
+    EXPECT_EQ(sizes, (std::vector<size_t>{2, 2, 3, 3}));
+    // Skew measured against the ideal 10/4 = 2.5: 3/2.5 - 1 = 0.2.
+    EXPECT_NEAR(part.nodeSkew, 0.2, 1e-9);
+}
+
+TEST(Partition, SingleShardCutsNothing)
+{
+    Partition part = partitionTopology(Topology::fullMesh(6), 1);
+    EXPECT_EQ(part.shardCount, 1u);
+    EXPECT_EQ(part.cutLinks, 0u);
+    EXPECT_EQ(part.edgeCutRatio, 0.0);
+    EXPECT_EQ(part.nodeSkew, 0.0);
+    EXPECT_EQ(part.minCutLatencyNs, sim::simTimeNever);
+}
+
+TEST(Partition, ClampsShardCountToNodes)
+{
+    Partition part = partitionTopology(Topology::line(5), 64);
+    EXPECT_EQ(part.shardCount, 5u);
+    for (size_t s = 0; s < 5; ++s)
+        EXPECT_EQ(part.shardNodes[s], 1u);
+}
+
+TEST(Partition, ZeroShardsIsFatal)
+{
+    EXPECT_THROW(partitionTopology(Topology::line(4), 0), FatalError);
+}
+
+TEST(Partition, LineRecoversMinimumCut)
+{
+    Partition part = partitionTopology(Topology::line(8), 2);
+    EXPECT_EQ(part.cutLinks, 1u);
+    EXPECT_NEAR(part.edgeCutRatio, 1.0 / 7.0, 1e-9);
+    // BFS growth keeps each half contiguous.
+    for (size_t node = 0; node < 4; ++node)
+        EXPECT_EQ(part.shardOf[node], part.shardOf[0]);
+    for (size_t node = 4; node < 8; ++node)
+        EXPECT_EQ(part.shardOf[node], part.shardOf[4]);
+}
+
+TEST(Partition, RingCutsExactlyTwoLinks)
+{
+    Partition part = partitionTopology(Topology::ring(12), 2);
+    EXPECT_EQ(part.cutLinks, 2u);
+}
+
+TEST(Partition, DeterministicForEqualInputs)
+{
+    Topology a = Topology::barabasiAlbert(30, 2, 9);
+    Topology b = Topology::barabasiAlbert(30, 2, 9);
+    Partition pa = partitionTopology(a, 4);
+    Partition pb = partitionTopology(b, 4);
+    EXPECT_EQ(pa.shardOf, pb.shardOf);
+    EXPECT_EQ(pa.cutLinks, pb.cutLinks);
+}
+
+TEST(Partition, MinCutLatencyIsSmallestCrossShardLatency)
+{
+    // A 4-node line with distinct latencies; split in two, the only
+    // cut link is the middle one.
+    Topology topo;
+    for (size_t i = 0; i < 4; ++i)
+        topo.addNode(Topology::defaultNode(i, {}));
+    topo.addLink(0, 1, sim::nsFromMs(1), 100.0);
+    topo.addLink(1, 2, sim::nsFromMs(7), 100.0);
+    topo.addLink(2, 3, sim::nsFromMs(1), 100.0);
+
+    Partition part = partitionTopology(topo, 2);
+    ASSERT_EQ(part.cutLinks, 1u);
+    EXPECT_EQ(part.minCutLatencyNs, sim::nsFromMs(7));
+}
+
+TEST(Partition, CrossShardPredicateMatchesAssignment)
+{
+    Topology topo = Topology::ring(10);
+    Partition part = partitionTopology(topo, 3);
+    size_t cut = 0;
+    for (size_t l = 0; l < topo.linkCount(); ++l) {
+        if (part.crossShard(topo.link(l)))
+            ++cut;
+    }
+    EXPECT_EQ(cut, part.cutLinks);
+}
+
+TEST(Partition, ImbalanceWarningNamesTheSkew)
+{
+    std::ostringstream os;
+    stats::printImbalanceWarning(os, 4, 0.5);
+    EXPECT_NE(os.str().find("warning"), std::string::npos);
+    EXPECT_NE(os.str().find("50.0%"), std::string::npos);
+    EXPECT_NE(os.str().find("4 shards"), std::string::npos);
+}

@@ -27,11 +27,13 @@
  *   --csv               machine-readable CSV instead of tables
  */
 
+#include <algorithm>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <map>
 #include <string>
+#include <thread>
 
 #include "bgp/attr_intern.hh"
 #include "core/benchmark_runner.hh"
@@ -66,6 +68,8 @@ struct CliOptions
     size_t faultNode = 0;
     uint64_t downtimeMs = 50;
     size_t prefixesPerNode = 1;
+    /** Worker threads for topo runs: 1 sequential, 0 = auto. */
+    size_t jobs = 1;
 };
 
 [[noreturn]] void
@@ -106,6 +110,8 @@ usage(int code)
         "  --downtime-ms N          reboot downtime (default 50)\n"
         "  --prefixes-per-node N    originated per router "
         "(default 1)\n"
+        "  --jobs N                 worker threads (1 = sequential, "
+        "0 = auto); reports are identical for every value\n"
         "  --json                   JSON report output\n";
     std::exit(code);
 }
@@ -169,6 +175,9 @@ parseArgs(int argc, char **argv)
                 std::strtoull(value().c_str(), nullptr, 10);
         } else if (arg == "--prefixes-per-node") {
             options.prefixesPerNode =
+                size_t(std::strtoull(value().c_str(), nullptr, 10));
+        } else if (arg == "--jobs") {
+            options.jobs =
                 size_t(std::strtoull(value().c_str(), nullptr, 10));
         } else if (arg == "--help" || arg == "-h") {
             usage(0);
@@ -362,6 +371,7 @@ cmdTopo(const CliOptions &options)
 {
     topo::ScenarioOptions sopts;
     sopts.prefixesPerNode = options.prefixesPerNode;
+    sopts.simConfig.jobs = options.jobs;
 
     topo::ConvergenceReport report;
     if (options.fault == "none") {
@@ -386,6 +396,20 @@ cmdTopo(const CliOptions &options)
         report.printCsv(std::cout, true);
     else
         report.printText(std::cout);
+
+    if (options.jobs != 1 && !options.csv && !options.json) {
+        size_t jobs = options.jobs;
+        if (jobs == 0) {
+            jobs = std::max<size_t>(
+                1, std::thread::hardware_concurrency());
+        }
+        topo::Partition part =
+            topo::partitionTopology(topoByShape(options), jobs);
+        std::cerr << "parallel: " << part.shardCount << " shard(s), "
+                  << part.cutLinks << " cut link(s) ("
+                  << stats::formatDouble(part.edgeCutRatio * 100.0, 1)
+                  << "% of links)\n";
+    }
     return report.converged ? 0 : 1;
 }
 
