@@ -47,10 +47,10 @@ struct SinkEvents : public bgp::SpeakerEvents
 
     void
     onTransmit(bgp::PeerId, bgp::MessageType,
-               std::vector<uint8_t> wire, size_t) override
+               net::WireSegmentPtr wire, size_t) override
     {
         ++transmits;
-        wireBytes += wire.size();
+        wireBytes += wire->size();
     }
 };
 

@@ -77,13 +77,98 @@ BM_DecodeUpdate(benchmark::State &state)
         for (const auto &pkt : packets) {
             bgp::DecodeError error;
             benchmark::DoNotOptimize(
-                bgp::decodeMessage(pkt.wire, error));
+                bgp::decodeMessage(pkt.wire->bytes(), error));
         }
     }
     state.SetItemsProcessed(int64_t(state.iterations()) *
                             state.range(0));
 }
 BENCHMARK(BM_DecodeUpdate)->Arg(1)->Arg(100)->Arg(500);
+
+void
+BM_EncodeSegmentPooled(benchmark::State &state)
+{
+    // Encode into pooled segments and release them immediately, so
+    // steady state recycles one buffer per message (the transmit
+    // path's allocation profile).
+    auto rs = routes(size_t(state.range(0)));
+    bgp::UpdateBuilder builder;
+    bgp::PathAttributes attrs;
+    attrs.asPath = bgp::AsPath::sequence({65001, 100});
+    attrs.nextHop = net::Ipv4Address(10, 0, 1, 2);
+    auto shared = bgp::makeAttributes(std::move(attrs));
+    for (const auto &r : rs)
+        builder.announce(r.prefix, shared);
+    auto updates = builder.build();
+
+    for (auto _ : state) {
+        for (const auto &update : updates)
+            benchmark::DoNotOptimize(bgp::encodeSegment(update));
+    }
+    state.SetItemsProcessed(int64_t(state.iterations()) *
+                            state.range(0));
+}
+BENCHMARK(BM_EncodeSegmentPooled)->Arg(1)->Arg(100)->Arg(500);
+
+void
+BM_FanoutSharedSegment(benchmark::State &state)
+{
+    // One 500-prefix UPDATE delivered to K stream decoders: encode
+    // once, every decoder borrows the segment.
+    size_t fanout = size_t(state.range(0));
+    auto packets = buildAnnouncementStream(routes(500),
+                                           streamConfig(500));
+    std::vector<bgp::StreamDecoder> decoders(fanout);
+
+    for (auto _ : state) {
+        for (const auto &pkt : packets) {
+            bgp::DecodeError error;
+            for (auto &decoder : decoders) {
+                decoder.feed(pkt.wire);
+                while (decoder.next(error)) {
+                }
+            }
+        }
+    }
+    state.SetItemsProcessed(int64_t(state.iterations()) *
+                            int64_t(fanout) * 500);
+}
+BENCHMARK(BM_FanoutSharedSegment)->Arg(2)->Arg(8)->Arg(16);
+
+void
+BM_FanoutCopyPerHop(benchmark::State &state)
+{
+    // The ablation counterpart: re-encode per peer and stage a copy
+    // in every decoder, the seed's copy-per-hop behaviour.
+    size_t fanout = size_t(state.range(0));
+    auto rs = routes(500);
+    bgp::UpdateBuilder builder;
+    bgp::PathAttributes attrs;
+    attrs.asPath = bgp::AsPath::sequence({65001, 100});
+    attrs.nextHop = net::Ipv4Address(10, 0, 1, 2);
+    auto shared = bgp::makeAttributes(std::move(attrs));
+    for (const auto &r : rs)
+        builder.announce(r.prefix, shared);
+    auto updates = builder.build();
+    std::vector<bgp::StreamDecoder> decoders(fanout);
+
+    bool saved = net::segmentSharingEnabled();
+    net::setSegmentSharing(false);
+    for (auto _ : state) {
+        for (const auto &update : updates) {
+            bgp::DecodeError error;
+            for (auto &decoder : decoders) {
+                decoder.feed(bgp::encodeSegment(update));
+                while (decoder.next(error)) {
+                }
+            }
+        }
+    }
+    net::setSegmentSharing(saved);
+    state.SetItemsProcessed(int64_t(state.iterations()) *
+                            int64_t(fanout) * 500);
+}
+BENCHMARK(BM_FanoutCopyPerHop)->Arg(2)->Arg(8)->Arg(16);
 
 void
 BM_DecisionProcess(benchmark::State &state)

@@ -93,11 +93,9 @@ decodeNlri(net::ByteReader &reader)
     return prefixes;
 }
 
-std::vector<uint8_t>
-encodeMessage(const OpenMessage &msg)
+void
+encodeMessageTo(net::ByteWriter &writer, const OpenMessage &msg)
 {
-    net::ByteWriter writer(proto::headerBytes + 10 +
-                           msg.optionalParameters.size());
     size_t len_off = beginMessage(writer, MessageType::Open);
     writer.writeU8(msg.version);
     writer.writeU16(msg.myAs);
@@ -106,13 +104,11 @@ encodeMessage(const OpenMessage &msg)
     writer.writeU8(uint8_t(msg.optionalParameters.size()));
     writer.writeBytes(msg.optionalParameters);
     endMessage(writer, len_off);
-    return writer.take();
 }
 
-std::vector<uint8_t>
-encodeMessage(const UpdateMessage &msg)
+void
+encodeMessageTo(net::ByteWriter &writer, const UpdateMessage &msg)
 {
-    net::ByteWriter writer(encodedSize(msg));
     size_t len_off = beginMessage(writer, MessageType::Update);
 
     size_t withdrawn_len_off = writer.size();
@@ -130,40 +126,93 @@ encodeMessage(const UpdateMessage &msg)
 
     encodeNlri(writer, msg.nlri);
     endMessage(writer, len_off);
-    return writer.take();
 }
 
-std::vector<uint8_t>
-encodeMessage(const KeepaliveMessage &)
+void
+encodeMessageTo(net::ByteWriter &writer, const KeepaliveMessage &)
 {
-    net::ByteWriter writer(proto::headerBytes);
     size_t len_off = beginMessage(writer, MessageType::Keepalive);
     endMessage(writer, len_off);
-    return writer.take();
 }
 
-std::vector<uint8_t>
-encodeMessage(const NotificationMessage &msg)
+void
+encodeMessageTo(net::ByteWriter &writer, const NotificationMessage &msg)
 {
-    net::ByteWriter writer(proto::headerBytes + 2 + msg.data.size());
     size_t len_off = beginMessage(writer, MessageType::Notification);
     writer.writeU8(uint8_t(msg.errorCode));
     writer.writeU8(msg.errorSubcode);
     writer.writeBytes(msg.data);
     endMessage(writer, len_off);
-    return writer.take();
 }
 
-std::vector<uint8_t>
-encodeMessage(const RouteRefreshMessage &msg)
+void
+encodeMessageTo(net::ByteWriter &writer, const RouteRefreshMessage &msg)
 {
-    net::ByteWriter writer(proto::headerBytes + 4);
     size_t len_off = beginMessage(writer, MessageType::RouteRefresh);
     writer.writeU16(msg.afi);
     writer.writeU8(0); // reserved
     writer.writeU8(msg.safi);
     endMessage(writer, len_off);
+}
+
+void
+encodeMessageTo(net::ByteWriter &writer, const Message &msg)
+{
+    std::visit([&writer](const auto &m) { encodeMessageTo(writer, m); },
+               msg);
+}
+
+namespace
+{
+
+template <typename MessageT>
+std::vector<uint8_t>
+encodeToVector(const MessageT &msg)
+{
+    net::ByteWriter writer(encodedSize(msg));
+    encodeMessageTo(writer, msg);
     return writer.take();
+}
+
+template <typename MessageT>
+net::WireSegmentPtr
+encodeToSegment(const MessageT &msg, net::BufferPool &pool)
+{
+    net::ByteWriter writer = pool.writer(encodedSize(msg));
+    encodeMessageTo(writer, msg);
+    return pool.seal(std::move(writer));
+}
+
+} // namespace
+
+std::vector<uint8_t>
+encodeMessage(const OpenMessage &msg)
+{
+    return encodeToVector(msg);
+}
+
+std::vector<uint8_t>
+encodeMessage(const UpdateMessage &msg)
+{
+    return encodeToVector(msg);
+}
+
+std::vector<uint8_t>
+encodeMessage(const KeepaliveMessage &msg)
+{
+    return encodeToVector(msg);
+}
+
+std::vector<uint8_t>
+encodeMessage(const NotificationMessage &msg)
+{
+    return encodeToVector(msg);
+}
+
+std::vector<uint8_t>
+encodeMessage(const RouteRefreshMessage &msg)
+{
+    return encodeToVector(msg);
 }
 
 std::vector<uint8_t>
@@ -171,6 +220,50 @@ encodeMessage(const Message &msg)
 {
     return std::visit(
         [](const auto &m) { return encodeMessage(m); }, msg);
+}
+
+net::WireSegmentPtr
+encodeSegment(const OpenMessage &msg, net::BufferPool &pool)
+{
+    return encodeToSegment(msg, pool);
+}
+
+net::WireSegmentPtr
+encodeSegment(const UpdateMessage &msg, net::BufferPool &pool)
+{
+    return encodeToSegment(msg, pool);
+}
+
+net::WireSegmentPtr
+encodeSegment(const KeepaliveMessage &msg, net::BufferPool &pool)
+{
+    return encodeToSegment(msg, pool);
+}
+
+net::WireSegmentPtr
+encodeSegment(const NotificationMessage &msg, net::BufferPool &pool)
+{
+    return encodeToSegment(msg, pool);
+}
+
+net::WireSegmentPtr
+encodeSegment(const RouteRefreshMessage &msg, net::BufferPool &pool)
+{
+    return encodeToSegment(msg, pool);
+}
+
+net::WireSegmentPtr
+encodeSegment(const Message &msg, net::BufferPool &pool)
+{
+    return std::visit(
+        [&pool](const auto &m) { return encodeSegment(m, pool); },
+        msg);
+}
+
+size_t
+encodedSize(const OpenMessage &msg)
+{
+    return proto::headerBytes + 10 + msg.optionalParameters.size();
 }
 
 size_t
@@ -182,6 +275,31 @@ encodedSize(const UpdateMessage &msg)
         size += msg.attributes->encodedSize();
     size += nlriSize(msg.nlri);
     return size;
+}
+
+size_t
+encodedSize(const KeepaliveMessage &)
+{
+    return proto::headerBytes;
+}
+
+size_t
+encodedSize(const NotificationMessage &msg)
+{
+    return proto::headerBytes + 2 + msg.data.size();
+}
+
+size_t
+encodedSize(const RouteRefreshMessage &)
+{
+    return proto::headerBytes + 4;
+}
+
+size_t
+encodedSize(const Message &msg)
+{
+    return std::visit(
+        [](const auto &m) { return encodedSize(m); }, msg);
 }
 
 namespace
@@ -368,17 +486,71 @@ decodeMessage(std::span<const uint8_t> wire, DecodeError &error)
 }
 
 void
-StreamDecoder::feed(std::span<const uint8_t> bytes)
+StreamDecoder::maybeCompact()
 {
-    if (failed_)
-        return;
-    // Compact the buffer lazily once consumed bytes dominate.
-    if (consumed_ > 0 && consumed_ >= buffer_.size() / 2) {
+    // Threshold compaction keeps the staging footprint bounded under
+    // sustained partial-frame feeding while amortising the memmove;
+    // also compact cheaply whenever consumed bytes dominate.
+    if (consumed_ >= compactThresholdBytes ||
+        (consumed_ > 0 && consumed_ >= buffer_.size() / 2)) {
         buffer_.erase(buffer_.begin(),
                       buffer_.begin() + ptrdiff_t(consumed_));
         consumed_ = 0;
     }
+}
+
+void
+StreamDecoder::spillTo(size_t need)
+{
+    while (buffer_.size() - consumed_ < need && !segments_.empty()) {
+        const net::WireSegmentPtr &seg = segments_.front();
+        size_t avail = seg->size() - segmentOffset_;
+        size_t want =
+            std::min(avail, need - (buffer_.size() - consumed_));
+        buffer_.insert(buffer_.end(),
+                       seg->data() + segmentOffset_,
+                       seg->data() + segmentOffset_ + want);
+        segmentOffset_ += want;
+        segmentBytes_ -= want;
+        if (segmentOffset_ == seg->size()) {
+            segments_.pop_front();
+            segmentOffset_ = 0;
+        }
+    }
+}
+
+void
+StreamDecoder::spillAll()
+{
+    spillTo(buffer_.size() - consumed_ + segmentBytes_);
+}
+
+void
+StreamDecoder::feed(std::span<const uint8_t> bytes)
+{
+    if (failed_)
+        return;
+    maybeCompact();
+    // Raw bytes must land after every byte already queued, so any
+    // borrowed segments are staged first to keep stream order.
+    spillAll();
     buffer_.insert(buffer_.end(), bytes.begin(), bytes.end());
+}
+
+void
+StreamDecoder::feed(net::WireSegmentPtr segment)
+{
+    if (failed_ || !segment || segment->size() == 0)
+        return;
+    maybeCompact();
+    if (!net::segmentSharingEnabled()) {
+        // Ablation/compat mode: copy-per-hop, as the seed did.
+        auto bytes = segment->bytes();
+        buffer_.insert(buffer_.end(), bytes.begin(), bytes.end());
+        return;
+    }
+    segmentBytes_ += segment->size();
+    segments_.push_back(std::move(segment));
 }
 
 std::optional<Message>
@@ -393,30 +565,71 @@ StreamDecoder::next(DecodeError &error)
         return std::nullopt;
     }
 
-    size_t available = buffer_.size() - consumed_;
+    auto framedLength = [this,
+                         &error](const uint8_t *head) -> uint16_t {
+        uint16_t length = (uint16_t(head[proto::markerBytes]) << 8) |
+                          head[proto::markerBytes + 1];
+        if (length < proto::minMessageBytes ||
+            length > proto::maxMessageBytes) {
+            failed_ = true;
+            error =
+                DecodeError{ErrorCode::MessageHeaderError,
+                            uint8_t(HeaderSubcode::BadMessageLength),
+                            "framed length " + std::to_string(length)};
+            return 0;
+        }
+        return length;
+    };
+
+    // Zero-copy fast path: nothing staged and the front segment holds
+    // the whole next frame — decode straight from the borrowed span.
+    if (buffer_.size() == consumed_ && !segments_.empty()) {
+        const net::WireSegmentPtr &seg = segments_.front();
+        size_t avail = seg->size() - segmentOffset_;
+        if (avail >= proto::headerBytes) {
+            const uint8_t *head = seg->data() + segmentOffset_;
+            uint16_t length = framedLength(head);
+            if (failed_)
+                return std::nullopt;
+            if (avail >= length) {
+                auto msg = decodeMessage({head, length}, error);
+                if (!msg) {
+                    failed_ = true;
+                    return std::nullopt;
+                }
+                segmentOffset_ += length;
+                segmentBytes_ -= length;
+                if (segmentOffset_ == seg->size()) {
+                    segments_.pop_front();
+                    segmentOffset_ = 0;
+                }
+                return msg;
+            }
+        }
+        // Frame straddles the segment boundary: fall through to the
+        // staging path, which spills only what the frame needs.
+    }
+
+    size_t available = buffer_.size() - consumed_ + segmentBytes_;
     if (available < proto::headerBytes)
         return std::nullopt;
 
-    const uint8_t *head = buffer_.data() + consumed_;
-    uint16_t length = (uint16_t(head[proto::markerBytes]) << 8) |
-                      head[proto::markerBytes + 1];
-    if (length < proto::minMessageBytes ||
-        length > proto::maxMessageBytes) {
-        failed_ = true;
-        error = DecodeError{ErrorCode::MessageHeaderError,
-                            uint8_t(HeaderSubcode::BadMessageLength),
-                            "framed length " + std::to_string(length)};
+    spillTo(proto::headerBytes);
+    uint16_t length = framedLength(buffer_.data() + consumed_);
+    if (failed_)
         return std::nullopt;
-    }
     if (available < length)
         return std::nullopt;
 
-    auto msg = decodeMessage({head, length}, error);
+    spillTo(length);
+    auto msg = decodeMessage({buffer_.data() + consumed_, length},
+                             error);
     if (!msg) {
         failed_ = true;
         return std::nullopt;
     }
     consumed_ += length;
+    maybeCompact();
     return msg;
 }
 

@@ -23,6 +23,7 @@
 #include "bgp/types.hh"
 #include "net/byte_io.hh"
 #include "net/prefix.hh"
+#include "net/wire_segment.hh"
 
 namespace bgpbench::bgp
 {
@@ -86,6 +87,22 @@ using Message =
 /** Type of a decoded Message variant. */
 MessageType messageType(const Message &msg);
 
+/** @name Streaming encoders
+ *  Append one complete framed message (marker/length/type + body) to
+ *  an existing writer; the writer may carry a pooled buffer.
+ *  @{
+ */
+void encodeMessageTo(net::ByteWriter &writer, const OpenMessage &msg);
+void encodeMessageTo(net::ByteWriter &writer, const UpdateMessage &msg);
+void encodeMessageTo(net::ByteWriter &writer,
+                     const KeepaliveMessage &msg);
+void encodeMessageTo(net::ByteWriter &writer,
+                     const NotificationMessage &msg);
+void encodeMessageTo(net::ByteWriter &writer,
+                     const RouteRefreshMessage &msg);
+void encodeMessageTo(net::ByteWriter &writer, const Message &msg);
+/** @} */
+
 /** @name Whole-message encoders
  *  Each returns a complete framed message (marker/length/type + body).
  *  @{
@@ -98,12 +115,46 @@ std::vector<uint8_t> encodeMessage(const RouteRefreshMessage &msg);
 std::vector<uint8_t> encodeMessage(const Message &msg);
 /** @} */
 
-/**
- * Size in bytes the framed encoding of @p msg will occupy; used by the
- * update builder to pack prefixes up to the 4096-byte limit without
- * encoding twice.
+/** @name Segment encoders
+ *  Encode one framed message into an immutable shared WireSegment
+ *  drawn from @p pool (the calling thread's pool by default). The
+ *  segment can then ride every peer queue and link without copies.
+ *  @{
  */
+net::WireSegmentPtr
+encodeSegment(const OpenMessage &msg,
+              net::BufferPool &pool = net::BufferPool::global());
+net::WireSegmentPtr
+encodeSegment(const UpdateMessage &msg,
+              net::BufferPool &pool = net::BufferPool::global());
+net::WireSegmentPtr
+encodeSegment(const KeepaliveMessage &msg,
+              net::BufferPool &pool = net::BufferPool::global());
+net::WireSegmentPtr
+encodeSegment(const NotificationMessage &msg,
+              net::BufferPool &pool = net::BufferPool::global());
+net::WireSegmentPtr
+encodeSegment(const RouteRefreshMessage &msg,
+              net::BufferPool &pool = net::BufferPool::global());
+net::WireSegmentPtr
+encodeSegment(const Message &msg,
+              net::BufferPool &pool = net::BufferPool::global());
+/** @} */
+
+/** @name Encoded-size predictors
+ *  Size in bytes the framed encoding of the message will occupy —
+ *  exactly encodeMessage(msg).size(), without encoding. The update
+ *  builder uses the UPDATE form to pack prefixes up to the 4096-byte
+ *  limit; the segment encoders use them to size pool buffers.
+ *  @{
+ */
+size_t encodedSize(const OpenMessage &msg);
 size_t encodedSize(const UpdateMessage &msg);
+size_t encodedSize(const KeepaliveMessage &msg);
+size_t encodedSize(const NotificationMessage &msg);
+size_t encodedSize(const RouteRefreshMessage &msg);
+size_t encodedSize(const Message &msg);
+/** @} */
 
 /**
  * Decode one complete framed message from @p wire.
@@ -128,8 +179,18 @@ std::optional<Message> decodeMessage(std::span<const uint8_t> wire,
 class StreamDecoder
 {
   public:
-    /** Append raw bytes received from the peer. */
+    /** Append raw bytes received from the peer (staging copy). */
     void feed(std::span<const uint8_t> bytes);
+
+    /**
+     * Append a shared segment received from the peer. With segment
+     * sharing enabled the decoder borrows the segment — frames that
+     * fall entirely inside it decode straight from its span with no
+     * staging copy; only frames straddling a segment boundary are
+     * spilled into the staging buffer. With sharing disabled the
+     * bytes are copied immediately (the seed's behaviour).
+     */
+    void feed(net::WireSegmentPtr segment);
 
     /**
      * Extract the next complete message if one is buffered.
@@ -140,15 +201,51 @@ class StreamDecoder
      */
     std::optional<Message> next(DecodeError &error);
 
-    /** Bytes buffered but not yet consumed. */
-    size_t bufferedBytes() const { return buffer_.size() - consumed_; }
+    /** Bytes buffered but not yet consumed (staged + borrowed). */
+    size_t
+    bufferedBytes() const
+    {
+        return buffer_.size() - consumed_ + segmentBytes_;
+    }
+
+    /**
+     * Footprint of the staging buffer, including already-consumed
+     * bytes not yet compacted away. Bounded by the compaction
+     * threshold plus one maximum message; the buffer-hygiene
+     * regression test pins that bound.
+     */
+    size_t stagingBytes() const { return buffer_.size(); }
 
     /** True after any framing/decode error. */
     bool failed() const { return failed_; }
 
   private:
+    /**
+     * Compact once consumed staging bytes pass this threshold, so the
+     * staging buffer cannot grow without bound under sustained
+     * partial-frame feeding.
+     */
+    static constexpr size_t compactThresholdBytes = 4096;
+
+    /** Drop consumed staging bytes once past the threshold. */
+    void maybeCompact();
+
+    /** Move bytes from borrowed segments into the staging buffer
+     *  until it holds at least @p need unconsumed bytes. */
+    void spillTo(size_t need);
+
+    /** Copy every borrowed byte into the staging buffer. */
+    void spillAll();
+
     std::vector<uint8_t> buffer_;
     size_t consumed_ = 0;
+    /** Borrowed, not-yet-staged segments, in stream order after any
+     *  staged bytes in buffer_. */
+    std::deque<net::WireSegmentPtr> segments_;
+    /** Bytes of segments_.front() already consumed or spilled. */
+    size_t segmentOffset_ = 0;
+    /** Unconsumed bytes across all of segments_. */
+    size_t segmentBytes_ = 0;
     bool failed_ = false;
 };
 

@@ -103,8 +103,89 @@ BgpSpeaker::transmit(Peer &peer, const std::vector<Message> &msgs)
         } else if (type == MessageType::Notification) {
             ++counters_.notificationsSent;
         }
-        events_->onTransmit(peer.config.id, type, encodeMessage(msg),
+        events_->onTransmit(peer.config.id, type, encodeSegment(msg),
                             transactions);
+    }
+}
+
+namespace
+{
+
+/**
+ * Content hash of an UPDATE for the encode-once cache. Attributes are
+ * folded in by pointer: the interner canonicalises equal-content
+ * attribute sets to one instance, which is precisely the situation
+ * (identical export to many peers) the cache targets. Distinct
+ * pointers with equal content merely miss the cache — never unsound,
+ * because hits still verify sameUpdateContent().
+ */
+uint64_t
+updateContentHash(const UpdateMessage &msg)
+{
+    uint64_t h = 1469598103934665603ull;
+    auto mix = [&h](uint64_t v) {
+        h ^= v;
+        h *= 1099511628211ull;
+    };
+    mix(uint64_t(reinterpret_cast<uintptr_t>(msg.attributes.get())));
+    mix(msg.withdrawnRoutes.size());
+    for (const auto &prefix : msg.withdrawnRoutes) {
+        mix(uint64_t(prefix.address().toUint32()));
+        mix(uint64_t(prefix.length()));
+    }
+    mix(msg.nlri.size());
+    for (const auto &prefix : msg.nlri) {
+        mix(uint64_t(prefix.address().toUint32()));
+        mix(uint64_t(prefix.length()));
+    }
+    return h;
+}
+
+/**
+ * Exact wire-content equality: same attribute instance (pointer —
+ * equal-content duplicates encode identically but are not claimed)
+ * and identical prefix lists in order.
+ */
+bool
+sameUpdateContent(const UpdateMessage &a, const UpdateMessage &b)
+{
+    return a.attributes == b.attributes &&
+           a.withdrawnRoutes == b.withdrawnRoutes && a.nlri == b.nlri;
+}
+
+} // namespace
+
+void
+BgpSpeaker::transmitUpdates(Peer &peer,
+                            std::vector<UpdateMessage> &&updates)
+{
+    for (auto &update : updates) {
+        size_t transactions = update.transactionCount();
+        ++counters_.updatesSent;
+        counters_.prefixesAdvertised += transactions;
+
+        net::WireSegmentPtr wire;
+        if (net::segmentSharingEnabled()) {
+            auto &bucket = encodeCache_[updateContentHash(update)];
+            for (const auto &cached : bucket) {
+                if (sameUpdateContent(cached.message, update)) {
+                    wire = cached.wire;
+                    break;
+                }
+            }
+            if (wire) {
+                net::BufferPool::global().noteShared(wire->size());
+            } else {
+                wire = encodeSegment(update);
+                bucket.push_back(
+                    CachedWire{std::move(update), wire});
+            }
+        } else {
+            // Ablation mode: encode per peer, as the seed did.
+            wire = encodeSegment(update);
+        }
+        events_->onTransmit(peer.config.id, MessageType::Update,
+                            std::move(wire), transactions);
     }
 }
 
@@ -194,7 +275,21 @@ BgpSpeaker::receiveBytes(PeerId peer, std::span<const uint8_t> bytes,
 {
     Peer &p = peerRef(peer);
     p.decoder.feed(bytes);
+    drainDecoder(p, now);
+}
 
+void
+BgpSpeaker::receiveSegment(PeerId peer, net::WireSegmentPtr segment,
+                           TimeNs now)
+{
+    Peer &p = peerRef(peer);
+    p.decoder.feed(std::move(segment));
+    drainDecoder(p, now);
+}
+
+void
+BgpSpeaker::drainDecoder(Peer &p, TimeNs now)
+{
     DecodeError error;
     while (true) {
         auto msg = p.decoder.next(error);
@@ -213,7 +308,7 @@ BgpSpeaker::receiveBytes(PeerId peer, std::span<const uint8_t> bytes,
             }
             return;
         }
-        handleMessage(peer, *msg, now);
+        handleMessage(p.config.id, *msg, now);
         // The session may have died while handling the message.
         if (p.fsm.state() == SessionState::Idle && p.decoder.failed())
             return;
@@ -555,13 +650,12 @@ BgpSpeaker::flushPending(TimeNs now)
             continue;
         if (!peer->fsm.established())
             continue;
-        auto updates = peer->pending.build();
-        std::vector<Message> msgs;
-        msgs.reserve(updates.size());
-        for (auto &update : updates)
-            msgs.emplace_back(std::move(update));
-        transmit(*peer, msgs);
+        transmitUpdates(*peer, peer->pending.build());
     }
+    // The cache only needs to live across the peer loop above — that
+    // is where the same UPDATE content fans out — and dropping it now
+    // stops it pinning segments after they leave the transmit queues.
+    encodeCache_.clear();
 }
 
 void

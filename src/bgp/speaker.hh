@@ -126,11 +126,14 @@ class SpeakerEvents
      *
      * @param to Destination peer.
      * @param type Message type (for accounting without re-decoding).
-     * @param wire Complete framed wire encoding.
+     * @param wire Complete framed wire encoding as a shared immutable
+     *             segment. An UPDATE fanned out to several peers
+     *             passes the *same* segment to each; sinks must not
+     *             assume exclusive ownership.
      * @param transactions Routing transactions carried (UPDATE only).
      */
     virtual void onTransmit(PeerId to, MessageType type,
-                            std::vector<uint8_t> wire,
+                            net::WireSegmentPtr wire,
                             size_t transactions) = 0;
 
     /** The Loc-RIB change requires a forwarding-table change. */
@@ -200,6 +203,14 @@ class BgpSpeaker
      */
     void receiveBytes(PeerId peer, std::span<const uint8_t> bytes,
                       TimeNs now);
+
+    /**
+     * Deliver a shared wire segment from @p peer. Equivalent to
+     * receiveBytes() but lets the stream decoder frame over the
+     * borrowed segment without a staging copy.
+     */
+    void receiveSegment(PeerId peer, net::WireSegmentPtr segment,
+                        TimeNs now);
 
     /** Deliver one already-decoded message from @p peer. */
     void handleMessage(PeerId peer, const Message &msg, TimeNs now);
@@ -282,6 +293,19 @@ class BgpSpeaker
     /** Send @p msgs to @p peer through the event sink. */
     void transmit(Peer &peer, const std::vector<Message> &msgs);
 
+    /**
+     * Send freshly built UPDATEs to @p peer, encoding each exactly
+     * once per flush: a message whose content matches one already
+     * encoded for another peer in the same flushPending() round (the
+     * common full-mesh fan-out case) reuses the cached shared segment
+     * instead of re-encoding.
+     */
+    void transmitUpdates(Peer &peer,
+                         std::vector<UpdateMessage> &&updates);
+
+    /** Decode-and-handle loop shared by the receive entry points. */
+    void drainDecoder(Peer &peer, TimeNs now);
+
     /** Process an UPDATE from an established peer. */
     void processUpdate(Peer &from, const UpdateMessage &msg,
                        TimeNs now);
@@ -317,9 +341,28 @@ class BgpSpeaker
     PathAttributesPtr ebgpExport(const Peer &peer,
                                  const PathAttributesPtr &attrs) const;
 
+    /**
+     * One encode-once cache entry: the UPDATE exactly as encoded plus
+     * its segment. Holding the message (not just a hash) lets cache
+     * hits verify full content equality — a hash collision must never
+     * put the wrong bytes on a wire.
+     */
+    struct CachedWire
+    {
+        UpdateMessage message;
+        net::WireSegmentPtr wire;
+    };
+
     SpeakerConfig config_;
     SpeakerEvents *events_;
     std::map<PeerId, std::unique_ptr<Peer>> peers_;
+    /**
+     * Per-flush encode cache: content hash of an UPDATE -> encodings
+     * produced this flushPending() round. Lives across the peer loop
+     * of one flush (that is where fan-out duplication arises) and is
+     * emptied at the end so segments are not retained once queued.
+     */
+    std::unordered_map<uint64_t, std::vector<CachedWire>> encodeCache_;
     /**
      * Peers currently in Established state, sorted by peer id (the
      * iteration order of peers_). The per-prefix decision sweep and

@@ -14,8 +14,8 @@ TestPeer::TestPeer(sim::Simulator *sim, TestPeerConfig config,
             "test peer requires a simulator and a router");
 
     router_->setPortTransmitHandler(
-        port_, [this](std::vector<uint8_t> bytes) {
-            receive(std::move(bytes));
+        port_, [this](net::WireSegmentPtr segment) {
+            receive(std::move(segment));
         });
     router_->setPortDrainHandler(port_, [this]() { pump(); });
 }
@@ -34,7 +34,7 @@ TestPeer::connect()
     open.myAs = config_.asn;
     open.holdTimeSec = config_.holdTimeSec;
     open.bgpIdentifier = config_.routerId;
-    sendSegment(bgp::encodeMessage(open));
+    sendSegment(bgp::encodeSegment(open));
 
     // Keepalives for the router's hold timer. The stream's UPDATEs
     // also refresh it, but quiet gaps (e.g. between phases) need
@@ -46,7 +46,7 @@ TestPeer::connect()
                 return false;
             if (!established_)
                 return true;
-            sendSegment(bgp::encodeMessage(bgp::KeepaliveMessage{}));
+            sendSegment(bgp::encodeSegment(bgp::KeepaliveMessage{}));
             return true;
         });
 }
@@ -59,7 +59,7 @@ TestPeer::~TestPeer()
 void
 TestPeer::sendRouteRefresh()
 {
-    sendSegment(bgp::encodeMessage(bgp::RouteRefreshMessage{}));
+    sendSegment(bgp::encodeSegment(bgp::RouteRefreshMessage{}));
 }
 
 void
@@ -76,23 +76,23 @@ TestPeer::pump()
     if (!established_)
         return;
     while (!sendQueue_.empty() &&
-           router_->rxSpace(port_) >= sendQueue_.front().wire.size()) {
+           router_->rxSpace(port_) >= sendQueue_.front().wire->size()) {
         sendSegment(std::move(sendQueue_.front().wire));
         sendQueue_.pop_front();
     }
 }
 
 void
-TestPeer::sendSegment(std::vector<uint8_t> bytes)
+TestPeer::sendSegment(net::WireSegmentPtr segment)
 {
     ++counters_.segmentsSent;
-    router_->deliverToPort(port_, std::move(bytes));
+    router_->deliverToPort(port_, std::move(segment));
 }
 
 void
-TestPeer::receive(std::vector<uint8_t> bytes)
+TestPeer::receive(net::WireSegmentPtr segment)
 {
-    decoder_.feed(bytes);
+    decoder_.feed(std::move(segment));
 
     bgp::DecodeError error;
     while (auto msg = decoder_.next(error)) {
@@ -100,7 +100,7 @@ TestPeer::receive(std::vector<uint8_t> bytes)
           case bgp::MessageType::Open:
             // Acknowledge the router's OPEN.
             sendSegment(
-                bgp::encodeMessage(bgp::KeepaliveMessage{}));
+                bgp::encodeSegment(bgp::KeepaliveMessage{}));
             break;
 
           case bgp::MessageType::Keepalive:

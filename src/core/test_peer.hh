@@ -108,10 +108,10 @@ class TestPeer
     void pump();
 
     /** Handle a segment transmitted by the router. */
-    void receive(std::vector<uint8_t> bytes);
+    void receive(net::WireSegmentPtr segment);
 
-    /** Send raw bytes into the router port (assumes space). */
-    void sendSegment(std::vector<uint8_t> bytes);
+    /** Send one wire segment into the router port (assumes space). */
+    void sendSegment(net::WireSegmentPtr segment);
 
     sim::Simulator *sim_;
     TestPeerConfig config_;

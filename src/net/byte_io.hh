@@ -34,6 +34,19 @@ class ByteWriter
     /** Reserve capacity up front to avoid reallocation. */
     explicit ByteWriter(size_t reserve) { buf_.reserve(reserve); }
 
+    /**
+     * Adopt @p recycle as the backing buffer (its contents are
+     * cleared, its capacity kept) and ensure at least @p reserve
+     * bytes of capacity. Lets the BufferPool hand writers recycled
+     * allocations.
+     */
+    ByteWriter(std::vector<uint8_t> recycle, size_t reserve)
+        : buf_(std::move(recycle))
+    {
+        buf_.clear();
+        buf_.reserve(reserve);
+    }
+
     void
     writeU8(uint8_t v)
     {

@@ -178,7 +178,7 @@ RouterSystem::rxSpace(size_t port) const
 }
 
 void
-RouterSystem::deliverToPort(size_t port, std::vector<uint8_t> bytes)
+RouterSystem::deliverToPort(size_t port, net::WireSegmentPtr segment)
 {
     panicIf(port >= ports_.size(), "bad port index");
     Port &p = ports_[port];
@@ -188,7 +188,7 @@ RouterSystem::deliverToPort(size_t port, std::vector<uint8_t> bytes)
     if (profile_.costs.irqPerPacket > 0 && !profile_.separateDataPlane)
         irqProc_->post(uint64_t(profile_.costs.irqPerPacket));
 
-    p.decoder.feed(bytes);
+    p.decoder.feed(std::move(segment));
 
     bgp::DecodeError error;
     while (true) {
@@ -214,8 +214,15 @@ RouterSystem::deliverToPort(size_t port, std::vector<uint8_t> bytes)
 }
 
 void
+RouterSystem::deliverToPort(size_t port, std::vector<uint8_t> bytes)
+{
+    deliverToPort(port,
+                  net::BufferPool::global().wrap(std::move(bytes)));
+}
+
+void
 RouterSystem::setPortTransmitHandler(
-    size_t port, std::function<void(std::vector<uint8_t>)> handler)
+    size_t port, std::function<void(net::WireSegmentPtr)> handler)
 {
     panicIf(port >= ports_.size(), "bad port index");
     ports_[port].transmitHandler = std::move(handler);
@@ -333,7 +340,7 @@ RouterSystem::maybeDispatch()
 
 void
 RouterSystem::onTransmit(bgp::PeerId to, bgp::MessageType type,
-                         std::vector<uint8_t> wire, size_t transactions)
+                         net::WireSegmentPtr wire, size_t transactions)
 {
     (void)type;
     const CostProfile &c = profile_.costs;

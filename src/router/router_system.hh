@@ -118,11 +118,19 @@ class RouterSystem : private bgp::SpeakerEvents
     size_t rxSpace(size_t port) const;
 
     /** Deliver one TCP segment from the peer (must fit rxSpace). */
+    void deliverToPort(size_t port, net::WireSegmentPtr segment);
+
+    /** Owned-bytes convenience overload: wraps into a segment. */
     void deliverToPort(size_t port, std::vector<uint8_t> bytes);
 
-    /** Install the handler receiving segments the router sends. */
+    /**
+     * Install the handler receiving segments the router sends. The
+     * segment is shared and immutable — it may simultaneously sit on
+     * other peers' queues.
+     */
     void setPortTransmitHandler(
-        size_t port, std::function<void(std::vector<uint8_t>)> handler);
+        size_t port,
+        std::function<void(net::WireSegmentPtr)> handler);
 
     /** Install the handler called when receive-buffer space frees. */
     void setPortDrainHandler(size_t port, std::function<void()> handler);
@@ -180,7 +188,7 @@ class RouterSystem : private bgp::SpeakerEvents
         bgp::PeerId peerId = 0;
         bgp::StreamDecoder decoder;
         size_t queuedBytes = 0;
-        std::function<void(std::vector<uint8_t>)> transmitHandler;
+        std::function<void(net::WireSegmentPtr)> transmitHandler;
         std::function<void()> drainHandler;
     };
 
@@ -193,7 +201,7 @@ class RouterSystem : private bgp::SpeakerEvents
 
     // SpeakerEvents implementation.
     void onTransmit(bgp::PeerId to, bgp::MessageType type,
-                    std::vector<uint8_t> wire,
+                    net::WireSegmentPtr wire,
                     size_t transactions) override;
     void onFibUpdate(const bgp::FibUpdate &update) override;
     void onUpdateProcessed(bgp::PeerId from,

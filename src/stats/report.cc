@@ -180,6 +180,28 @@ printDedupReport(std::ostream &os, const std::string &title,
     table.print(os);
 }
 
+void
+printWireReport(std::ostream &os, const std::string &title,
+                const WireReport &report)
+{
+    TextTable table({title, "value"});
+    table.addRow({"pool acquires", std::to_string(report.acquires)});
+    table.addRow({"pool hits", std::to_string(report.poolHits)});
+    table.addRow({"pool misses", std::to_string(report.poolMisses)});
+    table.addRow({"pool hit ratio",
+                  formatDouble(report.poolHitRatio() * 100.0, 1) +
+                      "%"});
+    table.addRow({"shared encodes",
+                  std::to_string(report.sharedEncodes)});
+    table.addRow({"bytes deduplicated",
+                  std::to_string(report.bytesDeduplicated)});
+    table.addRow({"outstanding segments",
+                  std::to_string(report.outstandingSegments)});
+    table.addRow({"peak outstanding segments",
+                  std::to_string(report.peakOutstandingSegments)});
+    table.print(os);
+}
+
 double
 ParallelReport::eventImbalance() const
 {

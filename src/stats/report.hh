@@ -85,6 +85,39 @@ struct DedupReport
 void printDedupReport(std::ostream &os, const std::string &title,
                       const DedupReport &report);
 
+/**
+ * Wire-path counters of the zero-copy segment pipeline (buffer-pool
+ * reuse plus encode-once fan-out), reduced to plain numbers so this
+ * library stays free of protocol dependencies.
+ */
+struct WireReport
+{
+    /** Buffer acquisitions the pool served. */
+    uint64_t acquires = 0;
+    /** Acquisitions recycled from a free list. */
+    uint64_t poolHits = 0;
+    /** Acquisitions that had to allocate. */
+    uint64_t poolMisses = 0;
+    /** Transmissions that shared an already-encoded segment. */
+    uint64_t sharedEncodes = 0;
+    /** Wire bytes those shares avoided re-encoding/copying. */
+    uint64_t bytesDeduplicated = 0;
+    /** Segments alive at report time. */
+    uint64_t outstandingSegments = 0;
+    /** High-water mark of live segments. */
+    uint64_t peakOutstandingSegments = 0;
+
+    double
+    poolHitRatio() const
+    {
+        return acquires ? double(poolHits) / double(acquires) : 0.0;
+    }
+};
+
+/** Print @p report as an aligned table titled @p title. */
+void printWireReport(std::ostream &os, const std::string &title,
+                     const WireReport &report);
+
 class JsonWriter;
 
 /**

@@ -36,7 +36,7 @@ struct TopologySim::NodeEvents : public bgp::SpeakerEvents
 
     void
     onTransmit(bgp::PeerId to, bgp::MessageType type,
-               std::vector<uint8_t> wire, size_t transactions) override
+               net::WireSegmentPtr wire, size_t transactions) override
     {
         sim->transmitFrom(node, to, type, std::move(wire),
                           transactions);
@@ -266,7 +266,7 @@ TopologySim::closeLocal(Shard &shard, size_t l)
 void
 TopologySim::transmitFrom(size_t node, bgp::PeerId peer,
                           bgp::MessageType type,
-                          std::vector<uint8_t> wire,
+                          net::WireSegmentPtr wire,
                           size_t transactions)
 {
     size_t l = peer;
@@ -289,7 +289,7 @@ TopologySim::transmitFrom(size_t node, bgp::PeerId peer,
     // node's shard ever reads or writes its direction's cursor.
     sim::SimTime ser_ns = 0;
     if (link.bandwidthMbps > 0) {
-        ser_ns = sim::SimTime(double(wire.size()) * 8.0 * 1000.0 /
+        ser_ns = sim::SimTime(double(wire->size()) * 8.0 * 1000.0 /
                               link.bandwidthMbps);
     }
     sim::SimTime start = std::max(shard.sim.now(), state.busyUntil[dir]);
@@ -332,7 +332,7 @@ TopologySim::scheduleArrival(Shard &shard, CrossMessage msg)
 
 void
 TopologySim::arrive(size_t l, uint64_t epoch, uint64_t key, size_t dst,
-                    std::vector<uint8_t> wire, bgp::MessageType type,
+                    net::WireSegmentPtr wire, bgp::MessageType type,
                     size_t transactions)
 {
     Shard &shard = shardFor(dst);
@@ -350,7 +350,7 @@ TopologySim::arrive(size_t l, uint64_t epoch, uint64_t key, size_t dst,
     if (config_.chargeProcessingCost) {
         const router::SystemProfile &profile = topo_.node(dst).profile;
         double cycles = profile.costs.msgParse +
-                        profile.costs.msgPerByte * double(wire.size());
+                        profile.costs.msgPerByte * double(wire->size());
         if (type == bgp::MessageType::Update) {
             cycles += profile.costs.announcePrefix *
                       double(transactions);
@@ -375,7 +375,7 @@ TopologySim::arrive(size_t l, uint64_t epoch, uint64_t key, size_t dst,
 
 void
 TopologySim::deliver(size_t l, uint64_t epoch, size_t dst,
-                     const std::vector<uint8_t> &wire,
+                     const net::WireSegmentPtr &wire,
                      bgp::MessageType type)
 {
     Shard &shard = shardFor(dst);
@@ -389,7 +389,7 @@ TopologySim::deliver(size_t l, uint64_t epoch, size_t dst,
         // Decode once more for the tracker's path-exploration
         // accounting; this is host work, not simulated cycles.
         bgp::DecodeError error;
-        auto msg = bgp::decodeMessage(wire, error);
+        auto msg = bgp::decodeMessage(wire->bytes(), error);
         if (msg && messageType(*msg) == bgp::MessageType::Update) {
             shard.tracker.onUpdateDelivered(
                 dst, std::get<bgp::UpdateMessage>(*msg),
@@ -397,8 +397,8 @@ TopologySim::deliver(size_t l, uint64_t epoch, size_t dst,
         }
     }
 
-    speakers_[dst]->receiveBytes(bgp::PeerId(l), wire,
-                                 shard.sim.now());
+    speakers_[dst]->receiveSegment(bgp::PeerId(l), wire,
+                                   shard.sim.now());
 }
 
 void

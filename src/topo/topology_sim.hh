@@ -5,12 +5,14 @@
  * parallel sharded execution mode.
  *
  * Each node owns a real BgpSpeaker; its SpeakerEvents::onTransmit is
- * bridged into simulated link delivery: a transmitted segment is
- * serialised onto the link (bytes / bandwidth), propagates for the
- * link latency, and is then charged against the receiving router's
- * SystemProfile cost model (message parse + per-byte + per-prefix
- * decision cycles at that node's clock rate, plus the commercial
- * router's per-message gate) before receiveBytes() runs. Per-link
+ * bridged into simulated link delivery: a transmitted wire segment
+ * (shared and immutable — one encoding fans out to every peer and
+ * link without copies) is serialised onto the link (bytes /
+ * bandwidth), propagates for the link latency, and is then charged
+ * against the receiving router's SystemProfile cost model (message
+ * parse + per-byte + per-prefix decision cycles at that node's clock
+ * rate, plus the commercial router's per-message gate) before
+ * receiveSegment() runs. Per-link
  * FIFO ordering models TCP; a per-node "CPU busy until" scalar
  * serialises control-plane processing the way a single control CPU
  * would.
@@ -222,7 +224,13 @@ class TopologySim
         uint32_t dst;
         bgp::MessageType type;
         uint32_t transactions;
-        std::vector<uint8_t> wire;
+        /**
+         * Shared immutable segment. Crossing the mailbox moves only
+         * the reference; the bytes were encoded exactly once in the
+         * source speaker. The refcount is atomic, so the destination
+         * shard can release its reference on its own thread.
+         */
+        net::WireSegmentPtr wire;
     };
 
     /**
@@ -283,17 +291,17 @@ class TopologySim
     void closeLocal(Shard &shard, size_t link);
     /** SpeakerEvents::onTransmit bridge; runs in the node's shard. */
     void transmitFrom(size_t node, bgp::PeerId peer,
-                      bgp::MessageType type,
-                      std::vector<uint8_t> wire, size_t transactions);
+                      bgp::MessageType type, net::WireSegmentPtr wire,
+                      size_t transactions);
     /** Schedule a (possibly mailbox-delivered) arrival in @p shard. */
     void scheduleArrival(Shard &shard, CrossMessage msg);
     /** Segment reached the far end; queue CPU processing. */
     void arrive(size_t link, uint64_t epoch, uint64_t key, size_t dst,
-                std::vector<uint8_t> wire, bgp::MessageType type,
+                net::WireSegmentPtr wire, bgp::MessageType type,
                 size_t transactions);
     /** CPU processing done; deliver to the speaker. */
     void deliver(size_t link, uint64_t epoch, size_t dst,
-                 const std::vector<uint8_t> &wire,
+                 const net::WireSegmentPtr &wire,
                  bgp::MessageType type);
 
     /** Sequential engine: drain shard 0 up to @p limit. */

@@ -77,7 +77,7 @@ buildChurnStream(const std::vector<RouteSpec> &routes,
         for (auto &update : builder.build()) {
             StreamPacket pkt;
             pkt.transactions = update.transactionCount();
-            pkt.wire = bgp::encodeMessage(update);
+            pkt.wire = bgp::encodeSegment(update);
             packets.push_back(std::move(pkt));
         }
         pending.clear();

@@ -36,7 +36,7 @@ toPackets(std::vector<bgp::UpdateMessage> updates)
     for (const auto &update : updates) {
         StreamPacket pkt;
         pkt.transactions = update.transactionCount();
-        pkt.wire = bgp::encodeMessage(update);
+        pkt.wire = bgp::encodeSegment(update);
         packets.push_back(std::move(pkt));
     }
     return packets;
@@ -97,7 +97,7 @@ streamBytes(const std::vector<StreamPacket> &packets)
 {
     size_t total = 0;
     for (const auto &pkt : packets)
-        total += pkt.wire.size();
+        total += pkt.wire->size();
     return total;
 }
 

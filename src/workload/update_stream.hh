@@ -40,10 +40,14 @@ struct StreamConfig
     int extraPrepends = 0;
 };
 
-/** One ready-to-send packet: framed wire bytes plus bookkeeping. */
+/**
+ * One ready-to-send packet: framed wire bytes (as a shared immutable
+ * segment, so a packet replayed to many routers is encoded once) plus
+ * bookkeeping.
+ */
 struct StreamPacket
 {
-    std::vector<uint8_t> wire;
+    net::WireSegmentPtr wire;
     size_t transactions = 0;
 };
 

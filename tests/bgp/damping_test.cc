@@ -177,7 +177,7 @@ class Harness : public SpeakerEvents
     }
 
     void
-    onTransmit(PeerId, MessageType, std::vector<uint8_t>,
+    onTransmit(PeerId, MessageType, net::WireSegmentPtr,
                size_t) override
     {}
 

@@ -60,7 +60,86 @@ sampleUpdate(workload::Rng &rng)
     return update;
 }
 
+OpenMessage
+sampleOpen(workload::Rng &rng)
+{
+    OpenMessage open;
+    open.myAs = AsNumber(rng.range(1, 65000));
+    open.holdTimeSec = uint16_t(rng.below(400));
+    open.bgpIdentifier = RouterId(rng.next());
+    size_t opt = rng.below(16);
+    for (size_t i = 0; i < opt; ++i)
+        open.optionalParameters.push_back(uint8_t(rng.next()));
+    return open;
+}
+
+NotificationMessage
+sampleNotification(workload::Rng &rng)
+{
+    NotificationMessage notif;
+    notif.errorCode = ErrorCode(rng.range(1, 6));
+    notif.errorSubcode = uint8_t(rng.below(12));
+    size_t data = rng.below(32);
+    for (size_t i = 0; i < data; ++i)
+        notif.data.push_back(uint8_t(rng.next()));
+    return notif;
+}
+
+/**
+ * encodedSize() must agree exactly with the bytes encodeMessage()
+ * produces, and encodeSegment() must produce those same bytes —
+ * the zero-copy transmit path sizes pool buffers from encodedSize().
+ */
+template <typename T>
+void
+expectSizeConsistent(const T &msg)
+{
+    auto wire = encodeMessage(msg);
+    EXPECT_EQ(wire.size(), encodedSize(msg));
+    auto segment = encodeSegment(msg);
+    ASSERT_NE(segment, nullptr);
+    EXPECT_TRUE(std::equal(wire.begin(), wire.end(),
+                           segment->bytes().begin(),
+                           segment->bytes().end()));
+}
+
 } // namespace
+
+TEST(Fuzz, EncodedSizeMatchesEncodingForEveryMessageType)
+{
+    workload::Rng rng(137);
+    for (int trial = 0; trial < 400; ++trial) {
+        expectSizeConsistent(sampleOpen(rng));
+        expectSizeConsistent(sampleUpdate(rng));
+        expectSizeConsistent(KeepaliveMessage{});
+        expectSizeConsistent(sampleNotification(rng));
+        expectSizeConsistent(RouteRefreshMessage{});
+
+        // The Message variant wrapper must agree with the concrete
+        // overloads it dispatches to.
+        Message variant = sampleUpdate(rng);
+        expectSizeConsistent(variant);
+        variant = sampleOpen(rng);
+        expectSizeConsistent(variant);
+        variant = sampleNotification(rng);
+        expectSizeConsistent(variant);
+        variant = KeepaliveMessage{};
+        expectSizeConsistent(variant);
+        variant = RouteRefreshMessage{};
+        expectSizeConsistent(variant);
+    }
+
+    // Withdrawal-only and mixed UPDATEs exercise the withdrawn-routes
+    // length arm that pure announcements never touch.
+    for (int trial = 0; trial < 200; ++trial) {
+        UpdateMessage update = sampleUpdate(rng);
+        update.withdrawnRoutes = update.nlri;
+        expectSizeConsistent(update);
+        update.nlri.clear();
+        update.attributes = nullptr;
+        expectSizeConsistent(update);
+    }
+}
 
 TEST(Fuzz, DecodeMessageSurvivesRandomBytes)
 {
@@ -178,7 +257,7 @@ TEST(Fuzz, SpeakerSurvivesHostilePeerBytes)
     {
         size_t notifications = 0;
         void
-        onTransmit(PeerId, MessageType type, std::vector<uint8_t>,
+        onTransmit(PeerId, MessageType type, net::WireSegmentPtr,
                    size_t) override
         {
             notifications += type == MessageType::Notification;

@@ -305,6 +305,118 @@ TEST(StreamDecoder, PartialMessageNeedsMoreBytes)
     EXPECT_TRUE(decoder.next(error).has_value());
 }
 
+TEST(StreamDecoder, StagingStaysBoundedUnderSustainedFeeding)
+{
+    // Buffer-hygiene regression: a long-lived session feeding
+    // boundary-straddling frames forever must not let the staging
+    // buffer's footprint (including already-consumed bytes) grow
+    // without bound — consumed bytes must be compacted away.
+    UpdateMessage update;
+    update.attributes = sampleAttrs(100);
+    for (int p = 0; p < 40; ++p) {
+        update.nlri.emplace_back(
+            net::Ipv4Address(10, 20, uint8_t(p), 0), 24);
+    }
+    auto wire = encodeMessage(update);
+    ASSERT_GT(wire.size(), 64u);
+
+    StreamDecoder decoder;
+    DecodeError error;
+    size_t decoded = 0;
+    size_t peak_staging = 0;
+    // ~1 MB of traffic in ragged chunks that never align to frames.
+    for (int round = 0; round < 4000; ++round) {
+        size_t pos = 0;
+        while (pos < wire.size()) {
+            size_t chunk = std::min<size_t>(61, wire.size() - pos);
+            decoder.feed(std::span(&wire[pos], chunk));
+            pos += chunk;
+            while (decoder.next(error))
+                ++decoded;
+            ASSERT_FALSE(error) << error.detail;
+            peak_staging =
+                std::max(peak_staging, decoder.stagingBytes());
+        }
+    }
+    EXPECT_EQ(decoded, 4000u);
+    EXPECT_EQ(decoder.bufferedBytes(), 0u);
+    // Bounded by the compaction threshold plus one maximum message,
+    // regardless of how much traffic flowed.
+    EXPECT_LE(peak_staging, 4096u + proto::maxMessageBytes);
+}
+
+TEST(StreamDecoder, SegmentFeedDecodesWithoutStaging)
+{
+    // Whole frames fed as shared segments must decode straight from
+    // the borrowed span: nothing ever lands in the staging buffer.
+    StreamDecoder decoder;
+    DecodeError error;
+    size_t decoded = 0;
+    for (int i = 0; i < 50; ++i) {
+        decoder.feed(encodeSegment(KeepaliveMessage{}));
+        while (decoder.next(error))
+            ++decoded;
+        ASSERT_FALSE(error) << error.detail;
+        EXPECT_EQ(decoder.stagingBytes(), 0u);
+    }
+    EXPECT_EQ(decoded, 50u);
+    EXPECT_EQ(decoder.bufferedBytes(), 0u);
+}
+
+TEST(StreamDecoder, MixedSegmentAndSpanFeedsKeepStreamOrder)
+{
+    OpenMessage open;
+    open.myAs = 11;
+    open.bgpIdentifier = 12;
+    auto open_wire = encodeMessage(open);
+
+    StreamDecoder decoder;
+    DecodeError error;
+    // First half of the OPEN as raw bytes, second half inside a
+    // segment, then a whole keepalive segment.
+    size_t half = open_wire.size() / 2;
+    decoder.feed(std::span(open_wire.data(), half));
+    EXPECT_FALSE(decoder.next(error).has_value());
+    decoder.feed(net::BufferPool::global().wrap(std::vector<uint8_t>(
+        open_wire.begin() + long(half), open_wire.end())));
+    decoder.feed(encodeSegment(KeepaliveMessage{}));
+
+    auto first = decoder.next(error);
+    ASSERT_TRUE(first.has_value()) << error.detail;
+    EXPECT_EQ(messageType(*first), MessageType::Open);
+    auto second = decoder.next(error);
+    ASSERT_TRUE(second.has_value()) << error.detail;
+    EXPECT_EQ(messageType(*second), MessageType::Keepalive);
+    EXPECT_EQ(decoder.bufferedBytes(), 0u);
+}
+
+TEST(StreamDecoder, FrameStraddlingSegmentsReassembles)
+{
+    // One frame split across three segments exercises the spill path
+    // that copies only the straddling frame into staging.
+    UpdateMessage update;
+    update.attributes = sampleAttrs(7);
+    update.nlri.emplace_back(net::Ipv4Address(10, 1, 2, 0), 24);
+    auto wire = encodeMessage(update);
+
+    StreamDecoder decoder;
+    DecodeError error;
+    auto &pool = net::BufferPool::global();
+    size_t third = wire.size() / 3;
+    decoder.feed(pool.wrap(std::vector<uint8_t>(
+        wire.begin(), wire.begin() + long(third))));
+    EXPECT_FALSE(decoder.next(error).has_value());
+    decoder.feed(pool.wrap(std::vector<uint8_t>(
+        wire.begin() + long(third), wire.begin() + long(2 * third))));
+    EXPECT_FALSE(decoder.next(error).has_value());
+    decoder.feed(pool.wrap(std::vector<uint8_t>(
+        wire.begin() + long(2 * third), wire.end())));
+    auto msg = decoder.next(error);
+    ASSERT_TRUE(msg.has_value()) << error.detail;
+    EXPECT_EQ(messageType(*msg), MessageType::Update);
+    EXPECT_EQ(decoder.bufferedBytes(), 0u);
+}
+
 /** Property: random update batches survive stream reassembly. */
 TEST(StreamDecoderProperty, RandomChunkingRoundTrip)
 {

@@ -50,7 +50,7 @@ class Cluster
         size_t self = 0;
 
         void
-        onTransmit(PeerId to, MessageType, std::vector<uint8_t> wire,
+        onTransmit(PeerId to, MessageType, net::WireSegmentPtr wire,
                    size_t) override
         {
             cluster->queue_.push_back({self, to, std::move(wire)});
@@ -116,7 +116,8 @@ class Cluster
             queue_.pop_front();
             auto [to, to_peer] =
                 nodes_[seg.from]->wiring.at(seg.via);
-            nodes_[to]->speaker->receiveBytes(to_peer, seg.wire, 0);
+            nodes_[to]->speaker->receiveSegment(to_peer,
+                                                std::move(seg.wire), 0);
         }
     }
 
@@ -127,7 +128,7 @@ class Cluster
     {
         size_t from;
         PeerId via;
-        std::vector<uint8_t> wire;
+        net::WireSegmentPtr wire;
     };
     std::vector<std::unique_ptr<Node>> nodes_;
     std::deque<Segment> queue_;

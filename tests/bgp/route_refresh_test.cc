@@ -100,7 +100,7 @@ struct RefreshWorld : public SpeakerEvents
     BgpSpeaker *sender = nullptr;
     size_t bUpdates = 0;
     size_t bPrefixes = 0;
-    std::deque<std::pair<BgpSpeaker *, std::vector<uint8_t>>> queue;
+    std::deque<std::pair<BgpSpeaker *, net::WireSegmentPtr>> queue;
 
     RefreshWorld()
     {
@@ -138,7 +138,7 @@ struct RefreshWorld : public SpeakerEvents
     }
 
     void
-    onTransmit(PeerId, MessageType type, std::vector<uint8_t> wire,
+    onTransmit(PeerId, MessageType type, net::WireSegmentPtr wire,
                size_t transactions) override
     {
         BgpSpeaker *to = sender == a.get() ? b.get() : a.get();
@@ -157,7 +157,7 @@ struct RefreshWorld : public SpeakerEvents
             queue.pop_front();
             BgpSpeaker *prev = sender;
             sender = to;
-            to->receiveBytes(0, wire, 0);
+            to->receiveSegment(0, std::move(wire), 0);
             sender = prev;
         }
     }

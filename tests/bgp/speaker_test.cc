@@ -51,7 +51,7 @@ class Mesh
         size_t self = 0;
 
         void
-        onTransmit(PeerId to, MessageType, std::vector<uint8_t> wire,
+        onTransmit(PeerId to, MessageType, net::WireSegmentPtr wire,
                    size_t) override
         {
             mesh->enqueue(self, to, std::move(wire));
@@ -119,7 +119,7 @@ class Mesh
     }
 
     void
-    enqueue(size_t from, PeerId via, std::vector<uint8_t> wire)
+    enqueue(size_t from, PeerId via, net::WireSegmentPtr wire)
     {
         queue.push_back({from, via, std::move(wire)});
     }
@@ -132,7 +132,9 @@ class Mesh
             auto item = std::move(queue.front());
             queue.pop_front();
             auto [to, to_peer] = nodes[item.from]->wiring.at(item.via);
-            nodes[to]->speaker->receiveBytes(to_peer, item.wire, now);
+            nodes[to]->speaker->receiveSegment(to_peer,
+                                               std::move(item.wire),
+                                               now);
         }
     }
 
@@ -143,7 +145,7 @@ class Mesh
     {
         size_t from;
         PeerId via;
-        std::vector<uint8_t> wire;
+        net::WireSegmentPtr wire;
     };
     std::deque<Segment> queue;
     uint64_t now = 0;

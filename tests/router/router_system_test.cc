@@ -417,5 +417,6 @@ TEST(RouterSystem, BadPortIndexPanics)
     World w(pentium3Profile());
     EXPECT_THROW(w.router.rxSpace(7), PanicError);
     EXPECT_THROW(w.router.connectPeer(7), PanicError);
-    EXPECT_THROW(w.router.deliverToPort(7, {}), PanicError);
+    EXPECT_THROW(w.router.deliverToPort(7, std::vector<uint8_t>{}),
+                 PanicError);
 }

@@ -50,7 +50,7 @@ struct Replay
     {
         for (const auto &pkt : packets) {
             bgp::DecodeError error;
-            auto msg = bgp::decodeMessage(pkt.wire, error);
+            auto msg = bgp::decodeMessage(pkt.wire->bytes(), error);
             ASSERT_TRUE(msg.has_value()) << error.detail;
             const auto &update = std::get<bgp::UpdateMessage>(*msg);
             for (const auto &p : update.withdrawnRoutes) {
@@ -110,14 +110,14 @@ TEST(Churn, DeterministicInSeed)
     auto b = buildChurnStream(rs, churnConfig(300));
     ASSERT_EQ(a.size(), b.size());
     for (size_t i = 0; i < a.size(); ++i)
-        EXPECT_EQ(a[i].wire, b[i].wire);
+        EXPECT_TRUE(*a[i].wire == *b[i].wire);
 
     auto config = churnConfig(300);
     config.seed = 123;
     auto c = buildChurnStream(rs, config);
     bool differs = c.size() != a.size();
     for (size_t i = 0; !differs && i < a.size(); ++i)
-        differs = a[i].wire != c[i].wire;
+        differs = !(*a[i].wire == *c[i].wire);
     EXPECT_TRUE(differs);
 }
 
@@ -134,7 +134,7 @@ TEST(Churn, ReAnnouncementsChangeAttributes)
     std::vector<int> path_lengths;
     for (const auto &pkt : packets) {
         bgp::DecodeError error;
-        auto msg = bgp::decodeMessage(pkt.wire, error);
+        auto msg = bgp::decodeMessage(pkt.wire->bytes(), error);
         const auto &update = std::get<bgp::UpdateMessage>(*msg);
         if (update.attributes) {
             path_lengths.push_back(
@@ -156,7 +156,7 @@ TEST(Churn, LargePacketPackingRespected)
     auto packets = buildChurnStream(rs, config);
     size_t max_txn = 0;
     for (const auto &pkt : packets) {
-        EXPECT_LE(pkt.wire.size(), bgp::proto::maxMessageBytes);
+        EXPECT_LE(pkt.wire->size(), bgp::proto::maxMessageBytes);
         max_txn = std::max(max_txn, pkt.transactions);
     }
     EXPECT_LE(max_txn, 100u);

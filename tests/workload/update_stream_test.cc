@@ -38,7 +38,7 @@ bgp::UpdateMessage
 decodeUpdate(const StreamPacket &pkt)
 {
     bgp::DecodeError error;
-    auto msg = bgp::decodeMessage(pkt.wire, error);
+    auto msg = bgp::decodeMessage(pkt.wire->bytes(), error);
     EXPECT_TRUE(msg.has_value()) << error.detail;
     return std::get<bgp::UpdateMessage>(*msg);
 }
@@ -78,7 +78,7 @@ TEST(UpdateStream, LargePacketsCarry500Prefixes)
 
     // Every packet decodes and respects the 4096-byte limit.
     for (const auto &pkt : packets) {
-        EXPECT_LE(pkt.wire.size(), bgp::proto::maxMessageBytes);
+        EXPECT_LE(pkt.wire->size(), bgp::proto::maxMessageBytes);
         auto update = decodeUpdate(pkt);
         EXPECT_EQ(update.nlri.size(), pkt.transactions);
     }
@@ -148,7 +148,7 @@ TEST(UpdateStream, StreamBytesMatchesWireSizes)
     auto packets = buildAnnouncementStream(rs, smallConfig());
     size_t expected = 0;
     for (const auto &pkt : packets)
-        expected += pkt.wire.size();
+        expected += pkt.wire->size();
     EXPECT_EQ(streamBytes(packets), expected);
 }
 

@@ -39,6 +39,7 @@
 #include "core/benchmark_runner.hh"
 #include "core/paper_data.hh"
 #include "net/logging.hh"
+#include "net/wire_segment.hh"
 #include "stats/report.hh"
 #include "topo/scenarios.hh"
 
@@ -60,6 +61,7 @@ struct CliOptions
     bool csv = false;
     bool json = false;
     bool internStats = false;
+    bool wireStats = false;
     /** topo command. */
     std::string shape = "ring";
     size_t nodes = 12;
@@ -97,6 +99,8 @@ usage(int code)
         "  --damping                enable RFC 2439 flap damping\n"
         "  --csv                    CSV output\n"
         "  --intern-stats           print attribute-interner counters "
+        "to stderr\n"
+        "  --wire-stats             print wire segment-pool counters "
         "to stderr\n"
         "\n"
         "topo options:\n"
@@ -157,6 +161,8 @@ parseArgs(int argc, char **argv)
             options.json = true;
         } else if (arg == "--intern-stats") {
             options.internStats = true;
+        } else if (arg == "--wire-stats") {
+            options.wireStats = true;
         } else if (arg == "--shape") {
             options.shape = value();
         } else if (arg == "--nodes") {
@@ -427,6 +433,22 @@ printInternStats()
     stats::printDedupReport(std::cerr, "attribute interner", report);
 }
 
+/** Dump the wire segment-pool counters to stderr. */
+void
+printWireStats()
+{
+    auto s = net::BufferPool::global().stats();
+    stats::WireReport report;
+    report.acquires = s.acquires;
+    report.poolHits = s.hits;
+    report.poolMisses = s.misses;
+    report.sharedEncodes = s.sharedEncodes;
+    report.bytesDeduplicated = s.bytesDeduplicated;
+    report.outstandingSegments = s.outstanding;
+    report.peakOutstandingSegments = s.peakOutstanding;
+    stats::printWireReport(std::cerr, "wire segment pool", report);
+}
+
 } // namespace
 
 int
@@ -452,6 +474,8 @@ main(int argc, char **argv)
         }
         if (options.internStats)
             printInternStats();
+        if (options.wireStats)
+            printWireStats();
         return rc;
     } catch (const FatalError &error) {
         std::cerr << "error: " << error.what() << "\n";
