@@ -26,6 +26,8 @@
 #include "bgp/attr_intern.hh"
 #include "bgp/speaker.hh"
 #include "net/logging.hh"
+#include "obs/metrics.hh"
+#include "obs/views.hh"
 #include "stats/report.hh"
 
 #include "bench_util.hh"
@@ -254,13 +256,17 @@ main()
     std::cout << "\ninterning speedup: "
               << stats::formatDouble(speedup, 2) << "x\n\n";
 
-    stats::DedupReport dedup;
-    dedup.lookups = best_on.intern.lookups;
-    dedup.hits = best_on.intern.hits;
-    dedup.misses = best_on.intern.misses;
-    dedup.liveSets = best_on.intern.liveSets;
-    dedup.bytesDeduplicated = best_on.intern.bytesDeduplicated;
-    stats::printDedupReport(std::cout, "interner (on mode)", dedup);
+    obs::MetricRegistry metrics;
+    metrics.counter(obs::metric::internLookups)
+        .add(best_on.intern.lookups);
+    metrics.counter(obs::metric::internHits).add(best_on.intern.hits);
+    metrics.counter(obs::metric::internMisses)
+        .add(best_on.intern.misses);
+    metrics.gauge(obs::metric::internLiveSets)
+        .noteMax(double(best_on.intern.liveSets));
+    metrics.counter(obs::metric::internBytesDeduplicated)
+        .add(best_on.intern.bytesDeduplicated);
+    obs::printDedupView(std::cout, "interner (on mode)", metrics);
 
     std::cout << "\nShape: the workload holds only "
               << load.prefixes / prefixesPerUpdate

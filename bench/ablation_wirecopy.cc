@@ -29,6 +29,8 @@
 #include "bgp/message.hh"
 #include "net/logging.hh"
 #include "net/wire_segment.hh"
+#include "obs/metrics.hh"
+#include "obs/views.hh"
 #include "stats/json.hh"
 #include "stats/report.hh"
 
@@ -210,15 +212,21 @@ main()
     std::cout << "\nsegment-sharing speedup: "
               << stats::formatDouble(speedup, 2) << "x\n\n";
 
-    stats::WireReport wire;
-    wire.acquires = best_on.pool.acquires;
-    wire.poolHits = best_on.pool.hits;
-    wire.poolMisses = best_on.pool.misses;
-    wire.sharedEncodes = best_on.pool.sharedEncodes;
-    wire.bytesDeduplicated = best_on.pool.bytesDeduplicated;
-    wire.outstandingSegments = best_on.pool.outstanding;
-    wire.peakOutstandingSegments = best_on.pool.peakOutstanding;
-    stats::printWireReport(std::cout, "segment pool (on mode)", wire);
+    obs::MetricRegistry metrics;
+    metrics.counter(obs::metric::wireAcquires)
+        .add(best_on.pool.acquires);
+    metrics.counter(obs::metric::wirePoolHits).add(best_on.pool.hits);
+    metrics.counter(obs::metric::wirePoolMisses)
+        .add(best_on.pool.misses);
+    metrics.counter(obs::metric::wireSharedEncodes)
+        .add(best_on.pool.sharedEncodes);
+    metrics.counter(obs::metric::wireBytesDeduplicated)
+        .add(best_on.pool.bytesDeduplicated);
+    metrics.gauge(obs::metric::wireOutstandingSegments)
+        .noteMax(double(best_on.pool.outstanding));
+    metrics.gauge(obs::metric::wirePeakOutstandingSegments)
+        .noteMax(double(best_on.pool.peakOutstanding));
+    obs::printWireView(std::cout, "segment pool (on mode)", metrics);
 
     std::ofstream json("BENCH_ablation_wirecopy.json");
     stats::JsonWriter writer(json);

@@ -22,12 +22,12 @@
 
 #include <algorithm>
 #include <chrono>
-#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <thread>
 #include <vector>
 
+#include "core/runtime_config.hh"
 #include "stats/json.hh"
 #include "topo/partition.hh"
 #include "topo/scenarios.hh"
@@ -89,21 +89,23 @@ main(int argc, char **argv)
 {
     size_t nodes = benchutil::envSize(
         "BGPBENCH_NODES", benchutil::fastMode() ? 10 : 24);
-    size_t jobs = benchutil::envSize("BGPBENCH_JOBS", 1);
-    bool sweep = std::getenv("BGPBENCH_SWEEP") &&
-                 std::strcmp(std::getenv("BGPBENCH_SWEEP"), "1") == 0;
+    core::RuntimeConfig runtime = core::RuntimeConfig::fromEnvironment();
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
         if (arg == "--jobs" && i + 1 < argc) {
-            jobs = size_t(std::strtoull(argv[++i], nullptr, 10));
+            runtime.overrideJobs(
+                size_t(std::strtoull(argv[++i], nullptr, 10)));
         } else if (arg == "--sweep") {
-            sweep = true;
+            runtime.overrideSweep(true);
         } else {
             std::cerr << "usage: topo_convergence [--jobs N] "
                          "[--sweep]\n";
             return 2;
         }
     }
+    runtime.apply();
+    size_t jobs = runtime.jobs();
+    bool sweep = runtime.sweep();
     const uint64_t seed = 42;
     const size_t attach = 2;
 

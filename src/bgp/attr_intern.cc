@@ -5,6 +5,9 @@
 #include <cstring>
 #include <utility>
 
+#include "obs/metrics.hh"
+#include "obs/views.hh"
+
 namespace bgpbench::bgp
 {
 
@@ -17,6 +20,8 @@ internDisabledByEnv()
     const char *value = std::getenv("BGPBENCH_NO_INTERN");
     return value && std::strcmp(value, "1") == 0;
 }
+
+std::atomic<bool> internDefault{!internDisabledByEnv()};
 
 /** Never-zero owner ids; 0 means "not interned" on PathAttributes. */
 uint64_t
@@ -43,8 +48,20 @@ attributesHeapBytes(const PathAttributes &attrs)
     return bytes;
 }
 
+bool
+internDefaultEnabled()
+{
+    return internDefault.load(std::memory_order_relaxed);
+}
+
+void
+setInternDefault(bool enabled)
+{
+    internDefault.store(enabled, std::memory_order_relaxed);
+}
+
 AttributeInterner::AttributeInterner()
-    : id_(nextInternerId()), enabled_(!internDisabledByEnv())
+    : id_(nextInternerId()), enabled_(internDefaultEnabled())
 {}
 
 AttributeInterner &
@@ -169,6 +186,24 @@ AttributeInterner::stats() const
         }
     }
     return s;
+}
+
+void
+AttributeInterner::publishStats(obs::MetricRegistry &registry) const
+{
+    Stats s = stats();
+    registry.counter(obs::metric::internLookups).add(s.lookups);
+    registry.counter(obs::metric::internHits).add(s.hits);
+    registry.counter(obs::metric::internMisses).add(s.misses);
+    registry.counter("intern.sweeps").add(s.sweeps);
+    registry.counter(obs::metric::internBytesDeduplicated)
+        .add(s.bytesDeduplicated);
+    // Census values are levels, not event counts: gauges, merged by
+    // max, so absorbing per-thread publishes keeps the largest table.
+    registry.gauge(obs::metric::internLiveSets)
+        .noteMax(double(s.liveSets));
+    registry.gauge("intern.tracked_sets")
+        .noteMax(double(s.trackedSets));
 }
 
 void

@@ -36,6 +36,11 @@
 
 #include "bgp/path_attributes.hh"
 
+namespace bgpbench::obs
+{
+class MetricRegistry;
+} // namespace bgpbench::obs
+
 namespace bgpbench::bgp
 {
 
@@ -111,6 +116,13 @@ class AttributeInterner
     /** Counters plus a fresh live/tracked census of the table. */
     Stats stats() const;
 
+    /**
+     * Publish stats() under the canonical "intern.*" metric names
+     * (obs::metric). Counters accumulate, so publish once per report
+     * into a given registry.
+     */
+    void publishStats(obs::MetricRegistry &registry) const;
+
     /** Zero the lifetime counters (table contents are kept). */
     void resetStats();
 
@@ -150,6 +162,16 @@ class AttributeInterner
 
 /** Approximate heap footprint of one attribute set (for dedup stats). */
 size_t attributesHeapBytes(const PathAttributes &attrs);
+
+/**
+ * Process-wide default for newly constructed interners (including the
+ * lazily created per-thread global() instances). Initialised from
+ * BGPBENCH_NO_INTERN; core::RuntimeConfig::apply() overrides it before
+ * worker threads spawn. Interners that already exist are unaffected —
+ * flip those with setEnabled().
+ */
+bool internDefaultEnabled();
+void setInternDefault(bool enabled);
 
 } // namespace bgpbench::bgp
 

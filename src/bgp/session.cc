@@ -5,8 +5,8 @@
 namespace bgpbench::bgp
 {
 
-std::string
-toString(SessionState state)
+const char *
+sessionStateName(SessionState state)
 {
     switch (state) {
       case SessionState::Idle:
@@ -23,6 +23,12 @@ toString(SessionState state)
         return "Established";
     }
     return "?";
+}
+
+std::string
+toString(SessionState state)
+{
+    return sessionStateName(state);
 }
 
 void

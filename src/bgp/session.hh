@@ -34,6 +34,12 @@ enum class SessionState : uint8_t
     Established,
 };
 
+/**
+ * Human-readable state name as a static string (trace events store
+ * the pointer without copying).
+ */
+const char *sessionStateName(SessionState state);
+
 /** Human-readable state name. */
 std::string toString(SessionState state);
 

@@ -8,6 +8,41 @@
 namespace bgpbench::bgp
 {
 
+namespace
+{
+
+/** Detached-instrumentation guard: one branch when unbound. */
+inline void
+bump(obs::Counter *counter, uint64_t n = 1)
+{
+    if (counter)
+        counter->add(n);
+}
+
+} // namespace
+
+void
+BgpSpeaker::bindObservability(obs::MetricRegistry *registry,
+                              obs::Tracer *tracer, uint32_t track)
+{
+    obs_ = ObsHandles{};
+    obs_.tracer = tracer;
+    obs_.track = track;
+    if (!registry)
+        return;
+    obs_.updatesReceived = &registry->counter("bgp.updates_received");
+    obs_.updatesSent = &registry->counter("bgp.updates_sent");
+    obs_.prefixesAdvertised =
+        &registry->counter("bgp.prefixes_advertised");
+    obs_.decisionRuns = &registry->counter("bgp.decision_runs");
+    obs_.locRibChanges = &registry->counter("rib.loc_rib_changes");
+    obs_.fibChanges = &registry->counter("rib.fib_changes");
+    obs_.sessionTransitions =
+        &registry->counter("bgp.session_transitions");
+    obs_.decisionCandidates = &registry->histogram(
+        "bgp.decision_candidates", {1, 2, 4, 8, 16, 32, 64});
+}
+
 BgpSpeaker::BgpSpeaker(SpeakerConfig config, SpeakerEvents *events)
     : config_(std::move(config)), events_(events),
       damper_(config_.damping)
@@ -100,6 +135,8 @@ BgpSpeaker::transmit(Peer &peer, const std::vector<Message> &msgs)
                 std::get<UpdateMessage>(msg).transactionCount();
             ++counters_.updatesSent;
             counters_.prefixesAdvertised += transactions;
+            bump(obs_.updatesSent);
+            bump(obs_.prefixesAdvertised, transactions);
         } else if (type == MessageType::Notification) {
             ++counters_.notificationsSent;
         }
@@ -163,6 +200,8 @@ BgpSpeaker::transmitUpdates(Peer &peer,
         size_t transactions = update.transactionCount();
         ++counters_.updatesSent;
         counters_.prefixesAdvertised += transactions;
+        bump(obs_.updatesSent);
+        bump(obs_.prefixesAdvertised, transactions);
 
         net::WireSegmentPtr wire;
         if (net::segmentSharingEnabled()) {
@@ -196,6 +235,14 @@ BgpSpeaker::noteStateChange(Peer &peer, SessionState before,
     SessionState after = peer.fsm.state();
     if (after == before)
         return;
+
+    bump(obs_.sessionTransitions);
+    if (obs_.tracer) {
+        // Mark the transition at its virtual time, named by the new
+        // state (static strings; the buffer stores the pointer).
+        obs_.tracer->instant(sessionStateName(after), "session",
+                             obs::kTrackRouters, obs_.track, now);
+    }
 
     events_->onSessionStateChange(peer.config.id, before, after);
 
@@ -366,6 +413,13 @@ BgpSpeaker::processUpdate(Peer &from, const UpdateMessage &msg,
                           TimeNs now)
 {
     ++counters_.updatesReceived;
+    bump(obs_.updatesReceived);
+    // Speaker work is instantaneous in virtual time (processing cost
+    // is charged by the owning router/topology layer), so this span
+    // is a zero-duration marker delimiting the decision/export
+    // activity of one inbound UPDATE.
+    OBS_SPAN(obs_.tracer, "update", "bgp", obs::kTrackRouters,
+             obs_.track, [now] { return now; });
     UpdateStats stats;
 
     for (const auto &prefix : msg.withdrawnRoutes) {
@@ -434,6 +488,7 @@ BgpSpeaker::runDecision(const net::Prefix &prefix, UpdateStats &stats,
                         TimeNs now)
 {
     ++counters_.decisionRuns;
+    bump(obs_.decisionRuns);
 
     // Collect candidates: every established peer's import-accepted
     // route plus any locally originated route.
@@ -458,6 +513,9 @@ BgpSpeaker::runDecision(const net::Prefix &prefix, UpdateStats &stats,
                                        true});
     }
 
+    if (obs_.decisionCandidates)
+        obs_.decisionCandidates->record(candidates.size());
+
     auto best_index = selectBest(candidates, config_.decision);
 
     if (!best_index) {
@@ -466,6 +524,8 @@ BgpSpeaker::runDecision(const net::Prefix &prefix, UpdateStats &stats,
             ++counters_.fibChanges;
             ++stats.locRibChanges;
             ++stats.fibChanges;
+            bump(obs_.locRibChanges);
+            bump(obs_.fibChanges);
             events_->onFibUpdate(FibUpdate{prefix, std::nullopt});
             for (Peer *peer : establishedPeers_)
                 updateAdjOut(*peer, prefix, nullptr, stats);
@@ -482,12 +542,14 @@ BgpSpeaker::runDecision(const net::Prefix &prefix, UpdateStats &stats,
     if (locRib_.select(prefix, best)) {
         ++counters_.locRibChanges;
         ++stats.locRibChanges;
+        bump(obs_.locRibChanges);
         // The forwarding table only cares about the next hop; a best-
         // path change that keeps the next hop (e.g. a MED change on
         // the same session) does not touch the FIB.
         if (next_hop_changed) {
             ++counters_.fibChanges;
             ++stats.fibChanges;
+            bump(obs_.fibChanges);
             events_->onFibUpdate(
                 FibUpdate{prefix, best.attributes->nextHop});
         }
@@ -644,7 +706,8 @@ BgpSpeaker::ebgpExport(const Peer &peer,
 void
 BgpSpeaker::flushPending(TimeNs now)
 {
-    (void)now;
+    OBS_SPAN(obs_.tracer, "export", "bgp", obs::kTrackRouters,
+             obs_.track, [now] { return now; });
     for (auto &[id, peer] : peers_) {
         if (peer->pending.empty())
             continue;
@@ -661,6 +724,8 @@ BgpSpeaker::flushPending(TimeNs now)
 void
 BgpSpeaker::advertiseFullTable(Peer &peer, TimeNs now)
 {
+    OBS_SPAN(obs_.tracer, "full_table_export", "bgp",
+             obs::kTrackRouters, obs_.track, [now] { return now; });
     UpdateStats stats;
     locRib_.forEach([&](const net::Prefix &prefix,
                         const LocRib::Entry &entry) {

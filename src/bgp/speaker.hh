@@ -33,6 +33,8 @@
 #include "bgp/route.hh"
 #include "bgp/session.hh"
 #include "bgp/update_builder.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "net/ipv4_address.hh"
 #include "net/prefix.hh"
 
@@ -237,6 +239,21 @@ class BgpSpeaker
     const AdjRibOut &adjRibOut(PeerId peer) const;
     const SpeakerCounters &counters() const { return counters_; }
     const SpeakerConfig &config() const { return config_; }
+
+    /**
+     * Attach this speaker to a run's observability sinks. Metric
+     * handles are resolved once here (under the registry's
+     * registration lock) so the hot paths only touch pre-resolved
+     * pointers; several speakers may share one registry (one per
+     * shard) and their counts aggregate. @p track is the trace lane
+     * (tid) for this speaker's events — the owning node id in a
+     * topology run. Null arguments detach; detached instrumentation
+     * is a single branch per site. Trace timestamps come from the
+     * caller-supplied virtual clock (the `now` of each entry point),
+     * so binding can never perturb simulation behaviour.
+     */
+    void bindObservability(obs::MetricRegistry *registry,
+                           obs::Tracer *tracer, uint32_t track);
     /** Flap-damping state (live; decays lazily on access). */
     FlapDamper &damper() { return damper_; }
     std::vector<PeerId> peerIds() const;
@@ -353,8 +370,24 @@ class BgpSpeaker
         net::WireSegmentPtr wire;
     };
 
+    /** Pre-resolved observability handles; all null when detached. */
+    struct ObsHandles
+    {
+        obs::Tracer *tracer = nullptr;
+        uint32_t track = 0;
+        obs::Counter *updatesReceived = nullptr;
+        obs::Counter *updatesSent = nullptr;
+        obs::Counter *prefixesAdvertised = nullptr;
+        obs::Counter *decisionRuns = nullptr;
+        obs::Counter *locRibChanges = nullptr;
+        obs::Counter *fibChanges = nullptr;
+        obs::Counter *sessionTransitions = nullptr;
+        obs::Histogram *decisionCandidates = nullptr;
+    };
+
     SpeakerConfig config_;
     SpeakerEvents *events_;
+    ObsHandles obs_;
     std::map<PeerId, std::unique_ptr<Peer>> peers_;
     /**
      * Per-flush encode cache: content hash of an UPDATE -> encodings

@@ -122,6 +122,14 @@ BenchmarkRunner::setUp(const Scenario &scenario)
     speaker2_ = std::make_unique<TestPeer>(sim_.get(), s2,
                                            router_.get(), 1);
 
+    if (config_.obs) {
+        tracer_.attach(&config_.obs->trace);
+        router_->speaker().bindObservability(&config_.obs->metrics,
+                                             &tracer_, 0);
+    } else {
+        tracer_.detach();
+    }
+
     router_->start();
 }
 
@@ -151,13 +159,17 @@ BenchmarkRunner::run(const Scenario &scenario)
     auto &speaker = router_->speaker();
 
     // --- Session establishment (Speaker 1) ---------------------------
+    sim::SimTime establish_begin = sim_->now();
     speaker1_->connect();
-    if (!runUntil([&]() {
-            return speaker1_->established() &&
-                   speaker.sessionState(0) ==
-                       bgp::SessionState::Established &&
-                   router_->controlDrained();
-        })) {
+    bool established = runUntil([&]() {
+        return speaker1_->established() &&
+               speaker.sessionState(0) ==
+                   bgp::SessionState::Established &&
+               router_->controlDrained();
+    });
+    tracer_.complete("establish", "phase", obs::kTrackPhases, 0,
+                     establish_begin, sim_->now());
+    if (!established) {
         result.timedOut = true;
         return result;
     }
@@ -172,7 +184,8 @@ BenchmarkRunner::run(const Scenario &scenario)
     s1_cfg.extraPrepends =
         scenario.operation == BgpOperation::IncrementalChange ? 2 : 0;
 
-    double t0 = sim::toSeconds(sim_->now());
+    sim::SimTime phase1_begin = sim_->now();
+    double t0 = sim::toSeconds(phase1_begin);
     speaker1_->enqueueStream(
         workload::buildAnnouncementStream(routes_, s1_cfg));
     bool ok = runUntil([&]() {
@@ -180,6 +193,8 @@ BenchmarkRunner::run(const Scenario &scenario)
                speaker.counters().announcementsProcessed >= n &&
                router_->controlDrained();
     });
+    tracer_.complete("phase1", "phase", obs::kTrackPhases, 0,
+                     phase1_begin, sim_->now());
     result.phase1.startSec = t0;
     result.phase1.durationSec = sim::toSeconds(sim_->now()) - t0;
     result.phase1.transactions = n;
@@ -190,13 +205,16 @@ BenchmarkRunner::run(const Scenario &scenario)
 
     // --- Phase 2: route propagation to Speaker 2 ---------------------
     if (scenario.usesSecondSpeaker()) {
-        double t2 = sim::toSeconds(sim_->now());
+        sim::SimTime phase2_begin = sim_->now();
+        double t2 = sim::toSeconds(phase2_begin);
         speaker2_->connect();
         ok = runUntil([&]() {
             return speaker2_->established() &&
                    speaker2_->counters().announcementsReceived >= n &&
                    router_->controlDrained();
         });
+        tracer_.complete("phase2", "phase", obs::kTrackPhases, 0,
+                         phase2_begin, sim_->now());
         PhaseResult phase2;
         phase2.startSec = t2;
         phase2.durationSec = sim::toSeconds(sim_->now()) - t2;
@@ -211,7 +229,8 @@ BenchmarkRunner::run(const Scenario &scenario)
 
     // --- Phase 3 ------------------------------------------------------
     if (scenario.operation != BgpOperation::StartupAnnounce) {
-        double t3 = sim::toSeconds(sim_->now());
+        sim::SimTime phase3_begin = sim_->now();
+        double t3 = sim::toSeconds(phase3_begin);
         PhaseResult phase3;
         phase3.startSec = t3;
         phase3.transactions = n;
@@ -257,6 +276,8 @@ BenchmarkRunner::run(const Scenario &scenario)
             break;
         }
 
+        tracer_.complete("phase3", "phase", obs::kTrackPhases, 0,
+                         phase3_begin, sim_->now());
         phase3.durationSec = sim::toSeconds(sim_->now()) - t3;
         result.phase3 = phase3;
         if (!ok) {

@@ -16,6 +16,7 @@
 
 #include "core/scenario.hh"
 #include "core/test_peer.hh"
+#include "obs/observability.hh"
 #include "router/router_system.hh"
 #include "router/system_profiles.hh"
 #include "sim/event_queue.hh"
@@ -44,6 +45,15 @@ struct BenchmarkConfig
     bgp::AsNumber speaker1As = 65001;
     bgp::AsNumber speaker2As = 65002;
     bgp::AsNumber routerAs = 65000;
+    /**
+     * Observability sinks for the run, or null (detached — the
+     * default). When set, the router-under-test's speaker is bound
+     * to the registry and the three benchmark phases (plus session
+     * establishment) are recorded as virtual-time trace spans.
+     * Timing results are unaffected either way. Must outlive the
+     * runner.
+     */
+    obs::RunObservability *obs = nullptr;
 };
 
 /** Timing of one benchmark phase. */
@@ -124,6 +134,8 @@ class BenchmarkRunner
 
     router::SystemProfile profile_;
     BenchmarkConfig config_;
+    /** Feeds config_.obs->trace when sinks are attached. */
+    obs::Tracer tracer_;
 
     std::vector<workload::RouteSpec> routes_;
     std::unique_ptr<sim::Simulator> sim_;

@@ -1,0 +1,128 @@
+#include "core/runtime_config.hh"
+
+#include <cstdlib>
+#include <cstring>
+#include <ostream>
+#include <string>
+
+#include "bgp/attr_intern.hh"
+#include "net/wire_segment.hh"
+#include "stats/report.hh"
+
+namespace bgpbench::core
+{
+
+namespace
+{
+
+const char *
+getEnv(const char *name)
+{
+    const char *value = std::getenv(name);
+    return value && *value ? value : nullptr;
+}
+
+/** BGPBENCH_NO_INTERN / BGPBENCH_SWEEP style: exactly "1" is set. */
+bool
+envFlagIsOne(const char *name)
+{
+    const char *value = getEnv(name);
+    return value && std::strcmp(value, "1") == 0;
+}
+
+/** BGPBENCH_NO_SEGMENT_SHARING style: any value but "0…" is set. */
+bool
+envFlagIsNonZero(const char *name)
+{
+    const char *value = getEnv(name);
+    return value && value[0] != '0';
+}
+
+} // namespace
+
+const char *
+configOriginName(ConfigOrigin origin)
+{
+    switch (origin) {
+      case ConfigOrigin::Default:
+        return "default";
+      case ConfigOrigin::Environment:
+        return "environment";
+      case ConfigOrigin::CommandLine:
+        return "command line";
+    }
+    return "?";
+}
+
+RuntimeConfig
+RuntimeConfig::fromEnvironment()
+{
+    RuntimeConfig config;
+    if (envFlagIsOne("BGPBENCH_NO_INTERN"))
+        config.intern_ = {false, ConfigOrigin::Environment};
+    if (envFlagIsNonZero("BGPBENCH_NO_SEGMENT_SHARING"))
+        config.segmentSharing_ = {false, ConfigOrigin::Environment};
+    if (envFlagIsOne("BGPBENCH_SWEEP"))
+        config.sweep_ = {true, ConfigOrigin::Environment};
+    if (const char *value = getEnv("BGPBENCH_JOBS")) {
+        config.jobs_ = {
+            size_t(std::strtoull(value, nullptr, 10)),
+            ConfigOrigin::Environment,
+        };
+    }
+    return config;
+}
+
+void
+RuntimeConfig::overrideIntern(bool enabled)
+{
+    intern_ = {enabled, ConfigOrigin::CommandLine};
+}
+
+void
+RuntimeConfig::overrideSegmentSharing(bool enabled)
+{
+    segmentSharing_ = {enabled, ConfigOrigin::CommandLine};
+}
+
+void
+RuntimeConfig::overrideSweep(bool enabled)
+{
+    sweep_ = {enabled, ConfigOrigin::CommandLine};
+}
+
+void
+RuntimeConfig::overrideJobs(size_t jobs)
+{
+    jobs_ = {jobs, ConfigOrigin::CommandLine};
+}
+
+void
+RuntimeConfig::apply() const
+{
+    // The default steers interners built later (worker threads); the
+    // calling thread's interner may already exist, so flip it too.
+    bgp::setInternDefault(intern_.value);
+    bgp::AttributeInterner::global().setEnabled(intern_.value);
+    net::setSegmentSharing(segmentSharing_.value);
+}
+
+void
+RuntimeConfig::dump(std::ostream &out) const
+{
+    auto onOff = [](bool value) { return value ? "on" : "off"; };
+    stats::TextTable table({"setting", "value", "source"});
+    table.addRow({"interning", onOff(intern_.value),
+                  configOriginName(intern_.origin)});
+    table.addRow({"segment sharing", onOff(segmentSharing_.value),
+                  configOriginName(segmentSharing_.origin)});
+    table.addRow({"sweep", onOff(sweep_.value),
+                  configOriginName(sweep_.origin)});
+    table.addRow({"jobs",
+                  jobs_.value == 0 ? std::string("auto")
+                                   : std::to_string(jobs_.value),
+                  configOriginName(jobs_.origin)});
+    table.print(out);
+}
+
+} // namespace bgpbench::core

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * The process-wide runtime switches, read once at startup.
+ *
+ * Historically each switch lived in the subsystem it toggles:
+ * BGPBENCH_NO_INTERN inside the attribute interner,
+ * BGPBENCH_NO_SEGMENT_SHARING inside the wire buffer pool,
+ * BGPBENCH_SWEEP / BGPBENCH_JOBS inside individual benchmark mains.
+ * RuntimeConfig gathers them behind one struct with a documented
+ * precedence — command line beats environment beats built-in default —
+ * and remembers where each value came from so `bgpbench config` can
+ * show the effective configuration.
+ *
+ * Intended use: fromEnvironment() early in main(), override*() while
+ * parsing argv, then one apply() BEFORE any worker thread spawns (the
+ * attribute interner is per-thread and latches the process default at
+ * construction).
+ */
+
+#ifndef BGPBENCH_CORE_RUNTIME_CONFIG_HH
+#define BGPBENCH_CORE_RUNTIME_CONFIG_HH
+
+#include <cstddef>
+#include <iosfwd>
+
+namespace bgpbench::core
+{
+
+/** Where a RuntimeConfig value came from (lowest to highest). */
+enum class ConfigOrigin
+{
+    Default,
+    Environment,
+    CommandLine,
+};
+
+/** "default" | "environment" | "command line". */
+const char *configOriginName(ConfigOrigin origin);
+
+class RuntimeConfig
+{
+  public:
+    /** One switch plus the provenance of its current value. */
+    template <typename T>
+    struct Setting
+    {
+        T value{};
+        ConfigOrigin origin = ConfigOrigin::Default;
+    };
+
+    /** Built-in defaults only; ignores the environment. */
+    RuntimeConfig() = default;
+
+    /**
+     * Defaults overlaid with the BGPBENCH_* environment variables
+     * (BGPBENCH_NO_INTERN=1, BGPBENCH_NO_SEGMENT_SHARING=<non-zero>,
+     * BGPBENCH_SWEEP=1, BGPBENCH_JOBS=<n>). Unset or unparsable
+     * variables leave the default in place.
+     */
+    static RuntimeConfig fromEnvironment();
+
+    /** Attribute-set hash-consing (ablation switch). */
+    bool internEnabled() const { return intern_.value; }
+    /** Wire segment sharing across receivers (ablation switch). */
+    bool segmentSharing() const { return segmentSharing_.value; }
+    /** Benchmarks: also run the jobs-sweep section. */
+    bool sweep() const { return sweep_.value; }
+    /** Topology worker threads; 1 = sequential, 0 = auto. */
+    size_t jobs() const { return jobs_.value; }
+
+    ConfigOrigin internOrigin() const { return intern_.origin; }
+    ConfigOrigin segmentSharingOrigin() const
+    {
+        return segmentSharing_.origin;
+    }
+    ConfigOrigin sweepOrigin() const { return sweep_.origin; }
+    ConfigOrigin jobsOrigin() const { return jobs_.origin; }
+
+    /** Command-line overrides (highest precedence). */
+    void overrideIntern(bool enabled);
+    void overrideSegmentSharing(bool enabled);
+    void overrideSweep(bool enabled);
+    void overrideJobs(size_t jobs);
+
+    /**
+     * Push the switches into their subsystems: the process-wide
+     * intern default, the calling thread's already-built interner,
+     * and the wire pool's sharing flag. Call before spawning worker
+     * threads — interners built afterwards latch the new default,
+     * ones built before it keep their own setting.
+     */
+    void apply() const;
+
+    /** Aligned name/value/source dump (the `config` subcommand). */
+    void dump(std::ostream &out) const;
+
+  private:
+    Setting<bool> intern_{true, ConfigOrigin::Default};
+    Setting<bool> segmentSharing_{true, ConfigOrigin::Default};
+    Setting<bool> sweep_{false, ConfigOrigin::Default};
+    Setting<size_t> jobs_{1, ConfigOrigin::Default};
+};
+
+} // namespace bgpbench::core
+
+#endif // BGPBENCH_CORE_RUNTIME_CONFIG_HH

@@ -3,6 +3,9 @@
 #include <atomic>
 #include <cstdlib>
 
+#include "obs/metrics.hh"
+#include "obs/views.hh"
+
 namespace bgpbench::net
 {
 
@@ -201,6 +204,24 @@ BufferPool::stats() const
             s.pooledBytes += buf.capacity();
     }
     return s;
+}
+
+void
+BufferPool::publishStats(obs::MetricRegistry &registry) const
+{
+    Stats s = stats();
+    registry.counter(obs::metric::wireAcquires).add(s.acquires);
+    registry.counter(obs::metric::wirePoolHits).add(s.hits);
+    registry.counter(obs::metric::wirePoolMisses).add(s.misses);
+    registry.counter(obs::metric::wireSharedEncodes)
+        .add(s.sharedEncodes);
+    registry.counter(obs::metric::wireBytesDeduplicated)
+        .add(s.bytesDeduplicated);
+    // Liveness census values are levels: gauges, merged by max.
+    registry.gauge(obs::metric::wireOutstandingSegments)
+        .noteMax(double(s.outstanding));
+    registry.gauge(obs::metric::wirePeakOutstandingSegments)
+        .noteMax(double(s.peakOutstanding));
 }
 
 void

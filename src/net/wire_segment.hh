@@ -36,6 +36,11 @@
 
 #include "net/byte_io.hh"
 
+namespace bgpbench::obs
+{
+class MetricRegistry;
+} // namespace bgpbench::obs
+
 namespace bgpbench::net
 {
 
@@ -164,6 +169,13 @@ class BufferPool
 
     /** Counters plus a census of the free lists. */
     Stats stats() const;
+
+    /**
+     * Publish stats() under the canonical "wire.*" metric names
+     * (obs::metric). Counters accumulate, so publish once per report
+     * into a given registry.
+     */
+    void publishStats(obs::MetricRegistry &registry) const;
 
     /** Zero the process-wide counters (free lists are kept). */
     void resetStats();

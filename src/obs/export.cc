@@ -1,0 +1,162 @@
+#include "obs/export.hh"
+
+#include "stats/json.hh"
+#include "stats/report.hh"
+
+namespace bgpbench::obs
+{
+
+namespace
+{
+
+/**
+ * Gauges hold doubles that are usually integral (shard counts,
+ * peaks); JsonWriter::formatNumber renders those without a fraction
+ * and everything else with a fixed conversion.
+ */
+std::string
+gaugeText(double value)
+{
+    return stats::JsonWriter::formatNumber(value);
+}
+
+std::string
+bucketLabel(const MetricRegistry::Snapshot::HistogramRow &row,
+            size_t i)
+{
+    if (i < row.bounds.size())
+        return "<= " + std::to_string(row.bounds[i]);
+    return "> " + std::to_string(row.bounds.back());
+}
+
+} // namespace
+
+bool
+parseExportFormat(const std::string &name, ExportFormat &out)
+{
+    if (name == "text") {
+        out = ExportFormat::Text;
+        return true;
+    }
+    if (name == "csv") {
+        out = ExportFormat::Csv;
+        return true;
+    }
+    if (name == "json") {
+        out = ExportFormat::Json;
+        return true;
+    }
+    return false;
+}
+
+void
+printMetricsText(std::ostream &os,
+                 const MetricRegistry::Snapshot &snapshot)
+{
+    stats::TextTable table({"metric", "value"});
+    for (const auto &[name, value] : snapshot.counters)
+        table.addRow({name, std::to_string(value)});
+    for (const auto &[name, value] : snapshot.gauges)
+        table.addRow({name, gaugeText(value)});
+    for (const auto &row : snapshot.histograms) {
+        for (size_t i = 0; i < row.counts.size(); ++i) {
+            if (row.bounds.empty() && i == row.counts.size() - 1)
+                break;
+            table.addRow({row.name + " [" + bucketLabel(row, i) + "]",
+                          std::to_string(row.counts[i])});
+        }
+        table.addRow({row.name + " [count]",
+                      std::to_string(row.count)});
+        table.addRow({row.name + " [mean]",
+                      stats::formatDouble(
+                          row.count ? double(row.sum) /
+                                          double(row.count)
+                                    : 0.0,
+                          2)});
+    }
+    table.print(os);
+}
+
+void
+printMetricsCsv(std::ostream &os,
+                const MetricRegistry::Snapshot &snapshot)
+{
+    os << "kind,metric,key,value\n";
+    for (const auto &[name, value] : snapshot.counters)
+        os << "counter," << name << ",," << value << '\n';
+    for (const auto &[name, value] : snapshot.gauges)
+        os << "gauge," << name << ",," << gaugeText(value) << '\n';
+    for (const auto &row : snapshot.histograms) {
+        for (size_t i = 0; i < row.counts.size(); ++i) {
+            os << "histogram," << row.name << ",le_";
+            if (i < row.bounds.size())
+                os << row.bounds[i];
+            else
+                os << "inf";
+            os << ',' << row.counts[i] << '\n';
+        }
+        os << "histogram," << row.name << ",count," << row.count
+           << '\n';
+        os << "histogram," << row.name << ",sum," << row.sum << '\n';
+    }
+}
+
+void
+writeMetricsJson(std::ostream &os,
+                 const MetricRegistry::Snapshot &snapshot)
+{
+    stats::JsonWriter json(os);
+    json.beginObject();
+    json.key("counters");
+    json.beginObject();
+    for (const auto &[name, value] : snapshot.counters)
+        json.field(name, value);
+    json.endObject();
+    json.key("gauges");
+    json.beginObject();
+    for (const auto &[name, value] : snapshot.gauges)
+        json.field(name, value);
+    json.endObject();
+    json.key("histograms");
+    json.beginObject();
+    for (const auto &row : snapshot.histograms) {
+        json.key(row.name);
+        json.beginObject();
+        json.key("bounds");
+        json.beginArray();
+        for (uint64_t bound : row.bounds)
+            json.value(bound);
+        json.endArray();
+        json.key("counts");
+        json.beginArray();
+        for (uint64_t count : row.counts)
+            json.value(count);
+        json.endArray();
+        json.field("count", row.count);
+        json.field("sum", row.sum);
+        json.endObject();
+    }
+    json.endObject();
+    json.endObject();
+    os << '\n';
+}
+
+void
+exportMetrics(std::ostream &os,
+              const MetricRegistry::Snapshot &snapshot,
+              ExportFormat format)
+{
+    switch (format) {
+      case ExportFormat::Text:
+        printMetricsText(os, snapshot);
+        break;
+      case ExportFormat::Csv:
+        printMetricsCsv(os, snapshot);
+        break;
+      case ExportFormat::Json:
+        writeMetricsJson(os, snapshot);
+        break;
+    }
+}
+
+} // namespace bgpbench::obs

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Registry exporters: render a MetricRegistry snapshot as aligned
+ * text, CSV, or JSON. All number formatting goes through the stats
+ * helpers (formatDouble / JsonWriter::formatNumber), so the bytes are
+ * locale-independent and identical across build modes.
+ */
+
+#ifndef BGPBENCH_OBS_EXPORT_HH
+#define BGPBENCH_OBS_EXPORT_HH
+
+#include <ostream>
+#include <string>
+
+#include "obs/metrics.hh"
+
+namespace bgpbench::obs
+{
+
+enum class ExportFormat : uint8_t
+{
+    Text,
+    Csv,
+    Json,
+};
+
+/** Parse "text" / "csv" / "json"; false on anything else. */
+bool parseExportFormat(const std::string &name, ExportFormat &out);
+
+/** Aligned "metric | value" table; histograms one row per bucket. */
+void printMetricsText(std::ostream &os,
+                      const MetricRegistry::Snapshot &snapshot);
+
+/** "kind,metric,key,value" rows, sorted by metric name per kind. */
+void printMetricsCsv(std::ostream &os,
+                     const MetricRegistry::Snapshot &snapshot);
+
+/** One JSON object with counters/gauges/histograms members. */
+void writeMetricsJson(std::ostream &os,
+                      const MetricRegistry::Snapshot &snapshot);
+
+/** Dispatch on @p format. */
+void exportMetrics(std::ostream &os,
+                   const MetricRegistry::Snapshot &snapshot,
+                   ExportFormat format);
+
+} // namespace bgpbench::obs
+
+#endif // BGPBENCH_OBS_EXPORT_HH

@@ -1,0 +1,168 @@
+#include "obs/metrics.hh"
+
+#include <algorithm>
+
+#include "net/logging.hh"
+
+namespace bgpbench::obs
+{
+
+void
+Gauge::noteMax(double value)
+{
+    double seen = value_.load(std::memory_order_relaxed);
+    while (value > seen &&
+           !value_.compare_exchange_weak(seen, value,
+                                         std::memory_order_relaxed)) {
+    }
+}
+
+Histogram::Histogram(std::vector<uint64_t> bounds)
+    : bounds_(std::move(bounds)),
+      buckets_(new std::atomic<uint64_t>[bounds_.size() + 1])
+{
+    if (!std::is_sorted(bounds_.begin(), bounds_.end()))
+        fatal("histogram bucket bounds must be sorted");
+    for (size_t i = 0; i <= bounds_.size(); ++i)
+        buckets_[i].store(0, std::memory_order_relaxed);
+}
+
+void
+Histogram::record(uint64_t sample)
+{
+    // First bucket whose inclusive upper bound covers the sample;
+    // past the last bound it lands in the overflow slot.
+    size_t i = std::lower_bound(bounds_.begin(), bounds_.end(),
+                                sample) -
+               bounds_.begin();
+    buckets_[i].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(sample, std::memory_order_relaxed);
+}
+
+uint64_t
+Histogram::bucketCount(size_t i) const
+{
+    if (i > bounds_.size())
+        panic("histogram bucket index out of range");
+    return buckets_[i].load(std::memory_order_relaxed);
+}
+
+void
+Histogram::reset()
+{
+    for (size_t i = 0; i <= bounds_.size(); ++i)
+        buckets_[i].store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+}
+
+Counter &
+MetricRegistry::counter(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return counters_[name];
+}
+
+Gauge &
+MetricRegistry::gauge(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return gauges_[name];
+}
+
+Histogram &
+MetricRegistry::histogram(const std::string &name,
+                          const std::vector<uint64_t> &bounds)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto [it, inserted] = histograms_.try_emplace(name, bounds);
+    if (!inserted && it->second.bounds() != bounds)
+        fatal("histogram '" + name +
+              "' re-registered with different bucket bounds");
+    return it->second;
+}
+
+uint64_t
+MetricRegistry::counterValue(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second.value();
+}
+
+double
+MetricRegistry::gaugeValue(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = gauges_.find(name);
+    return it == gauges_.end() ? 0.0 : it->second.value();
+}
+
+void
+MetricRegistry::absorb(MetricRegistry &source)
+{
+    // Snapshot-and-reset under the source lock, then fold into this
+    // registry under ours; never hold both (absorb is only called
+    // from merge points, but lock discipline stays simple this way).
+    Snapshot taken;
+    {
+        std::lock_guard<std::mutex> lock(source.mutex_);
+        for (auto &[name, counter] : source.counters_) {
+            taken.counters.emplace_back(name, counter.value());
+            counter.reset();
+        }
+        for (auto &[name, gauge] : source.gauges_) {
+            taken.gauges.emplace_back(name, gauge.value());
+            gauge.reset();
+        }
+        for (auto &[name, histogram] : source.histograms_) {
+            Snapshot::HistogramRow row;
+            row.name = name;
+            row.bounds = histogram.bounds();
+            for (size_t i = 0; i <= row.bounds.size(); ++i)
+                row.counts.push_back(histogram.bucketCount(i));
+            row.count = histogram.count();
+            row.sum = histogram.sum();
+            taken.histograms.push_back(std::move(row));
+            histogram.reset();
+        }
+    }
+    for (const auto &[name, value] : taken.counters)
+        counter(name).add(value);
+    for (const auto &[name, value] : taken.gauges)
+        gauge(name).noteMax(value);
+    for (const auto &row : taken.histograms) {
+        Histogram &merged = histogram(row.name, row.bounds);
+        for (size_t i = 0; i < row.counts.size(); ++i)
+            merged.buckets_[i].fetch_add(row.counts[i],
+                                         std::memory_order_relaxed);
+        merged.count_.fetch_add(row.count,
+                                std::memory_order_relaxed);
+        merged.sum_.fetch_add(row.sum, std::memory_order_relaxed);
+    }
+}
+
+MetricRegistry::Snapshot
+MetricRegistry::snapshot() const
+{
+    Snapshot snap;
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto &[name, counter] : counters_)
+        snap.counters.emplace_back(name, counter.value());
+    for (const auto &[name, gauge] : gauges_)
+        snap.gauges.emplace_back(name, gauge.value());
+    for (const auto &[name, histogram] : histograms_) {
+        Snapshot::HistogramRow row;
+        row.name = name;
+        row.bounds = histogram.bounds();
+        for (size_t i = 0; i <= row.bounds.size(); ++i)
+            row.counts.push_back(histogram.bucketCount(i));
+        row.count = histogram.count();
+        row.sum = histogram.sum();
+        snap.histograms.push_back(std::move(row));
+    }
+    return snap;
+}
+
+} // namespace bgpbench::obs

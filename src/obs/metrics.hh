@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Lock-light metric registry: counters, gauges, and fixed-bucket
+ * histograms behind one name-keyed container.
+ *
+ * The design mirrors ConvergenceTracker: each shard (or thread) owns
+ * its own MetricRegistry and updates it without synchronisation
+ * beyond relaxed atomics; after a run the per-shard registries are
+ * folded into one with absorb(), whose merge (sum for counters and
+ * histograms, max for gauges) is order-independent, so report bytes
+ * cannot depend on shard count or thread arrival order.
+ *
+ * Hot paths resolve a metric once (a Counter* / Histogram* handle)
+ * and update through the handle; the registration mutex is only taken
+ * when a name is first looked up.
+ */
+
+#ifndef BGPBENCH_OBS_METRICS_HH
+#define BGPBENCH_OBS_METRICS_HH
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace bgpbench::obs
+{
+
+/**
+ * Monotonic event count. Updates are relaxed atomics so concurrent
+ * writers (e.g. several speakers of one shard, or the process-wide
+ * wire-pool counters) stay TSan-clean; merges sum.
+ */
+class Counter
+{
+  public:
+    void
+    add(uint64_t n = 1)
+    {
+        value_.fetch_add(n, std::memory_order_relaxed);
+    }
+
+    uint64_t
+    value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+    void
+    reset()
+    {
+        value_.store(0, std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<uint64_t> value_{0};
+};
+
+/**
+ * Last-set / high-water numeric value. Merges take the maximum so
+ * absorb() stays order-independent; gauges therefore carry level or
+ * peak semantics (e.g. "live sets", "peak outstanding segments"),
+ * never per-shard values that would need summing — use a Counter for
+ * those.
+ */
+class Gauge
+{
+  public:
+    void
+    set(double value)
+    {
+        value_.store(value, std::memory_order_relaxed);
+    }
+
+    /** Raise the gauge to @p value if it is higher. */
+    void noteMax(double value);
+
+    double
+    value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+    void
+    reset()
+    {
+        value_.store(0.0, std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<double> value_{0.0};
+};
+
+/**
+ * Fixed-bucket histogram over uint64_t samples. Bucket upper bounds
+ * are inclusive and fixed at registration; samples above the last
+ * bound land in an overflow bucket. Updates are relaxed atomics;
+ * merges add bucket-wise (bounds must match).
+ */
+class Histogram
+{
+  public:
+    explicit Histogram(std::vector<uint64_t> bounds);
+
+    void record(uint64_t sample);
+
+    const std::vector<uint64_t> &
+    bounds() const
+    {
+        return bounds_;
+    }
+
+    /** Count in bucket @p i; index bounds().size() is overflow. */
+    uint64_t bucketCount(size_t i) const;
+
+    uint64_t
+    count() const
+    {
+        return count_.load(std::memory_order_relaxed);
+    }
+
+    uint64_t
+    sum() const
+    {
+        return sum_.load(std::memory_order_relaxed);
+    }
+
+    double
+    mean() const
+    {
+        uint64_t n = count();
+        return n ? double(sum()) / double(n) : 0.0;
+    }
+
+    void reset();
+
+  private:
+    friend class MetricRegistry;
+
+    std::vector<uint64_t> bounds_;
+    /** bounds_.size() + 1 slots; the last is the overflow bucket. */
+    std::unique_ptr<std::atomic<uint64_t>[]> buckets_;
+    std::atomic<uint64_t> count_{0};
+    std::atomic<uint64_t> sum_{0};
+};
+
+/**
+ * Name-keyed container of metrics with create-or-get registration and
+ * an order-independent merge.
+ *
+ * Registration (counter()/gauge()/histogram()) takes a mutex and
+ * returns a reference that stays valid for the registry's lifetime;
+ * hot paths cache the pointer. Reads for export go through
+ * snapshot(), which lists every metric in name order so emitted
+ * reports are deterministic.
+ */
+class MetricRegistry
+{
+  public:
+    MetricRegistry() = default;
+    MetricRegistry(const MetricRegistry &) = delete;
+    MetricRegistry &operator=(const MetricRegistry &) = delete;
+
+    /** Create-or-get; the reference lives as long as the registry. */
+    Counter &counter(const std::string &name);
+    Gauge &gauge(const std::string &name);
+    /**
+     * Create-or-get; @p bounds only applies on creation and must
+     * match the registered bounds on later calls (fatal otherwise).
+     */
+    Histogram &histogram(const std::string &name,
+                         const std::vector<uint64_t> &bounds);
+
+    /** Value of a counter, or 0 if @p name was never registered. */
+    uint64_t counterValue(const std::string &name) const;
+    /** Value of a gauge, or 0.0 if @p name was never registered. */
+    double gaugeValue(const std::string &name) const;
+
+    /**
+     * Fold @p source into this registry and reset it: counters and
+     * histograms add, gauges take the maximum. Absorbing shard
+     * registries in any order yields the same result, mirroring
+     * ConvergenceTracker::absorb.
+     */
+    void absorb(MetricRegistry &source);
+
+    /** Point-in-time copy of every metric, sorted by name. */
+    struct Snapshot
+    {
+        std::vector<std::pair<std::string, uint64_t>> counters;
+        std::vector<std::pair<std::string, double>> gauges;
+        struct HistogramRow
+        {
+            std::string name;
+            std::vector<uint64_t> bounds;
+            /** bounds.size() + 1 counts; the last is overflow. */
+            std::vector<uint64_t> counts;
+            uint64_t count = 0;
+            uint64_t sum = 0;
+        };
+        std::vector<HistogramRow> histograms;
+
+        bool
+        empty() const
+        {
+            return counters.empty() && gauges.empty() &&
+                   histograms.empty();
+        }
+    };
+
+    Snapshot snapshot() const;
+
+  private:
+    /** Guards the maps, not the metric values. */
+    mutable std::mutex mutex_;
+    /** std::map: stable element addresses + sorted iteration. */
+    std::map<std::string, Counter> counters_;
+    std::map<std::string, Gauge> gauges_;
+    std::map<std::string, Histogram> histograms_;
+};
+
+} // namespace bgpbench::obs
+
+#endif // BGPBENCH_OBS_METRICS_HH

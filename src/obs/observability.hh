@@ -1,0 +1,32 @@
+/**
+ * @file
+ * The one handle a run plumbs through its layers: a metric registry
+ * plus a trace buffer. Producers absorb their per-shard registries
+ * and buffers into it; the CLI/bench layer exports it once at exit.
+ */
+
+#ifndef BGPBENCH_OBS_OBSERVABILITY_HH
+#define BGPBENCH_OBS_OBSERVABILITY_HH
+
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
+
+namespace bgpbench::obs
+{
+
+/**
+ * Observability sinks for one run. A null RunObservability pointer
+ * anywhere in the stack means "detached": metric handles resolve to
+ * null and spans reduce to one branch, so instrumented code pays
+ * nothing measurable (micro_hotpaths --obs-overhead-check enforces
+ * this).
+ */
+struct RunObservability
+{
+    MetricRegistry metrics;
+    TraceBuffer trace;
+};
+
+} // namespace bgpbench::obs
+
+#endif // BGPBENCH_OBS_OBSERVABILITY_HH

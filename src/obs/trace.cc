@@ -1,0 +1,111 @@
+#include "obs/trace.hh"
+
+#include <algorithm>
+#include <set>
+
+#include "stats/json.hh"
+#include "stats/report.hh"
+
+namespace bgpbench::obs
+{
+
+namespace
+{
+
+const char *
+trackName(uint32_t pid)
+{
+    switch (pid) {
+      case kTrackPhases:
+        return "benchmark phases";
+      case kTrackEngine:
+        return "topology engine";
+      case kTrackRouters:
+        return "routers";
+      default:
+        return "track";
+    }
+}
+
+/** Virtual ns as trace microseconds, fixed 3 decimals (ns exact). */
+std::string
+traceMicros(uint64_t ns)
+{
+    return stats::formatDouble(double(ns) / 1e3, 3);
+}
+
+} // namespace
+
+void
+TraceBuffer::absorb(TraceBuffer &source)
+{
+    events_.insert(events_.end(), source.events_.begin(),
+                   source.events_.end());
+    source.events_.clear();
+}
+
+void
+TraceBuffer::writeChromeTrace(std::ostream &os) const
+{
+    // Order by virtual time with (pid, tid) tie-breaks; stable, so
+    // same-lane ties keep insertion order, which absorb() made the
+    // deterministic shard-then-execution order.
+    std::vector<const TraceEvent *> ordered;
+    ordered.reserve(events_.size());
+    for (const TraceEvent &event : events_)
+        ordered.push_back(&event);
+    std::stable_sort(
+        ordered.begin(), ordered.end(),
+        [](const TraceEvent *a, const TraceEvent *b) {
+            if (a->beginNs != b->beginNs)
+                return a->beginNs < b->beginNs;
+            if (a->pid != b->pid)
+                return a->pid < b->pid;
+            return a->tid < b->tid;
+        });
+
+    std::set<uint32_t> tracks;
+    for (const TraceEvent &event : events_)
+        tracks.insert(event.pid);
+
+    stats::JsonWriter json(os);
+    json.beginObject();
+    json.field("displayTimeUnit", "ms");
+    json.key("traceEvents");
+    json.beginArray();
+    for (uint32_t pid : tracks) {
+        json.beginObject();
+        json.field("name", "process_name");
+        json.field("ph", "M");
+        json.field("pid", pid);
+        json.field("tid", 0u);
+        json.key("args");
+        json.beginObject();
+        json.field("name", trackName(pid));
+        json.endObject();
+        json.endObject();
+    }
+    for (const TraceEvent *event : ordered) {
+        json.beginObject();
+        json.field("name", event->name);
+        json.field("cat", event->category);
+        json.field("ph", event->instant ? "i" : "X");
+        json.field("pid", event->pid);
+        json.field("tid", event->tid);
+        json.key("ts");
+        json.rawNumber(traceMicros(event->beginNs));
+        if (event->instant) {
+            json.field("s", "t");
+        } else {
+            json.key("dur");
+            json.rawNumber(traceMicros(event->endNs -
+                                       event->beginNs));
+        }
+        json.endObject();
+    }
+    json.endArray();
+    json.endObject();
+    os << '\n';
+}
+
+} // namespace bgpbench::obs

@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Virtual-time phase tracing: RAII spans keyed on simulation time,
+ * buffered per shard and merged deterministically, exported as Chrome
+ * trace_event JSON (chrome://tracing, Perfetto).
+ *
+ * The instrumentation is cheap enough to leave compiled in: a Span
+ * holds a Tracer pointer and does nothing but one null/enabled check
+ * when no sink is attached — in particular it never reads a clock.
+ * Timestamps are virtual (simulation) nanoseconds, never host time,
+ * so attaching a tracer cannot perturb simulation behaviour and a
+ * trace of a deterministic run is itself deterministic.
+ */
+
+#ifndef BGPBENCH_OBS_TRACE_HH
+#define BGPBENCH_OBS_TRACE_HH
+
+#include <cstdint>
+#include <ostream>
+#include <utility>
+#include <vector>
+
+namespace bgpbench::obs
+{
+
+/**
+ * Trace lanes. Chrome groups events by "process" then "thread"; we
+ * use the process id to separate the three natural layers of a run.
+ */
+constexpr uint32_t kTrackPhases = 0;  ///< benchmark/scenario phases
+constexpr uint32_t kTrackEngine = 1;  ///< per-shard sync windows
+constexpr uint32_t kTrackRouters = 2; ///< per-node speaker activity
+
+/**
+ * One recorded interval (or instant, when endNs == beginNs and
+ * instant is set). Name and category must be string literals or
+ * otherwise outlive the buffer; spans are too hot for string copies.
+ */
+struct TraceEvent
+{
+    const char *name = "";
+    const char *category = "";
+    uint32_t pid = 0;
+    uint32_t tid = 0;
+    uint64_t beginNs = 0;
+    uint64_t endNs = 0;
+    bool instant = false;
+};
+
+/**
+ * Append-only event sink. Each shard owns one and records without
+ * synchronisation; after a run the per-shard buffers are folded into
+ * the run buffer with absorb() in shard order, and writeChromeTrace()
+ * orders events by virtual time, so the emitted file is deterministic
+ * for a given configuration.
+ */
+class TraceBuffer
+{
+  public:
+    void
+    record(const TraceEvent &event)
+    {
+        events_.push_back(event);
+    }
+
+    /** Append @p source's events and clear it. */
+    void absorb(TraceBuffer &source);
+
+    const std::vector<TraceEvent> &
+    events() const
+    {
+        return events_;
+    }
+
+    bool
+    empty() const
+    {
+        return events_.empty();
+    }
+
+    void
+    clear()
+    {
+        events_.clear();
+    }
+
+    /**
+     * Emit the buffer as Chrome trace_event JSON ("X" complete and
+     * "i" instant events, timestamps in microseconds of virtual
+     * time). Events are ordered by (beginNs, pid, tid), ties kept in
+     * insertion order, so output bytes are deterministic.
+     */
+    void writeChromeTrace(std::ostream &os) const;
+
+  private:
+    std::vector<TraceEvent> events_;
+};
+
+/**
+ * The recording handle instrumentation points hold. Detached (the
+ * default) every call is a no-op behind one branch; attach() points
+ * it at a TraceBuffer. Not thread-safe: give each shard its own
+ * Tracer and buffer.
+ */
+class Tracer
+{
+  public:
+    void
+    attach(TraceBuffer *sink)
+    {
+        sink_ = sink;
+    }
+
+    void
+    detach()
+    {
+        sink_ = nullptr;
+    }
+
+    bool
+    enabled() const
+    {
+        return sink_ != nullptr;
+    }
+
+    void
+    complete(const char *name, const char *category, uint32_t pid,
+             uint32_t tid, uint64_t begin_ns, uint64_t end_ns)
+    {
+        if (!sink_)
+            return;
+        sink_->record(
+            {name, category, pid, tid, begin_ns, end_ns, false});
+    }
+
+    void
+    instant(const char *name, const char *category, uint32_t pid,
+            uint32_t tid, uint64_t at_ns)
+    {
+        if (!sink_)
+            return;
+        sink_->record({name, category, pid, tid, at_ns, at_ns, true});
+    }
+
+  private:
+    TraceBuffer *sink_ = nullptr;
+};
+
+/**
+ * RAII interval: reads the clock once on construction and once on
+ * destruction, then records a complete event. When the tracer is
+ * null or detached at construction the clock is never invoked and
+ * destruction is a single branch.
+ *
+ * @tparam ClockFn callable returning the current virtual time in ns.
+ */
+template <typename ClockFn>
+class Span
+{
+  public:
+    Span(Tracer *tracer, const char *name, const char *category,
+         uint32_t pid, uint32_t tid, ClockFn clock)
+        : tracer_(tracer && tracer->enabled() ? tracer : nullptr),
+          name_(name), category_(category), pid_(pid), tid_(tid),
+          clock_(std::move(clock))
+    {
+        if (tracer_)
+            beginNs_ = clock_();
+    }
+
+    Span(const Span &) = delete;
+    Span &operator=(const Span &) = delete;
+
+    ~Span()
+    {
+        if (tracer_) {
+            tracer_->complete(name_, category_, pid_, tid_, beginNs_,
+                              clock_());
+        }
+    }
+
+  private:
+    Tracer *tracer_;
+    const char *name_;
+    const char *category_;
+    uint32_t pid_;
+    uint32_t tid_;
+    ClockFn clock_;
+    uint64_t beginNs_ = 0;
+};
+
+template <typename ClockFn>
+Span<ClockFn>
+makeSpan(Tracer *tracer, const char *name, const char *category,
+         uint32_t pid, uint32_t tid, ClockFn clock)
+{
+    return Span<ClockFn>(tracer, name, category, pid, tid,
+                         std::move(clock));
+}
+
+#define BGPBENCH_OBS_SPAN_PASTE2(a, b) a##b
+#define BGPBENCH_OBS_SPAN_PASTE(a, b) BGPBENCH_OBS_SPAN_PASTE2(a, b)
+
+/**
+ * Scope-long span: OBS_SPAN(tracer, "decision", "bgp",
+ * obs::kTrackRouters, nodeId, [&] { return sim.now().ns(); });
+ */
+#define OBS_SPAN(tracer, name, category, pid, tid, clock)            \
+    auto BGPBENCH_OBS_SPAN_PASTE(obsSpan_, __LINE__) =              \
+        ::bgpbench::obs::makeSpan((tracer), (name), (category),      \
+                                  (pid), (tid), (clock))
+
+} // namespace bgpbench::obs
+
+#endif // BGPBENCH_OBS_TRACE_HH

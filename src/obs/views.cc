@@ -1,0 +1,148 @@
+#include "obs/views.hh"
+
+#include <algorithm>
+
+#include "stats/report.hh"
+
+namespace bgpbench::obs
+{
+
+namespace
+{
+
+double
+ratioPercent(uint64_t part, uint64_t whole)
+{
+    return whole ? double(part) / double(whole) * 100.0 : 0.0;
+}
+
+} // namespace
+
+std::string
+shardMetricName(size_t shard, const char *field)
+{
+    return "parallel.shard." + std::to_string(shard) + "." + field;
+}
+
+void
+printDedupView(std::ostream &os, const std::string &title,
+               const MetricRegistry &registry)
+{
+    uint64_t lookups = registry.counterValue(metric::internLookups);
+    uint64_t hits = registry.counterValue(metric::internHits);
+    stats::TextTable table({title, "value"});
+    table.addRow({"lookups", std::to_string(lookups)});
+    table.addRow({"hits", std::to_string(hits)});
+    table.addRow({"misses",
+                  std::to_string(
+                      registry.counterValue(metric::internMisses))});
+    table.addRow({"hit ratio",
+                  stats::formatDouble(ratioPercent(hits, lookups), 1) +
+                      "%"});
+    table.addRow({"live sets",
+                  std::to_string(uint64_t(registry.gaugeValue(
+                      metric::internLiveSets)))});
+    table.addRow({"bytes deduplicated",
+                  std::to_string(registry.counterValue(
+                      metric::internBytesDeduplicated))});
+    table.print(os);
+}
+
+void
+printWireView(std::ostream &os, const std::string &title,
+              const MetricRegistry &registry)
+{
+    uint64_t acquires = registry.counterValue(metric::wireAcquires);
+    uint64_t hits = registry.counterValue(metric::wirePoolHits);
+    stats::TextTable table({title, "value"});
+    table.addRow({"pool acquires", std::to_string(acquires)});
+    table.addRow({"pool hits", std::to_string(hits)});
+    table.addRow({"pool misses",
+                  std::to_string(registry.counterValue(
+                      metric::wirePoolMisses))});
+    table.addRow({"pool hit ratio",
+                  stats::formatDouble(ratioPercent(hits, acquires),
+                                      1) +
+                      "%"});
+    table.addRow({"shared encodes",
+                  std::to_string(registry.counterValue(
+                      metric::wireSharedEncodes))});
+    table.addRow({"bytes deduplicated",
+                  std::to_string(registry.counterValue(
+                      metric::wireBytesDeduplicated))});
+    table.addRow({"outstanding segments",
+                  std::to_string(uint64_t(registry.gaugeValue(
+                      metric::wireOutstandingSegments)))});
+    table.addRow({"peak outstanding segments",
+                  std::to_string(uint64_t(registry.gaugeValue(
+                      metric::wirePeakOutstandingSegments)))});
+    table.print(os);
+}
+
+double
+parallelEventImbalance(const MetricRegistry &registry)
+{
+    size_t shards =
+        size_t(registry.gaugeValue(metric::parallelShards));
+    if (shards == 0)
+        return 0.0;
+    uint64_t total = 0;
+    uint64_t busiest = 0;
+    for (size_t s = 0; s < shards; ++s) {
+        uint64_t events =
+            registry.counterValue(shardMetricName(s, "events"));
+        total += events;
+        busiest = std::max(busiest, events);
+    }
+    if (total == 0)
+        return 0.0;
+    double ideal = double(total) / double(shards);
+    return double(busiest) / ideal - 1.0;
+}
+
+void
+printParallelView(std::ostream &os, const MetricRegistry &registry)
+{
+    size_t shards =
+        size_t(registry.gaugeValue(metric::parallelShards));
+    if (shards == 0)
+        return;
+    os << "parallel: "
+       << uint64_t(registry.gaugeValue(metric::parallelJobs))
+       << " job(s), " << shards << " shard(s), "
+       << uint64_t(registry.gaugeValue(metric::parallelCutLinks))
+       << " cut link(s) ("
+       << stats::formatDouble(
+              registry.gaugeValue(metric::parallelEdgeCutRatio) *
+                  100.0,
+              1)
+       << "% of links), lookahead "
+       << stats::formatDouble(
+              registry.gaugeValue(metric::parallelLookaheadNs) / 1e6,
+              3)
+       << " ms, "
+       << registry.counterValue(metric::parallelWindows)
+       << " window(s), event imbalance "
+       << stats::formatDouble(parallelEventImbalance(registry) *
+                                  100.0,
+                              1)
+       << "%\n";
+    stats::TextTable table({"shard", "nodes", "events",
+                            "busy host ms"});
+    for (size_t s = 0; s < shards; ++s) {
+        table.addRow(
+            {std::to_string(s),
+             std::to_string(uint64_t(registry.gaugeValue(
+                 shardMetricName(s, "nodes")))),
+             std::to_string(registry.counterValue(
+                 shardMetricName(s, "events"))),
+             stats::formatDouble(
+                 double(registry.counterValue(
+                     shardMetricName(s, "busy_host_ns"))) /
+                     1e6,
+                 2)});
+    }
+    table.print(os);
+}
+
+} // namespace bgpbench::obs

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Views over the MetricRegistry that replace the former standalone
+ * DedupReport / WireReport / ParallelReport structs: producers
+ * publish plain named metrics, and these renderers read them back by
+ * name, producing the same bytes the old printers did. One registry,
+ * one code path, no parallel struct plumbing.
+ */
+
+#ifndef BGPBENCH_OBS_VIEWS_HH
+#define BGPBENCH_OBS_VIEWS_HH
+
+#include <ostream>
+#include <string>
+
+#include "obs/metrics.hh"
+
+namespace bgpbench::obs
+{
+
+/**
+ * Canonical metric names. Producers publish under these; views and
+ * tests read them back. Per-shard parallel metrics are
+ * "parallel.shard.<index>.<field>" via shardMetricName().
+ */
+namespace metric
+{
+
+inline constexpr const char *internLookups = "intern.lookups";
+inline constexpr const char *internHits = "intern.hits";
+inline constexpr const char *internMisses = "intern.misses";
+inline constexpr const char *internLiveSets = "intern.live_sets";
+inline constexpr const char *internBytesDeduplicated =
+    "intern.bytes_deduplicated";
+
+inline constexpr const char *wireAcquires = "wire.acquires";
+inline constexpr const char *wirePoolHits = "wire.pool_hits";
+inline constexpr const char *wirePoolMisses = "wire.pool_misses";
+inline constexpr const char *wireSharedEncodes =
+    "wire.shared_encodes";
+inline constexpr const char *wireBytesDeduplicated =
+    "wire.bytes_deduplicated";
+inline constexpr const char *wireOutstandingSegments =
+    "wire.outstanding_segments";
+inline constexpr const char *wirePeakOutstandingSegments =
+    "wire.peak_outstanding_segments";
+
+inline constexpr const char *parallelJobs = "parallel.jobs";
+inline constexpr const char *parallelShards = "parallel.shards";
+inline constexpr const char *parallelCutLinks = "parallel.cut_links";
+inline constexpr const char *parallelEdgeCutRatio =
+    "parallel.edge_cut_ratio";
+inline constexpr const char *parallelNodeSkew = "parallel.node_skew";
+inline constexpr const char *parallelLookaheadNs =
+    "parallel.lookahead_ns";
+inline constexpr const char *parallelWindows = "parallel.windows";
+inline constexpr const char *parallelBarrierWaitNs =
+    "parallel.barrier_wait_ns";
+
+} // namespace metric
+
+/** "parallel.shard.<index>.<field>" */
+std::string shardMetricName(size_t shard, const char *field);
+
+/**
+ * Print the attribute-interner dedup metrics as an aligned table
+ * titled @p title — same bytes as the former printDedupReport.
+ */
+void printDedupView(std::ostream &os, const std::string &title,
+                    const MetricRegistry &registry);
+
+/**
+ * Print the wire segment-pool metrics as an aligned table titled
+ * @p title — same bytes as the former printWireReport.
+ */
+void printWireView(std::ostream &os, const std::string &title,
+                   const MetricRegistry &registry);
+
+/**
+ * Print the parallel-run summary line plus a per-shard utilization
+ * table — same bytes as the former printParallelReport. Does nothing
+ * when no parallel metrics were published.
+ */
+void printParallelView(std::ostream &os,
+                       const MetricRegistry &registry);
+
+/**
+ * Imbalance of executed events across shards: the busiest shard's
+ * share over the ideal 1/shards share, minus one (the former
+ * ParallelReport::eventImbalance).
+ */
+double parallelEventImbalance(const MetricRegistry &registry);
+
+} // namespace bgpbench::obs
+
+#endif // BGPBENCH_OBS_VIEWS_HH

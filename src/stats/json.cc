@@ -181,4 +181,11 @@ JsonWriter::value(bool flag)
     os_ << (flag ? "true" : "false");
 }
 
+void
+JsonWriter::rawNumber(const std::string &text)
+{
+    prepareValue();
+    os_ << text;
+}
+
 } // namespace bgpbench::stats

@@ -69,6 +69,14 @@ class JsonWriter
     void value(bool flag);
     /** @} */
 
+    /**
+     * Emit @p text verbatim as a value. For callers that need a
+     * number rendering formatNumber() does not offer (e.g. fixed
+     * decimal places via formatDouble); @p text must already be
+     * valid JSON.
+     */
+    void rawNumber(const std::string &text);
+
     /** @name key() + value() in one call
      *  @{
      */

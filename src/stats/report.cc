@@ -4,7 +4,6 @@
 #include <cstdio>
 
 #include "net/logging.hh"
-#include "stats/json.hh"
 
 namespace bgpbench::stats
 {
@@ -162,108 +161,6 @@ printSeriesTable(std::ostream &os,
         }
         os << '\n';
     }
-}
-
-void
-printDedupReport(std::ostream &os, const std::string &title,
-                 const DedupReport &report)
-{
-    TextTable table({title, "value"});
-    table.addRow({"lookups", std::to_string(report.lookups)});
-    table.addRow({"hits", std::to_string(report.hits)});
-    table.addRow({"misses", std::to_string(report.misses)});
-    table.addRow(
-        {"hit ratio", formatDouble(report.hitRatio() * 100.0, 1) + "%"});
-    table.addRow({"live sets", std::to_string(report.liveSets)});
-    table.addRow({"bytes deduplicated",
-                  std::to_string(report.bytesDeduplicated)});
-    table.print(os);
-}
-
-void
-printWireReport(std::ostream &os, const std::string &title,
-                const WireReport &report)
-{
-    TextTable table({title, "value"});
-    table.addRow({"pool acquires", std::to_string(report.acquires)});
-    table.addRow({"pool hits", std::to_string(report.poolHits)});
-    table.addRow({"pool misses", std::to_string(report.poolMisses)});
-    table.addRow({"pool hit ratio",
-                  formatDouble(report.poolHitRatio() * 100.0, 1) +
-                      "%"});
-    table.addRow({"shared encodes",
-                  std::to_string(report.sharedEncodes)});
-    table.addRow({"bytes deduplicated",
-                  std::to_string(report.bytesDeduplicated)});
-    table.addRow({"outstanding segments",
-                  std::to_string(report.outstandingSegments)});
-    table.addRow({"peak outstanding segments",
-                  std::to_string(report.peakOutstandingSegments)});
-    table.print(os);
-}
-
-double
-ParallelReport::eventImbalance() const
-{
-    if (perShard.empty())
-        return 0.0;
-    uint64_t total = 0;
-    uint64_t busiest = 0;
-    for (const ShardUtilization &shard : perShard) {
-        total += shard.events;
-        busiest = std::max(busiest, shard.events);
-    }
-    if (total == 0)
-        return 0.0;
-    double ideal = double(total) / double(perShard.size());
-    return double(busiest) / ideal - 1.0;
-}
-
-void
-writeParallelReport(JsonWriter &json, const ParallelReport &report)
-{
-    json.key("parallel");
-    json.beginObject();
-    json.field("jobs", report.jobs);
-    json.field("shards", report.shards);
-    json.field("cut_links", report.cutLinks);
-    json.field("edge_cut_ratio", report.edgeCutRatio);
-    json.field("node_skew", report.nodeSkew);
-    json.field("lookahead_ns", report.lookaheadNs);
-    json.field("windows", report.windows);
-    json.field("event_imbalance", report.eventImbalance());
-    json.key("shard_utilization");
-    json.beginArray();
-    for (const ShardUtilization &shard : report.perShard) {
-        json.beginObject();
-        json.field("nodes", shard.nodes);
-        json.field("events", shard.events);
-        json.field("busy_host_ns", shard.busyHostNs);
-        json.endObject();
-    }
-    json.endArray();
-    json.endObject();
-}
-
-void
-printParallelReport(std::ostream &os, const ParallelReport &report)
-{
-    os << "parallel: " << report.jobs << " job(s), " << report.shards
-       << " shard(s), " << report.cutLinks << " cut link(s) ("
-       << formatDouble(report.edgeCutRatio * 100.0, 1)
-       << "% of links), lookahead "
-       << formatDouble(double(report.lookaheadNs) / 1e6, 3) << " ms, "
-       << report.windows << " window(s), event imbalance "
-       << formatDouble(report.eventImbalance() * 100.0, 1) << "%\n";
-    TextTable table({"shard", "nodes", "events", "busy host ms"});
-    for (size_t s = 0; s < report.perShard.size(); ++s) {
-        const ShardUtilization &shard = report.perShard[s];
-        table.addRow(
-            {std::to_string(s), std::to_string(shard.nodes),
-             std::to_string(shard.events),
-             formatDouble(double(shard.busyHostNs) / 1e6, 2)});
-    }
-    table.print(os);
 }
 
 void

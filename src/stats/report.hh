@@ -62,111 +62,6 @@ void printSeriesTable(std::ostream &os,
                       size_t max_rows = 60);
 
 /**
- * Deduplication counters of a hash-consing layer (the attribute
- * interner), reduced to plain numbers so this library stays free of
- * protocol dependencies.
- */
-struct DedupReport
-{
-    uint64_t lookups = 0;
-    uint64_t hits = 0;
-    uint64_t misses = 0;
-    uint64_t liveSets = 0;
-    uint64_t bytesDeduplicated = 0;
-
-    double
-    hitRatio() const
-    {
-        return lookups ? double(hits) / double(lookups) : 0.0;
-    }
-};
-
-/** Print @p report as an aligned table titled @p title. */
-void printDedupReport(std::ostream &os, const std::string &title,
-                      const DedupReport &report);
-
-/**
- * Wire-path counters of the zero-copy segment pipeline (buffer-pool
- * reuse plus encode-once fan-out), reduced to plain numbers so this
- * library stays free of protocol dependencies.
- */
-struct WireReport
-{
-    /** Buffer acquisitions the pool served. */
-    uint64_t acquires = 0;
-    /** Acquisitions recycled from a free list. */
-    uint64_t poolHits = 0;
-    /** Acquisitions that had to allocate. */
-    uint64_t poolMisses = 0;
-    /** Transmissions that shared an already-encoded segment. */
-    uint64_t sharedEncodes = 0;
-    /** Wire bytes those shares avoided re-encoding/copying. */
-    uint64_t bytesDeduplicated = 0;
-    /** Segments alive at report time. */
-    uint64_t outstandingSegments = 0;
-    /** High-water mark of live segments. */
-    uint64_t peakOutstandingSegments = 0;
-
-    double
-    poolHitRatio() const
-    {
-        return acquires ? double(poolHits) / double(acquires) : 0.0;
-    }
-};
-
-/** Print @p report as an aligned table titled @p title. */
-void printWireReport(std::ostream &os, const std::string &title,
-                     const WireReport &report);
-
-class JsonWriter;
-
-/**
- * Execution counters of one worker shard of a parallel run, reduced
- * to plain numbers so this library stays free of simulation
- * dependencies.
- */
-struct ShardUtilization
-{
-    /** Routers owned by the shard. */
-    uint64_t nodes = 0;
-    /** Events the shard's queue executed. */
-    uint64_t events = 0;
-    /** Host nanoseconds the worker spent executing events. */
-    uint64_t busyHostNs = 0;
-};
-
-/** Shard layout and per-shard utilization of one parallel run. */
-struct ParallelReport
-{
-    /** Worker threads requested (1 = sequential path). */
-    uint64_t jobs = 1;
-    uint64_t shards = 1;
-    uint64_t cutLinks = 0;
-    double edgeCutRatio = 0.0;
-    /** Largest shard over the ideal node share, minus one. */
-    double nodeSkew = 0.0;
-    /** Conservative lookahead window, ns (0 = sequential). */
-    uint64_t lookaheadNs = 0;
-    /** Synchronization windows executed. */
-    uint64_t windows = 0;
-    std::vector<ShardUtilization> perShard;
-
-    /**
-     * Imbalance of executed events across shards: the busiest
-     * shard's share over the ideal 1/shards share, minus one.
-     */
-    double eventImbalance() const;
-};
-
-/** Emit @p report as one "parallel" object field of @p json. */
-void writeParallelReport(JsonWriter &json,
-                         const ParallelReport &report);
-
-/** Print @p report as an aligned table. */
-void printParallelReport(std::ostream &os,
-                         const ParallelReport &report);
-
-/**
  * Warn that a partitioner produced shards with badly uneven node
  * counts (the parallel engine degrades instead of failing; this
  * makes the degradation visible rather than silent).

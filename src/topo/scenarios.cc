@@ -41,12 +41,39 @@ settle(TopologySim &sim, const ScenarioOptions &opts)
 
 ConvergenceReport
 finish(TopologySim &sim, bool converged, const std::string &scenario,
-       const std::string &shape)
+       const std::string &shape, const ScenarioOptions &opts)
 {
     ConvergenceReport report = sim.report(scenario, shape);
     report.converged = converged && sim.locRibsConsistent();
+    if (opts.simConfig.obs)
+        sim.publishParallelMetrics(opts.simConfig.obs->metrics);
     return report;
 }
+
+/**
+ * Records the scenario's phase intervals into the run trace. Phase
+ * boundaries are virtual times the simulation reached anyway, so
+ * recording cannot perturb it; a detached recorder does nothing.
+ */
+class PhaseRecorder
+{
+  public:
+    explicit PhaseRecorder(const ScenarioOptions &opts)
+    {
+        if (opts.simConfig.obs)
+            tracer_.attach(&opts.simConfig.obs->trace);
+    }
+
+    void
+    phase(const char *name, sim::SimTime begin, sim::SimTime end)
+    {
+        tracer_.complete(name, "phase", obs::kTrackPhases, 0, begin,
+                         end);
+    }
+
+  private:
+    obs::Tracer tracer_;
+};
 
 } // namespace
 
@@ -55,10 +82,15 @@ runAnnounceScenario(Topology topology, const std::string &shape,
                     const ScenarioOptions &opts)
 {
     TopologySim sim(std::move(topology), opts.simConfig);
+    PhaseRecorder phases(opts);
+    sim::SimTime mark = sim.now();
     bool converged = settle(sim, opts);
+    phases.phase("establish", mark, sim.now());
+    mark = sim.now();
     originateAll(sim, opts);
     converged = converged && sim.runToConvergence(opts.limitNs);
-    return finish(sim, converged, "announce", shape);
+    phases.phase("announce", mark, sim.now());
+    return finish(sim, converged, "announce", shape, opts);
 }
 
 ConvergenceReport
@@ -66,12 +98,19 @@ runLinkFailureScenario(Topology topology, const std::string &shape,
                        size_t link, const ScenarioOptions &opts)
 {
     TopologySim sim(std::move(topology), opts.simConfig);
+    PhaseRecorder phases(opts);
+    sim::SimTime mark = sim.now();
     bool converged = sim.runToConvergence(opts.limitNs);
+    phases.phase("establish", mark, sim.now());
+    mark = sim.now();
     originateAll(sim, opts);
     converged = converged && settle(sim, opts);
+    phases.phase("announce", mark, sim.now());
+    mark = sim.now();
     sim.scheduleLinkDown(link, sim.now());
     converged = converged && sim.runToConvergence(opts.limitNs);
-    return finish(sim, converged, "link-failure", shape);
+    phases.phase("reconverge", mark, sim.now());
+    return finish(sim, converged, "link-failure", shape, opts);
 }
 
 ConvergenceReport
@@ -80,12 +119,19 @@ runRouterRebootScenario(Topology topology, const std::string &shape,
                         const ScenarioOptions &opts)
 {
     TopologySim sim(std::move(topology), opts.simConfig);
+    PhaseRecorder phases(opts);
+    sim::SimTime mark = sim.now();
     bool converged = sim.runToConvergence(opts.limitNs);
+    phases.phase("establish", mark, sim.now());
+    mark = sim.now();
     originateAll(sim, opts);
     converged = converged && settle(sim, opts);
+    phases.phase("announce", mark, sim.now());
+    mark = sim.now();
     sim.scheduleRouterRestart(node, sim.now(), downtime);
     converged = converged && sim.runToConvergence(opts.limitNs);
-    return finish(sim, converged, "router-reboot", shape);
+    phases.phase("reconverge", mark, sim.now());
+    return finish(sim, converged, "router-reboot", shape, opts);
 }
 
 namespace demo

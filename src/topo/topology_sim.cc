@@ -9,6 +9,7 @@
 #include <thread>
 
 #include "net/logging.hh"
+#include "obs/views.hh"
 
 namespace bgpbench::topo
 {
@@ -94,6 +95,14 @@ TopologySim::TopologySim(Topology topology, TopologySimConfig config)
         shard->index = s;
         shard->links.resize(topo_.linkCount());
         shard->outbox.resize(partition_.shardCount);
+        if (config_.obs) {
+            shard->tracer.attach(&shard->traceBuf);
+            // Host-time barrier waits are diagnostics, not report
+            // input: the values are nondeterministic and must never
+            // feed anything whose bytes are compared across runs.
+            shard->barrierWaitNs = &shard->metrics.counter(
+                obs::shardMetricName(s, "barrier_wait_ns"));
+        }
         shards_.push_back(std::move(shard));
     }
 
@@ -113,6 +122,15 @@ TopologySim::TopologySim(Topology topology, TopologySimConfig config)
         speaker_config.localAddress = node.address;
         auto speaker = std::make_unique<bgp::BgpSpeaker>(
             speaker_config, events.get());
+        if (config_.obs) {
+            // Shard-local sinks: several speakers share their
+            // shard's registry (counts aggregate per shard, then
+            // across shards at absorb time); the trace lane is the
+            // global node id, which is sharding-invariant.
+            speaker->bindObservability(&events->shard->metrics,
+                                       &events->shard->tracer,
+                                       uint32_t(i));
+        }
 
         events_.push_back(std::move(events));
         speakers_.push_back(std::move(speaker));
@@ -533,6 +551,7 @@ TopologySim::runSequential(sim::SimTime limit)
 {
     Shard &shard = *shards_[0];
     auto begin = std::chrono::steady_clock::now();
+    sim::SimTime windowBegin = shard.sim.now();
     bool converged;
     while (true) {
         sim::SimTime next = shard.sim.nextEventTime();
@@ -547,6 +566,10 @@ TopologySim::runSequential(sim::SimTime limit)
         shard.sim.step();
     }
     shard.hostBusyNs += hostNanosSince(begin);
+    // One drain == one window in the sequential engine, so traces of
+    // jobs = 1 runs carry the same engine lane the parallel ones do.
+    shard.tracer.complete("window", "engine", obs::kTrackEngine, 0,
+                          windowBegin, shard.sim.now());
     return converged;
 }
 
@@ -639,6 +662,7 @@ TopologySim::runParallel(sim::SimTime limit)
         workers.emplace_back([this, shard, &barrier, &failed]() {
             while (!runDone_) {
                 auto begin = std::chrono::steady_clock::now();
+                sim::SimTime windowBegin = shard->sim.now();
                 try {
                     shard->sim.runBefore(windowEnd_);
                 } catch (...) {
@@ -646,7 +670,19 @@ TopologySim::runParallel(sim::SimTime limit)
                     failed.store(true, std::memory_order_relaxed);
                 }
                 shard->hostBusyNs += hostNanosSince(begin);
-                barrier.arrive_and_wait();
+                shard->tracer.complete("window", "engine",
+                                       obs::kTrackEngine,
+                                       uint32_t(shard->index),
+                                       windowBegin,
+                                       shard->sim.now());
+                if (shard->barrierWaitNs) {
+                    auto waitBegin = std::chrono::steady_clock::now();
+                    barrier.arrive_and_wait();
+                    shard->barrierWaitNs->add(
+                        hostNanosSince(waitBegin));
+                } else {
+                    barrier.arrive_and_wait();
+                }
             }
         });
     }
@@ -666,8 +702,15 @@ TopologySim::runParallel(sim::SimTime limit)
 void
 TopologySim::absorbShardTrackers()
 {
-    for (auto &shard : shards_)
+    for (auto &shard : shards_) {
         tracker_.absorb(shard->tracker);
+        if (config_.obs) {
+            // Fixed shard order plus order-independent merges keep
+            // the folded sinks deterministic at any jobs count.
+            config_.obs->metrics.absorb(shard->metrics);
+            config_.obs->trace.absorb(shard->traceBuf);
+        }
+    }
 }
 
 bool
@@ -740,28 +783,36 @@ TopologySim::report(const std::string &scenario,
     return out;
 }
 
-stats::ParallelReport
-TopologySim::parallelReport() const
+void
+TopologySim::publishParallelMetrics(
+    obs::MetricRegistry &registry) const
 {
-    stats::ParallelReport out;
-    out.jobs = shards_.size();
-    out.shards = partition_.shardCount;
-    out.cutLinks = partition_.cutLinks;
-    out.edgeCutRatio = partition_.edgeCutRatio;
-    out.nodeSkew = partition_.nodeSkew;
-    out.lookaheadNs =
-        (shards_.size() > 1 && lookaheadNs_ != sim::simTimeNever)
-            ? lookaheadNs_
-            : 0;
-    out.windows = windows_;
+    registry.gauge(obs::metric::parallelJobs)
+        .set(double(shards_.size()));
+    registry.gauge(obs::metric::parallelShards)
+        .set(double(partition_.shardCount));
+    registry.gauge(obs::metric::parallelCutLinks)
+        .set(double(partition_.cutLinks));
+    registry.gauge(obs::metric::parallelEdgeCutRatio)
+        .set(partition_.edgeCutRatio);
+    registry.gauge(obs::metric::parallelNodeSkew)
+        .set(partition_.nodeSkew);
+    registry.gauge(obs::metric::parallelLookaheadNs)
+        .set((shards_.size() > 1 &&
+              lookaheadNs_ != sim::simTimeNever)
+                 ? double(lookaheadNs_)
+                 : 0.0);
+    registry.counter(obs::metric::parallelWindows).add(windows_);
     for (const auto &shard : shards_) {
-        stats::ShardUtilization util;
-        util.nodes = partition_.shardNodes[shard->index];
-        util.events = shard->sim.eventsExecuted();
-        util.busyHostNs = shard->hostBusyNs;
-        out.perShard.push_back(util);
+        registry.gauge(obs::shardMetricName(shard->index, "nodes"))
+            .set(double(partition_.shardNodes[shard->index]));
+        registry.counter(obs::shardMetricName(shard->index, "events"))
+            .add(shard->sim.eventsExecuted());
+        registry
+            .counter(
+                obs::shardMetricName(shard->index, "busy_host_ns"))
+            .add(shard->hostBusyNs);
     }
-    return out;
 }
 
 } // namespace bgpbench::topo

@@ -64,6 +64,7 @@
 #include <vector>
 
 #include "bgp/speaker.hh"
+#include "obs/observability.hh"
 #include "sim/event_queue.hh"
 #include "stats/report.hh"
 #include "topo/convergence.hh"
@@ -92,6 +93,17 @@ struct TopologySimConfig
      * concurrency. Reports are byte-identical for every value.
      */
     size_t jobs = 1;
+    /**
+     * Observability sinks for the run, or null (detached — the
+     * default). When set, every speaker is bound to its shard's
+     * metric registry and tracer, engine windows and barrier waits
+     * are recorded, and each runToConvergence() folds the per-shard
+     * registries/trace buffers into these sinks (in shard order, via
+     * order-independent merges). Trace timestamps are virtual, so
+     * attaching sinks cannot change simulation behaviour or report
+     * bytes. Must outlive the TopologySim.
+     */
+    obs::RunObservability *obs = nullptr;
 };
 
 /**
@@ -189,11 +201,15 @@ class TopologySim
                              const std::string &shape) const;
 
     /**
-     * Shard layout and utilization counters of the runs so far.
-     * Jobs-dependent by nature, hence NOT part of the convergence
-     * report (whose bytes must not depend on the jobs knob).
+     * Publish the shard layout and utilization counters of the runs
+     * so far under the "parallel.*" metric names (obs::metric, one
+     * gauge/counter per field plus per-shard entries; rendered by
+     * obs::printParallelView). Jobs-dependent by nature, hence NOT
+     * part of the convergence report (whose bytes must not depend on
+     * the jobs knob). Counters accumulate, so publish once per
+     * report into a given registry.
      */
-    stats::ParallelReport parallelReport() const;
+    void publishParallelMetrics(obs::MetricRegistry &registry) const;
 
   private:
     struct NodeEvents;
@@ -267,6 +283,18 @@ class TopologySim
         uint64_t hostBusyNs = 0;
         /** First exception thrown inside a window, if any. */
         std::exception_ptr error;
+        /**
+         * Shard-local observability: the shard's speakers and the
+         * worker loop record here without synchronisation; the
+         * contents are folded into the run sinks after each
+         * runToConvergence(). The tracer stays detached when the
+         * config carries no sinks.
+         */
+        obs::MetricRegistry metrics;
+        obs::TraceBuffer traceBuf;
+        obs::Tracer tracer;
+        /** Barrier-wait counter handle (null when detached). */
+        obs::Counter *barrierWaitNs = nullptr;
     };
 
     size_t shardOfNode(size_t node) const

@@ -152,6 +152,53 @@ TEST(BenchmarkRunner, RunsAreReproducible)
     EXPECT_DOUBLE_EQ(a.phase1.durationSec, b.phase1.durationSec);
 }
 
+TEST(BenchmarkRunner, ObservabilityDoesNotPerturbResults)
+{
+    // Attaching the metric registry and tracer must not change any
+    // virtual-time result — same phases, same durations, same
+    // transaction counts — for every Table III scenario shape the
+    // runner distinguishes (phase1-only, phase2, phase3).
+    for (int scenario : {1, 2, 6, 8}) {
+        SCOPED_TRACE("scenario " + std::to_string(scenario));
+        BenchmarkRunner detached(router::xeonProfile(),
+                                 smallConfig());
+        auto baseline = detached.run(scenarioByNumber(scenario));
+
+        obs::RunObservability obs;
+        BenchmarkConfig config = smallConfig();
+        config.obs = &obs;
+        BenchmarkRunner traced(router::xeonProfile(), config);
+        auto result = traced.run(scenarioByNumber(scenario));
+
+        EXPECT_DOUBLE_EQ(result.measuredTps, baseline.measuredTps);
+        EXPECT_DOUBLE_EQ(result.phase1.durationSec,
+                         baseline.phase1.durationSec);
+        EXPECT_EQ(result.phase1.transactions,
+                  baseline.phase1.transactions);
+        ASSERT_EQ(result.phase3.has_value(),
+                  baseline.phase3.has_value());
+        if (baseline.phase3) {
+            EXPECT_DOUBLE_EQ(result.phase3->durationSec,
+                             baseline.phase3->durationSec);
+            EXPECT_EQ(result.phase3->transactions,
+                      baseline.phase3->transactions);
+        }
+        EXPECT_EQ(result.speakerCounters.updatesReceived,
+                  baseline.speakerCounters.updatesReceived);
+
+        // The traced run recorded its phases in virtual time.
+        EXPECT_FALSE(obs.trace.empty());
+        bool saw_phase1 = false;
+        for (const obs::TraceEvent &event : obs.trace.events()) {
+            if (std::string(event.name) == "phase1")
+                saw_phase1 = true;
+        }
+        EXPECT_TRUE(saw_phase1);
+        EXPECT_GT(
+            obs.metrics.counterValue("bgp.updates_received"), 0u);
+    }
+}
+
 TEST(BenchmarkRunner, CrossTrafficIsForwardedDuringRun)
 {
     BenchmarkConfig config = smallConfig();

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * RuntimeConfig tests: the env < CLI precedence ladder, the exact
+ * legacy parsing semantics of each BGPBENCH_* variable, provenance
+ * reporting, and apply() steering the interner and wire pool.
+ */
+
+#include <cstdlib>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "bgp/attr_intern.hh"
+#include "core/runtime_config.hh"
+#include "net/wire_segment.hh"
+
+using namespace bgpbench;
+
+namespace
+{
+
+/** Scoped setenv/unsetenv so tests cannot leak into each other. */
+class EnvVar
+{
+  public:
+    EnvVar(const char *name, const char *value) : name_(name)
+    {
+        ::setenv(name, value, 1);
+    }
+
+    ~EnvVar() { ::unsetenv(name_); }
+
+  private:
+    const char *name_;
+};
+
+} // namespace
+
+TEST(RuntimeConfig, DefaultsIgnoreEnvironment)
+{
+    EnvVar no_intern("BGPBENCH_NO_INTERN", "1");
+    core::RuntimeConfig config;
+    EXPECT_TRUE(config.internEnabled());
+    EXPECT_TRUE(config.segmentSharing());
+    EXPECT_FALSE(config.sweep());
+    EXPECT_EQ(config.jobs(), 1u);
+    EXPECT_EQ(config.internOrigin(), core::ConfigOrigin::Default);
+}
+
+TEST(RuntimeConfig, ReadsEnvironmentWithLegacySemantics)
+{
+    // NO_INTERN and SWEEP require exactly "1"; NO_SEGMENT_SHARING
+    // accepts any non-empty value not starting with '0'; JOBS parses
+    // as an unsigned integer.
+    {
+        EnvVar v("BGPBENCH_NO_INTERN", "1");
+        auto config = core::RuntimeConfig::fromEnvironment();
+        EXPECT_FALSE(config.internEnabled());
+        EXPECT_EQ(config.internOrigin(),
+                  core::ConfigOrigin::Environment);
+    }
+    {
+        EnvVar v("BGPBENCH_NO_INTERN", "yes");
+        auto config = core::RuntimeConfig::fromEnvironment();
+        EXPECT_TRUE(config.internEnabled());
+        EXPECT_EQ(config.internOrigin(), core::ConfigOrigin::Default);
+    }
+    {
+        EnvVar v("BGPBENCH_NO_SEGMENT_SHARING", "true");
+        auto config = core::RuntimeConfig::fromEnvironment();
+        EXPECT_FALSE(config.segmentSharing());
+    }
+    {
+        EnvVar v("BGPBENCH_NO_SEGMENT_SHARING", "0");
+        auto config = core::RuntimeConfig::fromEnvironment();
+        EXPECT_TRUE(config.segmentSharing());
+    }
+    {
+        EnvVar v("BGPBENCH_SWEEP", "1");
+        auto config = core::RuntimeConfig::fromEnvironment();
+        EXPECT_TRUE(config.sweep());
+        EXPECT_EQ(config.sweepOrigin(),
+                  core::ConfigOrigin::Environment);
+    }
+    {
+        EnvVar v("BGPBENCH_JOBS", "8");
+        auto config = core::RuntimeConfig::fromEnvironment();
+        EXPECT_EQ(config.jobs(), 8u);
+        EXPECT_EQ(config.jobsOrigin(),
+                  core::ConfigOrigin::Environment);
+    }
+}
+
+TEST(RuntimeConfig, CommandLineBeatsEnvironment)
+{
+    EnvVar jobs("BGPBENCH_JOBS", "2");
+    EnvVar no_intern("BGPBENCH_NO_INTERN", "1");
+    auto config = core::RuntimeConfig::fromEnvironment();
+    config.overrideJobs(4);
+    config.overrideIntern(true);
+    EXPECT_EQ(config.jobs(), 4u);
+    EXPECT_EQ(config.jobsOrigin(), core::ConfigOrigin::CommandLine);
+    EXPECT_TRUE(config.internEnabled());
+    EXPECT_EQ(config.internOrigin(),
+              core::ConfigOrigin::CommandLine);
+    // Untouched settings keep their provenance.
+    EXPECT_EQ(config.sweepOrigin(), core::ConfigOrigin::Default);
+}
+
+TEST(RuntimeConfig, OriginNames)
+{
+    EXPECT_STREQ(core::configOriginName(core::ConfigOrigin::Default),
+                 "default");
+    EXPECT_STREQ(
+        core::configOriginName(core::ConfigOrigin::Environment),
+        "environment");
+    EXPECT_STREQ(
+        core::configOriginName(core::ConfigOrigin::CommandLine),
+        "command line");
+}
+
+TEST(RuntimeConfig, DumpShowsValueAndSource)
+{
+    core::RuntimeConfig config;
+    config.overrideJobs(0);
+    std::ostringstream os;
+    config.dump(os);
+    std::string out = os.str();
+    EXPECT_NE(out.find("interning"), std::string::npos);
+    EXPECT_NE(out.find("segment sharing"), std::string::npos);
+    EXPECT_NE(out.find("sweep"), std::string::npos);
+    EXPECT_NE(out.find("auto"), std::string::npos); // jobs 0
+    EXPECT_NE(out.find("command line"), std::string::npos);
+    EXPECT_NE(out.find("default"), std::string::npos);
+}
+
+TEST(RuntimeConfig, ApplySteersInternerAndWirePool)
+{
+    bool intern_before = bgp::internDefaultEnabled();
+    bool sharing_before = net::segmentSharingEnabled();
+
+    core::RuntimeConfig config;
+    config.overrideIntern(false);
+    config.overrideSegmentSharing(false);
+    config.apply();
+    EXPECT_FALSE(bgp::internDefaultEnabled());
+    EXPECT_FALSE(bgp::AttributeInterner::global().enabled());
+    EXPECT_FALSE(net::segmentSharingEnabled());
+
+    core::RuntimeConfig restore;
+    restore.overrideIntern(intern_before);
+    restore.overrideSegmentSharing(sharing_before);
+    restore.apply();
+    EXPECT_EQ(bgp::internDefaultEnabled(), intern_before);
+    EXPECT_EQ(net::segmentSharingEnabled(), sharing_before);
+}

@@ -1,0 +1,251 @@
+/**
+ * @file
+ * MetricRegistry unit tests: counter/gauge/histogram semantics, the
+ * order-independence of absorb() (the property the deterministic
+ * reports rest on), concurrent updates through cached handles, and
+ * the text/CSV/JSON exporters' byte-stability.
+ */
+
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/export.hh"
+#include "obs/metrics.hh"
+#include "obs/views.hh"
+
+using namespace bgpbench;
+
+TEST(Counter, AddsAndResets)
+{
+    obs::Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    c.add();
+    c.add(41);
+    EXPECT_EQ(c.value(), 42u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Gauge, SetAndNoteMax)
+{
+    obs::Gauge g;
+    g.set(5.0);
+    EXPECT_EQ(g.value(), 5.0);
+    g.noteMax(3.0);
+    EXPECT_EQ(g.value(), 5.0);
+    g.noteMax(9.5);
+    EXPECT_EQ(g.value(), 9.5);
+    g.set(1.0); // set is unconditional, unlike noteMax
+    EXPECT_EQ(g.value(), 1.0);
+}
+
+TEST(Histogram, BucketsAndOverflow)
+{
+    obs::Histogram h({10, 100, 1000});
+    h.record(5);
+    h.record(10); // inclusive upper bound
+    h.record(11);
+    h.record(1000);
+    h.record(5000); // overflow
+    EXPECT_EQ(h.count(), 5u);
+    EXPECT_EQ(h.sum(), 5u + 10 + 11 + 1000 + 5000);
+    EXPECT_EQ(h.bucketCount(0), 2u);
+    EXPECT_EQ(h.bucketCount(1), 1u);
+    EXPECT_EQ(h.bucketCount(2), 1u);
+    EXPECT_EQ(h.bucketCount(3), 1u); // overflow slot
+    EXPECT_DOUBLE_EQ(h.mean(), double(h.sum()) / 5.0);
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.bucketCount(0), 0u);
+}
+
+TEST(MetricRegistry, CreateOrGetReturnsSameInstance)
+{
+    obs::MetricRegistry registry;
+    obs::Counter &a = registry.counter("x");
+    obs::Counter &b = registry.counter("x");
+    EXPECT_EQ(&a, &b);
+    a.add(3);
+    EXPECT_EQ(registry.counterValue("x"), 3u);
+    // Unregistered names read as zero rather than registering.
+    EXPECT_EQ(registry.counterValue("never"), 0u);
+    EXPECT_EQ(registry.gaugeValue("never"), 0.0);
+}
+
+namespace
+{
+
+/** A shard-like registry with a fixed set of updates applied. */
+void
+populate(obs::MetricRegistry &registry, uint64_t events,
+         double peak, uint64_t sample)
+{
+    registry.counter("events").add(events);
+    registry.gauge("peak").noteMax(peak);
+    registry.histogram("lat", {10, 100}).record(sample);
+}
+
+std::string
+exportAll(const obs::MetricRegistry &registry)
+{
+    std::ostringstream os;
+    auto snapshot = registry.snapshot();
+    obs::printMetricsText(os, snapshot);
+    obs::printMetricsCsv(os, snapshot);
+    obs::writeMetricsJson(os, snapshot);
+    return os.str();
+}
+
+} // namespace
+
+TEST(MetricRegistry, AbsorbIsOrderIndependent)
+{
+    // Fold three shard registries into a run registry in two
+    // different orders; every exported byte must match.
+    auto build = [](const std::vector<int> &order) {
+        std::vector<obs::MetricRegistry> shards(3);
+        populate(shards[0], 10, 4.0, 5);
+        populate(shards[1], 20, 9.0, 50);
+        populate(shards[2], 30, 2.0, 500);
+        obs::MetricRegistry run;
+        for (int i : order)
+            run.absorb(shards[size_t(i)]);
+        return exportAll(run);
+    };
+    std::string forward = build({0, 1, 2});
+    std::string backward = build({2, 1, 0});
+    EXPECT_EQ(forward, backward);
+    EXPECT_FALSE(forward.empty());
+}
+
+TEST(MetricRegistry, AbsorbSumsCountersAndMaxesGauges)
+{
+    obs::MetricRegistry a, b;
+    populate(a, 10, 4.0, 5);
+    populate(b, 20, 9.0, 500);
+    a.absorb(b);
+    EXPECT_EQ(a.counterValue("events"), 30u);
+    EXPECT_EQ(a.gaugeValue("peak"), 9.0);
+    auto snapshot = a.snapshot();
+    ASSERT_EQ(snapshot.histograms.size(), 1u);
+    EXPECT_EQ(snapshot.histograms[0].count, 2u);
+    EXPECT_EQ(snapshot.histograms[0].sum, 505u);
+    // The source was drained.
+    EXPECT_EQ(b.counterValue("events"), 0u);
+    EXPECT_TRUE(b.snapshot().histograms[0].count == 0u);
+}
+
+TEST(MetricRegistry, ConcurrentUpdatesThroughCachedHandles)
+{
+    // The TSan target runs this too: registration from several
+    // threads plus relaxed updates through cached handles must be
+    // race-free and lose no increments.
+    constexpr size_t threads = 8;
+    constexpr uint64_t perThread = 20000;
+    obs::MetricRegistry registry;
+    std::vector<std::thread> workers;
+    for (size_t t = 0; t < threads; ++t) {
+        workers.emplace_back([&registry, t] {
+            obs::Counter &shared = registry.counter("shared");
+            obs::Counter &mine =
+                registry.counter("thread." + std::to_string(t));
+            obs::Histogram &lat =
+                registry.histogram("lat", {10, 100, 1000});
+            obs::Gauge &peak = registry.gauge("peak");
+            for (uint64_t i = 0; i < perThread; ++i) {
+                shared.add();
+                mine.add();
+                lat.record(i % 2000);
+                peak.noteMax(double(i));
+            }
+        });
+    }
+    for (auto &worker : workers)
+        worker.join();
+
+    EXPECT_EQ(registry.counterValue("shared"), threads * perThread);
+    for (size_t t = 0; t < threads; ++t) {
+        EXPECT_EQ(registry.counterValue("thread." + std::to_string(t)),
+                  perThread);
+    }
+    EXPECT_EQ(registry.gaugeValue("peak"), double(perThread - 1));
+    auto snapshot = registry.snapshot();
+    ASSERT_EQ(snapshot.histograms.size(), 1u);
+    EXPECT_EQ(snapshot.histograms[0].count, threads * perThread);
+}
+
+TEST(MetricRegistry, SnapshotSortsByName)
+{
+    obs::MetricRegistry registry;
+    registry.counter("zeta").add(1);
+    registry.counter("alpha").add(2);
+    registry.counter("mid").add(3);
+    auto snapshot = registry.snapshot();
+    ASSERT_EQ(snapshot.counters.size(), 3u);
+    EXPECT_EQ(snapshot.counters[0].first, "alpha");
+    EXPECT_EQ(snapshot.counters[1].first, "mid");
+    EXPECT_EQ(snapshot.counters[2].first, "zeta");
+}
+
+TEST(MetricExport, FormatsParseAndAgree)
+{
+    obs::ExportFormat format = obs::ExportFormat::Text;
+    EXPECT_TRUE(obs::parseExportFormat("text", format));
+    EXPECT_EQ(format, obs::ExportFormat::Text);
+    EXPECT_TRUE(obs::parseExportFormat("csv", format));
+    EXPECT_EQ(format, obs::ExportFormat::Csv);
+    EXPECT_TRUE(obs::parseExportFormat("json", format));
+    EXPECT_EQ(format, obs::ExportFormat::Json);
+    EXPECT_FALSE(obs::parseExportFormat("xml", format));
+
+    obs::MetricRegistry registry;
+    populate(registry, 7, 3.5, 42);
+    auto snapshot = registry.snapshot();
+    std::ostringstream text, dispatched;
+    obs::printMetricsText(text, snapshot);
+    obs::exportMetrics(dispatched, snapshot, obs::ExportFormat::Text);
+    EXPECT_EQ(dispatched.str(), text.str());
+    EXPECT_NE(text.str().find("events"), std::string::npos);
+
+    std::ostringstream csv;
+    obs::printMetricsCsv(csv, snapshot);
+    EXPECT_NE(csv.str().find("counter,events,,7"),
+              std::string::npos);
+
+    std::ostringstream json;
+    obs::writeMetricsJson(json, snapshot);
+    EXPECT_EQ(json.str().front(), '{');
+    EXPECT_NE(json.str().find("\"counters\""), std::string::npos);
+}
+
+TEST(MetricViews, DedupAndWireViewsReadRegistry)
+{
+    obs::MetricRegistry registry;
+    registry.counter(obs::metric::internLookups).add(100);
+    registry.counter(obs::metric::internHits).add(75);
+    registry.counter(obs::metric::internMisses).add(25);
+    registry.gauge(obs::metric::internLiveSets).noteMax(25.0);
+    registry.counter(obs::metric::internBytesDeduplicated).add(4096);
+
+    std::ostringstream dedup;
+    obs::printDedupView(dedup, "interner", registry);
+    EXPECT_NE(dedup.str().find("hit ratio"), std::string::npos);
+    EXPECT_NE(dedup.str().find("75.0%"), std::string::npos);
+
+    registry.counter(obs::metric::wireAcquires).add(10);
+    registry.counter(obs::metric::wirePoolHits).add(8);
+    registry.counter(obs::metric::wirePoolMisses).add(2);
+    registry.counter(obs::metric::wireSharedEncodes).add(5);
+    registry.counter(obs::metric::wireBytesDeduplicated).add(1234);
+    registry.gauge(obs::metric::wireOutstandingSegments).noteMax(3.0);
+    registry.gauge(obs::metric::wirePeakOutstandingSegments)
+        .noteMax(6.0);
+
+    std::ostringstream wire;
+    obs::printWireView(wire, "pool", registry);
+    EXPECT_NE(wire.str().find("pool acquires"), std::string::npos);
+    EXPECT_NE(wire.str().find("80.0%"), std::string::npos);
+}

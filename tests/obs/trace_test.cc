@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Tracer / TraceBuffer / Span unit tests: detached no-op behaviour
+ * (the clock must never be read), deterministic Chrome trace_event
+ * JSON, and order-independent absorb of per-shard buffers.
+ */
+
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "obs/trace.hh"
+
+using namespace bgpbench;
+
+TEST(Tracer, DetachedRecordsNothingAndNeverReadsClock)
+{
+    obs::Tracer tracer;
+    EXPECT_FALSE(tracer.enabled());
+    tracer.complete("x", "cat", 0, 0, 10, 20);
+    tracer.instant("y", "cat", 0, 0, 30);
+
+    size_t clock_reads = 0;
+    {
+        OBS_SPAN(&tracer, "span", "cat", obs::kTrackPhases, 0, [&] {
+            ++clock_reads;
+            return uint64_t(0);
+        });
+    }
+    {
+        // A null tracer pointer is equally inert.
+        OBS_SPAN(static_cast<obs::Tracer *>(nullptr), "span", "cat",
+                 obs::kTrackPhases, 0, [&] {
+                     ++clock_reads;
+                     return uint64_t(0);
+                 });
+    }
+    EXPECT_EQ(clock_reads, 0u);
+}
+
+TEST(Tracer, AttachedSpanReadsClockTwice)
+{
+    obs::TraceBuffer buffer;
+    obs::Tracer tracer;
+    tracer.attach(&buffer);
+
+    uint64_t now = 100;
+    {
+        OBS_SPAN(&tracer, "work", "test", obs::kTrackRouters, 7, [&] {
+            uint64_t t = now;
+            now += 50;
+            return t;
+        });
+    }
+    ASSERT_EQ(buffer.events().size(), 1u);
+    const obs::TraceEvent &event = buffer.events()[0];
+    EXPECT_STREQ(event.name, "work");
+    EXPECT_STREQ(event.category, "test");
+    EXPECT_EQ(event.pid, obs::kTrackRouters);
+    EXPECT_EQ(event.tid, 7u);
+    EXPECT_EQ(event.beginNs, 100u);
+    EXPECT_EQ(event.endNs, 150u);
+    EXPECT_FALSE(event.instant);
+
+    tracer.detach();
+    tracer.complete("late", "test", 0, 0, 0, 1);
+    EXPECT_EQ(buffer.events().size(), 1u);
+}
+
+TEST(TraceBuffer, AbsorbAppendsAndClearsSource)
+{
+    obs::TraceBuffer run, shard;
+    shard.record({"a", "c", 0, 0, 1, 2, false});
+    shard.record({"b", "c", 0, 0, 3, 3, true});
+    run.absorb(shard);
+    EXPECT_TRUE(shard.empty());
+    ASSERT_EQ(run.events().size(), 2u);
+    EXPECT_STREQ(run.events()[1].name, "b");
+}
+
+namespace
+{
+
+std::string
+chromeJson(const obs::TraceBuffer &buffer)
+{
+    std::ostringstream os;
+    buffer.writeChromeTrace(os);
+    return os.str();
+}
+
+} // namespace
+
+TEST(TraceBuffer, ChromeTraceStructure)
+{
+    obs::TraceBuffer buffer;
+    buffer.record(
+        {"establish", "phase", obs::kTrackPhases, 0, 1000, 251000,
+         false});
+    buffer.record(
+        {"window", "engine", obs::kTrackEngine, 1, 2000, 4000,
+         false});
+    buffer.record(
+        {"Established", "session", obs::kTrackRouters, 3, 1500, 1500,
+         true});
+
+    std::string json = chromeJson(buffer);
+    // Track metadata names the three lanes.
+    EXPECT_NE(json.find("\"benchmark phases\""), std::string::npos);
+    EXPECT_NE(json.find("\"topology engine\""), std::string::npos);
+    EXPECT_NE(json.find("\"routers\""), std::string::npos);
+    // Complete events carry ph "X" with ts/dur in microseconds.
+    EXPECT_NE(json.find("\"name\": \"establish\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+    EXPECT_NE(json.find("\"ts\": 1.000"), std::string::npos);
+    EXPECT_NE(json.find("\"dur\": 250.000"), std::string::npos);
+    // Instants carry ph "i" and a scope, no duration.
+    EXPECT_NE(json.find("\"ph\": \"i\""), std::string::npos);
+    EXPECT_NE(json.find("\"s\": \"t\""), std::string::npos);
+    EXPECT_EQ(json.find("\"dur\": 0.000"), std::string::npos);
+}
+
+TEST(TraceBuffer, ChromeTraceOrdersByVirtualTime)
+{
+    // Record out of order; the writer must sort by (beginNs, pid,
+    // tid) so the bytes cannot depend on recording order across
+    // lanes.
+    obs::TraceBuffer late_first;
+    late_first.record(
+        {"late", "t", obs::kTrackEngine, 0, 5000, 6000, false});
+    late_first.record(
+        {"early", "t", obs::kTrackPhases, 0, 1000, 2000, false});
+
+    std::string json = chromeJson(late_first);
+    EXPECT_LT(json.find("\"early\""), json.find("\"late\""));
+}
+
+TEST(TraceBuffer, AbsorbOrderOfDisjointShardsIsByteStable)
+{
+    // Two shards whose events never tie on (beginNs, pid, tid):
+    // folding them in either order must serialise identically.
+    auto shard = [](uint32_t tid, uint64_t base) {
+        obs::TraceBuffer b;
+        b.record({"w0", "engine", obs::kTrackEngine, tid, base,
+                  base + 10, false});
+        b.record({"w1", "engine", obs::kTrackEngine, tid, base + 20,
+                  base + 30, false});
+        return b;
+    };
+    obs::TraceBuffer forward, backward;
+    {
+        obs::TraceBuffer s0 = shard(0, 100), s1 = shard(1, 105);
+        forward.absorb(s0);
+        forward.absorb(s1);
+    }
+    {
+        obs::TraceBuffer s0 = shard(0, 100), s1 = shard(1, 105);
+        backward.absorb(s1);
+        backward.absorb(s0);
+    }
+    EXPECT_EQ(chromeJson(forward), chromeJson(backward));
+}
+
+TEST(TraceBuffer, EmptyBufferStillWritesValidSkeleton)
+{
+    obs::TraceBuffer buffer;
+    std::string json = chromeJson(buffer);
+    EXPECT_NE(json.find("\"traceEvents\": []"), std::string::npos);
+    EXPECT_EQ(json.front(), '{');
+}

@@ -13,6 +13,8 @@
 
 #include <gtest/gtest.h>
 
+#include "obs/observability.hh"
+#include "obs/views.hh"
 #include "topo/scenarios.hh"
 #include "topo/topology.hh"
 #include "topo/topology_sim.hh"
@@ -166,18 +168,47 @@ TEST(ParallelDeterminism, EngineResolvesRequestedShards)
         sim.originate(node, topo::scenarioPrefix(node, 0), 0);
     ASSERT_TRUE(sim.runToConvergence(sim::nsFromSec(600.0)));
 
-    stats::ParallelReport report = sim.parallelReport();
-    EXPECT_EQ(report.jobs, 4u);
-    EXPECT_EQ(report.shards, 4u);
-    EXPECT_GT(report.windows, 0u);
-    EXPECT_GT(report.lookaheadNs, 0u);
-    ASSERT_EQ(report.perShard.size(), 4u);
+    obs::MetricRegistry metrics;
+    sim.publishParallelMetrics(metrics);
+    EXPECT_EQ(metrics.gaugeValue(obs::metric::parallelJobs), 4.0);
+    EXPECT_EQ(metrics.gaugeValue(obs::metric::parallelShards), 4.0);
+    EXPECT_GT(metrics.counterValue(obs::metric::parallelWindows), 0u);
+    EXPECT_GT(metrics.gaugeValue(obs::metric::parallelLookaheadNs),
+              0.0);
     uint64_t events = 0;
-    for (const stats::ShardUtilization &shard : report.perShard) {
-        EXPECT_EQ(shard.nodes, 4u);
-        events += shard.events;
+    for (size_t shard = 0; shard < 4; ++shard) {
+        EXPECT_EQ(metrics.gaugeValue(
+                      obs::shardMetricName(shard, "nodes")),
+                  4.0);
+        events += metrics.counterValue(
+            obs::shardMetricName(shard, "events"));
     }
     EXPECT_GT(events, 0u);
+}
+
+TEST(ParallelDeterminism, TracingDoesNotPerturbReports)
+{
+    // The observability layer must be a pure observer: attaching a
+    // registry and trace buffer (and varying the job count under
+    // them) cannot change a single report byte relative to the
+    // detached sequential baseline.
+    auto run = [](size_t jobs, obs::RunObservability *obs) {
+        topo::ScenarioOptions opts;
+        opts.simConfig.jobs = jobs;
+        opts.simConfig.obs = obs;
+        return allRenderings(topo::runLinkFailureScenario(
+            topo::Topology::ring(12), "ring", 0, opts));
+    };
+    std::string baseline = run(1, nullptr);
+    EXPECT_FALSE(baseline.empty());
+    for (size_t jobs : kJobCounts) {
+        SCOPED_TRACE("jobs=" + std::to_string(jobs));
+        obs::RunObservability obs;
+        EXPECT_EQ(run(jobs, &obs), baseline);
+        EXPECT_EQ(run(jobs, nullptr), baseline);
+        // The traced run actually observed something.
+        EXPECT_FALSE(obs.trace.empty());
+    }
 }
 
 TEST(ParallelDeterminism, ShardCountClampsToNodes)

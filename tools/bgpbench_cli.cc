@@ -18,6 +18,10 @@
  *       Wire N full speakers into a topology and measure
  *       network-wide convergence (optionally after a fault).
  *
+ *   bgpbench config
+ *       Show the effective runtime configuration and where each
+ *       value came from (default / environment / command line).
+ *
  * Common options:
  *   --prefixes N        routing-table size per run (default 2000)
  *   --seed N            workload seed (default 42)
@@ -25,11 +29,14 @@
  *   --steps N           sweep points including 0 (sweep only, df. 5)
  *   --damping           enable RFC 2439 flap damping on the router
  *   --csv               machine-readable CSV instead of tables
+ *   --stats[=FMT]       run metrics to stderr (text, csv, or json)
+ *   --trace FILE        Chrome trace_event JSON of the run
  */
 
 #include <algorithm>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <string>
@@ -38,8 +45,12 @@
 #include "bgp/attr_intern.hh"
 #include "core/benchmark_runner.hh"
 #include "core/paper_data.hh"
+#include "core/runtime_config.hh"
 #include "net/logging.hh"
 #include "net/wire_segment.hh"
+#include "obs/export.hh"
+#include "obs/observability.hh"
+#include "obs/views.hh"
 #include "stats/report.hh"
 #include "topo/scenarios.hh"
 
@@ -60,8 +71,16 @@ struct CliOptions
     bool damping = false;
     bool csv = false;
     bool json = false;
+    /** Deprecated aliases for --stats views of two subsystems. */
     bool internStats = false;
     bool wireStats = false;
+    /** --stats: export the run's metric registry to stderr. */
+    bool stats = false;
+    obs::ExportFormat statsFormat = obs::ExportFormat::Text;
+    /** --trace: Chrome trace_event JSON destination ("" = off). */
+    std::string tracePath;
+    /** Run sinks, attached by main() when --stats/--trace ask. */
+    obs::RunObservability *obs = nullptr;
     /** topo command. */
     std::string shape = "ring";
     size_t nodes = 12;
@@ -86,6 +105,7 @@ usage(int code)
         "  sweep                    cross-traffic sweep\n"
         "  table3                   full Table III reproduction\n"
         "  topo                     network-wide convergence\n"
+        "  config                   effective runtime configuration\n"
         "\n"
         "options:\n"
         "  --system NAME            PentiumIII | Xeon | IXP2400 | "
@@ -98,10 +118,16 @@ usage(int code)
         "  --steps N                sweep points (default 5)\n"
         "  --damping                enable RFC 2439 flap damping\n"
         "  --csv                    CSV output\n"
-        "  --intern-stats           print attribute-interner counters "
-        "to stderr\n"
-        "  --wire-stats             print wire segment-pool counters "
-        "to stderr\n"
+        "  --stats[=FMT]            print run metrics to stderr "
+        "(text | csv | json)\n"
+        "  --trace FILE             write a Chrome trace_event JSON "
+        "of the run\n"
+        "  --no-intern              disable attribute-set interning\n"
+        "  --no-segment-sharing     disable wire segment sharing\n"
+        "  --intern-stats           deprecated: interner view of "
+        "--stats\n"
+        "  --wire-stats             deprecated: segment-pool view of "
+        "--stats\n"
         "\n"
         "topo options:\n"
         "  --shape NAME             line | ring | star | mesh | "
@@ -121,7 +147,7 @@ usage(int code)
 }
 
 CliOptions
-parseArgs(int argc, char **argv)
+parseArgs(int argc, char **argv, core::RuntimeConfig &runtime)
 {
     if (argc < 2)
         usage(2);
@@ -163,6 +189,22 @@ parseArgs(int argc, char **argv)
             options.internStats = true;
         } else if (arg == "--wire-stats") {
             options.wireStats = true;
+        } else if (arg == "--stats") {
+            options.stats = true;
+        } else if (arg.rfind("--stats=", 0) == 0) {
+            options.stats = true;
+            if (!obs::parseExportFormat(arg.substr(8),
+                                        options.statsFormat)) {
+                std::cerr << "unknown stats format: " << arg.substr(8)
+                          << "\n";
+                usage(2);
+            }
+        } else if (arg == "--trace") {
+            options.tracePath = value();
+        } else if (arg == "--no-intern") {
+            runtime.overrideIntern(false);
+        } else if (arg == "--no-segment-sharing") {
+            runtime.overrideSegmentSharing(false);
         } else if (arg == "--shape") {
             options.shape = value();
         } else if (arg == "--nodes") {
@@ -183,8 +225,8 @@ parseArgs(int argc, char **argv)
             options.prefixesPerNode =
                 size_t(std::strtoull(value().c_str(), nullptr, 10));
         } else if (arg == "--jobs") {
-            options.jobs =
-                size_t(std::strtoull(value().c_str(), nullptr, 10));
+            runtime.overrideJobs(
+                size_t(std::strtoull(value().c_str(), nullptr, 10)));
         } else if (arg == "--help" || arg == "-h") {
             usage(0);
         } else {
@@ -192,6 +234,8 @@ parseArgs(int argc, char **argv)
             usage(2);
         }
     }
+    // env < CLI: BGPBENCH_JOBS seeds the default, --jobs overrides.
+    options.jobs = runtime.jobs();
     return options;
 }
 
@@ -203,6 +247,7 @@ benchConfig(const CliOptions &options)
     config.seed = options.seed;
     config.crossTrafficMbps = options.crossMbps;
     config.dampingEnabled = options.damping;
+    config.obs = options.obs;
     return config;
 }
 
@@ -378,6 +423,7 @@ cmdTopo(const CliOptions &options)
     topo::ScenarioOptions sopts;
     sopts.prefixesPerNode = options.prefixesPerNode;
     sopts.simConfig.jobs = options.jobs;
+    sopts.simConfig.obs = options.obs;
 
     topo::ConvergenceReport report;
     if (options.fault == "none") {
@@ -419,34 +465,47 @@ cmdTopo(const CliOptions &options)
     return report.converged ? 0 : 1;
 }
 
-/** Dump the global attribute-interner counters to stderr. */
-void
-printInternStats()
+/**
+ * Metric/trace output after the command ran. Exports go to stderr so
+ * the report bytes on stdout stay exactly what they were without
+ * --stats; the trace goes to the requested file.
+ */
+int
+emitObservability(const CliOptions &options,
+                  obs::RunObservability &observability)
 {
-    auto s = bgp::AttributeInterner::global().stats();
-    stats::DedupReport report;
-    report.lookups = s.lookups;
-    report.hits = s.hits;
-    report.misses = s.misses;
-    report.liveSets = s.liveSets;
-    report.bytesDeduplicated = s.bytesDeduplicated;
-    stats::printDedupReport(std::cerr, "attribute interner", report);
-}
-
-/** Dump the wire segment-pool counters to stderr. */
-void
-printWireStats()
-{
-    auto s = net::BufferPool::global().stats();
-    stats::WireReport report;
-    report.acquires = s.acquires;
-    report.poolHits = s.hits;
-    report.poolMisses = s.misses;
-    report.sharedEncodes = s.sharedEncodes;
-    report.bytesDeduplicated = s.bytesDeduplicated;
-    report.outstandingSegments = s.outstanding;
-    report.peakOutstandingSegments = s.peakOutstanding;
-    stats::printWireReport(std::cerr, "wire segment pool", report);
+    if (options.stats || options.internStats || options.wireStats) {
+        // The main thread's interner and the process-wide pool; in
+        // parallel topology runs worker-thread interners have their
+        // own (inaccessible) instances, matching the old flags.
+        bgp::AttributeInterner::global().publishStats(
+            observability.metrics);
+        net::BufferPool::global().publishStats(observability.metrics);
+    }
+    if (options.stats) {
+        obs::exportMetrics(std::cerr,
+                           observability.metrics.snapshot(),
+                           options.statsFormat);
+    }
+    if (options.internStats) {
+        obs::printDedupView(std::cerr, "attribute interner",
+                            observability.metrics);
+    }
+    if (options.wireStats) {
+        obs::printWireView(std::cerr, "wire segment pool",
+                           observability.metrics);
+    }
+    if (!options.tracePath.empty()) {
+        std::ofstream out(options.tracePath,
+                          std::ios::binary | std::ios::trunc);
+        if (!out) {
+            std::cerr << "cannot write trace file: "
+                      << options.tracePath << "\n";
+            return 1;
+        }
+        observability.trace.writeChromeTrace(out);
+    }
+    return 0;
 }
 
 } // namespace
@@ -455,7 +514,22 @@ int
 main(int argc, char **argv)
 {
     try {
-        CliOptions options = parseArgs(argc, argv);
+        core::RuntimeConfig runtime =
+            core::RuntimeConfig::fromEnvironment();
+        CliOptions options = parseArgs(argc, argv, runtime);
+        runtime.apply();
+
+        if (options.command == "config") {
+            runtime.dump(std::cout);
+            return 0;
+        }
+
+        // Sinks stay detached unless asked for: commands run the
+        // exact same code path either way, and reports are identical.
+        obs::RunObservability observability;
+        if (options.stats || !options.tracePath.empty())
+            options.obs = &observability;
+
         int rc = 2;
         if (options.command == "list")
             rc = cmdList();
@@ -472,11 +546,8 @@ main(int argc, char **argv)
                       << "\n";
             usage(2);
         }
-        if (options.internStats)
-            printInternStats();
-        if (options.wireStats)
-            printWireStats();
-        return rc;
+        int obs_rc = emitObservability(options, observability);
+        return rc != 0 ? rc : obs_rc;
     } catch (const FatalError &error) {
         std::cerr << "error: " << error.what() << "\n";
         return 1;
