@@ -526,10 +526,14 @@ BgpSpeaker::runDecision(const net::Prefix &prefix, UpdateStats &stats,
             ++stats.fibChanges;
             bump(obs_.locRibChanges);
             bump(obs_.fibChanges);
+            ++ribVersion_;
+            ribDirty_ = true;
             events_->onFibUpdate(FibUpdate{prefix, std::nullopt});
             for (Peer *peer : establishedPeers_)
                 updateAdjOut(*peer, prefix, nullptr, stats);
         }
+        ++decisionsSincePublish_;
+        maybePublishRib(now, false);
         return;
     }
 
@@ -543,6 +547,8 @@ BgpSpeaker::runDecision(const net::Prefix &prefix, UpdateStats &stats,
         ++counters_.locRibChanges;
         ++stats.locRibChanges;
         bump(obs_.locRibChanges);
+        ++ribVersion_;
+        ribDirty_ = true;
         // The forwarding table only cares about the next hop; a best-
         // path change that keeps the next hop (e.g. a MED change on
         // the same session) does not touch the FIB.
@@ -556,6 +562,8 @@ BgpSpeaker::runDecision(const net::Prefix &prefix, UpdateStats &stats,
         for (Peer *peer : establishedPeers_)
             updateAdjOut(*peer, prefix, &best, stats);
     }
+    ++decisionsSincePublish_;
+    maybePublishRib(now, false);
 }
 
 void
@@ -719,6 +727,28 @@ BgpSpeaker::flushPending(TimeNs now)
     // is where the same UPDATE content fans out — and dropping it now
     // stops it pinning segments after they leave the transmit queues.
     encodeCache_.clear();
+    maybePublishRib(now, true);
+}
+
+void
+BgpSpeaker::bindRibListener(RibListener *listener,
+                            uint64_t everyDecisions)
+{
+    ribListener_ = listener;
+    publishEveryDecisions_ = everyDecisions;
+    decisionsSincePublish_ = 0;
+    // A non-empty Loc-RIB is published immediately so a listener
+    // attached to a converged speaker need not wait for the next
+    // change to see the table.
+    ribDirty_ = ribListener_ && !locRib_.empty();
+}
+
+void
+BgpSpeaker::publishRib(TimeNs now)
+{
+    decisionsSincePublish_ = 0;
+    ribDirty_ = false;
+    ribListener_->onRibPublish(locRib_, ribVersion_, now);
 }
 
 void

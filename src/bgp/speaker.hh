@@ -161,6 +161,34 @@ class SpeakerEvents
 };
 
 /**
+ * Read-side publication hook: a consumer of Loc-RIB versions (the
+ * serve-layer snapshot publisher). The speaker invokes it
+ * synchronously on its own thread at the configured granularity;
+ * implementations must only *read* the RIB (typically copying it
+ * into an immutable snapshot) — mutating the speaker from the hook
+ * is undefined. Keeping the interface here (rather than in
+ * src/serve) lets the protocol library stay ignorant of who consumes
+ * the versions.
+ */
+class RibListener
+{
+  public:
+    virtual ~RibListener() = default;
+
+    /**
+     * The Loc-RIB reached a publication point.
+     *
+     * @param rib The live Loc-RIB (valid only for the duration of
+     *        the call; copy what you need).
+     * @param version Monotonic Loc-RIB change count — two calls with
+     *        the same version have identical content.
+     * @param now The speaker's virtual clock at the publication.
+     */
+    virtual void onRibPublish(const LocRib &rib, uint64_t version,
+                              SessionFsm::TimeNs now) = 0;
+};
+
+/**
  * A BGP-4 speaker.
  *
  * Typical standalone use:
@@ -254,6 +282,25 @@ class BgpSpeaker
      */
     void bindObservability(obs::MetricRegistry *registry,
                            obs::Tracer *tracer, uint32_t track);
+
+    /**
+     * Attach a Loc-RIB publication listener (null detaches).
+     *
+     * @param listener Receives onRibPublish() on this speaker's
+     *        thread; must outlive the speaker or be detached first.
+     * @param everyDecisions Publication granularity: 0 publishes at
+     *        the end of every flush round whose decisions changed the
+     *        Loc-RIB (the natural "batch boundary" of UPDATE
+     *        processing); N > 0 publishes after every N decision
+     *        runs, bounding staleness under long flushes. Either way
+     *        a publication only fires when the Loc-RIB actually
+     *        changed since the last one.
+     */
+    void bindRibListener(RibListener *listener,
+                         uint64_t everyDecisions = 0);
+
+    /** Monotonic Loc-RIB change count (see RibListener). */
+    uint64_t ribVersion() const { return ribVersion_; }
     /** Flap-damping state (live; decays lazily on access). */
     FlapDamper &damper() { return damper_; }
     std::vector<PeerId> peerIds() const;
@@ -385,9 +432,33 @@ class BgpSpeaker
         obs::Histogram *decisionCandidates = nullptr;
     };
 
+    /**
+     * Publish the Loc-RIB to the bound listener if it changed since
+     * the last publication, and reset the granularity counters.
+     */
+    void publishRib(TimeNs now);
+
+    /** Per-flush / per-N-decisions publication check. */
+    void
+    maybePublishRib(TimeNs now, bool flushBoundary)
+    {
+        if (!ribListener_ || !ribDirty_)
+            return;
+        if (publishEveryDecisions_ == 0
+                ? flushBoundary
+                : decisionsSincePublish_ >= publishEveryDecisions_)
+            publishRib(now);
+    }
+
     SpeakerConfig config_;
     SpeakerEvents *events_;
     ObsHandles obs_;
+    /** Read-side publication hook (see bindRibListener). */
+    RibListener *ribListener_ = nullptr;
+    uint64_t publishEveryDecisions_ = 0;
+    uint64_t ribVersion_ = 0;
+    uint64_t decisionsSincePublish_ = 0;
+    bool ribDirty_ = false;
     std::map<PeerId, std::unique_ptr<Peer>> peers_;
     /**
      * Per-flush encode cache: content hash of an UPDATE -> encodings

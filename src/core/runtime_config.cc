@@ -8,6 +8,7 @@
 #include "bgp/attr_intern.hh"
 #include "net/wire_segment.hh"
 #include "stats/report.hh"
+#include "workload/query_stream.hh"
 
 namespace bgpbench::core
 {
@@ -70,6 +71,22 @@ RuntimeConfig::fromEnvironment()
             ConfigOrigin::Environment,
         };
     }
+    if (const char *value = getEnv("BGPBENCH_SERVE_READERS")) {
+        size_t readers = size_t(std::strtoull(value, nullptr, 10));
+        if (readers > 0)
+            config.serveReaders_ = {readers, ConfigOrigin::Environment};
+    }
+    if (const char *value = getEnv("BGPBENCH_SNAPSHOT_EVERY")) {
+        config.snapshotEvery_ = {
+            std::strtoull(value, nullptr, 10),
+            ConfigOrigin::Environment,
+        };
+    }
+    if (const char *value = getEnv("BGPBENCH_QUERY_MIX")) {
+        workload::QueryMix mix;
+        if (workload::QueryMix::parse(value, mix))
+            config.queryMix_ = {value, ConfigOrigin::Environment};
+    }
     return config;
 }
 
@@ -98,6 +115,24 @@ RuntimeConfig::overrideJobs(size_t jobs)
 }
 
 void
+RuntimeConfig::overrideServeReaders(size_t readers)
+{
+    serveReaders_ = {readers, ConfigOrigin::CommandLine};
+}
+
+void
+RuntimeConfig::overrideSnapshotEvery(uint64_t every)
+{
+    snapshotEvery_ = {every, ConfigOrigin::CommandLine};
+}
+
+void
+RuntimeConfig::overrideQueryMix(std::string mix)
+{
+    queryMix_ = {std::move(mix), ConfigOrigin::CommandLine};
+}
+
+void
 RuntimeConfig::apply() const
 {
     // The default steers interners built later (worker threads); the
@@ -122,6 +157,15 @@ RuntimeConfig::dump(std::ostream &out) const
                   jobs_.value == 0 ? std::string("auto")
                                    : std::to_string(jobs_.value),
                   configOriginName(jobs_.origin)});
+    table.addRow({"serve readers", std::to_string(serveReaders_.value),
+                  configOriginName(serveReaders_.origin)});
+    table.addRow({"snapshot every",
+                  snapshotEvery_.value == 0
+                      ? std::string("flush")
+                      : std::to_string(snapshotEvery_.value),
+                  configOriginName(snapshotEvery_.origin)});
+    table.addRow({"query mix", queryMix_.value,
+                  configOriginName(queryMix_.origin)});
     table.print(out);
 }
 

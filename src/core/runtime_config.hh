@@ -21,7 +21,9 @@
 #define BGPBENCH_CORE_RUNTIME_CONFIG_HH
 
 #include <cstddef>
+#include <cstdint>
 #include <iosfwd>
+#include <string>
 
 namespace bgpbench::core
 {
@@ -54,8 +56,9 @@ class RuntimeConfig
     /**
      * Defaults overlaid with the BGPBENCH_* environment variables
      * (BGPBENCH_NO_INTERN=1, BGPBENCH_NO_SEGMENT_SHARING=<non-zero>,
-     * BGPBENCH_SWEEP=1, BGPBENCH_JOBS=<n>). Unset or unparsable
-     * variables leave the default in place.
+     * BGPBENCH_SWEEP=1, BGPBENCH_JOBS=<n>, BGPBENCH_SERVE_READERS=<n>,
+     * BGPBENCH_SNAPSHOT_EVERY=<n>, BGPBENCH_QUERY_MIX=<L:B:S:P>).
+     * Unset or unparsable variables leave the default in place.
      */
     static RuntimeConfig fromEnvironment();
 
@@ -67,6 +70,12 @@ class RuntimeConfig
     bool sweep() const { return sweep_.value; }
     /** Topology worker threads; 1 = sequential, 0 = auto. */
     size_t jobs() const { return jobs_.value; }
+    /** Serve workload reader threads. */
+    size_t serveReaders() const { return serveReaders_.value; }
+    /** Snapshot granularity: 0 = per flush, N = per N decisions. */
+    uint64_t snapshotEvery() const { return snapshotEvery_.value; }
+    /** Query class mix "L:B:S:P" (workload::QueryMix::parse form). */
+    const std::string &queryMix() const { return queryMix_.value; }
 
     ConfigOrigin internOrigin() const { return intern_.origin; }
     ConfigOrigin segmentSharingOrigin() const
@@ -75,12 +84,24 @@ class RuntimeConfig
     }
     ConfigOrigin sweepOrigin() const { return sweep_.origin; }
     ConfigOrigin jobsOrigin() const { return jobs_.origin; }
+    ConfigOrigin serveReadersOrigin() const
+    {
+        return serveReaders_.origin;
+    }
+    ConfigOrigin snapshotEveryOrigin() const
+    {
+        return snapshotEvery_.origin;
+    }
+    ConfigOrigin queryMixOrigin() const { return queryMix_.origin; }
 
     /** Command-line overrides (highest precedence). */
     void overrideIntern(bool enabled);
     void overrideSegmentSharing(bool enabled);
     void overrideSweep(bool enabled);
     void overrideJobs(size_t jobs);
+    void overrideServeReaders(size_t readers);
+    void overrideSnapshotEvery(uint64_t every);
+    void overrideQueryMix(std::string mix);
 
     /**
      * Push the switches into their subsystems: the process-wide
@@ -99,6 +120,10 @@ class RuntimeConfig
     Setting<bool> segmentSharing_{true, ConfigOrigin::Default};
     Setting<bool> sweep_{false, ConfigOrigin::Default};
     Setting<size_t> jobs_{1, ConfigOrigin::Default};
+    Setting<size_t> serveReaders_{4, ConfigOrigin::Default};
+    Setting<uint64_t> snapshotEvery_{0, ConfigOrigin::Default};
+    Setting<std::string> queryMix_{"88:10:1.5:0.5",
+                                   ConfigOrigin::Default};
 };
 
 } // namespace bgpbench::core

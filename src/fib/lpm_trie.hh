@@ -1,241 +1,22 @@
 /**
  * @file
- * Binary-trie longest-prefix-match structure for the FIB.
+ * FIB-side aliases of the generic LPM trie.
  *
- * IP forwarding must find the most specific routing-table prefix
- * covering a destination address (CIDR, RFC 1519). This is a classic
- * unibit trie as surveyed by Ruiz-Sanchez et al. (paper ref [9]):
- * simple, worst-case 32 node visits, and exactly the kind of lookup a
- * software router kernel of the paper's era performed.
+ * The trie itself lives in net/lpm_trie.hh so that read-side code
+ * (src/serve RIB snapshots) can index non-owning route views with the
+ * same structure; the FIB keeps its historical fib::LpmTrie spelling.
  */
 
 #ifndef BGPBENCH_FIB_LPM_TRIE_HH
 #define BGPBENCH_FIB_LPM_TRIE_HH
 
-#include <cstdint>
-#include <memory>
-#include <optional>
-#include <vector>
-
-#include "net/ipv4_address.hh"
-#include "net/prefix.hh"
+#include "net/lpm_trie.hh"
 
 namespace bgpbench::fib
 {
 
-/**
- * Longest-prefix-match trie mapping prefixes to a value (the next
- * hop, in the FIB's case).
- *
- * @tparam Value Payload stored per prefix.
- */
-template <typename Value>
-class LpmTrie
-{
-  public:
-    LpmTrie() : root_(std::make_unique<Node>()) {}
-
-    /**
-     * Insert or replace the value for @p prefix.
-     * @return True if the prefix was new.
-     */
-    bool
-    insert(const net::Prefix &prefix, Value value)
-    {
-        Node *node = walkTo(prefix, true);
-        bool inserted = !node->value.has_value();
-        node->value = std::move(value);
-        if (inserted)
-            ++size_;
-        return inserted;
-    }
-
-    /**
-     * Remove the entry for @p prefix.
-     * @return True if the prefix was present.
-     */
-    bool
-    remove(const net::Prefix &prefix)
-    {
-        Node *node = walkTo(prefix, false);
-        if (!node || !node->value)
-            return false;
-        node->value.reset();
-        --size_;
-        // Nodes are left in place; path compression/pruning is not
-        // needed for correctness and real kernels also defer it.
-        return true;
-    }
-
-    /** Exact-match lookup of a prefix. */
-    const Value *
-    exact(const net::Prefix &prefix) const
-    {
-        const Node *node = walkToConst(prefix);
-        if (!node || !node->value)
-            return nullptr;
-        return &*node->value;
-    }
-
-    /**
-     * Longest-prefix-match lookup of an address.
-     *
-     * @param addr Destination address.
-     * @param visited Optional out-parameter receiving the number of
-     *        trie nodes visited (the work metric charged by the
-     *        simulated forwarding engine).
-     * @return The value of the most specific covering prefix, or
-     *         nullptr if no prefix covers the address.
-     */
-    const Value *
-    lookup(net::Ipv4Address addr, int *visited = nullptr) const
-    {
-        const Node *node = root_.get();
-        const Value *best = node->value ? &*node->value : nullptr;
-        int depth = 0;
-        while (depth < 32) {
-            const Node *child =
-                addr.bit(depth) ? node->one.get() : node->zero.get();
-            if (!child)
-                break;
-            node = child;
-            ++depth;
-            if (node->value)
-                best = &*node->value;
-        }
-        if (visited)
-            *visited = depth + 1;
-        return best;
-    }
-
-    size_t size() const { return size_; }
-    bool empty() const { return size_ == 0; }
-
-    /** Collect all (prefix, value) pairs, in unspecified order. */
-    std::vector<std::pair<net::Prefix, Value>>
-    entries() const
-    {
-        std::vector<std::pair<net::Prefix, Value>> out;
-        out.reserve(size_);
-        collect(root_.get(), 0, 0, out);
-        return out;
-    }
-
-  private:
-    struct Node
-    {
-        std::optional<Value> value;
-        std::unique_ptr<Node> zero;
-        std::unique_ptr<Node> one;
-    };
-
-    Node *
-    walkTo(const net::Prefix &prefix, bool create)
-    {
-        Node *node = root_.get();
-        for (int depth = 0; depth < prefix.length(); ++depth) {
-            auto &child = prefix.address().bit(depth) ? node->one
-                                                      : node->zero;
-            if (!child) {
-                if (!create)
-                    return nullptr;
-                child = std::make_unique<Node>();
-            }
-            node = child.get();
-        }
-        return node;
-    }
-
-    const Node *
-    walkToConst(const net::Prefix &prefix) const
-    {
-        const Node *node = root_.get();
-        for (int depth = 0; depth < prefix.length(); ++depth) {
-            const Node *child = prefix.address().bit(depth)
-                                    ? node->one.get()
-                                    : node->zero.get();
-            if (!child)
-                return nullptr;
-            node = child;
-        }
-        return node;
-    }
-
-    void
-    collect(const Node *node, uint32_t bits, int depth,
-            std::vector<std::pair<net::Prefix, Value>> &out) const
-    {
-        if (node->value) {
-            out.emplace_back(
-                net::Prefix(net::Ipv4Address(bits), depth),
-                *node->value);
-        }
-        if (depth == 32)
-            return;
-        if (node->zero)
-            collect(node->zero.get(), bits, depth + 1, out);
-        if (node->one) {
-            collect(node->one.get(), bits | (1u << (31 - depth)),
-                    depth + 1, out);
-        }
-    }
-
-    std::unique_ptr<Node> root_;
-    size_t size_ = 0;
-};
-
-/**
- * Trivially correct linear-scan LPM used as the oracle in property
- * tests comparing against LpmTrie.
- */
-template <typename Value>
-class LinearLpm
-{
-  public:
-    bool
-    insert(const net::Prefix &prefix, Value value)
-    {
-        for (auto &[p, v] : entries_) {
-            if (p == prefix) {
-                v = std::move(value);
-                return false;
-            }
-        }
-        entries_.emplace_back(prefix, std::move(value));
-        return true;
-    }
-
-    bool
-    remove(const net::Prefix &prefix)
-    {
-        for (size_t i = 0; i < entries_.size(); ++i) {
-            if (entries_[i].first == prefix) {
-                entries_.erase(entries_.begin() + ptrdiff_t(i));
-                return true;
-            }
-        }
-        return false;
-    }
-
-    const Value *
-    lookup(net::Ipv4Address addr) const
-    {
-        const Value *best = nullptr;
-        int best_len = -1;
-        for (const auto &[p, v] : entries_) {
-            if (p.contains(addr) && p.length() > best_len) {
-                best = &v;
-                best_len = p.length();
-            }
-        }
-        return best;
-    }
-
-    size_t size() const { return entries_.size(); }
-
-  private:
-    std::vector<std::pair<net::Prefix, Value>> entries_;
-};
+using net::LinearLpm;
+using net::LpmTrie;
 
 } // namespace bgpbench::fib
 

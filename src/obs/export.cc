@@ -73,6 +73,17 @@ printMetricsText(std::ostream &os,
                                           double(row.count)
                                     : 0.0,
                           2)});
+        table.addRow({row.name + " [overflow]",
+                      std::to_string(row.overflow())});
+        HistogramSummary summary = summarizeHistogram(row);
+        table.addRow({row.name + " [p50]",
+                      std::to_string(summary.p50)});
+        table.addRow({row.name + " [p90]",
+                      std::to_string(summary.p90)});
+        table.addRow({row.name + " [p99]",
+                      std::to_string(summary.p99)});
+        table.addRow({row.name + " [max]",
+                      std::to_string(summary.max)});
     }
     table.print(os);
 }
@@ -98,6 +109,17 @@ printMetricsCsv(std::ostream &os,
         os << "histogram," << row.name << ",count," << row.count
            << '\n';
         os << "histogram," << row.name << ",sum," << row.sum << '\n';
+        os << "histogram," << row.name << ",overflow,"
+           << row.overflow() << '\n';
+        HistogramSummary summary = summarizeHistogram(row);
+        os << "histogram," << row.name << ",p50," << summary.p50
+           << '\n';
+        os << "histogram," << row.name << ",p90," << summary.p90
+           << '\n';
+        os << "histogram," << row.name << ",p99," << summary.p99
+           << '\n';
+        os << "histogram," << row.name << ",max," << summary.max
+           << '\n';
     }
 }
 
@@ -134,6 +156,12 @@ writeMetricsJson(std::ostream &os,
         json.endArray();
         json.field("count", row.count);
         json.field("sum", row.sum);
+        json.field("overflow", row.overflow());
+        HistogramSummary summary = summarizeHistogram(row);
+        json.field("p50", summary.p50);
+        json.field("p90", summary.p90);
+        json.field("p99", summary.p99);
+        json.field("max", summary.max);
         json.endObject();
     }
     json.endObject();

@@ -27,6 +27,22 @@ Histogram::Histogram(std::vector<uint64_t> bounds)
         buckets_[i].store(0, std::memory_order_relaxed);
 }
 
+namespace
+{
+
+/** Relaxed fetch-max (no std::atomic::fetch_max until C++26). */
+void
+noteMaxU64(std::atomic<uint64_t> &slot, uint64_t value)
+{
+    uint64_t seen = slot.load(std::memory_order_relaxed);
+    while (value > seen &&
+           !slot.compare_exchange_weak(seen, value,
+                                       std::memory_order_relaxed)) {
+    }
+}
+
+} // namespace
+
 void
 Histogram::record(uint64_t sample)
 {
@@ -38,6 +54,7 @@ Histogram::record(uint64_t sample)
     buckets_[i].fetch_add(1, std::memory_order_relaxed);
     count_.fetch_add(1, std::memory_order_relaxed);
     sum_.fetch_add(sample, std::memory_order_relaxed);
+    noteMaxU64(max_, sample);
 }
 
 uint64_t
@@ -55,6 +72,7 @@ Histogram::reset()
         buckets_[i].store(0, std::memory_order_relaxed);
     count_.store(0, std::memory_order_relaxed);
     sum_.store(0, std::memory_order_relaxed);
+    max_.store(0, std::memory_order_relaxed);
 }
 
 Counter &
@@ -124,6 +142,7 @@ MetricRegistry::absorb(MetricRegistry &source)
                 row.counts.push_back(histogram.bucketCount(i));
             row.count = histogram.count();
             row.sum = histogram.sum();
+            row.max = histogram.max();
             taken.histograms.push_back(std::move(row));
             histogram.reset();
         }
@@ -140,6 +159,7 @@ MetricRegistry::absorb(MetricRegistry &source)
         merged.count_.fetch_add(row.count,
                                 std::memory_order_relaxed);
         merged.sum_.fetch_add(row.sum, std::memory_order_relaxed);
+        noteMaxU64(merged.max_, row.max);
     }
 }
 
@@ -160,9 +180,52 @@ MetricRegistry::snapshot() const
             row.counts.push_back(histogram.bucketCount(i));
         row.count = histogram.count();
         row.sum = histogram.sum();
+        row.max = histogram.max();
         snap.histograms.push_back(std::move(row));
     }
     return snap;
+}
+
+uint64_t
+histogramQuantile(const MetricRegistry::Snapshot::HistogramRow &row,
+                  double q)
+{
+    if (row.count == 0)
+        return 0;
+    if (q <= 0.0 || q > 1.0)
+        fatal("histogramQuantile: q must be in (0, 1]");
+    // The rank-th smallest sample (1-based), rounding the rank up so
+    // p50 of two samples is the first, not an interpolation.
+    uint64_t rank = uint64_t(double(row.count) * q);
+    if (double(rank) < double(row.count) * q || rank == 0)
+        ++rank;
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < row.counts.size(); ++i) {
+        cumulative += row.counts[i];
+        if (cumulative >= rank) {
+            // Overflow bucket: no upper bound to quote; the exact
+            // maximum is the tightest true statement.
+            if (i >= row.bounds.size())
+                return row.max;
+            // The exact maximum is the tighter true bound when the
+            // top sample sits low in its bucket.
+            return std::min(row.bounds[i], row.max);
+        }
+    }
+    return row.max;
+}
+
+HistogramSummary
+summarizeHistogram(const MetricRegistry::Snapshot::HistogramRow &row)
+{
+    HistogramSummary summary;
+    if (row.count == 0)
+        return summary;
+    summary.p50 = histogramQuantile(row, 0.50);
+    summary.p90 = histogramQuantile(row, 0.90);
+    summary.p99 = histogramQuantile(row, 0.99);
+    summary.max = row.max;
+    return summary;
 }
 
 } // namespace bgpbench::obs

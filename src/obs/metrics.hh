@@ -97,8 +97,11 @@ class Gauge
 /**
  * Fixed-bucket histogram over uint64_t samples. Bucket upper bounds
  * are inclusive and fixed at registration; samples above the last
- * bound land in an overflow bucket. Updates are relaxed atomics;
- * merges add bucket-wise (bounds must match).
+ * bound land in an overflow bucket. The exact maximum sample is
+ * tracked alongside the buckets (the overflow bucket has no upper
+ * bound to quote as a percentile). Updates are relaxed atomics;
+ * merges add bucket-wise (bounds must match) and take the larger
+ * maximum.
  */
 class Histogram
 {
@@ -116,6 +119,13 @@ class Histogram
     /** Count in bucket @p i; index bounds().size() is overflow. */
     uint64_t bucketCount(size_t i) const;
 
+    /** Samples above the last bound (== bucketCount(bounds().size())). */
+    uint64_t
+    overflowCount() const
+    {
+        return bucketCount(bounds_.size());
+    }
+
     uint64_t
     count() const
     {
@@ -126,6 +136,13 @@ class Histogram
     sum() const
     {
         return sum_.load(std::memory_order_relaxed);
+    }
+
+    /** Largest recorded sample; 0 when empty. */
+    uint64_t
+    max() const
+    {
+        return max_.load(std::memory_order_relaxed);
     }
 
     double
@@ -145,6 +162,7 @@ class Histogram
     std::unique_ptr<std::atomic<uint64_t>[]> buckets_;
     std::atomic<uint64_t> count_{0};
     std::atomic<uint64_t> sum_{0};
+    std::atomic<uint64_t> max_{0};
 };
 
 /**
@@ -200,6 +218,15 @@ class MetricRegistry
             std::vector<uint64_t> counts;
             uint64_t count = 0;
             uint64_t sum = 0;
+            /** Largest recorded sample; 0 when empty. */
+            uint64_t max = 0;
+
+            /** Samples above the last bound. */
+            uint64_t
+            overflow() const
+            {
+                return counts.empty() ? 0 : counts.back();
+            }
         };
         std::vector<HistogramRow> histograms;
 
@@ -221,6 +248,32 @@ class MetricRegistry
     std::map<std::string, Gauge> gauges_;
     std::map<std::string, Histogram> histograms_;
 };
+
+/**
+ * Quantile estimate from a histogram row: the inclusive upper bound
+ * of the bucket where the cumulative count first reaches
+ * ceil(q * count) — i.e. an upper bound on the true quantile, tight
+ * to one bucket width. The result is clamped to the exact tracked
+ * maximum, which is the tighter true bound whenever the top sample
+ * sits low in its bucket (and keeps quantiles <= max always). A
+ * quantile landing in the overflow bucket (which has no bound)
+ * reports the tracked maximum directly, as does q >= 1. Returns 0
+ * for an empty histogram. @p q must be in (0, 1].
+ */
+uint64_t histogramQuantile(
+    const MetricRegistry::Snapshot::HistogramRow &row, double q);
+
+/** p50/p90/p99/max of one histogram row (see histogramQuantile). */
+struct HistogramSummary
+{
+    uint64_t p50 = 0;
+    uint64_t p90 = 0;
+    uint64_t p99 = 0;
+    uint64_t max = 0;
+};
+
+HistogramSummary summarizeHistogram(
+    const MetricRegistry::Snapshot::HistogramRow &row);
 
 } // namespace bgpbench::obs
 

@@ -1,0 +1,125 @@
+#include "serve/serve_runner.hh"
+
+#include <chrono>
+
+#include "serve/publisher.hh"
+
+namespace bgpbench::serve
+{
+
+namespace
+{
+
+uint64_t
+hostNowNs()
+{
+    return uint64_t(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now().time_since_epoch())
+                        .count());
+}
+
+/** Mirrors the phase recording of the scenario runners. */
+class PhaseRecorder
+{
+  public:
+    explicit PhaseRecorder(const topo::ScenarioOptions &opts)
+    {
+        if (opts.simConfig.obs)
+            tracer_.attach(&opts.simConfig.obs->trace);
+    }
+
+    void
+    phase(const char *name, sim::SimTime begin, sim::SimTime end)
+    {
+        tracer_.complete(name, "phase", obs::kTrackPhases, 0, begin,
+                         end);
+    }
+
+  private:
+    obs::Tracer tracer_;
+};
+
+} // namespace
+
+std::vector<net::Prefix>
+serveTargets(size_t nodes, size_t prefixesPerNode)
+{
+    std::vector<net::Prefix> targets;
+    targets.reserve(nodes * prefixesPerNode);
+    for (size_t node = 0; node < nodes; ++node)
+        for (size_t j = 0; j < prefixesPerNode; ++j)
+            targets.push_back(topo::scenarioPrefix(node, j));
+    return targets;
+}
+
+ServeRunResult
+runServeScenario(topo::Topology topology, const std::string &shape,
+                 const ServeRunConfig &config)
+{
+    ServeRunResult result;
+    const topo::ScenarioOptions &opts = config.scenario;
+    const size_t nodes = topology.nodeCount();
+
+    topo::TopologySim sim(std::move(topology), opts.simConfig);
+
+    SnapshotPublisher publisher;
+    sim.speaker(config.publisherNode)
+        .bindRibListener(&publisher, config.snapshotEvery);
+
+    std::vector<net::Prefix> targets =
+        serveTargets(nodes, opts.prefixesPerNode);
+
+    // Two engines so the two phases report independently: the paced
+    // one rides the convergence run, the fixed one measures capacity
+    // against the settled table afterwards.
+    QueryEngine paced(publisher, targets, config.engine);
+    if (config.concurrentReaders)
+        paced.startPaced();
+
+    // From here the write side is a faithful copy of
+    // runAnnounceScenario: same calls, same virtual-time schedule,
+    // hence the same report bytes whether readers are attached or
+    // not.
+    const uint64_t hostStart = hostNowNs();
+    PhaseRecorder phases(opts);
+    sim::SimTime mark = sim.now();
+    bool converged = sim.runToConvergence(opts.limitNs);
+    sim.tracker().markPhaseStart(sim.now());
+    phases.phase("establish", mark, sim.now());
+    mark = sim.now();
+    {
+        sim::SimTime now = sim.now();
+        for (size_t node = 0; node < sim.topology().nodeCount(); ++node)
+            for (size_t j = 0; j < opts.prefixesPerNode; ++j)
+                sim.originate(node, topo::scenarioPrefix(node, j), now);
+    }
+    converged = converged && sim.runToConvergence(opts.limitNs);
+    phases.phase("announce", mark, sim.now());
+    result.convergence = sim.report("announce", shape);
+    result.convergence.converged = converged && sim.locRibsConsistent();
+    if (opts.simConfig.obs)
+        sim.publishParallelMetrics(opts.simConfig.obs->metrics);
+    result.convergenceHostNs = hostNowNs() - hostStart;
+
+    if (config.concurrentReaders) {
+        paced.stop();
+        result.concurrent = paced.report();
+        if (opts.simConfig.obs)
+            paced.absorbInto(opts.simConfig.obs->metrics);
+    }
+
+    if (config.throughputPhase) {
+        QueryEngine fixed(publisher, targets, config.engine);
+        result.throughput = fixed.runFixed();
+        if (opts.simConfig.obs)
+            fixed.absorbInto(opts.simConfig.obs->metrics);
+    }
+
+    RibSnapshotPtr final_snapshot = publisher.current();
+    result.snapshotsPublished = publisher.published();
+    result.finalEpoch = final_snapshot->epoch();
+    result.tableSize = final_snapshot->size();
+    return result;
+}
+
+} // namespace bgpbench::serve

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * The serve scenario: a convergence run with the read side attached.
+ *
+ * runServeScenario() executes exactly the announce scenario of
+ * topo::runAnnounceScenario — same phases, same virtual-time
+ * schedule, same ConvergenceReport bytes — while one node's speaker
+ * publishes epoch snapshots of its Loc-RIB and a query engine serves
+ * a synthetic client population against them. The run has two
+ * measured read-side phases:
+ *
+ *  1. concurrent: paced readers issue queries while the network
+ *     converges (the interference measurement — does serving reads
+ *     slow the decision process, and what staleness do readers see?);
+ *  2. throughput: after convergence the readers run a fixed query
+ *     count flat out against the final table (the capacity
+ *     measurement).
+ *
+ * Attaching the read side must not change the simulation: snapshots
+ * are published at virtual-time boundaries the speaker reached
+ * anyway, and readers only ever touch immutable snapshots, so the
+ * convergence report is byte-identical with readers on or off — the
+ * determinism suite asserts this at several shard counts.
+ */
+
+#ifndef BGPBENCH_SERVE_SERVE_RUNNER_HH
+#define BGPBENCH_SERVE_SERVE_RUNNER_HH
+
+#include <cstdint>
+#include <string>
+
+#include "serve/query_engine.hh"
+#include "topo/scenarios.hh"
+
+namespace bgpbench::serve
+{
+
+/** Knobs of one serve scenario run. */
+struct ServeRunConfig
+{
+    topo::ScenarioOptions scenario;
+    QueryEngineConfig engine;
+    /** Node whose Loc-RIB is published (see BgpSpeaker). */
+    size_t publisherNode = 0;
+    /**
+     * Snapshot granularity: 0 publishes at flush boundaries, N > 0
+     * after every N decision-process runs that changed the RIB.
+     */
+    uint64_t snapshotEvery = 0;
+    /** Run paced readers during the convergence phase. */
+    bool concurrentReaders = true;
+    /** Run the flat-out throughput phase after convergence. */
+    bool throughputPhase = true;
+};
+
+/** Everything one serve scenario run produced. */
+struct ServeRunResult
+{
+    /** Byte-identical to runAnnounceScenario on the same inputs. */
+    topo::ConvergenceReport convergence;
+    /** Host wall time of the convergence (write-side) phase. */
+    uint64_t convergenceHostNs = 0;
+    /** Read-side results while converging (empty when disabled). */
+    ServeReport concurrent;
+    /** Read-side results against the final table (empty if disabled). */
+    ServeReport throughput;
+    uint64_t snapshotsPublished = 0;
+    /** Epoch (Loc-RIB version) of the final snapshot. */
+    uint64_t finalEpoch = 0;
+    /** Routes in the final snapshot. */
+    uint64_t tableSize = 0;
+};
+
+/**
+ * Run the announce scenario on @p topology with the read side
+ * attached. @p shape labels the report like the plain runners do.
+ */
+ServeRunResult runServeScenario(topo::Topology topology,
+                                const std::string &shape,
+                                const ServeRunConfig &config);
+
+/**
+ * The query-target population of a serve run: every prefix the
+ * announce scenario will originate, hottest-first in origination
+ * order. Exposed so tests and benchmarks can build matching streams.
+ */
+std::vector<net::Prefix> serveTargets(size_t nodes,
+                                      size_t prefixesPerNode);
+
+} // namespace bgpbench::serve
+
+#endif // BGPBENCH_SERVE_SERVE_RUNNER_HH

@@ -1,0 +1,159 @@
+#include "workload/query_stream.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "net/logging.hh"
+#include "stats/json.hh"
+
+namespace bgpbench::workload
+{
+
+const char *
+queryKindName(QueryKind kind)
+{
+    switch (kind) {
+      case QueryKind::Lookup:
+        return "lookup";
+      case QueryKind::BestPath:
+        return "best_path";
+      case QueryKind::Scan:
+        return "scan";
+      case QueryKind::PeerStats:
+        return "peer_stats";
+    }
+    return "?";
+}
+
+bool
+QueryMix::parse(const std::string &text, QueryMix &out)
+{
+    double weights[4];
+    size_t pos = 0;
+    for (int i = 0; i < 4; ++i) {
+        size_t colon = text.find(':', pos);
+        bool last = i == 3;
+        if (last != (colon == std::string::npos))
+            return false;
+        std::string part =
+            text.substr(pos, last ? std::string::npos : colon - pos);
+        if (part.empty())
+            return false;
+        size_t consumed = 0;
+        double weight = 0.0;
+        try {
+            weight = std::stod(part, &consumed);
+        } catch (...) {
+            return false;
+        }
+        if (consumed != part.size() || weight < 0.0 ||
+            !std::isfinite(weight))
+            return false;
+        weights[i] = weight;
+        pos = colon + 1;
+    }
+    if (weights[0] + weights[1] + weights[2] + weights[3] <= 0.0)
+        return false;
+    out.lookup = weights[0];
+    out.bestPath = weights[1];
+    out.scan = weights[2];
+    out.peerStats = weights[3];
+    return true;
+}
+
+std::string
+QueryMix::toString() const
+{
+    auto fmt = [](double w) {
+        return stats::JsonWriter::formatNumber(w);
+    };
+    return fmt(lookup) + ":" + fmt(bestPath) + ":" + fmt(scan) + ":" +
+           fmt(peerStats);
+}
+
+QueryStream::QueryStream(std::vector<net::Prefix> targets,
+                         const QueryStreamConfig &config)
+    : targets_(std::move(targets)), config_(config), rng_(config.seed)
+{
+    if (targets_.empty())
+        fatal("QueryStream requires a non-empty target population");
+    double total = config_.mix.total();
+    if (total <= 0.0)
+        fatal("QueryStream requires a non-zero query mix");
+    classCdf_[0] = config_.mix.lookup / total;
+    classCdf_[1] = classCdf_[0] + config_.mix.bestPath / total;
+    classCdf_[2] = classCdf_[1] + config_.mix.scan / total;
+    classCdf_[3] = 1.0;
+
+    // Zipf CDF over ranks 1..N: weight(r) = r^-s. Built once; a draw
+    // is a binary search, so the per-query cost is O(log N)
+    // regardless of skew.
+    zipfCdf_.reserve(targets_.size());
+    double cumulative = 0.0;
+    for (size_t r = 1; r <= targets_.size(); ++r) {
+        cumulative +=
+            std::pow(double(r), -config_.zipfExponent);
+        zipfCdf_.push_back(cumulative);
+    }
+    for (double &value : zipfCdf_)
+        value /= cumulative;
+}
+
+size_t
+QueryStream::drawTarget()
+{
+    double u = rng_.uniform();
+    size_t index = size_t(std::lower_bound(zipfCdf_.begin(),
+                                           zipfCdf_.end(), u) -
+                          zipfCdf_.begin());
+    return std::min(index, targets_.size() - 1);
+}
+
+Query
+QueryStream::next()
+{
+    ++generated_;
+    Query query;
+    double u = rng_.uniform();
+    if (u < classCdf_[0])
+        query.kind = QueryKind::Lookup;
+    else if (u < classCdf_[1])
+        query.kind = QueryKind::BestPath;
+    else if (u < classCdf_[2])
+        query.kind = QueryKind::Scan;
+    else
+        query.kind = QueryKind::PeerStats;
+
+    if (query.kind == QueryKind::PeerStats)
+        return query;
+
+    const net::Prefix &target = targets_[drawTarget()];
+    switch (query.kind) {
+      case QueryKind::Lookup: {
+        // A random host inside the target, so repeated lookups of a
+        // hot prefix still vary the address bits.
+        uint32_t host_bits = 32u - uint32_t(target.length());
+        uint32_t noise =
+            host_bits == 0
+                ? 0
+                : uint32_t(rng_.next()) &
+                      ((host_bits == 32 ? ~0u : (1u << host_bits) - 1u));
+        query.addr =
+            net::Ipv4Address(target.address().toUint32() | noise);
+        break;
+      }
+      case QueryKind::BestPath:
+        query.prefix = target;
+        break;
+      case QueryKind::Scan:
+        query.prefix = net::Prefix(
+            target.address(),
+            std::max(0, target.length() - config_.scanWidenBits));
+        break;
+      case QueryKind::PeerStats:
+        break;
+    }
+    return query;
+}
+
+} // namespace bgpbench::workload

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Synthetic read-side query workload generation.
+ *
+ * A production BGP speaker answers operators and telemetry collectors
+ * while it converges: point lookups ("what is the best path to X"),
+ * longest-prefix-match lookups for data-plane addresses, prefix-range
+ * scans ("show ip bgp 10.0.0.0/8 longer-prefixes"), and per-peer
+ * summary statistics. This module models that client population as a
+ * deterministic stream: Zipf-skewed prefix popularity (a few hot
+ * prefixes absorb most queries, a long tail absorbs the rest) and a
+ * configurable class mix. Generation is seeded and platform-
+ * independent, so every benchmark run replays an identical stream.
+ */
+
+#ifndef BGPBENCH_WORKLOAD_QUERY_STREAM_HH
+#define BGPBENCH_WORKLOAD_QUERY_STREAM_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/ipv4_address.hh"
+#include "net/prefix.hh"
+#include "workload/rng.hh"
+
+namespace bgpbench::workload
+{
+
+/** The query classes a RIB snapshot can answer. */
+enum class QueryKind : uint8_t
+{
+    /** Longest-prefix-match of a data-plane address. */
+    Lookup,
+    /** Best path of an exact prefix. */
+    BestPath,
+    /** All routes under a covering prefix. */
+    Scan,
+    /** Per-peer table summary. */
+    PeerStats,
+};
+
+/** "lookup" | "best_path" | "scan" | "peer_stats". */
+const char *queryKindName(QueryKind kind);
+
+/** One generated query. */
+struct Query
+{
+    QueryKind kind = QueryKind::Lookup;
+    /** Lookup target (Lookup only). */
+    net::Ipv4Address addr;
+    /** Exact prefix (BestPath) or covering range (Scan). */
+    net::Prefix prefix;
+};
+
+/**
+ * Class mix as relative weights (any non-negative scale; they are
+ * normalised). The defaults model a telemetry-heavy population:
+ * mostly point lookups, some exact best-path queries, few expensive
+ * scans, occasional summary polls.
+ */
+struct QueryMix
+{
+    double lookup = 88.0;
+    double bestPath = 10.0;
+    double scan = 1.5;
+    double peerStats = 0.5;
+
+    /**
+     * Parse "L:B:S:P" (e.g. "88:10:1.5:0.5") relative weights.
+     * @return False on malformed input, a weight that fails to
+     *         parse, a negative weight, or an all-zero mix.
+     */
+    static bool parse(const std::string &text, QueryMix &out);
+
+    /** Canonical "L:B:S:P" rendering (formatDouble, 6 digits). */
+    std::string toString() const;
+
+    double
+    total() const
+    {
+        return lookup + bestPath + scan + peerStats;
+    }
+};
+
+/** Parameters of a query stream. */
+struct QueryStreamConfig
+{
+    uint64_t seed = 1;
+    QueryMix mix;
+    /**
+     * Zipf exponent s of the popularity distribution over targets:
+     * P(rank r) proportional to 1 / r^s. 0 is uniform; 1 is the
+     * classic web/traffic skew.
+     */
+    double zipfExponent = 1.0;
+    /**
+     * Bits stripped from a target prefix to form a Scan range, so a
+     * scan over a /24 table asks for its covering /16 by default.
+     */
+    int scanWidenBits = 8;
+};
+
+/**
+ * Deterministic generator of queries against a fixed target
+ * population.
+ *
+ * The target list is the prefix universe queries are drawn from
+ * (normally the prefixes a benchmark's route workload announced —
+ * queries for routes that exist; misses come from the address noise
+ * below). Popularity rank equals list position: targets[0] is the
+ * hottest. Each next() draws the class from the mix and the target
+ * from the Zipf distribution; Lookup queries pick a random host
+ * address inside the target so consecutive lookups of a hot prefix
+ * still exercise distinct addresses.
+ */
+class QueryStream
+{
+  public:
+    QueryStream(std::vector<net::Prefix> targets,
+                const QueryStreamConfig &config);
+
+    /** The next query; deterministic in (targets, config). */
+    Query next();
+
+    /** Queries generated so far. */
+    uint64_t generated() const { return generated_; }
+
+    const std::vector<net::Prefix> &targets() const { return targets_; }
+
+  private:
+    /** Zipf-ranked target index for one uniform draw. */
+    size_t drawTarget();
+
+    std::vector<net::Prefix> targets_;
+    QueryStreamConfig config_;
+    Rng rng_;
+    /** Cumulative class weights, normalised to [0, 1]. */
+    double classCdf_[4] = {0, 0, 0, 0};
+    /** Cumulative Zipf weights, normalised to [0, 1]. */
+    std::vector<double> zipfCdf_;
+    uint64_t generated_ = 0;
+};
+
+} // namespace bgpbench::workload
+
+#endif // BGPBENCH_WORKLOAD_QUERY_STREAM_HH

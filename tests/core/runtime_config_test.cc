@@ -107,6 +107,80 @@ TEST(RuntimeConfig, CommandLineBeatsEnvironment)
     EXPECT_EQ(config.sweepOrigin(), core::ConfigOrigin::Default);
 }
 
+TEST(RuntimeConfig, ServeKnobDefaults)
+{
+    core::RuntimeConfig config;
+    EXPECT_EQ(config.serveReaders(), 4u);
+    EXPECT_EQ(config.snapshotEvery(), 0u); // 0 = per flush
+    EXPECT_EQ(config.queryMix(), "88:10:1.5:0.5");
+    EXPECT_EQ(config.serveReadersOrigin(), core::ConfigOrigin::Default);
+    EXPECT_EQ(config.snapshotEveryOrigin(),
+              core::ConfigOrigin::Default);
+    EXPECT_EQ(config.queryMixOrigin(), core::ConfigOrigin::Default);
+}
+
+TEST(RuntimeConfig, ServeKnobsFromEnvironment)
+{
+    {
+        EnvVar readers("BGPBENCH_SERVE_READERS", "8");
+        EnvVar every("BGPBENCH_SNAPSHOT_EVERY", "16");
+        EnvVar mix("BGPBENCH_QUERY_MIX", "50:30:15:5");
+        auto config = core::RuntimeConfig::fromEnvironment();
+        EXPECT_EQ(config.serveReaders(), 8u);
+        EXPECT_EQ(config.serveReadersOrigin(),
+                  core::ConfigOrigin::Environment);
+        EXPECT_EQ(config.snapshotEvery(), 16u);
+        EXPECT_EQ(config.snapshotEveryOrigin(),
+                  core::ConfigOrigin::Environment);
+        EXPECT_EQ(config.queryMix(), "50:30:15:5");
+        EXPECT_EQ(config.queryMixOrigin(),
+                  core::ConfigOrigin::Environment);
+    }
+    {
+        // Zero readers and a malformed mix are ignored, not adopted.
+        EnvVar readers("BGPBENCH_SERVE_READERS", "0");
+        EnvVar mix("BGPBENCH_QUERY_MIX", "not-a-mix");
+        auto config = core::RuntimeConfig::fromEnvironment();
+        EXPECT_EQ(config.serveReaders(), 4u);
+        EXPECT_EQ(config.serveReadersOrigin(),
+                  core::ConfigOrigin::Default);
+        EXPECT_EQ(config.queryMix(), "88:10:1.5:0.5");
+        EXPECT_EQ(config.queryMixOrigin(), core::ConfigOrigin::Default);
+    }
+}
+
+TEST(RuntimeConfig, ServeKnobCommandLineBeatsEnvironment)
+{
+    EnvVar readers("BGPBENCH_SERVE_READERS", "8");
+    EnvVar every("BGPBENCH_SNAPSHOT_EVERY", "16");
+    auto config = core::RuntimeConfig::fromEnvironment();
+    config.overrideServeReaders(2);
+    config.overrideSnapshotEvery(4);
+    config.overrideQueryMix("1:1:1:1");
+    EXPECT_EQ(config.serveReaders(), 2u);
+    EXPECT_EQ(config.serveReadersOrigin(),
+              core::ConfigOrigin::CommandLine);
+    EXPECT_EQ(config.snapshotEvery(), 4u);
+    EXPECT_EQ(config.snapshotEveryOrigin(),
+              core::ConfigOrigin::CommandLine);
+    EXPECT_EQ(config.queryMix(), "1:1:1:1");
+    EXPECT_EQ(config.queryMixOrigin(),
+              core::ConfigOrigin::CommandLine);
+}
+
+TEST(RuntimeConfig, DumpShowsServeKnobs)
+{
+    core::RuntimeConfig config;
+    std::ostringstream os;
+    config.dump(os);
+    std::string out = os.str();
+    EXPECT_NE(out.find("serve readers"), std::string::npos);
+    EXPECT_NE(out.find("snapshot every"), std::string::npos);
+    EXPECT_NE(out.find("flush"), std::string::npos); // 0 renders flush
+    EXPECT_NE(out.find("query mix"), std::string::npos);
+    EXPECT_NE(out.find("88:10:1.5:0.5"), std::string::npos);
+}
+
 TEST(RuntimeConfig, OriginNames)
 {
     EXPECT_STREQ(core::configOriginName(core::ConfigOrigin::Default),

@@ -62,6 +62,129 @@ TEST(Histogram, BucketsAndOverflow)
     EXPECT_EQ(h.bucketCount(0), 0u);
 }
 
+TEST(Histogram, TracksExactMaximum)
+{
+    obs::Histogram h({10, 100});
+    EXPECT_EQ(h.max(), 0u);
+    h.record(7);
+    h.record(93);
+    EXPECT_EQ(h.max(), 93u);
+    h.record(40000); // overflow sample becomes the max
+    EXPECT_EQ(h.max(), 40000u);
+    EXPECT_EQ(h.overflowCount(), 1u);
+    h.record(12);
+    EXPECT_EQ(h.max(), 40000u);
+    h.reset();
+    EXPECT_EQ(h.max(), 0u);
+    EXPECT_EQ(h.overflowCount(), 0u);
+}
+
+TEST(Histogram, QuantilesQuoteBucketBounds)
+{
+    obs::MetricRegistry registry;
+    obs::Histogram &h = registry.histogram("lat", {10, 100, 1000});
+    // 90 samples <= 10, 9 in (10, 100], 1 in (100, 1000].
+    for (int i = 0; i < 90; ++i)
+        h.record(5);
+    for (int i = 0; i < 9; ++i)
+        h.record(50);
+    h.record(400);
+
+    auto snapshot = registry.snapshot();
+    ASSERT_EQ(snapshot.histograms.size(), 1u);
+    const auto &row = snapshot.histograms[0];
+    // A quantile is the inclusive upper bound of its bucket.
+    EXPECT_EQ(obs::histogramQuantile(row, 0.50), 10u);
+    EXPECT_EQ(obs::histogramQuantile(row, 0.90), 10u);
+    EXPECT_EQ(obs::histogramQuantile(row, 0.95), 100u);
+    // The top bucket's bound (1000) exceeds the exact maximum, so
+    // the tracked max is quoted instead.
+    EXPECT_EQ(obs::histogramQuantile(row, 0.999), 400u);
+
+    obs::HistogramSummary summary = obs::summarizeHistogram(row);
+    EXPECT_EQ(summary.p50, 10u);
+    EXPECT_EQ(summary.p90, 10u);
+    // The 99th smallest of 100 samples is the last one inside the
+    // (10, 100] bucket.
+    EXPECT_EQ(summary.p99, 100u);
+    EXPECT_EQ(summary.max, 400u);
+}
+
+TEST(Histogram, OverflowQuantileQuotesTrackedMax)
+{
+    obs::MetricRegistry registry;
+    obs::Histogram &h = registry.histogram("lat", {10});
+    h.record(5);
+    h.record(777777); // overflow
+    auto row = registry.snapshot().histograms[0];
+    EXPECT_EQ(row.overflow(), 1u);
+    EXPECT_EQ(row.max, 777777u);
+    // The overflow bucket has no bound; the exact max stands in.
+    EXPECT_EQ(obs::histogramQuantile(row, 0.99), 777777u);
+
+    // An empty histogram summarises to zeros.
+    obs::MetricRegistry empty_registry;
+    empty_registry.histogram("lat", {10});
+    auto empty_row = empty_registry.snapshot().histograms[0];
+    obs::HistogramSummary summary = obs::summarizeHistogram(empty_row);
+    EXPECT_EQ(summary.p50, 0u);
+    EXPECT_EQ(summary.max, 0u);
+}
+
+TEST(Histogram, AbsorbMergesMaxOrderIndependently)
+{
+    obs::MetricRegistry a, b;
+    a.histogram("lat", {10, 100}).record(99999);
+    b.histogram("lat", {10, 100}).record(5);
+    a.absorb(b);
+    auto row = a.snapshot().histograms[0];
+    EXPECT_EQ(row.count, 2u);
+    EXPECT_EQ(row.max, 99999u);
+
+    // Absorbing the large sample *into* the small side gives the
+    // same max (merge takes the larger of the two).
+    obs::MetricRegistry c, d;
+    c.histogram("lat", {10, 100}).record(5);
+    d.histogram("lat", {10, 100}).record(99999);
+    c.absorb(d);
+    EXPECT_EQ(c.snapshot().histograms[0].max, 99999u);
+}
+
+TEST(MetricExport, HistogramPercentileRows)
+{
+    obs::MetricRegistry registry;
+    obs::Histogram &h = registry.histogram("lat", {10, 100});
+    for (int i = 0; i < 99; ++i)
+        h.record(5);
+    h.record(123456); // overflow; also the max
+    auto snapshot = registry.snapshot();
+
+    std::ostringstream text;
+    obs::printMetricsText(text, snapshot);
+    EXPECT_NE(text.str().find("lat [overflow]"), std::string::npos);
+    EXPECT_NE(text.str().find("lat [p50]"), std::string::npos);
+    EXPECT_NE(text.str().find("lat [p90]"), std::string::npos);
+    EXPECT_NE(text.str().find("lat [p99]"), std::string::npos);
+    EXPECT_NE(text.str().find("lat [max]"), std::string::npos);
+    EXPECT_NE(text.str().find("123456"), std::string::npos);
+
+    std::ostringstream csv;
+    obs::printMetricsCsv(csv, snapshot);
+    EXPECT_NE(csv.str().find("histogram,lat,overflow,1"),
+              std::string::npos);
+    EXPECT_NE(csv.str().find("histogram,lat,p50,10"),
+              std::string::npos);
+    EXPECT_NE(csv.str().find("histogram,lat,max,123456"),
+              std::string::npos);
+
+    std::ostringstream json;
+    obs::writeMetricsJson(json, snapshot);
+    EXPECT_NE(json.str().find("\"overflow\": 1"), std::string::npos);
+    EXPECT_NE(json.str().find("\"p50\": 10"), std::string::npos);
+    EXPECT_NE(json.str().find("\"p99\":"), std::string::npos);
+    EXPECT_NE(json.str().find("\"max\": 123456"), std::string::npos);
+}
+
 TEST(MetricRegistry, CreateOrGetReturnsSameInstance)
 {
     obs::MetricRegistry registry;

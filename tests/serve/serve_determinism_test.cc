@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Determinism suite for the serve runner: attaching a snapshot
+ * publisher and live reader threads to a convergence run must not
+ * change the run — the convergence report stays byte-identical to the
+ * plain announce scenario at every parallel job count. Readers live
+ * in host time; the simulation lives in virtual time; any leak of one
+ * into the other shows up here as a byte diff.
+ */
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "serve/serve_runner.hh"
+#include "topo/scenarios.hh"
+#include "topo/topology.hh"
+
+using namespace bgpbench;
+
+namespace
+{
+
+const std::vector<size_t> kJobCounts = {1, 2, 4, 8};
+
+/** All three renderings of a report, concatenated. */
+std::string
+allRenderings(const topo::ConvergenceReport &report)
+{
+    std::ostringstream os;
+    os << report.toJson() << '\n';
+    report.printCsv(os, true);
+    report.printText(os);
+    return os.str();
+}
+
+serve::ServeRunConfig
+serveConfig(size_t jobs)
+{
+    serve::ServeRunConfig config;
+    config.scenario.prefixesPerNode = 2;
+    config.scenario.simConfig.jobs = jobs;
+    config.engine.readers = 2;
+    config.engine.pacedBatch = 16;
+    config.engine.pacedIntervalNs = 200000;
+    config.throughputPhase = false;
+    return config;
+}
+
+} // namespace
+
+TEST(ServeDeterminism, ReadersDoNotPerturbConvergence)
+{
+    topo::ScenarioOptions plain;
+    plain.prefixesPerNode = 2;
+    std::string baseline = allRenderings(topo::runAnnounceScenario(
+        topo::Topology::ring(10), "ring", plain));
+    ASSERT_FALSE(baseline.empty());
+
+    for (size_t jobs : kJobCounts) {
+        SCOPED_TRACE("jobs=" + std::to_string(jobs));
+        serve::ServeRunResult result = serve::runServeScenario(
+            topo::Topology::ring(10), "ring", serveConfig(jobs));
+        EXPECT_EQ(allRenderings(result.convergence), baseline);
+        EXPECT_TRUE(result.convergence.converged);
+        // The publisher really ran: one epoch per decision flush.
+        EXPECT_GT(result.snapshotsPublished, 0u);
+        EXPECT_EQ(result.tableSize, 10u * 2u);
+    }
+}
+
+TEST(ServeDeterminism, DetachedReadersMatchAttached)
+{
+    // Publisher-only (no reader threads at all) must also match a
+    // run with readers attached, epoch for epoch.
+    serve::ServeRunConfig with_readers = serveConfig(2);
+    serve::ServeRunResult attached = serve::runServeScenario(
+        topo::Topology::ring(10), "ring", with_readers);
+
+    serve::ServeRunConfig without = serveConfig(2);
+    without.concurrentReaders = false;
+    serve::ServeRunResult detached = serve::runServeScenario(
+        topo::Topology::ring(10), "ring", without);
+
+    EXPECT_EQ(allRenderings(attached.convergence),
+              allRenderings(detached.convergence));
+    EXPECT_EQ(attached.snapshotsPublished, detached.snapshotsPublished);
+    EXPECT_EQ(attached.finalEpoch, detached.finalEpoch);
+    EXPECT_EQ(attached.tableSize, detached.tableSize);
+}
+
+TEST(ServeDeterminism, SnapshotGranularityDoesNotChangeOutcome)
+{
+    // Publishing every N decisions instead of per flush changes how
+    // many epochs exist, not what the final table or report says.
+    serve::ServeRunConfig per_flush = serveConfig(1);
+    per_flush.concurrentReaders = false;
+    serve::ServeRunResult flush_run = serve::runServeScenario(
+        topo::Topology::ring(10), "ring", per_flush);
+
+    serve::ServeRunConfig every_n = serveConfig(1);
+    every_n.concurrentReaders = false;
+    every_n.snapshotEvery = 8;
+    serve::ServeRunResult n_run = serve::runServeScenario(
+        topo::Topology::ring(10), "ring", every_n);
+
+    EXPECT_EQ(allRenderings(flush_run.convergence),
+              allRenderings(n_run.convergence));
+    EXPECT_EQ(flush_run.tableSize, n_run.tableSize);
+    EXPECT_NE(flush_run.snapshotsPublished, n_run.snapshotsPublished);
+}

@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Tests for the synthetic read-side query workload.
+ */
+
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "workload/query_stream.hh"
+
+using namespace bgpbench;
+using namespace bgpbench::workload;
+
+namespace
+{
+
+std::vector<net::Prefix>
+targets(size_t count)
+{
+    std::vector<net::Prefix> out;
+    for (size_t i = 0; i < count; ++i)
+        out.push_back(net::Prefix(
+            net::Ipv4Address(10, uint8_t(i / 256), uint8_t(i % 256), 0),
+            24));
+    return out;
+}
+
+} // namespace
+
+TEST(QueryMix, ParseRoundTrips)
+{
+    QueryMix mix;
+    ASSERT_TRUE(QueryMix::parse("88:10:1.5:0.5", mix));
+    EXPECT_DOUBLE_EQ(mix.lookup, 88.0);
+    EXPECT_DOUBLE_EQ(mix.bestPath, 10.0);
+    EXPECT_DOUBLE_EQ(mix.scan, 1.5);
+    EXPECT_DOUBLE_EQ(mix.peerStats, 0.5);
+
+    QueryMix again;
+    ASSERT_TRUE(QueryMix::parse(mix.toString(), again));
+    EXPECT_DOUBLE_EQ(again.lookup, mix.lookup);
+    EXPECT_DOUBLE_EQ(again.peerStats, mix.peerStats);
+}
+
+TEST(QueryMix, ParseRejectsMalformedInput)
+{
+    QueryMix mix;
+    EXPECT_FALSE(QueryMix::parse("", mix));
+    EXPECT_FALSE(QueryMix::parse("1:2:3", mix));
+    EXPECT_FALSE(QueryMix::parse("1:2:3:4:5", mix));
+    EXPECT_FALSE(QueryMix::parse("a:2:3:4", mix));
+    EXPECT_FALSE(QueryMix::parse("1:-2:3:4", mix));
+    EXPECT_FALSE(QueryMix::parse("0:0:0:0", mix));
+}
+
+TEST(QueryStream, SameSeedSameStream)
+{
+    QueryStreamConfig config;
+    config.seed = 7;
+    QueryStream a(targets(64), config);
+    QueryStream b(targets(64), config);
+    for (int i = 0; i < 2000; ++i) {
+        Query qa = a.next();
+        Query qb = b.next();
+        EXPECT_EQ(qa.kind, qb.kind);
+        EXPECT_EQ(qa.addr, qb.addr);
+        EXPECT_EQ(qa.prefix, qb.prefix);
+    }
+    EXPECT_EQ(a.generated(), 2000u);
+}
+
+TEST(QueryStream, DifferentSeedsDiverge)
+{
+    QueryStreamConfig config;
+    config.seed = 1;
+    QueryStream a(targets(64), config);
+    config.seed = 2;
+    QueryStream b(targets(64), config);
+    int differing = 0;
+    for (int i = 0; i < 200; ++i) {
+        Query qa = a.next();
+        Query qb = b.next();
+        if (qa.kind != qb.kind || qa.prefix != qb.prefix)
+            ++differing;
+    }
+    EXPECT_GT(differing, 0);
+}
+
+TEST(QueryStream, MixProportionsRoughlyHold)
+{
+    QueryStreamConfig config;
+    config.seed = 3;
+    ASSERT_TRUE(QueryMix::parse("50:30:15:5", config.mix));
+    QueryStream stream(targets(32), config);
+
+    uint64_t counts[4] = {0, 0, 0, 0};
+    const uint64_t total = 20000;
+    for (uint64_t i = 0; i < total; ++i)
+        ++counts[size_t(stream.next().kind)];
+
+    // Class shares within 3 points of the configured weights.
+    EXPECT_NEAR(double(counts[0]) / total, 0.50, 0.03);
+    EXPECT_NEAR(double(counts[1]) / total, 0.30, 0.03);
+    EXPECT_NEAR(double(counts[2]) / total, 0.15, 0.03);
+    EXPECT_NEAR(double(counts[3]) / total, 0.05, 0.03);
+}
+
+TEST(QueryStream, ZipfSkewFavoursHeadTargets)
+{
+    QueryStreamConfig config;
+    config.seed = 5;
+    config.zipfExponent = 1.0;
+    // All best-path queries so every draw names its target directly.
+    ASSERT_TRUE(QueryMix::parse("0:1:0:0", config.mix));
+    auto population = targets(100);
+    QueryStream stream(population, config);
+
+    std::map<net::Prefix, uint64_t> hits;
+    for (int i = 0; i < 20000; ++i)
+        ++hits[stream.next().prefix];
+
+    // Rank 0 beats rank 10 beats rank 90: the defining property of a
+    // Zipf popularity curve (with s=1 the head takes ~1/H(100) ~ 19%).
+    uint64_t head = hits[population[0]];
+    uint64_t mid = hits[population[10]];
+    uint64_t tail = hits[population[90]];
+    EXPECT_GT(head, 4 * mid);
+    EXPECT_GT(mid, tail);
+}
+
+TEST(QueryStream, UniformWhenExponentZero)
+{
+    QueryStreamConfig config;
+    config.seed = 11;
+    config.zipfExponent = 0.0;
+    ASSERT_TRUE(QueryMix::parse("0:1:0:0", config.mix));
+    auto population = targets(10);
+    QueryStream stream(population, config);
+
+    std::map<net::Prefix, uint64_t> hits;
+    const uint64_t total = 20000;
+    for (uint64_t i = 0; i < total; ++i)
+        ++hits[stream.next().prefix];
+    for (const auto &[prefix, count] : hits)
+        EXPECT_NEAR(double(count) / total, 0.1, 0.02);
+}
+
+TEST(QueryStream, ScanQueriesWidenTheTarget)
+{
+    QueryStreamConfig config;
+    config.seed = 13;
+    config.scanWidenBits = 8;
+    ASSERT_TRUE(QueryMix::parse("0:0:1:0", config.mix));
+    QueryStream stream(targets(16), config);
+    for (int i = 0; i < 100; ++i) {
+        Query query = stream.next();
+        ASSERT_EQ(query.kind, QueryKind::Scan);
+        EXPECT_EQ(query.prefix.length(), 16);
+    }
+}
+
+TEST(QueryStream, LookupAddressesStayInsideTarget)
+{
+    QueryStreamConfig config;
+    config.seed = 17;
+    ASSERT_TRUE(QueryMix::parse("1:0:0:0", config.mix));
+    auto population = targets(8);
+    QueryStream stream(population, config);
+    for (int i = 0; i < 500; ++i) {
+        Query query = stream.next();
+        ASSERT_EQ(query.kind, QueryKind::Lookup);
+        bool covered = false;
+        for (const net::Prefix &target : population)
+            covered = covered || target.contains(query.addr);
+        EXPECT_TRUE(covered);
+    }
+}

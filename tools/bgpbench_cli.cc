@@ -18,6 +18,12 @@
  *       Wire N full speakers into a topology and measure
  *       network-wide convergence (optionally after a fault).
  *
+ *   bgpbench serve --shape ring --nodes 12 [options]
+ *       The topo announce scenario with the read side attached: one
+ *       node publishes epoch snapshots of its Loc-RIB and reader
+ *       threads serve a synthetic query stream against them, both
+ *       while the network converges and flat out afterwards.
+ *
  *   bgpbench config
  *       Show the effective runtime configuration and where each
  *       value came from (default / environment / command line).
@@ -51,6 +57,8 @@
 #include "obs/export.hh"
 #include "obs/observability.hh"
 #include "obs/views.hh"
+#include "serve/serve_runner.hh"
+#include "stats/json.hh"
 #include "stats/report.hh"
 #include "topo/scenarios.hh"
 
@@ -91,6 +99,11 @@ struct CliOptions
     size_t prefixesPerNode = 1;
     /** Worker threads for topo runs: 1 sequential, 0 = auto. */
     size_t jobs = 1;
+    /** serve command (defaults resolved from RuntimeConfig). */
+    size_t serveReaders = 4;
+    uint64_t serveQueries = 200000;
+    uint64_t snapshotEvery = 0;
+    std::string queryMix;
 };
 
 [[noreturn]] void
@@ -105,6 +118,8 @@ usage(int code)
         "  sweep                    cross-traffic sweep\n"
         "  table3                   full Table III reproduction\n"
         "  topo                     network-wide convergence\n"
+        "  serve                    convergence + read-side RIB "
+        "queries\n"
         "  config                   effective runtime configuration\n"
         "\n"
         "options:\n"
@@ -142,7 +157,16 @@ usage(int code)
         "(default 1)\n"
         "  --jobs N                 worker threads (1 = sequential, "
         "0 = auto); reports are identical for every value\n"
-        "  --json                   JSON report output\n";
+        "  --json                   JSON report output\n"
+        "\n"
+        "serve options (plus the topo topology options):\n"
+        "  --readers N              reader threads (default 4)\n"
+        "  --queries N              throughput-phase queries per "
+        "reader (default 200000)\n"
+        "  --query-mix L:B:S:P      lookup:best-path:scan:peer-stats "
+        "weights (default 88:10:1.5:0.5)\n"
+        "  --snapshot-every N       publish after N decisions "
+        "(default: every flush)\n";
     std::exit(code);
 }
 
@@ -227,6 +251,23 @@ parseArgs(int argc, char **argv, core::RuntimeConfig &runtime)
         } else if (arg == "--jobs") {
             runtime.overrideJobs(
                 size_t(std::strtoull(value().c_str(), nullptr, 10)));
+        } else if (arg == "--readers") {
+            runtime.overrideServeReaders(
+                size_t(std::strtoull(value().c_str(), nullptr, 10)));
+        } else if (arg == "--queries") {
+            options.serveQueries =
+                std::strtoull(value().c_str(), nullptr, 10);
+        } else if (arg == "--query-mix") {
+            std::string mix = value();
+            workload::QueryMix parsed;
+            if (!workload::QueryMix::parse(mix, parsed)) {
+                std::cerr << "malformed query mix: " << mix << "\n";
+                usage(2);
+            }
+            runtime.overrideQueryMix(mix);
+        } else if (arg == "--snapshot-every") {
+            runtime.overrideSnapshotEvery(
+                std::strtoull(value().c_str(), nullptr, 10));
         } else if (arg == "--help" || arg == "-h") {
             usage(0);
         } else {
@@ -234,8 +275,12 @@ parseArgs(int argc, char **argv, core::RuntimeConfig &runtime)
             usage(2);
         }
     }
-    // env < CLI: BGPBENCH_JOBS seeds the default, --jobs overrides.
+    // env < CLI: BGPBENCH_JOBS seeds the default, --jobs overrides
+    // (likewise for the serve knobs).
     options.jobs = runtime.jobs();
+    options.serveReaders = runtime.serveReaders();
+    options.snapshotEvery = runtime.snapshotEvery();
+    options.queryMix = runtime.queryMix();
     return options;
 }
 
@@ -465,6 +510,80 @@ cmdTopo(const CliOptions &options)
     return report.converged ? 0 : 1;
 }
 
+void
+printServeReportText(std::ostream &os, const std::string &label,
+                     const serve::ServeReport &report)
+{
+    os << label << ": " << report.queries << " queries in "
+       << stats::formatDouble(double(report.wallNs) / 1e6, 2)
+       << " ms (" << stats::formatDouble(report.queriesPerSec / 1e6, 2)
+       << " M queries/s), epochs " << report.firstEpoch << ".."
+       << report.lastEpoch << "\n";
+    stats::TextTable table(
+        {"class", "queries", "hits", "p50 ns", "p99 ns", "max ns"});
+    for (const auto &cls : report.classes) {
+        table.addRow({workload::queryKindName(cls.kind),
+                      std::to_string(cls.queries),
+                      std::to_string(cls.hits),
+                      std::to_string(cls.latencyNs.p50),
+                      std::to_string(cls.latencyNs.p99),
+                      std::to_string(cls.latencyNs.max)});
+    }
+    table.print(os);
+}
+
+int
+cmdServe(const CliOptions &options)
+{
+    serve::ServeRunConfig config;
+    config.scenario.prefixesPerNode = options.prefixesPerNode;
+    config.scenario.simConfig.jobs = options.jobs;
+    config.scenario.simConfig.obs = options.obs;
+    config.snapshotEvery = options.snapshotEvery;
+    config.engine.readers = int(options.serveReaders);
+    config.engine.queriesPerReader = options.serveQueries;
+    config.engine.seed = options.seed;
+    if (!workload::QueryMix::parse(options.queryMix,
+                                   config.engine.stream.mix)) {
+        std::cerr << "malformed query mix: " << options.queryMix
+                  << "\n";
+        usage(2);
+    }
+
+    serve::ServeRunResult result =
+        serve::runServeScenario(topoByShape(options), options.shape,
+                                config);
+
+    if (options.json) {
+        stats::JsonWriter json(std::cout);
+        json.beginObject();
+        json.field("readers", uint64_t(options.serveReaders));
+        json.field("query_mix", config.engine.stream.mix.toString());
+        json.field("snapshot_every", options.snapshotEvery);
+        json.field("snapshots_published", result.snapshotsPublished);
+        json.field("final_epoch", result.finalEpoch);
+        json.field("table_size", result.tableSize);
+        json.field("converged", result.convergence.converged);
+        json.key("concurrent");
+        serve::writeServeReportJson(json, result.concurrent);
+        json.key("throughput");
+        serve::writeServeReportJson(json, result.throughput);
+        json.endObject();
+        std::cout << "\n";
+    } else {
+        result.convergence.printText(std::cout);
+        std::cout << "\nsnapshots: " << result.snapshotsPublished
+                  << " published, final epoch " << result.finalEpoch
+                  << ", " << result.tableSize << " routes\n\n";
+        printServeReportText(std::cout, "concurrent",
+                             result.concurrent);
+        std::cout << "\n";
+        printServeReportText(std::cout, "throughput",
+                             result.throughput);
+    }
+    return result.convergence.converged ? 0 : 1;
+}
+
 /**
  * Metric/trace output after the command ran. Exports go to stderr so
  * the report bytes on stdout stay exactly what they were without
@@ -541,6 +660,8 @@ main(int argc, char **argv)
             rc = cmdTable3(options);
         else if (options.command == "topo")
             rc = cmdTopo(options);
+        else if (options.command == "serve")
+            rc = cmdServe(options);
         else {
             std::cerr << "unknown command: " << options.command
                       << "\n";
