@@ -9,9 +9,13 @@
  * virtual costs instead.
  */
 
+#include <algorithm>
 #include <chrono>
 #include <cstring>
 #include <iostream>
+#include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include <benchmark/benchmark.h>
 
@@ -22,6 +26,7 @@
 #include "bgp/update_builder.hh"
 #include "fib/forwarding_engine.hh"
 #include "net/checksum.hh"
+#include "net/prefix_tree.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
 #include "sim/event_queue.hh"
@@ -216,6 +221,171 @@ BM_LpmLookup(benchmark::State &state)
     state.SetItemsProcessed(int64_t(state.iterations()));
 }
 BENCHMARK(BM_LpmLookup)->Arg(1000)->Arg(10000)->Arg(100000);
+
+/*
+ * RIB storage head-to-head: net::PrefixTree vs the unordered_map it
+ * replaced (still reachable via BGPBENCH_NO_PREFIX_TREE=1). Same
+ * route sets, same operation mix, one BM pair per operation; the
+ * Scan pair is the structural one — the tree walks in prefix order
+ * natively, the hash map must collect and sort to produce the
+ * deterministic report order the RIBs guarantee.
+ */
+
+void
+BM_PrefixTreeInsert(benchmark::State &state)
+{
+    auto rs = routes(size_t(state.range(0)));
+    for (auto _ : state) {
+        net::PrefixTree<uint32_t> tree;
+        tree.reserve(rs.size());
+        for (uint32_t i = 0; i < rs.size(); ++i)
+            tree.insert(rs[i].prefix, i);
+        benchmark::DoNotOptimize(tree.size());
+    }
+    state.SetItemsProcessed(int64_t(state.iterations()) *
+                            state.range(0));
+}
+BENCHMARK(BM_PrefixTreeInsert)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void
+BM_HashMapInsert(benchmark::State &state)
+{
+    auto rs = routes(size_t(state.range(0)));
+    for (auto _ : state) {
+        std::unordered_map<net::Prefix, uint32_t> map;
+        map.reserve(rs.size());
+        for (uint32_t i = 0; i < rs.size(); ++i)
+            map.insert_or_assign(rs[i].prefix, i);
+        benchmark::DoNotOptimize(map.size());
+    }
+    state.SetItemsProcessed(int64_t(state.iterations()) *
+                            state.range(0));
+}
+BENCHMARK(BM_HashMapInsert)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void
+BM_PrefixTreeLookup(benchmark::State &state)
+{
+    auto rs = routes(size_t(state.range(0)));
+    net::PrefixTree<uint32_t> tree;
+    tree.reserve(rs.size());
+    for (uint32_t i = 0; i < rs.size(); ++i)
+        tree.insert(rs[i].prefix, i);
+    size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            tree.find(rs[i++ % rs.size()].prefix));
+    }
+    state.SetItemsProcessed(int64_t(state.iterations()));
+}
+BENCHMARK(BM_PrefixTreeLookup)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void
+BM_HashMapLookup(benchmark::State &state)
+{
+    auto rs = routes(size_t(state.range(0)));
+    std::unordered_map<net::Prefix, uint32_t> map;
+    map.reserve(rs.size());
+    for (uint32_t i = 0; i < rs.size(); ++i)
+        map.insert_or_assign(rs[i].prefix, i);
+    size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            map.find(rs[i++ % rs.size()].prefix));
+    }
+    state.SetItemsProcessed(int64_t(state.iterations()));
+}
+BENCHMARK(BM_HashMapLookup)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void
+BM_PrefixTreeErase(benchmark::State &state)
+{
+    auto rs = routes(size_t(state.range(0)));
+    for (auto _ : state) {
+        state.PauseTiming();
+        net::PrefixTree<uint32_t> tree;
+        tree.reserve(rs.size());
+        for (uint32_t i = 0; i < rs.size(); ++i)
+            tree.insert(rs[i].prefix, i);
+        state.ResumeTiming();
+        for (const auto &r : rs)
+            tree.erase(r.prefix);
+        benchmark::DoNotOptimize(tree.size());
+    }
+    state.SetItemsProcessed(int64_t(state.iterations()) *
+                            state.range(0));
+}
+BENCHMARK(BM_PrefixTreeErase)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void
+BM_HashMapErase(benchmark::State &state)
+{
+    auto rs = routes(size_t(state.range(0)));
+    for (auto _ : state) {
+        state.PauseTiming();
+        std::unordered_map<net::Prefix, uint32_t> map;
+        map.reserve(rs.size());
+        for (uint32_t i = 0; i < rs.size(); ++i)
+            map.insert_or_assign(rs[i].prefix, i);
+        state.ResumeTiming();
+        for (const auto &r : rs)
+            map.erase(r.prefix);
+        benchmark::DoNotOptimize(map.size());
+    }
+    state.SetItemsProcessed(int64_t(state.iterations()) *
+                            state.range(0));
+}
+BENCHMARK(BM_HashMapErase)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void
+BM_PrefixTreeScan(benchmark::State &state)
+{
+    auto rs = routes(size_t(state.range(0)));
+    net::PrefixTree<uint32_t> tree;
+    tree.reserve(rs.size());
+    for (uint32_t i = 0; i < rs.size(); ++i)
+        tree.insert(rs[i].prefix, i);
+    for (auto _ : state) {
+        uint64_t sum = 0;
+        tree.forEach([&](const net::Prefix &, uint32_t value) {
+            sum += value;
+        });
+        benchmark::DoNotOptimize(sum);
+    }
+    state.SetItemsProcessed(int64_t(state.iterations()) *
+                            state.range(0));
+}
+BENCHMARK(BM_PrefixTreeScan)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void
+BM_HashMapScan(benchmark::State &state)
+{
+    auto rs = routes(size_t(state.range(0)));
+    std::unordered_map<net::Prefix, uint32_t> map;
+    map.reserve(rs.size());
+    for (uint32_t i = 0; i < rs.size(); ++i)
+        map.insert_or_assign(rs[i].prefix, i);
+    for (auto _ : state) {
+        // Deterministic in-order scan from a hash map needs the
+        // collect-and-sort detour (what RibStore does in hash mode).
+        std::vector<const std::pair<const net::Prefix, uint32_t> *>
+            rows;
+        rows.reserve(map.size());
+        for (const auto &entry : map)
+            rows.push_back(&entry);
+        std::sort(rows.begin(), rows.end(),
+                  [](const auto *a, const auto *b) {
+                      return a->first < b->first;
+                  });
+        uint64_t sum = 0;
+        for (const auto *row : rows)
+            sum += row->second;
+        benchmark::DoNotOptimize(sum);
+    }
+    state.SetItemsProcessed(int64_t(state.iterations()) *
+                            state.range(0));
+}
+BENCHMARK(BM_HashMapScan)->Arg(1000)->Arg(10000)->Arg(100000);
 
 void
 BM_FibInstallRemove(benchmark::State &state)

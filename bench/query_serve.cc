@@ -43,6 +43,7 @@
 #include "stats/report.hh"
 
 #include "bench_util.hh"
+#include "obs/process_memory.hh"
 
 using namespace bgpbench;
 
@@ -213,6 +214,7 @@ main(int argc, char **argv)
     writer.field("publish_overhead_ratio", publish_overhead);
     writer.field("isolation_ratio", isolation);
     writer.field("report_identical", identical);
+    writer.field("peak_rss_kb", obs::readProcessMemory().vmHwmKb);
     writer.key("concurrent");
     serve::writeServeReportJson(writer, concurrent);
     writer.key("throughput");

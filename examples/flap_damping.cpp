@@ -135,13 +135,15 @@ main()
               << off.tableSize - on.tableSize
               << " prefixes suppressed at storm end here).\n";
 
-    // Table snapshot: serialise, re-parse, verify.
+    // Table snapshot: serialise, stream back into a RIB, verify.
+    // loadTable pre-sizes from the dump's route-count header and
+    // installs entries as they decode — no staged entry vector.
     bgp::DecodeError error;
-    auto parsed = bgp::parseTableDump(off.snapshot, error);
+    bgp::LocRib reloaded;
+    size_t loaded = bgp::loadTable(off.snapshot, reloaded, error);
     std::cout << "\nSnapshot of the undamped table: "
-              << off.snapshot.size() << " bytes, "
-              << (parsed ? parsed->size() : 0)
-              << " routes parsed back ("
-              << (parsed ? "ok" : error.detail) << ").\n";
+              << off.snapshot.size() << " bytes, " << loaded
+              << " routes streamed back ("
+              << (error ? error.detail : "ok") << ").\n";
     return 0;
 }

@@ -1,0 +1,60 @@
+#include "bgp/prefix_table.hh"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace bgpbench::bgp
+{
+
+namespace
+{
+
+bool
+prefixTreeDisabledByEnv()
+{
+    const char *value = std::getenv("BGPBENCH_NO_PREFIX_TREE");
+    return value && std::strcmp(value, "1") == 0;
+}
+
+std::atomic<bool> prefixTreeDefault{!prefixTreeDisabledByEnv()};
+
+} // namespace
+
+bool
+prefixTreeDefaultEnabled()
+{
+    return prefixTreeDefault.load(std::memory_order_relaxed);
+}
+
+void
+setPrefixTreeDefault(bool enabled)
+{
+    prefixTreeDefault.store(enabled, std::memory_order_relaxed);
+}
+
+SharedPrefixTable::Slot
+SharedPrefixTable::acquire(const net::Prefix &prefix)
+{
+    bool inserted = false;
+    Slot *entry = tree_.findOrInsert(prefix, &inserted);
+    if (!inserted) {
+        ++slotRefs_[*entry];
+        return *entry;
+    }
+    Slot slot;
+    if (!freeSlots_.empty()) {
+        slot = freeSlots_.back();
+        freeSlots_.pop_back();
+    } else {
+        slot = Slot(slotPrefix_.size());
+        slotPrefix_.emplace_back();
+        slotRefs_.push_back(0);
+    }
+    slotPrefix_[slot] = prefix;
+    slotRefs_[slot] = 1;
+    *entry = slot;
+    return slot;
+}
+
+} // namespace bgpbench::bgp

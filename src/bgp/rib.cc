@@ -7,77 +7,95 @@ bool
 AdjRibIn::update(const net::Prefix &prefix, PathAttributesPtr received,
                  PathAttributesPtr effective)
 {
-    auto [it, inserted] = routes_.try_emplace(prefix);
+    auto [entry, inserted] = store_.obtain(prefix);
     if (!inserted &&
-        sameAttributeValue(it->second.received, received) &&
-        sameAttributeValue(it->second.effective, effective)) {
+        sameAttributeValue(entry->received, received) &&
+        sameAttributeValue(entry->effective, effective)) {
         return false;
     }
-    it->second.received = std::move(received);
-    it->second.effective = std::move(effective);
+    entry->received = std::move(received);
+    entry->effective = std::move(effective);
     return true;
 }
 
 bool
 AdjRibIn::withdraw(const net::Prefix &prefix)
 {
-    return routes_.erase(prefix) > 0;
+    return store_.erase(prefix);
 }
 
 const AdjRibIn::Entry *
 AdjRibIn::find(const net::Prefix &prefix) const
 {
-    auto it = routes_.find(prefix);
-    return it == routes_.end() ? nullptr : &it->second;
+    return store_.find(prefix);
 }
 
 bool
 LocRib::select(const net::Prefix &prefix, Candidate best)
 {
-    auto [it, inserted] = routes_.try_emplace(prefix);
+    auto [entry, inserted] = store_.obtain(prefix);
     bool changed =
         inserted ||
-        !sameAttributeValue(it->second.best.attributes,
+        !sameAttributeValue(entry->best.attributes,
                             best.attributes) ||
-        it->second.best.peer != best.peer;
-    it->second.best = std::move(best);
+        entry->best.peer != best.peer;
+    entry->best = std::move(best);
     return changed;
 }
 
 bool
 LocRib::remove(const net::Prefix &prefix)
 {
-    return routes_.erase(prefix) > 0;
+    return store_.erase(prefix);
 }
 
 const LocRib::Entry *
 LocRib::find(const net::Prefix &prefix) const
 {
-    auto it = routes_.find(prefix);
-    return it == routes_.end() ? nullptr : &it->second;
+    return store_.find(prefix);
 }
 
 bool
 AdjRibOut::advertise(const net::Prefix &prefix, PathAttributesPtr attrs)
 {
-    auto [it, inserted] = routes_.try_emplace(prefix);
-    if (!inserted && sameAttributeValue(it->second, attrs))
+    auto [entry, inserted] = store_.obtain(prefix);
+    if (!inserted && sameAttributeValue(*entry, attrs))
         return false;
-    it->second = std::move(attrs);
+    *entry = std::move(attrs);
+    return true;
+}
+
+bool
+AdjRibOut::advertiseAt(Slot slot, const net::Prefix &prefix,
+                       PathAttributesPtr attrs)
+{
+    if (!store_.treeMode() || slot == SharedPrefixTable::npos)
+        return advertise(prefix, std::move(attrs));
+    auto [entry, inserted] = store_.obtainAt(slot);
+    if (!inserted && sameAttributeValue(*entry, attrs))
+        return false;
+    *entry = std::move(attrs);
     return true;
 }
 
 bool
 AdjRibOut::withdraw(const net::Prefix &prefix)
 {
-    return routes_.erase(prefix) > 0;
+    return store_.erase(prefix);
+}
+
+bool
+AdjRibOut::withdrawAt(Slot slot, const net::Prefix &prefix)
+{
+    if (!store_.treeMode())
+        return withdraw(prefix);
+    return store_.eraseAt(slot);
 }
 
 const PathAttributesPtr *
 AdjRibOut::find(const net::Prefix &prefix) const
 {
-    auto it = routes_.find(prefix);
-    return it == routes_.end() ? nullptr : &it->second;
+    return store_.find(prefix);
 }
 
 } // namespace bgpbench::bgp

@@ -2,21 +2,316 @@
  * @file
  * The three Routing Information Bases of RFC 4271 section 3.2:
  * Adj-RIB-In (per peer), Loc-RIB, and Adj-RIB-Out (per peer).
+ *
+ * Storage has two backends behind one API:
+ *
+ *  - Shared-tree mode (the default): the speaker owns one
+ *    bgp::SharedPrefixTable holding every live prefix exactly once;
+ *    each RIB stores only a slot-indexed value column (dense vector +
+ *    presence bitset). N peers cost N columns over one key set instead
+ *    of 2N+1 hash maps, and the decision sweep reads each peer's entry
+ *    by direct slot indexing. Standalone RIBs (tests, tools) own a
+ *    private table.
+ *
+ *  - Hash-map mode (BGPBENCH_NO_PREFIX_TREE=1, and the ablation
+ *    baseline of bench/fullfeed): the seed's per-RIB
+ *    std::unordered_map.
+ *
+ * In *both* modes forEach visits entries in ascending
+ * (address, length) prefix order — tree mode walks the radix tree
+ * (naturally sorted), hash mode collects and sorts (the slow ablation
+ * path). Consumers (snapshots, table dumps) rely on this and no
+ * longer sort, and report bytes cannot depend on the backend.
  */
 
 #ifndef BGPBENCH_BGP_RIB_HH
 #define BGPBENCH_BGP_RIB_HH
 
+#include <algorithm>
 #include <cstddef>
+#include <memory>
 #include <optional>
 #include <unordered_map>
+#include <vector>
 
 #include "bgp/path_attributes.hh"
+#include "bgp/prefix_table.hh"
 #include "bgp/route.hh"
 #include "net/prefix.hh"
 
 namespace bgpbench::bgp
 {
+
+namespace detail
+{
+
+/**
+ * The storage engine shared by the three RIB classes: a value column
+ * over a SharedPrefixTable, or a plain hash map when @p table is null.
+ *
+ * Column entries hold one table reference per present slot
+ * (acquire/addRef on set, release on erase/clear), so a prefix leaves
+ * the shared tree exactly when the last RIB drops it. The destructor
+ * deliberately does NOT release slots: RIBs and their table are torn
+ * down together (speaker destruction), and member destruction order
+ * must not matter.
+ */
+template <typename Entry>
+class RibStore
+{
+  public:
+    using Slot = SharedPrefixTable::Slot;
+    static constexpr Slot npos = SharedPrefixTable::npos;
+
+    /** Standalone store: private table when the tree is enabled. */
+    RibStore()
+    {
+        if (prefixTreeDefaultEnabled()) {
+            owned_ = std::make_unique<SharedPrefixTable>();
+            table_ = owned_.get();
+        }
+    }
+
+    /** Column over @p table; hash mode when @p table is null. */
+    explicit RibStore(SharedPrefixTable *table) : table_(table) {}
+
+    RibStore(RibStore &&) = default;
+    RibStore &operator=(RibStore &&) = default;
+
+    bool treeMode() const { return table_ != nullptr; }
+
+    SharedPrefixTable *table() const { return table_; }
+
+    size_t
+    size() const
+    {
+        return treeMode() ? count_ : routes_.size();
+    }
+
+    bool empty() const { return size() == 0; }
+
+    /** The slot of @p prefix in the shared table (npos in hash mode). */
+    Slot
+    slotOf(const net::Prefix &prefix) const
+    {
+        return treeMode() ? table_->find(prefix) : npos;
+    }
+
+    const Entry *
+    find(const net::Prefix &prefix) const
+    {
+        if (treeMode())
+            return findAt(table_->find(prefix));
+        auto it = routes_.find(prefix);
+        return it == routes_.end() ? nullptr : &it->second;
+    }
+
+    /** O(1) column read by pre-resolved slot; npos-safe. */
+    const Entry *
+    findAt(Slot slot) const
+    {
+        if (slot == npos || slot >= present_.size() || !present_[slot])
+            return nullptr;
+        return &column_[slot];
+    }
+
+    /**
+     * Mutable find-or-create.
+     * @return {entry, inserted}; the pointer is valid until the next
+     *         mutation of this store or (tree mode) the shared table.
+     */
+    std::pair<Entry *, bool>
+    obtain(const net::Prefix &prefix)
+    {
+        if (!treeMode()) {
+            auto [it, inserted] = routes_.try_emplace(prefix);
+            return {&it->second, inserted};
+        }
+        Slot slot = table_->find(prefix);
+        if (slot != npos && slot < present_.size() && present_[slot])
+            return {&column_[slot], false};
+        slot = table_->acquire(prefix);
+        return {occupy(slot), true};
+    }
+
+    /**
+     * Tree-mode find-or-create by pre-resolved live slot (takes a
+     * reference on miss without re-walking the tree).
+     */
+    std::pair<Entry *, bool>
+    obtainAt(Slot slot)
+    {
+        if (slot < present_.size() && present_[slot])
+            return {&column_[slot], false};
+        table_->addRef(slot);
+        return {occupy(slot), true};
+    }
+
+    bool
+    erase(const net::Prefix &prefix)
+    {
+        if (treeMode())
+            return eraseAt(table_->find(prefix));
+        return routes_.erase(prefix) > 0;
+    }
+
+    /** Tree-mode erase by pre-resolved slot; npos-safe. */
+    bool
+    eraseAt(Slot slot)
+    {
+        if (slot == npos || slot >= present_.size() || !present_[slot])
+            return false;
+        column_[slot] = Entry{};
+        present_[slot] = false;
+        --count_;
+        table_->release(slot);
+        return true;
+    }
+
+    void
+    clear()
+    {
+        if (!treeMode()) {
+            routes_.clear();
+            return;
+        }
+        for (Slot slot = 0; slot < present_.size(); ++slot) {
+            if (!present_[slot])
+                continue;
+            column_[slot] = Entry{};
+            present_[slot] = false;
+            table_->release(slot);
+        }
+        count_ = 0;
+    }
+
+    /** Pre-size for @p n entries (tree arena, column, or hash map). */
+    void
+    reserve(size_t n)
+    {
+        if (treeMode()) {
+            table_->reserve(n);
+            column_.reserve(n);
+            present_.reserve(n);
+        } else {
+            routes_.reserve(n);
+        }
+    }
+
+    /**
+     * Visit every entry as fn(prefix, entry) in ascending
+     * (address, length) order in both modes. Templated so full-table
+     * walks inline the visitor.
+     */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        if (treeMode()) {
+            table_->forEach(
+                [&](const net::Prefix &prefix, Slot slot) {
+                    if (slot < present_.size() && present_[slot])
+                        fn(prefix, column_[slot]);
+                });
+            return;
+        }
+        forEachSorted(fn);
+    }
+
+    /**
+     * Like forEach but also passes the shared-table slot (npos in
+     * hash mode): fn(prefix, slot, entry). The speaker's full-table
+     * walks use the slot for O(1) Adj-RIB-Out column writes.
+     */
+    template <typename Fn>
+    void
+    forEachWithSlot(Fn &&fn) const
+    {
+        if (treeMode()) {
+            table_->forEach(
+                [&](const net::Prefix &prefix, Slot slot) {
+                    if (slot < present_.size() && present_[slot])
+                        fn(prefix, slot, column_[slot]);
+                });
+            return;
+        }
+        forEachSorted([&](const net::Prefix &prefix,
+                          const Entry &entry) {
+            fn(prefix, npos, entry);
+        });
+    }
+
+    /**
+     * Bytes of heap this store holds (excluding the shared table —
+     * count that once per speaker). Hash mode is an estimate: glibc
+     * rounds each unordered_map node (value + next pointer + cached
+     * hash) up to a 16-byte-aligned malloc chunk with a header, and
+     * the bucket array holds one pointer per bucket.
+     */
+    size_t
+    memoryBytes() const
+    {
+        if (treeMode())
+            return column_.capacity() * sizeof(Entry) +
+                   present_.capacity() / 8;
+        constexpr size_t nodeBytes =
+            (sizeof(std::pair<const net::Prefix, Entry>) +
+             2 * sizeof(void *) + 15) /
+                16 * 16 +
+            sizeof(void *);
+        return routes_.bucket_count() * sizeof(void *) +
+               routes_.size() * nodeBytes;
+    }
+
+  private:
+    /** Mark @p slot present and return its (reset) entry. */
+    Entry *
+    occupy(Slot slot)
+    {
+        if (slot >= column_.size()) {
+            // Grow to the table's own reservation so a pre-sized load
+            // gets exactly-sized columns (no 2x growth slack).
+            size_t grow = std::max(table_->slotCapacity(),
+                                   size_t(slot) + 1);
+            column_.resize(grow);
+            present_.resize(grow, false);
+        }
+        present_[slot] = true;
+        ++count_;
+        column_[slot] = Entry{};
+        return &column_[slot];
+    }
+
+    /** Hash-mode ordered walk: sort pointers, then visit. */
+    template <typename Fn>
+    void
+    forEachSorted(Fn &&fn) const
+    {
+        using Row = std::pair<const net::Prefix, Entry>;
+        std::vector<const Row *> rows;
+        rows.reserve(routes_.size());
+        for (const auto &row : routes_)
+            rows.push_back(&row);
+        std::sort(rows.begin(), rows.end(),
+                  [](const Row *a, const Row *b) {
+                      return a->first < b->first;
+                  });
+        for (const Row *row : rows)
+            fn(row->first, row->second);
+    }
+
+    /** Non-null only for standalone default-constructed stores. */
+    std::unique_ptr<SharedPrefixTable> owned_;
+    SharedPrefixTable *table_ = nullptr;
+    /** Tree mode: slot-indexed values + presence bitset. */
+    std::vector<Entry> column_;
+    std::vector<bool> present_;
+    size_t count_ = 0;
+    /** Hash mode. */
+    std::unordered_map<net::Prefix, Entry> routes_;
+};
+
+} // namespace detail
 
 /**
  * Adj-RIB-In: the unprocessed routes one peer has advertised to us.
@@ -28,6 +323,8 @@ namespace bgpbench::bgp
 class AdjRibIn
 {
   public:
+    using Slot = SharedPrefixTable::Slot;
+
     struct Entry
     {
         /** Attributes as received on the wire. */
@@ -35,6 +332,10 @@ class AdjRibIn
         /** After import policy; null if the route was rejected. */
         PathAttributesPtr effective;
     };
+
+    AdjRibIn() = default;
+    /** Column over the speaker's shared table (null: hash mode). */
+    explicit AdjRibIn(SharedPrefixTable *table) : store_(table) {}
 
     /**
      * Insert or replace the route for @p prefix.
@@ -52,26 +353,36 @@ class AdjRibIn
     /** The entry for @p prefix, or nullptr. */
     const Entry *find(const net::Prefix &prefix) const;
 
-    size_t size() const { return routes_.size(); }
-    bool empty() const { return routes_.empty(); }
-    void clear() { routes_.clear(); }
+    /**
+     * The entry by pre-resolved shared-table slot (tree mode's O(1)
+     * decision-sweep read; npos-safe). @p prefix is the hash-mode
+     * fallback key.
+     */
+    const Entry *
+    findAt(Slot slot, const net::Prefix &prefix) const
+    {
+        return store_.treeMode() ? store_.findAt(slot) : find(prefix);
+    }
+
+    size_t size() const { return store_.size(); }
+    bool empty() const { return store_.empty(); }
+    void clear() { store_.clear(); }
+    void reserve(size_t n) { store_.reserve(n); }
+    size_t memoryBytes() const { return store_.memoryBytes(); }
 
     /**
-     * Visit every entry (order unspecified). Templated so full-table
-     * walks (advertiseFullTable, session invalidation) inline the
-     * visitor instead of paying a std::function indirect call per
-     * entry.
+     * Visit every entry in ascending (address, length) prefix order
+     * (both backends; see file comment). Inlined visitor.
      */
     template <typename Fn>
     void
     forEach(Fn &&fn) const
     {
-        for (const auto &[prefix, entry] : routes_)
-            fn(prefix, entry);
+        store_.forEach(std::forward<Fn>(fn));
     }
 
   private:
-    std::unordered_map<net::Prefix, Entry> routes_;
+    detail::RibStore<Entry> store_;
 };
 
 /**
@@ -81,10 +392,16 @@ class AdjRibIn
 class LocRib
 {
   public:
+    using Slot = SharedPrefixTable::Slot;
+
     struct Entry
     {
         Candidate best;
     };
+
+    LocRib() = default;
+    /** Column over the speaker's shared table (null: hash mode). */
+    explicit LocRib(SharedPrefixTable *table) : store_(table) {}
 
     /**
      * Install/replace the best route for @p prefix.
@@ -100,21 +417,31 @@ class LocRib
 
     const Entry *find(const net::Prefix &prefix) const;
 
-    size_t size() const { return routes_.size(); }
-    bool empty() const { return routes_.empty(); }
-    void clear() { routes_.clear(); }
+    size_t size() const { return store_.size(); }
+    bool empty() const { return store_.empty(); }
+    void clear() { store_.clear(); }
+    void reserve(size_t n) { store_.reserve(n); }
+    size_t memoryBytes() const { return store_.memoryBytes(); }
 
-    /** Visit every entry (order unspecified; inlined visitor). */
+    /** Ordered walk; see AdjRibIn::forEach. */
     template <typename Fn>
     void
     forEach(Fn &&fn) const
     {
-        for (const auto &[prefix, entry] : routes_)
-            fn(prefix, entry);
+        store_.forEach(std::forward<Fn>(fn));
+    }
+
+    /** Ordered walk carrying the shared-table slot (npos in hash
+     *  mode): fn(prefix, slot, entry). */
+    template <typename Fn>
+    void
+    forEachWithSlot(Fn &&fn) const
+    {
+        store_.forEachWithSlot(std::forward<Fn>(fn));
     }
 
   private:
-    std::unordered_map<net::Prefix, Entry> routes_;
+    detail::RibStore<Entry> store_;
 };
 
 /**
@@ -125,6 +452,12 @@ class LocRib
 class AdjRibOut
 {
   public:
+    using Slot = SharedPrefixTable::Slot;
+
+    AdjRibOut() = default;
+    /** Column over the speaker's shared table (null: hash mode). */
+    explicit AdjRibOut(SharedPrefixTable *table) : store_(table) {}
+
     /**
      * Record an advertisement.
      * @return True if this differs from what was previously advertised
@@ -133,29 +466,40 @@ class AdjRibOut
     bool advertise(const net::Prefix &prefix, PathAttributesPtr attrs);
 
     /**
+     * advertise() with a pre-resolved live shared-table slot (tree
+     * mode's O(1) fan-out write). @p prefix is the hash-mode fallback.
+     */
+    bool advertiseAt(Slot slot, const net::Prefix &prefix,
+                     PathAttributesPtr attrs);
+
+    /**
      * Record a withdrawal.
      * @return True if the prefix had been advertised (i.e., a
      *         withdrawal must actually be sent).
      */
     bool withdraw(const net::Prefix &prefix);
 
+    /** withdraw() by pre-resolved slot (npos-safe); see advertiseAt. */
+    bool withdrawAt(Slot slot, const net::Prefix &prefix);
+
     const PathAttributesPtr *find(const net::Prefix &prefix) const;
 
-    size_t size() const { return routes_.size(); }
-    bool empty() const { return routes_.empty(); }
-    void clear() { routes_.clear(); }
+    size_t size() const { return store_.size(); }
+    bool empty() const { return store_.empty(); }
+    void clear() { store_.clear(); }
+    void reserve(size_t n) { store_.reserve(n); }
+    size_t memoryBytes() const { return store_.memoryBytes(); }
 
-    /** Visit every entry (order unspecified; inlined visitor). */
+    /** Ordered walk; see AdjRibIn::forEach. */
     template <typename Fn>
     void
     forEach(Fn &&fn) const
     {
-        for (const auto &[prefix, attrs] : routes_)
-            fn(prefix, attrs);
+        store_.forEach(std::forward<Fn>(fn));
     }
 
   private:
-    std::unordered_map<net::Prefix, PathAttributesPtr> routes_;
+    detail::RibStore<PathAttributesPtr> store_;
 };
 
 } // namespace bgpbench::bgp

@@ -45,7 +45,11 @@ BgpSpeaker::bindObservability(obs::MetricRegistry *registry,
 
 BgpSpeaker::BgpSpeaker(SpeakerConfig config, SpeakerEvents *events)
     : config_(std::move(config)), events_(events),
-      damper_(config_.damping)
+      prefixTable_(prefixTreeDefaultEnabled()
+                       ? std::make_unique<SharedPrefixTable>()
+                       : nullptr),
+      localRoutes_(prefixTable_.get()), damper_(config_.damping),
+      locRib_(prefixTable_.get())
 {
     panicIf(events_ == nullptr, "BgpSpeaker requires an event sink");
     if (config_.localAs == 0)
@@ -71,7 +75,8 @@ BgpSpeaker::addPeer(PeerConfig config)
     session.expectedPeerAs = config.asn;
 
     auto peer = std::make_unique<Peer>(std::move(config), session,
-                                       config_.packing);
+                                       config_.packing,
+                                       prefixTable_.get());
     peer->externalSession = peer->config.asn != config_.localAs;
     peers_.emplace(peer->config.id, std::move(peer));
 }
@@ -490,13 +495,22 @@ BgpSpeaker::runDecision(const net::Prefix &prefix, UpdateStats &stats,
     ++counters_.decisionRuns;
     bump(obs_.decisionRuns);
 
+    // Resolve the prefix to its shared-table slot once; every RIB of
+    // this speaker is a column over the same table, so the per-peer
+    // reads and the Adj-RIB-Out fan-out below are O(1) column
+    // accesses instead of per-peer key walks. npos in hash mode (or
+    // when no RIB holds the prefix), where the per-RIB find() runs.
+    const SharedPrefixTable::Slot slot =
+        prefixTable_ ? prefixTable_->find(prefix)
+                     : SharedPrefixTable::npos;
+
     // Collect candidates: every established peer's import-accepted
     // route plus any locally originated route.
     std::vector<Candidate> candidates;
     candidates.reserve(establishedPeers_.size() + 1);
 
     for (Peer *peer : establishedPeers_) {
-        const auto *entry = peer->ribIn.find(prefix);
+        const auto *entry = peer->ribIn.findAt(slot, prefix);
         if (!entry || !entry->effective)
             continue;
         if (damper_.isSuppressed(peer->config.id, prefix, now))
@@ -506,7 +520,7 @@ BgpSpeaker::runDecision(const net::Prefix &prefix, UpdateStats &stats,
                                        peer->fsm.peerRouterId(),
                                        peer->externalSession});
     }
-    if (const auto *local = localRoutes_.find(prefix);
+    if (const auto *local = localRoutes_.findAt(slot, prefix);
         local && local->effective) {
         candidates.push_back(Candidate{local->effective, localPeerId,
                                        config_.routerId, false,
@@ -530,7 +544,7 @@ BgpSpeaker::runDecision(const net::Prefix &prefix, UpdateStats &stats,
             ribDirty_ = true;
             events_->onFibUpdate(FibUpdate{prefix, std::nullopt});
             for (Peer *peer : establishedPeers_)
-                updateAdjOut(*peer, prefix, nullptr, stats);
+                updateAdjOut(*peer, prefix, slot, nullptr, stats);
         }
         ++decisionsSincePublish_;
         maybePublishRib(now, false);
@@ -560,7 +574,7 @@ BgpSpeaker::runDecision(const net::Prefix &prefix, UpdateStats &stats,
                 FibUpdate{prefix, best.attributes->nextHop});
         }
         for (Peer *peer : establishedPeers_)
-            updateAdjOut(*peer, prefix, &best, stats);
+            updateAdjOut(*peer, prefix, slot, &best, stats);
     }
     ++decisionsSincePublish_;
     maybePublishRib(now, false);
@@ -568,13 +582,14 @@ BgpSpeaker::runDecision(const net::Prefix &prefix, UpdateStats &stats,
 
 void
 BgpSpeaker::updateAdjOut(Peer &peer, const net::Prefix &prefix,
+                         SharedPrefixTable::Slot slot,
                          const Candidate *best, UpdateStats &stats)
 {
     if (!peer.fsm.established())
         return;
 
     auto send_withdraw_if_advertised = [&]() {
-        if (peer.ribOut.withdraw(prefix)) {
+        if (peer.ribOut.withdrawAt(slot, prefix)) {
             peer.pending.withdraw(prefix);
             ++stats.advertisedPrefixes;
         }
@@ -629,7 +644,7 @@ BgpSpeaker::updateAdjOut(Peer &peer, const net::Prefix &prefix,
             send_withdraw_if_advertised();
             return;
         }
-        if (peer.ribOut.advertise(prefix, memo->second)) {
+        if (peer.ribOut.advertiseAt(slot, prefix, memo->second)) {
             peer.pending.announce(prefix, memo->second);
             ++stats.advertisedPrefixes;
         }
@@ -663,9 +678,34 @@ BgpSpeaker::updateAdjOut(Peer &peer, const net::Prefix &prefix,
         exported = makeAttributes(std::move(out));
     }
 
-    if (peer.ribOut.advertise(prefix, exported)) {
+    if (peer.ribOut.advertiseAt(slot, prefix, exported)) {
         peer.pending.announce(prefix, exported);
         ++stats.advertisedPrefixes;
+    }
+}
+
+size_t
+BgpSpeaker::ribMemoryBytes() const
+{
+    size_t bytes = prefixTable_ ? prefixTable_->memoryBytes() : 0;
+    bytes += locRib_.memoryBytes() + localRoutes_.memoryBytes();
+    for (const auto &[id, peer] : peers_)
+        bytes += peer->ribIn.memoryBytes() +
+                 peer->ribOut.memoryBytes();
+    return bytes;
+}
+
+void
+BgpSpeaker::reserveRoutes(size_t prefixes)
+{
+    if (prefixTable_)
+        prefixTable_->reserve(prefixes);
+    // localRoutes_ is deliberately left alone: locally originated
+    // routes number in the dozens, not at table scale.
+    locRib_.reserve(prefixes);
+    for (auto &[id, peer] : peers_) {
+        peer->ribIn.reserve(prefixes);
+        peer->ribOut.reserve(prefixes);
     }
 }
 
@@ -757,9 +797,10 @@ BgpSpeaker::advertiseFullTable(Peer &peer, TimeNs now)
     OBS_SPAN(obs_.tracer, "full_table_export", "bgp",
              obs::kTrackRouters, obs_.track, [now] { return now; });
     UpdateStats stats;
-    locRib_.forEach([&](const net::Prefix &prefix,
-                        const LocRib::Entry &entry) {
-        updateAdjOut(peer, prefix, &entry.best, stats);
+    locRib_.forEachWithSlot([&](const net::Prefix &prefix,
+                                SharedPrefixTable::Slot slot,
+                                const LocRib::Entry &entry) {
+        updateAdjOut(peer, prefix, slot, &entry.best, stats);
     });
     flushPending(now);
 }

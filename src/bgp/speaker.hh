@@ -304,6 +304,29 @@ class BgpSpeaker
     /** Flap-damping state (live; decays lazily on access). */
     FlapDamper &damper() { return damper_; }
     std::vector<PeerId> peerIds() const;
+    /**
+     * The shared prefix table all RIBs sit on, or null when the
+     * hash-map backend is active (BGPBENCH_NO_PREFIX_TREE=1).
+     */
+    const SharedPrefixTable *
+    prefixTable() const
+    {
+        return prefixTable_.get();
+    }
+    /**
+     * Structural bytes held by RIB storage: the shared key table
+     * (once) plus every RIB's value column / hash map.
+     */
+    size_t ribMemoryBytes() const;
+    /**
+     * Pre-size RIB storage for @p prefixes distinct routes: the
+     * shared prefix table (arena and slot arrays) and every existing
+     * RIB's column or hash map. A router provisioned for a full feed
+     * knows its table scale up front; reserving exactly removes the
+     * geometric-growth slack from every column. New peers added
+     * later still size their columns to the table's capacity.
+     */
+    void reserveRoutes(size_t prefixes);
     /** @} */
 
     /** Pseudo peer-id used for locally originated routes. */
@@ -333,9 +356,9 @@ class BgpSpeaker
             exportMemo;
 
         Peer(PeerConfig cfg, SessionConfig session_cfg,
-             PackingOptions packing)
-            : config(std::move(cfg)), fsm(session_cfg),
-              pending(packing)
+             PackingOptions packing, SharedPrefixTable *table)
+            : config(std::move(cfg)), fsm(session_cfg), ribIn(table),
+              ribOut(table), pending(packing)
         {}
     };
 
@@ -381,8 +404,13 @@ class BgpSpeaker
     void runDecision(const net::Prefix &prefix, UpdateStats &stats,
                      TimeNs now);
 
-    /** Update a single peer's Adj-RIB-Out for the new best route. */
+    /**
+     * Update a single peer's Adj-RIB-Out for the new best route.
+     * @p slot is the prefix's pre-resolved shared-table slot (npos in
+     * hash mode), giving the fan-out O(1) column writes.
+     */
     void updateAdjOut(Peer &peer, const net::Prefix &prefix,
+                      SharedPrefixTable::Slot slot,
                       const Candidate *best, UpdateStats &stats);
 
     /** Flush all pending per-peer builders into UPDATE messages. */
@@ -459,6 +487,12 @@ class BgpSpeaker
     uint64_t ribVersion_ = 0;
     uint64_t decisionsSincePublish_ = 0;
     bool ribDirty_ = false;
+    /**
+     * The one prefix -> slot key structure every RIB of this speaker
+     * shares (see prefix_table.hh); null in hash-map ablation mode.
+     * Declared before the RIBs so it outlives their destruction.
+     */
+    std::unique_ptr<SharedPrefixTable> prefixTable_;
     std::map<PeerId, std::unique_ptr<Peer>> peers_;
     /**
      * Per-flush encode cache: content hash of an UPDATE -> encodings

@@ -48,69 +48,114 @@ dumpTable(const std::vector<TableDumpEntry> &entries)
 std::vector<uint8_t>
 dumpTable(const LocRib &rib)
 {
+    // LocRib::forEach iterates in ascending (address, length) order
+    // in both storage backends, so the dump is canonical as emitted.
     std::vector<TableDumpEntry> entries;
     entries.reserve(rib.size());
     rib.forEach([&](const net::Prefix &prefix,
                     const LocRib::Entry &entry) {
         entries.push_back(TableDumpEntry{prefix, entry.best});
     });
-    std::sort(entries.begin(), entries.end(),
-              [](const TableDumpEntry &a, const TableDumpEntry &b) {
-                  return a.prefix < b.prefix;
-              });
     return dumpTable(entries);
+}
+
+TableDumpReader::TableDumpReader(std::span<const uint8_t> blob)
+    : reader_(blob)
+{
+    if (reader_.readU32() != dumpMagic || !reader_.ok()) {
+        setError("bad table-dump magic");
+        return;
+    }
+    if (reader_.readU16() != dumpVersion) {
+        setError("unsupported table-dump version");
+        return;
+    }
+    count_ = reader_.readU32();
+    if (!reader_.ok())
+        setError("truncated header");
+}
+
+void
+TableDumpReader::setError(std::string detail)
+{
+    error_ = DecodeError{ErrorCode::MessageHeaderError, 0,
+                         std::move(detail)};
+    failed_ = true;
+}
+
+bool
+TableDumpReader::next(TableDumpEntry &entry)
+{
+    if (failed_ || parsed_ == count_) {
+        if (!failed_ && !reader_.atEnd())
+            setError("trailing bytes after last entry");
+        return false;
+    }
+    const std::string where = std::to_string(parsed_);
+    net::Ipv4Address addr = reader_.readAddress();
+    uint8_t length = reader_.readU8();
+    if (!reader_.ok() || length > 32) {
+        setError("bad prefix in entry " + where);
+        return false;
+    }
+    entry.prefix = net::Prefix(addr, length);
+    entry.best.peer = reader_.readU32();
+    entry.best.peerRouterId = reader_.readU32();
+    uint8_t flags = reader_.readU8();
+    entry.best.externalSession = flags & 0x1;
+    entry.best.locallyOriginated = flags & 0x2;
+
+    uint16_t attrs_len = reader_.readU16();
+    if (!reader_.ok() || reader_.remaining() < attrs_len) {
+        setError("truncated entry " + where);
+        return false;
+    }
+    net::ByteReader attrs_reader = reader_.subReader(attrs_len);
+    auto attrs = PathAttributes::decode(attrs_reader, error_);
+    if (!attrs) {
+        failed_ = true; // error already classified by the decoder
+        return false;
+    }
+    entry.best.attributes = makeAttributes(std::move(*attrs));
+    ++parsed_;
+    return true;
 }
 
 std::optional<std::vector<TableDumpEntry>>
 parseTableDump(std::span<const uint8_t> blob, DecodeError &error)
 {
-    error = DecodeError{};
-    auto fail = [&error](std::string detail)
-        -> std::optional<std::vector<TableDumpEntry>> {
-        error = DecodeError{ErrorCode::MessageHeaderError, 0,
-                            std::move(detail)};
-        return std::nullopt;
-    };
-
-    net::ByteReader r(blob);
-    if (r.readU32() != dumpMagic || !r.ok())
-        return fail("bad table-dump magic");
-    if (r.readU16() != dumpVersion)
-        return fail("unsupported table-dump version");
-
-    uint32_t count = r.readU32();
-    if (!r.ok())
-        return fail("truncated header");
-
+    TableDumpReader reader(blob);
     std::vector<TableDumpEntry> entries;
-    entries.reserve(count);
-    for (uint32_t i = 0; i < count; ++i) {
-        TableDumpEntry entry;
-        net::Ipv4Address addr = r.readAddress();
-        uint8_t length = r.readU8();
-        if (!r.ok() || length > 32)
-            return fail("bad prefix in entry " + std::to_string(i));
-        entry.prefix = net::Prefix(addr, length);
-        entry.best.peer = r.readU32();
-        entry.best.peerRouterId = r.readU32();
-        uint8_t flags = r.readU8();
-        entry.best.externalSession = flags & 0x1;
-        entry.best.locallyOriginated = flags & 0x2;
-
-        uint16_t attrs_len = r.readU16();
-        if (!r.ok() || r.remaining() < attrs_len)
-            return fail("truncated entry " + std::to_string(i));
-        net::ByteReader attrs_reader = r.subReader(attrs_len);
-        auto attrs = PathAttributes::decode(attrs_reader, error);
-        if (!attrs)
-            return std::nullopt; // error already classified
-        entry.best.attributes = makeAttributes(std::move(*attrs));
+    entries.reserve(reader.routeCount());
+    TableDumpEntry entry;
+    while (reader.next(entry))
         entries.push_back(std::move(entry));
+    if (reader.failed()) {
+        error = reader.error();
+        return std::nullopt;
     }
-
-    if (!r.atEnd())
-        return fail("trailing bytes after last entry");
+    error = DecodeError{};
     return entries;
+}
+
+size_t
+loadTable(std::span<const uint8_t> blob, LocRib &rib,
+          DecodeError &error)
+{
+    // Streaming load: pre-size the RIB from the route-count header,
+    // then install each entry as it is decoded, so the peak footprint
+    // is the table itself — never table + a staged entry vector.
+    TableDumpReader reader(blob);
+    rib.reserve(rib.size() + reader.routeCount());
+    size_t loaded = 0;
+    TableDumpEntry entry;
+    while (reader.next(entry)) {
+        rib.select(entry.prefix, std::move(entry.best));
+        entry.best = Candidate{};
+        ++loaded;
+    }
+    error = reader.failed() ? reader.error() : DecodeError{};
+    return loaded;
 }
 
 } // namespace bgpbench::bgp

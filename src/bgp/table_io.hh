@@ -21,6 +21,7 @@
 #include "bgp/path_attributes.hh"
 #include "bgp/rib.hh"
 #include "bgp/route.hh"
+#include "net/byte_io.hh"
 #include "net/prefix.hh"
 
 namespace bgpbench::bgp
@@ -45,7 +46,52 @@ std::vector<uint8_t>
 dumpTable(const std::vector<TableDumpEntry> &entries);
 
 /**
- * Parse a table-dump blob.
+ * Streaming table-dump parser: decode one entry at a time over the
+ * blob, so consumers can install routes as they arrive instead of
+ * materialising the whole entry vector first. The route count from
+ * the header is available up front for pre-sizing.
+ *
+ * @code
+ *   TableDumpReader reader(blob);
+ *   rib.reserve(reader.routeCount());
+ *   TableDumpEntry entry;
+ *   while (reader.next(entry))
+ *       rib.select(entry.prefix, std::move(entry.best));
+ *   if (reader.failed())
+ *       ... reader.error() ...
+ * @endcode
+ */
+class TableDumpReader
+{
+  public:
+    /** Validates the header; failed() reports a bad one. */
+    explicit TableDumpReader(std::span<const uint8_t> blob);
+
+    /** Route count from the header (0 if the header was bad). */
+    uint32_t routeCount() const { return count_; }
+
+    /**
+     * Decode the next entry into @p entry.
+     * @return True on success; false at end of table or on error
+     *         (distinguish with failed()).
+     */
+    bool next(TableDumpEntry &entry);
+
+    bool failed() const { return failed_; }
+    const DecodeError &error() const { return error_; }
+
+  private:
+    void setError(std::string detail);
+
+    net::ByteReader reader_;
+    DecodeError error_;
+    uint32_t count_ = 0;
+    uint32_t parsed_ = 0;
+    bool failed_ = false;
+};
+
+/**
+ * Parse a table-dump blob into a staged entry vector.
  *
  * @param blob The snapshot bytes.
  * @param error Filled in on malformed input.
@@ -53,6 +99,18 @@ dumpTable(const std::vector<TableDumpEntry> &entries);
  */
 std::optional<std::vector<TableDumpEntry>>
 parseTableDump(std::span<const uint8_t> blob, DecodeError &error);
+
+/**
+ * Stream a table-dump blob straight into @p rib: pre-sizes from the
+ * route-count header and installs entries as they decode, avoiding
+ * the staged vector of parseTableDump.
+ *
+ * @return Number of routes installed; on a malformed blob @p error is
+ *         set and the routes decoded before the error remain
+ *         installed.
+ */
+size_t loadTable(std::span<const uint8_t> blob, LocRib &rib,
+                 DecodeError &error);
 
 } // namespace bgpbench::bgp
 

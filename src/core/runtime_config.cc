@@ -6,6 +6,7 @@
 #include <string>
 
 #include "bgp/attr_intern.hh"
+#include "bgp/prefix_table.hh"
 #include "net/wire_segment.hh"
 #include "stats/report.hh"
 #include "workload/query_stream.hh"
@@ -61,6 +62,8 @@ RuntimeConfig::fromEnvironment()
     RuntimeConfig config;
     if (envFlagIsOne("BGPBENCH_NO_INTERN"))
         config.intern_ = {false, ConfigOrigin::Environment};
+    if (envFlagIsOne("BGPBENCH_NO_PREFIX_TREE"))
+        config.prefixTree_ = {false, ConfigOrigin::Environment};
     if (envFlagIsNonZero("BGPBENCH_NO_SEGMENT_SHARING"))
         config.segmentSharing_ = {false, ConfigOrigin::Environment};
     if (envFlagIsOne("BGPBENCH_SWEEP"))
@@ -94,6 +97,12 @@ void
 RuntimeConfig::overrideIntern(bool enabled)
 {
     intern_ = {enabled, ConfigOrigin::CommandLine};
+}
+
+void
+RuntimeConfig::overridePrefixTree(bool enabled)
+{
+    prefixTree_ = {enabled, ConfigOrigin::CommandLine};
 }
 
 void
@@ -139,6 +148,9 @@ RuntimeConfig::apply() const
     // calling thread's interner may already exist, so flip it too.
     bgp::setInternDefault(intern_.value);
     bgp::AttributeInterner::global().setEnabled(intern_.value);
+    // Speakers latch the backend at construction; apply() runs before
+    // any speaker exists, mirroring the interner contract above.
+    bgp::setPrefixTreeDefault(prefixTree_.value);
     net::setSegmentSharing(segmentSharing_.value);
 }
 
@@ -149,6 +161,8 @@ RuntimeConfig::dump(std::ostream &out) const
     stats::TextTable table({"setting", "value", "source"});
     table.addRow({"interning", onOff(intern_.value),
                   configOriginName(intern_.origin)});
+    table.addRow({"prefix tree", onOff(prefixTree_.value),
+                  configOriginName(prefixTree_.origin)});
     table.addRow({"segment sharing", onOff(segmentSharing_.value),
                   configOriginName(segmentSharing_.origin)});
     table.addRow({"sweep", onOff(sweep_.value),

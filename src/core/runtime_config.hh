@@ -56,14 +56,17 @@ class RuntimeConfig
     /**
      * Defaults overlaid with the BGPBENCH_* environment variables
      * (BGPBENCH_NO_INTERN=1, BGPBENCH_NO_SEGMENT_SHARING=<non-zero>,
-     * BGPBENCH_SWEEP=1, BGPBENCH_JOBS=<n>, BGPBENCH_SERVE_READERS=<n>,
-     * BGPBENCH_SNAPSHOT_EVERY=<n>, BGPBENCH_QUERY_MIX=<L:B:S:P>).
+     * BGPBENCH_NO_PREFIX_TREE=1, BGPBENCH_SWEEP=1, BGPBENCH_JOBS=<n>,
+     * BGPBENCH_SERVE_READERS=<n>, BGPBENCH_SNAPSHOT_EVERY=<n>,
+     * BGPBENCH_QUERY_MIX=<L:B:S:P>).
      * Unset or unparsable variables leave the default in place.
      */
     static RuntimeConfig fromEnvironment();
 
     /** Attribute-set hash-consing (ablation switch). */
     bool internEnabled() const { return intern_.value; }
+    /** Shared-prefix-tree RIB storage (ablation switch). */
+    bool prefixTree() const { return prefixTree_.value; }
     /** Wire segment sharing across receivers (ablation switch). */
     bool segmentSharing() const { return segmentSharing_.value; }
     /** Benchmarks: also run the jobs-sweep section. */
@@ -78,6 +81,10 @@ class RuntimeConfig
     const std::string &queryMix() const { return queryMix_.value; }
 
     ConfigOrigin internOrigin() const { return intern_.origin; }
+    ConfigOrigin prefixTreeOrigin() const
+    {
+        return prefixTree_.origin;
+    }
     ConfigOrigin segmentSharingOrigin() const
     {
         return segmentSharing_.origin;
@@ -96,6 +103,7 @@ class RuntimeConfig
 
     /** Command-line overrides (highest precedence). */
     void overrideIntern(bool enabled);
+    void overridePrefixTree(bool enabled);
     void overrideSegmentSharing(bool enabled);
     void overrideSweep(bool enabled);
     void overrideJobs(size_t jobs);
@@ -117,6 +125,7 @@ class RuntimeConfig
 
   private:
     Setting<bool> intern_{true, ConfigOrigin::Default};
+    Setting<bool> prefixTree_{true, ConfigOrigin::Default};
     Setting<bool> segmentSharing_{true, ConfigOrigin::Default};
     Setting<bool> sweep_{false, ConfigOrigin::Default};
     Setting<size_t> jobs_{1, ConfigOrigin::Default};

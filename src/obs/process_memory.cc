@@ -1,0 +1,39 @@
+#include "obs/process_memory.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace bgpbench::obs
+{
+
+ProcessMemory
+readProcessMemory()
+{
+    ProcessMemory memory;
+    std::FILE *status = std::fopen("/proc/self/status", "r");
+    if (!status)
+        return memory;
+    char line[256];
+    while (std::fgets(line, sizeof(line), status)) {
+        // Lines look like "VmRSS:      123456 kB".
+        if (std::strncmp(line, "VmRSS:", 6) == 0)
+            memory.vmRssKb = std::strtoull(line + 6, nullptr, 10);
+        else if (std::strncmp(line, "VmHWM:", 6) == 0)
+            memory.vmHwmKb = std::strtoull(line + 6, nullptr, 10);
+    }
+    std::fclose(status);
+    return memory;
+}
+
+void
+publishProcessMemory(MetricRegistry &registry)
+{
+    ProcessMemory memory = readProcessMemory();
+    registry.gauge("proc.vm_rss_kb").set(double(memory.vmRssKb));
+    // The kernel's high-water mark is already monotonic, but noteMax
+    // keeps the gauge monotonic even across absorb()ed registries.
+    registry.gauge("proc.vm_hwm_kb").noteMax(double(memory.vmHwmKb));
+}
+
+} // namespace bgpbench::obs

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Process-memory probes: current and peak resident set size from
+ * /proc/self/status, published as registry gauges.
+ *
+ * Memory is the binding constraint at internet-scale tables (the
+ * Coudert feasibility studies in PAPERS.md), so every bench reports
+ * peak RSS next to its throughput numbers. Reads go through the
+ * normal gauge path so all three exporters (text/CSV/JSON) carry the
+ * values without special cases; gauges merge by max, which is exactly
+ * right for a peak across per-shard registries of one process.
+ */
+
+#ifndef BGPBENCH_OBS_PROCESS_MEMORY_HH
+#define BGPBENCH_OBS_PROCESS_MEMORY_HH
+
+#include <cstdint>
+
+#include "obs/metrics.hh"
+
+namespace bgpbench::obs
+{
+
+/** One /proc/self/status memory sample, in kilobytes. */
+struct ProcessMemory
+{
+    /** VmRSS: current resident set size. */
+    uint64_t vmRssKb = 0;
+    /** VmHWM: peak resident set size ("high water mark"). */
+    uint64_t vmHwmKb = 0;
+};
+
+/**
+ * Sample the process's memory counters. Both fields are zero on
+ * platforms without /proc/self/status (the probe degrades to "not
+ * available", never fails).
+ */
+ProcessMemory readProcessMemory();
+
+/**
+ * Sample and publish as the `proc.vm_rss_kb` / `proc.vm_hwm_kb`
+ * gauges of @p registry. Call at report time (gauges hold the last
+ * published sample; noteMax keeps re-publishing monotonic for the
+ * peak).
+ */
+void publishProcessMemory(MetricRegistry &registry);
+
+} // namespace bgpbench::obs
+
+#endif // BGPBENCH_OBS_PROCESS_MEMORY_HH

@@ -26,13 +26,10 @@ RibSnapshot::build(const bgp::LocRib &rib, uint64_t epoch,
         snapshot->routes_.push_back(std::move(route));
         ++per_peer[entry.best.peer];
     });
-    // The hash map iterates in unspecified order; sort so every field
-    // of the snapshot (route array, scan output, checksum) is a pure
-    // function of the table content.
-    std::sort(snapshot->routes_.begin(), snapshot->routes_.end(),
-              [](const SnapshotRoute &a, const SnapshotRoute &b) {
-                  return a.prefix < b.prefix;
-              });
+    // LocRib::forEach guarantees ascending (address, length) order in
+    // both storage backends, so the route array arrives sorted and
+    // every field of the snapshot (route array, scan output,
+    // checksum) is a pure function of the table content.
 
     for (size_t i = 0; i < snapshot->routes_.size(); ++i)
         snapshot->trie_.insert(snapshot->routes_[i].prefix, uint32_t(i));

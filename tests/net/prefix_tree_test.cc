@@ -1,0 +1,288 @@
+/**
+ * @file
+ * Tests of net::PrefixTree: the path-compressed radix trie backing
+ * the shared RIB prefix table. Unit cases pin the structural
+ * invariants (compression, splice-on-erase, free-list reuse, ordered
+ * iteration); the randomized cases lockstep the tree against
+ * std::map and a linear-scan LPM reference.
+ */
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "net/prefix.hh"
+#include "net/prefix_tree.hh"
+#include "workload/rng.hh"
+
+using namespace bgpbench;
+
+namespace
+{
+
+net::Prefix
+pfx(const std::string &text)
+{
+    return net::Prefix::fromString(text);
+}
+
+net::Ipv4Address
+addr(const std::string &text)
+{
+    return net::Ipv4Address::fromString(text);
+}
+
+/** All (prefix, value) pairs in iteration order. */
+std::vector<std::pair<net::Prefix, int>>
+collect(const net::PrefixTree<int> &tree)
+{
+    std::vector<std::pair<net::Prefix, int>> out;
+    tree.forEach([&](const net::Prefix &prefix, int value) {
+        out.emplace_back(prefix, value);
+    });
+    return out;
+}
+
+/** Linear-scan longest-prefix match over a reference map. */
+std::optional<int>
+linearLpm(const std::map<net::Prefix, int> &routes, net::Ipv4Address a)
+{
+    std::optional<int> best;
+    int bestLen = -1;
+    for (const auto &[prefix, value] : routes) {
+        if (prefix.contains(a) && prefix.length() > bestLen) {
+            bestLen = prefix.length();
+            best = value;
+        }
+    }
+    return best;
+}
+
+/** A deterministic pseudo-random prefix, /0../32 with mixed lengths. */
+net::Prefix
+randomPrefix(workload::Rng &rng)
+{
+    int length = int(rng.below(33));
+    return net::Prefix(net::Ipv4Address(uint32_t(rng.next())), length);
+}
+
+} // namespace
+
+TEST(PrefixTree, InsertFindErase)
+{
+    net::PrefixTree<int> tree;
+    EXPECT_TRUE(tree.empty());
+    EXPECT_EQ(tree.find(pfx("10.0.0.0/8")), nullptr);
+
+    bool inserted = false;
+    tree.insert(pfx("10.0.0.0/8"), 1, &inserted);
+    EXPECT_TRUE(inserted);
+    tree.insert(pfx("10.1.0.0/16"), 2);
+    tree.insert(pfx("192.168.4.0/24"), 3);
+    EXPECT_EQ(tree.size(), 3u);
+
+    ASSERT_NE(tree.find(pfx("10.0.0.0/8")), nullptr);
+    EXPECT_EQ(*tree.find(pfx("10.0.0.0/8")), 1);
+    EXPECT_EQ(*tree.find(pfx("10.1.0.0/16")), 2);
+    EXPECT_EQ(*tree.find(pfx("192.168.4.0/24")), 3);
+    // Same address, different length: distinct keys.
+    EXPECT_EQ(tree.find(pfx("10.0.0.0/16")), nullptr);
+
+    EXPECT_TRUE(tree.erase(pfx("10.1.0.0/16")));
+    EXPECT_FALSE(tree.erase(pfx("10.1.0.0/16")));
+    EXPECT_EQ(tree.find(pfx("10.1.0.0/16")), nullptr);
+    EXPECT_EQ(tree.size(), 2u);
+}
+
+TEST(PrefixTree, InsertReplacesFindOrInsertKeeps)
+{
+    net::PrefixTree<int> tree;
+    tree.insert(pfx("10.0.0.0/8"), 1);
+    bool inserted = true;
+    tree.insert(pfx("10.0.0.0/8"), 2, &inserted);
+    EXPECT_FALSE(inserted);
+    EXPECT_EQ(*tree.find(pfx("10.0.0.0/8")), 2);
+
+    int *value = tree.findOrInsert(pfx("10.0.0.0/8"), &inserted);
+    EXPECT_FALSE(inserted);
+    EXPECT_EQ(*value, 2);
+
+    value = tree.findOrInsert(pfx("10.0.0.0/12"), &inserted);
+    EXPECT_TRUE(inserted);
+    EXPECT_EQ(*value, 0); // default-constructed on miss
+    EXPECT_EQ(tree.size(), 2u);
+}
+
+TEST(PrefixTree, RootAndHostRoutes)
+{
+    net::PrefixTree<int> tree;
+    tree.insert(pfx("0.0.0.0/0"), 7);
+    tree.insert(pfx("255.255.255.255/32"), 8);
+    tree.insert(pfx("0.0.0.0/32"), 9);
+    EXPECT_EQ(tree.size(), 3u);
+    EXPECT_EQ(*tree.find(pfx("0.0.0.0/0")), 7);
+    EXPECT_EQ(*tree.find(pfx("255.255.255.255/32")), 8);
+    EXPECT_EQ(*tree.find(pfx("0.0.0.0/32")), 9);
+
+    EXPECT_TRUE(tree.erase(pfx("0.0.0.0/0")));
+    EXPECT_EQ(tree.find(pfx("0.0.0.0/0")), nullptr);
+    EXPECT_EQ(*tree.find(pfx("0.0.0.0/32")), 9);
+}
+
+TEST(PrefixTree, PathCompressionBoundsNodes)
+{
+    // A /32 under an /8 must not expand one node per bit: the
+    // invariant caps live nodes at 2 * size + 1 (root included).
+    net::PrefixTree<int> tree;
+    tree.insert(pfx("10.0.0.0/8"), 1);
+    tree.insert(pfx("10.1.2.3/32"), 2);
+    tree.insert(pfx("10.1.2.4/32"), 3);
+    EXPECT_LE(tree.nodeCount(), 2 * tree.size() + 1);
+
+    workload::Rng rng(11);
+    for (int i = 0; i < 2000; ++i)
+        tree.insert(randomPrefix(rng), i);
+    EXPECT_LE(tree.nodeCount(), 2 * tree.size() + 1);
+}
+
+TEST(PrefixTree, ErasePrunesJointsAndReusesNodes)
+{
+    net::PrefixTree<int> tree;
+    // 10.0.0.0/9 and 10.128.0.0/9 diverge under a valueless /8 joint.
+    tree.insert(pfx("10.0.0.0/9"), 1);
+    tree.insert(pfx("10.128.0.0/9"), 2);
+    const size_t joint_nodes = tree.nodeCount();
+    EXPECT_EQ(joint_nodes, 4u); // root + joint + two leaves
+
+    // Removing one leaf must also splice the now single-child joint.
+    EXPECT_TRUE(tree.erase(pfx("10.0.0.0/9")));
+    EXPECT_EQ(tree.nodeCount(), 2u);
+    EXPECT_EQ(*tree.find(pfx("10.128.0.0/9")), 2);
+
+    // Reinserting reuses freed arena slots: node count returns to the
+    // joint shape without growing the arena footprint.
+    const size_t bytes = tree.memoryBytes();
+    tree.insert(pfx("10.0.0.0/9"), 3);
+    EXPECT_EQ(tree.nodeCount(), joint_nodes);
+    EXPECT_EQ(tree.memoryBytes(), bytes);
+}
+
+TEST(PrefixTree, ForEachVisitsInPrefixOrder)
+{
+    net::PrefixTree<int> tree;
+    std::map<net::Prefix, int> reference;
+    workload::Rng rng(42);
+    for (int i = 0; i < 5000; ++i) {
+        net::Prefix prefix = randomPrefix(rng);
+        tree.insert(prefix, i);
+        reference[prefix] = i;
+    }
+    auto rows = collect(tree);
+    ASSERT_EQ(rows.size(), reference.size());
+    // std::map iterates in Prefix::operator< order; the tree's
+    // pre-order walk must match it exactly, duplicates and all.
+    size_t i = 0;
+    for (const auto &[prefix, value] : reference) {
+        EXPECT_EQ(rows[i].first, prefix);
+        EXPECT_EQ(rows[i].second, value);
+        ++i;
+    }
+}
+
+TEST(PrefixTree, RandomizedLockstepAgainstMap)
+{
+    net::PrefixTree<int> tree;
+    std::map<net::Prefix, int> reference;
+    workload::Rng rng(7);
+
+    // Mixed inserts, replaces, and erases; prefixes are drawn from a
+    // small pool so operations collide often.
+    std::vector<net::Prefix> pool;
+    for (int i = 0; i < 300; ++i)
+        pool.push_back(randomPrefix(rng));
+
+    for (int op = 0; op < 20000; ++op) {
+        const net::Prefix &prefix = pool[rng.below(pool.size())];
+        if (rng.below(3) == 0) {
+            EXPECT_EQ(tree.erase(prefix), reference.erase(prefix) > 0);
+        } else {
+            bool inserted = false;
+            tree.insert(prefix, op, &inserted);
+            EXPECT_EQ(inserted, reference.find(prefix) == reference.end());
+            reference[prefix] = op;
+        }
+        if (op % 1000 == 0) {
+            ASSERT_EQ(tree.size(), reference.size());
+            ASSERT_LE(tree.nodeCount(), 2 * tree.size() + 1);
+        }
+    }
+
+    ASSERT_EQ(tree.size(), reference.size());
+    for (const auto &[prefix, value] : reference) {
+        const int *stored = tree.find(prefix);
+        ASSERT_NE(stored, nullptr);
+        EXPECT_EQ(*stored, value);
+    }
+    auto rows = collect(tree);
+    ASSERT_EQ(rows.size(), reference.size());
+    EXPECT_TRUE(std::is_sorted(
+        rows.begin(), rows.end(),
+        [](const auto &a, const auto &b) { return a.first < b.first; }));
+}
+
+TEST(PrefixTree, MatchLongestAgainstLinearReference)
+{
+    net::PrefixTree<int> tree;
+    std::map<net::Prefix, int> reference;
+    workload::Rng rng(3);
+    for (int i = 0; i < 2000; ++i) {
+        // Short-biased lengths so addresses actually match something.
+        int length = int(rng.below(25));
+        net::Prefix prefix(net::Ipv4Address(uint32_t(rng.next())),
+                           length);
+        tree.insert(prefix, i);
+        reference[prefix] = i;
+    }
+
+    for (int i = 0; i < 5000; ++i) {
+        net::Ipv4Address a(uint32_t(rng.next()));
+        const int *got = tree.matchLongest(a);
+        std::optional<int> expect = linearLpm(reference, a);
+        ASSERT_EQ(got != nullptr, expect.has_value());
+        if (got) {
+            EXPECT_EQ(*got, *expect);
+        }
+    }
+
+    // Specific covering chain: most-specific stored prefix wins.
+    net::PrefixTree<int> chain;
+    chain.insert(pfx("0.0.0.0/0"), 0);
+    chain.insert(pfx("10.0.0.0/8"), 8);
+    chain.insert(pfx("10.1.0.0/16"), 16);
+    chain.insert(pfx("10.1.2.0/24"), 24);
+    EXPECT_EQ(*chain.matchLongest(addr("10.1.2.3")), 24);
+    EXPECT_EQ(*chain.matchLongest(addr("10.1.9.9")), 16);
+    EXPECT_EQ(*chain.matchLongest(addr("10.9.9.9")), 8);
+    EXPECT_EQ(*chain.matchLongest(addr("11.0.0.1")), 0);
+    chain.erase(pfx("10.1.2.0/24"));
+    EXPECT_EQ(*chain.matchLongest(addr("10.1.2.3")), 16);
+}
+
+TEST(PrefixTree, ClearKeepsCapacityAndResets)
+{
+    net::PrefixTree<int> tree;
+    workload::Rng rng(5);
+    for (int i = 0; i < 1000; ++i)
+        tree.insert(randomPrefix(rng), i);
+    const size_t bytes = tree.memoryBytes();
+    tree.clear();
+    EXPECT_TRUE(tree.empty());
+    EXPECT_EQ(tree.nodeCount(), 1u); // the root survives
+    EXPECT_EQ(tree.memoryBytes(), bytes);
+    EXPECT_EQ(tree.find(pfx("10.0.0.0/8")), nullptr);
+    tree.insert(pfx("10.0.0.0/8"), 1);
+    EXPECT_EQ(tree.size(), 1u);
+}

@@ -55,6 +55,7 @@
 #include "net/logging.hh"
 #include "net/wire_segment.hh"
 #include "obs/export.hh"
+#include "obs/process_memory.hh"
 #include "obs/observability.hh"
 #include "obs/views.hh"
 #include "serve/serve_runner.hh"
@@ -138,6 +139,8 @@ usage(int code)
         "  --trace FILE             write a Chrome trace_event JSON "
         "of the run\n"
         "  --no-intern              disable attribute-set interning\n"
+        "  --no-prefix-tree         per-RIB hash maps instead of the\n"
+        "                           shared prefix tree\n"
         "  --no-segment-sharing     disable wire segment sharing\n"
         "  --intern-stats           deprecated: interner view of "
         "--stats\n"
@@ -227,6 +230,8 @@ parseArgs(int argc, char **argv, core::RuntimeConfig &runtime)
             options.tracePath = value();
         } else if (arg == "--no-intern") {
             runtime.overrideIntern(false);
+        } else if (arg == "--no-prefix-tree") {
+            runtime.overridePrefixTree(false);
         } else if (arg == "--no-segment-sharing") {
             runtime.overrideSegmentSharing(false);
         } else if (arg == "--shape") {
@@ -600,6 +605,7 @@ emitObservability(const CliOptions &options,
         bgp::AttributeInterner::global().publishStats(
             observability.metrics);
         net::BufferPool::global().publishStats(observability.metrics);
+        obs::publishProcessMemory(observability.metrics);
     }
     if (options.stats) {
         obs::exportMetrics(std::cerr,
