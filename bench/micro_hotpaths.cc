@@ -31,6 +31,7 @@
 #include "obs/trace.hh"
 #include "sim/event_queue.hh"
 #include "stats/report.hh"
+#include "topo/steal_deque.hh"
 #include "workload/route_set.hh"
 #include "workload/update_stream.hh"
 
@@ -566,6 +567,146 @@ BM_InternetChecksum(benchmark::State &state)
                             state.range(0));
 }
 BENCHMARK(BM_InternetChecksum)->Arg(20)->Arg(1500);
+
+/**
+ * A stand-in for the engine's CrossMessage with just the ordering
+ * fields; the payload pointer is irrelevant to the sort/merge cost
+ * being compared.
+ */
+struct FakeCross
+{
+    uint64_t time;
+    uint64_t key;
+};
+
+std::vector<std::vector<FakeCross>>
+crossBatches(size_t links, size_t per_link)
+{
+    // Per-link batches arrive (time, key)-sorted — one source node
+    // feeds each link direction and its serialisation cursor is
+    // monotone — with interleaved time ranges across links.
+    std::vector<std::vector<FakeCross>> batches(links);
+    uint64_t salt = 0x9e3779b97f4a7c15ull;
+    for (size_t l = 0; l < links; ++l) {
+        uint64_t t = 1000 + (l * salt >> 56);
+        for (size_t m = 0; m < per_link; ++m) {
+            t += 1 + ((l * per_link + m) * salt >> 60);
+            batches[l].push_back(
+                FakeCross{t, (uint64_t(l + 1) << 44) | (m + 1)});
+        }
+    }
+    return batches;
+}
+
+/**
+ * PR 3's barrier: concatenate every source's outbox, then one full
+ * sort of the union — O(M log M) with M the total message count.
+ */
+void
+BM_CrossDeliverConcatSort(benchmark::State &state)
+{
+    auto batches = crossBatches(size_t(state.range(0)), 256);
+    std::vector<FakeCross> merged;
+    for (auto _ : state) {
+        merged.clear();
+        for (const auto &batch : batches)
+            merged.insert(merged.end(), batch.begin(), batch.end());
+        std::sort(merged.begin(), merged.end(),
+                  [](const FakeCross &a, const FakeCross &b) {
+                      if (a.time != b.time)
+                          return a.time < b.time;
+                      return a.key < b.key;
+                  });
+        benchmark::DoNotOptimize(merged.data());
+    }
+    state.SetItemsProcessed(int64_t(state.iterations()) *
+                            state.range(0) * 256);
+}
+BENCHMARK(BM_CrossDeliverConcatSort)->Arg(2)->Arg(8)->Arg(32);
+
+/**
+ * The batched barrier: per-link batches verified sorted (O(M) probe)
+ * and pairwise-merged — O(M log k) with k the link count, and no
+ * comparator calls at all when one link dominates.
+ */
+void
+BM_CrossDeliverBatchMerge(benchmark::State &state)
+{
+    auto batches = crossBatches(size_t(state.range(0)), 256);
+    auto less = [](const FakeCross &a, const FakeCross &b) {
+        if (a.time != b.time)
+            return a.time < b.time;
+        return a.key < b.key;
+    };
+    std::vector<FakeCross> merged;
+    std::vector<size_t> bounds, scratch;
+    for (auto _ : state) {
+        merged.clear();
+        bounds.clear();
+        for (auto &batch : batches) {
+            if (!std::is_sorted(batch.begin(), batch.end(), less))
+                std::sort(batch.begin(), batch.end(), less);
+            bounds.push_back(merged.size());
+            merged.insert(merged.end(), batch.begin(), batch.end());
+        }
+        bounds.push_back(merged.size());
+        while (bounds.size() > 2) {
+            scratch.clear();
+            scratch.push_back(bounds.front());
+            size_t r = 0;
+            for (; r + 2 < bounds.size(); r += 2) {
+                std::inplace_merge(
+                    merged.begin() + ptrdiff_t(bounds[r]),
+                    merged.begin() + ptrdiff_t(bounds[r + 1]),
+                    merged.begin() + ptrdiff_t(bounds[r + 2]), less);
+                scratch.push_back(bounds[r + 2]);
+            }
+            if (r + 1 < bounds.size())
+                scratch.push_back(bounds[r + 1]);
+            bounds.swap(scratch);
+        }
+        benchmark::DoNotOptimize(merged.data());
+    }
+    state.SetItemsProcessed(int64_t(state.iterations()) *
+                            state.range(0) * 256);
+}
+BENCHMARK(BM_CrossDeliverBatchMerge)->Arg(2)->Arg(8)->Arg(32);
+
+/** Owner-side cost of the shard-task deque: push + popFront. */
+void
+BM_StealDequePushPop(benchmark::State &state)
+{
+    topo::StealDeque deque;
+    size_t tasks = size_t(state.range(0));
+    uint32_t task = 0;
+    for (auto _ : state) {
+        for (uint32_t t = 0; t < tasks; ++t)
+            deque.push(t);
+        while (deque.popFront(task))
+            benchmark::DoNotOptimize(task);
+    }
+    state.SetItemsProcessed(int64_t(state.iterations()) *
+                            int64_t(tasks));
+}
+BENCHMARK(BM_StealDequePushPop)->Arg(16)->Arg(256);
+
+/** Thief-side cost: popBack against a populated victim deque. */
+void
+BM_StealDequeSteal(benchmark::State &state)
+{
+    topo::StealDeque deque;
+    size_t tasks = size_t(state.range(0));
+    uint32_t task = 0;
+    for (auto _ : state) {
+        for (uint32_t t = 0; t < tasks; ++t)
+            deque.push(t);
+        while (deque.popBack(task))
+            benchmark::DoNotOptimize(task);
+    }
+    state.SetItemsProcessed(int64_t(state.iterations()) *
+                            int64_t(tasks));
+}
+BENCHMARK(BM_StealDequeSteal)->Arg(16)->Arg(256);
 
 } // namespace
 

@@ -15,9 +15,24 @@
  * BGPBENCH_JOBS=<n> / --jobs <n> sets the worker threads (0 = auto).
  *
  * --sweep (or BGPBENCH_SWEEP=1) additionally runs the announce
- * scenario on a 64-node full mesh at jobs = 1, 2, 4, 8, printing the
- * wall-clock speedup table and asserting that every report is
- * byte-identical to the sequential one.
+ * scenario at jobs = 1, 2, 4, 8 on two shapes — a full mesh (uniform
+ * work, every cut 1 ms: the sync layer's worst case) and a
+ * scale-free graph with heterogeneous link latencies (skewed
+ * per-shard work and per-shard cut latencies: where work-stealing
+ * and the adaptive causality bound actually bite) — printing the
+ * wall-clock speedup tables with the sync-layer health columns
+ * (barrier-wait fraction, mean window length, steals per window)
+ * read back from the observability registry, and asserting that
+ * every report is byte-identical to the sequential one.
+ * --no-adaptive-sync (or BGPBENCH_NO_ADAPTIVE_SYNC=1) pins the
+ * fixed-window engine for the whole run, sweep included.
+ *
+ * --adaptive-overhead-check runs the CI gate instead of the bench:
+ * the jobs = 1 mesh announce timed in adaptive and fixed mode
+ * (warm-up pair, then alternating order, best-of-9); adaptive must
+ * not be more than 5% slower — at one worker both modes run the
+ * identical sequential path, so the gate catches construction-time
+ * regressions without scheduler noise.
  */
 
 #include <algorithm>
@@ -28,6 +43,8 @@
 #include <vector>
 
 #include "core/runtime_config.hh"
+#include "obs/observability.hh"
+#include "obs/views.hh"
 #include "stats/json.hh"
 #include "topo/partition.hh"
 #include "topo/scenarios.hh"
@@ -50,26 +67,62 @@ wallMs(std::chrono::steady_clock::time_point begin)
 struct SweepPoint
 {
     size_t jobs;
-    double wallMs;
-    bool identical;
+    double wallMs = 0.0;
+    bool identical = false;
+    /** Conservative windows the run stepped through. */
+    uint64_t windows = 0;
+    /** Mean opened window length (virtual ns — deterministic). */
+    double meanWindowNs = 0.0;
+    /** Host time blocked on the barrier / total worker time. */
+    double barrierWaitPct = 0.0;
+    /** Cross-worker shard steals per window (host diagnostic). */
+    double stealsPerWindow = 0.0;
 };
 
 /**
- * The thread-sweep: one announce scenario on a full mesh (the
- * hardest shape for the partitioner — every cut is wide) at
- * escalating worker counts, against the jobs = 1 report bytes.
+ * A scale-free graph with latencies spread across 1..13 ms by link
+ * index. The degree skew gives shards visibly unequal work (the
+ * stealing deques' home turf) and the latency skew gives shards
+ * unequal minimum cut latencies (what the adaptive causality bound
+ * exploits to stretch windows past the global fixed lookahead).
+ */
+topo::Topology
+skewedScaleFree(size_t n)
+{
+    topo::Topology ba = topo::Topology::barabasiAlbert(n, 2, 42);
+    topo::Topology mixed;
+    for (size_t i = 0; i < ba.nodeCount(); ++i)
+        mixed.addNode(topo::Topology::defaultNode(i, {}));
+    for (size_t l = 0; l < ba.linkCount(); ++l) {
+        const topo::Link &link = ba.link(l);
+        mixed.addLink(link.a.node, link.b.node,
+                      sim::nsFromMs(1 + (l * 7) % 13), 100.0);
+    }
+    return mixed;
+}
+
+/**
+ * The thread-sweep: one announce scenario on the given shape at
+ * escalating worker counts, against the jobs = 1 report bytes. Each
+ * point runs with observability attached and reads the sync-layer
+ * counters back out of the registry; the report bytes must not care
+ * (that is half of what the identical column asserts).
  */
 std::vector<SweepPoint>
-runSweep(size_t mesh_nodes)
+runSweep(const topo::Topology &shape, const std::string &name,
+         bool adaptive)
 {
     std::vector<SweepPoint> points;
     std::string baseline;
     for (size_t jobs : {size_t(1), size_t(2), size_t(4), size_t(8)}) {
         topo::ScenarioOptions opts;
         opts.simConfig.jobs = jobs;
+        opts.simConfig.adaptiveSync = adaptive;
+        obs::RunObservability obs;
+        opts.simConfig.obs = &obs;
         auto begin = std::chrono::steady_clock::now();
-        topo::ConvergenceReport report = topo::runAnnounceScenario(
-            topo::Topology::fullMesh(mesh_nodes), "mesh", opts);
+        topo::ConvergenceReport report =
+            topo::runAnnounceScenario(shape, name, opts);
         SweepPoint point;
         point.jobs = jobs;
         point.wallMs = wallMs(begin);
@@ -77,9 +130,89 @@ runSweep(size_t mesh_nodes)
         if (jobs == 1)
             baseline = json;
         point.identical = json == baseline;
+        point.windows =
+            obs.metrics.counterValue(obs::metric::parallelWindows);
+        uint64_t window_len = obs.metrics.counterValue(
+            obs::metric::topoWindowLenNs);
+        uint64_t barrier_wait = obs.metrics.counterValue(
+            obs::metric::topoBarrierWaitNs);
+        uint64_t steals =
+            obs.metrics.counterValue(obs::metric::topoStealCount);
+        double workers =
+            obs.metrics.gaugeValue(obs::metric::parallelJobs);
+        if (point.windows > 0) {
+            point.meanWindowNs =
+                double(window_len) / double(point.windows);
+            point.stealsPerWindow =
+                double(steals) / double(point.windows);
+        }
+        double worker_ns = workers * point.wallMs * 1e6;
+        if (worker_ns > 0) {
+            point.barrierWaitPct =
+                100.0 * double(barrier_wait) / worker_ns;
+        }
         points.push_back(point);
     }
     return points;
+}
+
+/**
+ * CI gate: adaptive sync must cost nothing when it cannot help.
+ * At jobs = 1 the engine is sequential in both modes, so any
+ * systematic gap is pure construction/bookkeeping overhead.
+ */
+int
+runAdaptiveOverheadCheck(size_t mesh_nodes)
+{
+    auto once = [&](bool adaptive) {
+        topo::ScenarioOptions opts;
+        opts.simConfig.jobs = 1;
+        opts.simConfig.adaptiveSync = adaptive;
+        auto begin = std::chrono::steady_clock::now();
+        topo::runAnnounceScenario(topo::Topology::fullMesh(mesh_nodes),
+                                  "mesh", opts);
+        return wallMs(begin);
+    };
+
+    // One untimed warm-up pair so first-touch page faults and cache
+    // fills are not charged to whichever mode happens to run first.
+    once(true);
+    once(false);
+
+    const int reps = 9;
+    double best_adaptive = 0.0;
+    double best_fixed = 0.0;
+    for (int rep = 0; rep < reps; ++rep) {
+        // Alternate the order so cache warmth cannot bias one mode.
+        double adaptive_ms;
+        double fixed_ms;
+        if (rep % 2 == 0) {
+            adaptive_ms = once(true);
+            fixed_ms = once(false);
+        } else {
+            fixed_ms = once(false);
+            adaptive_ms = once(true);
+        }
+        if (rep == 0 || adaptive_ms < best_adaptive)
+            best_adaptive = adaptive_ms;
+        if (rep == 0 || fixed_ms < best_fixed)
+            best_fixed = fixed_ms;
+    }
+
+    double ratio = best_fixed > 0 ? best_adaptive / best_fixed : 1.0;
+    std::cout << "adaptive overhead check (jobs=1, "
+              << mesh_nodes << "-node mesh, best of " << reps
+              << "):\n"
+              << "  adaptive " << stats::formatDouble(best_adaptive, 2)
+              << " ms, fixed " << stats::formatDouble(best_fixed, 2)
+              << " ms, ratio " << stats::formatDouble(ratio, 3)
+              << " (limit 1.05)\n";
+    if (ratio > 1.05) {
+        std::cerr << "error: adaptive sync is more than 5% slower "
+                     "than fixed windows at jobs=1\n";
+        return 1;
+    }
+    return 0;
 }
 
 } // namespace
@@ -90,6 +223,7 @@ main(int argc, char **argv)
     size_t nodes = benchutil::envSize(
         "BGPBENCH_NODES", benchutil::fastMode() ? 10 : 24);
     core::RuntimeConfig runtime = core::RuntimeConfig::fromEnvironment();
+    bool overhead_check = false;
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
         if (arg == "--jobs" && i + 1 < argc) {
@@ -97,24 +231,36 @@ main(int argc, char **argv)
                 size_t(std::strtoull(argv[++i], nullptr, 10)));
         } else if (arg == "--sweep") {
             runtime.overrideSweep(true);
+        } else if (arg == "--no-adaptive-sync") {
+            runtime.overrideAdaptiveSync(false);
+        } else if (arg == "--adaptive-overhead-check") {
+            overhead_check = true;
         } else {
             std::cerr << "usage: topo_convergence [--jobs N] "
-                         "[--sweep]\n";
+                         "[--sweep] [--no-adaptive-sync] "
+                         "[--adaptive-overhead-check]\n";
             return 2;
         }
     }
     runtime.apply();
     size_t jobs = runtime.jobs();
     bool sweep = runtime.sweep();
+    bool adaptive = runtime.adaptiveSync();
+    if (overhead_check) {
+        return runAdaptiveOverheadCheck(benchutil::fastMode() ? 16
+                                                              : 32);
+    }
     const uint64_t seed = 42;
     const size_t attach = 2;
 
     std::cout << "Network-wide convergence (" << nodes
               << " routers per topology, seed " << seed << ", jobs "
-              << jobs << ")\n";
+              << jobs << ", " << (adaptive ? "adaptive" : "fixed")
+              << " sync)\n";
 
     topo::ScenarioOptions opts;
     opts.simConfig.jobs = jobs;
+    opts.simConfig.adaptiveSync = adaptive;
     std::vector<topo::ConvergenceReport> runs;
 
     runs.push_back(topo::runAnnounceScenario(
@@ -141,22 +287,45 @@ main(int argc, char **argv)
         run.printText(std::cout);
     }
 
-    std::vector<SweepPoint> sweep_points;
+    struct SweepRun
+    {
+        std::string scenario;
+        std::vector<SweepPoint> points;
+    };
+    std::vector<SweepRun> sweeps;
     if (sweep) {
         size_t mesh_nodes = benchutil::fastMode() ? 16 : 64;
-        std::cout << "\nThread sweep: announce on a " << mesh_nodes
-                  << "-node full mesh\n";
-        sweep_points = runSweep(mesh_nodes);
-        std::cout << "jobs  wall ms   speedup  report\n";
-        for (const SweepPoint &point : sweep_points) {
-            std::cout << point.jobs << "     "
-                      << stats::formatDouble(point.wallMs, 1) << "   "
-                      << stats::formatDouble(
-                             sweep_points[0].wallMs / point.wallMs, 2)
-                      << "x    "
-                      << (point.identical ? "identical"
-                                          : "DIVERGED")
-                      << "\n";
+        size_t skew_nodes = benchutil::fastMode() ? 24 : 64;
+        sweeps.push_back(
+            {"mesh " + std::to_string(mesh_nodes),
+             runSweep(topo::Topology::fullMesh(mesh_nodes), "mesh",
+                      adaptive)});
+        sweeps.push_back(
+            {"skewed " + std::to_string(skew_nodes),
+             runSweep(skewedScaleFree(skew_nodes), "skewed",
+                      adaptive)});
+        for (const SweepRun &run : sweeps) {
+            std::cout << "\nThread sweep: announce on " << run.scenario
+                      << " (" << (adaptive ? "adaptive" : "fixed")
+                      << " sync)\n";
+            std::cout << "jobs  wall ms   speedup  barrier%  "
+                         "window ms  steals/win  report\n";
+            for (const SweepPoint &point : run.points) {
+                std::cout
+                    << point.jobs << "     "
+                    << stats::formatDouble(point.wallMs, 1) << "   "
+                    << stats::formatDouble(
+                           run.points[0].wallMs / point.wallMs, 2)
+                    << "x    "
+                    << stats::formatDouble(point.barrierWaitPct, 1)
+                    << "      "
+                    << stats::formatDouble(point.meanWindowNs / 1e6, 3)
+                    << "      "
+                    << stats::formatDouble(point.stealsPerWindow, 2)
+                    << "        "
+                    << (point.identical ? "identical" : "DIVERGED")
+                    << "\n";
+            }
         }
     }
 
@@ -168,8 +337,14 @@ main(int argc, char **argv)
         resolved =
             std::max<size_t>(1, std::thread::hardware_concurrency());
     }
+    // Mirror the engine's shard target (adaptive mode over-decomposes
+    // to 2x jobs for stealing headroom).
+    size_t shard_target = resolved;
+    if (resolved > 1 && adaptive)
+        shard_target = std::min(size_t(nodes), resolved * 2);
     topo::Partition partition = topo::partitionTopology(
-        topo::Topology::barabasiAlbert(nodes, attach, seed), resolved);
+        topo::Topology::barabasiAlbert(nodes, attach, seed),
+        shard_target);
 
     std::ofstream json("BENCH_topo_convergence.json");
     stats::JsonWriter writer(json);
@@ -189,12 +364,26 @@ main(int argc, char **argv)
     if (sweep) {
         writer.key("sweep");
         writer.beginArray();
-        for (const SweepPoint &point : sweep_points) {
-            writer.beginObject();
-            writer.field("jobs", uint64_t(point.jobs));
-            writer.field("wall_ms", point.wallMs);
-            writer.field("report_identical", point.identical);
-            writer.endObject();
+        for (const SweepRun &run : sweeps) {
+            for (const SweepPoint &point : run.points) {
+                writer.beginObject();
+                writer.field("scenario", run.scenario);
+                writer.field("jobs", uint64_t(point.jobs));
+                writer.field("wall_ms", point.wallMs);
+                writer.field("report_identical", point.identical);
+                // windows / mean_window_ns are virtual-time
+                // quantities (deterministic for a fixed config);
+                // barrier_wait_pct and steals_per_window are
+                // host-side diagnostics, like wall_ms.
+                writer.field("adaptive_sync", adaptive);
+                writer.field("windows", point.windows);
+                writer.field("mean_window_ns", point.meanWindowNs);
+                writer.field("barrier_wait_pct",
+                             point.barrierWaitPct);
+                writer.field("steals_per_window",
+                             point.stealsPerWindow);
+                writer.endObject();
+            }
         }
         writer.endArray();
     }
@@ -209,11 +398,14 @@ main(int argc, char **argv)
         std::cerr << "error: a scenario failed to converge\n";
         return 1;
     }
-    for (const SweepPoint &point : sweep_points) {
-        if (!point.identical) {
-            std::cerr << "error: parallel report diverged at jobs "
-                      << point.jobs << "\n";
-            return 1;
+    for (const SweepRun &run : sweeps) {
+        for (const SweepPoint &point : run.points) {
+            if (!point.identical) {
+                std::cerr << "error: parallel report diverged on "
+                          << run.scenario << " at jobs " << point.jobs
+                          << "\n";
+                return 1;
+            }
         }
     }
     return 0;

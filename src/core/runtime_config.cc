@@ -66,6 +66,8 @@ RuntimeConfig::fromEnvironment()
         config.prefixTree_ = {false, ConfigOrigin::Environment};
     if (envFlagIsNonZero("BGPBENCH_NO_SEGMENT_SHARING"))
         config.segmentSharing_ = {false, ConfigOrigin::Environment};
+    if (envFlagIsOne("BGPBENCH_NO_ADAPTIVE_SYNC"))
+        config.adaptiveSync_ = {false, ConfigOrigin::Environment};
     if (envFlagIsOne("BGPBENCH_SWEEP"))
         config.sweep_ = {true, ConfigOrigin::Environment};
     if (const char *value = getEnv("BGPBENCH_JOBS")) {
@@ -124,6 +126,12 @@ RuntimeConfig::overrideJobs(size_t jobs)
 }
 
 void
+RuntimeConfig::overrideAdaptiveSync(bool enabled)
+{
+    adaptiveSync_ = {enabled, ConfigOrigin::CommandLine};
+}
+
+void
 RuntimeConfig::overrideServeReaders(size_t readers)
 {
     serveReaders_ = {readers, ConfigOrigin::CommandLine};
@@ -171,6 +179,8 @@ RuntimeConfig::dump(std::ostream &out) const
                   jobs_.value == 0 ? std::string("auto")
                                    : std::to_string(jobs_.value),
                   configOriginName(jobs_.origin)});
+    table.addRow({"adaptive sync", onOff(adaptiveSync_.value),
+                  configOriginName(adaptiveSync_.origin)});
     table.addRow({"serve readers", std::to_string(serveReaders_.value),
                   configOriginName(serveReaders_.origin)});
     table.addRow({"snapshot every",

@@ -56,7 +56,8 @@ class RuntimeConfig
     /**
      * Defaults overlaid with the BGPBENCH_* environment variables
      * (BGPBENCH_NO_INTERN=1, BGPBENCH_NO_SEGMENT_SHARING=<non-zero>,
-     * BGPBENCH_NO_PREFIX_TREE=1, BGPBENCH_SWEEP=1, BGPBENCH_JOBS=<n>,
+     * BGPBENCH_NO_PREFIX_TREE=1, BGPBENCH_NO_ADAPTIVE_SYNC=1,
+     * BGPBENCH_SWEEP=1, BGPBENCH_JOBS=<n>,
      * BGPBENCH_SERVE_READERS=<n>, BGPBENCH_SNAPSHOT_EVERY=<n>,
      * BGPBENCH_QUERY_MIX=<L:B:S:P>).
      * Unset or unparsable variables leave the default in place.
@@ -73,6 +74,8 @@ class RuntimeConfig
     bool sweep() const { return sweep_.value; }
     /** Topology worker threads; 1 = sequential, 0 = auto. */
     size_t jobs() const { return jobs_.value; }
+    /** Adaptive sync windows in the parallel engine (ablation). */
+    bool adaptiveSync() const { return adaptiveSync_.value; }
     /** Serve workload reader threads. */
     size_t serveReaders() const { return serveReaders_.value; }
     /** Snapshot granularity: 0 = per flush, N = per N decisions. */
@@ -91,6 +94,10 @@ class RuntimeConfig
     }
     ConfigOrigin sweepOrigin() const { return sweep_.origin; }
     ConfigOrigin jobsOrigin() const { return jobs_.origin; }
+    ConfigOrigin adaptiveSyncOrigin() const
+    {
+        return adaptiveSync_.origin;
+    }
     ConfigOrigin serveReadersOrigin() const
     {
         return serveReaders_.origin;
@@ -107,6 +114,7 @@ class RuntimeConfig
     void overrideSegmentSharing(bool enabled);
     void overrideSweep(bool enabled);
     void overrideJobs(size_t jobs);
+    void overrideAdaptiveSync(bool enabled);
     void overrideServeReaders(size_t readers);
     void overrideSnapshotEvery(uint64_t every);
     void overrideQueryMix(std::string mix);
@@ -129,6 +137,7 @@ class RuntimeConfig
     Setting<bool> segmentSharing_{true, ConfigOrigin::Default};
     Setting<bool> sweep_{false, ConfigOrigin::Default};
     Setting<size_t> jobs_{1, ConfigOrigin::Default};
+    Setting<bool> adaptiveSync_{true, ConfigOrigin::Default};
     Setting<size_t> serveReaders_{4, ConfigOrigin::Default};
     Setting<uint64_t> snapshotEvery_{0, ConfigOrigin::Default};
     Setting<std::string> queryMix_{"88:10:1.5:0.5",

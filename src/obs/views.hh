@@ -57,6 +57,15 @@ inline constexpr const char *parallelWindows = "parallel.windows";
 inline constexpr const char *parallelBarrierWaitNs =
     "parallel.barrier_wait_ns";
 
+/** Sum of opened window lengths (virtual ns — deterministic). */
+inline constexpr const char *topoWindowLenNs = "topo.window_len_ns";
+/** Host ns workers spent blocked on the window barrier (diagnostic:
+ *  nondeterministic, never byte-compared). */
+inline constexpr const char *topoBarrierWaitNs =
+    "topo.barrier_wait_ns";
+/** Shard tasks taken from another worker's deque (diagnostic). */
+inline constexpr const char *topoStealCount = "topo.steal_count";
+
 } // namespace metric
 
 /** "parallel.shard.<index>.<field>" */

@@ -1,5 +1,6 @@
 #include "sim/event_queue.hh"
 
+#include <algorithm>
 #include <memory>
 
 #include "net/logging.hh"
@@ -8,10 +9,23 @@ namespace bgpbench::sim
 {
 
 void
+Simulator::push(Event event)
+{
+    heap_.push_back(std::move(event));
+    std::push_heap(heap_.begin(), heap_.end(), Later{});
+}
+
+void
+Simulator::reserve(size_t additional)
+{
+    heap_.reserve(heap_.size() + additional);
+}
+
+void
 Simulator::schedule(SimTime at, uint64_t key, Handler handler)
 {
     panicIf(at < now_, "event scheduled in the past");
-    queue_.push(Event{at, key, nextSeq_++, std::move(handler), {}});
+    push(Event{at, key, nextSeq_++, std::move(handler), {}});
 }
 
 void
@@ -28,23 +42,24 @@ Simulator::scheduleEvery(SimTime period, std::function<bool()> handler)
     // multiple regardless of what else the handler schedules.
     auto task = std::make_shared<PeriodicTask>(
         PeriodicTask{period, std::move(handler)});
-    queue_.push(
-        Event{now_ + period, 0, nextSeq_++, {}, std::move(task)});
+    push(Event{now_ + period, 0, nextSeq_++, {}, std::move(task)});
 }
 
 void
 Simulator::runFront()
 {
-    // Copy out before pop; the handler may schedule new events.
-    Event event = std::move(const_cast<Event &>(queue_.top()));
-    queue_.pop();
+    // Move the front event out before running it; the handler may
+    // schedule new events (which reallocate the heap storage).
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    Event event = std::move(heap_.back());
+    heap_.pop_back();
     now_ = event.time;
     ++executed_;
     if (event.periodic) {
         if (event.periodic->handler()) {
             event.time = now_ + event.periodic->period;
             event.seq = nextSeq_++;
-            queue_.push(std::move(event));
+            push(std::move(event));
         }
         return;
     }
@@ -54,7 +69,7 @@ Simulator::runFront()
 bool
 Simulator::step()
 {
-    if (queue_.empty())
+    if (heap_.empty())
         return false;
     runFront();
     return true;
@@ -63,7 +78,7 @@ Simulator::step()
 void
 Simulator::runUntil(SimTime until)
 {
-    while (!queue_.empty() && queue_.top().time <= until)
+    while (!heap_.empty() && heap_.front().time <= until)
         runFront();
     if (now_ < until)
         now_ = until;
@@ -73,7 +88,7 @@ size_t
 Simulator::runBefore(SimTime end)
 {
     size_t ran = 0;
-    while (!queue_.empty() && queue_.top().time < end) {
+    while (!heap_.empty() && heap_.front().time < end) {
         runFront();
         ++ran;
     }
@@ -90,7 +105,7 @@ Simulator::runUntilIdle()
 SimTime
 Simulator::nextEventTime() const
 {
-    return queue_.empty() ? simTimeNever : queue_.top().time;
+    return heap_.empty() ? simTimeNever : heap_.front().time;
 }
 
 } // namespace bgpbench::sim

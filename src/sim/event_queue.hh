@@ -9,7 +9,6 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <queue>
 #include <vector>
 
 #include "sim/time.hh"
@@ -90,7 +89,15 @@ class Simulator
     bool step();
 
     /** Events waiting. */
-    size_t pendingEvents() const { return queue_.size(); }
+    size_t pendingEvents() const { return heap_.size(); }
+
+    /**
+     * Pre-size the event heap for @p additional more events. The
+     * parallel engine's window barrier calls this before scheduling a
+     * merged mailbox batch, so a large cross-shard delivery grows the
+     * heap storage once instead of reallocating mid-loop.
+     */
+    void reserve(size_t additional);
 
     /** Total events executed. */
     uint64_t eventsExecuted() const { return executed_; }
@@ -120,6 +127,13 @@ class Simulator
         std::shared_ptr<PeriodicTask> periodic;
     };
 
+    /**
+     * Max-heap "later" order for std::push_heap/pop_heap, so the
+     * heap front is the earliest (time, key, seq). The triple is a
+     * total order (seq is unique), so the pop sequence — and with it
+     * every simulation — is independent of the heap's internal
+     * layout.
+     */
     struct Later
     {
         bool
@@ -133,10 +147,12 @@ class Simulator
         }
     };
 
+    void push(Event event);
     /** Pop the front event and run it with the clock at its time. */
     void runFront();
 
-    std::priority_queue<Event, std::vector<Event>, Later> queue_;
+    /** Binary heap via std::push_heap/pop_heap; front at index 0. */
+    std::vector<Event> heap_;
     SimTime now_ = 0;
     uint64_t nextSeq_ = 0;
     uint64_t executed_ = 0;

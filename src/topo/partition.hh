@@ -4,19 +4,29 @@
  *
  * The partitioner splits a topology's routers into a requested number
  * of shards so that one worker thread can own each shard's event
- * queue. Two goals pull against each other: shards should hold equal
- * node counts (thread load balance) and as few links as possible
+ * queue. Three goals pull against each other: shards should hold
+ * equal node counts (thread load balance), as few links as possible
  * should cross shards (every cut link forces cross-shard message
- * exchange and bounds the conservative lookahead window).
+ * exchange), and the links that *are* cut should be slow ones —
+ * the smallest cut-link latency seeds the conservative lookahead
+ * window, so cutting a fast link throttles every shard.
  *
- * The algorithm is greedy BFS growth: each shard starts from the
- * lowest-numbered unassigned node and absorbs unassigned neighbours
- * breadth-first until its node quota is met, restarting from the next
- * unassigned seed if the frontier empties (disconnected remainder).
- * On lines, rings, and stars this recovers the contiguous minimum-cut
- * split; on meshy graphs no small cut exists and the quota keeps the
- * threads busy evenly. The result is a pure function of the topology
- * and the shard count — determinism of parallel runs starts here.
+ * The algorithm is a portfolio of greedy BFS growths: each shard
+ * starts from the lowest-numbered unassigned node and absorbs
+ * unassigned neighbours breadth-first until its node quota is met,
+ * restarting from the next unassigned seed if the frontier empties
+ * (disconnected remainder). The strategies differ only in the order
+ * neighbours are absorbed: AdjacencyOrder takes them as the topology
+ * lists them (the original greedy), LatencyAffinity takes the
+ * lowest-latency neighbour first, keeping fast links inside shards
+ * and pushing slow ones onto the cut. partitionTopology() runs both
+ * and keeps the cut with the larger minimum cut latency (tie-break:
+ * fewer cut links, then strategy order) — so the chosen cut never
+ * has a lower lookahead seed than the original greedy produced. On
+ * lines, rings, and stars with uniform latencies this recovers the
+ * contiguous minimum-cut split exactly as before. The result is a
+ * pure function of the topology and the shard count — determinism of
+ * parallel runs starts here.
  */
 
 #ifndef BGPBENCH_TOPO_PARTITION_HH
@@ -54,6 +64,14 @@ struct Partition
      * cut (single shard).
      */
     sim::SimTime minCutLatencyNs = sim::simTimeNever;
+    /**
+     * Per shard: the smallest latency over cut links with an
+     * endpoint in that shard (simTimeNever when the shard touches no
+     * cut link). Feeds the adaptive engine's causality bound: no
+     * message shard s emits can arrive anywhere earlier than its own
+     * next event time plus this latency.
+     */
+    std::vector<sim::SimTime> shardMinCutLatencyNs;
 
     bool crossShard(const Link &link) const
     {
@@ -61,9 +79,30 @@ struct Partition
     }
 };
 
+/** Neighbour-absorption order of the greedy BFS growth. */
+enum class PartitionStrategy
+{
+    /** Topology adjacency order — the original greedy, bit-exact. */
+    AdjacencyOrder,
+    /** Ascending link latency (ties by node index): keep fast links
+     *  internal so the cut is made of slow ones. */
+    LatencyAffinity,
+};
+
 /**
  * Partition @p topo into @p shards shards (clamped to the node
- * count; 0 is fatal). Deterministic for equal inputs.
+ * count; 0 is fatal) with one fixed strategy. Deterministic for
+ * equal inputs.
+ */
+Partition partitionTopologyWithStrategy(const Topology &topo,
+                                        size_t shards,
+                                        PartitionStrategy strategy);
+
+/**
+ * Portfolio partition: run every strategy and keep the result with
+ * the largest minCutLatencyNs (tie-break: fewer cut links, then
+ * strategy declaration order). Deterministic for equal inputs, and
+ * never worse (in min cut latency) than the AdjacencyOrder greedy.
  */
 Partition partitionTopology(const Topology &topo, size_t shards);
 

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * StealDeque: the work-stealing deque of whole-shard window tasks.
+ *
+ * Inside one lookahead window the unit of stealable work is an entire
+ * shard — finer event-level stealing would race on shard-local state
+ * (speakers, trackers, link replicas). The window barrier's
+ * completion step, which runs exclusively, refills the deques with
+ * the shards that have events below the window end; during the
+ * window each worker pops its own deque from the front and, when it
+ * runs dry, steals from the back of a victim's. A shard id is pushed
+ * exactly once per window and the pops are mutually excluded, so
+ * exactly one worker drains a given shard per window — the property
+ * that keeps the (time, key, seq) total order of PR 3 intact no
+ * matter who executes what.
+ *
+ * A mutex (not a lock-free Chase-Lev deque) is deliberate: the deque
+ * is touched once per *shard task*, not per event, so contention is a
+ * few dozen lock acquisitions per window against millions of events —
+ * and the mutex keeps the happens-before story TSan-provable.
+ */
+
+#ifndef BGPBENCH_TOPO_STEAL_DEQUE_HH
+#define BGPBENCH_TOPO_STEAL_DEQUE_HH
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+
+namespace bgpbench::topo
+{
+
+class StealDeque
+{
+  public:
+    /** Append a task; barrier-exclusive (the refill path). */
+    void
+    push(uint32_t task)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        tasks_.push_back(task);
+    }
+
+    /** Owner pop: the front (FIFO over this worker's own shards). */
+    bool
+    popFront(uint32_t &task)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (tasks_.empty())
+            return false;
+        task = tasks_.front();
+        tasks_.pop_front();
+        return true;
+    }
+
+    /** Thief pop: the back (largest distance from the owner's end). */
+    bool
+    popBack(uint32_t &task)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (tasks_.empty())
+            return false;
+        task = tasks_.back();
+        tasks_.pop_back();
+        return true;
+    }
+
+    bool
+    empty() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return tasks_.empty();
+    }
+
+  private:
+    mutable std::mutex mutex_;
+    std::deque<uint32_t> tasks_;
+};
+
+} // namespace bgpbench::topo
+
+#endif // BGPBENCH_TOPO_STEAL_DEQUE_HH

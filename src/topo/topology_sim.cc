@@ -1,7 +1,6 @@
 #include "topo/topology_sim.hh"
 
 #include <algorithm>
-#include <atomic>
 #include <barrier>
 #include <chrono>
 #include <iostream>
@@ -24,6 +23,19 @@ hostNanosSince(std::chrono::steady_clock::time_point begin)
                         std::chrono::steady_clock::now() - begin)
                         .count());
 }
+
+/** The cross-shard delivery order: (arrival time, message key). */
+struct CrossTimeKeyLess
+{
+    template <typename Msg>
+    bool
+    operator()(const Msg &a, const Msg &b) const
+    {
+        if (a.time != b.time)
+            return a.time < b.time;
+        return a.key < b.key;
+    }
+};
 
 } // namespace
 
@@ -72,7 +84,14 @@ TopologySim::TopologySim(Topology topology, TopologySimConfig config)
     size_t jobs = config_.jobs;
     if (jobs == 0)
         jobs = std::max<size_t>(1, std::thread::hardware_concurrency());
-    partition_ = partitionTopology(topo_, jobs);
+    // Adaptive sync over-decomposes: about two shards per worker
+    // feeds the work-stealing deques, so a shard hitting a quiet
+    // window doesn't idle its worker. Fixed mode keeps the PR 3
+    // one-shard-per-worker layout exactly.
+    size_t shard_target = jobs;
+    if (jobs > 1 && config_.adaptiveSync)
+        shard_target = std::min(topo_.nodeCount(), jobs * 2);
+    partition_ = partitionTopology(topo_, shard_target);
     if (partition_.shardCount > 1 && partition_.cutLinks > 0 &&
         partition_.minCutLatencyNs == 0) {
         // A zero-latency cut link leaves no conservative lookahead at
@@ -88,23 +107,49 @@ TopologySim::TopologySim(Topology topology, TopologySimConfig config)
                                      partition_.nodeSkew);
     }
     lookaheadNs_ = partition_.minCutLatencyNs;
+    workers_ = std::min(jobs, partition_.shardCount);
+    controller_ = WindowController(
+        partition_.shardCount > 1 ? lookaheadNs_ : 0,
+        partition_.cutLinks, config_.adaptiveSync);
 
     shards_.reserve(partition_.shardCount);
     for (size_t s = 0; s < partition_.shardCount; ++s) {
         auto shard = std::make_unique<Shard>();
         shard->index = s;
         shard->links.resize(topo_.linkCount());
-        shard->outbox.resize(partition_.shardCount);
-        if (config_.obs) {
+        shard->outSlotOfLink.assign(topo_.linkCount(), UINT32_MAX);
+        if (config_.obs)
             shard->tracer.attach(&shard->traceBuf);
-            // Host-time barrier waits are diagnostics, not report
-            // input: the values are nondeterministic and must never
-            // feed anything whose bytes are compared across runs.
-            shard->barrierWaitNs = &shard->metrics.counter(
-                obs::shardMetricName(s, "barrier_wait_ns"));
-        }
         shards_.push_back(std::move(shard));
     }
+    // One outbound batch buffer per outgoing direction of each cut
+    // link; the destination shard keeps a reference list so the
+    // barrier can merge its inbound batches without scanning every
+    // shard. Built in link order, so the merge visits sources in a
+    // fixed order (the sort keys make even that order irrelevant).
+    inBatches_.resize(partition_.shardCount);
+    for (size_t l = 0; l < topo_.linkCount(); ++l) {
+        const Link &link = topo_.link(l);
+        uint32_t sa = partition_.shardOf[link.a.node];
+        uint32_t sb = partition_.shardOf[link.b.node];
+        if (sa == sb)
+            continue;
+        Shard &a = *shards_[sa];
+        a.outSlotOfLink[l] = uint32_t(a.outBatches.size());
+        a.outBatches.push_back(LinkBatch{sb, {}});
+        inBatches_[sb].push_back(
+            BatchRef{sa, a.outSlotOfLink[l]});
+        Shard &b = *shards_[sb];
+        b.outSlotOfLink[l] = uint32_t(b.outBatches.size());
+        b.outBatches.push_back(LinkBatch{sa, {}});
+        inBatches_[sa].push_back(
+            BatchRef{sb, b.outSlotOfLink[l]});
+    }
+    for (size_t w = 0; w < workers_; ++w)
+        workerDeques_.push_back(std::make_unique<StealDeque>());
+    workerBarrierWaitNs_.assign(workers_, 0);
+    if (config_.obs)
+        engineTracer_.attach(&engineTraceBuf_);
 
     cpuFreeAt_.assign(topo_.nodeCount(), 0);
     messageSeq_.assign(topo_.nodeCount(), 0);
@@ -327,10 +372,13 @@ TopologySim::transmitFrom(size_t node, bgp::PeerId peer,
     if (dst_shard == shard.index) {
         scheduleArrival(shard, std::move(msg));
     } else {
-        // Cross-shard: into the mailbox, delivered at the next window
-        // barrier. Window safety: msg.time >= now + link latency
-        // >= window start + lookahead >= window end.
-        shard.outbox[dst_shard].messages.push_back(std::move(msg));
+        // Cross-shard: append to this direction's batch buffer,
+        // delivered at the next window barrier. Window safety:
+        // msg.time >= now + link latency >= window start + the
+        // smallest cut latency incident to this shard, which is what
+        // bounds the window end.
+        shard.outBatches[shard.outSlotOfLink[l]]
+            .messages.push_back(std::move(msg));
     }
 }
 
@@ -573,33 +621,78 @@ TopologySim::runSequential(sim::SimTime limit)
     return converged;
 }
 
+size_t
+TopologySim::mergeInbound(size_t dst)
+{
+    // Gather the destination's inbound batches into one scratch
+    // vector, remembering the run boundaries. Each batch is
+    // (time, key)-sorted by construction — one source node feeds it
+    // and its serialisation cursor is monotone — except when a
+    // mid-window link flap reset the cursor; the is_sorted probe
+    // catches exactly that rare case and re-sorts only then.
+    inboxScratch_.clear();
+    mergeBounds_.clear();
+    for (const BatchRef &ref : inBatches_[dst]) {
+        auto &batch =
+            shards_[ref.srcShard]->outBatches[ref.slot].messages;
+        if (batch.empty())
+            continue;
+        if (!std::is_sorted(batch.begin(), batch.end(),
+                            CrossTimeKeyLess{})) {
+            std::sort(batch.begin(), batch.end(), CrossTimeKeyLess{});
+        }
+        mergeBounds_.push_back(inboxScratch_.size());
+        for (CrossMessage &msg : batch)
+            inboxScratch_.push_back(std::move(msg));
+        batch.clear();
+    }
+    if (inboxScratch_.empty())
+        return 0;
+    mergeBounds_.push_back(inboxScratch_.size());
+
+    // Pairwise merge the sorted runs in place until one remains.
+    // bounds holds run edges: k runs => k + 1 entries.
+    while (mergeBounds_.size() > 2) {
+        mergeBoundsScratch_.clear();
+        mergeBoundsScratch_.push_back(mergeBounds_.front());
+        size_t r = 0;
+        for (; r + 2 < mergeBounds_.size(); r += 2) {
+            std::inplace_merge(
+                inboxScratch_.begin() + ptrdiff_t(mergeBounds_[r]),
+                inboxScratch_.begin() + ptrdiff_t(mergeBounds_[r + 1]),
+                inboxScratch_.begin() + ptrdiff_t(mergeBounds_[r + 2]),
+                CrossTimeKeyLess{});
+            mergeBoundsScratch_.push_back(mergeBounds_[r + 2]);
+        }
+        if (r + 1 < mergeBounds_.size())
+            mergeBoundsScratch_.push_back(mergeBounds_[r + 1]);
+        mergeBounds_.swap(mergeBoundsScratch_);
+    }
+
+    // One heap growth for the whole batch, then schedule in merged
+    // order. (time, key) is a total order over cross messages — keys
+    // are unique — so the queue contents are independent of both the
+    // source visit order and the merge shape.
+    size_t count = inboxScratch_.size();
+    Shard &shard = *shards_[dst];
+    shard.sim.reserve(count);
+    for (CrossMessage &msg : inboxScratch_)
+        scheduleArrival(shard, std::move(msg));
+    inboxScratch_.clear();
+    return count;
+}
+
 void
 TopologySim::exchangeAndOpenWindow(sim::SimTime limit)
 {
-    // Drain every mailbox. Per destination, messages from all source
-    // shards are merged and sorted by (time, key) before scheduling,
-    // so the destination queue's contents never depend on the order
-    // the sources were visited in.
-    for (size_t d = 0; d < shards_.size(); ++d) {
-        inboxScratch_.clear();
-        for (auto &src : shards_) {
-            auto &box = src->outbox[d].messages;
-            for (CrossMessage &msg : box)
-                inboxScratch_.push_back(std::move(msg));
-            box.clear();
-        }
-        if (inboxScratch_.empty())
-            continue;
-        std::sort(inboxScratch_.begin(), inboxScratch_.end(),
-                  [](const CrossMessage &a, const CrossMessage &b) {
-                      if (a.time != b.time)
-                          return a.time < b.time;
-                      return a.key < b.key;
-                  });
-        for (CrossMessage &msg : inboxScratch_)
-            scheduleArrival(*shards_[d], std::move(msg));
-        inboxScratch_.clear();
-    }
+    size_t crossed = 0;
+    for (size_t d = 0; d < shards_.size(); ++d)
+        crossed += mergeInbound(d);
+    // Feed the controller the just-finished window's cross-shard
+    // traffic: a burst shrinks the next target, silence grows it.
+    // Virtual-time-observable input only, so the target sequence —
+    // and with it every window — replays identically.
+    controller_.observe(crossed);
 
     sim::SimTime next = sim::simTimeNever;
     for (const auto &shard : shards_)
@@ -615,20 +708,92 @@ TopologySim::exchangeAndOpenWindow(sim::SimTime limit)
         return;
     }
 
-    // Open [next, next + lookahead): no message transmitted inside
-    // the window can arrive before its end, so the shards may drain
-    // it independently. Clamp so nothing past the limit executes.
+    // Open [next, end): no message transmitted inside the window can
+    // arrive before its end. In fixed mode the end is the classic
+    // next + min-cut-latency. In adaptive mode the controller's
+    // target stretches the window up to the causality bound: the
+    // earliest instant any busy shard could make a message arrive
+    // anywhere, i.e. its next event time plus the smallest cut-link
+    // latency it touches. Both bounds are >= next + the fixed
+    // lookahead, so adaptive windows never regress below fixed ones.
+    sim::SimTime target =
+        controller_.adaptive() ? controller_.targetNs() : lookaheadNs_;
     sim::SimTime end;
-    if (lookaheadNs_ == sim::simTimeNever ||
-        next > sim::simTimeNever - lookaheadNs_) {
+    if (target == sim::simTimeNever ||
+        next > sim::simTimeNever - target) {
         end = sim::simTimeNever;
     } else {
-        end = next + lookaheadNs_;
+        end = next + target;
+    }
+    if (controller_.adaptive()) {
+        sim::SimTime bound = sim::simTimeNever;
+        for (const auto &shard : shards_) {
+            sim::SimTime shard_next = shard->sim.nextEventTime();
+            sim::SimTime cut =
+                partition_.shardMinCutLatencyNs[shard->index];
+            if (shard_next == sim::simTimeNever ||
+                cut == sim::simTimeNever)
+                continue;
+            if (shard_next > sim::simTimeNever - cut)
+                continue;
+            bound = std::min(bound, shard_next + cut);
+        }
+        end = std::min(end, bound);
     }
     if (limit != sim::simTimeNever)
         end = std::min(end, limit + 1);
     windowEnd_ = end;
     ++windows_;
+    if (end != sim::simTimeNever)
+        windowLenSumNs_ += end - next;
+    // The engine lane gets one span per window above the per-shard
+    // lanes; virtual timestamps keep the trace deterministic.
+    engineTracer_.complete("sync_window", "engine", obs::kTrackEngine,
+                           uint32_t(shards_.size()), next,
+                           end == sim::simTimeNever ? next : end);
+
+    // Refill the work deques with the shards that have work this
+    // window, round-robin across workers. The deques are empty here
+    // (workers drained them before arriving), and the barrier
+    // completion step runs exclusively.
+    size_t ready = 0;
+    for (size_t s = 0; s < shards_.size(); ++s) {
+        if (shards_[s]->sim.nextEventTime() < windowEnd_)
+            workerDeques_[ready++ % workers_]->push(uint32_t(s));
+    }
+}
+
+bool
+TopologySim::nextTask(size_t worker, uint32_t &task)
+{
+    if (workerDeques_[worker]->popFront(task))
+        return true;
+    for (size_t off = 1; off < workers_; ++off) {
+        size_t victim = (worker + off) % workers_;
+        if (workerDeques_[victim]->popBack(task)) {
+            stealCount_.fetch_add(1, std::memory_order_relaxed);
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+TopologySim::runShardWindow(Shard &shard,
+                            std::atomic<bool> &failed) noexcept
+{
+    auto begin = std::chrono::steady_clock::now();
+    sim::SimTime windowBegin = shard.sim.now();
+    try {
+        shard.sim.runBefore(windowEnd_);
+    } catch (...) {
+        shard.error = std::current_exception();
+        failed.store(true, std::memory_order_relaxed);
+    }
+    shard.hostBusyNs += hostNanosSince(begin);
+    shard.tracer.complete("window", "engine", obs::kTrackEngine,
+                          uint32_t(shard.index), windowBegin,
+                          shard.sim.now());
 }
 
 bool
@@ -650,36 +815,28 @@ TopologySim::runParallel(sim::SimTime limit)
         exchangeAndOpenWindow(limit);
     };
     // The barrier is the only inter-shard synchronisation: its phase
-    // completion publishes the drained mailboxes and the next
-    // windowEnd_/runDone_ values to every worker.
-    std::barrier barrier(std::ptrdiff_t(shards_.size()),
+    // completion publishes the drained batch buffers, the next
+    // windowEnd_/runDone_ values, and the refilled deques to every
+    // worker. Exactly one worker drains a given shard per window
+    // (each shard id sits in exactly one deque and pops once), so
+    // shard state stays single-writer between barriers no matter who
+    // steals what.
+    std::barrier barrier(std::ptrdiff_t(workers_),
                          std::move(completion));
 
     std::vector<std::thread> workers;
-    workers.reserve(shards_.size());
-    for (auto &entry : shards_) {
-        Shard *shard = entry.get();
-        workers.emplace_back([this, shard, &barrier, &failed]() {
+    workers.reserve(workers_);
+    for (size_t w = 0; w < workers_; ++w) {
+        workers.emplace_back([this, w, &barrier, &failed]() {
             while (!runDone_) {
-                auto begin = std::chrono::steady_clock::now();
-                sim::SimTime windowBegin = shard->sim.now();
-                try {
-                    shard->sim.runBefore(windowEnd_);
-                } catch (...) {
-                    shard->error = std::current_exception();
-                    failed.store(true, std::memory_order_relaxed);
-                }
-                shard->hostBusyNs += hostNanosSince(begin);
-                shard->tracer.complete("window", "engine",
-                                       obs::kTrackEngine,
-                                       uint32_t(shard->index),
-                                       windowBegin,
-                                       shard->sim.now());
-                if (shard->barrierWaitNs) {
+                uint32_t task = 0;
+                while (nextTask(w, task))
+                    runShardWindow(*shards_[task], failed);
+                if (config_.obs) {
                     auto waitBegin = std::chrono::steady_clock::now();
                     barrier.arrive_and_wait();
-                    shard->barrierWaitNs->add(
-                        hostNanosSince(waitBegin));
+                    workerBarrierWaitNs_[w] +=
+                        hostNanosSince(waitBegin);
                 } else {
                     barrier.arrive_and_wait();
                 }
@@ -711,6 +868,8 @@ TopologySim::absorbShardTrackers()
             config_.obs->trace.absorb(shard->traceBuf);
         }
     }
+    if (config_.obs)
+        config_.obs->trace.absorb(engineTraceBuf_);
 }
 
 bool
@@ -787,8 +946,7 @@ void
 TopologySim::publishParallelMetrics(
     obs::MetricRegistry &registry) const
 {
-    registry.gauge(obs::metric::parallelJobs)
-        .set(double(shards_.size()));
+    registry.gauge(obs::metric::parallelJobs).set(double(workers_));
     registry.gauge(obs::metric::parallelShards)
         .set(double(partition_.shardCount));
     registry.gauge(obs::metric::parallelCutLinks)
@@ -803,6 +961,18 @@ TopologySim::publishParallelMetrics(
                  ? double(lookaheadNs_)
                  : 0.0);
     registry.counter(obs::metric::parallelWindows).add(windows_);
+    // Sync-layer counters. Window length is virtual time and fully
+    // deterministic; barrier wait and steal counts are host-side
+    // diagnostics (nondeterministic by nature) and must never feed
+    // anything whose bytes are compared across runs.
+    registry.counter(obs::metric::topoWindowLenNs)
+        .add(windowLenSumNs_);
+    uint64_t barrier_wait = 0;
+    for (uint64_t ns : workerBarrierWaitNs_)
+        barrier_wait += ns;
+    registry.counter(obs::metric::topoBarrierWaitNs).add(barrier_wait);
+    registry.counter(obs::metric::topoStealCount)
+        .add(stealCount_.load(std::memory_order_relaxed));
     for (const auto &shard : shards_) {
         registry.gauge(obs::shardMetricName(shard->index, "nodes"))
             .set(double(partition_.shardNodes[shard->index]));

@@ -25,16 +25,39 @@
  * ## Parallel execution (config.jobs)
  *
  * With jobs > 1 the topology's routers are partitioned into shards
- * (greedy BFS, see partition.hh) and one worker thread runs each
- * shard's own event queue. Shards advance in conservative lookahead
- * windows: every shard drains the events below the window end, the
- * window being bounded by the smallest cross-shard link latency, so
- * no message sent inside a window can be due before the window ends.
- * At the window barrier the shards' outbound mailboxes are exchanged
- * and the next window is derived from the globally earliest pending
- * event. Mailboxes are single-producer/single-consumer: the owning
- * worker appends during its window, the barrier's completion step
- * drains them — the barrier itself is the only synchronisation.
+ * (greedy BFS portfolio, see partition.hh) and a pool of worker
+ * threads drains the shards' own event queues in conservative
+ * lookahead windows: every shard drains the events below the window
+ * end, chosen so that no message sent inside the window can be due
+ * before it ends. At the window barrier the shards' outbound batch
+ * buffers are exchanged and the next window is derived from the
+ * globally earliest pending event. Three throughput mechanisms sit
+ * on top of the PR 3 engine, all behind the adaptiveSync switch
+ * (BGPBENCH_NO_ADAPTIVE_SYNC=1 / --no-adaptive-sync restores the
+ * fixed-window engine exactly):
+ *
+ *  - Adaptive lookahead. A WindowController grows the window toward
+ *    a cap while cross-shard traffic is quiet and shrinks it back
+ *    toward the fixed floor under bursts; every window is clamped to
+ *    the causality bound min over busy shards s of
+ *    (next event of s + smallest cut-link latency incident to s),
+ *    which no cross-shard arrival can undercut. Both inputs are
+ *    virtual-time quantities, so the window sequence replays
+ *    identically run to run.
+ *  - Batched cross-shard delivery. Transmits append to per-cut-link
+ *    elastic batch buffers (one per direction, owned by the source
+ *    shard; capacity retained across windows) instead of a flat
+ *    per-destination outbox; the barrier merges the per-link batches
+ *    — each already (time, key)-sorted except across rare mid-window
+ *    link flaps — per destination instead of re-sorting everything.
+ *  - Intra-window work-stealing. The engine over-decomposes
+ *    (shards ~ 2x workers) and the barrier refills per-worker deques
+ *    with the shards that have events in the window; workers pop
+ *    their own deque from the front and steal from the back of
+ *    others' when idle. Exactly one worker drains a given shard per
+ *    window, so shard-local state stays single-writer and the event
+ *    order per shard is untouched — which worker ran it is invisible
+ *    to the simulation.
  *
  * Determinism is the cardinal constraint: for a fixed topology and
  * schedule, runs at ANY shard count produce reports byte-identical
@@ -59,6 +82,7 @@
 #ifndef BGPBENCH_TOPO_TOPOLOGY_SIM_HH
 #define BGPBENCH_TOPO_TOPOLOGY_SIM_HH
 
+#include <atomic>
 #include <memory>
 #include <utility>
 #include <vector>
@@ -69,6 +93,8 @@
 #include "stats/report.hh"
 #include "topo/convergence.hh"
 #include "topo/partition.hh"
+#include "topo/steal_deque.hh"
+#include "topo/sync_window.hh"
 #include "topo/topology.hh"
 
 namespace bgpbench::topo
@@ -89,10 +115,21 @@ struct TopologySimConfig
     bool chargeProcessingCost = true;
     /**
      * Worker threads: 1 (default) runs the sequential engine, N > 1
-     * runs N shards on N threads, 0 resolves to the hardware
-     * concurrency. Reports are byte-identical for every value.
+     * runs a worker pool over the sharded engine, 0 resolves to the
+     * hardware concurrency. Reports are byte-identical for every
+     * value.
      */
     size_t jobs = 1;
+    /**
+     * Adaptive synchronisation (adaptive lookahead windows plus
+     * shard over-decomposition for work-stealing). False restores
+     * the PR 3 fixed-window engine: window length pinned to the
+     * smallest cut-link latency and exactly one shard per worker.
+     * Defaults from BGPBENCH_NO_ADAPTIVE_SYNC (see
+     * adaptiveSyncDefault()); reports are byte-identical in both
+     * modes.
+     */
+    bool adaptiveSync = adaptiveSyncDefault();
     /**
      * Observability sinks for the run, or null (detached — the
      * default). When set, every speaker is bound to its shard's
@@ -137,10 +174,19 @@ class TopologySim
     sim::SimTime now() const;
     /** Events waiting across all shards. */
     size_t pendingEvents() const;
-    /** Worker threads / shards the engine resolved to. */
-    size_t jobs() const { return shards_.size(); }
+    /**
+     * Worker threads the engine resolved to. With adaptive sync the
+     * shard count may exceed this (over-decomposition feeds the
+     * work-stealing deques); partition().shardCount has the shards.
+     */
+    size_t jobs() const { return workers_; }
     /** The node partition driving the sharded execution. */
     const Partition &partition() const { return partition_; }
+    /** The (possibly adaptive) lookahead window policy in effect. */
+    const WindowController &windowController() const
+    {
+        return controller_;
+    }
     bgp::BgpSpeaker &speaker(size_t node);
     const bgp::BgpSpeaker &speaker(size_t node) const;
     ConvergenceTracker &tracker() { return tracker_; }
@@ -204,10 +250,14 @@ class TopologySim
      * Publish the shard layout and utilization counters of the runs
      * so far under the "parallel.*" metric names (obs::metric, one
      * gauge/counter per field plus per-shard entries; rendered by
-     * obs::printParallelView). Jobs-dependent by nature, hence NOT
-     * part of the convergence report (whose bytes must not depend on
-     * the jobs knob). Counters accumulate, so publish once per
-     * report into a given registry.
+     * obs::printParallelView), plus the sync-layer "topo.*" counters:
+     * topo.window_len_ns (deterministic, virtual-time), and the
+     * host-side diagnostics topo.barrier_wait_ns / topo.steal_count
+     * (nondeterministic by nature — they must never feed anything
+     * whose bytes are compared across runs). Jobs-dependent, hence
+     * NOT part of the convergence report (whose bytes must not
+     * depend on the jobs knob). Counters accumulate, so publish once
+     * per report into a given registry.
      */
     void publishParallelMetrics(obs::MetricRegistry &registry) const;
 
@@ -250,20 +300,35 @@ class TopologySim
     };
 
     /**
-     * Single-producer/single-consumer mailbox for one (source shard,
-     * destination shard) pair. The source worker appends during its
-     * window; the window barrier's completion step drains it. The
-     * barrier provides the happens-before edges, so the box itself
-     * needs no locks or atomics.
+     * Elastic outbound batch buffer for one outgoing direction of
+     * one cut link. The worker running the source shard appends
+     * during its window; the window barrier's completion step drains
+     * every buffer (the barrier provides the happens-before edges,
+     * so no locks or atomics). clear() keeps the capacity, so steady
+     * state appends without allocating. A single source node feeds
+     * each buffer, so its contents are (time, key)-sorted by
+     * construction except across a mid-window link flap (the
+     * serialisation cursor resets); the drain re-sorts only then.
      */
-    struct Mailbox
+    struct LinkBatch
     {
+        uint32_t dstShard = 0;
         std::vector<CrossMessage> messages;
     };
 
+    /** Locates one inbound LinkBatch of a destination shard. */
+    struct BatchRef
+    {
+        uint32_t srcShard;
+        uint32_t slot;
+    };
+
     /**
-     * One worker's slice of the simulation: its own event queue,
-     * metric tracker, link-state replica, and outbound mailboxes.
+     * One slice of the simulation: its own event queue, metric
+     * tracker, link-state replica, and outbound batch buffers. With
+     * work-stealing any worker may drain a shard's window, but only
+     * one per window, so everything here stays single-writer between
+     * barriers.
      */
     struct Shard
     {
@@ -277,8 +342,10 @@ class TopologySim
          * instant.
          */
         std::vector<LinkState> links;
-        /** Outbox toward every shard (self entry unused). */
-        std::vector<Mailbox> outbox;
+        /** One outbound batch per outgoing cut-link direction. */
+        std::vector<LinkBatch> outBatches;
+        /** link index -> outBatches slot (UINT32_MAX: not ours). */
+        std::vector<uint32_t> outSlotOfLink;
         /** Host nanoseconds spent executing events. */
         uint64_t hostBusyNs = 0;
         /** First exception thrown inside a window, if any. */
@@ -293,8 +360,6 @@ class TopologySim
         obs::MetricRegistry metrics;
         obs::TraceBuffer traceBuf;
         obs::Tracer tracer;
-        /** Barrier-wait counter handle (null when detached). */
-        obs::Counter *barrierWaitNs = nullptr;
     };
 
     size_t shardOfNode(size_t node) const
@@ -321,7 +386,7 @@ class TopologySim
     void transmitFrom(size_t node, bgp::PeerId peer,
                       bgp::MessageType type, net::WireSegmentPtr wire,
                       size_t transactions);
-    /** Schedule a (possibly mailbox-delivered) arrival in @p shard. */
+    /** Schedule a (possibly batch-delivered) arrival in @p shard. */
     void scheduleArrival(Shard &shard, CrossMessage msg);
     /** Segment reached the far end; queue CPU processing. */
     void arrive(size_t link, uint64_t epoch, uint64_t key, size_t dst,
@@ -334,10 +399,21 @@ class TopologySim
 
     /** Sequential engine: drain shard 0 up to @p limit. */
     bool runSequential(sim::SimTime limit);
-    /** Parallel engine: windowed barrier stepping on worker threads. */
+    /** Parallel engine: windowed barrier stepping on a worker pool. */
     bool runParallel(sim::SimTime limit);
-    /** Drain all mailboxes and pick the next window (barrier step). */
+    /**
+     * Drain all batch buffers, pick the next window, and refill the
+     * work-stealing deques (barrier completion step — runs
+     * exclusively).
+     */
     void exchangeAndOpenWindow(sim::SimTime limit);
+    /** Drain one destination's inbound batches; merged count. */
+    size_t mergeInbound(size_t dst);
+    /** Pop worker @p worker's next shard task (own deque or steal). */
+    bool nextTask(size_t worker, uint32_t &task);
+    /** Drain @p shard below windowEnd_ on the calling worker. */
+    void runShardWindow(Shard &shard,
+                        std::atomic<bool> &failed) noexcept;
     /** Fold the per-shard trackers into tracker_ (post-run). */
     void absorbShardTrackers();
 
@@ -345,10 +421,13 @@ class TopologySim
     TopologySimConfig config_;
     Partition partition_;
     /**
-     * Conservative window span: the smallest cross-shard link
+     * Conservative fixed window span: the smallest cross-shard link
      * latency. simTimeNever when nothing is cut (single shard).
      */
     sim::SimTime lookaheadNs_ = sim::simTimeNever;
+    /** Worker threads of the parallel engine (1 = sequential). */
+    size_t workers_ = 1;
+    WindowController controller_{0, 0, true};
     std::vector<std::unique_ptr<Shard>> shards_;
     std::vector<std::unique_ptr<NodeEvents>> events_;
     std::vector<std::unique_ptr<bgp::BgpSpeaker>> speakers_;
@@ -358,13 +437,29 @@ class TopologySim
     std::vector<uint64_t> messageSeq_;
     std::vector<std::pair<size_t, net::Prefix>> originated_;
     ConvergenceTracker tracker_;
+    /** Inbound batch locations per destination shard. */
+    std::vector<std::vector<BatchRef>> inBatches_;
+    /** Per-worker shard-task deques, refilled each window. */
+    std::vector<std::unique_ptr<StealDeque>> workerDeques_;
     /** Barrier/window state of the run in progress. */
     sim::SimTime windowEnd_ = 0;
     bool runDone_ = false;
     bool runConverged_ = false;
     uint64_t windows_ = 0;
-    /** Scratch for sorting one destination's inbound mail. */
+    /** Sum of opened window lengths (virtual ns, deterministic). */
+    uint64_t windowLenSumNs_ = 0;
+    /** Shard tasks taken from another worker's deque (diagnostic). */
+    std::atomic<uint64_t> stealCount_{0};
+    /** Host ns each worker spent blocked on the barrier (diagnostic,
+     *  recorded only when obs sinks are attached). */
+    std::vector<uint64_t> workerBarrierWaitNs_;
+    /** Scratch for merging one destination's inbound batches. */
     std::vector<CrossMessage> inboxScratch_;
+    std::vector<size_t> mergeBounds_;
+    std::vector<size_t> mergeBoundsScratch_;
+    /** Engine-lane sink for "sync_window" spans (virtual time). */
+    obs::TraceBuffer engineTraceBuf_;
+    obs::Tracer engineTracer_;
 };
 
 } // namespace bgpbench::topo

@@ -107,6 +107,51 @@ TEST(RuntimeConfig, CommandLineBeatsEnvironment)
     EXPECT_EQ(config.sweepOrigin(), core::ConfigOrigin::Default);
 }
 
+TEST(RuntimeConfig, AdaptiveSyncKnob)
+{
+    // Default on; BGPBENCH_NO_ADAPTIVE_SYNC=1 (exactly "1") turns it
+    // off; --no-adaptive-sync beats both.
+    {
+        core::RuntimeConfig config;
+        EXPECT_TRUE(config.adaptiveSync());
+        EXPECT_EQ(config.adaptiveSyncOrigin(),
+                  core::ConfigOrigin::Default);
+    }
+    {
+        EnvVar v("BGPBENCH_NO_ADAPTIVE_SYNC", "1");
+        auto config = core::RuntimeConfig::fromEnvironment();
+        EXPECT_FALSE(config.adaptiveSync());
+        EXPECT_EQ(config.adaptiveSyncOrigin(),
+                  core::ConfigOrigin::Environment);
+    }
+    {
+        EnvVar v("BGPBENCH_NO_ADAPTIVE_SYNC", "yes");
+        auto config = core::RuntimeConfig::fromEnvironment();
+        EXPECT_TRUE(config.adaptiveSync());
+        EXPECT_EQ(config.adaptiveSyncOrigin(),
+                  core::ConfigOrigin::Default);
+    }
+    {
+        EnvVar v("BGPBENCH_NO_ADAPTIVE_SYNC", "1");
+        auto config = core::RuntimeConfig::fromEnvironment();
+        config.overrideAdaptiveSync(true);
+        EXPECT_TRUE(config.adaptiveSync());
+        EXPECT_EQ(config.adaptiveSyncOrigin(),
+                  core::ConfigOrigin::CommandLine);
+    }
+}
+
+TEST(RuntimeConfig, DumpShowsAdaptiveSync)
+{
+    core::RuntimeConfig config;
+    config.overrideAdaptiveSync(false);
+    std::ostringstream os;
+    config.dump(os);
+    std::string out = os.str();
+    EXPECT_NE(out.find("adaptive sync"), std::string::npos);
+    EXPECT_NE(out.find("off"), std::string::npos);
+}
+
 TEST(RuntimeConfig, ServeKnobDefaults)
 {
     core::RuntimeConfig config;

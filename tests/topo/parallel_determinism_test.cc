@@ -158,11 +158,55 @@ TEST(ParallelDeterminism, AutoJobsMatchesSequential)
 
 TEST(ParallelDeterminism, EngineResolvesRequestedShards)
 {
+    // Adaptive sync over-decomposes: 4 workers get ~8 shards to
+    // steal among; the worker count is what jobs() reports.
     topo::TopologySimConfig config;
     config.jobs = 4;
+    config.adaptiveSync = true;
+    topo::TopologySim sim(topo::Topology::ring(16), config);
+    EXPECT_EQ(sim.jobs(), 4u);
+    EXPECT_EQ(sim.partition().shardCount, 8u);
+    EXPECT_TRUE(sim.windowController().adaptive());
+    EXPECT_GE(sim.windowController().capNs(),
+              sim.windowController().floorNs());
+
+    for (size_t node = 0; node < 16; ++node)
+        sim.originate(node, topo::scenarioPrefix(node, 0), 0);
+    ASSERT_TRUE(sim.runToConvergence(sim::nsFromSec(600.0)));
+
+    obs::MetricRegistry metrics;
+    sim.publishParallelMetrics(metrics);
+    EXPECT_EQ(metrics.gaugeValue(obs::metric::parallelJobs), 4.0);
+    EXPECT_EQ(metrics.gaugeValue(obs::metric::parallelShards), 8.0);
+    EXPECT_GT(metrics.counterValue(obs::metric::parallelWindows), 0u);
+    EXPECT_GT(metrics.counterValue(obs::metric::topoWindowLenNs), 0u);
+    EXPECT_GT(metrics.gaugeValue(obs::metric::parallelLookaheadNs),
+              0.0);
+    uint64_t events = 0;
+    for (size_t shard = 0; shard < 8; ++shard) {
+        EXPECT_EQ(metrics.gaugeValue(
+                      obs::shardMetricName(shard, "nodes")),
+                  2.0);
+        events += metrics.counterValue(
+            obs::shardMetricName(shard, "events"));
+    }
+    EXPECT_GT(events, 0u);
+}
+
+TEST(ParallelDeterminism, FixedSyncKeepsOneShardPerWorker)
+{
+    // The BGPBENCH_NO_ADAPTIVE_SYNC ablation restores the PR 3
+    // layout exactly: one shard per worker, target pinned to the
+    // smallest cut-link latency.
+    topo::TopologySimConfig config;
+    config.jobs = 4;
+    config.adaptiveSync = false;
     topo::TopologySim sim(topo::Topology::ring(16), config);
     EXPECT_EQ(sim.jobs(), 4u);
     EXPECT_EQ(sim.partition().shardCount, 4u);
+    EXPECT_FALSE(sim.windowController().adaptive());
+    EXPECT_EQ(sim.windowController().targetNs(),
+              sim.windowController().floorNs());
 
     for (size_t node = 0; node < 16; ++node)
         sim.originate(node, topo::scenarioPrefix(node, 0), 0);
@@ -172,18 +216,50 @@ TEST(ParallelDeterminism, EngineResolvesRequestedShards)
     sim.publishParallelMetrics(metrics);
     EXPECT_EQ(metrics.gaugeValue(obs::metric::parallelJobs), 4.0);
     EXPECT_EQ(metrics.gaugeValue(obs::metric::parallelShards), 4.0);
-    EXPECT_GT(metrics.counterValue(obs::metric::parallelWindows), 0u);
-    EXPECT_GT(metrics.gaugeValue(obs::metric::parallelLookaheadNs),
-              0.0);
-    uint64_t events = 0;
     for (size_t shard = 0; shard < 4; ++shard) {
         EXPECT_EQ(metrics.gaugeValue(
                       obs::shardMetricName(shard, "nodes")),
                   4.0);
-        events += metrics.counterValue(
-            obs::shardMetricName(shard, "events"));
     }
-    EXPECT_GT(events, 0u);
+}
+
+TEST(ParallelDeterminism, AdaptiveSyncMatrixIsByteIdentical)
+{
+    // The full ablation matrix: jobs 1/2/4/8 x adaptive on/off, with
+    // faults landing mid-window, all byte-identical to the
+    // sequential adaptive baseline. This is the acceptance bar of
+    // the adaptive engine: the window policy, the batch merge, and
+    // the stealing may change the execution schedule, never a report
+    // byte.
+    auto run = [](size_t jobs, bool adaptive) {
+        topo::TopologySimConfig config;
+        config.jobs = jobs;
+        config.adaptiveSync = adaptive;
+        topo::TopologySim sim(
+            topo::Topology::barabasiAlbert(20, 2, 5), config);
+        for (size_t node = 0; node < 20; ++node)
+            sim.originate(node, topo::scenarioPrefix(node, 0), 0);
+        sim.scheduleLinkDown(2, sim::nsFromUs(300));
+        sim.scheduleSessionReset(5, sim::nsFromUs(450));
+        sim.scheduleLinkUp(2, sim::nsFromMs(2));
+        sim.scheduleRouterRestart(1, sim::nsFromMs(3),
+                                  sim::nsFromMs(10));
+        bool converged = sim.runToConvergence(sim::nsFromSec(600.0));
+        EXPECT_TRUE(converged);
+        topo::ConvergenceReport report =
+            sim.report("adaptive-matrix", "random");
+        report.converged = converged && sim.locRibsConsistent();
+        return allRenderings(report);
+    };
+    std::string baseline = run(1, true);
+    EXPECT_FALSE(baseline.empty());
+    for (size_t jobs : kJobCounts) {
+        for (bool adaptive : {true, false}) {
+            SCOPED_TRACE("jobs=" + std::to_string(jobs) +
+                         " adaptive=" + (adaptive ? "on" : "off"));
+            EXPECT_EQ(run(jobs, adaptive), baseline);
+        }
+    }
 }
 
 TEST(ParallelDeterminism, TracingDoesNotPerturbReports)

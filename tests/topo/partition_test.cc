@@ -145,6 +145,120 @@ TEST(Partition, CrossShardPredicateMatchesAssignment)
     EXPECT_EQ(cut, part.cutLinks);
 }
 
+TEST(Partition, PerShardMinCutLatencyCoversEachSide)
+{
+    // Line 0-1-2-3 split in two: the middle link is the only cut,
+    // so both shards see its latency; a three-way split of a longer
+    // line gives the middle shard the smaller of its two cuts.
+    Topology topo;
+    for (size_t i = 0; i < 6; ++i)
+        topo.addNode(Topology::defaultNode(i, {}));
+    topo.addLink(0, 1, sim::nsFromMs(1), 100.0);
+    topo.addLink(1, 2, sim::nsFromMs(9), 100.0);
+    topo.addLink(2, 3, sim::nsFromMs(1), 100.0);
+    topo.addLink(3, 4, sim::nsFromMs(5), 100.0);
+    topo.addLink(4, 5, sim::nsFromMs(1), 100.0);
+
+    Partition part = topo::partitionTopologyWithStrategy(
+        topo, 3, topo::PartitionStrategy::AdjacencyOrder);
+    ASSERT_EQ(part.shardCount, 3u);
+    ASSERT_EQ(part.shardMinCutLatencyNs.size(), 3u);
+    // Shards are contiguous: {0,1}, {2,3}, {4,5}; cuts are 1-2 (9ms)
+    // and 3-4 (5ms).
+    EXPECT_EQ(part.shardMinCutLatencyNs[part.shardOf[0]],
+              sim::nsFromMs(9));
+    EXPECT_EQ(part.shardMinCutLatencyNs[part.shardOf[2]],
+              sim::nsFromMs(5));
+    EXPECT_EQ(part.shardMinCutLatencyNs[part.shardOf[5]],
+              sim::nsFromMs(5));
+    // A single shard touches no cut at all.
+    Partition solo = partitionTopology(topo, 1);
+    ASSERT_EQ(solo.shardMinCutLatencyNs.size(), 1u);
+    EXPECT_EQ(solo.shardMinCutLatencyNs[0], sim::simTimeNever);
+}
+
+TEST(Partition, LatencyAffinityKeepsFastLinksInternal)
+{
+    // Ring of 4 with alternating latencies: 0-1 and 2-3 are the slow
+    // (10 ms) links, 1-2 and 3-0 the fast (1 ms) ones. Adjacency
+    // order grows shard 0 as {0, 1}, cutting both fast links; the
+    // latency-affine greedy grows {0, 3} along the fast link,
+    // cutting the two slow ones instead — a 10x lookahead seed.
+    Topology topo;
+    for (size_t i = 0; i < 4; ++i)
+        topo.addNode(Topology::defaultNode(i, {}));
+    topo.addLink(0, 1, sim::nsFromMs(10), 100.0);
+    topo.addLink(1, 2, sim::nsFromMs(1), 100.0);
+    topo.addLink(2, 3, sim::nsFromMs(10), 100.0);
+    topo.addLink(3, 0, sim::nsFromMs(1), 100.0);
+
+    Partition adjacency = topo::partitionTopologyWithStrategy(
+        topo, 2, topo::PartitionStrategy::AdjacencyOrder);
+    EXPECT_EQ(adjacency.minCutLatencyNs, sim::nsFromMs(1));
+
+    Partition affine = topo::partitionTopologyWithStrategy(
+        topo, 2, topo::PartitionStrategy::LatencyAffinity);
+    EXPECT_EQ(affine.minCutLatencyNs, sim::nsFromMs(10));
+    EXPECT_EQ(affine.shardOf[0], affine.shardOf[3]);
+    EXPECT_EQ(affine.shardOf[1], affine.shardOf[2]);
+
+    // The portfolio must pick the strictly better cut.
+    Partition chosen = partitionTopology(topo, 2);
+    EXPECT_EQ(chosen.minCutLatencyNs, sim::nsFromMs(10));
+}
+
+TEST(Partition, PortfolioNeverLowersMinCutLatency)
+{
+    // The regression bar of the portfolio: on every shape — uniform
+    // and heterogeneous latencies alike — the chosen cut's minimum
+    // latency is at least the plain greedy's.
+    std::vector<Topology> shapes;
+    shapes.push_back(Topology::line(9));
+    shapes.push_back(Topology::ring(12));
+    shapes.push_back(Topology::barabasiAlbert(24, 2, 42));
+    // Heterogeneous variant: a BA graph re-built with latencies
+    // spread by link index.
+    Topology mixed;
+    Topology ba = Topology::barabasiAlbert(24, 2, 7);
+    for (size_t i = 0; i < ba.nodeCount(); ++i)
+        mixed.addNode(Topology::defaultNode(i, {}));
+    for (size_t l = 0; l < ba.linkCount(); ++l) {
+        const topo::Link &link = ba.link(l);
+        mixed.addLink(link.a.node, link.b.node,
+                      sim::nsFromMs(1 + (l * 7) % 13), 100.0);
+    }
+    shapes.push_back(std::move(mixed));
+
+    for (size_t shape = 0; shape < shapes.size(); ++shape) {
+        for (size_t shards : {2, 3, 4}) {
+            SCOPED_TRACE("shape=" + std::to_string(shape) +
+                         " shards=" + std::to_string(shards));
+            Partition greedy = topo::partitionTopologyWithStrategy(
+                shapes[shape], shards,
+                topo::PartitionStrategy::AdjacencyOrder);
+            Partition chosen =
+                partitionTopology(shapes[shape], shards);
+            EXPECT_GE(chosen.minCutLatencyNs,
+                      greedy.minCutLatencyNs);
+            expectCovers(chosen, shapes[shape]);
+        }
+    }
+}
+
+TEST(Partition, UniformLatencyTieKeepsAdjacencyOrder)
+{
+    // With uniform latencies every cut has the same min latency;
+    // the tie must resolve to the original greedy (possibly via the
+    // cut-links tie-break picking an equal-or-better cut), so
+    // long-standing shapes keep their exact layouts.
+    Topology topo = Topology::line(8);
+    Partition greedy = topo::partitionTopologyWithStrategy(
+        topo, 2, topo::PartitionStrategy::AdjacencyOrder);
+    Partition chosen = partitionTopology(topo, 2);
+    EXPECT_EQ(chosen.shardOf, greedy.shardOf);
+    EXPECT_EQ(chosen.cutLinks, greedy.cutLinks);
+}
+
 TEST(Partition, ImbalanceWarningNamesTheSkew)
 {
     std::ostringstream os;

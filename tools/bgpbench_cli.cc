@@ -100,6 +100,8 @@ struct CliOptions
     size_t prefixesPerNode = 1;
     /** Worker threads for topo runs: 1 sequential, 0 = auto. */
     size_t jobs = 1;
+    /** Adaptive sync windows in the parallel engine. */
+    bool adaptiveSync = true;
     /** serve command (defaults resolved from RuntimeConfig). */
     size_t serveReaders = 4;
     uint64_t serveQueries = 200000;
@@ -142,6 +144,8 @@ usage(int code)
         "  --no-prefix-tree         per-RIB hash maps instead of the\n"
         "                           shared prefix tree\n"
         "  --no-segment-sharing     disable wire segment sharing\n"
+        "  --no-adaptive-sync       fixed lookahead windows in the\n"
+        "                           parallel topology engine\n"
         "  --intern-stats           deprecated: interner view of "
         "--stats\n"
         "  --wire-stats             deprecated: segment-pool view of "
@@ -234,6 +238,8 @@ parseArgs(int argc, char **argv, core::RuntimeConfig &runtime)
             runtime.overridePrefixTree(false);
         } else if (arg == "--no-segment-sharing") {
             runtime.overrideSegmentSharing(false);
+        } else if (arg == "--no-adaptive-sync") {
+            runtime.overrideAdaptiveSync(false);
         } else if (arg == "--shape") {
             options.shape = value();
         } else if (arg == "--nodes") {
@@ -283,6 +289,7 @@ parseArgs(int argc, char **argv, core::RuntimeConfig &runtime)
     // env < CLI: BGPBENCH_JOBS seeds the default, --jobs overrides
     // (likewise for the serve knobs).
     options.jobs = runtime.jobs();
+    options.adaptiveSync = runtime.adaptiveSync();
     options.serveReaders = runtime.serveReaders();
     options.snapshotEvery = runtime.snapshotEvery();
     options.queryMix = runtime.queryMix();
@@ -473,6 +480,7 @@ cmdTopo(const CliOptions &options)
     topo::ScenarioOptions sopts;
     sopts.prefixesPerNode = options.prefixesPerNode;
     sopts.simConfig.jobs = options.jobs;
+    sopts.simConfig.adaptiveSync = options.adaptiveSync;
     sopts.simConfig.obs = options.obs;
 
     topo::ConvergenceReport report;
@@ -505,8 +513,15 @@ cmdTopo(const CliOptions &options)
             jobs = std::max<size_t>(
                 1, std::thread::hardware_concurrency());
         }
+        // Mirror the engine's shard target: adaptive mode
+        // over-decomposes to 2x jobs so idle workers have shards to
+        // steal.
+        topo::Topology shape = topoByShape(options);
+        size_t shard_target = jobs;
+        if (jobs > 1 && options.adaptiveSync)
+            shard_target = std::min(shape.nodeCount(), jobs * 2);
         topo::Partition part =
-            topo::partitionTopology(topoByShape(options), jobs);
+            topo::partitionTopology(shape, shard_target);
         std::cerr << "parallel: " << part.shardCount << " shard(s), "
                   << part.cutLinks << " cut link(s) ("
                   << stats::formatDouble(part.edgeCutRatio * 100.0, 1)
@@ -543,6 +558,7 @@ cmdServe(const CliOptions &options)
     serve::ServeRunConfig config;
     config.scenario.prefixesPerNode = options.prefixesPerNode;
     config.scenario.simConfig.jobs = options.jobs;
+    config.scenario.simConfig.adaptiveSync = options.adaptiveSync;
     config.scenario.simConfig.obs = options.obs;
     config.snapshotEvery = options.snapshotEvery;
     config.engine.readers = int(options.serveReaders);
