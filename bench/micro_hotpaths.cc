@@ -22,6 +22,7 @@
 #include "bgp/attr_intern.hh"
 #include "bgp/decision.hh"
 #include "bgp/message.hh"
+#include "bgp/policy.hh"
 #include "bgp/speaker.hh"
 #include "bgp/update_builder.hh"
 #include "fib/forwarding_engine.hh"
@@ -707,6 +708,177 @@ BM_StealDequeSteal(benchmark::State &state)
                             int64_t(tasks));
 }
 BENCHMARK(BM_StealDequeSteal)->Arg(16)->Arg(256);
+
+/**
+ * A prefix-list whose entries cover disjoint /16 ranges; roughly one
+ * entry in @p entries covers any generated route, so the linear scan
+ * pays the full walk while the compiled trie touches only the
+ * covering chain.
+ */
+bgp::PrefixList
+benchPrefixList(size_t entries)
+{
+    bgp::PrefixList list("bench");
+    for (size_t i = 0; i < entries; ++i) {
+        list.add(uint32_t(5 * (i + 1)), i % 4 != 0,
+                 net::Prefix(net::Ipv4Address(uint8_t(10 + i / 256),
+                                              uint8_t(i % 256), 0, 0),
+                             16),
+                 std::nullopt, 24);
+    }
+    return list;
+}
+
+/** Compiled (trie) prefix-list evaluation over a generated table. */
+void
+BM_PrefixListTrie(benchmark::State &state)
+{
+    auto list = benchPrefixList(size_t(state.range(0)));
+    auto rs = routes(4096);
+    for (auto _ : state) {
+        for (const auto &r : rs)
+            benchmark::DoNotOptimize(list.evaluate(r.prefix));
+    }
+    state.SetItemsProcessed(int64_t(state.iterations()) *
+                            int64_t(rs.size()));
+}
+BENCHMARK(BM_PrefixListTrie)->Arg(256)->Arg(1024);
+
+/** The linear-scan oracle on the same list — the pre-trie cost. */
+void
+BM_PrefixListLinear(benchmark::State &state)
+{
+    auto list = benchPrefixList(size_t(state.range(0)));
+    auto rs = routes(4096);
+    for (auto _ : state) {
+        for (const auto &r : rs)
+            benchmark::DoNotOptimize(list.evaluateLinear(r.prefix));
+    }
+    state.SetItemsProcessed(int64_t(state.iterations()) *
+                            int64_t(rs.size()));
+}
+BENCHMARK(BM_PrefixListLinear)->Arg(256)->Arg(1024);
+
+/** Interned attribute bundles for @p rs (the speakers' steady state). */
+std::vector<bgp::PathAttributesPtr>
+internedTable(const std::vector<workload::RouteSpec> &rs)
+{
+    std::vector<bgp::PathAttributesPtr> table;
+    table.reserve(rs.size());
+    for (const auto &r : rs) {
+        bgp::PathAttributes attrs;
+        attrs.asPath = bgp::AsPath::sequence(r.basePath);
+        attrs.nextHop = net::Ipv4Address(10, 0, 1, 2);
+        attrs.localPref = 100;
+        table.push_back(bgp::makeAttributes(std::move(attrs)));
+    }
+    return table;
+}
+
+/**
+ * Full route-map walk: N never-matching entries ahead of a
+ * permit-all, the policy_heavy bench's scan shape.
+ */
+void
+BM_RouteMapEval(benchmark::State &state)
+{
+    size_t entries = size_t(state.range(0));
+    bgp::RouteMap map("bench", bgp::RouteMap::NoMatch::Deny);
+    for (size_t i = 0; i + 1 < entries; ++i) {
+        bgp::RouteMapEntry entry;
+        entry.seq = uint32_t(10 * (i + 1));
+        entry.match.minAsPathLength = 24;
+        map.add(std::move(entry));
+    }
+    bgp::RouteMapEntry accept_all;
+    accept_all.seq = uint32_t(10 * entries);
+    map.add(std::move(accept_all));
+
+    auto rs = routes(1024);
+    auto table = internedTable(rs);
+    for (auto _ : state) {
+        for (size_t i = 0; i < rs.size(); ++i) {
+            benchmark::DoNotOptimize(
+                map.apply(rs[i].prefix, table[i]));
+        }
+    }
+    state.SetItemsProcessed(int64_t(state.iterations()) *
+                            int64_t(rs.size()));
+}
+BENCHMARK(BM_RouteMapEval)->Arg(16)->Arg(256);
+
+/**
+ * Copy-on-write fast path: a permit entry whose set-action is
+ * already satisfied, so apply() returns the original interned
+ * pointer without touching the interner.
+ */
+void
+BM_PolicyCowHit(benchmark::State &state)
+{
+    bgp::RouteMap map("cow-hit", bgp::RouteMap::NoMatch::Deny);
+    bgp::RouteMapEntry entry;
+    entry.set.localPref = 100; // every bundle already has 100
+    map.add(std::move(entry));
+
+    auto rs = routes(1024);
+    auto table = internedTable(rs);
+    for (auto _ : state) {
+        for (size_t i = 0; i < rs.size(); ++i) {
+            benchmark::DoNotOptimize(
+                map.apply(rs[i].prefix, table[i]));
+        }
+    }
+    state.SetItemsProcessed(int64_t(state.iterations()) *
+                            int64_t(rs.size()));
+}
+BENCHMARK(BM_PolicyCowHit);
+
+/**
+ * The slow path the COW check avoids: a set-action that genuinely
+ * changes every bundle, costing one copy + re-intern per route.
+ */
+void
+BM_PolicyCowCopy(benchmark::State &state)
+{
+    bgp::RouteMap map("cow-copy", bgp::RouteMap::NoMatch::Deny);
+    bgp::RouteMapEntry entry;
+    entry.set.localPref = 250;
+    map.add(std::move(entry));
+
+    auto rs = routes(1024);
+    auto table = internedTable(rs);
+    for (auto _ : state) {
+        for (size_t i = 0; i < rs.size(); ++i) {
+            benchmark::DoNotOptimize(
+                map.apply(rs[i].prefix, table[i]));
+        }
+    }
+    state.SetItemsProcessed(int64_t(state.iterations()) *
+                            int64_t(rs.size()));
+}
+BENCHMARK(BM_PolicyCowCopy);
+
+/**
+ * What every accepted route would cost without the wouldChange()
+ * check: unconditional deep copy + re-intern, even when nothing
+ * changed. The gap to BM_PolicyCowHit is the COW win.
+ */
+void
+BM_PolicyDeepCopyBaseline(benchmark::State &state)
+{
+    auto rs = routes(1024);
+    auto table = internedTable(rs);
+    for (auto _ : state) {
+        for (size_t i = 0; i < rs.size(); ++i) {
+            bgp::PathAttributes copy = *table[i];
+            benchmark::DoNotOptimize(
+                bgp::makeAttributes(std::move(copy)));
+        }
+    }
+    state.SetItemsProcessed(int64_t(state.iterations()) *
+                            int64_t(rs.size()));
+}
+BENCHMARK(BM_PolicyDeepCopyBaseline);
 
 } // namespace
 

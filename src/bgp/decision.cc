@@ -1,5 +1,7 @@
 #include "bgp/decision.hh"
 
+#include <algorithm>
+
 #include "net/logging.hh"
 
 namespace bgpbench::bgp
@@ -85,6 +87,78 @@ selectBest(const std::vector<Candidate> &candidates,
         }
     }
     return best;
+}
+
+bool
+multipathEquivalent(const Candidate &a, const Candidate &b,
+                    const DecisionConfig &config)
+{
+    panicIf(!a.attributes || !b.attributes,
+            "multipath equivalence given a candidate without "
+            "attributes");
+
+    const PathAttributes &pa = *a.attributes;
+    const PathAttributes &pb = *b.attributes;
+
+    if (a.locallyOriginated != b.locallyOriginated)
+        return false;
+    if (pa.localPref.value_or(config.defaultLocalPref) !=
+        pb.localPref.value_or(config.defaultLocalPref)) {
+        return false;
+    }
+    if (pa.asPath.pathLength() != pb.asPath.pathLength())
+        return false;
+    if (pa.origin != pb.origin)
+        return false;
+    // MED only separates candidates when the comparison step would
+    // actually run (same neighbour AS, or always-compare-med).
+    bool med_comparable =
+        config.alwaysCompareMed ||
+        (pa.asPath.firstAs() != 0 &&
+         pa.asPath.firstAs() == pb.asPath.firstAs());
+    if (med_comparable && pa.med.value_or(0) != pb.med.value_or(0))
+        return false;
+    if (a.externalSession != b.externalSession)
+        return false;
+    if (pa.clusterList.size() != pb.clusterList.size())
+        return false;
+    return true;
+}
+
+std::vector<size_t>
+selectMultipath(const std::vector<Candidate> &candidates,
+                const DecisionConfig &config)
+{
+    auto best = selectBest(candidates, config);
+    if (!best)
+        return {};
+    std::vector<size_t> group{*best};
+    if (config.maxPaths <= 1)
+        return group;
+
+    for (size_t i = 0; i < candidates.size(); ++i) {
+        if (i != *best &&
+            multipathEquivalent(candidates[i], candidates[*best],
+                                config)) {
+            group.push_back(i);
+        }
+    }
+
+    // Deterministic group order: the full tie-break ladder (ending in
+    // the router-id step), with the candidate index as the final
+    // tiebreak for truly indistinguishable entries. The candidate
+    // vector itself is built in peer-id order, so this depends only
+    // on the route set.
+    std::sort(group.begin(), group.end(), [&](size_t x, size_t y) {
+        int cmp = compareCandidates(candidates[x], candidates[y],
+                                    config);
+        if (cmp != 0)
+            return cmp < 0;
+        return x < y;
+    });
+    if (group.size() > config.maxPaths)
+        group.resize(config.maxPaths);
+    return group;
 }
 
 } // namespace bgpbench::bgp

@@ -26,6 +26,15 @@ struct DecisionConfig
      * RFC 4271 9.1.2.2 c).
      */
     bool alwaysCompareMed = false;
+    /**
+     * Vendor "maximum-paths": the ECMP group depth. 1 (the default)
+     * selects a single best path, reproducing the classic decision
+     * process exactly; N > 1 lets up to N candidates that tie through
+     * the whole tie-break ladder short of the final router-id step
+     * share the forwarding load (RFC 7938 section 6.1 datacenter
+     * ECMP).
+     */
+    size_t maxPaths = 1;
 };
 
 /**
@@ -59,6 +68,31 @@ int compareCandidates(const Candidate &a, const Candidate &b,
 std::optional<size_t>
 selectBest(const std::vector<Candidate> &candidates,
            const DecisionConfig &config = {});
+
+/**
+ * True when @p a and @p b tie through every tie-break step *before*
+ * the final router-id comparison (steps 0-5b of compareCandidates) —
+ * the multipath-equivalence test of vendor "maximum-paths": such
+ * routes are equally good by policy and path quality and differ only
+ * in the deterministic last-resort tiebreak.
+ */
+bool multipathEquivalent(const Candidate &a, const Candidate &b,
+                         const DecisionConfig &config = {});
+
+/**
+ * Select the ECMP group for a prefix: the best candidate plus every
+ * candidate multipath-equivalent to it, ordered by the full
+ * tie-break ladder (best first, then ascending router-id — a
+ * deterministic order depending only on the candidate set, never on
+ * arrival or thread interleaving), truncated to config.maxPaths.
+ *
+ * With maxPaths == 1 this returns exactly {selectBest(...)}.
+ *
+ * @return Candidate indexes, best first; empty if @p candidates is.
+ */
+std::vector<size_t>
+selectMultipath(const std::vector<Candidate> &candidates,
+                const DecisionConfig &config = {});
 
 } // namespace bgpbench::bgp
 

@@ -5,6 +5,144 @@
 namespace bgpbench::bgp
 {
 
+// --- PrefixList -------------------------------------------------------
+
+PrefixList &
+PrefixList::add(uint32_t seq, bool permit, const net::Prefix &prefix,
+                std::optional<int> ge, std::optional<int> le)
+{
+    Entry entry;
+    entry.seq = seq;
+    entry.permit = permit;
+    entry.prefix = prefix;
+    // Resolve the ge/le rules once at build time (see header).
+    if (ge)
+        entry.minLength = *ge;
+    else
+        entry.minLength = prefix.length();
+    if (le)
+        entry.maxLength = *le;
+    else if (ge)
+        entry.maxLength = 32;
+    else
+        entry.maxLength = prefix.length();
+    // An entry can never match a route it does not cover.
+    entry.minLength = std::max(entry.minLength, prefix.length());
+
+    auto pos = std::upper_bound(
+        entries_.begin(), entries_.end(), entry.seq,
+        [](uint32_t s, const Entry &e) { return s < e.seq; });
+    entries_.insert(pos, entry);
+
+    // Rebuild the trie's index vectors: insertion shifted the indexes
+    // of every later entry. Build is config-time; keep it simple.
+    trie_ = net::LpmTrie<std::vector<uint32_t>>();
+    for (uint32_t i = 0; i < entries_.size(); ++i) {
+        const net::Prefix &key = entries_[i].prefix;
+        if (const auto *bucket = trie_.exact(key)) {
+            std::vector<uint32_t> grown = *bucket;
+            grown.push_back(i);
+            trie_.insert(key, std::move(grown));
+        } else {
+            trie_.insert(key, {i});
+        }
+    }
+    return *this;
+}
+
+ListMatch
+PrefixList::evaluate(const net::Prefix &prefix) const
+{
+    const Entry *best = nullptr;
+    trie_.forEachCovering(
+        prefix, [&](int, const std::vector<uint32_t> &bucket) {
+            for (uint32_t index : bucket) {
+                const Entry &entry = entries_[index];
+                if (prefix.length() < entry.minLength ||
+                    prefix.length() > entry.maxLength) {
+                    continue;
+                }
+                if (!best || entry.seq < best->seq)
+                    best = &entry;
+            }
+        });
+    if (!best)
+        return ListMatch::NoMatch;
+    return best->permit ? ListMatch::Permit : ListMatch::Deny;
+}
+
+ListMatch
+PrefixList::evaluateLinear(const net::Prefix &prefix) const
+{
+    for (const Entry &entry : entries_) {
+        if (!entry.prefix.covers(prefix))
+            continue;
+        if (prefix.length() < entry.minLength ||
+            prefix.length() > entry.maxLength) {
+            continue;
+        }
+        return entry.permit ? ListMatch::Permit : ListMatch::Deny;
+    }
+    return ListMatch::NoMatch;
+}
+
+// --- AsPathSet --------------------------------------------------------
+
+AsPathSet &
+AsPathSet::add(Entry entry)
+{
+    auto pos = std::upper_bound(
+        entries_.begin(), entries_.end(), entry.seq,
+        [](uint32_t s, const Entry &e) { return s < e.seq; });
+    entries_.insert(pos, std::move(entry));
+    return *this;
+}
+
+ListMatch
+AsPathSet::evaluate(const AsPath &path) const
+{
+    for (const Entry &entry : entries_) {
+        if (entry.contains && !path.contains(*entry.contains))
+            continue;
+        if (entry.originAs && path.originAs() != *entry.originAs)
+            continue;
+        if (entry.minLength && path.pathLength() < *entry.minLength)
+            continue;
+        if (entry.maxLength && path.pathLength() > *entry.maxLength)
+            continue;
+        return entry.permit ? ListMatch::Permit : ListMatch::Deny;
+    }
+    return ListMatch::NoMatch;
+}
+
+// --- CommunityList ----------------------------------------------------
+
+CommunityList &
+CommunityList::add(uint32_t seq, bool permit, uint32_t community)
+{
+    Entry entry{seq, permit, community};
+    auto pos = std::upper_bound(
+        entries_.begin(), entries_.end(), entry.seq,
+        [](uint32_t s, const Entry &e) { return s < e.seq; });
+    entries_.insert(pos, entry);
+    return *this;
+}
+
+ListMatch
+CommunityList::evaluate(const std::vector<uint32_t> &communities) const
+{
+    for (const Entry &entry : entries_) {
+        if (!std::binary_search(communities.begin(), communities.end(),
+                                entry.community)) {
+            continue;
+        }
+        return entry.permit ? ListMatch::Permit : ListMatch::Deny;
+    }
+    return ListMatch::NoMatch;
+}
+
+// --- PolicyMatch ------------------------------------------------------
+
 bool
 PolicyMatch::matches(const net::Prefix &prefix,
                      const PathAttributes &attrs) const
@@ -29,76 +167,304 @@ PolicyMatch::matches(const net::Prefix &prefix,
     return true;
 }
 
+// --- SetActions -------------------------------------------------------
+
+bool
+SetActions::empty() const
+{
+    return !localPref && !med && prependCount == 0 && !nextHop &&
+           addCommunities.empty() && deleteCommunities.empty() &&
+           !replaceCommunities;
+}
+
+bool
+SetActions::wouldChange(const PathAttributes &attrs,
+                        AsNumber prepend_as) const
+{
+    if (localPref && attrs.localPref != localPref)
+        return true;
+    if (med && attrs.med != med)
+        return true;
+    if (prependCount > 0 && prepend_as != 0)
+        return true;
+    if (nextHop && attrs.nextHop != *nextHop)
+        return true;
+    if (replaceCommunities) {
+        // Replacement wins over the incoming set; add/delete below
+        // then operate on the replacement, so compare the final set.
+        std::vector<uint32_t> out = communities;
+        for (uint32_t c : addCommunities) {
+            auto pos = std::lower_bound(out.begin(), out.end(), c);
+            if (pos == out.end() || *pos != c)
+                out.insert(pos, c);
+        }
+        for (uint32_t c : deleteCommunities) {
+            auto [first, last] =
+                std::equal_range(out.begin(), out.end(), c);
+            out.erase(first, last);
+        }
+        return out != attrs.communities;
+    }
+    for (uint32_t c : addCommunities) {
+        if (!std::binary_search(attrs.communities.begin(),
+                                attrs.communities.end(), c)) {
+            return true;
+        }
+    }
+    for (uint32_t c : deleteCommunities) {
+        if (std::binary_search(attrs.communities.begin(),
+                               attrs.communities.end(), c)) {
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+SetActions::applyTo(PathAttributes &attrs, AsNumber prepend_as) const
+{
+    if (localPref)
+        attrs.localPref = *localPref;
+    if (med)
+        attrs.med = *med;
+    if (nextHop)
+        attrs.nextHop = *nextHop;
+    if (replaceCommunities)
+        attrs.communities = communities;
+    for (uint32_t c : addCommunities) {
+        auto pos = std::lower_bound(attrs.communities.begin(),
+                                    attrs.communities.end(), c);
+        if (pos == attrs.communities.end() || *pos != c)
+            attrs.communities.insert(pos, c);
+    }
+    for (uint32_t c : deleteCommunities) {
+        auto [first, last] =
+            std::equal_range(attrs.communities.begin(),
+                             attrs.communities.end(), c);
+        attrs.communities.erase(first, last);
+    }
+    if (prepend_as != 0) {
+        for (int i = 0; i < prependCount; ++i)
+            attrs.asPath.prepend(prepend_as);
+    }
+}
+
+// --- RouteMap ---------------------------------------------------------
+
+bool
+RouteMapEntry::matches(const net::Prefix &prefix,
+                       const PathAttributes &attrs) const
+{
+    if (prefixList &&
+        prefixList->evaluate(prefix) != ListMatch::Permit) {
+        return false;
+    }
+    if (asPathSet &&
+        asPathSet->evaluate(attrs.asPath) != ListMatch::Permit) {
+        return false;
+    }
+    if (communityList &&
+        communityList->evaluate(attrs.communities) !=
+            ListMatch::Permit) {
+        return false;
+    }
+    return match.matches(prefix, attrs);
+}
+
+RouteMap &
+RouteMap::add(RouteMapEntry entry)
+{
+    // Canonicalise the community vectors once at build time: apply()
+    // and wouldChange() binary-search them, and a replacement set is
+    // adopted wholesale as the route's (sorted) community list.
+    auto canon = [](std::vector<uint32_t> &v) {
+        std::sort(v.begin(), v.end());
+        v.erase(std::unique(v.begin(), v.end()), v.end());
+    };
+    canon(entry.set.addCommunities);
+    canon(entry.set.deleteCommunities);
+    canon(entry.set.communities);
+    auto pos = std::upper_bound(
+        entries_.begin(), entries_.end(), entry.seq,
+        [](uint32_t s, const RouteMapEntry &e) { return s < e.seq; });
+    entries_.insert(pos, std::move(entry));
+    return *this;
+}
+
+template <typename Fn>
+ListMatch
+RouteMap::walk(const net::Prefix &prefix, const PathAttributes &attrs,
+               Fn &&fn) const
+{
+    bool matched_permit = false;
+    size_t i = 0;
+    while (i < entries_.size()) {
+        const RouteMapEntry &entry = entries_[i];
+        if (!entry.matches(prefix, attrs)) {
+            ++i;
+            continue;
+        }
+        if (!entry.permit)
+            return ListMatch::Deny;
+        matched_permit = true;
+        fn(entry);
+        if (!entry.continueTo)
+            return ListMatch::Permit;
+        if (*entry.continueTo == 0) {
+            ++i;
+            continue;
+        }
+        // Jump to the continue target, clamped strictly forward so
+        // evaluation terminates even on a misconfigured backward
+        // target.
+        size_t next = size_t(
+            std::lower_bound(
+                entries_.begin(), entries_.end(), *entry.continueTo,
+                [](const RouteMapEntry &e, uint32_t s) {
+                    return e.seq < s;
+                }) -
+            entries_.begin());
+        i = std::max(next, i + 1);
+    }
+    return matched_permit ? ListMatch::Permit : ListMatch::NoMatch;
+}
+
 PathAttributesPtr
-Policy::apply(const net::Prefix &prefix, const PathAttributesPtr &attrs,
-              AsNumber prepend_as) const
+RouteMap::apply(const net::Prefix &prefix,
+                const PathAttributesPtr &attrs, AsNumber prepend_as,
+                PolicyEvalStats *stats) const
 {
     if (!attrs)
         return nullptr;
+    if (stats)
+        ++stats->evals;
 
-    for (const auto &rule : rules_) {
-        if (!rule.match.matches(prefix, *attrs))
-            continue;
-
-        const PolicyAction &action = rule.action;
-        if (action.reject)
-            return nullptr;
-
-        bool modifies = action.setLocalPref || action.setMed ||
-                        action.addCommunity || action.removeCommunity ||
-                        (action.prependCount > 0 && prepend_as != 0);
-        if (!modifies)
-            return attrs;
-
-        PathAttributes out = *attrs;
-        if (action.setLocalPref)
-            out.localPref = *action.setLocalPref;
-        if (action.setMed)
-            out.med = *action.setMed;
-        if (action.addCommunity) {
-            auto pos = std::lower_bound(out.communities.begin(),
-                                        out.communities.end(),
-                                        *action.addCommunity);
-            if (pos == out.communities.end() ||
-                *pos != *action.addCommunity) {
-                out.communities.insert(pos, *action.addCommunity);
+    // Pass 1: disposition plus "would any accumulated set-action
+    // actually change the bundle?". Matches evaluate against the
+    // original attributes (see header), so this pass is pure.
+    bool changes = false;
+    ListMatch outcome =
+        walk(prefix, *attrs, [&](const RouteMapEntry &entry) {
+            if (!changes &&
+                entry.set.wouldChange(*attrs, prepend_as)) {
+                changes = true;
             }
-        }
-        if (action.removeCommunity) {
-            auto [first, last] = std::equal_range(
-                out.communities.begin(), out.communities.end(),
-                *action.removeCommunity);
-            out.communities.erase(first, last);
-        }
-        if (prepend_as != 0) {
-            for (int i = 0; i < action.prependCount; ++i)
-                out.asPath.prepend(prepend_as);
-        }
-        return makeAttributes(std::move(out));
+        });
+
+    if (outcome == ListMatch::Deny ||
+        (outcome == ListMatch::NoMatch && noMatch_ == NoMatch::Deny)) {
+        if (stats)
+            ++stats->rejects;
+        return nullptr;
+    }
+    if (!changes) {
+        // Copy-on-write hit: the route passes through untouched and
+        // keeps its interned pointer identity — no allocation.
+        if (stats)
+            ++stats->cowHits;
+        return attrs;
     }
 
-    return attrs;
+    // Pass 2 (only for bundles that really change): copy once, apply
+    // every matched entry's set-actions in match order, and
+    // re-canonicalise through the interner.
+    PathAttributes out = *attrs;
+    walk(prefix, *attrs, [&](const RouteMapEntry &entry) {
+        entry.set.applyTo(out, prepend_as);
+    });
+    if (stats)
+        ++stats->cowCopies;
+    return makeAttributes(std::move(out));
+}
+
+// --- Policy (legacy flat-rule compatibility) --------------------------
+
+namespace
+{
+
+/** Compile the legacy flat rule list onto an accept-by-default map. */
+std::shared_ptr<const RouteMap>
+compileLegacyRules(const std::vector<PolicyRule> &rules)
+{
+    auto map = std::make_shared<RouteMap>("legacy",
+                                          RouteMap::NoMatch::Permit);
+    uint32_t seq = 10;
+    for (const PolicyRule &rule : rules) {
+        RouteMapEntry entry;
+        entry.seq = seq;
+        seq += 10;
+        entry.match = rule.match;
+        const PolicyAction &action = rule.action;
+        entry.permit = !action.reject;
+        if (!action.reject) {
+            entry.set.localPref = action.setLocalPref;
+            entry.set.med = action.setMed;
+            entry.set.prependCount = action.prependCount;
+            if (action.addCommunity)
+                entry.set.addCommunities = {*action.addCommunity};
+            if (action.removeCommunity)
+                entry.set.deleteCommunities = {*action.removeCommunity};
+        }
+        map->add(std::move(entry));
+    }
+    return map;
+}
+
+} // namespace
+
+Policy::Policy(std::vector<PolicyRule> rules)
+    : legacyRules_(std::move(rules))
+{
+    if (!legacyRules_.empty())
+        map_ = compileLegacyRules(legacyRules_);
+}
+
+void
+Policy::addRule(PolicyRule rule)
+{
+    legacyRules_.push_back(std::move(rule));
+    map_ = compileLegacyRules(legacyRules_);
 }
 
 Policy
 makeRejectPrefixPolicy(const net::Prefix &prefix)
 {
-    PolicyRule rule;
-    rule.name = "reject " + prefix.toString();
-    rule.match.prefixCoveredBy = prefix;
-    rule.action.reject = true;
-    return Policy({std::move(rule)});
+    // Natively on the route-map engine: a deny entry matching a
+    // single-entry prefix-list covering the prefix and all its
+    // more-specifics, accepting everything else unmodified (the
+    // historical helper semantics).
+    auto list = std::make_shared<PrefixList>("reject-" +
+                                             prefix.toString());
+    list->add(5, true, prefix, std::nullopt, 32);
+    auto map = std::make_shared<RouteMap>("reject " + prefix.toString(),
+                                          RouteMap::NoMatch::Permit);
+    RouteMapEntry entry;
+    entry.seq = 10;
+    entry.permit = false;
+    entry.prefixList = std::move(list);
+    map->add(std::move(entry));
+    return Policy(std::move(map));
 }
 
 Policy
 makeLocalPrefForAsPolicy(AsNumber asn, uint32_t local_pref)
 {
-    PolicyRule rule;
-    rule.name = "local-pref " + std::to_string(local_pref) + " for AS" +
-                std::to_string(asn);
-    rule.match.asPathContains = asn;
-    rule.action.setLocalPref = local_pref;
-    return Policy({std::move(rule)});
+    auto set = std::make_shared<AsPathSet>("as-" + std::to_string(asn));
+    AsPathSet::Entry match;
+    match.seq = 5;
+    match.permit = true;
+    match.contains = asn;
+    set->add(match);
+    auto map = std::make_shared<RouteMap>(
+        "local-pref " + std::to_string(local_pref) + " for AS" +
+            std::to_string(asn),
+        RouteMap::NoMatch::Permit);
+    RouteMapEntry entry;
+    entry.seq = 10;
+    entry.asPathSet = std::move(set);
+    entry.set.localPref = local_pref;
+    map->add(std::move(entry));
+    return Policy(std::move(map));
 }
 
 } // namespace bgpbench::bgp

@@ -33,14 +33,31 @@ AdjRibIn::find(const net::Prefix &prefix) const
 bool
 LocRib::select(const net::Prefix &prefix, Candidate best)
 {
+    return select(prefix, std::move(best), {}).bestChanged;
+}
+
+LocRib::SelectOutcome
+LocRib::select(const net::Prefix &prefix, Candidate best,
+               std::vector<Candidate> multipath)
+{
     auto [entry, inserted] = store_.obtain(prefix);
-    bool changed =
+    SelectOutcome outcome;
+    outcome.bestChanged =
         inserted ||
         !sameAttributeValue(entry->best.attributes,
                             best.attributes) ||
         entry->best.peer != best.peer;
+    bool group_changed = entry->multipath.size() != multipath.size();
+    for (size_t i = 0; !group_changed && i < multipath.size(); ++i) {
+        group_changed =
+            !sameAttributeValue(entry->multipath[i].attributes,
+                                multipath[i].attributes) ||
+            entry->multipath[i].peer != multipath[i].peer;
+    }
+    outcome.groupChanged = outcome.bestChanged || group_changed;
     entry->best = std::move(best);
-    return changed;
+    entry->multipath = std::move(multipath);
+    return outcome;
 }
 
 bool

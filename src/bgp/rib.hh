@@ -397,6 +397,22 @@ class LocRib
     struct Entry
     {
         Candidate best;
+        /**
+         * The rest of the ECMP group (maximum-paths > 1 only): the
+         * candidates multipath-equivalent to best, in the decision
+         * process's deterministic group order. Always empty in
+         * single-path mode.
+         */
+        std::vector<Candidate> multipath;
+    };
+
+    /** What a (multipath) selection changed. */
+    struct SelectOutcome
+    {
+        /** The best path's attributes or provenance changed. */
+        bool bestChanged = false;
+        /** Best or the multipath set changed (Loc-RIB content). */
+        bool groupChanged = false;
     };
 
     LocRib() = default;
@@ -408,6 +424,15 @@ class LocRib
      * @return True if the selected attributes actually changed.
      */
     bool select(const net::Prefix &prefix, Candidate best);
+
+    /**
+     * Install/replace the full ECMP group for @p prefix.
+     * @p multipath holds the group members beyond best, in decision
+     * group order. With an empty @p multipath this degenerates to the
+     * single-path select() (same change detection).
+     */
+    SelectOutcome select(const net::Prefix &prefix, Candidate best,
+                         std::vector<Candidate> multipath);
 
     /**
      * Remove @p prefix entirely (no candidate remains).

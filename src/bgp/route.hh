@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <vector>
 
 #include "bgp/path_attributes.hh"
 #include "net/ipv4_address.hh"
@@ -53,6 +54,13 @@ struct FibUpdate
 {
     net::Prefix prefix;
     std::optional<net::Ipv4Address> nextHop;
+    /**
+     * ECMP next hops beyond the primary, in the decision process's
+     * deterministic group order (maximum-paths > 1 only; always empty
+     * in single-path mode, where consumers see exactly the classic
+     * update shape).
+     */
+    std::vector<net::Ipv4Address> extraHops;
 
     bool isWithdraw() const { return !nextHop.has_value(); }
 };

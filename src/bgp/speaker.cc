@@ -4,6 +4,7 @@
 
 #include "bgp/attr_intern.hh"
 #include "net/logging.hh"
+#include "obs/views.hh"
 
 namespace bgpbench::bgp
 {
@@ -39,6 +40,11 @@ BgpSpeaker::bindObservability(obs::MetricRegistry *registry,
     obs_.fibChanges = &registry->counter("rib.fib_changes");
     obs_.sessionTransitions =
         &registry->counter("bgp.session_transitions");
+    obs_.policyEvals =
+        &registry->counter(obs::metric::bgpPolicyEvals);
+    obs_.policyRejects =
+        &registry->counter(obs::metric::bgpPolicyRejects);
+    obs_.ecmpGroups = &registry->counter(obs::metric::bgpEcmpGroups);
     obs_.decisionCandidates = &registry->histogram(
         "bgp.decision_candidates", {1, 2, 4, 8, 16, 32, 64});
 }
@@ -473,10 +479,14 @@ BgpSpeaker::processUpdate(Peer &from, const UpdateMessage &msg,
             if (suppressed)
                 ++counters_.announcementsSuppressed;
 
+            if (!from.config.importPolicy.empty())
+                bump(obs_.policyEvals);
             PathAttributesPtr effective =
                 from.config.importPolicy.apply(prefix, received);
-            if (!effective)
+            if (!effective) {
                 ++stats.rejectedByPolicy;
+                bump(obs_.policyRejects);
+            }
             if (from.ribIn.update(prefix, received, effective) ||
                 suppressed) {
                 runDecision(prefix, stats, now);
@@ -551,30 +561,91 @@ BgpSpeaker::runDecision(const net::Prefix &prefix, UpdateStats &stats,
         return;
     }
 
-    const Candidate &best = candidates[*best_index];
-    const auto *previous = locRib_.find(prefix);
-    bool next_hop_changed =
-        !previous || !previous->best.attributes ||
-        previous->best.attributes->nextHop != best.attributes->nextHop;
+    if (config_.decision.maxPaths <= 1) {
+        const Candidate &best = candidates[*best_index];
+        const auto *previous = locRib_.find(prefix);
+        bool next_hop_changed =
+            !previous || !previous->best.attributes ||
+            previous->best.attributes->nextHop !=
+                best.attributes->nextHop;
 
-    if (locRib_.select(prefix, best)) {
+        if (locRib_.select(prefix, best)) {
+            ++counters_.locRibChanges;
+            ++stats.locRibChanges;
+            bump(obs_.locRibChanges);
+            ++ribVersion_;
+            ribDirty_ = true;
+            // The forwarding table only cares about the next hop; a
+            // best-path change that keeps the next hop (e.g. a MED
+            // change on the same session) does not touch the FIB.
+            if (next_hop_changed) {
+                ++counters_.fibChanges;
+                ++stats.fibChanges;
+                bump(obs_.fibChanges);
+                events_->onFibUpdate(
+                    FibUpdate{prefix, best.attributes->nextHop});
+            }
+            for (Peer *peer : establishedPeers_)
+                updateAdjOut(*peer, prefix, slot, &best, stats);
+        }
+        ++decisionsSincePublish_;
+        maybePublishRib(now, false);
+        return;
+    }
+
+    // maximum-paths > 1: install the full ECMP group. Only the best
+    // path is advertised to peers (standard BGP semantics); the
+    // multipath set feeds the Loc-RIB, the FIB, and snapshots.
+    auto group = selectMultipath(candidates, config_.decision);
+    const Candidate &best = candidates[group[0]];
+    std::vector<Candidate> multipath;
+    multipath.reserve(group.size() - 1);
+    for (size_t k = 1; k < group.size(); ++k)
+        multipath.push_back(candidates[group[k]]);
+
+    // Deterministic deduplicated hop list in group order; the FIB
+    // sees a change exactly when this list changes.
+    auto hops_of = [](const Candidate &b,
+                      const std::vector<Candidate> &rest) {
+        std::vector<net::Ipv4Address> hops{b.attributes->nextHop};
+        for (const Candidate &c : rest) {
+            net::Ipv4Address hop = c.attributes->nextHop;
+            if (std::find(hops.begin(), hops.end(), hop) == hops.end())
+                hops.push_back(hop);
+        }
+        return hops;
+    };
+
+    const auto *previous = locRib_.find(prefix);
+    std::vector<net::Ipv4Address> previous_hops;
+    if (previous && previous->best.attributes)
+        previous_hops = hops_of(previous->best, previous->multipath);
+
+    auto outcome = locRib_.select(prefix, best, std::move(multipath));
+    if (outcome.groupChanged) {
         ++counters_.locRibChanges;
         ++stats.locRibChanges;
         bump(obs_.locRibChanges);
         ++ribVersion_;
         ribDirty_ = true;
-        // The forwarding table only cares about the next hop; a best-
-        // path change that keeps the next hop (e.g. a MED change on
-        // the same session) does not touch the FIB.
-        if (next_hop_changed) {
+
+        const auto *entry = locRib_.find(prefix);
+        if (!entry->multipath.empty())
+            bump(obs_.ecmpGroups);
+        std::vector<net::Ipv4Address> hops =
+            hops_of(entry->best, entry->multipath);
+        if (hops != previous_hops) {
             ++counters_.fibChanges;
             ++stats.fibChanges;
             bump(obs_.fibChanges);
-            events_->onFibUpdate(
-                FibUpdate{prefix, best.attributes->nextHop});
+            FibUpdate update{prefix, hops.front()};
+            update.extraHops.assign(hops.begin() + 1, hops.end());
+            events_->onFibUpdate(update);
         }
-        for (Peer *peer : establishedPeers_)
-            updateAdjOut(*peer, prefix, slot, &best, stats);
+        if (outcome.bestChanged) {
+            for (Peer *peer : establishedPeers_)
+                updateAdjOut(*peer, prefix, slot, &best, stats);
+        }
     }
     ++decisionsSincePublish_;
     maybePublishRib(now, false);
@@ -651,9 +722,12 @@ BgpSpeaker::updateAdjOut(Peer &peer, const net::Prefix &prefix,
         return;
     }
 
+    if (!peer.config.exportPolicy.empty())
+        bump(obs_.policyEvals);
     PathAttributesPtr exported = peer.config.exportPolicy.apply(
         prefix, best->attributes, config_.localAs);
     if (!exported) {
+        bump(obs_.policyRejects);
         send_withdraw_if_advertised();
         return;
     }

@@ -457,6 +457,9 @@ class BgpSpeaker
         obs::Counter *locRibChanges = nullptr;
         obs::Counter *fibChanges = nullptr;
         obs::Counter *sessionTransitions = nullptr;
+        obs::Counter *policyEvals = nullptr;
+        obs::Counter *policyRejects = nullptr;
+        obs::Counter *ecmpGroups = nullptr;
         obs::Histogram *decisionCandidates = nullptr;
     };
 

@@ -81,10 +81,14 @@ BenchmarkRunner::setUp(const Scenario &scenario)
     p1.id = 0;
     p1.asn = config_.speaker1As;
     p1.address = net::Ipv4Address(10, 0, 1, 2);
+    p1.importPolicy = config_.importPolicy;
+    p1.exportPolicy = config_.exportPolicy;
     bgp::PeerConfig p2;
     p2.id = 1;
     p2.asn = config_.speaker2As;
     p2.address = net::Ipv4Address(10, 0, 2, 2);
+    p2.importPolicy = config_.importPolicy;
+    p2.exportPolicy = config_.exportPolicy;
     rc.peers = {p1, p2};
 
     router_ = std::make_unique<router::RouterSystem>(sim_.get(),

@@ -14,6 +14,7 @@
 #include <optional>
 #include <string>
 
+#include "bgp/policy.hh"
 #include "core/scenario.hh"
 #include "core/test_peer.hh"
 #include "obs/observability.hh"
@@ -45,6 +46,14 @@ struct BenchmarkConfig
     bgp::AsNumber speaker1As = 65001;
     bgp::AsNumber speaker2As = 65002;
     bgp::AsNumber routerAs = 65000;
+    /**
+     * Session policies attached to both peers of the router under
+     * test (empty = accept unmodified, the paper's configuration).
+     * This is how the policy-cost benches re-run the Table III
+     * scenarios with route-maps in the hot path.
+     */
+    bgp::Policy importPolicy;
+    bgp::Policy exportPolicy;
     /**
      * Observability sinks for the run, or null (detached — the
      * default). When set, the router-under-test's speaker is bound

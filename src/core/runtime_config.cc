@@ -92,6 +92,11 @@ RuntimeConfig::fromEnvironment()
         if (workload::QueryMix::parse(value, mix))
             config.queryMix_ = {value, ConfigOrigin::Environment};
     }
+    if (const char *value = getEnv("BGPBENCH_MAX_PATHS")) {
+        size_t paths = size_t(std::strtoull(value, nullptr, 10));
+        if (paths > 0)
+            config.maxPaths_ = {paths, ConfigOrigin::Environment};
+    }
     return config;
 }
 
@@ -150,6 +155,12 @@ RuntimeConfig::overrideQueryMix(std::string mix)
 }
 
 void
+RuntimeConfig::overrideMaxPaths(size_t paths)
+{
+    maxPaths_ = {paths, ConfigOrigin::CommandLine};
+}
+
+void
 RuntimeConfig::apply() const
 {
     // The default steers interners built later (worker threads); the
@@ -190,6 +201,8 @@ RuntimeConfig::dump(std::ostream &out) const
                   configOriginName(snapshotEvery_.origin)});
     table.addRow({"query mix", queryMix_.value,
                   configOriginName(queryMix_.origin)});
+    table.addRow({"max paths", std::to_string(maxPaths_.value),
+                  configOriginName(maxPaths_.origin)});
     table.print(out);
 }
 

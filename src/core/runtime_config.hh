@@ -59,7 +59,7 @@ class RuntimeConfig
      * BGPBENCH_NO_PREFIX_TREE=1, BGPBENCH_NO_ADAPTIVE_SYNC=1,
      * BGPBENCH_SWEEP=1, BGPBENCH_JOBS=<n>,
      * BGPBENCH_SERVE_READERS=<n>, BGPBENCH_SNAPSHOT_EVERY=<n>,
-     * BGPBENCH_QUERY_MIX=<L:B:S:P>).
+     * BGPBENCH_QUERY_MIX=<L:B:S:P>, BGPBENCH_MAX_PATHS=<n>).
      * Unset or unparsable variables leave the default in place.
      */
     static RuntimeConfig fromEnvironment();
@@ -82,6 +82,8 @@ class RuntimeConfig
     uint64_t snapshotEvery() const { return snapshotEvery_.value; }
     /** Query class mix "L:B:S:P" (workload::QueryMix::parse form). */
     const std::string &queryMix() const { return queryMix_.value; }
+    /** BGP maximum-paths (ECMP width); 1 = single best path. */
+    size_t maxPaths() const { return maxPaths_.value; }
 
     ConfigOrigin internOrigin() const { return intern_.origin; }
     ConfigOrigin prefixTreeOrigin() const
@@ -107,6 +109,7 @@ class RuntimeConfig
         return snapshotEvery_.origin;
     }
     ConfigOrigin queryMixOrigin() const { return queryMix_.origin; }
+    ConfigOrigin maxPathsOrigin() const { return maxPaths_.origin; }
 
     /** Command-line overrides (highest precedence). */
     void overrideIntern(bool enabled);
@@ -118,6 +121,7 @@ class RuntimeConfig
     void overrideServeReaders(size_t readers);
     void overrideSnapshotEvery(uint64_t every);
     void overrideQueryMix(std::string mix);
+    void overrideMaxPaths(size_t paths);
 
     /**
      * Push the switches into their subsystems: the process-wide
@@ -142,6 +146,7 @@ class RuntimeConfig
     Setting<uint64_t> snapshotEvery_{0, ConfigOrigin::Default};
     Setting<std::string> queryMix_{"88:10:1.5:0.5",
                                    ConfigOrigin::Default};
+    Setting<size_t> maxPaths_{1, ConfigOrigin::Default};
 };
 
 } // namespace bgpbench::core

@@ -66,6 +66,21 @@ ForwardingEngine::process(net::DataPacket &packet)
     result.forwarded = true;
     result.nextHop = entry->nextHop;
     result.egressInterface = entry->interface;
+
+    // ECMP: spread flows across the group by (source, destination)
+    // hash, so one flow always takes one path (no reordering) while
+    // the aggregate load splits. Fibonacci mixing keeps adjacent
+    // addresses from mapping to the same member.
+    if (!entry->extraHops.empty()) {
+        uint64_t flow =
+            (uint64_t(packet.header.source.toUint32()) << 32) |
+            packet.header.destination.toUint32();
+        flow *= 0x9e3779b97f4a7c15ull;
+        size_t member =
+            size_t((flow >> 32) % (entry->extraHops.size() + 1));
+        if (member > 0)
+            result.nextHop = entry->extraHops[member - 1];
+    }
     return result;
 }
 

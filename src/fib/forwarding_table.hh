@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <vector>
 
 #include "fib/lpm_trie.hh"
 #include "net/ipv4_address.hh"
@@ -25,6 +26,13 @@ struct FibEntry
     net::Ipv4Address nextHop;
     /** Outgoing interface index. */
     uint32_t interface = 0;
+    /**
+     * ECMP next hops beyond the primary (maximum-paths > 1), in the
+     * control plane's deterministic group order. The forwarding
+     * engine spreads flows across {nextHop} ∪ extraHops by flow
+     * hash; empty in single-path mode.
+     */
+    std::vector<net::Ipv4Address> extraHops;
 };
 
 /** Lifetime counters of a forwarding table. */

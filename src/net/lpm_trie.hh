@@ -119,6 +119,32 @@ class LpmTrie
     size_t size() const { return size_; }
     bool empty() const { return size_ == 0; }
 
+    /**
+     * Visit the value of every stored prefix that *covers* @p prefix
+     * (equal or shorter length, matching leading bits), walking from
+     * the root: fn(coveringPrefixLength, value). At most
+     * prefix.length()+1 node visits — this is what makes a compiled
+     * prefix-list lookup O(32) instead of O(entries).
+     */
+    template <typename Fn>
+    void
+    forEachCovering(const net::Prefix &prefix, Fn &&fn) const
+    {
+        const Node *node = root_.get();
+        if (node->value)
+            fn(0, *node->value);
+        for (int depth = 0; depth < prefix.length(); ++depth) {
+            const Node *child = prefix.address().bit(depth)
+                                    ? node->one.get()
+                                    : node->zero.get();
+            if (!child)
+                return;
+            node = child;
+            if (node->value)
+                fn(depth + 1, *node->value);
+        }
+    }
+
     /** Collect all (prefix, value) pairs, in unspecified order. */
     std::vector<std::pair<net::Prefix, Value>>
     entries() const

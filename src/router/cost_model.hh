@@ -50,6 +50,13 @@ struct CostProfile
     /** Fixed cost of emitting one outbound message. */
     double msgSend = 0;
     /**
+     * Route-map evaluation cost per entry walked per evaluated
+     * prefix, charged on import (per announced prefix) and export
+     * (per advertised prefix) when the session carries a policy.
+     * Zero keeps the paper's policy-free configuration.
+     */
+    double policyPerEntry = 0;
+    /**
      * Serialisation latency per inbound BGP message in nanoseconds —
      * time the control process takes to get around to the next
      * message regardless of CPU availability. Dominant on the

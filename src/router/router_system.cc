@@ -79,6 +79,10 @@ RouterSystem::RouterSystem(sim::Simulator *sim, SystemProfile profile,
     for (size_t i = 0; i < config_.peers.size(); ++i) {
         speaker_.addPeer(config_.peers[i]);
         ports_[i].peerId = config_.peers[i].id;
+        ports_[i].importPolicyEntries =
+            config_.peers[i].importPolicy.size();
+        ports_[i].exportPolicyEntries =
+            config_.peers[i].exportPolicy.size();
     }
 
     // Track CPU load of every process ("top" style, % of one core).
@@ -283,6 +287,10 @@ RouterSystem::messageCost(const InboundMessage &inbound) const
         cost += c.announcePrefix * double(update->nlri.size());
         cost += c.withdrawPrefix *
                 double(update->withdrawnRoutes.size());
+        // Import route-map walk, charged per announced prefix.
+        cost += c.policyPerEntry *
+                double(ports_[inbound.port].importPolicyEntries) *
+                double(update->nlri.size());
     }
     return cost;
 }
@@ -356,6 +364,10 @@ RouterSystem::onTransmit(bgp::PeerId to, bgp::MessageType type,
         }
     }
     panicIf(port == ports_.size(), "transmit to unknown peer");
+    // Export route-map walk, charged per advertised prefix.
+    cost += c.policyPerEntry *
+            double(ports_[port].exportPolicyEntries) *
+            double(transactions);
 
     postCounted(bgpProc_, cost,
                 [this, port, wire = std::move(wire)]() mutable {
@@ -440,10 +452,12 @@ RouterSystem::postFibPipeline(std::vector<bgp::FibUpdate> batch,
                                 if (update.isWithdraw()) {
                                     fib_.remove(update.prefix);
                                 } else {
-                                    fib_.install(
-                                        update.prefix,
-                                        fib::FibEntry{*update.nextHop,
-                                                      1});
+                                    fib::FibEntry entry{
+                                        *update.nextHop, 1};
+                                    entry.extraHops =
+                                        update.extraHops;
+                                    fib_.install(update.prefix,
+                                                 std::move(entry));
                                 }
                                 ++controlPlane_.fibChangesApplied;
                             }

@@ -188,6 +188,9 @@ class RouterSystem : private bgp::SpeakerEvents
         bgp::PeerId peerId = 0;
         bgp::StreamDecoder decoder;
         size_t queuedBytes = 0;
+        /** Route-map entries on this session (policy cost model). */
+        size_t importPolicyEntries = 0;
+        size_t exportPolicyEntries = 0;
         std::function<void(net::WireSegmentPtr)> transmitHandler;
         std::function<void()> drainHandler;
     };

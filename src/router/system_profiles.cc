@@ -61,6 +61,7 @@ pentium3Profile()
     c.withdrawPrefix = 120e3;
     c.advertisePrefix = 1000e3;
     c.msgSend = 480e3;
+    c.policyPerEntry = 1.1e3;
     c.ribChange = 600e3;
     c.feaChange = 600e3;
     c.kernelRouteInstall = 900e3;
@@ -95,6 +96,7 @@ xeonProfile()
     c.withdrawPrefix = 126e3;
     c.advertisePrefix = 1050e3;
     c.msgSend = 504e3;
+    c.policyPerEntry = 1.15e3;
     c.ribChange = 630e3;
     c.feaChange = 630e3;
     c.kernelRouteInstall = 945e3;
@@ -130,6 +132,7 @@ ixp2400Profile()
     c.withdrawPrefix = 600e3;
     c.advertisePrefix = 5000e3;
     c.msgSend = 2400e3;
+    c.policyPerEntry = 11e3;
     c.ribChange = 3000e3;
     c.feaChange = 3000e3;
     c.kernelRouteInstall = 4500e3;
@@ -170,6 +173,7 @@ ciscoProfile()
     c.withdrawPrefix = 8.0e3;
     c.advertisePrefix = 1.5e3;
     c.msgSend = 10e3;
+    c.policyPerEntry = 80;
     c.ribChange = 0;
     c.feaChange = 0;
     c.kernelRouteInstall = 13.4e3;

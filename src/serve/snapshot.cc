@@ -23,6 +23,15 @@ RibSnapshot::build(const bgp::LocRib &rib, uint64_t epoch,
         route.attributes = entry.best.attributes;
         route.peer = entry.best.peer;
         route.locallyOriginated = entry.best.locallyOriginated;
+        for (const bgp::Candidate &alt : entry.multipath) {
+            net::Ipv4Address hop = alt.attributes->nextHop;
+            if (hop != route.attributes->nextHop &&
+                std::find(route.extraHops.begin(),
+                          route.extraHops.end(),
+                          hop) == route.extraHops.end()) {
+                route.extraHops.push_back(hop);
+            }
+        }
         snapshot->routes_.push_back(std::move(route));
         ++per_peer[entry.best.peer];
     });
@@ -67,6 +76,10 @@ RibSnapshot::computeChecksum(uint64_t epoch,
         mix((uint64_t(route.prefix.address().toUint32()) << 8) |
             uint64_t(route.prefix.length()));
         mix(route.peer);
+        // ECMP hops contribute per element, so a single-path snapshot
+        // (no extra hops) hashes exactly as it always did.
+        for (net::Ipv4Address hop : route.extraHops)
+            mix(hop.toUint32());
     }
     return hash;
 }

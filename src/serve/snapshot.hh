@@ -46,6 +46,13 @@ struct SnapshotRoute
     /** Peer the best path was learned from (or localPeerId). */
     bgp::PeerId peer = 0;
     bool locallyOriginated = false;
+    /**
+     * ECMP next hops beyond the best path's (maximum-paths > 1), in
+     * the decision process's deterministic group order — empty in
+     * single-path mode, keeping snapshot bytes and checksums
+     * identical to the classic shape.
+     */
+    std::vector<net::Ipv4Address> extraHops;
 };
 
 /** Per-peer contribution to the snapshot. */

@@ -213,4 +213,100 @@ Topology::barabasiAlbert(size_t n, size_t attach_count, uint64_t seed,
     return topo;
 }
 
+Topology
+Topology::clos(const ClosOptions &opts)
+{
+    if (opts.pods < 1 || opts.torsPerPod < 1 || opts.aggsPerPod < 1 ||
+        opts.spines < 1) {
+        fatal("clos topology needs at least 1 node per tier");
+    }
+
+    Topology topo;
+    size_t index = 0;
+    auto make_node = [&](const std::string &name, bgp::AsNumber asn) {
+        NodeConfig node = defaultNode(index, opts.base);
+        node.name = name;
+        node.asn = asn;
+        ++index;
+        return topo.addNode(std::move(node));
+    };
+
+    // RFC 7938 AS scheme: one AS for the spine tier, one per pod for
+    // its aggs, one per ToR (see ClosOptions).
+    bgp::AsNumber spine_as = opts.base.firstAs;
+    auto pod_as = [&](size_t pod) {
+        return bgp::AsNumber(opts.base.firstAs + 1 + pod);
+    };
+    bgp::AsNumber first_tor_as =
+        bgp::AsNumber(opts.base.firstAs + 1 + opts.pods);
+
+    std::vector<size_t> spine_nodes;
+    for (size_t s = 0; s < opts.spines; ++s) {
+        spine_nodes.push_back(
+            make_node("spine" + std::to_string(s), spine_as));
+    }
+
+    auto tier_link = [&](size_t lower, size_t upper,
+                         const bgp::Policy &lower_import,
+                         const bgp::Policy &lower_export,
+                         const bgp::Policy &upper_import,
+                         const bgp::Policy &upper_export) {
+        Link link;
+        link.a.node = lower;
+        link.a.importPolicy = lower_import;
+        link.a.exportPolicy = lower_export;
+        link.b.node = upper;
+        link.b.importPolicy = upper_import;
+        link.b.exportPolicy = upper_export;
+        link.latencyNs = opts.base.latencyNs;
+        link.bandwidthMbps = opts.base.bandwidthMbps;
+        topo.addLink(std::move(link));
+    };
+
+    size_t tor_count = 0;
+    for (size_t p = 0; p < opts.pods; ++p) {
+        std::vector<size_t> agg_nodes;
+        for (size_t a = 0; a < opts.aggsPerPod; ++a) {
+            agg_nodes.push_back(make_node("p" + std::to_string(p) +
+                                              "-agg" +
+                                              std::to_string(a),
+                                          pod_as(p)));
+        }
+        for (size_t t = 0; t < opts.torsPerPod; ++t) {
+            size_t tor = make_node(
+                "p" + std::to_string(p) + "-tor" + std::to_string(t),
+                bgp::AsNumber(first_tor_as + tor_count));
+            ++tor_count;
+            for (size_t agg : agg_nodes) {
+                tier_link(tor, agg, opts.torImport, opts.torExport,
+                          opts.aggImport, opts.aggExport);
+            }
+        }
+        for (size_t agg : agg_nodes) {
+            for (size_t spine : spine_nodes) {
+                tier_link(agg, spine, opts.aggImport, opts.aggExport,
+                          opts.spineImport, opts.spineExport);
+            }
+        }
+    }
+    return topo;
+}
+
+Topology
+Topology::closFromSize(size_t n, const GenOptions &opts)
+{
+    if (n < 8)
+        fatal("clos topology needs at least 8 nodes");
+    ClosOptions clos_opts;
+    clos_opts.base = opts;
+    clos_opts.pods = 2;
+    clos_opts.aggsPerPod = 2;
+    clos_opts.spines = 2;
+    // 2 spines + 2 pods x (2 aggs + t tors) <= n.
+    clos_opts.torsPerPod = (n - clos_opts.spines -
+                            clos_opts.pods * clos_opts.aggsPerPod) /
+                           clos_opts.pods;
+    return clos(clos_opts);
+}
+
 } // namespace bgpbench::topo

@@ -86,6 +86,35 @@ struct GenOptions
 };
 
 /**
+ * Options for the 5-stage Clos datacenter generator (RFC 7938-style
+ * eBGP fabric: tor -> agg -> spine -> agg -> tor).
+ *
+ * AS numbering follows the RFC 7938 section 5.2 scheme: all spines
+ * share one AS (base.firstAs), the aggregation switches of one pod
+ * share a per-pod AS, and every ToR gets its own AS — which is what
+ * makes the pod-internal and spine-level path sets equal-length and
+ * thus ECMP-eligible under maximum-paths.
+ *
+ * The per-tier policies are attached to the matching end of every
+ * generated link (e.g. aggImport filters what an aggregation switch
+ * accepts from either neighbouring tier), giving policy-heavy
+ * scenarios a realistic shape: the same named route-map shared by a
+ * whole tier.
+ */
+struct ClosOptions
+{
+    size_t pods = 2;
+    size_t torsPerPod = 2;
+    size_t aggsPerPod = 2;
+    size_t spines = 2;
+    GenOptions base;
+    /** Per-tier session policies (empty = accept unmodified). */
+    bgp::Policy torImport, torExport;
+    bgp::Policy aggImport, aggExport;
+    bgp::Policy spineImport, spineExport;
+};
+
+/**
  * An AS-level topology: an undirected multigraph of router nodes.
  *
  * The class is a passive description; TopologySim instantiates the
@@ -170,6 +199,21 @@ class Topology
     static Topology barabasiAlbert(size_t n, size_t attach_count,
                                    uint64_t seed,
                                    const GenOptions &opts = {});
+    /**
+     * 5-stage Clos fabric (see ClosOptions). Node order: spines
+     * first, then per pod its aggregation switches followed by its
+     * ToRs; names are "spine<s>", "p<p>-agg<a>", "p<p>-tor<t>".
+     * Every ToR links to every agg of its pod, every agg to every
+     * spine. Requires at least 1 of each tier.
+     */
+    static Topology clos(const ClosOptions &opts = {});
+    /**
+     * Clos sized from a total node budget (the CLI's --shape clos):
+     * 2 spines, 2 pods of 2 aggs each, and the remaining budget as
+     * ToRs split across the pods. Requires n >= 8; the generated
+     * node count is the largest fabric not exceeding @p n.
+     */
+    static Topology closFromSize(size_t n, const GenOptions &opts = {});
     /** @} */
 
   private:

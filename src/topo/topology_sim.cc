@@ -165,6 +165,7 @@ TopologySim::TopologySim(Topology topology, TopologySimConfig config)
         speaker_config.localAs = node.asn;
         speaker_config.routerId = node.routerId;
         speaker_config.localAddress = node.address;
+        speaker_config.decision.maxPaths = config_.maxPaths;
         auto speaker = std::make_unique<bgp::BgpSpeaker>(
             speaker_config, events.get());
         if (config_.obs) {

@@ -131,6 +131,12 @@ struct TopologySimConfig
      */
     bool adaptiveSync = adaptiveSyncDefault();
     /**
+     * maximum-paths applied to every speaker's decision process
+     * (DecisionConfig::maxPaths). 1 keeps the classic single best
+     * path; reports stay byte-identical across jobs either way.
+     */
+    size_t maxPaths = 1;
+    /**
      * Observability sinks for the run, or null (detached — the
      * default). When set, every speaker is bound to its shard's
      * metric registry and tracer, engine windows and barrier waits

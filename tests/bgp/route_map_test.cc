@@ -1,0 +1,560 @@
+/**
+ * @file
+ * Tests for the native route-map surface of the policy engine: named
+ * prefix-lists with ge/le bounds (compiled vs linear oracle), as-path
+ * sets, community lists, route-map first-match / continue semantics,
+ * and the copy-on-write contract of set-action application.
+ */
+
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "bgp/policy.hh"
+
+using namespace bgpbench;
+using namespace bgpbench::bgp;
+
+namespace
+{
+
+PathAttributesPtr
+attrs(std::vector<AsNumber> path, std::vector<uint32_t> communities = {})
+{
+    PathAttributes a;
+    a.asPath = AsPath::sequence(std::move(path));
+    a.nextHop = net::Ipv4Address(10, 0, 0, 1);
+    std::sort(communities.begin(), communities.end());
+    a.communities = std::move(communities);
+    return makeAttributes(std::move(a));
+}
+
+net::Prefix
+pfx(const char *s)
+{
+    return net::Prefix::fromString(s);
+}
+
+Policy
+mapPolicy(RouteMap map)
+{
+    return Policy(std::make_shared<const RouteMap>(std::move(map)));
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// PrefixList: ge/le bound resolution and seq ordering.
+
+TEST(PrefixList, ExactLengthWithoutBounds)
+{
+    PrefixList pl("exact");
+    pl.add(5, true, pfx("10.0.0.0/16"));
+    // Only routes of exactly the entry's length match.
+    EXPECT_EQ(pl.evaluate(pfx("10.0.0.0/16")), ListMatch::Permit);
+    EXPECT_EQ(pl.evaluate(pfx("10.0.0.0/24")), ListMatch::NoMatch);
+    EXPECT_EQ(pl.evaluate(pfx("10.0.0.0/8")), ListMatch::NoMatch);
+    // A /16 elsewhere is not covered at all.
+    EXPECT_EQ(pl.evaluate(pfx("11.0.0.0/16")), ListMatch::NoMatch);
+}
+
+TEST(PrefixList, GeAloneExtendsToHostRoutes)
+{
+    PrefixList pl;
+    pl.add(5, true, pfx("10.0.0.0/8"), 24);
+    EXPECT_EQ(pl.evaluate(pfx("10.1.2.0/24")), ListMatch::Permit);
+    EXPECT_EQ(pl.evaluate(pfx("10.1.2.3/32")), ListMatch::Permit);
+    // Below the ge bound — including the entry's own length.
+    EXPECT_EQ(pl.evaluate(pfx("10.1.0.0/23")), ListMatch::NoMatch);
+    EXPECT_EQ(pl.evaluate(pfx("10.0.0.0/8")), ListMatch::NoMatch);
+}
+
+TEST(PrefixList, LeAloneStartsAtEntryLength)
+{
+    PrefixList pl;
+    pl.add(5, true, pfx("10.0.0.0/8"), std::nullopt, 24);
+    EXPECT_EQ(pl.evaluate(pfx("10.0.0.0/8")), ListMatch::Permit);
+    EXPECT_EQ(pl.evaluate(pfx("10.1.2.0/24")), ListMatch::Permit);
+    EXPECT_EQ(pl.evaluate(pfx("10.1.2.0/25")), ListMatch::NoMatch);
+}
+
+TEST(PrefixList, GeAndLeBracketTheRange)
+{
+    PrefixList pl;
+    pl.add(5, true, pfx("10.0.0.0/8"), 16, 24);
+    EXPECT_EQ(pl.evaluate(pfx("10.0.0.0/8")), ListMatch::NoMatch);
+    EXPECT_EQ(pl.evaluate(pfx("10.1.0.0/16")), ListMatch::Permit);
+    EXPECT_EQ(pl.evaluate(pfx("10.1.2.0/24")), ListMatch::Permit);
+    EXPECT_EQ(pl.evaluate(pfx("10.1.2.128/25")), ListMatch::NoMatch);
+}
+
+TEST(PrefixList, LowestSeqWinsRegardlessOfInsertionOrder)
+{
+    PrefixList pl;
+    // Inserted out of seq order: the seq-5 deny must still win even
+    // though the permit entry was added first.
+    pl.add(10, true, pfx("10.0.0.0/8"), std::nullopt, 32);
+    pl.add(5, false, pfx("10.1.0.0/16"), std::nullopt, 32);
+    EXPECT_EQ(pl.evaluate(pfx("10.1.2.0/24")), ListMatch::Deny);
+    EXPECT_EQ(pl.evaluate(pfx("10.2.0.0/24")), ListMatch::Permit);
+}
+
+TEST(PrefixList, MoreSpecificEntryDoesNotShadowLowerSeq)
+{
+    PrefixList pl;
+    // The covering /8 permit has the lower seq; the more specific
+    // /16 deny must not shadow it (seq order, not specificity).
+    pl.add(5, true, pfx("10.0.0.0/8"), std::nullopt, 32);
+    pl.add(10, false, pfx("10.1.0.0/16"), std::nullopt, 32);
+    EXPECT_EQ(pl.evaluate(pfx("10.1.2.0/24")), ListMatch::Permit);
+}
+
+TEST(PrefixList, CompiledLookupMatchesLinearOracle)
+{
+    // Property test: the trie-compiled evaluate() must agree with the
+    // reference linear scan on every probe, for a deterministic
+    // pseudo-random list with overlapping entries and varied bounds.
+    std::mt19937 rng(20260807);
+    PrefixList pl("fuzz");
+    for (uint32_t i = 0; i < 200; ++i) {
+        int len = int(rng() % 25); // 0..24
+        uint32_t addr = rng();
+        net::Prefix p(net::Ipv4Address(addr), len);
+        std::optional<int> ge, le;
+        switch (rng() % 4) {
+        case 1:
+            ge = len + int(rng() % (33 - len));
+            break;
+        case 2:
+            le = len + int(rng() % (33 - len));
+            break;
+        case 3:
+            ge = len + int(rng() % (33 - len));
+            le = *ge + int(rng() % (33 - *ge));
+            break;
+        default:
+            break;
+        }
+        pl.add(i * 5, rng() % 3 != 0, p, ge, le);
+    }
+    for (int probe = 0; probe < 4000; ++probe) {
+        int len = int(rng() % 33);
+        net::Prefix p(net::Ipv4Address(uint32_t(rng())), len);
+        ASSERT_EQ(pl.evaluate(p), pl.evaluateLinear(p))
+            << "probe " << p.toString();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// AsPathSet / CommunityList.
+
+TEST(AsPathSet, FirstMatchDecides)
+{
+    AsPathSet set("transit");
+    set.add({/*seq=*/5, /*permit=*/false, /*contains=*/666,
+             std::nullopt, std::nullopt, std::nullopt});
+    set.add({10, true, std::nullopt, /*originAs=*/300, std::nullopt,
+             std::nullopt});
+    set.add({20, true, std::nullopt, std::nullopt, /*minLength=*/4,
+             std::nullopt});
+
+    EXPECT_EQ(set.evaluate(AsPath::sequence({100, 666, 300})),
+              ListMatch::Deny);
+    EXPECT_EQ(set.evaluate(AsPath::sequence({100, 300})),
+              ListMatch::Permit);
+    EXPECT_EQ(set.evaluate(AsPath::sequence({1, 2, 3, 4})),
+              ListMatch::Permit);
+    EXPECT_EQ(set.evaluate(AsPath::sequence({1, 2})),
+              ListMatch::NoMatch);
+}
+
+TEST(AsPathSet, MaxLengthBound)
+{
+    AsPathSet set;
+    set.add({5, true, std::nullopt, std::nullopt, std::nullopt,
+             /*maxLength=*/2});
+    EXPECT_EQ(set.evaluate(AsPath::sequence({1, 2})),
+              ListMatch::Permit);
+    EXPECT_EQ(set.evaluate(AsPath::sequence({1, 2, 3})),
+              ListMatch::NoMatch);
+}
+
+TEST(CommunityList, FirstMatchDecides)
+{
+    CommunityList cl("customers");
+    cl.add(5, false, 0x00010063); // deny 1:99
+    cl.add(10, true, 0x00010001); // permit 1:1
+    EXPECT_EQ(cl.evaluate({0x00010001, 0x00010063}), ListMatch::Deny);
+    EXPECT_EQ(cl.evaluate({0x00010001}), ListMatch::Permit);
+    EXPECT_EQ(cl.evaluate({0x00020002}), ListMatch::NoMatch);
+}
+
+// ---------------------------------------------------------------------------
+// RouteMap semantics: first-match, deny, implicit deny, continue.
+
+TEST(RouteMap, FirstMatchingEntryDecidesBySeq)
+{
+    RouteMap map("rm");
+    RouteMapEntry low;
+    low.seq = 10;
+    low.set.localPref = 300;
+    RouteMapEntry high;
+    high.seq = 20;
+    high.set.localPref = 100;
+    map.add(high); // inserted out of order on purpose
+    map.add(low);
+
+    auto out = mapPolicy(std::move(map)).apply(pfx("10.0.0.0/24"),
+                                               attrs({100}));
+    ASSERT_NE(out, nullptr);
+    EXPECT_EQ(out->localPref, 300u);
+}
+
+TEST(RouteMap, MatchingDenyRejectsImmediately)
+{
+    RouteMap map("rm");
+    RouteMapEntry deny;
+    deny.seq = 10;
+    deny.permit = false;
+    deny.match.asPathContains = 666;
+    RouteMapEntry permit;
+    permit.seq = 20;
+    map.add(deny).add(permit);
+    Policy policy = mapPolicy(std::move(map));
+
+    EXPECT_EQ(policy.apply(pfx("10.0.0.0/24"), attrs({666})), nullptr);
+    EXPECT_NE(policy.apply(pfx("10.0.0.0/24"), attrs({100})), nullptr);
+}
+
+TEST(RouteMap, NativeMapHasImplicitDeny)
+{
+    RouteMap map("rm"); // NoMatch::Deny by default
+    RouteMapEntry entry;
+    entry.match.prefixCoveredBy = pfx("192.168.0.0/16");
+    map.add(entry);
+    Policy policy = mapPolicy(std::move(map));
+
+    // Route matching no entry is dropped, Quagga-style.
+    EXPECT_EQ(policy.apply(pfx("10.0.0.0/24"), attrs({100})), nullptr);
+    EXPECT_NE(policy.apply(pfx("192.168.1.0/24"), attrs({100})),
+              nullptr);
+}
+
+TEST(RouteMap, PermitNoMatchActionAcceptsUnmodified)
+{
+    RouteMap map("legacy", RouteMap::NoMatch::Permit);
+    RouteMapEntry entry;
+    entry.permit = false;
+    entry.match.prefixCoveredBy = pfx("192.168.0.0/16");
+    map.add(entry);
+    Policy policy = mapPolicy(std::move(map));
+
+    auto in = attrs({100});
+    EXPECT_EQ(policy.apply(pfx("10.0.0.0/24"), in), in);
+}
+
+TEST(RouteMap, NamedListMustPermitForEntryToMatch)
+{
+    auto pl = std::make_shared<PrefixList>("pl");
+    pl->add(5, false, pfx("10.1.0.0/16"), std::nullopt, 32);
+    pl->add(10, true, pfx("10.0.0.0/8"), std::nullopt, 32);
+
+    RouteMap map("rm");
+    RouteMapEntry entry;
+    entry.prefixList = pl;
+    entry.set.localPref = 200;
+    map.add(entry);
+    Policy policy = mapPolicy(std::move(map));
+
+    // Denied by the list -> the entry does not match -> implicit deny.
+    EXPECT_EQ(policy.apply(pfx("10.1.2.0/24"), attrs({1})), nullptr);
+    // Permitted by the list -> the entry matches and sets.
+    auto out = policy.apply(pfx("10.2.0.0/24"), attrs({1}));
+    ASSERT_NE(out, nullptr);
+    EXPECT_EQ(out->localPref, 200u);
+    // Not covered by the list at all -> no match -> implicit deny.
+    EXPECT_EQ(policy.apply(pfx("11.0.0.0/24"), attrs({1})), nullptr);
+}
+
+TEST(RouteMap, ContinueAccumulatesSetActions)
+{
+    RouteMap map("rm");
+    RouteMapEntry first;
+    first.seq = 10;
+    first.set.localPref = 250;
+    first.continueTo = 0; // resume at the next entry
+    RouteMapEntry second;
+    second.seq = 20;
+    second.set.med = 7;
+    map.add(first).add(second);
+
+    auto out = mapPolicy(std::move(map)).apply(pfx("10.0.0.0/24"),
+                                               attrs({100}));
+    ASSERT_NE(out, nullptr);
+    EXPECT_EQ(out->localPref, 250u);
+    EXPECT_EQ(out->med, 7u);
+}
+
+TEST(RouteMap, ContinueTargetSkipsIntermediateEntries)
+{
+    RouteMap map("rm");
+    RouteMapEntry first;
+    first.seq = 10;
+    first.set.localPref = 250;
+    first.continueTo = 30; // jump over seq 20
+    RouteMapEntry skipped;
+    skipped.seq = 20;
+    skipped.set.med = 99;
+    RouteMapEntry landed;
+    landed.seq = 30;
+    landed.set.med = 7;
+    map.add(first).add(skipped).add(landed);
+
+    auto out = mapPolicy(std::move(map)).apply(pfx("10.0.0.0/24"),
+                                               attrs({100}));
+    ASSERT_NE(out, nullptr);
+    EXPECT_EQ(out->localPref, 250u);
+    EXPECT_EQ(out->med, 7u); // seq 20's med=99 never applied
+}
+
+TEST(RouteMap, DenyMatchedWhileContinuingRejects)
+{
+    RouteMap map("rm");
+    RouteMapEntry first;
+    first.seq = 10;
+    first.set.localPref = 250;
+    first.continueTo = 0;
+    RouteMapEntry deny;
+    deny.seq = 20;
+    deny.permit = false;
+    map.add(first).add(deny);
+
+    EXPECT_EQ(mapPolicy(std::move(map))
+                  .apply(pfx("10.0.0.0/24"), attrs({100})),
+              nullptr);
+}
+
+TEST(RouteMap, RunningOffTheEndAfterPermitAccepts)
+{
+    RouteMap map("rm");
+    RouteMapEntry only;
+    only.seq = 10;
+    only.set.localPref = 250;
+    only.continueTo = 500; // beyond the last entry
+    map.add(only);
+
+    auto out = mapPolicy(std::move(map)).apply(pfx("10.0.0.0/24"),
+                                               attrs({100}));
+    ASSERT_NE(out, nullptr);
+    EXPECT_EQ(out->localPref, 250u);
+}
+
+TEST(RouteMap, BackwardContinueIsClampedForward)
+{
+    // A continue target at or before the entry's own seq must not
+    // loop; it is clamped to the next entry and terminates.
+    RouteMap map("rm");
+    RouteMapEntry first;
+    first.seq = 10;
+    first.set.localPref = 250;
+    first.continueTo = 10; // self-referential target
+    RouteMapEntry second;
+    second.seq = 20;
+    second.set.med = 7;
+    map.add(first).add(second);
+
+    auto out = mapPolicy(std::move(map)).apply(pfx("10.0.0.0/24"),
+                                               attrs({100}));
+    ASSERT_NE(out, nullptr);
+    EXPECT_EQ(out->localPref, 250u);
+    EXPECT_EQ(out->med, 7u);
+}
+
+// ---------------------------------------------------------------------------
+// Set-actions.
+
+TEST(RouteMap, SetCommunityReplacesBeforeAddDelete)
+{
+    RouteMap map("rm");
+    RouteMapEntry entry;
+    entry.set.replaceCommunities = true;
+    entry.set.communities = {30, 10, 20}; // unsorted on purpose
+    entry.set.addCommunities = {40};
+    entry.set.deleteCommunities = {20};
+    map.add(entry);
+
+    auto out = mapPolicy(std::move(map))
+                   .apply(pfx("10.0.0.0/24"), attrs({1}, {7, 8}));
+    ASSERT_NE(out, nullptr);
+    EXPECT_EQ(out->communities, (std::vector<uint32_t>{10, 30, 40}));
+}
+
+TEST(RouteMap, SetCommunityNoneClearsAll)
+{
+    RouteMap map("rm");
+    RouteMapEntry entry;
+    entry.set.replaceCommunities = true; // empty replacement set
+    map.add(entry);
+
+    auto out = mapPolicy(std::move(map))
+                   .apply(pfx("10.0.0.0/24"), attrs({1}, {7, 8}));
+    ASSERT_NE(out, nullptr);
+    EXPECT_TRUE(out->communities.empty());
+}
+
+TEST(RouteMap, SetNextHopRewrites)
+{
+    RouteMap map("rm");
+    RouteMapEntry entry;
+    entry.set.nextHop = net::Ipv4Address(172, 16, 0, 1);
+    map.add(entry);
+
+    auto out = mapPolicy(std::move(map)).apply(pfx("10.0.0.0/24"),
+                                               attrs({1}));
+    ASSERT_NE(out, nullptr);
+    EXPECT_EQ(out->nextHop, net::Ipv4Address(172, 16, 0, 1));
+}
+
+TEST(RouteMap, PrependAppliesOnExportOnly)
+{
+    RouteMap map("rm");
+    RouteMapEntry entry;
+    entry.set.prependCount = 2;
+    map.add(entry);
+    Policy policy = mapPolicy(std::move(map));
+
+    auto in = attrs({100});
+    auto exported = policy.apply(pfx("10.0.0.0/24"), in, 65000);
+    ASSERT_NE(exported, nullptr);
+    EXPECT_EQ(exported->asPath.pathLength(), 3);
+    EXPECT_EQ(exported->asPath.firstAs(), 65000);
+    // Import side (prepend_as = 0): a prepend-only entry changes
+    // nothing, so the original pointer survives.
+    EXPECT_EQ(policy.apply(pfx("10.0.0.0/24"), in, 0), in);
+}
+
+// ---------------------------------------------------------------------------
+// Copy-on-write contract and evaluation stats.
+
+TEST(RouteMapCow, UnchangedRouteKeepsInternedPointerIdentity)
+{
+    // Regression: an accepted route whose set-actions do not change
+    // the bundle must come back as the *same* shared pointer — the
+    // export memo and the interner depend on this.
+    RouteMap map("rm");
+    RouteMapEntry entry;
+    entry.set.localPref = 100; // matches the incoming value
+    map.add(entry);
+    Policy policy = mapPolicy(std::move(map));
+
+    PathAttributes a;
+    a.asPath = AsPath::sequence({100, 200});
+    a.nextHop = net::Ipv4Address(10, 0, 0, 1);
+    a.localPref = 100;
+    auto in = makeAttributes(std::move(a));
+
+    PolicyEvalStats stats;
+    auto out = policy.apply(pfx("10.0.0.0/24"), in, 0, &stats);
+    EXPECT_EQ(out.get(), in.get());
+    EXPECT_EQ(stats.evals, 1u);
+    EXPECT_EQ(stats.cowHits, 1u);
+    EXPECT_EQ(stats.cowCopies, 0u);
+    EXPECT_EQ(stats.rejects, 0u);
+    EXPECT_EQ(stats.cowHitRatio(), 1.0);
+}
+
+TEST(RouteMapCow, ChangedRouteIsCopiedOnceAndReinterned)
+{
+    RouteMap map("rm");
+    RouteMapEntry entry;
+    entry.set.localPref = 250;
+    map.add(entry);
+    Policy policy = mapPolicy(std::move(map));
+
+    auto in = attrs({100, 200});
+    PolicyEvalStats stats;
+    auto first = policy.apply(pfx("10.0.0.0/24"), in, 0, &stats);
+    auto second = policy.apply(pfx("10.0.1.0/24"), in, 0, &stats);
+    ASSERT_NE(first, nullptr);
+    EXPECT_NE(first.get(), in.get());
+    EXPECT_EQ(first->localPref, 250u);
+    // Re-canonicalised through the interner: the second application
+    // of the identical transformation yields the same block.
+    EXPECT_EQ(first.get(), second.get());
+    EXPECT_EQ(stats.cowCopies, 2u);
+    EXPECT_EQ(stats.cowHits, 0u);
+    // Original untouched.
+    EXPECT_FALSE(in->localPref.has_value());
+}
+
+TEST(RouteMapCow, StatsTallyAcrossDispositions)
+{
+    RouteMap map("rm");
+    RouteMapEntry deny;
+    deny.seq = 10;
+    deny.permit = false;
+    deny.match.asPathContains = 666;
+    RouteMapEntry touch;
+    touch.seq = 20;
+    touch.match.asPathContains = 777;
+    touch.set.med = 9;
+    RouteMapEntry pass;
+    pass.seq = 30;
+    map.add(deny).add(touch).add(pass);
+    Policy policy = mapPolicy(std::move(map));
+
+    PolicyEvalStats stats;
+    const net::Prefix p = pfx("10.0.0.0/24");
+    EXPECT_EQ(policy.apply(p, attrs({666}), 0, &stats), nullptr);
+    EXPECT_NE(policy.apply(p, attrs({777}), 0, &stats), nullptr);
+    auto in = attrs({100});
+    EXPECT_EQ(policy.apply(p, in, 0, &stats), in);
+
+    EXPECT_EQ(stats.evals, 3u);
+    EXPECT_EQ(stats.rejects, 1u);
+    EXPECT_EQ(stats.cowCopies, 1u);
+    EXPECT_EQ(stats.cowHits, 1u);
+    EXPECT_EQ(stats.cowHitRatio(), 0.5);
+}
+
+TEST(RouteMapCow, MatchesEvaluateAgainstOriginalAttributes)
+{
+    // Set-actions accumulate but matches see the *original* bundle:
+    // entry 10 sets the community that entry 20 matches on — entry 20
+    // must not fire.
+    RouteMap map("rm");
+    RouteMapEntry first;
+    first.seq = 10;
+    first.set.addCommunities = {42};
+    first.continueTo = 0;
+    RouteMapEntry second;
+    second.seq = 20;
+    second.match.hasCommunity = 42;
+    second.set.localPref = 999;
+    map.add(first).add(second);
+
+    auto out = mapPolicy(std::move(map)).apply(pfx("10.0.0.0/24"),
+                                               attrs({100}));
+    ASSERT_NE(out, nullptr);
+    EXPECT_EQ(out->communities, std::vector<uint32_t>{42});
+    EXPECT_FALSE(out->localPref.has_value());
+}
+
+TEST(PolicyHandle, EmptinessReflectsMapSemantics)
+{
+    EXPECT_TRUE(Policy().empty());
+    // A native empty map denies everything: decidedly not empty.
+    Policy native = mapPolicy(RouteMap("rm"));
+    EXPECT_FALSE(native.empty());
+    EXPECT_EQ(native.apply(pfx("10.0.0.0/24"), attrs({1})), nullptr);
+    // A legacy-style empty map accepts unmodified: empty.
+    Policy legacy =
+        mapPolicy(RouteMap("rm", RouteMap::NoMatch::Permit));
+    EXPECT_TRUE(legacy.empty());
+    EXPECT_EQ(Policy().size(), 0u);
+
+    RouteMap sized("rm");
+    sized.add(RouteMapEntry{});
+    sized.add(RouteMapEntry{});
+    EXPECT_EQ(mapPolicy(std::move(sized)).size(), 2u);
+}

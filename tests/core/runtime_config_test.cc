@@ -273,3 +273,47 @@ TEST(RuntimeConfig, ApplySteersInternerAndWirePool)
     EXPECT_EQ(bgp::internDefaultEnabled(), intern_before);
     EXPECT_EQ(net::segmentSharingEnabled(), sharing_before);
 }
+
+TEST(RuntimeConfig, MaxPathsKnob)
+{
+    {
+        core::RuntimeConfig config;
+        EXPECT_EQ(config.maxPaths(), 1u);
+        EXPECT_EQ(config.maxPathsOrigin(),
+                  core::ConfigOrigin::Default);
+    }
+    {
+        EnvVar v("BGPBENCH_MAX_PATHS", "4");
+        auto config = core::RuntimeConfig::fromEnvironment();
+        EXPECT_EQ(config.maxPaths(), 4u);
+        EXPECT_EQ(config.maxPathsOrigin(),
+                  core::ConfigOrigin::Environment);
+    }
+    {
+        // Zero and garbage are ignored, not adopted.
+        EnvVar v("BGPBENCH_MAX_PATHS", "0");
+        auto config = core::RuntimeConfig::fromEnvironment();
+        EXPECT_EQ(config.maxPaths(), 1u);
+        EXPECT_EQ(config.maxPathsOrigin(),
+                  core::ConfigOrigin::Default);
+    }
+    {
+        EnvVar v("BGPBENCH_MAX_PATHS", "2");
+        auto config = core::RuntimeConfig::fromEnvironment();
+        config.overrideMaxPaths(8);
+        EXPECT_EQ(config.maxPaths(), 8u);
+        EXPECT_EQ(config.maxPathsOrigin(),
+                  core::ConfigOrigin::CommandLine);
+    }
+}
+
+TEST(RuntimeConfig, DumpShowsMaxPaths)
+{
+    core::RuntimeConfig config;
+    config.overrideMaxPaths(4);
+    std::ostringstream os;
+    config.dump(os);
+    std::string out = os.str();
+    EXPECT_NE(out.find("max paths"), std::string::npos);
+    EXPECT_NE(out.find("4"), std::string::npos);
+}

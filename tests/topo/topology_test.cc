@@ -120,3 +120,113 @@ TEST(Topology, ValidationRejectsBadInput)
     EXPECT_THROW(Topology::barabasiAlbert(2, 2, 1), FatalError);
     EXPECT_THROW(Topology::barabasiAlbert(9, 0, 1), FatalError);
 }
+
+TEST(Topology, ClosShapeAndLinkStructure)
+{
+    topo::ClosOptions opts;
+    opts.pods = 2;
+    opts.torsPerPod = 3;
+    opts.aggsPerPod = 2;
+    opts.spines = 4;
+    Topology topo = Topology::clos(opts);
+
+    // 4 spines + 2 pods x (2 aggs + 3 tors).
+    EXPECT_EQ(topo.nodeCount(), 14u);
+    // Per pod: every tor to every agg; every agg to every spine.
+    EXPECT_EQ(topo.linkCount(), 2u * (3 * 2) + 2u * (2 * 4));
+    EXPECT_TRUE(topo.connected());
+
+    // Spines come first, then pod by pod: aggs before tors.
+    EXPECT_EQ(topo.node(0).name, "spine0");
+    EXPECT_EQ(topo.node(3).name, "spine3");
+    EXPECT_EQ(topo.node(4).name, "p0-agg0");
+    EXPECT_EQ(topo.node(6).name, "p0-tor0");
+    EXPECT_EQ(topo.node(9).name, "p1-agg0");
+    EXPECT_EQ(topo.node(13).name, "p1-tor2");
+
+    // Every link crosses tiers, so the whole fabric is eBGP.
+    for (size_t l = 0; l < topo.linkCount(); ++l)
+        EXPECT_FALSE(topo.isIbgp(l));
+}
+
+TEST(Topology, ClosAsNumberingFollowsRfc7938)
+{
+    topo::ClosOptions opts;
+    opts.pods = 2;
+    opts.torsPerPod = 2;
+    opts.aggsPerPod = 2;
+    opts.spines = 2;
+    opts.base.firstAs = 64600;
+    Topology topo = Topology::clos(opts);
+
+    // All spines share one AS.
+    EXPECT_EQ(topo.node(0).asn, 64600);
+    EXPECT_EQ(topo.node(1).asn, 64600);
+    // Each pod's aggs share the per-pod AS.
+    EXPECT_EQ(topo.node(2).asn, 64601); // p0-agg0
+    EXPECT_EQ(topo.node(3).asn, 64601); // p0-agg1
+    EXPECT_EQ(topo.node(6).asn, 64602); // p1-agg0
+    EXPECT_EQ(topo.node(7).asn, 64602); // p1-agg1
+    // Every tor gets its own AS, numbered after the pod ASes.
+    EXPECT_EQ(topo.node(4).asn, 64603); // p0-tor0
+    EXPECT_EQ(topo.node(5).asn, 64604); // p0-tor1
+    EXPECT_EQ(topo.node(8).asn, 64605); // p1-tor0
+    EXPECT_EQ(topo.node(9).asn, 64606); // p1-tor1
+
+    // Router ids and addresses stay unique across the fabric.
+    for (size_t i = 0; i < topo.nodeCount(); ++i)
+        for (size_t j = i + 1; j < topo.nodeCount(); ++j) {
+            EXPECT_NE(topo.node(i).routerId, topo.node(j).routerId);
+            EXPECT_NE(topo.node(i).address, topo.node(j).address);
+        }
+}
+
+TEST(Topology, ClosAttachesTierPoliciesToLinkEnds)
+{
+    topo::ClosOptions opts;
+    opts.torImport = bgp::makeLocalPrefForAsPolicy(64999, 200);
+    opts.aggExport =
+        bgp::makeRejectPrefixPolicy(net::Prefix::fromString(
+            "240.0.0.0/4"));
+    Topology topo = Topology::clos(opts);
+
+    size_t tor_imports = 0, agg_exports = 0;
+    for (size_t l = 0; l < topo.linkCount(); ++l) {
+        const topo::Link &link = topo.link(l);
+        if (!link.a.importPolicy.empty())
+            ++tor_imports; // lower tier sits on end a
+        if (!link.b.exportPolicy.empty() &&
+            topo.node(link.b.node).name.find("agg") !=
+                std::string::npos)
+            ++agg_exports;
+    }
+    // Every tor->agg link carries the tor import policy on its a end;
+    // the agg export policy rides the same links' b ends.
+    EXPECT_EQ(tor_imports, 2u * (2 * 2));
+    EXPECT_EQ(agg_exports, 2u * (2 * 2));
+}
+
+TEST(Topology, ClosFromSizeSpendsTheNodeBudget)
+{
+    Topology topo = Topology::closFromSize(16);
+    EXPECT_EQ(topo.nodeCount(), 16u);
+    EXPECT_TRUE(topo.connected());
+    // Fixed 2-spine / 2x2-agg frame; the remainder becomes tors.
+    EXPECT_EQ(topo.node(0).name, "spine0");
+    size_t tors = 0;
+    for (size_t i = 0; i < topo.nodeCount(); ++i)
+        if (topo.node(i).name.find("tor") != std::string::npos)
+            ++tors;
+    EXPECT_EQ(tors, 10u);
+}
+
+TEST(Topology, ClosRejectsDegenerateTiers)
+{
+    topo::ClosOptions no_spines;
+    no_spines.spines = 0;
+    EXPECT_THROW(Topology::clos(no_spines), FatalError);
+    topo::ClosOptions no_pods;
+    no_pods.pods = 0;
+    EXPECT_THROW(Topology::clos(no_pods), FatalError);
+    EXPECT_THROW(Topology::closFromSize(7), FatalError);
+}

@@ -102,6 +102,8 @@ struct CliOptions
     size_t jobs = 1;
     /** Adaptive sync windows in the parallel engine. */
     bool adaptiveSync = true;
+    /** BGP maximum-paths (ECMP width) for topo/serve runs. */
+    size_t maxPaths = 1;
     /** serve command (defaults resolved from RuntimeConfig). */
     size_t serveReaders = 4;
     uint64_t serveQueries = 200000;
@@ -153,7 +155,7 @@ usage(int code)
         "\n"
         "topo options:\n"
         "  --shape NAME             line | ring | star | mesh | "
-        "random\n"
+        "random | clos\n"
         "  --nodes N                router count (default 12)\n"
         "  --fault KIND             none | link | reboot\n"
         "  --link N                 link index to fail (default 0)\n"
@@ -164,6 +166,8 @@ usage(int code)
         "(default 1)\n"
         "  --jobs N                 worker threads (1 = sequential, "
         "0 = auto); reports are identical for every value\n"
+        "  --max-paths N            BGP maximum-paths (ECMP width, "
+        "default 1)\n"
         "  --json                   JSON report output\n"
         "\n"
         "serve options (plus the topo topology options):\n"
@@ -262,6 +266,14 @@ parseArgs(int argc, char **argv, core::RuntimeConfig &runtime)
         } else if (arg == "--jobs") {
             runtime.overrideJobs(
                 size_t(std::strtoull(value().c_str(), nullptr, 10)));
+        } else if (arg == "--max-paths") {
+            size_t paths =
+                size_t(std::strtoull(value().c_str(), nullptr, 10));
+            if (paths == 0) {
+                std::cerr << "--max-paths needs a value >= 1\n";
+                usage(2);
+            }
+            runtime.overrideMaxPaths(paths);
         } else if (arg == "--readers") {
             runtime.overrideServeReaders(
                 size_t(std::strtoull(value().c_str(), nullptr, 10)));
@@ -290,6 +302,7 @@ parseArgs(int argc, char **argv, core::RuntimeConfig &runtime)
     // (likewise for the serve knobs).
     options.jobs = runtime.jobs();
     options.adaptiveSync = runtime.adaptiveSync();
+    options.maxPaths = runtime.maxPaths();
     options.serveReaders = runtime.serveReaders();
     options.snapshotEvery = runtime.snapshotEvery();
     options.queryMix = runtime.queryMix();
@@ -470,6 +483,8 @@ topoByShape(const CliOptions &options)
         return topo::Topology::barabasiAlbert(options.nodes, 2,
                                               options.seed);
     }
+    if (options.shape == "clos")
+        return topo::Topology::closFromSize(options.nodes);
     std::cerr << "unknown shape: " << options.shape << "\n";
     usage(2);
 }
@@ -481,6 +496,7 @@ cmdTopo(const CliOptions &options)
     sopts.prefixesPerNode = options.prefixesPerNode;
     sopts.simConfig.jobs = options.jobs;
     sopts.simConfig.adaptiveSync = options.adaptiveSync;
+    sopts.simConfig.maxPaths = options.maxPaths;
     sopts.simConfig.obs = options.obs;
 
     topo::ConvergenceReport report;
@@ -559,6 +575,7 @@ cmdServe(const CliOptions &options)
     config.scenario.prefixesPerNode = options.prefixesPerNode;
     config.scenario.simConfig.jobs = options.jobs;
     config.scenario.simConfig.adaptiveSync = options.adaptiveSync;
+    config.scenario.simConfig.maxPaths = options.maxPaths;
     config.scenario.simConfig.obs = options.obs;
     config.snapshotEvery = options.snapshotEvery;
     config.engine.readers = int(options.serveReaders);
