@@ -47,7 +47,7 @@
 #include "obs/views.hh"
 #include "stats/json.hh"
 #include "topo/partition.hh"
-#include "topo/scenarios.hh"
+#include "topo/scenario_spec.hh"
 
 #include "bench_util.hh"
 
@@ -62,6 +62,25 @@ wallMs(std::chrono::steady_clock::time_point begin)
     return std::chrono::duration<double, std::milli>(
                std::chrono::steady_clock::now() - begin)
         .count();
+}
+
+/**
+ * The declarative form of every run in this bench: a named spec on a
+ * shape, optionally with a fault schedule, executed by the one
+ * ScenarioRunner.
+ */
+topo::ConvergenceReport
+runSpec(topo::Topology topology, const std::string &shape,
+        const std::string &name, topo::FaultSchedule faults,
+        const topo::TopologySimConfig &sim_config)
+{
+    topo::ScenarioSpec spec;
+    spec.name = name;
+    spec.shape = shape;
+    spec.topology = std::move(topology);
+    spec.simConfig = sim_config;
+    spec.faults = std::move(faults);
+    return topo::ScenarioRunner(std::move(spec)).run().convergence;
 }
 
 struct SweepPoint
@@ -115,14 +134,14 @@ runSweep(const topo::Topology &shape, const std::string &name,
     std::vector<SweepPoint> points;
     std::string baseline;
     for (size_t jobs : {size_t(1), size_t(2), size_t(4), size_t(8)}) {
-        topo::ScenarioOptions opts;
-        opts.simConfig.jobs = jobs;
-        opts.simConfig.adaptiveSync = adaptive;
+        topo::TopologySimConfig sim_config;
+        sim_config.jobs = jobs;
+        sim_config.adaptiveSync = adaptive;
         obs::RunObservability obs;
-        opts.simConfig.obs = &obs;
+        sim_config.obs = &obs;
         auto begin = std::chrono::steady_clock::now();
         topo::ConvergenceReport report =
-            topo::runAnnounceScenario(shape, name, opts);
+            runSpec(shape, name, "announce", {}, sim_config);
         SweepPoint point;
         point.jobs = jobs;
         point.wallMs = wallMs(begin);
@@ -165,12 +184,12 @@ int
 runAdaptiveOverheadCheck(size_t mesh_nodes)
 {
     auto once = [&](bool adaptive) {
-        topo::ScenarioOptions opts;
-        opts.simConfig.jobs = 1;
-        opts.simConfig.adaptiveSync = adaptive;
+        topo::TopologySimConfig sim_config;
+        sim_config.jobs = 1;
+        sim_config.adaptiveSync = adaptive;
         auto begin = std::chrono::steady_clock::now();
-        topo::runAnnounceScenario(topo::Topology::fullMesh(mesh_nodes),
-                                  "mesh", opts);
+        runSpec(topo::Topology::fullMesh(mesh_nodes), "mesh",
+                "announce", {}, sim_config);
         return wallMs(begin);
     };
 
@@ -258,29 +277,32 @@ main(int argc, char **argv)
               << jobs << ", " << (adaptive ? "adaptive" : "fixed")
               << " sync)\n";
 
-    topo::ScenarioOptions opts;
-    opts.simConfig.jobs = jobs;
-    opts.simConfig.adaptiveSync = adaptive;
+    topo::TopologySimConfig sim_config;
+    sim_config.jobs = jobs;
+    sim_config.adaptiveSync = adaptive;
     std::vector<topo::ConvergenceReport> runs;
 
-    runs.push_back(topo::runAnnounceScenario(
-        topo::Topology::line(nodes), "line", opts));
-    runs.push_back(topo::runAnnounceScenario(
-        topo::Topology::ring(nodes), "ring", opts));
-    runs.push_back(topo::runAnnounceScenario(
-        topo::Topology::star(nodes), "star", opts));
-    runs.push_back(topo::runAnnounceScenario(
+    runs.push_back(runSpec(topo::Topology::line(nodes), "line",
+                           "announce", {}, sim_config));
+    runs.push_back(runSpec(topo::Topology::ring(nodes), "ring",
+                           "announce", {}, sim_config));
+    runs.push_back(runSpec(topo::Topology::star(nodes), "star",
+                           "announce", {}, sim_config));
+    runs.push_back(runSpec(
         topo::Topology::barabasiAlbert(nodes, attach, seed), "random",
-        opts));
+        "announce", {}, sim_config));
 
     // Fault scenarios on the shapes where they are most interesting:
     // a ring re-routes around a failed link; the random graph loses
     // its oldest (highest-degree) router for 50 ms.
-    runs.push_back(topo::runLinkFailureScenario(
-        topo::Topology::ring(nodes), "ring", 0, opts));
-    runs.push_back(topo::runRouterRebootScenario(
+    runs.push_back(runSpec(
+        topo::Topology::ring(nodes), "ring", "link-failure",
+        topo::FaultSchedule().linkDown(0, 0), sim_config));
+    runs.push_back(runSpec(
         topo::Topology::barabasiAlbert(nodes, attach, seed), "random",
-        0, sim::nsFromMs(50), opts));
+        "router-reboot",
+        topo::FaultSchedule().routerRestart(0, 0, sim::nsFromMs(50)),
+        sim_config));
 
     for (const topo::ConvergenceReport &run : runs) {
         std::cout << "\n";

@@ -5,25 +5,24 @@
 namespace bgpbench::bgp
 {
 
-namespace
+double
+FlapDamper::decayedPenalty(const History &history, TimeNs now) const
 {
-constexpr double nsPerSec = 1e9;
-} // namespace
+    if (now <= history.anchor)
+        return history.penalty;
+    // exp2 keeps half-life arithmetic exact at the boundaries that
+    // matter for the benchmark: exp2(-1.0) == 0.5, so the penalty
+    // halves exactly once per half-life of simulated nanoseconds.
+    double half_lives = double(now - history.anchor) / halfLifeNs_;
+    return history.penalty * std::exp2(-half_lives);
+}
 
-void
-FlapDamper::decay(History &history, TimeNs now) const
+bool
+FlapDamper::effectivelySuppressed(const History &history,
+                                  TimeNs now) const
 {
-    if (now <= history.lastUpdate) {
-        return;
-    }
-    double dt = double(now - history.lastUpdate) / nsPerSec;
-    history.penalty *=
-        std::exp2(-dt / config_.halfLifeSec);
-    history.lastUpdate = now;
-    if (history.suppressed &&
-        history.penalty < config_.reuseThreshold) {
-        history.suppressed = false;
-    }
+    return history.suppressed &&
+           decayedPenalty(history, now) >= config_.reuseThreshold;
 }
 
 bool
@@ -31,14 +30,16 @@ FlapDamper::addPenalty(PeerId peer, const net::Prefix &prefix,
                        double penalty, TimeNs now)
 {
     auto &history = histories_[Key{peer, prefix}];
-    if (history.lastUpdate == 0 && history.penalty == 0.0)
-        history.lastUpdate = now;
-    decay(history, now);
     history.penalty =
-        std::min(history.penalty + penalty, config_.maxPenalty);
-    if (history.penalty >= config_.suppressThreshold)
+        std::min(decayedPenalty(history, now) + penalty,
+                 config_.maxPenalty);
+    history.anchor = now;
+    if (history.penalty >= config_.suppressThreshold &&
+        !history.suppressed) {
         history.suppressed = true;
-    return history.suppressed;
+        ++suppressTransitions_;
+    }
+    return effectivelySuppressed(history, now);
 }
 
 bool
@@ -74,26 +75,24 @@ FlapDamper::onAnnounce(PeerId peer, const net::Prefix &prefix,
 
 bool
 FlapDamper::isSuppressed(PeerId peer, const net::Prefix &prefix,
-                         TimeNs now)
+                         TimeNs now) const
 {
     if (!config_.enabled)
         return false;
     auto it = histories_.find(Key{peer, prefix});
     if (it == histories_.end())
         return false;
-    decay(it->second, now);
-    return it->second.suppressed;
+    return effectivelySuppressed(it->second, now);
 }
 
 double
 FlapDamper::penalty(PeerId peer, const net::Prefix &prefix,
-                    TimeNs now)
+                    TimeNs now) const
 {
     auto it = histories_.find(Key{peer, prefix});
     if (it == histories_.end())
         return 0.0;
-    decay(it->second, now);
-    return it->second.penalty;
+    return decayedPenalty(it->second, now);
 }
 
 std::vector<std::pair<PeerId, net::Prefix>>
@@ -101,14 +100,18 @@ FlapDamper::takeReusable(TimeNs now)
 {
     std::vector<std::pair<PeerId, net::Prefix>> reusable;
     for (auto it = histories_.begin(); it != histories_.end();) {
-        bool was_suppressed = it->second.suppressed;
-        decay(it->second, now);
-        if (was_suppressed && !it->second.suppressed)
+        History &history = it->second;
+        double decayed = decayedPenalty(history, now);
+        if (history.suppressed &&
+            decayed < config_.reuseThreshold) {
+            history.suppressed = false;
+            ++reuseTransitions_;
             reusable.emplace_back(it->first.peer, it->first.prefix);
+        }
 
         // Garbage-collect histories that have decayed to noise.
-        if (!it->second.suppressed &&
-            it->second.penalty < config_.reuseThreshold / 8.0) {
+        if (!history.suppressed &&
+            decayed < config_.reuseThreshold / 8.0) {
             it = histories_.erase(it);
         } else {
             ++it;
@@ -117,14 +120,36 @@ FlapDamper::takeReusable(TimeNs now)
     return reusable;
 }
 
+FlapDamper::TimeNs
+FlapDamper::nextReuseTime(TimeNs now) const
+{
+    TimeNs earliest = 0;
+    for (const auto &[key, history] : histories_) {
+        if (!history.suppressed)
+            continue;
+        TimeNs at = now + 1;
+        if (history.penalty > config_.reuseThreshold) {
+            // Half-lives until the anchored penalty reaches the
+            // reuse threshold; ceil to whole ns so the wakeup lands
+            // at-or-after the exact crossing.
+            double half_lives =
+                std::log2(history.penalty / config_.reuseThreshold);
+            double delay_ns = std::ceil(half_lives * halfLifeNs_);
+            TimeNs cross = history.anchor + TimeNs(delay_ns);
+            at = std::max(cross, now + 1);
+        }
+        if (earliest == 0 || at < earliest)
+            earliest = at;
+    }
+    return earliest;
+}
+
 size_t
-FlapDamper::suppressedCount(TimeNs now)
+FlapDamper::suppressedCount(TimeNs now) const
 {
     size_t count = 0;
-    for (auto &[key, history] : histories_) {
-        decay(history, now);
-        count += history.suppressed;
-    }
+    for (const auto &[key, history] : histories_)
+        count += effectivelySuppressed(history, now);
     return count;
 }
 

@@ -8,6 +8,14 @@
  * defence: each flap adds a penalty that decays exponentially; a
  * route whose penalty exceeds the suppress threshold is ignored until
  * it decays below the reuse threshold.
+ *
+ * Decay is anchor-based: each history stores the penalty value at the
+ * simulated time it was last *charged* and every read computes
+ * penalty * 2^(-(now - anchor) / halfLife) from that fixed anchor.
+ * Reads never rebase the anchor, so the observed trajectory is a pure
+ * function of the flap times — querying a history more or less often
+ * (as parallel shard layouts do) cannot perturb the floating-point
+ * path or shift a suppress/reuse boundary.
  */
 
 #ifndef BGPBENCH_BGP_DAMPING_HH
@@ -45,7 +53,9 @@ struct DampingConfig
 };
 
 /**
- * Per-(peer, prefix) flap history with lazy exponential decay.
+ * Per-(peer, prefix) flap history with anchor-based exponential
+ * decay. All reads are const and side-effect free; only recording a
+ * flap (or harvesting reusable routes) mutates state.
  */
 class FlapDamper
 {
@@ -53,7 +63,8 @@ class FlapDamper
     using TimeNs = uint64_t;
 
     explicit FlapDamper(DampingConfig config)
-        : config_(config)
+        : config_(config),
+          halfLifeNs_(config.halfLifeSec * 1e9)
     {}
 
     const DampingConfig &config() const { return config_; }
@@ -77,13 +88,13 @@ class FlapDamper
     bool onAnnounce(PeerId peer, const net::Prefix &prefix,
                     bool attribute_change, TimeNs now);
 
-    /** Current suppression state (decays the penalty first). */
+    /** Current suppression state (pure read; no decay rebase). */
     bool isSuppressed(PeerId peer, const net::Prefix &prefix,
-                      TimeNs now);
+                      TimeNs now) const;
 
     /** Current decayed penalty (0 when untracked). */
     double penalty(PeerId peer, const net::Prefix &prefix,
-                   TimeNs now);
+                   TimeNs now) const;
 
     /**
      * Collect routes whose suppression has lapsed since the last
@@ -93,10 +104,26 @@ class FlapDamper
     std::vector<std::pair<PeerId, net::Prefix>>
     takeReusable(TimeNs now);
 
+    /**
+     * Earliest simulated time at which any suppressed route could
+     * cross the reuse threshold, or 0 when nothing is suppressed.
+     * This is a scheduling hint (an upper bound rounded up to whole
+     * ns, clamped to >= now + 1): the caller wakes up then and lets
+     * takeReusable() decide by the exact predicate, re-arming if a
+     * route needs marginally longer.
+     */
+    TimeNs nextReuseTime(TimeNs now) const;
+
     size_t trackedRoutes() const { return histories_.size(); }
 
     /** Number of currently suppressed routes (after decay). */
-    size_t suppressedCount(TimeNs now);
+    size_t suppressedCount(TimeNs now) const;
+
+    /** Total not-suppressed -> suppressed transitions recorded. */
+    uint64_t suppressTransitions() const { return suppressTransitions_; }
+
+    /** Total suppressed -> reusable transitions harvested. */
+    uint64_t reuseTransitions() const { return reuseTransitions_; }
 
   private:
     struct Key
@@ -123,20 +150,34 @@ class FlapDamper
 
     struct History
     {
+        /** Penalty value at @ref anchor (the last charge time). */
         double penalty = 0.0;
-        TimeNs lastUpdate = 0;
+        /** Simulated time the penalty was last charged. */
+        TimeNs anchor = 0;
+        /**
+         * Sticky suppression flag: set when the penalty crosses the
+         * suppress threshold, cleared only by takeReusable() so each
+         * suppression episode is harvested exactly once.
+         */
         bool suppressed = false;
     };
 
-    /** Decay @p history to @p now and update suppression state. */
-    void decay(History &history, TimeNs now) const;
+    /** Penalty decayed from the anchor to @p now (pure). */
+    double decayedPenalty(const History &history, TimeNs now) const;
+
+    /** Effective suppression at @p now (flag and above reuse). */
+    bool effectivelySuppressed(const History &history,
+                               TimeNs now) const;
 
     /** Add a flap penalty and re-evaluate suppression. */
     bool addPenalty(PeerId peer, const net::Prefix &prefix,
                     double penalty, TimeNs now);
 
     DampingConfig config_;
+    double halfLifeNs_;
     std::unordered_map<Key, History, KeyHash> histories_;
+    uint64_t suppressTransitions_ = 0;
+    uint64_t reuseTransitions_ = 0;
 };
 
 } // namespace bgpbench::bgp

@@ -45,6 +45,12 @@ BgpSpeaker::bindObservability(obs::MetricRegistry *registry,
     obs_.policyRejects =
         &registry->counter(obs::metric::bgpPolicyRejects);
     obs_.ecmpGroups = &registry->counter(obs::metric::bgpEcmpGroups);
+    obs_.dampingSuppressed =
+        &registry->counter(obs::metric::bgpDampingSuppressed);
+    obs_.dampingReused =
+        &registry->counter(obs::metric::bgpDampingReused);
+    obs_.mraiDeferrals =
+        &registry->counter(obs::metric::bgpMraiDeferrals);
     obs_.decisionCandidates = &registry->histogram(
         "bgp.decision_candidates", {1, 2, 4, 8, 16, 32, 64});
 }
@@ -416,6 +422,56 @@ BgpSpeaker::pollTimers(TimeNs now)
         for (const auto &[peer, prefix] : damper_.takeReusable(now))
             runDecision(prefix, stats, now);
         flushPending(now);
+        syncDampingObs();
+    }
+}
+
+void
+BgpSpeaker::serviceWakeup(TimeNs now)
+{
+    wakeupArmedAt_ = 0;
+    if (config_.damping.enabled) {
+        UpdateStats stats;
+        for (const auto &[peer, prefix] : damper_.takeReusable(now))
+            runDecision(prefix, stats, now);
+    }
+    flushPending(now);
+    if (config_.damping.enabled) {
+        armDampingWakeup(now);
+        syncDampingObs();
+    }
+}
+
+void
+BgpSpeaker::requestWakeup(TimeNs at)
+{
+    if (wakeupArmedAt_ != 0 && wakeupArmedAt_ <= at)
+        return;
+    wakeupArmedAt_ = at;
+    events_->onWakeupRequested(at);
+}
+
+void
+BgpSpeaker::armDampingWakeup(TimeNs now)
+{
+    TimeNs at = damper_.nextReuseTime(now);
+    if (at != 0)
+        requestWakeup(at);
+}
+
+void
+BgpSpeaker::syncDampingObs()
+{
+    uint64_t suppressed = damper_.suppressTransitions();
+    if (suppressed > dampingSuppressedSeen_) {
+        bump(obs_.dampingSuppressed,
+             suppressed - dampingSuppressedSeen_);
+        dampingSuppressedSeen_ = suppressed;
+    }
+    uint64_t reused = damper_.reuseTransitions();
+    if (reused > dampingReusedSeen_) {
+        bump(obs_.dampingReused, reused - dampingReusedSeen_);
+        dampingReusedSeen_ = reused;
     }
 }
 
@@ -495,6 +551,13 @@ BgpSpeaker::processUpdate(Peer &from, const UpdateMessage &msg,
     }
 
     flushPending(now);
+    if (config_.damping.enabled) {
+        // A wakeup at the damper's next reuse boundary lets owners
+        // that never call pollTimers (the topology simulator) re-admit
+        // suppressed routes deterministically in virtual time.
+        armDampingWakeup(now);
+        syncDampingObs();
+    }
     events_->onUpdateProcessed(from.config.id, stats);
 }
 
@@ -830,18 +893,34 @@ BgpSpeaker::flushPending(TimeNs now)
 {
     OBS_SPAN(obs_.tracer, "export", "bgp", obs::kTrackRouters,
              obs_.track, [now] { return now; });
+    TimeNs next_deadline = 0;
     for (auto &[id, peer] : peers_) {
         if (peer->pending.empty())
             continue;
         if (!peer->fsm.established())
             continue;
+        if (config_.mraiNs != 0 && now < peer->mraiReadyAt) {
+            // MRAI still running: the queue keeps accumulating (the
+            // builder's supersession collapses transient churn) until
+            // the wakeup at the interval boundary.
+            if (next_deadline == 0 ||
+                peer->mraiReadyAt < next_deadline)
+                next_deadline = peer->mraiReadyAt;
+            ++counters_.mraiDeferrals;
+            bump(obs_.mraiDeferrals);
+            continue;
+        }
         transmitUpdates(*peer, peer->pending.build());
+        if (config_.mraiNs != 0)
+            peer->mraiReadyAt = now + config_.mraiNs;
     }
     // The cache only needs to live across the peer loop above — that
     // is where the same UPDATE content fans out — and dropping it now
     // stops it pinning segments after they leave the transmit queues.
     encodeCache_.clear();
     maybePublishRib(now, true);
+    if (next_deadline != 0)
+        requestWakeup(next_deadline);
 }
 
 void
@@ -892,6 +971,11 @@ BgpSpeaker::invalidatePeerRoutes(Peer &peer, TimeNs now)
     peer.ribIn.clear();
     peer.ribOut.clear();
     peer.exportMemo.clear();
+    // MRAI may have left changes queued for this peer; they must not
+    // leak into the next session (a fresh Established re-advertises
+    // the full table from scratch, with the interval idle again).
+    peer.pending = UpdateBuilder(config_.packing);
+    peer.mraiReadyAt = 0;
 
     UpdateStats stats;
     for (const auto &prefix : prefixes)

@@ -55,6 +55,16 @@ struct SpeakerConfig
     /** Route flap damping (RFC 2439); disabled by default. */
     DampingConfig damping;
     /**
+     * Minimum Route Advertisement Interval per session, in ns of the
+     * speaker's virtual clock (RFC 4271 section 9.2.1.1, applied per
+     * peer rather than per destination). 0 disables MRAI batching —
+     * the paper's measurements run without it, so 0 is the default.
+     * While the interval runs, outbound changes stay queued in the
+     * peer's UpdateBuilder, where supersession collapses transient
+     * announce/withdraw churn before anything reaches the wire.
+     */
+    uint64_t mraiNs = 0;
+    /**
      * Route-reflection cluster id (RFC 4456); 0 means "use the
      * router id". Only meaningful when peers are marked as clients.
      */
@@ -103,6 +113,8 @@ struct SpeakerCounters
     uint64_t notificationsSent = 0;
     /** Announcements ignored because the route was damped. */
     uint64_t announcementsSuppressed = 0;
+    /** Flush rounds where a peer's queue was held back by MRAI. */
+    uint64_t mraiDeferrals = 0;
 
     /** Total inbound routing transactions (paper's metric unit). */
     uint64_t
@@ -157,6 +169,20 @@ class SpeakerEvents
     {
         (void)from;
         (void)stats;
+    }
+
+    /**
+     * The speaker has deferred work (an MRAI-held queue or a damped
+     * route awaiting reuse) and asks to have serviceWakeup() called
+     * at simulated time @p at or later. Owners without a scheduler
+     * may ignore this and keep driving pollTimers() instead; @p at is
+     * an upper bound, and serviceWakeup() is idempotent, so spurious
+     * or early wakeups are harmless.
+     */
+    virtual void
+    onWakeupRequested(SessionFsm::TimeNs at)
+    {
+        (void)at;
     }
 };
 
@@ -247,6 +273,15 @@ class BgpSpeaker
 
     /** Drive keepalive/hold timers for all sessions. */
     void pollTimers(TimeNs now);
+
+    /**
+     * Service deferred work at a time previously requested through
+     * SpeakerEvents::onWakeupRequested(): re-admit damped routes
+     * whose suppression lapsed and flush MRAI-held queues whose
+     * interval expired. Idempotent — calling with nothing due only
+     * re-arms the next wakeup (if any work remains deferred).
+     */
+    void serviceWakeup(TimeNs now);
 
     /**
      * Originate a route locally (as if redistributed from an IGP).
@@ -341,6 +376,13 @@ class BgpSpeaker
         AdjRibIn ribIn;
         AdjRibOut ribOut;
         UpdateBuilder pending;
+        /**
+         * Earliest time the next UPDATE may be sent to this peer
+         * (MRAI, RFC 4271 section 9.2.1.1); 0 when the interval is
+         * idle. Reset on session loss together with the pending
+         * queue.
+         */
+        TimeNs mraiReadyAt = 0;
         bool externalSession = true;
         /**
          * eBGP export transform memo, used when the export policy is
@@ -422,6 +464,20 @@ class BgpSpeaker
     /** Drop all routes learned from @p peer (session loss). */
     void invalidatePeerRoutes(Peer &peer, TimeNs now);
 
+    /**
+     * Ask the owner (via SpeakerEvents) for a serviceWakeup() call at
+     * @p at or later. Requests already covered by an earlier-or-equal
+     * armed wakeup are elided so steady churn does not flood the
+     * owner's scheduler.
+     */
+    void requestWakeup(TimeNs at);
+
+    /** Arm the wakeup for the damper's next reuse boundary, if any. */
+    void armDampingWakeup(TimeNs now);
+
+    /** Mirror damper transition counters into obs (as deltas). */
+    void syncDampingObs();
+
     /** Track FSM state transitions and fire callbacks. */
     void noteStateChange(Peer &peer, SessionState before, TimeNs now);
 
@@ -460,6 +516,9 @@ class BgpSpeaker
         obs::Counter *policyEvals = nullptr;
         obs::Counter *policyRejects = nullptr;
         obs::Counter *ecmpGroups = nullptr;
+        obs::Counter *dampingSuppressed = nullptr;
+        obs::Counter *dampingReused = nullptr;
+        obs::Counter *mraiDeferrals = nullptr;
         obs::Histogram *decisionCandidates = nullptr;
     };
 
@@ -516,6 +575,15 @@ class BgpSpeaker
     FlapDamper damper_;
     LocRib locRib_;
     SpeakerCounters counters_;
+    /**
+     * Time of the earliest wakeup currently armed with the owner, or
+     * 0 when none is outstanding. serviceWakeup() clears it; the
+     * owner may deliver wakeups late or more than once, both benign.
+     */
+    TimeNs wakeupArmedAt_ = 0;
+    /** Damper transition counts already mirrored into obs. */
+    uint64_t dampingSuppressedSeen_ = 0;
+    uint64_t dampingReusedSeen_ = 0;
 };
 
 } // namespace bgpbench::bgp

@@ -97,6 +97,14 @@ RuntimeConfig::fromEnvironment()
         if (paths > 0)
             config.maxPaths_ = {paths, ConfigOrigin::Environment};
     }
+    if (const char *value = getEnv("BGPBENCH_MRAI_MS")) {
+        config.mraiMs_ = {
+            std::strtoull(value, nullptr, 10),
+            ConfigOrigin::Environment,
+        };
+    }
+    if (envFlagIsOne("BGPBENCH_DAMPING"))
+        config.damping_ = {true, ConfigOrigin::Environment};
     return config;
 }
 
@@ -161,6 +169,18 @@ RuntimeConfig::overrideMaxPaths(size_t paths)
 }
 
 void
+RuntimeConfig::overrideMraiMs(uint64_t ms)
+{
+    mraiMs_ = {ms, ConfigOrigin::CommandLine};
+}
+
+void
+RuntimeConfig::overrideDamping(bool enabled)
+{
+    damping_ = {enabled, ConfigOrigin::CommandLine};
+}
+
+void
 RuntimeConfig::apply() const
 {
     // The default steers interners built later (worker threads); the
@@ -203,6 +223,12 @@ RuntimeConfig::dump(std::ostream &out) const
                   configOriginName(queryMix_.origin)});
     table.addRow({"max paths", std::to_string(maxPaths_.value),
                   configOriginName(maxPaths_.origin)});
+    table.addRow({"mrai ms",
+                  mraiMs_.value == 0 ? std::string("off")
+                                     : std::to_string(mraiMs_.value),
+                  configOriginName(mraiMs_.origin)});
+    table.addRow({"damping", onOff(damping_.value),
+                  configOriginName(damping_.origin)});
     table.print(out);
 }
 

@@ -59,7 +59,8 @@ class RuntimeConfig
      * BGPBENCH_NO_PREFIX_TREE=1, BGPBENCH_NO_ADAPTIVE_SYNC=1,
      * BGPBENCH_SWEEP=1, BGPBENCH_JOBS=<n>,
      * BGPBENCH_SERVE_READERS=<n>, BGPBENCH_SNAPSHOT_EVERY=<n>,
-     * BGPBENCH_QUERY_MIX=<L:B:S:P>, BGPBENCH_MAX_PATHS=<n>).
+     * BGPBENCH_QUERY_MIX=<L:B:S:P>, BGPBENCH_MAX_PATHS=<n>,
+     * BGPBENCH_MRAI_MS=<n>, BGPBENCH_DAMPING=1).
      * Unset or unparsable variables leave the default in place.
      */
     static RuntimeConfig fromEnvironment();
@@ -84,6 +85,10 @@ class RuntimeConfig
     const std::string &queryMix() const { return queryMix_.value; }
     /** BGP maximum-paths (ECMP width); 1 = single best path. */
     size_t maxPaths() const { return maxPaths_.value; }
+    /** Per-session MRAI in ms; 0 (paper default) = no batching. */
+    uint64_t mraiMs() const { return mraiMs_.value; }
+    /** Route flap damping (RFC 2439) in topology scenarios. */
+    bool damping() const { return damping_.value; }
 
     ConfigOrigin internOrigin() const { return intern_.origin; }
     ConfigOrigin prefixTreeOrigin() const
@@ -110,6 +115,8 @@ class RuntimeConfig
     }
     ConfigOrigin queryMixOrigin() const { return queryMix_.origin; }
     ConfigOrigin maxPathsOrigin() const { return maxPaths_.origin; }
+    ConfigOrigin mraiMsOrigin() const { return mraiMs_.origin; }
+    ConfigOrigin dampingOrigin() const { return damping_.origin; }
 
     /** Command-line overrides (highest precedence). */
     void overrideIntern(bool enabled);
@@ -122,6 +129,8 @@ class RuntimeConfig
     void overrideSnapshotEvery(uint64_t every);
     void overrideQueryMix(std::string mix);
     void overrideMaxPaths(size_t paths);
+    void overrideMraiMs(uint64_t ms);
+    void overrideDamping(bool enabled);
 
     /**
      * Push the switches into their subsystems: the process-wide
@@ -147,6 +156,8 @@ class RuntimeConfig
     Setting<std::string> queryMix_{"88:10:1.5:0.5",
                                    ConfigOrigin::Default};
     Setting<size_t> maxPaths_{1, ConfigOrigin::Default};
+    Setting<uint64_t> mraiMs_{0, ConfigOrigin::Default};
+    Setting<bool> damping_{false, ConfigOrigin::Default};
 };
 
 } // namespace bgpbench::core

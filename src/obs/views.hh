@@ -74,6 +74,18 @@ inline constexpr const char *bgpPolicyRejects = "bgp.policy_rejects";
 /** Loc-RIB installs that produced a multipath (ECMP) group. */
 inline constexpr const char *bgpEcmpGroups = "bgp.ecmp_groups";
 
+/** Routes crossing the damping suppress threshold (RFC 2439). */
+inline constexpr const char *bgpDampingSuppressed =
+    "bgp.damping_suppressed";
+/** Suppressed routes re-admitted after decaying below reuse. */
+inline constexpr const char *bgpDampingReused = "bgp.damping_reused";
+/** Flush rounds where a peer's queue was held back by MRAI. */
+inline constexpr const char *bgpMraiDeferrals = "bgp.mrai_deferrals";
+
+/** Distinct AS paths offered per (router, prefix) in one scenario. */
+inline constexpr const char *topoPathExploration =
+    "topo.path_exploration";
+
 } // namespace metric
 
 /** "parallel.shard.<index>.<field>" */

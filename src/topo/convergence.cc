@@ -14,6 +14,8 @@ ConvergenceTracker::markPhaseStart(sim::SimTime now)
 {
     phaseStart_ = now;
     lastActivity_ = now;
+    phaseUpdatesBase_ = updatesDelivered_;
+    phaseTransactionsBase_ = transactionsDelivered_;
 }
 
 void

@@ -104,6 +104,28 @@ class ConvergenceTracker
     size_t maxPathsExplored() const;
     /** Mean exploration count over all (node, prefix) pairs. */
     double meanPathsExplored() const;
+    /**
+     * Updates/transactions delivered since the last markPhaseStart()
+     * — the measured phase's share of the lifetime totals. The
+     * baselines are snapshotted on the main tracker (after the shard
+     * trackers have been absorbed), so they are layout-independent.
+     */
+    uint64_t phaseUpdatesDelivered() const
+    {
+        return updatesDelivered_ - phaseUpdatesBase_;
+    }
+    uint64_t phaseTransactionsDelivered() const
+    {
+        return transactionsDelivered_ - phaseTransactionsBase_;
+    }
+    /** Visit every (node, prefix, distinct-paths-offered) triple. */
+    template <typename Fn>
+    void
+    forEachExplored(Fn &&fn) const
+    {
+        for (const auto &[key, paths] : explored_)
+            fn(key.first, key.second, paths.size());
+    }
     /** @} */
 
   private:
@@ -113,6 +135,9 @@ class ConvergenceTracker
     uint64_t transactionsDelivered_ = 0;
     uint64_t locRibChanges_ = 0;
     uint64_t droppedSegments_ = 0;
+    /** Lifetime totals at the last markPhaseStart(). */
+    uint64_t phaseUpdatesBase_ = 0;
+    uint64_t phaseTransactionsBase_ = 0;
     /** (node, prefix) -> distinct AS-path renderings offered. */
     std::map<std::pair<size_t, net::Prefix>, std::set<std::string>>
         explored_;

@@ -1,6 +1,7 @@
 #include "topo/scenarios.hh"
 
 #include "net/logging.hh"
+#include "topo/scenario_spec.hh"
 
 namespace bgpbench::topo
 {
@@ -19,61 +20,19 @@ scenarioPrefix(size_t node, size_t index)
 namespace
 {
 
-/** Originate every node's prefixes at the current simulated time. */
-void
-originateAll(TopologySim &sim, const ScenarioOptions &opts)
+/** Shared spec fields of the legacy wrappers. */
+ScenarioSpec
+baseSpec(Topology &&topology, const std::string &shape,
+         const ScenarioOptions &opts)
 {
-    sim::SimTime now = sim.now();
-    for (size_t node = 0; node < sim.topology().nodeCount(); ++node) {
-        for (size_t j = 0; j < opts.prefixesPerNode; ++j)
-            sim.originate(node, scenarioPrefix(node, j), now);
-    }
+    ScenarioSpec spec;
+    spec.shape = shape;
+    spec.topology = std::move(topology);
+    spec.prefixesPerNode = opts.prefixesPerNode;
+    spec.limitNs = opts.limitNs;
+    spec.simConfig = opts.simConfig;
+    return spec;
 }
-
-/** Settle sessions/routes and restart the convergence stopwatch. */
-bool
-settle(TopologySim &sim, const ScenarioOptions &opts)
-{
-    bool converged = sim.runToConvergence(opts.limitNs);
-    sim.tracker().markPhaseStart(sim.now());
-    return converged;
-}
-
-ConvergenceReport
-finish(TopologySim &sim, bool converged, const std::string &scenario,
-       const std::string &shape, const ScenarioOptions &opts)
-{
-    ConvergenceReport report = sim.report(scenario, shape);
-    report.converged = converged && sim.locRibsConsistent();
-    if (opts.simConfig.obs)
-        sim.publishParallelMetrics(opts.simConfig.obs->metrics);
-    return report;
-}
-
-/**
- * Records the scenario's phase intervals into the run trace. Phase
- * boundaries are virtual times the simulation reached anyway, so
- * recording cannot perturb it; a detached recorder does nothing.
- */
-class PhaseRecorder
-{
-  public:
-    explicit PhaseRecorder(const ScenarioOptions &opts)
-    {
-        if (opts.simConfig.obs)
-            tracer_.attach(&opts.simConfig.obs->trace);
-    }
-
-    void
-    phase(const char *name, sim::SimTime begin, sim::SimTime end)
-    {
-        tracer_.complete(name, "phase", obs::kTrackPhases, 0, begin,
-                         end);
-    }
-
-  private:
-    obs::Tracer tracer_;
-};
 
 } // namespace
 
@@ -81,36 +40,19 @@ ConvergenceReport
 runAnnounceScenario(Topology topology, const std::string &shape,
                     const ScenarioOptions &opts)
 {
-    TopologySim sim(std::move(topology), opts.simConfig);
-    PhaseRecorder phases(opts);
-    sim::SimTime mark = sim.now();
-    bool converged = settle(sim, opts);
-    phases.phase("establish", mark, sim.now());
-    mark = sim.now();
-    originateAll(sim, opts);
-    converged = converged && sim.runToConvergence(opts.limitNs);
-    phases.phase("announce", mark, sim.now());
-    return finish(sim, converged, "announce", shape, opts);
+    ScenarioSpec spec = baseSpec(std::move(topology), shape, opts);
+    spec.name = "announce";
+    return ScenarioRunner(std::move(spec)).run().convergence;
 }
 
 ConvergenceReport
 runLinkFailureScenario(Topology topology, const std::string &shape,
                        size_t link, const ScenarioOptions &opts)
 {
-    TopologySim sim(std::move(topology), opts.simConfig);
-    PhaseRecorder phases(opts);
-    sim::SimTime mark = sim.now();
-    bool converged = sim.runToConvergence(opts.limitNs);
-    phases.phase("establish", mark, sim.now());
-    mark = sim.now();
-    originateAll(sim, opts);
-    converged = converged && settle(sim, opts);
-    phases.phase("announce", mark, sim.now());
-    mark = sim.now();
-    sim.scheduleLinkDown(link, sim.now());
-    converged = converged && sim.runToConvergence(opts.limitNs);
-    phases.phase("reconverge", mark, sim.now());
-    return finish(sim, converged, "link-failure", shape, opts);
+    ScenarioSpec spec = baseSpec(std::move(topology), shape, opts);
+    spec.name = "link-failure";
+    spec.faults.linkDown(link, 0);
+    return ScenarioRunner(std::move(spec)).run().convergence;
 }
 
 ConvergenceReport
@@ -118,20 +60,10 @@ runRouterRebootScenario(Topology topology, const std::string &shape,
                         size_t node, sim::SimTime downtime,
                         const ScenarioOptions &opts)
 {
-    TopologySim sim(std::move(topology), opts.simConfig);
-    PhaseRecorder phases(opts);
-    sim::SimTime mark = sim.now();
-    bool converged = sim.runToConvergence(opts.limitNs);
-    phases.phase("establish", mark, sim.now());
-    mark = sim.now();
-    originateAll(sim, opts);
-    converged = converged && settle(sim, opts);
-    phases.phase("announce", mark, sim.now());
-    mark = sim.now();
-    sim.scheduleRouterRestart(node, sim.now(), downtime);
-    converged = converged && sim.runToConvergence(opts.limitNs);
-    phases.phase("reconverge", mark, sim.now());
-    return finish(sim, converged, "router-reboot", shape, opts);
+    ScenarioSpec spec = baseSpec(std::move(topology), shape, opts);
+    spec.name = "router-reboot";
+    spec.faults.routerRestart(node, 0, downtime);
+    return ScenarioRunner(std::move(spec)).run().convergence;
 }
 
 namespace demo

@@ -3,11 +3,15 @@
  * Canned topology scenarios shared by the convergence benchmark, the
  * CLI's topo subcommand, the network example, and the tests.
  *
- * Each runner scripts one fault pattern against a topology and
- * returns its ConvergenceReport. The measured phase always starts
- * *after* an initial convergence (sessions up, steady state), so
- * announce scenarios report pure route-propagation time and fault
- * scenarios report pure re-convergence time.
+ * The three legacy runners are thin wrappers over the declarative
+ * ScenarioSpec / ScenarioRunner API (scenario_spec.hh): each builds
+ * the equivalent spec (single fault at offset 0) and returns the
+ * runner's ConvergenceReport, byte-identical to the pre-redesign
+ * output. The measured phase always starts *after* an initial
+ * convergence (sessions up, steady state), so announce scenarios
+ * report pure route-propagation time and fault scenarios report pure
+ * re-convergence time. New scenario families should use ScenarioSpec
+ * directly.
  */
 
 #ifndef BGPBENCH_TOPO_SCENARIOS_HH

@@ -1,0 +1,68 @@
+#include "topo/stability.hh"
+
+#include <sstream>
+
+#include "stats/json.hh"
+#include "stats/report.hh"
+
+namespace bgpbench::topo
+{
+
+void
+StabilityReport::writeJson(stats::JsonWriter &json) const
+{
+    json.beginObject();
+    json.field("benchmark", "stability");
+    json.field("scenario", scenario);
+    json.field("shape", shape);
+    json.field("nodes", nodes);
+    json.field("injected_events", injectedEvents);
+    json.field("injected_transactions", injectedTransactions);
+    json.field("phase_updates", phaseUpdates);
+    json.field("phase_transactions", phaseTransactions);
+    json.field("updates_per_convergence", updatesPerConvergence);
+    json.field("churn_amplification", churnAmplification);
+    json.field("path_exploration_max", pathExplorationMax);
+    json.field("path_exploration_mean", pathExplorationMean);
+    json.field("damping_suppressed", dampingSuppressed);
+    json.field("damping_reused", dampingReused);
+    json.field("announcements_suppressed", announcementsSuppressed);
+    json.field("mrai_deferrals", mraiDeferrals);
+    json.endObject();
+}
+
+std::string
+StabilityReport::toJson() const
+{
+    std::ostringstream os;
+    stats::JsonWriter json(os);
+    writeJson(json);
+    return os.str();
+}
+
+void
+StabilityReport::printText(std::ostream &os) const
+{
+    os << "stability (" << scenario << " on " << shape << ", "
+       << nodes << " routers): " << injectedEvents
+       << " injected events, " << phaseUpdates
+       << " UPDATEs in the measured phase\n";
+    stats::TextTable table({"metric", "value"});
+    table.addRow({"updates per convergence",
+                  stats::formatDouble(updatesPerConvergence, 2)});
+    table.addRow({"churn amplification",
+                  stats::formatDouble(churnAmplification, 2)});
+    table.addRow(
+        {"path exploration max", std::to_string(pathExplorationMax)});
+    table.addRow({"path exploration mean",
+                  stats::formatDouble(pathExplorationMean, 2)});
+    table.addRow(
+        {"damping suppressed", std::to_string(dampingSuppressed)});
+    table.addRow({"damping reused", std::to_string(dampingReused)});
+    table.addRow({"announcements suppressed",
+                  std::to_string(announcementsSuppressed)});
+    table.addRow({"mrai deferrals", std::to_string(mraiDeferrals)});
+    table.print(os);
+}
+
+} // namespace bgpbench::topo

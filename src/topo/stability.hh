@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Churn/stability metrics of one scenario run.
+ *
+ * The ConvergenceReport answers "how long and how much, in total";
+ * the StabilityReport answers the stability literature's questions
+ * about the *measured phase*: how many updates the network needed
+ * per injected event (updates-per-convergence), how much each
+ * injected transaction was multiplied on its way through the
+ * topology (churn amplification), how deep path exploration went,
+ * and how often flap damping suppressed and re-admitted routes.
+ * Every input is an order-independent sum or maximum (tracker phase
+ * counters, per-speaker damper transition counts), so the report is
+ * byte-identical at any jobs count.
+ */
+
+#ifndef BGPBENCH_TOPO_STABILITY_HH
+#define BGPBENCH_TOPO_STABILITY_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+namespace bgpbench::stats
+{
+class JsonWriter;
+}
+
+namespace bgpbench::topo
+{
+
+/** Stability metrics of one scenario's measured phase. */
+struct StabilityReport
+{
+    std::string scenario;
+    std::string shape;
+    size_t nodes = 0;
+    /** Scheduled fault events (or originations when fault-free). */
+    uint64_t injectedEvents = 0;
+    /**
+     * Routing transactions injected at the origins: the prefix
+     * up/down events of the schedule, falling back to
+     * injectedEvents when the schedule carries none (link/session
+     * faults inject state changes, not transactions, and fault-free
+     * runs inject one transaction per origination).
+     */
+    uint64_t injectedTransactions = 0;
+    /** UPDATEs delivered network-wide during the measured phase. */
+    uint64_t phaseUpdates = 0;
+    /** Routing transactions delivered during the measured phase. */
+    uint64_t phaseTransactions = 0;
+    /** phaseUpdates / injectedEvents. */
+    double updatesPerConvergence = 0.0;
+    /** phaseTransactions / injectedTransactions. */
+    double churnAmplification = 0.0;
+    /** Deepest per-(node, prefix) path exploration (lifetime). */
+    size_t pathExplorationMax = 0;
+    double pathExplorationMean = 0.0;
+    /** Damping suppress transitions summed over all speakers. */
+    uint64_t dampingSuppressed = 0;
+    /** Damping reuse transitions summed over all speakers. */
+    uint64_t dampingReused = 0;
+    /** Announcements ignored while their route was suppressed. */
+    uint64_t announcementsSuppressed = 0;
+    /** Flush rounds deferred by the MRAI batching interval. */
+    uint64_t mraiDeferrals = 0;
+
+    /** Emit as one object into an ongoing JSON document. */
+    void writeJson(stats::JsonWriter &json) const;
+
+    /** Deterministic standalone JSON rendering. */
+    std::string toJson() const;
+
+    /** Human-readable summary table. */
+    void printText(std::ostream &os) const;
+};
+
+} // namespace bgpbench::topo
+
+#endif // BGPBENCH_TOPO_STABILITY_HH

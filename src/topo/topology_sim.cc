@@ -73,6 +73,12 @@ struct TopologySim::NodeEvents : public bgp::SpeakerEvents
         (void)current;
         shard->tracker.onSessionChange(node, shard->sim.now());
     }
+
+    void
+    onWakeupRequested(bgp::SessionFsm::TimeNs at) override
+    {
+        sim->scheduleWakeup(*shard, node, at);
+    }
 };
 
 TopologySim::TopologySim(Topology topology, TopologySimConfig config)
@@ -166,6 +172,8 @@ TopologySim::TopologySim(Topology topology, TopologySimConfig config)
         speaker_config.routerId = node.routerId;
         speaker_config.localAddress = node.address;
         speaker_config.decision.maxPaths = config_.maxPaths;
+        speaker_config.damping = config_.damping;
+        speaker_config.mraiNs = uint64_t(config_.mraiNs);
         auto speaker = std::make_unique<bgp::BgpSpeaker>(
             speaker_config, events.get());
         if (config_.obs) {
@@ -325,6 +333,19 @@ TopologySim::closeLocal(Shard &shard, size_t l)
             continue;
         speakers_[node]->tcpClosed(bgp::PeerId(l), now);
     }
+}
+
+void
+TopologySim::scheduleWakeup(Shard &shard, size_t node, sim::SimTime at)
+{
+    // Key 0 ranks the wakeup with the other scenario-level events.
+    // The event only touches its own speaker (and transmits through
+    // the keyed message path), so same-instant wakeups of different
+    // nodes commute and the schedule is layout-independent.
+    sim::SimTime when = std::max(at, shard.sim.now());
+    shard.sim.schedule(when, [this, &shard, node]() {
+        speakers_[node]->serviceWakeup(shard.sim.now());
+    });
 }
 
 void

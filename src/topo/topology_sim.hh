@@ -137,6 +137,21 @@ struct TopologySimConfig
      */
     size_t maxPaths = 1;
     /**
+     * Route flap damping applied to every speaker (RFC 2439).
+     * Disabled by default — the paper's scenarios run undamped.
+     * Suppression and reuse evolve purely in virtual time (the
+     * damper's anchor-based decay plus wakeup events scheduled on
+     * the owning shard), so reports stay byte-identical across jobs.
+     */
+    bgp::DampingConfig damping;
+    /**
+     * Per-session MRAI for every speaker in ns of virtual time
+     * (SpeakerConfig::mraiNs); 0 (the paper default) disables
+     * batching. Deferred flushes are serviced by wakeup events on
+     * the owning shard, keeping reports byte-identical across jobs.
+     */
+    sim::SimTime mraiNs = 0;
+    /**
      * Observability sinks for the run, or null (detached — the
      * default). When set, every speaker is bound to its shard's
      * metric registry and tracer, engine windows and barrier waits
@@ -392,6 +407,13 @@ class TopologySim
     void transmitFrom(size_t node, bgp::PeerId peer,
                       bgp::MessageType type, net::WireSegmentPtr wire,
                       size_t transactions);
+    /**
+     * SpeakerEvents::onWakeupRequested bridge: schedule a
+     * serviceWakeup() for @p node at @p at (clamped to the shard's
+     * now). Node-local — the event lands on the owning shard only, so
+     * it is identical under every shard layout.
+     */
+    void scheduleWakeup(Shard &shard, size_t node, sim::SimTime at);
     /** Schedule a (possibly batch-delivered) arrival in @p shard. */
     void scheduleArrival(Shard &shard, CrossMessage msg);
     /** Segment reached the far end; queue CPU processing. */

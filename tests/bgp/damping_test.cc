@@ -139,6 +139,119 @@ TEST(FlapDamper, GarbageCollectsDecayedHistories)
 }
 
 // ---------------------------------------------------------------------
+// Decay/suppress/reuse boundaries under ns-granularity virtual time.
+// ---------------------------------------------------------------------
+
+TEST(FlapDamper, DecayIsExactAtWholeHalfLives)
+{
+    FlapDamper damper(testConfig());
+    damper.onWithdraw(1, p, 0);
+    // exp2(-1.0) is exactly 0.5 in IEEE arithmetic, so whole
+    // half-lives halve the penalty with no drift.
+    EXPECT_DOUBLE_EQ(damper.penalty(1, p, 900 * sec), 500.0);
+    EXPECT_DOUBLE_EQ(damper.penalty(1, p, 1800 * sec), 250.0);
+    EXPECT_DOUBLE_EQ(damper.penalty(1, p, 2700 * sec), 125.0);
+}
+
+TEST(FlapDamper, ReadsDoNotPerturbTheTrajectory)
+{
+    // The anchor-based decay never rebases on a read: a damper that
+    // is queried at arbitrary intermediate instants must stay
+    // bit-identical to one that is not. (The old implementation
+    // rewrote penalty/lastUpdate on every read and accumulated
+    // truncation at ns granularity, shifting suppress/reuse
+    // boundaries with query frequency.)
+    FlapDamper quiet(testConfig());
+    FlapDamper polled(testConfig());
+
+    auto flap = [&](FlapDamper &damper, uint64_t at) {
+        damper.onWithdraw(1, p, at);
+        damper.onAnnounce(1, p, false, at + sec / 2);
+    };
+    flap(quiet, 0);
+    flap(polled, 0);
+    // Hammer one damper with reads at awkward offsets.
+    for (uint64_t t = 1; t < 900; t += 7) {
+        polled.penalty(1, p, t * sec + 123456789);
+        polled.isSuppressed(1, p, t * sec + 987654321);
+    }
+    flap(quiet, 900 * sec);
+    flap(polled, 900 * sec);
+
+    for (uint64_t t : {901ull, 1000ull, 1563ull, 2000ull, 3000ull}) {
+        EXPECT_DOUBLE_EQ(quiet.penalty(1, p, t * sec),
+                         polled.penalty(1, p, t * sec))
+            << "at t=" << t;
+        EXPECT_EQ(quiet.isSuppressed(1, p, t * sec),
+                  polled.isSuppressed(1, p, t * sec))
+            << "at t=" << t;
+    }
+    EXPECT_EQ(quiet.nextReuseTime(2000 * sec),
+              polled.nextReuseTime(2000 * sec));
+}
+
+TEST(FlapDamper, ReuseBoundaryIsExact)
+{
+    FlapDamper damper(testConfig());
+    damper.onWithdraw(1, p, 0);
+    damper.onAnnounce(1, p, false, 0);
+    damper.onWithdraw(1, p, 0); // penalty 2500 at anchor 0
+    ASSERT_TRUE(damper.isSuppressed(1, p, 0));
+
+    // 2500 decays to the reuse threshold 750 after
+    // halfLife * log2(2500/750) ~ 1563.27 s; nextReuseTime rounds
+    // the crossing up to whole ns, so at that instant the route is
+    // reusable and one ns earlier it is not.
+    uint64_t at = damper.nextReuseTime(0);
+    ASSERT_NE(at, 0u);
+    EXPECT_NEAR(double(at) / double(sec), 1563.27, 0.01);
+    EXPECT_TRUE(damper.isSuppressed(1, p, at - 1));
+    EXPECT_FALSE(damper.isSuppressed(1, p, at));
+
+    auto reusable = damper.takeReusable(at);
+    ASSERT_EQ(reusable.size(), 1u);
+    EXPECT_EQ(reusable[0].second, p);
+    // Cleared: no more suppressed routes, no more reuse deadline.
+    EXPECT_EQ(damper.suppressedCount(at), 0u);
+    EXPECT_EQ(damper.nextReuseTime(at), 0u);
+}
+
+TEST(FlapDamper, NextReuseTimeIsZeroWithoutSuppression)
+{
+    FlapDamper damper(testConfig());
+    EXPECT_EQ(damper.nextReuseTime(0), 0u);
+    damper.onWithdraw(1, p, 0); // penalty 1000: below suppress
+    EXPECT_EQ(damper.nextReuseTime(0), 0u);
+}
+
+TEST(FlapDamper, TransitionCountersCountEpisodesNotEvents)
+{
+    FlapDamper damper(testConfig());
+    EXPECT_EQ(damper.suppressTransitions(), 0u);
+    EXPECT_EQ(damper.reuseTransitions(), 0u);
+
+    damper.onWithdraw(1, p, 0);
+    damper.onAnnounce(1, p, false, 0);
+    damper.onWithdraw(1, p, 0); // crosses 2000: one suppression
+    EXPECT_EQ(damper.suppressTransitions(), 1u);
+    // More flaps inside the same episode do not re-count.
+    damper.onAnnounce(1, p, false, sec);
+    damper.onWithdraw(1, p, 2 * sec);
+    EXPECT_EQ(damper.suppressTransitions(), 1u);
+
+    uint64_t at = damper.nextReuseTime(2 * sec);
+    ASSERT_NE(at, 0u);
+    EXPECT_EQ(damper.takeReusable(at).size(), 1u);
+    EXPECT_EQ(damper.reuseTransitions(), 1u);
+
+    // A fresh flap burst afterwards is a second episode.
+    damper.onWithdraw(1, p, at);
+    damper.onAnnounce(1, p, false, at + sec);
+    damper.onWithdraw(1, p, at + 2 * sec);
+    EXPECT_EQ(damper.suppressTransitions(), 2u);
+}
+
+// ---------------------------------------------------------------------
 // Speaker integration: a flapping route gets suppressed and recovers.
 // ---------------------------------------------------------------------
 

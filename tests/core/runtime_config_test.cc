@@ -317,3 +317,61 @@ TEST(RuntimeConfig, DumpShowsMaxPaths)
     EXPECT_NE(out.find("max paths"), std::string::npos);
     EXPECT_NE(out.find("4"), std::string::npos);
 }
+
+TEST(RuntimeConfig, ChurnKnobs)
+{
+    {
+        core::RuntimeConfig config;
+        EXPECT_EQ(config.mraiMs(), 0u); // paper default: no batching
+        EXPECT_FALSE(config.damping());
+        EXPECT_EQ(config.mraiMsOrigin(), core::ConfigOrigin::Default);
+        EXPECT_EQ(config.dampingOrigin(),
+                  core::ConfigOrigin::Default);
+    }
+    {
+        EnvVar mrai("BGPBENCH_MRAI_MS", "1000");
+        EnvVar damping("BGPBENCH_DAMPING", "1");
+        auto config = core::RuntimeConfig::fromEnvironment();
+        EXPECT_EQ(config.mraiMs(), 1000u);
+        EXPECT_TRUE(config.damping());
+        EXPECT_EQ(config.mraiMsOrigin(),
+                  core::ConfigOrigin::Environment);
+        EXPECT_EQ(config.dampingOrigin(),
+                  core::ConfigOrigin::Environment);
+    }
+    {
+        // BGPBENCH_DAMPING requires exactly "1" (legacy flag style).
+        EnvVar damping("BGPBENCH_DAMPING", "yes");
+        auto config = core::RuntimeConfig::fromEnvironment();
+        EXPECT_FALSE(config.damping());
+        EXPECT_EQ(config.dampingOrigin(),
+                  core::ConfigOrigin::Default);
+    }
+    {
+        EnvVar mrai("BGPBENCH_MRAI_MS", "1000");
+        auto config = core::RuntimeConfig::fromEnvironment();
+        config.overrideMraiMs(50);
+        config.overrideDamping(true);
+        EXPECT_EQ(config.mraiMs(), 50u);
+        EXPECT_TRUE(config.damping());
+        EXPECT_EQ(config.mraiMsOrigin(),
+                  core::ConfigOrigin::CommandLine);
+        EXPECT_EQ(config.dampingOrigin(),
+                  core::ConfigOrigin::CommandLine);
+    }
+}
+
+TEST(RuntimeConfig, DumpShowsChurnKnobs)
+{
+    core::RuntimeConfig config;
+    std::ostringstream os;
+    config.dump(os);
+    std::string out = os.str();
+    EXPECT_NE(out.find("mrai ms"), std::string::npos);
+    EXPECT_NE(out.find("damping"), std::string::npos);
+    // mrai 0 renders as "off" (the paper default).
+    config.overrideMraiMs(250);
+    std::ostringstream os2;
+    config.dump(os2);
+    EXPECT_NE(os2.str().find("250"), std::string::npos);
+}

@@ -16,7 +16,9 @@
  *
  *   bgpbench topo --shape ring --nodes 12 [--fault link] [options]
  *       Wire N full speakers into a topology and measure
- *       network-wide convergence (optionally after a fault).
+ *       network-wide convergence (optionally after a fault; the
+ *       flap fault runs a link-flap train and adds the stability
+ *       report).
  *
  *   bgpbench serve --shape ring --nodes 12 [options]
  *       The topo announce scenario with the read side attached: one
@@ -34,6 +36,7 @@
  *   --cross-mbps X      offered forwarding load (run only)
  *   --steps N           sweep points including 0 (sweep only, df. 5)
  *   --damping           enable RFC 2439 flap damping on the router
+ *   --mrai-ms N         per-session MRAI batching (topo, 0 = off)
  *   --csv               machine-readable CSV instead of tables
  *   --stats[=FMT]       run metrics to stderr (text, csv, or json)
  *   --trace FILE        Chrome trace_event JSON of the run
@@ -61,6 +64,7 @@
 #include "serve/serve_runner.hh"
 #include "stats/json.hh"
 #include "stats/report.hh"
+#include "topo/scenario_spec.hh"
 #include "topo/scenarios.hh"
 
 using namespace bgpbench;
@@ -78,6 +82,8 @@ struct CliOptions
     double crossMbps = 0.0;
     int steps = 5;
     bool damping = false;
+    /** Per-session MRAI in ms for topo runs (0 = off). */
+    uint64_t mraiMs = 0;
     bool csv = false;
     bool json = false;
     /** Deprecated aliases for --stats views of two subsystems. */
@@ -97,6 +103,9 @@ struct CliOptions
     size_t faultLink = 0;
     size_t faultNode = 0;
     uint64_t downtimeMs = 50;
+    /** --fault flap: link-flap train shape. */
+    uint64_t flapPeriodMs = 200;
+    size_t flapCycles = 5;
     size_t prefixesPerNode = 1;
     /** Worker threads for topo runs: 1 sequential, 0 = auto. */
     size_t jobs = 1;
@@ -137,6 +146,8 @@ usage(int code)
         "  --cross-mbps X           forwarding load during the run\n"
         "  --steps N                sweep points (default 5)\n"
         "  --damping                enable RFC 2439 flap damping\n"
+        "  --mrai-ms N              per-session MRAI batching for "
+        "topo runs (default 0 = off)\n"
         "  --csv                    CSV output\n"
         "  --stats[=FMT]            print run metrics to stderr "
         "(text | csv | json)\n"
@@ -149,19 +160,24 @@ usage(int code)
         "  --no-adaptive-sync       fixed lookahead windows in the\n"
         "                           parallel topology engine\n"
         "  --intern-stats           deprecated: interner view of "
-        "--stats\n"
+        "--stats (removal planned; see README)\n"
         "  --wire-stats             deprecated: segment-pool view of "
-        "--stats\n"
+        "--stats (removal planned; see README)\n"
         "\n"
         "topo options:\n"
         "  --shape NAME             line | ring | star | mesh | "
         "random | clos\n"
         "  --nodes N                router count (default 12)\n"
-        "  --fault KIND             none | link | reboot\n"
-        "  --link N                 link index to fail (default 0)\n"
+        "  --fault KIND             none | link | reboot | flap\n"
+        "  --link N                 link index to fail/flap "
+        "(default 0)\n"
         "  --node N                 router index to reboot "
         "(default 0)\n"
         "  --downtime-ms N          reboot downtime (default 50)\n"
+        "  --flap-period-ms N       flap-train cycle period "
+        "(default 200)\n"
+        "  --flap-cycles N          flap-train down/up cycles "
+        "(default 5)\n"
         "  --prefixes-per-node N    originated per router "
         "(default 1)\n"
         "  --jobs N                 worker threads (1 = sequential, "
@@ -215,15 +231,24 @@ parseArgs(int argc, char **argv, core::RuntimeConfig &runtime)
         } else if (arg == "--steps") {
             options.steps = std::atoi(value().c_str());
         } else if (arg == "--damping") {
-            options.damping = true;
+            runtime.overrideDamping(true);
+        } else if (arg == "--mrai-ms") {
+            runtime.overrideMraiMs(
+                std::strtoull(value().c_str(), nullptr, 10));
         } else if (arg == "--csv") {
             options.csv = true;
         } else if (arg == "--json") {
             options.json = true;
-        } else if (arg == "--intern-stats") {
-            options.internStats = true;
-        } else if (arg == "--wire-stats") {
-            options.wireStats = true;
+        } else if (arg == "--intern-stats" || arg == "--wire-stats") {
+            if (!options.internStats && !options.wireStats) {
+                std::cerr << "note: --intern-stats and --wire-stats "
+                             "are deprecated aliases of --stats and "
+                             "will be removed (see README)\n";
+            }
+            if (arg == "--intern-stats")
+                options.internStats = true;
+            else
+                options.wireStats = true;
         } else if (arg == "--stats") {
             options.stats = true;
         } else if (arg.rfind("--stats=", 0) == 0) {
@@ -260,6 +285,16 @@ parseArgs(int argc, char **argv, core::RuntimeConfig &runtime)
         } else if (arg == "--downtime-ms") {
             options.downtimeMs =
                 std::strtoull(value().c_str(), nullptr, 10);
+        } else if (arg == "--flap-period-ms") {
+            options.flapPeriodMs =
+                std::strtoull(value().c_str(), nullptr, 10);
+            if (options.flapPeriodMs == 0) {
+                std::cerr << "--flap-period-ms needs a value >= 1\n";
+                usage(2);
+            }
+        } else if (arg == "--flap-cycles") {
+            options.flapCycles =
+                size_t(std::strtoull(value().c_str(), nullptr, 10));
         } else if (arg == "--prefixes-per-node") {
             options.prefixesPerNode =
                 size_t(std::strtoull(value().c_str(), nullptr, 10));
@@ -303,6 +338,8 @@ parseArgs(int argc, char **argv, core::RuntimeConfig &runtime)
     options.jobs = runtime.jobs();
     options.adaptiveSync = runtime.adaptiveSync();
     options.maxPaths = runtime.maxPaths();
+    options.damping = runtime.damping();
+    options.mraiMs = runtime.mraiMs();
     options.serveReaders = runtime.serveReaders();
     options.snapshotEvery = runtime.snapshotEvery();
     options.queryMix = runtime.queryMix();
@@ -492,36 +529,58 @@ topoByShape(const CliOptions &options)
 int
 cmdTopo(const CliOptions &options)
 {
-    topo::ScenarioOptions sopts;
-    sopts.prefixesPerNode = options.prefixesPerNode;
-    sopts.simConfig.jobs = options.jobs;
-    sopts.simConfig.adaptiveSync = options.adaptiveSync;
-    sopts.simConfig.maxPaths = options.maxPaths;
-    sopts.simConfig.obs = options.obs;
+    topo::ScenarioSpec spec;
+    spec.shape = options.shape;
+    spec.topology = topoByShape(options);
+    spec.prefixesPerNode = options.prefixesPerNode;
+    spec.simConfig.jobs = options.jobs;
+    spec.simConfig.adaptiveSync = options.adaptiveSync;
+    spec.simConfig.maxPaths = options.maxPaths;
+    if (options.damping)
+        spec.simConfig.damping = topo::churnDampingConfig();
+    spec.simConfig.mraiNs = sim::nsFromMs(options.mraiMs);
+    spec.simConfig.obs = options.obs;
 
-    topo::ConvergenceReport report;
     if (options.fault == "none") {
-        report = topo::runAnnounceScenario(topoByShape(options),
-                                           options.shape, sopts);
+        spec.name = "announce";
     } else if (options.fault == "link") {
-        report = topo::runLinkFailureScenario(
-            topoByShape(options), options.shape, options.faultLink,
-            sopts);
+        spec.name = "link-failure";
+        spec.faults.linkDown(options.faultLink, 0);
     } else if (options.fault == "reboot") {
-        report = topo::runRouterRebootScenario(
-            topoByShape(options), options.shape, options.faultNode,
-            sim::nsFromMs(options.downtimeMs), sopts);
+        spec.name = "router-reboot";
+        spec.faults.routerRestart(options.faultNode, 0,
+                                  sim::nsFromMs(options.downtimeMs));
+    } else if (options.fault == "flap") {
+        spec.name = "flap-train";
+        spec.faults.linkFlapTrain(options.faultLink, 0,
+                                  sim::nsFromMs(options.flapPeriodMs),
+                                  50, options.flapCycles, 0,
+                                  options.seed);
     } else {
         std::cerr << "unknown fault: " << options.fault << "\n";
         usage(2);
     }
 
-    if (options.json)
+    topo::ScenarioResult result =
+        topo::ScenarioRunner(std::move(spec)).run();
+    const topo::ConvergenceReport &report = result.convergence;
+
+    // Churn scenarios come with the stability report; the legacy
+    // faults keep their exact pre-redesign output bytes.
+    bool churn = options.fault == "flap";
+    if (options.json) {
         std::cout << report.toJson() << "\n";
-    else if (options.csv)
+        if (churn)
+            std::cout << result.stability.toJson() << "\n";
+    } else if (options.csv) {
         report.printCsv(std::cout, true);
-    else
+    } else {
         report.printText(std::cout);
+        if (churn) {
+            std::cout << "\n";
+            result.stability.printText(std::cout);
+        }
+    }
 
     if (options.jobs != 1 && !options.csv && !options.json) {
         size_t jobs = options.jobs;
@@ -576,6 +635,9 @@ cmdServe(const CliOptions &options)
     config.scenario.simConfig.jobs = options.jobs;
     config.scenario.simConfig.adaptiveSync = options.adaptiveSync;
     config.scenario.simConfig.maxPaths = options.maxPaths;
+    if (options.damping)
+        config.scenario.simConfig.damping = topo::churnDampingConfig();
+    config.scenario.simConfig.mraiNs = sim::nsFromMs(options.mraiMs);
     config.scenario.simConfig.obs = options.obs;
     config.snapshotEvery = options.snapshotEvery;
     config.engine.readers = int(options.serveReaders);
